@@ -1,0 +1,1 @@
+bench/experiments.ml: Containment Datagen Float Fun Harness Invfile List Nested Printf Random Seq Storage String

@@ -1,0 +1,1 @@
+bench/harness.ml: Buffer Char Containment Datagen Filename Float Fun Invfile List Nested Printf Seq Storage String Sys Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Analyze Arg Bechamel Benchmark Cmd Cmdliner Containment Datagen Experiments Float Harness Hashtbl Invfile List Measure Nested Printf Random Staged String Term Test Time Toolkit

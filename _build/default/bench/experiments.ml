@@ -1,0 +1,690 @@
+(* One function per reproduced table/figure (see DESIGN.md, Sec. 5 for the
+   experiment index). Sizes are scaled down from the paper's 125K-4M; pass
+   --full for larger runs. Every experiment prints the series the paper's
+   figure plots. *)
+
+module E = Containment.Engine
+module S = Containment.Semantics
+module IF = Invfile.Inverted_file
+module H = Harness
+
+type scale = { sizes : int list; deep_sizes : int list; real_sizes : int list }
+
+let default_scale =
+  { sizes = [ 1_000; 2_000; 4_000; 8_000 ];
+    deep_sizes = [ 1_000; 2_000; 4_000 ];
+    real_sizes = [ 1_000; 2_000; 4_000; 8_000 ] }
+
+let full_scale =
+  { sizes = [ 8_000; 16_000; 32_000; 64_000; 128_000 ];
+    deep_sizes = [ 8_000; 16_000; 32_000 ];
+    real_sizes = [ 8_000; 16_000; 32_000; 64_000 ] }
+
+(* --- data sources --- *)
+
+(* Deep records are capped at depth 10 here: Table 3's deep parameters
+   describe a supercritical branching process, and the default cap of 16
+   yields thousands of nodes per record — far heavier than the paper's
+   setting allows at any scale (see DESIGN.md, inventory entry 14). *)
+let synthetic shape dist ~seed count =
+  let max_depth =
+    match shape with Datagen.Synthetic.Wide -> 16 | Datagen.Synthetic.Deep -> 10
+  in
+  Datagen.Synthetic.seq
+    (Datagen.Synthetic.make ~seed
+       ~params:(Datagen.Synthetic.params_of_shape ~max_depth shape)
+       dist)
+    count
+
+let twitter ~seed count =
+  Datagen.Twitter_sim.seq (Datagen.Twitter_sim.make ~seed ()) count
+
+let dblp ~seed count = Datagen.Dblp_sim.seq (Datagen.Dblp_sim.make ~seed ()) count
+
+(* --- the Figure-6 harness: 4 series (algorithm × cache) over sizes --- *)
+
+let cache_budget = 250 (* the paper's setting for all experiments *)
+
+let fig6_series ~name ~title ~source sizes =
+  H.print_header title
+    (Printf.sprintf
+       "100 queries (50 pos / 50 neg) per size; cache = %d hottest lists; \
+        elapsed ms for the whole workload (paper Fig. 6 reports the same \
+        quantity)."
+       cache_budget);
+  let rows =
+    List.map
+      (fun size ->
+        H.with_collection ~name:(Printf.sprintf "%s_%d" name size)
+          (source size)
+          (fun inv ->
+            let queries = H.paper_queries inv in
+            let run algorithm cached =
+              IF.detach_cache inv;
+              if cached then Containment.Collection.with_static_cache inv ~budget:cache_budget;
+              H.measure_workload ~config:{ E.default with E.algorithm } inv queries
+            in
+            let td = run E.Top_down false in
+            let td_c = run E.Top_down true in
+            let bu = run E.Bottom_up false in
+            let bu_c = run E.Bottom_up true in
+            [ H.i size; H.ms td; H.ms td_c; H.ms bu; H.ms bu_c ]))
+      sizes
+  in
+  H.print_table
+    ~columns:[ "records"; "td"; "td+cache"; "bu"; "bu+cache" ]
+    rows
+
+let fig6a scale =
+  fig6_series ~name:"uw" ~title:"Figure 6a: uniform wide synthetic"
+    ~source:(fun n -> synthetic Datagen.Synthetic.Wide Datagen.Synthetic.Uniform ~seed:1 n)
+    scale.sizes
+
+let fig6b scale =
+  fig6_series ~name:"ud" ~title:"Figure 6b: uniform deep synthetic"
+    ~source:(fun n -> synthetic Datagen.Synthetic.Deep Datagen.Synthetic.Uniform ~seed:2 n)
+    scale.deep_sizes
+
+let fig6c scale =
+  fig6_series ~name:"sw" ~title:"Figure 6c: skewed (θ=0.7) wide synthetic"
+    ~source:(fun n ->
+      synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7) ~seed:3 n)
+    scale.sizes
+
+let fig6d scale =
+  fig6_series ~name:"sd" ~title:"Figure 6d: skewed (θ=0.7) deep synthetic"
+    ~source:(fun n ->
+      synthetic Datagen.Synthetic.Deep (Datagen.Synthetic.Zipfian 0.7) ~seed:4 n)
+    scale.deep_sizes
+
+let fig6e scale =
+  fig6_series ~name:"tw" ~title:"Figure 6e: Twitter (synthetic stand-in, skewed)"
+    ~source:(fun n -> twitter ~seed:5 n)
+    scale.real_sizes
+
+let fig6f scale =
+  fig6_series ~name:"db" ~title:"Figure 6f: DBLP (synthetic stand-in, skewed)"
+    ~source:(fun n -> dblp ~seed:6 n)
+    scale.real_sizes
+
+(* --- skew sweep: the full paper also varies θ ∈ {0.5, 0.7, 0.9} --- *)
+
+let skew_sweep scale =
+  H.print_header "Skew sweep: θ ∈ {0.5, 0.7, 0.9} on wide synthetic"
+    "Fixed size, bottom-up; the paper observes that skew raises costs.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  let rows =
+    List.map
+      (fun theta ->
+        H.with_collection ~name:(Printf.sprintf "skew_%.1f" theta)
+          (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian theta) ~seed:7 size)
+          (fun inv ->
+            let queries = H.paper_queries inv in
+            let plain = H.measure_workload inv queries in
+            Containment.Collection.with_static_cache inv ~budget:cache_budget;
+            let cached = H.measure_workload inv queries in
+            [ Printf.sprintf "%.1f" theta; H.i size; H.ms plain; H.ms cached ]))
+      [ 0.5; 0.7; 0.9 ]
+  in
+  let uniform_row =
+    H.with_collection ~name:"skew_uniform"
+      (synthetic Datagen.Synthetic.Wide Datagen.Synthetic.Uniform ~seed:7 size)
+      (fun inv ->
+        let queries = H.paper_queries inv in
+        let plain = H.measure_workload inv queries in
+        Containment.Collection.with_static_cache inv ~budget:cache_budget;
+        let cached = H.measure_workload inv queries in
+        [ "unif"; H.i size; H.ms plain; H.ms cached ])
+  in
+  H.print_table ~columns:[ "θ"; "records"; "bu"; "bu+cache" ] (uniform_row :: rows)
+
+(* --- E4: naive baseline vs the inverted-file algorithms --- *)
+
+let naive_baseline scale =
+  H.print_header "E4: naive full-scan baseline vs indexed algorithms"
+    "Sec. 3, comment (1): pairwise subtree-homomorphism over every record.";
+  let rows =
+    List.map
+      (fun size ->
+        H.with_collection ~name:(Printf.sprintf "naive_%d" size)
+          (synthetic Datagen.Synthetic.Wide Datagen.Synthetic.Uniform ~seed:8 size)
+          (fun inv ->
+            (* the naive scan is expensive: 10 queries, 3 repeats *)
+            let queries =
+              H.paper_queries ~count:10 inv
+            in
+            let run algorithm =
+              H.measure_workload ~repeats:3 ~config:{ E.default with E.algorithm } inv
+                queries
+            in
+            let naive = run E.Naive_scan in
+            let td = run E.Top_down in
+            let bu = run E.Bottom_up in
+            [ H.i size; H.ms naive; H.ms td; H.ms bu;
+              Printf.sprintf "%.0f×" (naive /. Float.max 0.001 (Float.min td bu)) ]))
+      (List.filteri (fun i _ -> i < 3) scale.sizes)
+  in
+  H.print_table ~columns:[ "records"; "naive"; "td"; "bu"; "speedup" ] rows
+
+(* --- E5: Bloom prefilters --- *)
+
+let bloom_prefilter scale =
+  H.print_header "E5: hierarchical Bloom prefilters (Sec. 3.3)"
+    "Breadth vs Depth filters; positive and negative query halves timed \
+     separately (filters mainly reject negatives early).";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  H.with_collection ~name:"bloom"
+    (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7) ~seed:9 size)
+    (fun inv ->
+      let all = Datagen.Workload.benchmark_queries ~seed:271 ~count:100 inv in
+      let pos =
+        Datagen.Workload.values (List.filter (fun q -> q.Datagen.Workload.positive) all)
+      in
+      let neg =
+        Datagen.Workload.values
+          (List.filter (fun q -> not q.Datagen.Workload.positive) all)
+      in
+      let breadth = Containment.Filter_index.build ~kind:Containment.Filter_index.Breadth inv in
+      let depth = Containment.Filter_index.build ~kind:Containment.Filter_index.Depth inv in
+      let run filter_index queries =
+        H.measure_workload ~config:{ E.default with E.filter_index } inv queries
+      in
+      let survivors fi queries =
+        (* average prefilter selectivity *)
+        let total, n =
+          List.fold_left
+            (fun (t, n) q ->
+              match
+                (E.query ~config:{ E.default with E.filter_index = Some fi } inv q)
+                  .E.prefilter_survivors
+              with
+              | Some s -> (t + s, n + 1)
+              | None -> (t, n))
+            (0, 0) queries
+        in
+        if n = 0 then 0. else Float.of_int total /. Float.of_int n
+      in
+      H.print_table
+        ~columns:[ "filter"; "mem KiB"; "pos"; "neg"; "avg survivors (neg)" ]
+        [
+          [ "none"; "0"; H.ms (run None pos); H.ms (run None neg); H.i size ];
+          [
+            "breadth";
+            H.i (Containment.Filter_index.memory_bytes breadth / 1024);
+            H.ms (run (Some breadth) pos);
+            H.ms (run (Some breadth) neg);
+            Printf.sprintf "%.1f" (survivors breadth neg);
+          ];
+          [
+            "depth";
+            H.i (Containment.Filter_index.memory_bytes depth / 1024);
+            H.ms (run (Some depth) pos);
+            H.ms (run (Some depth) neg);
+            Printf.sprintf "%.1f" (survivors depth neg);
+          ];
+        ])
+
+(* --- E6: join extensions --- *)
+
+let join_extensions scale =
+  H.print_header "E6: set-based join extensions (Sec. 4.1)"
+    "100-query workloads per join type, bottom-up, cache on.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  H.with_collection ~name:"joins"
+    (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7) ~seed:10 size)
+    (fun inv ->
+      Containment.Collection.with_static_cache inv ~budget:cache_budget;
+      let queries = H.paper_queries inv in
+      let results join =
+        let s = E.run_workload ~config:{ E.default with E.join } inv queries in
+        (H.measure_workload ~config:{ E.default with E.join } inv queries, s.E.results_total)
+      in
+      let rows =
+        List.map
+          (fun (label, join) ->
+            let t, total = results join in
+            [ label; H.ms t; H.i total ])
+          [
+            ("containment", S.Containment);
+            ("equality", S.Equality);
+            ("superset", S.Superset);
+            ("overlap ε=1", S.Overlap 1);
+            ("overlap ε=2", S.Overlap 2);
+          ]
+      in
+      H.print_table ~columns:[ "join"; "elapsed"; "results" ] rows)
+
+(* --- E7: embedding semantics --- *)
+
+let embedding_semantics scale =
+  H.print_header "E7: embedding semantics (Sec. 4.2)"
+    "hom vs iso vs homeo on the same workload, both algorithms.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  H.with_collection ~name:"semantics"
+    (synthetic Datagen.Synthetic.Deep Datagen.Synthetic.Uniform ~seed:11 size)
+    (fun inv ->
+      Containment.Collection.with_static_cache inv ~budget:cache_budget;
+      let queries = H.paper_queries inv in
+      let rows =
+        List.map
+          (fun (label, embedding) ->
+            let run algorithm =
+              H.measure_workload
+                ~config:{ E.default with E.embedding; E.algorithm }
+                inv queries
+            in
+            [ label; H.ms (run E.Top_down); H.ms (run E.Bottom_up) ])
+          [ ("hom", S.Hom); ("iso", S.Iso); ("homeo", S.Homeo);
+            ("homeo-full", S.Homeo_full) ]
+      in
+      H.print_table ~columns:[ "semantics"; "td"; "bu" ] rows)
+
+(* --- E8: cache budget ablation --- *)
+
+let cache_ablation scale =
+  H.print_header "E8: cache budget ablation (Sec. 3.3 / 6)"
+    "Static most-frequent-list cache of varying budget; skewed data, \
+     bottom-up. The paper fixes budget = 250.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  H.with_collection ~name:"cachebudget"
+    (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.9) ~seed:12 size)
+    (fun inv ->
+      let queries = H.paper_queries inv in
+      let rows =
+        List.map
+          (fun budget ->
+            IF.detach_cache inv;
+            if budget > 0 then Containment.Collection.with_static_cache inv ~budget;
+            let t = H.measure_workload inv queries in
+            let stats = E.run_workload inv queries in
+            [
+              H.i budget;
+              H.ms t;
+              Printf.sprintf "%.0f%%"
+                (100.
+                *. Float.of_int stats.E.cache_hits
+                /. Float.of_int (max 1 (stats.E.cache_hits + stats.E.cache_misses)));
+            ])
+          [ 0; 10; 50; 100; 250; 500; 1000 ]
+      in
+      H.print_table ~columns:[ "budget (lists)"; "elapsed"; "hit rate" ] rows)
+
+(* --- E9: cache policy comparison (static / LRU / LFU) --- *)
+
+let cache_policies scale =
+  H.print_header "E9: cache policies (Sec. 6 future work: workload-adaptive caching)"
+    "Same budget (250), different policies, skewed data.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  H.with_collection ~name:"cachepol"
+    (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7) ~seed:13 size)
+    (fun inv ->
+      let queries = H.paper_queries inv in
+      let rows =
+        List.map
+          (fun (label, attach) ->
+            IF.detach_cache inv;
+            attach ();
+            let t = H.measure_workload inv queries in
+            [ label; H.ms t ])
+          [
+            ("none", fun () -> ());
+            ( "static-250",
+              fun () -> Containment.Collection.with_static_cache inv ~budget:250 );
+            ( "lru-250",
+              fun () ->
+                IF.attach_cache inv (Invfile.Cache.create Invfile.Cache.Lru ~capacity:250) );
+            ( "lfu-250",
+              fun () ->
+                IF.attach_cache inv (Invfile.Cache.create Invfile.Cache.Lfu ~capacity:250) );
+          ]
+      in
+      H.print_table ~columns:[ "policy"; "elapsed" ] rows)
+
+(* --- E10: storage backends --- *)
+
+let backends scale =
+  H.print_header "E10: storage backends"
+    "Same collection and workload on the in-memory store, the on-disk hash \
+     store (the paper's setting), and the on-disk B+tree.";
+  let size = List.nth scale.sizes 1 in
+  let values () =
+    synthetic Datagen.Synthetic.Wide Datagen.Synthetic.Uniform ~seed:14 size
+  in
+  let rows =
+    List.map
+      (fun (label, backend) ->
+        H.with_collection ~backend ~name:("backend_" ^ label) (values ())
+          (fun inv ->
+            let queries = H.paper_queries inv in
+            [ label; H.ms (H.measure_workload inv queries) ]))
+      [ ("mem", H.Mem); ("hash", H.Hash) ]
+    @ [
+        (let path = H.scratch_path "backend_btree.tcb" in
+         H.remove_if_exists path;
+         let store = Storage.Btree_store.create path in
+         let builder = Invfile.Builder.create store in
+         Seq.iter (fun v -> ignore (Invfile.Builder.add_value builder v)) (values ());
+         let inv = Invfile.Builder.finish builder in
+         Fun.protect
+           ~finally:(fun () ->
+             IF.close inv;
+             H.remove_if_exists path)
+           (fun () ->
+             let queries = H.paper_queries inv in
+             [ "btree"; H.ms (H.measure_workload inv queries) ]));
+      ]
+  in
+  H.print_table ~columns:[ "backend"; "elapsed" ] rows
+
+(* --- E11: top-down variants (published vs strict) --- *)
+
+let td_variants scale =
+  H.print_header "E11: top-down variants"
+    "The algorithm exactly as published (head-granular intersection) vs the \
+     strict per-path variant; result counts may differ on branching queries \
+     (see DESIGN.md).";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  H.with_collection ~name:"tdvar"
+    (synthetic Datagen.Synthetic.Deep Datagen.Synthetic.Uniform ~seed:15 size)
+    (fun inv ->
+      Containment.Collection.with_static_cache inv ~budget:cache_budget;
+      let queries = H.paper_queries inv in
+      let row label algorithm =
+        let s = E.run_workload ~config:{ E.default with E.algorithm } inv queries in
+        [
+          label;
+          H.ms (H.measure_workload ~config:{ E.default with E.algorithm } inv queries);
+          H.i s.E.results_total;
+        ]
+      in
+      H.print_table ~columns:[ "variant"; "elapsed"; "results" ]
+        [ row "published" E.Top_down_paper; row "strict" E.Top_down;
+          row "bottom-up" E.Bottom_up ])
+
+(* --- E12: low-memory modes (the paper's 'other assumptions') --- *)
+
+let low_memory scale =
+  H.print_header "E12: low-memory modes (Sec. 5.1, assumptions (1) and (2))"
+    "Streamed (blocked) candidate intersection and the external-memory \
+     bottom-up stack vs the in-memory defaults.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  H.with_collection ~name:"lowmem"
+    (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7) ~seed:16 size)
+    (fun inv ->
+      let queries = H.paper_queries inv in
+      let spill_path = H.scratch_path "lowmem.stk" in
+      let rows =
+        [
+          [ "materialized (default)"; H.ms (H.measure_workload inv queries) ];
+          [
+            "streamed lists";
+            H.ms (H.measure_workload ~config:{ E.default with E.streamed = true } inv queries);
+          ];
+          [
+            "external stack";
+            H.ms
+              (H.measure_workload
+                 ~config:{ E.default with E.spill_to = Some spill_path }
+                 inv queries);
+          ];
+        ]
+      in
+      H.remove_if_exists spill_path;
+      H.print_table ~columns:[ "mode"; "elapsed" ] rows)
+
+(* --- E13: top-down child ordering --- *)
+
+let td_ordering scale =
+  H.print_header "E13: top-down child-processing order (Sec. 6, item (1))"
+    "Query order vs most-selective-first on skewed data.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  H.with_collection ~name:"tdorder"
+    (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.9) ~seed:17 size)
+    (fun inv ->
+      Containment.Collection.with_static_cache inv ~budget:cache_budget;
+      let queries = H.paper_queries inv in
+      let run td_order =
+        H.measure_workload
+          ~config:{ E.default with E.algorithm = E.Top_down; E.td_order }
+          inv queries
+      in
+      H.print_table ~columns:[ "order"; "elapsed" ]
+        [
+          [ "query order"; H.ms (run Containment.Top_down.Query_order) ];
+          [ "selectivity"; H.ms (run Containment.Top_down.Selectivity) ];
+        ])
+
+(* --- E14: postings codec ablation --- *)
+
+let codec_ablation scale =
+  H.print_header "E14: postings codec ablation"
+    "Varint/delta (default) vs columnar frame-of-reference bitpacking: \
+     index size and query time on the same collection.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  let values =
+    List.of_seq (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7) ~seed:18 size)
+  in
+  let rows =
+    List.map
+      (fun (label, codec) ->
+        let inv = Containment.Collection.of_values ~codec values in
+        let postings_bytes = ref 0 in
+        (IF.store inv).Storage.Kv.iter (fun key payload ->
+            if String.length key > 0 && key.[0] = 'a' then
+              postings_bytes := !postings_bytes + String.length payload);
+        let queries = H.paper_queries inv in
+        let t = H.measure_workload inv queries in
+        [ label; H.i (!postings_bytes / 1024); H.ms t ])
+      [ ("varint", Invfile.Plist.Varint); ("bitpacked", Invfile.Plist.Bitpacked) ]
+  in
+  H.print_table ~columns:[ "codec"; "postings KiB"; "elapsed" ] rows
+
+(* --- E16: signature-file baseline --- *)
+
+let signature_baseline scale =
+  H.print_header "E16: signature-file baseline vs inverted file"
+    "Per-record hierarchical signatures scanned and oracle-verified, vs the \
+     inverted-file algorithms; positive and negative halves separately.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  H.with_collection ~name:"sig"
+    (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7) ~seed:20 size)
+    (fun inv ->
+      let fi = Containment.Filter_index.build inv in
+      let all = Datagen.Workload.benchmark_queries ~seed:271 ~count:100 inv in
+      let pos = Datagen.Workload.values (List.filter (fun q -> q.Datagen.Workload.positive) all) in
+      let neg =
+        Datagen.Workload.values (List.filter (fun q -> not q.Datagen.Workload.positive) all)
+      in
+      let run config queries = H.measure_workload ~config inv queries in
+      let sig_config =
+        { E.default with E.algorithm = E.Signature_scan; E.filter_index = Some fi }
+      in
+      Containment.Collection.with_static_cache inv ~budget:cache_budget;
+      H.print_table ~columns:[ "algorithm"; "pos"; "neg" ]
+        [
+          [ "bottom-up (cache)"; H.ms (run E.default pos); H.ms (run E.default neg) ];
+          [ "signature scan"; H.ms (run sig_config pos); H.ms (run sig_config neg) ];
+        ])
+
+(* --- E15: multicore scale-up --- *)
+
+let multicore scale =
+  H.print_header "E15: multicore scale-up (the paper runs single-threaded)"
+    "Same workload split across OCaml 5 domains, one store handle and cache \
+     per domain; on-disk hash store.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  let path = H.scratch_path "multicore.tch" in
+  H.remove_if_exists path;
+  let store = Storage.Hash_store.create ~buckets:(1 lsl 16) path in
+  let builder = Invfile.Builder.create store in
+  Seq.iter
+    (fun v -> ignore (Invfile.Builder.add_value builder v))
+    (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7) ~seed:19 size);
+  let inv0 = Invfile.Builder.finish builder in
+  let queries =
+    (* a heavier batch so the spawn overhead amortizes *)
+    List.concat (List.init 10 (fun _ -> H.paper_queries inv0))
+  in
+  IF.close inv0;
+  let open_handle () = IF.open_store (Storage.Hash_store.open_existing path) in
+  let base = ref 0. in
+  let available = Containment.Parallel.recommended_domains () in
+  Printf.printf "(host reports %d recommended domain(s); speedups need real cores)\n"
+    available;
+  let counts =
+    (* always include 2 domains to exercise the parallel path; larger counts
+       only when the host has the cores *)
+    List.filter (fun d -> d <= max 2 available) [ 1; 2; 4; 8 ]
+  in
+  let rows =
+    List.map
+      (fun domains ->
+        let r =
+          Containment.Parallel.run_workload ~domains ~open_handle ~cache_budget:250
+            queries
+        in
+        if domains = 1 then base := r.Containment.Parallel.elapsed_s;
+        [
+          H.i domains;
+          H.ms (1000. *. r.Containment.Parallel.elapsed_s);
+          Printf.sprintf "%.2f×" (!base /. r.Containment.Parallel.elapsed_s);
+          H.i r.Containment.Parallel.results_total;
+        ])
+      counts
+  in
+  H.remove_if_exists path;
+  H.print_table ~columns:[ "domains"; "elapsed"; "speedup"; "results" ] rows
+
+(* --- E17: preflight atom-existence check --- *)
+
+let preflight scale =
+  H.print_header "E17: preflight atom-existence short-circuit"
+    "Containment queries with a missing atom can be rejected by key probes \
+     alone; positive and negative workload halves timed separately.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  H.with_collection ~name:"preflight"
+    (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7) ~seed:21 size)
+    (fun inv ->
+      let all = Datagen.Workload.benchmark_queries ~seed:271 ~count:100 inv in
+      let pos = Datagen.Workload.values (List.filter (fun q -> q.Datagen.Workload.positive) all) in
+      let neg =
+        Datagen.Workload.values (List.filter (fun q -> not q.Datagen.Workload.positive) all)
+      in
+      let run preflight queries =
+        H.measure_workload ~config:{ E.default with E.preflight } inv queries
+      in
+      H.print_table ~columns:[ "preflight"; "pos"; "neg" ]
+        [
+          [ "off"; H.ms (run false pos); H.ms (run false neg) ];
+          [ "on"; H.ms (run true pos); H.ms (run true neg) ];
+        ])
+
+(* --- E18: record storage format --- *)
+
+let record_format scale =
+  H.print_header "E18: record storage format (syntax vs dictionary-coded binary)"
+    "Size of the stored record values and the cost of the scans that read \
+     them (naive baseline over 10 queries).";
+  let size = List.nth scale.sizes 1 in
+  let values =
+    List.of_seq (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7) ~seed:22 size)
+  in
+  let rows =
+    List.map
+      (fun (label, record_format) ->
+        let inv = Containment.Collection.of_values ~record_format values in
+        let record_bytes = ref 0 in
+        (IF.store inv).Storage.Kv.iter (fun key payload ->
+            if String.length key > 1 && key.[0] = 'r' && key.[1] = ':' then
+              record_bytes := !record_bytes + String.length payload);
+        let queries = H.paper_queries ~count:10 inv in
+        let t =
+          H.measure_workload ~repeats:3
+            ~config:{ E.default with E.algorithm = E.Naive_scan }
+            inv queries
+        in
+        [ label; H.i (!record_bytes / 1024); H.ms t ])
+      [ ("syntax", `Syntax); ("binary", `Binary) ]
+  in
+  H.print_table ~columns:[ "format"; "records KiB"; "naive scan" ] rows
+
+(* --- E19: complexity validation, time vs |q| --- *)
+
+(* Chain records of fixed depth; query k = the chain prefix of depth k, so
+   |q| grows linearly while the collection is fixed — the paper's
+   O(|q| · |S|) analysis predicts linear growth in both coordinates (the
+   |S| coordinate is the size sweep of the Figure-6 experiments). *)
+let complexity scale =
+  H.print_header "E19: worst-case analysis check — query time vs |q|"
+    "Fixed collection of depth-24 chains; queries are chain prefixes of \
+     growing depth. O(|q|·|S|) predicts linear growth.";
+  let size = List.nth scale.sizes 0 in
+  let depth = 24 in
+  let rng = Random.State.make [| 23 |] in
+  let label () = "c" ^ string_of_int (Random.State.int rng 50) in
+  let rec chain d =
+    let leaves = [ Nested.Value.atom (label ()); Nested.Value.atom (label ()) ] in
+    if d = 0 then Nested.Value.set leaves
+    else Nested.Value.set (leaves @ [ chain (d - 1) ])
+  in
+  let records = List.init size (fun _ -> chain (depth - 1)) in
+  H.with_collection ~name:"complexity" (List.to_seq records) (fun inv ->
+      Containment.Collection.with_static_cache inv ~budget:cache_budget;
+      let base = List.nth records 7 in
+      (* prefix of the query chain at depth k *)
+      let rec prefix k v =
+        if k <= 1 then Nested.Value.set (List.filter Nested.Value.is_atom (Nested.Value.elements v))
+        else
+          Nested.Value.set
+            (List.map
+               (fun e -> if Nested.Value.is_set e then prefix (k - 1) e else e)
+               (Nested.Value.elements v))
+      in
+      let rows =
+        List.map
+          (fun k ->
+            let q = prefix k base in
+            let queries = [ q ] in
+            let td =
+              H.measure_workload ~repeats:7
+                ~config:{ E.default with E.algorithm = E.Top_down }
+                inv queries
+            in
+            let bu =
+              H.measure_workload ~repeats:7
+                ~config:{ E.default with E.algorithm = E.Bottom_up }
+                inv queries
+            in
+            [ H.i k; H.i (Nested.Value.internal_count q); H.ms td; H.ms bu ])
+          [ 2; 4; 8; 12; 16; 20; 24 ]
+      in
+      H.print_table ~columns:[ "depth"; "|q| nodes"; "td (ms)"; "bu (ms)" ] rows)
+
+(* --- registry --- *)
+
+let all : (string * string * (scale -> unit)) list =
+  [
+    ("fig6a", "uniform wide synthetic (Experiment 1)", fig6a);
+    ("fig6b", "uniform deep synthetic (Experiment 1)", fig6b);
+    ("fig6c", "skewed wide synthetic (Experiment 2)", fig6c);
+    ("fig6d", "skewed deep synthetic (Experiment 2)", fig6d);
+    ("fig6e", "Twitter collection (Experiment 3)", fig6e);
+    ("fig6f", "DBLP collection (Experiment 3)", fig6f);
+    ("skew", "skew sweep θ ∈ {0.5,0.7,0.9}", skew_sweep);
+    ("naive", "naive baseline (E4)", naive_baseline);
+    ("bloom", "Bloom prefilters (E5)", bloom_prefilter);
+    ("joins", "join extensions (E6)", join_extensions);
+    ("semantics", "embedding semantics (E7)", embedding_semantics);
+    ("cache-ablation", "cache budget ablation (E8)", cache_ablation);
+    ("cache-policies", "cache policies (E9)", cache_policies);
+    ("backends", "storage backends (E10)", backends);
+    ("td-variants", "top-down variants (E11)", td_variants);
+    ("low-memory", "streamed lists / external stack (E12)", low_memory);
+    ("td-ordering", "top-down child ordering (E13)", td_ordering);
+    ("codec", "postings codec ablation (E14)", codec_ablation);
+    ("multicore", "multicore scale-up (E15)", multicore);
+    ("signature", "signature-file baseline (E16)", signature_baseline);
+    ("preflight", "preflight atom checks (E17)", preflight);
+    ("record-format", "record storage format (E18)", record_format);
+    ("complexity", "time vs |q| analysis check (E19)", complexity);
+  ]

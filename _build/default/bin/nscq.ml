@@ -1,0 +1,681 @@
+(* nscq — nested-set containment queries from the command line.
+
+   Subcommands: generate, build, query, workload, stats.
+
+     nscq generate --kind wide-zipf --count 10000 -o data.ns
+     nscq build -i data.ns -o data.tch
+     nscq query -s data.tch '{USA, {UK, {A, motorbike}}}'
+     nscq workload -s data.tch --cache 250
+     nscq stats -s data.tch *)
+
+open Cmdliner
+
+module E = Containment.Engine
+module Sem = Containment.Semantics
+module IF = Invfile.Inverted_file
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let with_out path f =
+  match path with
+  | None -> f stdout
+  | Some p ->
+    let oc = open_out p in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> f oc)
+
+(* --- shared arguments --- *)
+
+let store_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "s"; "store" ] ~docv:"PATH" ~doc:"Path of the collection store.")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt (enum [ ("hash", `Hash); ("btree", `Btree); ("log", `Log) ]) `Hash
+    & info [ "backend" ] ~docv:"KIND"
+        ~doc:"Storage engine: $(b,hash), $(b,btree), or $(b,log) (crash-safe
+              append-only).")
+
+let open_store backend path =
+  match backend with
+  | `Hash -> Storage.Hash_store.open_existing path
+  | `Btree -> Storage.Btree_store.open_existing path
+  | `Log -> Storage.Log_store.open_existing path
+
+let cache_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "cache" ] ~docv:"N"
+        ~doc:"Buffer the $(docv) most frequent inverted lists in memory \
+              (the paper uses 250; 0 disables).")
+
+let algorithm_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("bottom-up", E.Bottom_up); ("top-down", E.Top_down);
+             ("top-down-paper", E.Top_down_paper); ("naive", E.Naive_scan) ])
+        E.Bottom_up
+    & info [ "algorithm" ] ~docv:"ALG"
+        ~doc:"$(b,bottom-up), $(b,top-down), $(b,top-down-paper) (the \
+              algorithm exactly as published), or $(b,naive).")
+
+let join_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "containment" | "subset" -> Ok Sem.Containment
+    | "equality" -> Ok Sem.Equality
+    | "superset" -> Ok Sem.Superset
+    | s when String.length s > 8 && String.sub s 0 8 = "overlap=" -> (
+      match int_of_string_opt (String.sub s 8 (String.length s - 8)) with
+      | Some eps when eps >= 1 -> Ok (Sem.Overlap eps)
+      | _ -> Error (`Msg "overlap needs a positive integer, e.g. overlap=2"))
+    | s when String.length s > 11 && String.sub s 0 11 = "similarity=" -> (
+      match float_of_string_opt (String.sub s 11 (String.length s - 11)) with
+      | Some r when r > 0. && r <= 1. -> Ok (Sem.Similarity r)
+      | _ -> Error (`Msg "similarity needs a ratio in (0,1], e.g. similarity=0.5"))
+    | _ -> Error (`Msg ("unknown join type " ^ s))
+  in
+  let print ppf j = Sem.pp_join ppf j in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Sem.Containment
+    & info [ "join" ] ~docv:"JOIN"
+        ~doc:"$(b,containment), $(b,equality), $(b,superset), \
+              $(b,overlap=)$(i,ε), or $(b,similarity=)$(i,r).")
+
+let embedding_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("hom", Sem.Hom); ("iso", Sem.Iso); ("homeo", Sem.Homeo);
+             ("homeo-full", Sem.Homeo_full) ])
+        Sem.Hom
+    & info [ "embedding" ] ~docv:"SEM"
+        ~doc:"$(b,hom) (default), $(b,iso), or $(b,homeo).")
+
+let anywhere_arg =
+  Arg.(
+    value & flag
+    & info [ "anywhere" ]
+        ~doc:"Match the query at any internal node, not only record roots.")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ] ~doc:"Re-check matches with the value-level oracle.")
+
+let wildcards_arg =
+  Arg.(
+    value & flag
+    & info [ "wildcards" ]
+        ~doc:"Interpret trailing-* query leaves as atom-prefix patterns
+              (containment join only).")
+
+let streamed_arg =
+  Arg.(
+    value & flag
+    & info [ "streamed" ]
+        ~doc:"Intersect candidate lists straight from their encoded payloads \
+              (blocked I/O; containment join only).")
+
+let spill_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "spill" ] ~docv:"FILE"
+        ~doc:"Run the bottom-up stack through an external-memory stack \
+              backed by $(docv).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log engine internals to stderr.")
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let setup_engine inv ~cache =
+  if cache > 0 then Containment.Collection.with_static_cache inv ~budget:cache
+
+(* --- generate --- *)
+
+let generate_cmd =
+  let kind_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("wide-uniform", `WU); ("wide-zipf", `WZ); ("deep-uniform", `DU);
+               ("deep-zipf", `DZ); ("twitter", `TW); ("dblp", `DB) ])
+          `WU
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"$(b,wide-uniform), $(b,wide-zipf), $(b,deep-uniform), \
+                $(b,deep-zipf) (Table 3), $(b,twitter) (JSON lines), or \
+                $(b,dblp) (XML).")
+  in
+  let count_arg =
+    Arg.(value & opt int 1000 & info [ "n"; "count" ] ~docv:"N" ~doc:"Records to generate.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"RNG seed.") in
+  let theta_arg =
+    Arg.(value & opt float 0.7 & info [ "theta" ] ~docv:"θ" ~doc:"Zipf skew (0 < θ < 1).")
+  in
+  let labels_arg =
+    Arg.(
+      value & opt int 100_000
+      & info [ "labels" ] ~docv:"N"
+          ~doc:"Leaf-label domain size (the paper uses 10,000,000).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let run kind count seed theta labels out =
+    with_out out @@ fun oc ->
+    let synthetic shape dist =
+      let g =
+        Datagen.Synthetic.make ~seed
+          ~pool:(Datagen.Label_pool.create labels)
+          ~params:(Datagen.Synthetic.params_of_shape shape)
+          dist
+      in
+      Seq.iter
+        (fun v -> output_string oc (Nested.Syntax.to_string v ^ "\n"))
+        (Datagen.Synthetic.seq g count)
+    in
+    match kind with
+    | `WU -> synthetic Datagen.Synthetic.Wide Datagen.Synthetic.Uniform
+    | `WZ -> synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian theta)
+    | `DU -> synthetic Datagen.Synthetic.Deep Datagen.Synthetic.Uniform
+    | `DZ -> synthetic Datagen.Synthetic.Deep (Datagen.Synthetic.Zipfian theta)
+    | `TW ->
+      let g = Datagen.Twitter_sim.make ~seed ~theta () in
+      for _ = 1 to count do
+        output_string oc (Textformats.Json.to_string (Datagen.Twitter_sim.tweet_json g));
+        output_char oc '\n'
+      done
+    | `DB ->
+      let g = Datagen.Dblp_sim.make ~seed ~theta () in
+      for _ = 1 to count do
+        output_string oc (Textformats.Xml.to_string (Datagen.Dblp_sim.article_xml g));
+        output_char oc '\n'
+      done
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic collection (Sec. 5.1).")
+    Term.(const run $ kind_arg $ count_arg $ seed_arg $ theta_arg $ labels_arg $ out_arg)
+
+(* --- build --- *)
+
+let build_cmd =
+  let input_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "i"; "input" ] ~docv:"FILE"
+          ~doc:"Input collection: nested-set literals, JSON lines, or XML \
+                records (one per line).")
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("nested", `Nested); ("json", `Json); ("xml", `Xml) ]) `Nested
+      & info [ "format" ] ~docv:"FMT" ~doc:"$(b,nested), $(b,json), or $(b,xml).")
+  in
+  let tokenize_arg =
+    Arg.(value & flag & info [ "tokenize" ] ~doc:"Tokenize XML text into word atoms.")
+  in
+  let output_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH" ~doc:"Store file to create.")
+  in
+  let buckets_arg =
+    Arg.(value & opt int 65536 & info [ "buckets" ] ~docv:"N" ~doc:"Hash store buckets.")
+  in
+  let recfmt_arg =
+    Arg.(
+      value
+      & opt (enum [ ("syntax", `Syntax); ("binary", `Binary) ]) `Syntax
+      & info [ "record-format" ] ~docv:"FMT"
+          ~doc:"Stored-record encoding: $(b,syntax) (readable) or $(b,binary)
+                (dictionary-coded, ~3x smaller).")
+  in
+  let run input format tokenize output backend buckets record_format =
+    let contents = read_file input in
+    let values =
+      match format with
+      | `Nested -> Nested.Syntax.parse_many contents
+      | `Json ->
+        List.map Textformats.Json_nested.of_json (Textformats.Json.parse_many contents)
+      | `Xml ->
+        List.map (Textformats.Xml_nested.of_xml ~tokenize)
+          (Textformats.Xml.parse_many contents)
+    in
+    let store =
+      match backend with
+      | `Hash -> Storage.Hash_store.create ~buckets output
+      | `Btree -> Storage.Btree_store.create output
+      | `Log -> Storage.Log_store.create output
+    in
+    let builder = Invfile.Builder.create ~record_format store in
+    List.iter (fun v -> ignore (Invfile.Builder.add_value builder v)) values;
+    let inv = Invfile.Builder.finish builder in
+    Printf.printf "indexed %d records, %d atoms, %d internal nodes into %s\n"
+      (IF.record_count inv) (IF.atom_count inv) (IF.node_count inv) output;
+    IF.close inv
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build the inverted file for a collection.")
+    Term.(
+      const run $ input_arg $ format_arg $ tokenize_arg $ output_arg $ backend_arg
+      $ buckets_arg $ recfmt_arg)
+
+(* --- query --- *)
+
+let query_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"Query in nested-set literal syntax.")
+  in
+  let limit_arg =
+    Arg.(value & opt int 10 & info [ "limit" ] ~docv:"N" ~doc:"Print at most $(docv) results.")
+  in
+  let explain_arg =
+    Arg.(value & flag & info [ "explain" ] ~doc:"Print per-node candidate statistics.")
+  in
+  let run store backend cache algorithm join embedding anywhere verify streamed spill
+      wildcards explain verbose qs limit =
+    setup_logging verbose;
+    let inv = IF.open_store (open_store backend store) in
+    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+    setup_engine inv ~cache;
+    let q = Nested.Syntax.of_string qs in
+    let config =
+      {
+        E.algorithm;
+        join;
+        embedding;
+        scope = (if anywhere then E.Anywhere else E.Roots);
+        verify;
+        filter_index = None;
+        td_order = Containment.Top_down.Query_order;
+        streamed;
+        spill_to = spill;
+        preflight = false;
+        wildcards;
+        minimize = false;
+      }
+    in
+    let t0 = Unix.gettimeofday () in
+    let r = E.query ~config inv q in
+    let dt = 1000. *. (Unix.gettimeofday () -. t0) in
+    Printf.printf "%d matching record(s) in %.3f ms\n" (List.length r.E.records) dt;
+    List.iteri
+      (fun i id ->
+        if i < limit then
+          Format.printf "  #%d: %a@." id Nested.Value.pp (IF.record_value inv id))
+      r.E.records;
+    if List.length r.E.records > limit then
+      Printf.printf "  … and %d more (raise --limit)\n" (List.length r.E.records - limit);
+    if explain then Format.printf "@.plan:@.%a" E.pp_plan (E.explain ~config inv q)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run one containment query against a store.")
+    Term.(
+      const run $ store_arg $ backend_arg $ cache_arg $ algorithm_arg $ join_arg
+      $ embedding_arg $ anywhere_arg $ verify_arg $ streamed_arg $ spill_arg
+      $ wildcards_arg $ explain_arg $ verbose_arg $ query_arg $ limit_arg)
+
+(* --- workload --- *)
+
+let workload_cmd =
+  let count_arg =
+    Arg.(value & opt int 100 & info [ "n"; "count" ] ~docv:"N" ~doc:"Workload size (paper: 100).")
+  in
+  let seed_arg = Arg.(value & opt int 271 & info [ "seed" ] ~docv:"S" ~doc:"Selection seed.") in
+  let run store backend cache algorithm count seed =
+    let inv = IF.open_store (open_store backend store) in
+    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+    setup_engine inv ~cache;
+    let queries =
+      Datagen.Workload.values (Datagen.Workload.benchmark_queries ~seed ~count inv)
+    in
+    let stats = E.run_workload ~config:{ E.default with E.algorithm } inv queries in
+    Format.printf "%a@." E.pp_workload_stats stats
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:"Time the paper's benchmark workload (Sec. 5.1) against a store.")
+    Term.(const run $ store_arg $ backend_arg $ cache_arg $ algorithm_arg $ count_arg $ seed_arg)
+
+(* --- check (integrity) --- *)
+
+let check_cmd =
+  let run store backend =
+    let inv = IF.open_store (open_store backend store) in
+    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+    match Invfile.Integrity.check inv with
+    | [] ->
+      Printf.printf "ok: %d records, %d atoms, %d nodes — consistent\n"
+        (IF.record_count inv) (IF.atom_count inv) (IF.node_count inv)
+    | problems ->
+      List.iter
+        (fun p -> Format.printf "PROBLEM %a@." Invfile.Integrity.pp_problem p)
+        problems;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Verify a store's integrity (index vs stored records).")
+    Term.(const run $ store_arg $ backend_arg)
+
+(* --- export --- *)
+
+let export_cmd =
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
+  in
+  let run store backend out =
+    let inv = IF.open_store (open_store backend store) in
+    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+    with_out out @@ fun oc ->
+    IF.iter_records inv (fun _ v ->
+        output_string oc (Nested.Syntax.to_string v);
+        output_char oc '\n')
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Write the live records back out as nested-set literals.")
+    Term.(const run $ store_arg $ backend_arg $ out_arg)
+
+(* --- merge --- *)
+
+let merge_cmd =
+  let src_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "from" ] ~docv:"PATH" ~doc:"Source store to append (read-only).")
+  in
+  let src_backend_arg =
+    Arg.(
+      value
+      & opt (enum [ ("hash", `Hash); ("btree", `Btree); ("log", `Log) ]) `Hash
+      & info [ "from-backend" ] ~docv:"KIND" ~doc:"Source storage engine.")
+  in
+  let run store backend src src_backend =
+    let dst = IF.open_store (open_store backend store) in
+    Fun.protect ~finally:(fun () -> IF.close dst) @@ fun () ->
+    let src = IF.open_store (open_store src_backend src) in
+    Fun.protect ~finally:(fun () -> IF.close src) @@ fun () ->
+    let before = IF.record_count dst in
+    Invfile.Merger.append ~dst ~src;
+    Printf.printf "merged: %d + %d live record(s) -> %d\n" before
+      (IF.record_count src) (IF.record_count dst)
+  in
+  Cmd.v
+    (Cmd.info "merge" ~doc:"Append another collection's records to a store.")
+    Term.(const run $ store_arg $ backend_arg $ src_arg $ src_backend_arg)
+
+(* --- compact --- *)
+
+let compact_cmd =
+  let run store backend =
+    (match backend with
+    | `Hash ->
+      let kv = Storage.Hash_store.open_existing store in
+      let before = Storage.Hash_store.file_size kv in
+      Storage.Hash_store.optimize kv;
+      Printf.printf "optimized: %d -> %d bytes\n" before (Storage.Hash_store.file_size kv);
+      kv.Storage.Kv.close ()
+    | `Log ->
+      let kv = Storage.Log_store.open_existing store in
+      let dead = Storage.Log_store.dead_bytes kv in
+      Storage.Log_store.compact kv;
+      Printf.printf "compacted: reclaimed %d dead byte(s)\n" dead;
+      kv.Storage.Kv.close ()
+    | `Btree ->
+      prerr_endline "compact: not supported for the btree backend";
+      exit 1)
+  in
+  Cmd.v
+    (Cmd.info "compact" ~doc:"Reclaim dead space in a store (hash or log backend).")
+    Term.(const run $ store_arg $ backend_arg)
+
+(* --- sql (one-shot NSCQL) --- *)
+
+let sql_cmd =
+  let stmt_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"STATEMENT"
+          ~doc:"An NSCQL statement, e.g. 'COUNT CONTAINS {a, {b}} UNDER homeo'.")
+  in
+  let run store backend cache verbose stmt =
+    setup_logging verbose;
+    let inv = IF.open_store (open_store backend store) in
+    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+    setup_engine inv ~cache;
+    match Containment.Nscql.run inv stmt with
+    | Ok outcome ->
+      Format.printf "%a" (Containment.Nscql.pp_outcome ~collection:inv) outcome
+    | Error m ->
+      prerr_endline m;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Run one NSCQL statement against a store.")
+    Term.(const run $ store_arg $ backend_arg $ cache_arg $ verbose_arg $ stmt_arg)
+
+(* --- repl --- *)
+
+let repl_cmd =
+  let run store backend cache =
+    let inv = IF.open_store (open_store backend store) in
+    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+    setup_engine inv ~cache;
+    let config =
+      ref { E.default with E.verify = false }
+    in
+    let print_help () =
+      print_string
+        "Enter a query in nested-set syntax, e.g. {USA, {UK, {A, motorbike}}},\n\
+         or an NSCQL statement, e.g. COUNT CONTAINS {gatk} UNDER homeo\n\
+         (FIND | COUNT | EXPLAIN | WITNESS, CONTAINS | EQUALS | WITHIN |\n\
+         OVERLAPS .. BY n | SIMILAR TO .. AT r, INSERT v, DELETE id, STATS)\n\
+         Commands:\n\
+         \t.algorithm bottom-up|top-down|top-down-paper|naive\n\
+         \t.join containment|equality|superset|overlap=N|similarity=R\n\
+         \t.embedding hom|iso|homeo|homeo-full\n\
+         \t.scope roots|anywhere     .verify on|off\n\
+         \t.explain QUERY            show per-node candidate counts\n\
+         \t.witness QUERY            show one embedding per match\n\
+         \t.add RECORD               insert a record incrementally\n\
+         \t.delete ID                tombstone a record\n\
+         \t.config  .stats  .help  .quit\n"
+    in
+    let parse_join s =
+      match String.lowercase_ascii s with
+      | "containment" | "subset" -> Some Sem.Containment
+      | "equality" -> Some Sem.Equality
+      | "superset" -> Some Sem.Superset
+      | s when String.length s > 8 && String.sub s 0 8 = "overlap=" ->
+        Option.map (fun e -> Sem.Overlap e) (int_of_string_opt (String.sub s 8 (String.length s - 8)))
+      | s when String.length s > 11 && String.sub s 0 11 = "similarity=" ->
+        Option.map (fun r -> Sem.Similarity r)
+          (float_of_string_opt (String.sub s 11 (String.length s - 11)))
+      | _ -> None
+    in
+    let run_nscql line =
+      match Containment.Nscql.run inv line with
+      | Ok outcome ->
+        Format.printf "%a" (Containment.Nscql.pp_outcome ~collection:inv) outcome
+      | Error m -> print_endline m
+    in
+    let run_query qs =
+      match Nested.Syntax.of_string_opt qs with
+      | None -> print_endline "parse error: expected a nested-set literal"
+      | Some q -> (
+        match E.query ~config:!config inv q with
+        | exception Sem.Unsupported msg -> Printf.printf "unsupported: %s\n" msg
+        | exception Invalid_argument msg -> Printf.printf "invalid: %s\n" msg
+        | r ->
+          Printf.printf "%d matching record(s)\n" (List.length r.E.records);
+          List.iteri
+            (fun i id ->
+              if i < 5 then
+                Format.printf "  #%d: %a@." id Nested.Value.pp (IF.record_value inv id))
+            r.E.records;
+          if List.length r.E.records > 5 then
+            Printf.printf "  … and %d more\n" (List.length r.E.records - 5))
+    in
+    let dot_command line =
+      let cmd, arg =
+        match String.index_opt line ' ' with
+        | Some i ->
+          ( String.sub line 0 i,
+            String.trim (String.sub line i (String.length line - i)) )
+        | None -> (line, "")
+      in
+      match cmd with
+      | ".help" -> print_help ()
+      | ".quit" | ".exit" -> raise Exit
+      | ".config" ->
+        Format.printf "algorithm=%s join=%a embedding=%a scope=%s verify=%b@."
+          (match !config.E.algorithm with
+          | E.Bottom_up -> "bottom-up"
+          | E.Top_down -> "top-down"
+          | E.Top_down_paper -> "top-down-paper"
+          | E.Naive_scan -> "naive"
+          | E.Signature_scan -> "signature-scan")
+          Sem.pp_join !config.E.join Sem.pp_embedding !config.E.embedding
+          (match !config.E.scope with E.Roots -> "roots" | E.Anywhere -> "anywhere")
+          !config.E.verify
+      | ".stats" -> Format.printf "%a@." Invfile.Stats.pp (Invfile.Stats.compute inv)
+      | ".algorithm" -> (
+        match arg with
+        | "bottom-up" -> config := { !config with E.algorithm = E.Bottom_up }
+        | "top-down" -> config := { !config with E.algorithm = E.Top_down }
+        | "top-down-paper" -> config := { !config with E.algorithm = E.Top_down_paper }
+        | "naive" -> config := { !config with E.algorithm = E.Naive_scan }
+        | _ -> print_endline "unknown algorithm")
+      | ".join" -> (
+        match parse_join arg with
+        | Some j -> config := { !config with E.join = j }
+        | None -> print_endline "unknown join type")
+      | ".embedding" -> (
+        match arg with
+        | "hom" -> config := { !config with E.embedding = Sem.Hom }
+        | "iso" -> config := { !config with E.embedding = Sem.Iso }
+        | "homeo" -> config := { !config with E.embedding = Sem.Homeo }
+        | "homeo-full" -> config := { !config with E.embedding = Sem.Homeo_full }
+        | _ -> print_endline "unknown embedding")
+      | ".scope" -> (
+        match arg with
+        | "roots" -> config := { !config with E.scope = E.Roots }
+        | "anywhere" -> config := { !config with E.scope = E.Anywhere }
+        | _ -> print_endline "roots or anywhere")
+      | ".verify" -> config := { !config with E.verify = arg = "on" }
+      | ".explain" -> (
+        match Nested.Syntax.of_string_opt arg with
+        | Some q -> Format.printf "%a" E.pp_plan (E.explain ~config:!config inv q)
+        | None -> print_endline "parse error")
+      | ".witness" -> (
+        match Nested.Syntax.of_string_opt arg with
+        | None -> print_endline "parse error"
+        | Some q ->
+          let ws = E.witnesses ~config:!config inv q in
+          if ws = [] then print_endline "no matches"
+          else
+            List.iteri
+              (fun i (root, w) ->
+                if i < 3 then begin
+                  Printf.printf "match at node %d:\n" root;
+                  List.iter
+                    (fun (path, id) ->
+                      Format.printf "  %-12s -> node %d = %a@." path id
+                        Nested.Value.pp (IF.subtree_value inv id))
+                    w
+                end)
+              ws)
+      | ".add" -> (
+        match Nested.Syntax.of_string_opt arg with
+        | Some v when Nested.Value.is_set v ->
+          Printf.printf "record %d added\n" (Invfile.Updater.add_value inv v)
+        | _ -> print_endline "parse error: expected a set value")
+      | ".delete" -> (
+        match int_of_string_opt arg with
+        | Some id ->
+          if Invfile.Updater.delete_record inv id then print_endline "deleted"
+          else print_endline "no such live record"
+        | None -> print_endline "expected a record id")
+      | _ -> Printf.printf "unknown command %s (try .help)\n" cmd
+    in
+    Printf.printf "nscq repl — %d records. Type .help for commands, .quit to leave.\n"
+      (IF.record_count inv);
+    (try
+       while true do
+         print_string "nscq> ";
+         flush stdout;
+         match input_line stdin with
+         | exception End_of_file -> raise Exit
+         | "" -> ()
+         | line when line.[0] = '.' -> dot_command (String.trim line)
+         | line when line.[0] = '{' || line.[0] = '"' -> run_query line
+         | line -> run_nscql line
+       done
+     with Exit -> ());
+    print_endline "bye"
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive query shell over a store.")
+    Term.(const run $ store_arg $ backend_arg $ cache_arg)
+
+(* --- stats --- *)
+
+let stats_cmd =
+  let detailed_arg =
+    Arg.(value & flag & info [ "detailed" ] ~doc:"Scan the collection for shape and frequency profiles.")
+  in
+  let run store backend detailed =
+    let inv = IF.open_store (open_store backend store) in
+    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+    if detailed then Format.printf "%a@." Invfile.Stats.pp (Invfile.Stats.compute inv)
+    else begin
+      Printf.printf "records        %d\n" (IF.record_count inv);
+      Printf.printf "atoms          %d\n" (IF.atom_count inv);
+      Printf.printf "internal nodes %d\n" (IF.node_count inv);
+      Printf.printf "top atoms:\n";
+      List.iteri
+        (fun i (a, c) -> if i < 10 then Printf.printf "  %-24s %d postings\n" a c)
+        (IF.top_atoms inv)
+    end
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show collection statistics.")
+    Term.(const run $ store_arg $ backend_arg $ detailed_arg)
+
+let () =
+  let info =
+    Cmd.info "nscq" ~version:"1.0.0"
+      ~doc:"Containment queries on nested sets (Ibrahim & Fletcher, EDBT 2013)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; build_cmd; query_cmd; workload_cmd; stats_cmd; repl_cmd;
+            sql_cmd; check_cmd; export_cmd; merge_cmd; compact_cmd ]))

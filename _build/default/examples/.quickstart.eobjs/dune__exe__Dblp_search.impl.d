@@ -1,0 +1,1 @@
+examples/dblp_search.ml: Buffer Containment Datagen Format Invfile List Nested Printf Textformats Unix

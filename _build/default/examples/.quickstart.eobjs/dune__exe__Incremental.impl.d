@@ -1,0 +1,1 @@
+examples/incremental.ml: Containment Format Invfile List Nested String

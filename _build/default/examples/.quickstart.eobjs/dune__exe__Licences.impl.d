@@ -1,0 +1,1 @@
+examples/licences.ml: Array Containment Datagen Filename Format Fun Invfile List Nested Random Storage String Sys

@@ -1,0 +1,1 @@
+examples/provenance.ml: Array Containment Format Invfile List Nested Printf Random

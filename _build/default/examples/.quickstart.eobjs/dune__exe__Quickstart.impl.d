@@ -1,0 +1,1 @@
+examples/quickstart.ml: Containment Format Invfile List Nested

@@ -1,0 +1,1 @@
+examples/twitter_analytics.ml: Buffer Containment Datagen Float Format Invfile List Nested Textformats Unix

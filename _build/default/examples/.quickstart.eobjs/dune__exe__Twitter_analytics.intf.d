@@ -1,0 +1,1 @@
+examples/twitter_analytics.mli:

@@ -1,0 +1,141 @@
+(* Differential fuzzer.
+
+   Long-running randomized cross-checking of the whole stack, beyond what
+   the qcheck properties cover per-module: each scenario builds a random
+   collection on a random backend, interleaves incremental updates, and
+   compares every algorithm/join/semantics combination against the
+   value-level oracle and a model of the live records.
+
+     dune exec fuzz/fuzz.exe            -- 200 scenarios
+     dune exec fuzz/fuzz.exe -- 10000   -- more
+     dune exec fuzz/fuzz.exe -- 500 99  -- scenarios, seed
+
+   Exits non-zero on the first divergence, printing a reproducer. *)
+
+module E = Containment.Engine
+module S = Containment.Semantics
+module V = Nested.Value
+module IF = Invfile.Inverted_file
+
+let atoms = [| "a"; "b"; "c"; "d"; "e" |]
+
+let rec random_set rng depth =
+  let n_leaves = Random.State.int rng 4 in
+  let leaves =
+    List.init n_leaves (fun _ -> V.atom atoms.(Random.State.int rng (Array.length atoms)))
+  in
+  let n_children = if depth >= 3 then 0 else Random.State.int rng 3 in
+  let children = List.init n_children (fun _ -> random_set rng (depth + 1)) in
+  V.set (leaves @ children)
+
+let joins rng =
+  match Random.State.int rng 5 with
+  | 0 -> S.Containment
+  | 1 -> S.Equality
+  | 2 -> S.Superset
+  | 3 -> S.Overlap (1 + Random.State.int rng 3)
+  | _ -> S.Similarity (0.25 +. Random.State.float rng 0.75)
+
+let embeddings rng =
+  match Random.State.int rng 4 with
+  | 0 -> S.Hom
+  | 1 -> S.Iso
+  | 2 -> S.Homeo
+  | _ -> S.Homeo_full
+
+let algorithms = [ ("bu", E.Bottom_up); ("td", E.Top_down); ("naive", E.Naive_scan) ]
+
+let scenario rng i =
+  let backend, cleanup =
+    match Random.State.int rng 3 with
+    | 0 -> (Containment.Collection.Mem, fun () -> ())
+    | 1 ->
+      let path = Filename.temp_file "fuzz" ".tch" in
+      (Containment.Collection.Hash path, fun () -> try Sys.remove path with _ -> ())
+    | _ ->
+      let path = Filename.temp_file "fuzz" ".log" in
+      (Containment.Collection.Log path, fun () -> try Sys.remove path with _ -> ())
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let n0 = 3 + Random.State.int rng 8 in
+  let initial = List.init n0 (fun _ -> random_set rng 0) in
+  let inv = Containment.Collection.of_values ~backend initial in
+  (* model: live record id -> value *)
+  let model : (int, V.t) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri (fun i v -> Hashtbl.replace model i v) initial;
+  (* a few random updates *)
+  for _ = 1 to Random.State.int rng 6 do
+    if Random.State.bool rng then begin
+      let v = random_set rng 0 in
+      let id = Invfile.Updater.add_value inv v in
+      Hashtbl.replace model id v
+    end
+    else begin
+      let id = Random.State.int rng (IF.record_count inv) in
+      if Invfile.Updater.delete_record inv id then Hashtbl.remove model id
+    end
+  done;
+  (* random queries under random configurations *)
+  for _ = 1 to 8 do
+    let q = random_set rng 1 in
+    let join = joins rng and embedding = embeddings rng in
+    match S.mode_of join embedding with
+    | exception S.Unsupported _ -> ()
+    | exception Invalid_argument _ -> ()
+    | _ ->
+      let expected =
+        Hashtbl.fold
+          (fun id s acc ->
+            if Containment.Embed.check join embedding ~q ~s then id :: acc else acc)
+          model []
+        |> List.sort Int.compare
+      in
+      List.iter
+        (fun (name, algorithm) ->
+          (* the naive scan handles every combination the oracle does *)
+          let config = { E.default with E.algorithm; E.join; E.embedding } in
+          let got = (E.query ~config inv q).E.records in
+          if got <> expected then begin
+            Printf.printf "\nDIVERGENCE in scenario %d (%s, %s):\n" i name
+              (Format.asprintf "%a × %a" S.pp_join join S.pp_embedding embedding);
+            Printf.printf "  query: %s\n" (V.to_string q);
+            Hashtbl.iter
+              (fun id s -> Printf.printf "  record %d: %s\n" id (V.to_string s))
+              model;
+            Printf.printf "  got      [%s]\n"
+              (String.concat ";" (List.map string_of_int got));
+            Printf.printf "  expected [%s]\n"
+              (String.concat ";" (List.map string_of_int expected));
+            exit 1
+          end)
+        algorithms
+  done;
+  (* the collection must remain internally consistent after the updates *)
+  (match Invfile.Integrity.check inv with
+  | [] -> ()
+  | problems ->
+    Printf.printf "\nINTEGRITY FAILURE in scenario %d:\n" i;
+    List.iter
+      (fun p -> Format.printf "  %a@." Invfile.Integrity.pp_problem p)
+      problems;
+    Hashtbl.iter
+      (fun id s -> Printf.printf "  record %d: %s\n" id (V.to_string s))
+      model;
+    exit 1);
+  IF.close inv
+
+let () =
+  let scenarios =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200
+  in
+  let seed = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1 in
+  let rng = Random.State.make [| seed; 0xf022 |] in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to scenarios do
+    scenario rng i;
+    if i mod 50 = 0 then begin
+      Printf.printf "%d scenarios ok (%.1fs)\n" i (Unix.gettimeofday () -. t0);
+      flush stdout
+    end
+  done;
+  Printf.printf "all %d scenarios passed (%.1fs)\n" scenarios (Unix.gettimeofday () -. t0)

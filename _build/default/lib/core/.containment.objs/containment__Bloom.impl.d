@@ -1,0 +1,1 @@
+lib/core/bloom.ml: Bytes Char Float Hashtbl Storage

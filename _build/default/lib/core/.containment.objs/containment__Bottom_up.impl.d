@@ -1,0 +1,1 @@
+lib/core/bottom_up.ml: Array Fun Invfile List Matching Option Query Semantics Stack Storage String

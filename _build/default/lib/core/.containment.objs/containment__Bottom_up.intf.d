@@ -1,0 +1,1 @@
+lib/core/bottom_up.mli: Intset Invfile Query Semantics

@@ -1,0 +1,1 @@
+lib/core/breadth_bloom.mli: Nested

@@ -1,0 +1,1 @@
+lib/core/collection.ml: Invfile List Nested Storage

@@ -1,0 +1,1 @@
+lib/core/collection.mli: Invfile Nested Storage

@@ -1,0 +1,1 @@
+lib/core/depth_bloom.mli: Nested

@@ -1,0 +1,1 @@
+lib/core/embed.ml: Array Float Hashtbl List Matching Nested Printf Query Semantics String

@@ -1,0 +1,1 @@
+lib/core/embed.mli: Intset Nested Query Semantics

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Array Bottom_up Embed Filter_index Float Format Int Intset Invfile List Logs Minimize Naive Nested Option Printf Query Semantics Storage String Top_down Unix

@@ -1,0 +1,1 @@
+lib/core/engine.mli: Embed Filter_index Format Intset Invfile Nested Query Semantics Top_down

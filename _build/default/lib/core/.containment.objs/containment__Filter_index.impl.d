@@ -1,0 +1,1 @@
+lib/core/filter_index.ml: Array Breadth_bloom Depth_bloom Invfile Nested Option Semantics Storage

@@ -1,0 +1,1 @@
+lib/core/filter_index.mli: Invfile Nested Semantics

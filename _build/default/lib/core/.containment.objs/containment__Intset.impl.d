@@ -1,0 +1,1 @@
+lib/core/intset.ml: Array Int List

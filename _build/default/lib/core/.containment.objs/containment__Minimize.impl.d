@@ -1,0 +1,1 @@
+lib/core/minimize.ml: Array Embed List Nested Semantics

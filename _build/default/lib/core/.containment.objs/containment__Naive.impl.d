@@ -1,0 +1,1 @@
+lib/core/naive.ml: Array Embed Intset Invfile List Nested Semantics

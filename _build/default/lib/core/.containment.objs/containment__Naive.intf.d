@@ -1,0 +1,1 @@
+lib/core/naive.mli: Intset Invfile Query Semantics

@@ -1,0 +1,1 @@
+lib/core/nscql.ml: Embed Engine Format Invfile List Nested Option Printf Semantics String

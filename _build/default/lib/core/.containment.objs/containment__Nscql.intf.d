@@ -1,0 +1,1 @@
+lib/core/nscql.mli: Embed Engine Format Invfile Nested Result Semantics

@@ -1,0 +1,1 @@
+lib/core/parallel.ml: Domain Engine Fun Invfile List Unix

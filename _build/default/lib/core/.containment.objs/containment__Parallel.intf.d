@@ -1,0 +1,1 @@
+lib/core/parallel.mli: Engine Invfile Nested

@@ -1,0 +1,1 @@
+lib/core/query.mli: Format Nested

@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Array Float Format Hashtbl Int Invfile List Query String

@@ -1,0 +1,1 @@
+lib/core/top_down.ml: Array Hashtbl Int Intset Invfile List Matching Option Query Semantics

@@ -1,0 +1,1 @@
+lib/core/top_down.mli: Intset Invfile Query Semantics

@@ -1,0 +1,103 @@
+type t = {
+  data : Bytes.t;
+  nbits : int;
+  hashes : int;
+}
+
+let create ?(hashes = 4) ~bits () =
+  if bits <= 0 then invalid_arg "Bloom.create: bits must be positive";
+  if hashes <= 0 then invalid_arg "Bloom.create: hashes must be positive";
+  let nbytes = (bits + 7) / 8 in
+  { data = Bytes.make nbytes '\000'; nbits = nbytes * 8; hashes }
+
+let optimal ~expected ~fp_rate =
+  if expected <= 0 then invalid_arg "Bloom.optimal: expected must be positive";
+  if fp_rate <= 0. || fp_rate >= 1. then invalid_arg "Bloom.optimal: bad fp_rate";
+  let ln2 = Float.log 2. in
+  let m = Float.of_int expected *. -.Float.log fp_rate /. (ln2 *. ln2) in
+  let bits = max 8 (int_of_float (Float.ceil m)) in
+  let k = max 1 (int_of_float (Float.round (m /. Float.of_int expected *. ln2))) in
+  create ~hashes:k ~bits ()
+
+let bits t = t.nbits
+let hash_count t = t.hashes
+
+(* Double hashing: h_i = h1 + i*h2 (Kirsch-Mitzenmacher). *)
+let base_hashes s =
+  let h1 = Hashtbl.hash s in
+  let h2 = Hashtbl.hash (s ^ "\x00nscq") in
+  (h1, (2 * h2) + 1)
+
+let set_bit t i =
+  let byte = i lsr 3 and bit = i land 7 in
+  Bytes.set t.data byte (Char.chr (Char.code (Bytes.get t.data byte) lor (1 lsl bit)))
+
+let get_bit t i =
+  let byte = i lsr 3 and bit = i land 7 in
+  Char.code (Bytes.get t.data byte) land (1 lsl bit) <> 0
+
+let add t s =
+  let h1, h2 = base_hashes s in
+  for i = 0 to t.hashes - 1 do
+    set_bit t (abs (h1 + (i * h2)) mod t.nbits)
+  done
+
+let mem t s =
+  let h1, h2 = base_hashes s in
+  let rec go i =
+    i >= t.hashes || (get_bit t (abs (h1 + (i * h2)) mod t.nbits) && go (i + 1))
+  in
+  go 0
+
+let check_geometry a b =
+  if a.nbits <> b.nbits || a.hashes <> b.hashes then
+    invalid_arg "Bloom: filter geometry mismatch"
+
+let subset a b =
+  check_geometry a b;
+  let n = Bytes.length a.data in
+  let rec go i =
+    i >= n
+    ||
+    let x = Char.code (Bytes.get a.data i) in
+    x land Char.code (Bytes.get b.data i) = x && go (i + 1)
+  in
+  go 0
+
+let union a b =
+  check_geometry a b;
+  let n = Bytes.length a.data in
+  let data = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.set data i
+      (Char.chr (Char.code (Bytes.get a.data i) lor Char.code (Bytes.get b.data i)))
+  done;
+  { a with data }
+
+let copy t = { t with data = Bytes.copy t.data }
+
+let fill_ratio t =
+  let set = ref 0 in
+  Bytes.iter
+    (fun c ->
+      let x = ref (Char.code c) in
+      while !x <> 0 do
+        set := !set + (!x land 1);
+        x := !x lsr 1
+      done)
+    t.data;
+  Float.of_int !set /. Float.of_int t.nbits
+
+let encode t =
+  let w = Storage.Codec.writer () in
+  Storage.Codec.write_varint w t.hashes;
+  Storage.Codec.write_string w (Bytes.to_string t.data);
+  Storage.Codec.contents w
+
+let decode s =
+  let r = Storage.Codec.reader s in
+  let hashes = Storage.Codec.read_varint r in
+  let data = Bytes.of_string (Storage.Codec.read_string r) in
+  if hashes <= 0 || Bytes.length data = 0 then
+    raise (Storage.Codec.Corrupt "Bloom.decode: bad filter");
+  { data; nbits = Bytes.length data * 8; hashes }

@@ -1,0 +1,38 @@
+(** Plain Bloom filters (paper, Sec. 3.3; Bloom 1970).
+
+    Compact probabilistic set representations supporting membership and —
+    crucial for containment prefiltering — the bitwise subset test: if
+    [subset f g] is false, no set represented by [f] is contained in a set
+    represented by [g]. False positives are possible, false negatives are
+    not. *)
+
+type t
+
+val create : ?hashes:int -> bits:int -> unit -> t
+(** [bits] is rounded up to a multiple of 8; [hashes] defaults to 4. *)
+
+val optimal : expected:int -> fp_rate:float -> t
+(** Sizes the filter for [expected] insertions at the given target false-
+    positive rate (standard [m = -n ln p / (ln 2)²], [k = m/n ln 2]). *)
+
+val bits : t -> int
+val hash_count : t -> int
+
+val add : t -> string -> unit
+val mem : t -> string -> bool
+(** No false negatives; false positives at the configured rate. *)
+
+val subset : t -> t -> bool
+(** [subset a b] — bitwise [a AND b = a]. Filters must have identical
+    geometry. @raise Invalid_argument otherwise. *)
+
+val union : t -> t -> t
+(** Bitwise OR, same geometry required. *)
+
+val copy : t -> t
+val fill_ratio : t -> float
+(** Fraction of set bits. *)
+
+val encode : t -> string
+val decode : string -> t
+(** @raise Storage.Codec.Corrupt on malformed input. *)

@@ -1,0 +1,157 @@
+type stack_item =
+  | Marker  (* the 'S' marker of Fig. 5 *)
+  | Hset of Invfile.Plist.idset
+
+(* The stack either lives in memory or spills to disk (paper Sec. 5.1,
+   assumption (2): "I/O-efficient solutions for stacks, e.g., as available
+   in the open-source STXXL library, can be used off-the-shelf"). *)
+type stack =
+  | In_memory of stack_item Stack.t
+  | External of Storage.Ext_stack.t
+
+let marker_bytes = "M"
+
+let encode_item = function
+  | Marker -> marker_bytes
+  | Hset h -> "H" ^ Invfile.Plist.idset_to_bytes h
+
+let decode_item s =
+  if s = marker_bytes then Marker
+  else Hset (Invfile.Plist.idset_of_bytes (String.sub s 1 (String.length s - 1)))
+
+let push stack item =
+  match stack with
+  | In_memory s -> Stack.push item s
+  | External s -> Storage.Ext_stack.push s (encode_item item)
+
+let pop stack =
+  match stack with
+  | In_memory s -> (try Some (Stack.pop s) with Stack.Empty -> None)
+  | External s -> Option.map decode_item (Storage.Ext_stack.pop s)
+
+(* Does candidate [p] cover the child head sets [lists] under [mode]? *)
+let covers (mode : Semantics.mode) (p : Invfile.Posting.t) lists =
+  match mode.Semantics.cover with
+  | Semantics.Exists_child ->
+    let covers_one =
+      match mode.Semantics.edge with
+      | Semantics.Child -> Invfile.Plist.covers_child
+      | Semantics.Descendant -> Invfile.Plist.covers_descendant
+    in
+    List.for_all (covers_one p) lists
+  | Semantics.Exists_distinct ->
+    (* Admissible distinct representatives among p's internal children. *)
+    let admissible h =
+      Array.to_list p.Invfile.Posting.children
+      |> List.filter (fun c -> Invfile.Plist.idset_mem h c)
+      |> Array.of_list
+    in
+    Matching.has_sdr (List.map admissible lists)
+  | Semantics.All_data_children ->
+    (* Every internal child of p must appear in some child's head set. *)
+    Array.for_all
+      (fun c -> List.exists (fun h -> Invfile.Plist.idset_mem h c) lists)
+      p.Invfile.Posting.children
+
+(* Alg. 4. [stack] is shared across the recursion, exactly as in the
+   paper; each call leaves precisely one Hset on top. [root_filter] applies
+   only at the query root ([at_root]). *)
+let rec interior mode ?root_filter ~at_root inv (n : Query.node) stack =
+  push stack Marker;
+  List.iter (fun c -> interior mode ?root_filter ~at_root:false inv c stack) n.Query.children;
+  let lists =
+    let rec drain acc =
+      match pop stack with
+      | Some Marker -> acc
+      | Some (Hset h) -> drain (h :: acc)
+      | None -> failwith "Bottom_up: stack underflow"
+    in
+    drain []
+  in
+  let early_fail =
+    (* An empty child head set dooms Exists covers (Alg. 4, line 10); the
+       superset cover can still succeed through other children. *)
+    match mode.Semantics.cover with
+    | Semantics.Exists_child | Semantics.Exists_distinct ->
+      List.exists Invfile.Plist.idset_is_empty lists
+    | Semantics.All_data_children -> false
+  in
+  if early_fail then push stack (Hset Invfile.Plist.idset_empty)
+  else begin
+    let candidates = Semantics.candidates mode inv n in
+    let restricted =
+      match root_filter with Some _ when at_root -> true | _ -> false
+    in
+    let candidates =
+      match root_filter with
+      | Some ids when at_root -> Invfile.Plist.restrict candidates ids
+      | _ -> candidates
+    in
+    (* An unconstrained query node (no leaves, no children — e.g. [{}])
+       matches every internal node: share the memoized universal head set
+       instead of materializing the node table each time. *)
+    let unconstrained =
+      (not restricted) && lists = []
+      && candidates == Invfile.Inverted_file.all_nodes inv
+      &&
+      match mode.Semantics.cover with
+      | Semantics.Exists_child | Semantics.Exists_distinct -> true
+      | Semantics.All_data_children -> false
+    in
+    if unconstrained then
+      push stack (Hset (Invfile.Inverted_file.all_nodes_idset inv))
+    else begin
+      (* Small-side optimization: with parent-child edges and at least one
+         child head set, every survivor is the parent of a member of the
+         smallest head set. When that set is much smaller than the candidate
+         list, iterate its parents instead of filtering all candidates —
+         crucial when query nodes carry atoms that occur in most records. *)
+      let survivors =
+        let small_side_applicable =
+          (match mode.Semantics.edge with
+          | Semantics.Child -> true
+          | Semantics.Descendant -> false)
+          &&
+          match mode.Semantics.cover with
+          | Semantics.Exists_child | Semantics.Exists_distinct -> lists <> []
+          | Semantics.All_data_children -> false
+        in
+        let smallest =
+          match lists with
+          | [] -> Invfile.Plist.idset_empty
+          | first :: rest ->
+            List.fold_left
+              (fun acc h ->
+                if Invfile.Plist.idset_cardinal h < Invfile.Plist.idset_cardinal acc
+                then h
+                else acc)
+              first rest
+        in
+        if
+          small_side_applicable
+          && 4 * Invfile.Plist.idset_cardinal smallest < Invfile.Plist.length candidates
+        then
+          Invfile.Plist.idset_parents smallest
+          |> List.filter_map (Invfile.Plist.find candidates)
+          |> List.filter (fun p -> covers mode p lists)
+        else Array.to_list candidates |> List.filter (fun p -> covers mode p lists)
+      in
+      let h = Invfile.Plist.idset_of_postings (Array.of_list survivors) in
+      push stack (Hset h)
+    end
+  end
+
+let run_on_stack mode ?root_filter inv q stack =
+  interior mode ?root_filter ~at_root:true inv q stack;
+  match pop stack with
+  | Some (Hset h) -> Invfile.Plist.idset_nodes h
+  | Some Marker | None -> failwith "Bottom_up: marker left on stack"
+
+let run mode ?root_filter ?spill_to inv q =
+  match spill_to with
+  | None -> run_on_stack mode ?root_filter inv q (In_memory (Stack.create ()))
+  | Some path ->
+    let ext = Storage.Ext_stack.create ~buffer_items:64 path in
+    Fun.protect
+      ~finally:(fun () -> Storage.Ext_stack.close ext)
+      (fun () -> run_on_stack mode ?root_filter inv q (External ext))

@@ -1,0 +1,22 @@
+(** The bottom-up containment algorithm (paper, Sec. 3.2, Alg. 3 and 4).
+
+    Processes the query depth-first with an explicit stack of marker-
+    delimited head sets: the subtree under a query node is evaluated before
+    the node itself, and a candidate node is kept when it covers every
+    child's head set (the [H(·)] operator). Generic over {!Semantics.mode},
+    which supplies the candidate generator, the cover condition (hom / iso /
+    superset) and the edge semantics (child / descendant).
+
+    Worst case O(|q| · |S|), matching the paper's analysis. *)
+
+val run :
+  Semantics.mode -> ?root_filter:Intset.t -> ?spill_to:string ->
+  Invfile.Inverted_file.t -> Query.t -> Intset.t
+(** All node ids of the collection at which the query root embeds, in
+    ascending order ([Engine] narrows these to record roots for the
+    Equation-2 semantics). [root_filter] restricts the query root's
+    candidate list to the given sorted id set, pruning the final head
+    computation (see {!Top_down.run}). [spill_to] runs the stack through
+    {!Storage.Ext_stack} backed by the given file — the paper's STXXL
+    option (Sec. 5.1, assumption (2)) for queries whose intermediate head
+    sets exceed main memory. *)

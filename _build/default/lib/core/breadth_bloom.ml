@@ -1,0 +1,54 @@
+type t = Bloom.t array
+
+let of_value ?(bits_per_level = 256) ?(hashes = 3) ?(max_levels = 8) v =
+  if Nested.Value.is_atom v then invalid_arg "Breadth_bloom.of_value: atom";
+  let d = min max_levels (Nested.Value.depth v) in
+  let filters =
+    Array.init (max 1 d) (fun _ -> Bloom.create ~hashes ~bits:bits_per_level ())
+  in
+  let level_of depth = min depth (Array.length filters - 1) in
+  (* [depth] is the depth of the internal node owning the leaves. *)
+  let rec walk depth v =
+    List.iter
+      (fun e ->
+        match (e : Nested.Value.t) with
+        | Nested.Value.Atom a -> Bloom.add filters.(level_of depth) a
+        | Nested.Value.Set _ -> walk (depth + 1) e)
+      (Nested.Value.elements v)
+  in
+  walk 0 v;
+  filters
+
+let levels = Array.length
+
+let subset_hom ~q ~s =
+  Array.length q <= Array.length s
+  &&
+  let rec go i = i >= Array.length q || (Bloom.subset q.(i) s.(i) && go (i + 1)) in
+  go 0
+
+let subset_homeo ~q ~s =
+  Array.length q <= Array.length s
+  &&
+  (* suffix unions of s, deepest first *)
+  let n = Array.length s in
+  let suffix = Array.make n s.(n - 1) in
+  for i = n - 2 downto 0 do
+    suffix.(i) <- Bloom.union s.(i) suffix.(i + 1)
+  done;
+  let rec go i = i >= Array.length q || (Bloom.subset q.(i) suffix.(i) && go (i + 1)) in
+  go 0
+
+let encode t =
+  let w = Storage.Codec.writer () in
+  Storage.Codec.write_varint w (Array.length t);
+  Array.iter (fun f -> Storage.Codec.write_string w (Bloom.encode f)) t;
+  Storage.Codec.contents w
+
+let decode s =
+  let r = Storage.Codec.reader s in
+  let n = Storage.Codec.read_varint r in
+  Array.init n (fun _ -> Bloom.decode (Storage.Codec.read_string r))
+
+let memory_bytes t =
+  Array.fold_left (fun acc f -> acc + (Bloom.bits f / 8)) 0 t

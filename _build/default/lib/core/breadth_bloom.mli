@@ -1,0 +1,33 @@
+(** Breadth Bloom filters for nested sets (paper Sec. 3.3, after Koloniari &
+    Pitoura's multi-level filters for XML).
+
+    One Bloom filter per nesting level, holding the leaf labels whose parent
+    sits at that depth (levels at or beyond [max_levels] share the last
+    filter, which keeps the test sound). Containment prefiltering:
+
+    - homomorphic embeddings preserve levels, so [q ⊆ s] requires
+      [q.(i) ⊆ s.(i)] bitwise at every level ({!subset_hom});
+    - homeomorphic embeddings may push leaves deeper, so level [i] of the
+      query is tested against the union of levels [≥ i] ({!subset_homeo}).
+
+    A failed test proves non-containment; a passed test means "maybe". *)
+
+type t
+
+val of_value :
+  ?bits_per_level:int -> ?hashes:int -> ?max_levels:int -> Nested.Value.t -> t
+(** Defaults: 256 bits per level, 3 hashes, 8 levels. All filters compared
+    against each other must be built with the same parameters.
+    @raise Invalid_argument on an atom. *)
+
+val levels : t -> int
+(** Number of populated levels (= min (nesting depth, max_levels)). *)
+
+val subset_hom : q:t -> s:t -> bool
+val subset_homeo : q:t -> s:t -> bool
+
+val encode : t -> string
+val decode : string -> t
+
+val memory_bytes : t -> int
+(** Approximate in-memory footprint of the bit arrays. *)

@@ -1,0 +1,40 @@
+type t = {
+  keyed : Bloom.t;  (* (label, depth) pairs *)
+  anywhere : Bloom.t;  (* bare labels *)
+}
+
+let of_value ?(bits = 1024) ?(hashes = 3) ?(max_levels = 8) v =
+  if Nested.Value.is_atom v then invalid_arg "Depth_bloom.of_value: atom";
+  let keyed = Bloom.create ~hashes ~bits () in
+  let anywhere = Bloom.create ~hashes ~bits () in
+  let rec walk depth v =
+    let level = min depth (max_levels - 1) in
+    List.iter
+      (fun e ->
+        match (e : Nested.Value.t) with
+        | Nested.Value.Atom a ->
+          Bloom.add keyed (string_of_int level ^ ":" ^ a);
+          Bloom.add anywhere a
+        | Nested.Value.Set _ -> walk (depth + 1) e)
+      (Nested.Value.elements v)
+  in
+  walk 0 v;
+  { keyed; anywhere }
+
+let subset_hom ~q ~s = Bloom.subset q.keyed s.keyed
+
+let subset_homeo ~q ~s = Bloom.subset q.anywhere s.anywhere
+
+let encode t =
+  let w = Storage.Codec.writer () in
+  Storage.Codec.write_string w (Bloom.encode t.keyed);
+  Storage.Codec.write_string w (Bloom.encode t.anywhere);
+  Storage.Codec.contents w
+
+let decode s =
+  let r = Storage.Codec.reader s in
+  let keyed = Bloom.decode (Storage.Codec.read_string r) in
+  let anywhere = Bloom.decode (Storage.Codec.read_string r) in
+  { keyed; anywhere }
+
+let memory_bytes t = (Bloom.bits t.keyed + Bloom.bits t.anywhere) / 8

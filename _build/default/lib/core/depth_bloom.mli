@@ -1,0 +1,27 @@
+(** Depth Bloom filters for nested sets (paper Sec. 3.3, after Koloniari &
+    Pitoura).
+
+    The original depth filters hash label {e paths}. Nested-set internal
+    nodes are unlabelled, so a root-to-leaf path collapses to the pair
+    (leaf label, depth); this filter hashes those pairs into a single bit
+    array, plus each bare label for depth-agnostic tests. Compared with
+    {!Breadth_bloom} this is one filter instead of one per level — less
+    memory, coarser level separation: the natural ablation pair.
+
+    - {!subset_hom}: bitwise subset of the full filters (label/depth pairs
+      align because homomorphic embeddings preserve levels);
+    - {!subset_homeo}: bitwise subset of the depth-agnostic parts only
+      (necessarily weaker). *)
+
+type t
+
+val of_value : ?bits:int -> ?hashes:int -> ?max_levels:int -> Nested.Value.t -> t
+(** Defaults: 1024 bits, 3 hashes, depths at or beyond 8 collapse together.
+    @raise Invalid_argument on an atom. *)
+
+val subset_hom : q:t -> s:t -> bool
+val subset_homeo : q:t -> s:t -> bool
+
+val encode : t -> string
+val decode : string -> t
+val memory_bytes : t -> int

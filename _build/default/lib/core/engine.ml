@@ -1,0 +1,311 @@
+module IF = Invfile.Inverted_file
+
+let src = Logs.Src.create "nscq.engine" ~doc:"nested-set containment query engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type algorithm =
+  | Top_down
+  | Top_down_paper
+  | Bottom_up
+  | Naive_scan
+  | Signature_scan
+
+type scope = Roots | Anywhere
+
+type config = {
+  algorithm : algorithm;
+  join : Semantics.join;
+  embedding : Semantics.embedding;
+  scope : scope;
+  verify : bool;
+  filter_index : Filter_index.t option;
+  td_order : Top_down.order;
+  streamed : bool;
+  spill_to : string option;
+  preflight : bool;
+  wildcards : bool;
+  minimize : bool;
+}
+
+let default =
+  {
+    algorithm = Bottom_up;
+    join = Semantics.Containment;
+    embedding = Semantics.Hom;
+    scope = Roots;
+    verify = false;
+    filter_index = None;
+    td_order = Top_down.Query_order;
+    streamed = false;
+    spill_to = None;
+    preflight = false;
+    wildcards = false;
+    minimize = false;
+  }
+
+type result = {
+  nodes : Intset.t;
+  records : int list;
+  prefilter_survivors : int option;
+}
+
+let run_algorithm config ?root_filter inv q =
+  let mode () =
+    Semantics.mode_of ~streamed:config.streamed ~wildcards:config.wildcards
+      config.join config.embedding
+  in
+  match config.algorithm with
+  | Top_down -> Top_down.run (mode ()) ?root_filter ~order:config.td_order inv q
+  | Top_down_paper -> Top_down.run_paper (mode ()) ?root_filter inv q
+  | Bottom_up ->
+    Bottom_up.run (mode ()) ?root_filter ?spill_to:config.spill_to inv q
+  | Naive_scan ->
+    let scope = match config.scope with Roots -> `Roots | Anywhere -> `Anywhere in
+    Naive.scan ~wildcards:config.wildcards ~join:config.join
+      ~embedding:config.embedding ~scope inv q
+  | Signature_scan -> (
+    (* Signature-file baseline (cf. the flat-set literature the paper cites,
+       e.g. Helmer & Moerkotte): scan per-record hierarchical signatures,
+       verify survivors with the embedding oracle. Needs a filter index and
+       root scope. *)
+    match config.filter_index, config.scope with
+    | None, _ ->
+      invalid_arg "Engine: Signature_scan needs a filter_index in the config"
+    | Some _, Anywhere ->
+      invalid_arg "Engine: Signature_scan answers root-scope queries only"
+    | Some fi, Roots -> (
+      match
+        Filter_index.candidate_records fi ~join:config.join
+          ~embedding:config.embedding (Query.to_value q)
+      with
+      | None ->
+        raise
+          (Semantics.Unsupported
+             "signature scan: no sound signature test for this join/embedding")
+      | Some candidates ->
+        let roots = IF.roots inv in
+        candidates
+        |> List.filter (fun r ->
+               let tree = IF.record_tree inv r in
+               Embed.at_node config.join config.embedding ~q ~s:tree
+                 tree.Nested.Tree.root)
+        |> List.map (fun r -> roots.(r))
+        |> Intset.of_list))
+
+let verify_node config inv q id =
+  let root = IF.root_of_node inv id in
+  let tree = IF.record_tree inv (IF.record_of_root inv root) in
+  Embed.at_node ~wildcards:config.wildcards config.join config.embedding ~q ~s:tree id
+
+(* Under containment-style joins, every query atom must occur in the
+   collection for any record to match; checking key existence is far
+   cheaper than decoding the posting lists an algorithm would touch. *)
+let preflight_rejects config inv (q : Query.t) =
+  config.preflight
+  && (match config.join with
+     | Semantics.Containment | Semantics.Equality -> true
+     | Semantics.Superset | Semantics.Overlap _ | Semantics.Similarity _ -> false)
+  &&
+  let leaf_exists a =
+    if config.wildcards && Semantics.is_pattern a then
+      (* a pattern's existence would need a range probe; don't reject *)
+      true
+    else IF.mem_atom inv a
+  in
+  let rec atoms_exist (n : Query.node) =
+    Array.for_all leaf_exists n.Query.leaves
+    && List.for_all atoms_exist n.Query.children
+  in
+  not (atoms_exist q)
+
+let query_prepared ?(config = default) inv (q : Query.t) =
+  if preflight_rejects config inv q then
+    { nodes = Intset.empty; records = []; prefilter_survivors = None }
+  else
+  (* Bloom prefilter: restrict to records that might match. *)
+  let allowed, prefilter_survivors =
+    match config.filter_index with
+    | None -> (None, None)
+    | Some fi -> (
+      match
+        Filter_index.candidate_records fi ~join:config.join
+          ~embedding:config.embedding (Query.to_value q)
+      with
+      | None -> (None, None)
+      | Some records ->
+        let roots = IF.roots inv in
+        let set = Intset.of_list (List.map (fun r -> roots.(r)) records) in
+        (Some set, Some (List.length records)))
+  in
+  (* Anchor Equation-2 queries at record roots (intersected with Bloom
+     survivors when a prefilter ran): the index algorithms then never chase
+     heads that cannot be results. The naive scan checks roots directly. *)
+  let root_filter =
+    match config.scope, config.algorithm with
+    | Anywhere, _ | _, Naive_scan -> None
+    | _, Signature_scan -> None
+    | Roots, (Top_down | Top_down_paper | Bottom_up) ->
+      Some
+        (match allowed with
+        | None -> IF.roots inv
+        | Some a -> Intset.inter (IF.roots inv) a)
+  in
+  let t0 = Unix.gettimeofday () in
+  let nodes =
+    match root_filter with
+    | Some f when Intset.is_empty f ->
+      Log.debug (fun m -> m "prefilter eliminated every record; skipping algorithm");
+      Intset.empty
+    | _ -> run_algorithm config ?root_filter inv q
+  in
+  Log.debug (fun m ->
+      m "%s %a/%a: %d candidate node(s) in %.3f ms"
+        (match config.algorithm with
+        | Top_down -> "top-down"
+        | Top_down_paper -> "top-down(paper)"
+        | Bottom_up -> "bottom-up"
+        | Naive_scan -> "naive"
+        | Signature_scan -> "signature-scan")
+        Semantics.pp_join config.join Semantics.pp_embedding config.embedding
+        (Intset.cardinal nodes)
+        (1000. *. (Unix.gettimeofday () -. t0)));
+  (* Scope: Equation 2 keeps only record roots. *)
+  let nodes =
+    match config.scope with
+    | Anywhere -> nodes
+    | Roots -> Array.of_list (List.filter (IF.is_root inv) (Intset.to_list nodes))
+  in
+  let nodes =
+    if config.verify then
+      Array.of_list (List.filter (verify_node config inv q) (Intset.to_list nodes))
+    else nodes
+  in
+  let records =
+    (* records containing at least one matching node *)
+    Intset.to_list nodes
+    |> List.map (fun id -> IF.record_of_root inv (IF.root_of_node inv id))
+    |> List.sort_uniq Int.compare
+  in
+  { nodes; records; prefilter_survivors }
+
+let minimize_applicable config =
+  config.minimize && (not config.wildcards)
+  && (match config.join with Semantics.Containment -> true | _ -> false)
+  &&
+  match config.embedding with
+  | Semantics.Hom | Semantics.Homeo | Semantics.Homeo_full -> true
+  | Semantics.Iso -> false
+
+let query ?(config = default) inv value =
+  let value =
+    if minimize_applicable config then Minimize.minimize value else value
+  in
+  query_prepared ~config inv (Query.of_value value)
+
+let record_values inv result = List.map (IF.record_value inv) result.records
+
+(* Equation 1: the containment join of a whole query collection Q with S. *)
+let containment_join ?config inv queries =
+  List.mapi (fun qi q -> (qi, (query ?config inv q).records)) queries
+
+(* Witnesses: one concrete embedding per matching node. *)
+let witnesses ?(config = default) inv value =
+  let q = Query.of_value value in
+  let r = query_prepared ~config inv q in
+  List.filter_map
+    (fun id ->
+      let record = IF.record_of_root inv (IF.root_of_node inv id) in
+      let tree = IF.record_tree inv record in
+      Option.map
+        (fun w -> (id, w))
+        (Embed.witness ~wildcards:config.wildcards config.join config.embedding ~q
+           ~s:tree id))
+    (Intset.to_list r.nodes)
+
+(* --- explain --- *)
+
+type node_plan = {
+  node_path : string;  (* e.g. "root.2.0" *)
+  leaves : string list;
+  candidate_count : int;
+}
+
+let explain ?(config = default) inv value =
+  let mode =
+    Semantics.mode_of ~streamed:config.streamed ~wildcards:config.wildcards
+      config.join config.embedding
+  in
+  let q = Query.of_value value in
+  let plans = ref [] in
+  let rec walk path (n : Query.node) =
+    let candidates = Semantics.candidates mode inv n in
+    plans :=
+      {
+        node_path = path;
+        leaves = Array.to_list n.Query.leaves;
+        candidate_count = Invfile.Plist.length candidates;
+      }
+      :: !plans;
+    List.iteri (fun i c -> walk (Printf.sprintf "%s.%d" path i) c) n.Query.children
+  in
+  walk "root" q;
+  List.rev !plans
+
+let pp_plan ppf plans =
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%-16s leaves={%s}  candidates=%d@." p.node_path
+        (String.concat ", " p.leaves)
+        p.candidate_count)
+    plans
+
+(* --- workloads --- *)
+
+type workload_stats = {
+  queries : int;
+  results_total : int;
+  positives : int;
+  elapsed_s : float;
+  cache_hits : int;
+  cache_misses : int;
+  io_reads : int;
+  io_bytes_read : int;
+}
+
+let run_workload ?(config = default) inv queries =
+  let lookup0 = IF.lookup_stats inv in
+  let store0 = (IF.store inv).Storage.Kv.stats in
+  let hits0 = Storage.Io_stats.hits lookup0
+  and misses0 = Storage.Io_stats.misses lookup0
+  and reads0 = Storage.Io_stats.reads store0
+  and bytes0 = Storage.Io_stats.bytes_read store0 in
+  let t0 = Unix.gettimeofday () in
+  let results_total = ref 0 and positives = ref 0 in
+  List.iter
+    (fun q ->
+      let r = query ~config inv q in
+      let n = List.length r.records in
+      results_total := !results_total + n;
+      if n > 0 then incr positives)
+    queries;
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  {
+    queries = List.length queries;
+    results_total = !results_total;
+    positives = !positives;
+    elapsed_s;
+    cache_hits = Storage.Io_stats.hits lookup0 - hits0;
+    cache_misses = Storage.Io_stats.misses lookup0 - misses0;
+    io_reads = Storage.Io_stats.reads store0 - reads0;
+    io_bytes_read = Storage.Io_stats.bytes_read store0 - bytes0;
+  }
+
+let pp_workload_stats ppf s =
+  Format.fprintf ppf
+    "%d queries in %.3f ms (%.3f ms/query), %d positives, %d results, cache %d/%d, %d reads (%d B)"
+    s.queries (1000. *. s.elapsed_s)
+    (1000. *. s.elapsed_s /. Float.of_int (max 1 s.queries))
+    s.positives s.results_total s.cache_hits
+    (s.cache_hits + s.cache_misses)
+    s.io_reads s.io_bytes_read

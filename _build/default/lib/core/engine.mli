@@ -1,0 +1,127 @@
+(** The query engine: one entry point over both algorithms, all join types,
+    all embedding semantics, caching, and Bloom prefiltering.
+
+    This is the layer the paper's empirical study scripts against: pick an
+    algorithm and optimizations in {!config}, then run queries or whole
+    workloads against an {!Invfile.Inverted_file.t}. *)
+
+type algorithm =
+  | Top_down  (** Sec. 3.1 — strict (true-embedding) variant *)
+  | Top_down_paper
+      (** Sec. 3.1 exactly as published — path-containment relaxation for
+          branching queries; see {!Top_down.run_paper} *)
+  | Bottom_up  (** Sec. 3.2 *)
+  | Naive_scan  (** Sec. 3, comment (1) — the full-scan baseline *)
+  | Signature_scan
+      (** signature-file baseline from the flat-set literature the paper
+          builds on: scan the per-record hierarchical Bloom signatures
+          ({!Filter_index}, which must be set in the config), verify
+          survivors with the {!Embed} oracle. Root scope only. *)
+
+type scope =
+  | Roots  (** Equation 2: match whole records (root-to-root) — default *)
+  | Anywhere  (** match the query at any internal node *)
+
+type config = {
+  algorithm : algorithm;
+  join : Semantics.join;
+  embedding : Semantics.embedding;
+  scope : scope;
+  verify : bool;
+      (** re-check every reported match with the {!Embed} oracle and drop
+          false positives (exact equality join; belt-and-braces elsewhere) *)
+  filter_index : Filter_index.t option;
+      (** Bloom prefilter (Sec. 3.3), applied before the algorithm runs *)
+  td_order : Top_down.order;
+      (** child-processing order for the strict top-down algorithm *)
+  streamed : bool;
+      (** compute candidate lists straight from their encoded payloads
+          ({!Invfile.Plist_stream}) instead of materializing them — the
+          paper's blocked-I/O option (Sec. 5.1, assumption (1)); bypasses
+          the decoded-list cache *)
+  spill_to : string option;
+      (** run the bottom-up stack through {!Storage.Ext_stack} backed by
+          this file — the paper's STXXL option (Sec. 5.1, assumption (2)) *)
+  preflight : bool;
+      (** short-circuit containment/equality queries containing an atom
+          absent from the collection, with key-existence probes instead of
+          list retrievals (off by default to keep the paper's measured
+          access pattern) *)
+  wildcards : bool;
+      (** interpret trailing-['*'] query leaves as atom-prefix patterns
+          (containment join only; candidate lists become unions over the
+          matching atoms — an ordered range scan on the B+tree backend) *)
+  minimize : bool;
+      (** rewrite the query with {!Minimize} before evaluation — applied
+          only where sound (containment × hom/homeo/homeo-full, without
+          wildcards); a no-op elsewhere *)
+}
+
+val default : config
+(** [Bottom_up], [Containment], [Hom], [Roots], no verification, no
+    prefilter. *)
+
+type result = {
+  nodes : Intset.t;  (** matching node ids (roots only under [Roots]) *)
+  records : int list;  (** matching record ids, ascending *)
+  prefilter_survivors : int option;
+      (** record count that passed the Bloom prefilter, when one ran *)
+}
+
+val query : ?config:config -> Invfile.Inverted_file.t -> Nested.Value.t -> result
+(** Evaluates [q ⋈ S] for one query value.
+    @raise Invalid_argument if the query is an atom.
+    @raise Semantics.Unsupported per {!Semantics.mode_of}. *)
+
+val query_prepared : ?config:config -> Invfile.Inverted_file.t -> Query.t -> result
+
+val record_values : Invfile.Inverted_file.t -> result -> Nested.Value.t list
+(** Materializes the matching records' values. *)
+
+val containment_join :
+  ?config:config -> Invfile.Inverted_file.t -> Nested.Value.t list ->
+  (int * int list) list
+(** Equation 1 of the paper: evaluates [Q ⋈ S] for a whole query
+    collection, returning [(query index, matching record ids)] pairs. *)
+
+val witnesses :
+  ?config:config -> Invfile.Inverted_file.t -> Nested.Value.t ->
+  (int * Embed.witness) list
+(** One concrete embedding per matching node: where each query node lands
+    in the data (computed with the {!Embed} oracle over the reported
+    matches). Not defined for the superset join's inner nodes. *)
+
+(** {1 Explain} *)
+
+type node_plan = {
+  node_path : string;  (** position in the query tree, e.g. ["root.2.0"] *)
+  leaves : string list;
+  candidate_count : int;  (** size of the node's candidate inverted list *)
+}
+
+val explain : ?config:config -> Invfile.Inverted_file.t -> Nested.Value.t -> node_plan list
+(** Per-query-node candidate statistics under the config's join/embedding —
+    the data a cost-based evaluator would use, and a debugging aid. *)
+
+val pp_plan : Format.formatter -> node_plan list -> unit
+
+(** {1 Workloads} *)
+
+type workload_stats = {
+  queries : int;
+  results_total : int;  (** sum of matching record counts *)
+  positives : int;  (** queries with ≥ 1 result *)
+  elapsed_s : float;
+  cache_hits : int;
+  cache_misses : int;
+  io_reads : int;
+  io_bytes_read : int;
+}
+
+val run_workload :
+  ?config:config -> Invfile.Inverted_file.t -> Nested.Value.t list -> workload_stats
+(** Executes the queries sequentially — the paper's unit of measurement
+    (Sec. 5.2: elapsed time of sequentially executing all benchmark
+    queries) — and reports elapsed time plus cache and I/O deltas. *)
+
+val pp_workload_stats : Format.formatter -> workload_stats -> unit

@@ -1,0 +1,135 @@
+type kind = Breadth | Depth
+
+type filters =
+  | B of Breadth_bloom.t array
+  | D of Depth_bloom.t array
+
+type params = { bits : int; hashes : int; max_levels : int }
+
+type t = { filters : filters; params : params }
+
+let kind t = match t.filters with B _ -> Breadth | D _ -> Depth
+
+let build ?(kind = Breadth) ?(bits = 256) ?(hashes = 3) ?(max_levels = 8) inv =
+  let n = Invfile.Inverted_file.record_count inv in
+  let params = { bits; hashes; max_levels } in
+  (* tombstoned records keep a slot (record ids are positional) but get the
+     empty set's filter, which rejects every non-trivial query *)
+  let value_of i =
+    Option.value ~default:Nested.Value.empty
+      (Invfile.Inverted_file.record_value_opt inv i)
+  in
+  let filters =
+    match kind with
+    | Breadth ->
+      B
+        (Array.init n (fun i ->
+             Breadth_bloom.of_value ~bits_per_level:bits ~hashes ~max_levels
+               (value_of i)))
+    | Depth ->
+      D
+        (Array.init n (fun i ->
+             Depth_bloom.of_value ~bits:(bits * 4) ~hashes ~max_levels (value_of i)))
+  in
+  { filters; params }
+
+let query_filter t value =
+  let { bits; hashes; max_levels } = t.params in
+  match t.filters with
+  | B _ -> `B (Breadth_bloom.of_value ~bits_per_level:bits ~hashes ~max_levels value)
+  | D _ -> `D (Depth_bloom.of_value ~bits:(bits * 4) ~hashes ~max_levels value)
+
+let candidate_records t ~join ~embedding value =
+  let test =
+    (* Returns a per-record test, or None when Bloom cannot prune soundly. *)
+    match join with
+    | Semantics.Overlap _ | Semantics.Similarity _ -> None
+    | Semantics.Containment | Semantics.Equality -> (
+      (* iso implies hom, so the hom test is sound for iso too *)
+      let hom_like =
+        match embedding with
+        | Semantics.Homeo | Semantics.Homeo_full -> `Homeo
+        | Semantics.Hom | Semantics.Iso -> `Hom
+      in
+      match query_filter t value, t.filters with
+      | `B qf, B fs ->
+        Some
+          (fun i ->
+            match hom_like with
+            | `Hom -> Breadth_bloom.subset_hom ~q:qf ~s:fs.(i)
+            | `Homeo -> Breadth_bloom.subset_homeo ~q:qf ~s:fs.(i))
+      | `D qf, D fs ->
+        Some
+          (fun i ->
+            match hom_like with
+            | `Hom -> Depth_bloom.subset_hom ~q:qf ~s:fs.(i)
+            | `Homeo -> Depth_bloom.subset_homeo ~q:qf ~s:fs.(i))
+      | _ -> assert false)
+    | Semantics.Superset -> (
+      match embedding with
+      | Semantics.Homeo | Semantics.Homeo_full -> None
+      | Semantics.Hom | Semantics.Iso -> (
+        (* q ⊇ s: the record must be contained in the query. *)
+        match query_filter t value, t.filters with
+        | `B qf, B fs -> Some (fun i -> Breadth_bloom.subset_hom ~q:fs.(i) ~s:qf)
+        | `D qf, D fs -> Some (fun i -> Depth_bloom.subset_hom ~q:fs.(i) ~s:qf)
+        | _ -> assert false))
+  in
+  match test with
+  | None -> None
+  | Some test ->
+    let n = match t.filters with B fs -> Array.length fs | D fs -> Array.length fs in
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      if test i then out := i :: !out
+    done;
+    Some !out
+
+let memory_bytes t =
+  match t.filters with
+  | B fs -> Array.fold_left (fun acc f -> acc + Breadth_bloom.memory_bytes f) 0 fs
+  | D fs -> Array.fold_left (fun acc f -> acc + Depth_bloom.memory_bytes f) 0 fs
+
+let record_count t =
+  match t.filters with B fs -> Array.length fs | D fs -> Array.length fs
+
+(* --- persistence --- *)
+
+let meta_key = "m:filters"
+let filter_key i = "f:" ^ string_of_int i
+
+let save t inv =
+  let store = Invfile.Inverted_file.store inv in
+  let w = Storage.Codec.writer () in
+  Storage.Codec.write_varint w (match kind t with Breadth -> 0 | Depth -> 1);
+  Storage.Codec.write_varint w t.params.bits;
+  Storage.Codec.write_varint w t.params.hashes;
+  Storage.Codec.write_varint w t.params.max_levels;
+  Storage.Codec.write_varint w (record_count t);
+  store.Storage.Kv.put meta_key (Storage.Codec.contents w);
+  (match t.filters with
+  | B fs ->
+    Array.iteri (fun i f -> store.Storage.Kv.put (filter_key i) (Breadth_bloom.encode f)) fs
+  | D fs ->
+    Array.iteri (fun i f -> store.Storage.Kv.put (filter_key i) (Depth_bloom.encode f)) fs);
+  store.Storage.Kv.sync ()
+
+let load inv =
+  let store = Invfile.Inverted_file.store inv in
+  match store.Storage.Kv.get meta_key with
+  | None -> None
+  | Some meta ->
+    let r = Storage.Codec.reader meta in
+    let k = Storage.Codec.read_varint r in
+    let bits = Storage.Codec.read_varint r in
+    let hashes = Storage.Codec.read_varint r in
+    let max_levels = Storage.Codec.read_varint r in
+    let n = Storage.Codec.read_varint r in
+    let payload i = Storage.Kv.find_exn store (filter_key i) in
+    let filters =
+      match k with
+      | 0 -> B (Array.init n (fun i -> Breadth_bloom.decode (payload i)))
+      | 1 -> D (Array.init n (fun i -> Depth_bloom.decode (payload i)))
+      | _ -> raise (Storage.Codec.Corrupt "Filter_index.load: bad kind")
+    in
+    Some { filters; params = { bits; hashes; max_levels } }

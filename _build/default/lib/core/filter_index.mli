@@ -1,0 +1,44 @@
+(** Per-record Bloom prefilter (paper, Sec. 3.3).
+
+    "We can build a Bloom filter [...], place the filter at the root of the
+    tree and do a bitwise comparison between the filters of two trees
+    before descending into their internal structure. If the comparison
+    fails, we know that a containment is not possible."
+
+    The index keeps one hierarchical filter per record in main memory; a
+    query is prefiltered against all of them, yielding the record ids that
+    {e might} contain it. Negative queries are typically rejected without a
+    single inverted-file access. Filters can be persisted into the
+    collection's store and reloaded. *)
+
+type kind = Breadth | Depth
+
+type t
+
+val kind : t -> kind
+
+val build :
+  ?kind:kind -> ?bits:int -> ?hashes:int -> ?max_levels:int ->
+  Invfile.Inverted_file.t -> t
+(** Scans the stored records and builds their filters. Defaults: [Breadth],
+    256 bits (per level for [Breadth], total ×4 for [Depth]), 3 hashes, 8
+    levels. *)
+
+val candidate_records :
+  t -> join:Semantics.join -> embedding:Semantics.embedding ->
+  Nested.Value.t -> int list option
+(** Record ids (ascending) that pass the filter test, or [None] when the
+    join/embedding combination admits no sound Bloom test (ε-overlap; any
+    unsupported combination) — meaning "no pruning, keep all". Containment
+    and equality test query-into-record; superset tests record-into-query. *)
+
+val memory_bytes : t -> int
+val record_count : t -> int
+
+(** {1 Persistence} *)
+
+val save : t -> Invfile.Inverted_file.t -> unit
+(** Stores the filters under reserved keys of the collection's store. *)
+
+val load : Invfile.Inverted_file.t -> t option
+(** [None] if no filters were saved. *)

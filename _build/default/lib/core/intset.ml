@@ -1,0 +1,60 @@
+type t = int array
+
+let empty = [||]
+let is_empty s = Array.length s = 0
+let of_list l = Array.of_list (List.sort_uniq Int.compare l)
+let to_list = Array.to_list
+let cardinal = Array.length
+
+let mem s x =
+  let rec bsearch lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if s.(mid) = x then true
+      else if s.(mid) < x then bsearch (mid + 1) hi
+      else bsearch lo mid
+  in
+  bsearch 0 (Array.length s)
+
+let inter a b =
+  let out = ref [] and i = ref 0 and j = ref 0 in
+  let la = Array.length a and lb = Array.length b in
+  while !i < la && !j < lb do
+    let c = Int.compare a.(!i) b.(!j) in
+    if c = 0 then begin
+      out := a.(!i) :: !out;
+      incr i;
+      incr j
+    end
+    else if c < 0 then incr i
+    else incr j
+  done;
+  Array.of_list (List.rev !out)
+
+let union a b =
+  let out = ref [] and i = ref 0 and j = ref 0 in
+  let la = Array.length a and lb = Array.length b in
+  while !i < la && !j < lb do
+    let c = Int.compare a.(!i) b.(!j) in
+    if c <= 0 then begin
+      out := a.(!i) :: !out;
+      if c = 0 then incr j;
+      incr i
+    end
+    else begin
+      out := b.(!j) :: !out;
+      incr j
+    end
+  done;
+  while !i < la do
+    out := a.(!i) :: !out;
+    incr i
+  done;
+  while !j < lb do
+    out := b.(!j) :: !out;
+    incr j
+  done;
+  Array.of_list (List.rev !out)
+
+let subset a b = Array.for_all (mem b) a

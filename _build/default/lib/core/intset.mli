@@ -1,0 +1,16 @@
+(** Sorted integer-array sets (node-id sets). *)
+
+type t = int array
+(** Strictly increasing. *)
+
+val empty : t
+val is_empty : t -> bool
+val of_list : int list -> t
+(** Sorts and deduplicates. *)
+
+val mem : t -> int -> bool
+val inter : t -> t -> t
+val union : t -> t -> t
+val subset : t -> t -> bool
+val to_list : t -> int list
+val cardinal : t -> int

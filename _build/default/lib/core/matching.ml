@@ -1,0 +1,32 @@
+let has_sdr sets =
+  (* owner: representative value -> index of the set currently using it *)
+  let owner : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let sets = Array.of_list sets in
+  let n = Array.length sets in
+  (* Tries to assign set [i] a representative, stealing via augmenting
+     paths; [visited] guards values already considered in this round. *)
+  let rec try_assign i visited =
+    Array.exists
+      (fun v ->
+        if Hashtbl.mem visited v then false
+        else begin
+          Hashtbl.replace visited v ();
+          match Hashtbl.find_opt owner v with
+          | None ->
+            Hashtbl.replace owner v i;
+            true
+          | Some j ->
+            if try_assign j visited then begin
+              Hashtbl.replace owner v i;
+              true
+            end
+            else false
+        end)
+      sets.(i)
+  in
+  let rec loop i =
+    if i >= n then true
+    else if try_assign i (Hashtbl.create 16) then loop (i + 1)
+    else false
+  in
+  loop 0

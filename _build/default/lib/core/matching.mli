@@ -1,0 +1,12 @@
+(** Bipartite matching for sibling-injective (isomorphic) embeddings.
+
+    The isomorphic semantics requires the internal children of a query node
+    to map to pairwise-distinct internal children of the data node
+    (Sec. 4.2). That is exactly a system of distinct representatives over
+    the per-child admissible sets, decided here by Kuhn's augmenting-path
+    algorithm — replacing the paper's mark-and-backtrack bookkeeping with an
+    equivalent, polynomial formulation (see DESIGN.md). *)
+
+val has_sdr : int array list -> bool
+(** [has_sdr sets] holds when pairwise-distinct representatives can be
+    chosen, one from each set. [has_sdr []] is [true]. *)

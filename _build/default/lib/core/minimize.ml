@@ -1,0 +1,32 @@
+module V = Nested.Value
+
+(* c is subsumed by d when matching d implies matching c: hom(c → d). *)
+let subsumed_by c d = Embed.contains Semantics.Hom ~q:c ~s:d
+
+let rec minimize v =
+  if V.is_atom v then invalid_arg "Minimize.minimize: query must be a set";
+  let leaves = List.filter V.is_atom (V.elements v) in
+  let children = List.map minimize (V.subsets v) in
+  (* children are canonical and sorted; keep child i unless some other
+     surviving child strictly subsumes it (or an earlier one is
+     hom-equivalent to it) *)
+  let arr = Array.of_list children in
+  let n = Array.length arr in
+  let dropped = Array.make n false in
+  for i = 0 to n - 1 do
+    let redundant = ref false in
+    for j = 0 to n - 1 do
+      if (not !redundant) && j <> i && not dropped.(j) then
+        if subsumed_by arr.(i) arr.(j) then
+          if not (subsumed_by arr.(j) arr.(i)) then redundant := true
+          else if j < i then redundant := true (* hom-equivalent: keep first *)
+    done;
+    dropped.(i) <- !redundant
+  done;
+  let kept = ref [] in
+  for i = n - 1 downto 0 do
+    if not dropped.(i) then kept := arr.(i) :: !kept
+  done;
+  V.set (leaves @ !kept)
+
+let is_minimal v = V.equal v (minimize v)

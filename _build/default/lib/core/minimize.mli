@@ -1,0 +1,22 @@
+(** Query minimization by sibling subsumption.
+
+    Under homomorphic semantics a set-valued query child [c] is redundant
+    whenever a sibling [d] is more specific, i.e. there is a homomorphism
+    from [c] into [d]: any data node covering [d] then covers [c] by
+    composition. Removing such children — the classic minimization of tree
+    patterns, adapted to nested sets — shrinks the query without changing
+    its answers under [Hom], [Homeo], and [Homeo_full] containment
+    (a homomorphism composed with any of those embeddings is an embedding
+    of the same kind).
+
+    {e Not} sound for [Iso] (distinct children need distinct images) or for
+    the counting joins; {!Engine} applies it only where valid
+    ([config.minimize]). *)
+
+val minimize : Nested.Value.t -> Nested.Value.t
+(** Bottom-up removal of hom-subsumed siblings; mutually-subsuming
+    (hom-equivalent) children keep their canonically-first representative.
+    Idempotent. @raise Invalid_argument on an atom. *)
+
+val is_minimal : Nested.Value.t -> bool
+(** Whether {!minimize} would leave the value unchanged. *)

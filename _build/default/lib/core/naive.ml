@@ -1,0 +1,32 @@
+let scan ?wildcards ?(join = Semantics.Containment) ?(embedding = Semantics.Hom)
+    ?(scope = `Roots) inv q =
+  let out = ref [] in
+  for record_id = 0 to Invfile.Inverted_file.record_count inv - 1 do
+    (* tombstoned (deleted) records are skipped by the scan *)
+    match Invfile.Inverted_file.record_value_opt inv record_id with
+    | None -> ()
+    | Some _ -> (
+      let tree = Invfile.Inverted_file.record_tree inv record_id in
+      match scope with
+      | `Roots ->
+        if Embed.at_node ?wildcards join embedding ~q ~s:tree tree.Nested.Tree.root
+        then out := tree.Nested.Tree.root :: !out
+      | `Anywhere ->
+        Array.iter
+          (fun id -> out := id :: !out)
+          (Embed.nodes ?wildcards join embedding ~q ~s:tree))
+  done;
+  Intset.of_list !out
+
+let matching_records ?(join = Semantics.Containment) ?(embedding = Semantics.Hom)
+    inv q =
+  let out = ref [] in
+  for record_id = 0 to Invfile.Inverted_file.record_count inv - 1 do
+    match Invfile.Inverted_file.record_value_opt inv record_id with
+    | None -> ()
+    | Some _ ->
+      let tree = Invfile.Inverted_file.record_tree inv record_id in
+      if Embed.at_node join embedding ~q ~s:tree tree.Nested.Tree.root then
+        out := record_id :: !out
+  done;
+  List.rev !out

@@ -1,0 +1,27 @@
+(** The naive baseline: pairwise embedding checks over a full scan.
+
+    "A naive solution to computing containment of q in S is to apply an
+    off-the-shelf subtree homomorphism algorithm to each pairing (q, s), for
+    s ∈ S" (paper, Sec. 3, comment (1)). Every record is fetched from the
+    store, re-encoded, and checked with {!Embed} — the access pattern the
+    inverted-file algorithms are designed to beat. *)
+
+val scan :
+  ?wildcards:bool ->
+  ?join:Semantics.join ->
+  ?embedding:Semantics.embedding ->
+  ?scope:[ `Roots | `Anywhere ] ->
+  Invfile.Inverted_file.t ->
+  Query.t ->
+  Intset.t
+(** Defaults: [Containment], [Hom], [`Roots]. With [`Roots] the result
+    contains root node ids of matching records (Equation 2); with
+    [`Anywhere], every matching node id. *)
+
+val matching_records :
+  ?join:Semantics.join ->
+  ?embedding:Semantics.embedding ->
+  Invfile.Inverted_file.t ->
+  Query.t ->
+  int list
+(** Record ids whose value contains the query (root-to-root), ascending. *)

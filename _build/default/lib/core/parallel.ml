@@ -1,0 +1,46 @@
+type result = {
+  elapsed_s : float;
+  results_total : int;
+  positives : int;
+}
+
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+
+let slice ~domains i queries =
+  List.filteri (fun j _ -> j mod domains = i) queries
+
+let run_slice open_handle config cache_budget queries () =
+  let inv = open_handle () in
+  Fun.protect
+    ~finally:(fun () -> Invfile.Inverted_file.close inv)
+    (fun () ->
+      if cache_budget > 0 then
+        Invfile.Inverted_file.attach_cache inv
+          (Invfile.Cache.create Invfile.Cache.Static ~capacity:cache_budget);
+      List.fold_left
+        (fun (total, pos) q ->
+          let r = Engine.query ~config inv q in
+          let n = List.length r.Engine.records in
+          (total + n, if n > 0 then pos + 1 else pos))
+        (0, 0) queries)
+
+let run_workload ~domains ~open_handle ?(config = Engine.default)
+    ?(cache_budget = 0) queries =
+  if domains < 1 then invalid_arg "Parallel.run_workload: domains must be ≥ 1";
+  let t0 = Unix.gettimeofday () in
+  let results_total, positives =
+    if domains = 1 then run_slice open_handle config cache_budget queries ()
+    else begin
+      let handles =
+        List.init domains (fun i ->
+            Domain.spawn
+              (run_slice open_handle config cache_budget (slice ~domains i queries)))
+      in
+      List.fold_left
+        (fun (t, p) d ->
+          let t', p' = Domain.join d in
+          (t + t', p + p'))
+        (0, 0) handles
+    end
+  in
+  { elapsed_s = Unix.gettimeofday () -. t0; results_total; positives }

@@ -1,0 +1,33 @@
+type node = {
+  leaves : string array;
+  children : node list;
+  size : int;
+}
+
+type t = node
+
+let rec of_set v =
+  let leaves = Array.of_list (Nested.Value.leaves v) in
+  let children = List.map of_set (Nested.Value.subsets v) in
+  let size = 1 + List.fold_left (fun acc c -> acc + c.size) 0 children in
+  { leaves; children; size }
+
+let of_value v =
+  if Nested.Value.is_atom v then invalid_arg "Query.of_value: query must be a set";
+  of_set v
+
+let rec to_value n =
+  Nested.Value.set
+    (Array.to_list (Array.map Nested.Value.atom n.leaves)
+    @ List.map to_value n.children)
+
+let leaf_label_count n = Array.length n.leaves
+let child_count n = List.length n.children
+let internal_count t = t.size
+
+let rec has_leafless_node n =
+  Array.length n.leaves = 0 || List.exists has_leafless_node n.children
+
+let rec depth n = 1 + List.fold_left (fun acc c -> max acc (depth c)) 0 n.children
+
+let pp ppf t = Nested.Value.pp ppf (to_value t)

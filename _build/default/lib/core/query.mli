@@ -1,0 +1,32 @@
+(** Prepared queries.
+
+    A query is a nested set value compiled into the shape the algorithms
+    traverse: per node, its distinct leaf labels [ℓ(n)] and its internal
+    children [nodes(n)] (paper, Sec. 3). *)
+
+type node = {
+  leaves : string array;  (** sorted, distinct *)
+  children : node list;
+  size : int;  (** internal nodes in this subtree, including the node *)
+}
+
+type t = node
+
+val of_value : Nested.Value.t -> t
+(** @raise Invalid_argument if the value is an atom. *)
+
+val to_value : t -> Nested.Value.t
+
+val leaf_label_count : node -> int
+(** [|ℓ(n)|] — the number of distinct leaf labels of the node. *)
+
+val child_count : node -> int
+val internal_count : t -> int
+
+val has_leafless_node : t -> bool
+(** True when some node has no leaf children — the case the paper's base
+    algorithms exclude and our node-table extension supports (Sec. 3,
+    comment (2)). *)
+
+val depth : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,237 @@
+type join = Containment | Equality | Superset | Overlap of int | Similarity of float
+
+type embedding = Hom | Iso | Homeo | Homeo_full
+
+type cover = Exists_child | Exists_distinct | All_data_children
+
+type edge = Child | Descendant
+
+type mode = {
+  gen : Invfile.Inverted_file.t -> Query.node -> Invfile.Plist.t;
+  cover : cover;
+  edge : edge;
+}
+
+exception Unsupported of string
+
+let lookup_all inv (n : Query.node) =
+  Array.to_list (Array.map (Invfile.Inverted_file.lookup inv) n.Query.leaves)
+
+(* Raw encoded payloads for streamed (blocked) processing; absent atoms
+   contribute an empty encoded list. *)
+let lookup_all_raw inv (n : Query.node) =
+  Array.to_list
+    (Array.map
+       (fun a ->
+         match Invfile.Inverted_file.lookup_raw inv a with
+         | Some payload -> payload
+         | None -> Invfile.Plist.to_bytes Invfile.Plist.empty)
+       n.Query.leaves)
+
+(* q ⊆ s: the node must contain every leaf label of n — the intersection of
+   Alg. 2 line 8. A node with no leaf labels constrains nothing, so its
+   candidates are the whole node table (our extension; see DESIGN.md). *)
+let containment_gen inv (n : Query.node) =
+  if Array.length n.Query.leaves = 0 then Invfile.Inverted_file.all_nodes inv
+  else Invfile.Plist.inter_many (lookup_all inv n)
+
+(* Fully-homeomorphic candidates: nodes whose *subtree* contains every leaf
+   label of n --- the ancestor-or-self closure of each leaf's postings,
+   intersected (paper, footnote 4). Parent chains are resolved against the
+   node table. *)
+let subtree_containment_gen inv (n : Query.node) =
+  if Array.length n.Query.leaves = 0 then Invfile.Inverted_file.all_nodes inv
+  else begin
+    let table = Invfile.Inverted_file.all_nodes inv in
+    let closure l =
+      let ids : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+      let rec up id =
+        if id >= 0 && not (Hashtbl.mem ids id) then begin
+          Hashtbl.replace ids id ();
+          match Invfile.Plist.find table id with
+          | Some q -> up q.Invfile.Posting.parent
+          | None -> ()
+        end
+      in
+      Array.iter (fun p -> up p.Invfile.Posting.node) l;
+      Hashtbl.fold (fun id () acc -> id :: acc) ids []
+      |> List.sort Int.compare
+      |> List.filter_map (Invfile.Plist.find table)
+      |> Array.of_list
+    in
+    Invfile.Plist.inter_many (List.map closure (lookup_all inv n))
+  end
+
+(* Blocked variant (paper Sec. 5.1, assumption (1)): intersect the encoded
+   lists without materializing them. *)
+let containment_gen_streamed inv (n : Query.node) =
+  if Array.length n.Query.leaves = 0 then Invfile.Inverted_file.all_nodes inv
+  else Invfile.Plist_stream.inter_many (lookup_all_raw inv n)
+
+(* q = s strengthens containment with |ℓ(n)| = |ℓ(s)| (Sec. 4.1). We also
+   require equal internal-child counts, which equal canonical sets always
+   satisfy; the paper stores only leaf counts. *)
+let equality_gen inv (n : Query.node) =
+  let child_count = Query.child_count n in
+  Invfile.Plist.filter
+    (fun p -> Array.length p.Invfile.Posting.children = child_count)
+    (Invfile.Plist.filter_leaf_count_eq
+       (Query.leaf_label_count n)
+       (containment_gen inv n))
+
+(* q ⊇ s: keep nodes all of whose leaves are among ℓ(n) — multiset union
+   with multiplicity = leaf count (Sec. 4.1). Nodes with no leaves at all
+   qualify vacuously but appear in no inverted list (a gap in the paper's
+   formulation), so they are merged in from the node table. *)
+let superset_gen inv (n : Query.node) =
+  let leafless =
+    Invfile.Plist.filter_leaf_count_eq 0 (Invfile.Inverted_file.all_nodes inv)
+  in
+  if Array.length n.Query.leaves = 0 then leafless
+  else begin
+    let counted = Invfile.Plist.union_with_counts (lookup_all inv n) in
+    let with_leaves =
+      Array.to_list counted
+      |> List.filter_map (fun (p, c) ->
+             if c = p.Invfile.Posting.leaf_count then Some p else None)
+    in
+    (* merge two sorted, disjoint lists *)
+    Invfile.Plist.of_list (with_leaves @ Array.to_list leafless)
+  end
+
+(* Relative overlap: per-node threshold ⌈r·|ℓ(n)|⌉ (with a floor of 1 on
+   nodes that have leaves; leafless nodes are unconstrained). *)
+let similarity_threshold r n =
+  let leaves = Query.leaf_label_count n in
+  if leaves = 0 then 0 else max 1 (int_of_float (Float.ceil (r *. float_of_int leaves)))
+
+(* ε-overlap: keep nodes sharing at least ε leaf values with n (Sec. 4.1). *)
+let overlap_gen eps inv (n : Query.node) =
+  if Array.length n.Query.leaves < eps then Invfile.Plist.empty
+  else begin
+    let counted = Invfile.Plist.union_with_counts (lookup_all inv n) in
+    Array.to_list counted
+    |> List.filter_map (fun (p, c) -> if c >= eps then Some p else None)
+    |> Array.of_list
+  end
+
+let similarity_gen r inv (n : Query.node) =
+  let eps = similarity_threshold r n in
+  if eps = 0 then Invfile.Inverted_file.all_nodes inv else overlap_gen eps inv n
+
+(* Streamed multiset union, for the union-based joins. *)
+let union_with_counts_streamed inv n =
+  Invfile.Plist_stream.union_with_counts (lookup_all_raw inv n)
+
+let superset_gen_streamed inv (n : Query.node) =
+  let leafless =
+    Invfile.Plist.filter_leaf_count_eq 0 (Invfile.Inverted_file.all_nodes inv)
+  in
+  if Array.length n.Query.leaves = 0 then leafless
+  else begin
+    let with_leaves =
+      Array.to_list (union_with_counts_streamed inv n)
+      |> List.filter_map (fun (p, c) ->
+             if c = p.Invfile.Posting.leaf_count then Some p else None)
+    in
+    Invfile.Plist.of_list (with_leaves @ Array.to_list leafless)
+  end
+
+let overlap_gen_streamed eps inv (n : Query.node) =
+  if Array.length n.Query.leaves < eps then Invfile.Plist.empty
+  else
+    Array.to_list (union_with_counts_streamed inv n)
+    |> List.filter_map (fun (p, c) -> if c >= eps then Some p else None)
+    |> Array.of_list
+
+let similarity_gen_streamed r inv (n : Query.node) =
+  let eps = similarity_threshold r n in
+  if eps = 0 then Invfile.Inverted_file.all_nodes inv
+  else overlap_gen_streamed eps inv n
+
+let streamed_of join mode =
+  (* Swap each generator for its streamed version (node-table generators
+     and the equality filter chain are unchanged). *)
+  match join with
+  | Containment -> { mode with gen = containment_gen_streamed }
+  | Superset -> { mode with gen = superset_gen_streamed }
+  | Overlap eps -> { mode with gen = overlap_gen_streamed eps }
+  | Similarity r -> { mode with gen = similarity_gen_streamed r }
+  | Equality -> mode
+
+(* Prefix wildcards: a query leaf ending in '*' matches any atom with that
+   prefix. Its candidate list is the union of the matching atoms' lists. *)
+let is_pattern a = String.length a >= 1 && a.[String.length a - 1] = '*'
+
+let pattern_prefix a = String.sub a 0 (String.length a - 1)
+
+let wildcard_containment_gen inv (n : Query.node) =
+  if Array.length n.Query.leaves = 0 then Invfile.Inverted_file.all_nodes inv
+  else begin
+    let lists =
+      Array.to_list n.Query.leaves
+      |> List.map (fun leaf ->
+             if is_pattern leaf then
+               Invfile.Inverted_file.atoms_with_prefix inv (pattern_prefix leaf)
+               |> List.map (Invfile.Inverted_file.lookup inv)
+               |> List.fold_left Invfile.Plist.union Invfile.Plist.empty
+             else Invfile.Inverted_file.lookup inv leaf)
+    in
+    Invfile.Plist.inter_many lists
+  end
+
+let mode_of ?(streamed = false) ?(wildcards = false) join embedding =
+  (if wildcards then
+     match join with
+     | Containment -> ()
+     | Equality | Superset | Overlap _ | Similarity _ ->
+       raise (Unsupported "wildcards are defined for the containment join only"));
+  let adjust mode =
+    match join with
+    | Containment when wildcards -> { mode with gen = wildcard_containment_gen }
+    | _ when streamed -> streamed_of join mode
+    | _ -> mode
+  in
+  adjust @@
+  let unsupported what = raise (Unsupported what) in
+  match join, embedding with
+  | Containment, Hom -> { gen = containment_gen; cover = Exists_child; edge = Child }
+  | Containment, Iso -> { gen = containment_gen; cover = Exists_distinct; edge = Child }
+  | Containment, Homeo -> { gen = containment_gen; cover = Exists_child; edge = Descendant }
+  | Containment, Homeo_full ->
+    { gen = subtree_containment_gen; cover = Exists_child; edge = Descendant }
+  | (Equality | Superset | Overlap _ | Similarity _), Homeo_full ->
+    unsupported "only the containment join is defined under fully-homeomorphic embedding"
+  | Equality, Hom -> { gen = equality_gen; cover = Exists_child; edge = Child }
+  | Equality, Iso -> { gen = equality_gen; cover = Exists_distinct; edge = Child }
+  | Equality, Homeo -> unsupported "equality join under homeomorphic embedding"
+  | Superset, Hom -> { gen = superset_gen; cover = All_data_children; edge = Child }
+  | Superset, Iso -> unsupported "superset join under isomorphic embedding"
+  | Superset, Homeo -> unsupported "superset join under homeomorphic embedding"
+  | Overlap eps, _ when eps < 1 -> invalid_arg "Semantics.mode_of: ε must be ≥ 1"
+  | Overlap eps, Hom -> { gen = overlap_gen eps; cover = Exists_child; edge = Child }
+  | Overlap eps, Iso -> { gen = overlap_gen eps; cover = Exists_distinct; edge = Child }
+  | Overlap eps, Homeo ->
+    { gen = overlap_gen eps; cover = Exists_child; edge = Descendant }
+  | Similarity r, _ when r <= 0. || r > 1. ->
+    invalid_arg "Semantics.mode_of: similarity ratio must be in (0, 1]"
+  | Similarity r, Hom -> { gen = similarity_gen r; cover = Exists_child; edge = Child }
+  | Similarity r, Iso ->
+    { gen = similarity_gen r; cover = Exists_distinct; edge = Child }
+  | Similarity r, Homeo ->
+    { gen = similarity_gen r; cover = Exists_child; edge = Descendant }
+
+let candidates mode inv n = mode.gen inv n
+
+let pp_join ppf = function
+  | Containment -> Format.pp_print_string ppf "containment"
+  | Equality -> Format.pp_print_string ppf "equality"
+  | Superset -> Format.pp_print_string ppf "superset"
+  | Overlap e -> Format.fprintf ppf "overlap(ε=%d)" e
+  | Similarity r -> Format.fprintf ppf "similarity(r=%.2f)" r
+
+let pp_embedding ppf = function
+  | Hom -> Format.pp_print_string ppf "homomorphic"
+  | Iso -> Format.pp_print_string ppf "isomorphic"
+  | Homeo -> Format.pp_print_string ppf "homeomorphic"
+  | Homeo_full -> Format.pp_print_string ppf "fully-homeomorphic"

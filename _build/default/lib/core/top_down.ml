@@ -1,0 +1,163 @@
+module P = Invfile.Plist
+
+let join_for (mode : Semantics.mode) =
+  match mode.Semantics.edge with
+  | Semantics.Child -> P.join_child
+  | Semantics.Descendant -> P.join_descendant
+
+let covers_for (mode : Semantics.mode) =
+  match mode.Semantics.edge with
+  | Semantics.Child -> P.covers_child
+  | Semantics.Descendant -> P.covers_descendant
+
+(* --- the algorithm as published (Alg. 1 and 2) --- *)
+
+let rec interior_paper mode inv children (paths : P.paths) : Intset.t =
+  if children = [] then P.heads paths (* Alg. 2, lines 1-2 *)
+  else if Array.length paths = 0 then Intset.empty (* lines 3-4 *)
+  else begin
+    let roots = ref (P.heads paths) (* line 6 *) in
+    List.iter
+      (fun (n : Query.node) ->
+        let candidates = Semantics.candidates mode inv n (* line 8 *) in
+        let paths' = join_for mode paths candidates (* line 9 *) in
+        let roots' = interior_paper mode inv n.Query.children paths' (* line 10 *) in
+        roots := Intset.inter !roots roots' (* line 11 *))
+      children;
+    !roots
+  end
+
+let root_candidates mode ?root_filter inv q =
+  let c = Semantics.candidates mode inv q in
+  match root_filter with None -> c | Some ids -> P.restrict c ids
+
+let run_paper mode ?root_filter inv (q : Query.t) =
+  (match mode.Semantics.cover with
+  | Semantics.Exists_child -> ()
+  | Semantics.Exists_distinct | Semantics.All_data_children ->
+    raise
+      (Semantics.Unsupported
+         "top-down (paper variant) is defined for containment-style covers only"));
+  let p0 = P.paths_of_candidates (root_candidates mode ?root_filter inv q) in
+  interior_paper mode inv q.Query.children p0
+
+(* --- strict variant ---
+
+   Sibling results are intersected per path rather than per head: a path
+   (h, m) survives a query child only if m itself (not merely some other
+   match under h) has a child/descendant covering it. *)
+
+let filter_paths pred (paths : P.paths) : P.paths =
+  Array.of_list (List.filter pred (Array.to_list paths))
+
+(* Groups surviving paths by head into idsets of their matched nodes. *)
+let group_heads (paths : P.paths) : (int, P.idset) Hashtbl.t =
+  let acc : (int, Invfile.Posting.t list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun { P.head; cur } ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt acc head) in
+      Hashtbl.replace acc head (cur :: prev))
+    paths;
+  let out = Hashtbl.create (Hashtbl.length acc) in
+  Hashtbl.iter
+    (fun head rev_postings ->
+      (* paths are sorted by (head, node), so reversing restores node order *)
+      Hashtbl.replace out head (P.idset_of_postings (Array.of_list (List.rev rev_postings))))
+    acc;
+  out
+
+type order = Query_order | Selectivity
+
+(* Child processing order: [Selectivity] evaluates every child's candidate
+   list up front and visits the smallest first, so unsatisfiable children
+   empty the path set as early as possible (cf. the paper's Sec. 6 remark
+   on list intersections and skew). *)
+let ordered_children order mode inv (n : Query.node) =
+  match order with
+  | Query_order -> List.map (fun c -> (c, None)) n.Query.children
+  | Selectivity ->
+    n.Query.children
+    |> List.map (fun c ->
+           let cand = Semantics.candidates mode inv c in
+           (c, Some cand))
+    |> List.sort (fun (_, a) (_, b) ->
+           match a, b with
+           | Some a, Some b -> Int.compare (P.length a) (P.length b)
+           | _ -> 0)
+
+(* Keeps the paths of [paths] whose matched node covers the whole subquery
+   below query node [n]; [paths] must already be candidate-matched at [n]. *)
+let rec solve_children order mode inv (n : Query.node) (paths : P.paths) : P.paths =
+  if Array.length paths = 0 then paths
+  else
+    match mode.Semantics.cover with
+    | Semantics.Exists_child ->
+      List.fold_left
+        (fun paths (c, cand) ->
+          if Array.length paths = 0 then paths
+          else begin
+            let ok = solve_child order mode inv c cand paths in
+            let by_head = group_heads ok in
+            filter_paths
+              (fun { P.head; cur } ->
+                match Hashtbl.find_opt by_head head with
+                | None -> false
+                | Some h -> covers_for mode cur h)
+              paths
+          end)
+        paths
+        (ordered_children order mode inv n)
+    | Semantics.Exists_distinct ->
+      let per_child =
+        List.map
+          (fun c -> group_heads (solve_child order mode inv c None paths))
+          n.Query.children
+      in
+      filter_paths
+        (fun { P.head; cur } ->
+          let admissible tbl =
+            match Hashtbl.find_opt tbl head with
+            | None -> [||]
+            | Some h ->
+              Array.to_list cur.Invfile.Posting.children
+              |> List.filter (fun d -> P.idset_mem h d)
+              |> Array.of_list
+          in
+          Matching.has_sdr (List.map admissible per_child))
+        paths
+    | Semantics.All_data_children ->
+      (* Per head, the union of nodes covered by some query child. *)
+      let unions : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+      List.iter
+        (fun c ->
+          Array.iter
+            (fun { P.head; cur } ->
+              let prev = Option.value ~default:[] (Hashtbl.find_opt unions head) in
+              Hashtbl.replace unions head (cur.Invfile.Posting.node :: prev))
+            (solve_child order mode inv c None paths))
+        n.Query.children;
+      let union_sets = Hashtbl.create (Hashtbl.length unions) in
+      Hashtbl.iter (fun h l -> Hashtbl.replace union_sets h (Intset.of_list l)) unions;
+      filter_paths
+        (fun { P.head; cur } ->
+          let covered =
+            match Hashtbl.find_opt union_sets head with
+            | None -> Intset.empty
+            | Some s -> s
+          in
+          Array.for_all (Intset.mem covered) cur.Invfile.Posting.children)
+        paths
+
+(* Matches query child [c] against the frontier of [paths] and solves its
+   subquery, returning the surviving extended paths. [cand] reuses the list
+   computed by the selectivity ordering. *)
+and solve_child order mode inv (c : Query.node) cand (paths : P.paths) : P.paths =
+  let candidates =
+    match cand with Some l -> l | None -> Semantics.candidates mode inv c
+  in
+  let extended = join_for mode paths candidates in
+  solve_children order mode inv c extended
+
+let run mode ?root_filter ?(order = Query_order) inv (q : Query.t) =
+  let p0 = P.paths_of_candidates (root_candidates mode ?root_filter inv q) in
+  P.heads (solve_children order mode inv q p0)

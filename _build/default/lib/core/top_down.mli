@@ -1,0 +1,49 @@
+(** The top-down containment algorithm (paper, Sec. 3.1, Alg. 1 and 2).
+
+    Starts at the outermost nesting level of the query, extending lists of
+    [(head, frontier)] paths through successive [▷◁_IF] joins and
+    intersecting the surviving head sets.
+
+    Two variants are provided.
+
+    {b [run_paper]} is the algorithm exactly as published: the results of
+    sibling subqueries are intersected at the granularity of {e heads}
+    (Alg. 2, line 11). For query nodes at depth ≥ 1 with two or more
+    internal children this admits embeddings in which the children are
+    routed through {e different} matches of their parent — a relaxation of
+    homomorphism we call {e path containment} (every root-to-node path of
+    the query embeds, with branching consistency enforced at the root
+    only). [run_paper q ⊇ run q] always holds, with equality whenever no
+    query node below the root has two or more internal children. See
+    DESIGN.md ("top-down variants") for the worked counterexample.
+
+    {b [run]} is the strict variant: sibling results are intersected per
+    {e path}, so a surviving match covers all of its node's children
+    simultaneously — true homomorphic (/iso-/homeo-morphic) containment,
+    agreeing with {!Bottom_up} and the naive oracle.
+
+    Both run in O(|q| · |S|) as in the paper's analysis. *)
+
+type order =
+  | Query_order  (** children in canonical query order (default) *)
+  | Selectivity
+      (** children by ascending candidate-list size, failing fast on the
+          most selective subquery — the paper's Sec. 6 remark on list
+          intersections under skew *)
+
+val run :
+  Semantics.mode -> ?root_filter:Intset.t -> ?order:order ->
+  Invfile.Inverted_file.t -> Query.t -> Intset.t
+(** Strict variant. Node ids at which the query root embeds, ascending.
+    [root_filter] restricts the candidates of the query {e root} to the
+    given sorted id set — used by {!Engine} to anchor Equation-2 queries at
+    record roots (and at Bloom-prefilter survivors), which prunes every
+    subsequent join. *)
+
+val run_paper :
+  Semantics.mode -> ?root_filter:Intset.t -> Invfile.Inverted_file.t -> Query.t ->
+  Intset.t
+(** The algorithm as published.
+    @raise Semantics.Unsupported for covers other than [Exists_child]
+    (the paper defines the top-down algorithm for containment-style
+    covers only). *)

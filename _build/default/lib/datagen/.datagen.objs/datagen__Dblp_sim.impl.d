@@ -1,0 +1,1 @@
+lib/datagen/dblp_sim.ml: List Nested Printf Random Seq String Textformats Zipf

@@ -1,0 +1,1 @@
+lib/datagen/dblp_sim.mli: Nested Seq Textformats

@@ -1,0 +1,1 @@
+lib/datagen/label_pool.ml: Printf Random String Zipf

@@ -1,0 +1,1 @@
+lib/datagen/label_pool.mli: Random Zipf

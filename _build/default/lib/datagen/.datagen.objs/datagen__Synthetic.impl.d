@@ -1,0 +1,1 @@
+lib/datagen/synthetic.ml: Label_pool List Nested Option Random Seq Zipf

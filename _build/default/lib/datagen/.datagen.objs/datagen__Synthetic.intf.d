@@ -1,0 +1,1 @@
+lib/datagen/synthetic.mli: Label_pool Nested Seq

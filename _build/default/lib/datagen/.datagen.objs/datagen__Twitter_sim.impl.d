@@ -1,0 +1,1 @@
+lib/datagen/twitter_sim.ml: Array Float List Nested Printf Random Seq String Textformats Zipf

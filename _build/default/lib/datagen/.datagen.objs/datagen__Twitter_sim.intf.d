@@ -1,0 +1,1 @@
+lib/datagen/twitter_sim.mli: Nested Seq Textformats

@@ -1,0 +1,1 @@
+lib/datagen/workload.ml: Array Format Invfile List Nested Printf Random

@@ -1,0 +1,1 @@
+lib/datagen/workload.mli: Format Invfile Nested Random

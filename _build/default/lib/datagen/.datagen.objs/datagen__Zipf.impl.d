@@ -1,0 +1,1 @@
+lib/datagen/zipf.ml: Float Hashtbl Random

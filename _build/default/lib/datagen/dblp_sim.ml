@@ -1,0 +1,98 @@
+module X = Textformats.Xml
+
+type gen = {
+  rng : Random.State.t;
+  authors : Zipf.t;
+  venues : Zipf.t;
+  vocabulary : Zipf.t;
+  mutable next_key : int;
+}
+
+let make ?(seed = 42) ?(authors = 20_000) ?(venues = 800) ?(vocabulary = 10_000)
+    ?(theta = 0.7) () =
+  {
+    rng = Random.State.make [| seed; 0xdb19 |];
+    authors = Zipf.create ~n:authors ~theta;
+    venues = Zipf.create ~n:venues ~theta;
+    vocabulary = Zipf.create ~n:vocabulary ~theta;
+    next_key = 1;
+  }
+
+let author_name i = "Author_" ^ string_of_int i
+let venue_name i = "Venue" ^ string_of_int i
+let title_word i = "kw" ^ string_of_int i
+
+let el tag children = X.Element { tag; attrs = []; children }
+let txt s = X.Text s
+
+let article_xml g =
+  let rng = g.rng in
+  let key = g.next_key in
+  g.next_key <- key + 1;
+  let is_journal = Random.State.float rng 1. < 0.55 in
+  let record_tag = if is_journal then "article" else "inproceedings" in
+  let venue_tag = if is_journal then "journal" else "booktitle" in
+  let n_authors = 1 + Random.State.int rng 4 in
+  let authors =
+    List.init n_authors (fun _ -> author_name (Zipf.sample g.authors rng))
+    |> List.sort_uniq String.compare
+  in
+  let n_words = 4 + Random.State.int rng 6 in
+  let title =
+    String.concat " "
+      (List.init n_words (fun _ -> title_word (Zipf.sample g.vocabulary rng)))
+    ^ "."
+  in
+  let venue = venue_name (Zipf.sample g.venues rng) in
+  let year = 1970 + Random.State.int rng 43 in
+  let first_page = 1 + Random.State.int rng 400 in
+  let pages = Printf.sprintf "%d-%d" first_page (first_page + Random.State.int rng 30) in
+  let optional =
+    List.concat
+      [
+        (if is_journal then
+           [ el "volume" [ txt (string_of_int (1 + Random.State.int rng 40)) ] ]
+         else []);
+        (if Random.State.float rng 1. < 0.7 then
+           [ el "ee" [ txt (Printf.sprintf "https://doi.org/10.0/%d" key) ] ]
+         else []);
+      ]
+  in
+  X.Element
+    {
+      tag = record_tag;
+      attrs =
+        [
+          ("key", Printf.sprintf "%s/%s/rec%d" (if is_journal then "journals" else "conf") venue key);
+          ("mdate", Printf.sprintf "20%02d-%02d-%02d" (Random.State.int rng 13)
+             (1 + Random.State.int rng 12) (1 + Random.State.int rng 28));
+        ];
+      children =
+        List.map (fun a -> el "author" [ txt a ]) authors
+        @ [
+            el "title" [ txt title ];
+            el "pages" [ txt pages ];
+            el "year" [ txt (string_of_int year) ];
+            el venue_tag [ txt venue ];
+          ]
+        @ optional;
+    }
+
+let article g = Textformats.Xml_nested.of_xml ~tokenize:true (article_xml g)
+
+let values g count = List.init count (fun _ -> article g)
+
+let seq g count =
+  let rec from i () = if i >= count then Seq.Nil else Seq.Cons (article g, from (i + 1)) in
+  from 0
+
+let author_query ~author =
+  Textformats.Xml_nested.element "author" [ Nested.Value.atom author ]
+  |> fun a -> Nested.Value.set [ a ]
+
+let author_venue_query ~author ~venue =
+  Nested.Value.set
+    [
+      Textformats.Xml_nested.element "author" [ Nested.Value.atom author ];
+      Textformats.Xml_nested.element "journal" [ Nested.Value.atom venue ];
+    ]

@@ -1,0 +1,44 @@
+(** Synthetic DBLP-style XML collection.
+
+    Stand-in for the paper's second real data set — article records from
+    the DBLP Computer Science Bibliography as XML (Sec. 5.1), not available
+    in this environment. The generator reproduces the properties that
+    matter: shallow but heterogeneous records (variable author counts,
+    optional fields, two record types), and a skewed distribution of
+    authors, venues, and title vocabulary — the paper found both real data
+    sets "skewed". See DESIGN.md, system inventory entry 16. *)
+
+type gen
+
+val make :
+  ?seed:int ->
+  ?authors:int ->
+  ?venues:int ->
+  ?vocabulary:int ->
+  ?theta:float ->
+  unit ->
+  gen
+(** Defaults: 20,000 authors, 800 venues, 10,000 title words, θ = 0.7. *)
+
+val article_xml : gen -> Textformats.Xml.t
+(** The next random record — an [<article>] or [<inproceedings>] element
+    in DBLP's layout. *)
+
+val article : gen -> Nested.Value.t
+(** The next record, mapped through {!Textformats.Xml_nested} with
+    [~tokenize:true] (title words become individual atoms). *)
+
+val values : gen -> int -> Nested.Value.t list
+val seq : gen -> int -> Nested.Value.t Seq.t
+
+(** {1 Query helpers} *)
+
+val author_query : author:string -> Nested.Value.t
+(** Pattern matching records with the given author. *)
+
+val author_venue_query : author:string -> venue:string -> Nested.Value.t
+
+val author_name : int -> string
+(** Author of rank [i] (rank 1 = most prolific). *)
+
+val venue_name : int -> string

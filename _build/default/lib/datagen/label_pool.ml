@@ -1,0 +1,28 @@
+type t = { prefix : string; size : int }
+
+let create ?(prefix = "v") size =
+  if size < 1 then invalid_arg "Label_pool.create: size must be ≥ 1";
+  { prefix; size }
+
+let size t = t.size
+
+let label t rank =
+  if rank < 1 || rank > t.size then
+    invalid_arg (Printf.sprintf "Label_pool.label: rank %d of %d" rank t.size);
+  t.prefix ^ string_of_int rank
+
+let rank_of_label t s =
+  let pl = String.length t.prefix in
+  if String.length s > pl && String.sub s 0 pl = t.prefix then
+    match int_of_string_opt (String.sub s pl (String.length s - pl)) with
+    | Some r when r >= 1 && r <= t.size -> Some r
+    | _ -> None
+  else None
+
+let uniform t rng = label t (1 + Random.State.int rng t.size)
+
+let zipf t z rng =
+  if Zipf.n z > t.size then invalid_arg "Label_pool.zipf: sampler exceeds pool";
+  label t (Zipf.sample z rng)
+
+let paper_domain = 10_000_000

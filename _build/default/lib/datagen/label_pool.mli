@@ -1,0 +1,27 @@
+(** Leaf-label universes.
+
+    The paper draws synthetic leaf values from "a fixed domain of 10,000,000
+    labels" (Sec. 5.1). A pool maps ranks (1-based, as produced by uniform
+    or Zipfian draws) to short atom strings; rank 1 is the most frequent
+    label under a skewed draw. *)
+
+type t
+
+val create : ?prefix:string -> int -> t
+(** [create n] is a pool of [n] labels. Default prefix ["v"]. *)
+
+val size : t -> int
+
+val label : t -> int -> string
+(** [label t rank] for [1 ≤ rank ≤ size t] — e.g. ["v17"].
+    @raise Invalid_argument out of range. *)
+
+val rank_of_label : t -> string -> int option
+
+val uniform : t -> Random.State.t -> string
+val zipf : t -> Zipf.t -> Random.State.t -> string
+(** The Zipf sampler's [n] must not exceed the pool size.
+    @raise Invalid_argument otherwise. *)
+
+val paper_domain : int
+(** [10_000_000] — the paper's domain size. *)

@@ -1,0 +1,68 @@
+type shape = Wide | Deep
+
+type params = {
+  max_leaves : int;
+  max_internal : int;
+  stop_probability : float;
+  max_depth : int;
+}
+
+let params_of_shape ?(max_depth = 16) = function
+  | Wide -> { max_leaves = 12; max_internal = 6; stop_probability = 0.8; max_depth }
+  | Deep -> { max_leaves = 2; max_internal = 3; stop_probability = 0.2; max_depth }
+
+type label_dist = Uniform | Zipfian of float
+
+type gen = {
+  rng : Random.State.t;
+  params : params;
+  pool : Label_pool.t;
+  sample_label : Random.State.t -> string;
+}
+
+let make ?(seed = 42) ?pool ~params dist =
+  if params.max_leaves < 1 || params.max_internal < 1 then
+    invalid_arg "Synthetic.make: Table-3 bounds must be ≥ 1";
+  if params.stop_probability < 0. || params.stop_probability > 1. then
+    invalid_arg "Synthetic.make: stopping probability out of [0,1]";
+  if params.max_depth < 1 then invalid_arg "Synthetic.make: max_depth must be ≥ 1";
+  let pool = Option.value ~default:(Label_pool.create 100_000) pool in
+  let sample_label =
+    match dist with
+    | Uniform -> fun rng -> Label_pool.uniform pool rng
+    | Zipfian theta ->
+      let z = Zipf.create ~n:(Label_pool.size pool) ~theta in
+      fun rng -> Label_pool.zipf pool z rng
+  in
+  { rng = Random.State.make [| seed |]; params; pool; sample_label }
+
+let pool g = g.pool
+
+(* One node of the Table-3 process. [depth] counts internal levels from the
+   root (0); at [max_depth - 1] the node takes leaves only. *)
+let rec gen_node g depth =
+  let p = g.params in
+  let n_leaves = 1 + Random.State.int g.rng p.max_leaves in
+  let leaves = List.init n_leaves (fun _ -> Nested.Value.atom (g.sample_label g.rng)) in
+  let stop =
+    depth >= p.max_depth - 1
+    || Random.State.float g.rng 1. < p.stop_probability
+  in
+  let children =
+    if stop then []
+    else begin
+      let n_internal = 1 + Random.State.int g.rng p.max_internal in
+      List.init n_internal (fun _ -> gen_node g (depth + 1))
+    end
+  in
+  Nested.Value.set (leaves @ children)
+
+let value g = gen_node g 0
+
+let values g count = List.init count (fun _ -> value g)
+
+let seq g count =
+  let rec from i () =
+    if i >= count then Seq.Nil else Seq.Cons (value g, from (i + 1))
+  in
+  from 0

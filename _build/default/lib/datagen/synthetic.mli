@@ -1,0 +1,54 @@
+(** Synthetic nested-set generation (paper, Sec. 5.1 and Table 3).
+
+    The paper's process, per nested set: starting at the root, (1) choose a
+    number of leaf children at random and label them; (2) stop extending
+    the node with the stopping probability; (3) otherwise choose a number
+    of internal children at random and recur on each.
+
+    Table 3's parameters:
+
+    {v
+                                   wide sets   deep sets
+      max # of leaves per node        12           2
+      max # of non-leaves per node     6           3
+      stopping probability           0.8         0.2
+    v}
+
+    Deviation (documented in DESIGN.md): the "deep" parameters describe a
+    branching process with mean offspring 0.8 × 2 = 1.6 > 1, which produces
+    unbounded trees with positive probability, so a maximum depth caps the
+    recursion (default 16; nodes at the cap receive leaves only). *)
+
+type shape = Wide | Deep
+
+type params = {
+  max_leaves : int;  (** leaf children drawn uniformly from 1..max *)
+  max_internal : int;  (** internal children drawn uniformly from 1..max *)
+  stop_probability : float;
+  max_depth : int;
+}
+
+val params_of_shape : ?max_depth:int -> shape -> params
+(** Table 3's parameters for the shape. *)
+
+type label_dist =
+  | Uniform
+  | Zipfian of float  (** skew θ, 0 < θ < 1 *)
+
+type gen
+
+val make :
+  ?seed:int -> ?pool:Label_pool.t -> params:params -> label_dist -> gen
+(** Default pool: 100,000 labels (a scaled-down stand-in for the paper's
+    10M — override with [~pool:(Label_pool.create Label_pool.paper_domain)]
+    for full-scale runs). Deterministic for a given seed (default 42). *)
+
+val value : gen -> Nested.Value.t
+(** The next random nested set. *)
+
+val values : gen -> int -> Nested.Value.t list
+
+val seq : gen -> int -> Nested.Value.t Seq.t
+(** Lazily generates [count] sets (for collections too large to hold). *)
+
+val pool : gen -> Label_pool.t

@@ -1,0 +1,120 @@
+module J = Textformats.Json
+
+type gen = {
+  rng : Random.State.t;
+  users : Zipf.t;
+  hashtags : Zipf.t;
+  vocabulary : Zipf.t;
+  mutable next_id : int;
+}
+
+let make ?(seed = 42) ?(users = 5_000) ?(hashtags = 500) ?(vocabulary = 20_000)
+    ?(theta = 0.7) () =
+  {
+    rng = Random.State.make [| seed; 0x7717 |];
+    users = Zipf.create ~n:users ~theta;
+    hashtags = Zipf.create ~n:hashtags ~theta;
+    vocabulary = Zipf.create ~n:vocabulary ~theta;
+    next_id = 1;
+  }
+
+let screen_name i = "user_" ^ string_of_int i
+let hashtag i = "tag" ^ string_of_int i
+let word i = "w" ^ string_of_int i
+
+let month_days = [| 31; 28; 31; 30; 31; 30; 31; 31; 30; 31; 30; 31 |]
+
+let created_at rng =
+  let month = Random.State.int rng 12 in
+  let day = 1 + Random.State.int rng month_days.(month) in
+  Printf.sprintf "2012-%02d-%02dT%02d:%02d:%02dZ" (month + 1) day
+    (Random.State.int rng 24) (Random.State.int rng 60) (Random.State.int rng 60)
+
+let tweet_json g =
+  let rng = g.rng in
+  let id = g.next_id in
+  g.next_id <- id + 1;
+  let user_rank = Zipf.sample g.users rng in
+  let n_words = 3 + Random.State.int rng 10 in
+  let words = List.init n_words (fun _ -> word (Zipf.sample g.vocabulary rng)) in
+  let n_tags = Random.State.int rng 3 in
+  let tags =
+    List.init n_tags (fun _ -> hashtag (Zipf.sample g.hashtags rng))
+    |> List.sort_uniq String.compare
+  in
+  let n_mentions = Random.State.int rng 2 in
+  let mentions =
+    List.init n_mentions (fun _ -> screen_name (Zipf.sample g.users rng))
+    |> List.sort_uniq String.compare
+  in
+  let n_urls = if Random.State.float rng 1. < 0.2 then 1 else 0 in
+  let urls =
+    List.init n_urls (fun _ ->
+        Printf.sprintf "http://t.co/%06x" (Random.State.int rng 0xffffff))
+  in
+  let text =
+    String.concat " "
+      (words
+      @ List.map (fun t -> "#" ^ t) tags
+      @ List.map (fun m -> "@" ^ m) mentions
+      @ urls)
+  in
+  J.Object
+    [
+      ("id", J.Number (Float.of_int id));
+      ("created_at", J.String (created_at rng));
+      ("text", J.String text);
+      ( "user",
+        J.Object
+          [
+            ("id", J.Number (Float.of_int user_rank));
+            ("screen_name", J.String (screen_name user_rank));
+            ( "followers_count",
+              (* popular (low-rank) users have more followers *)
+              J.Number (Float.of_int (1 + (1_000_000 / user_rank))) );
+            ("verified", J.Bool (user_rank <= 20));
+          ] );
+      ( "entities",
+        J.Object
+          [
+            ( "hashtags",
+              J.Array (List.map (fun t -> J.Object [ ("text", J.String t) ]) tags) );
+            ( "urls",
+              J.Array (List.map (fun u -> J.Object [ ("url", J.String u) ]) urls) );
+            ( "user_mentions",
+              J.Array
+                (List.map (fun m -> J.Object [ ("screen_name", J.String m) ]) mentions)
+            );
+          ] );
+      ("retweet_count", J.Number (Float.of_int (Random.State.int rng 100)));
+      ("lang", J.String (if Random.State.float rng 1. < 0.9 then "en" else "pt"));
+    ]
+
+let tweet g = Textformats.Json_nested.of_json (tweet_json g)
+
+let values g count = List.init count (fun _ -> tweet g)
+
+let seq g count =
+  let rec from i () = if i >= count then Seq.Nil else Seq.Cons (tweet g, from (i + 1)) in
+  from 0
+
+let user_query ~screen_name =
+  Textformats.Json_nested.query
+    [
+      ( "user",
+        Textformats.Json_nested.query
+          [ ("screen_name", Nested.Value.atom screen_name) ] );
+    ]
+
+let hashtag_query ~tag =
+  Textformats.Json_nested.query
+    [
+      ( "entities",
+        Textformats.Json_nested.query
+          [
+            ( "hashtags",
+              Nested.Value.set
+                [ Textformats.Json_nested.query [ ("text", Nested.Value.atom tag) ] ]
+            );
+          ] );
+    ]

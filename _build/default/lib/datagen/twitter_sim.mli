@@ -1,0 +1,44 @@
+(** Synthetic Twitter-style JSON collection.
+
+    Stand-in for the paper's first real data set — tweets about a pop idol
+    collected through the Twitter Search API (Sec. 5.1), which is not
+    available in this environment. The generator preserves the properties
+    the experiment exercises: genuinely nested records (user and entity
+    sub-objects, arrays of hashtags/urls/mentions) and a skewed value
+    distribution — "popular users dominate the discussion" — via Zipfian
+    draws of users, hashtags, and text vocabulary. See DESIGN.md, system
+    inventory entry 15. *)
+
+type gen
+
+val make :
+  ?seed:int ->
+  ?users:int ->
+  ?hashtags:int ->
+  ?vocabulary:int ->
+  ?theta:float ->
+  unit ->
+  gen
+(** Defaults: 5,000 users, 500 hashtags, 20,000 words, θ = 0.7. *)
+
+val tweet_json : gen -> Textformats.Json.t
+(** The next random tweet as a JSON object. *)
+
+val tweet : gen -> Nested.Value.t
+(** The next tweet, mapped through {!Textformats.Json_nested}. *)
+
+val values : gen -> int -> Nested.Value.t list
+val seq : gen -> int -> Nested.Value.t Seq.t
+
+(** {1 Query helpers} *)
+
+val user_query : screen_name:string -> Nested.Value.t
+(** Pattern matching tweets by a given user. *)
+
+val hashtag_query : tag:string -> Nested.Value.t
+(** Pattern matching tweets carrying a given hashtag. *)
+
+val screen_name : int -> string
+(** The screen name of user rank [i] (rank 1 = most active). *)
+
+val hashtag : int -> string

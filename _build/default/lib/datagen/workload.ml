@@ -1,0 +1,54 @@
+type query = {
+  value : Nested.Value.t;
+  positive : bool;
+  source_record : int;
+}
+
+(* Inserts [fresh] at internal node number [target] (pre-order). Returns
+   the rewritten value and the number of internal nodes seen. *)
+let rec insert_at v target counter fresh =
+  let my_index = !counter in
+  incr counter;
+  let elems =
+    List.map
+      (fun e ->
+        if Nested.Value.is_set e then insert_at e target counter fresh else e)
+      (Nested.Value.elements v)
+  in
+  let elems =
+    if my_index = target then Nested.Value.atom fresh :: elems else elems
+  in
+  Nested.Value.set elems
+
+let distort rng ~fresh v =
+  let n = Nested.Value.internal_count v in
+  let target = Random.State.int rng (max 1 n) in
+  insert_at v target (ref 0) fresh
+
+let benchmark_queries ?(seed = 42) ?(count = 100) inv =
+  let rng = Random.State.make [| seed; 0xbe9c |] in
+  let n_records = Invfile.Inverted_file.record_count inv in
+  if n_records = 0 then invalid_arg "Workload.benchmark_queries: empty collection";
+  let count = min count n_records in
+  (* Arbitrary selection: distinct record ids via partial shuffle. *)
+  let ids = Array.init n_records (fun i -> i) in
+  for i = 0 to count - 1 do
+    let j = i + Random.State.int rng (n_records - i) in
+    let t = ids.(i) in
+    ids.(i) <- ids.(j);
+    ids.(j) <- t
+  done;
+  List.init count (fun i ->
+      let source_record = ids.(i) in
+      let base = Invfile.Inverted_file.record_value inv source_record in
+      if i land 1 = 0 then { value = base; positive = true; source_record }
+      else
+        let fresh = Printf.sprintf "⊥neg%d" i in
+        { value = distort rng ~fresh base; positive = false; source_record })
+
+let values qs = List.map (fun q -> q.value) qs
+
+let pp_query ppf q =
+  Format.fprintf ppf "[%s from record %d] %a"
+    (if q.positive then "pos" else "neg")
+    q.source_record Nested.Value.pp q.value

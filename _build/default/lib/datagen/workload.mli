@@ -1,0 +1,31 @@
+(** Benchmark query workloads (paper, Sec. 5.1, "Queries").
+
+    "We arbitrarily selected 100 nested sets from each data collection S.
+    We distorted half of the selected queries such that they are not
+    contained in the data collection [...]; this was done by adding a new
+    leaf value to each set which does not appear anywhere else in the
+    database."
+
+    Positive queries are records drawn from the collection itself (each is
+    trivially contained in its source record); negatives get a fresh leaf
+    atom inserted at a uniformly chosen internal node. *)
+
+type query = {
+  value : Nested.Value.t;
+  positive : bool;  (** whether the query should have ≥ 1 result *)
+  source_record : int;
+}
+
+val benchmark_queries :
+  ?seed:int -> ?count:int -> Invfile.Inverted_file.t -> query list
+(** [count] defaults to the paper's 100 (half distorted), capped at the
+    collection size. Fresh negative atoms are of the form ["⊥neg<i>"],
+    which cannot collide with generator or example atoms; callers indexing
+    adversarial data should check {!Invfile.Inverted_file.mem_atom}. *)
+
+val values : query list -> Nested.Value.t list
+
+val distort : Random.State.t -> fresh:string -> Nested.Value.t -> Nested.Value.t
+(** Inserts the fresh atom as a leaf of a uniformly random internal node. *)
+
+val pp_query : Format.formatter -> query -> unit

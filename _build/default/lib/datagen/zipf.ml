@@ -1,0 +1,59 @@
+type t = {
+  n : int;
+  theta : float;
+  alpha : float;
+  zetan : float;
+  eta : float;
+  half_pow_theta : float;
+}
+
+let zeta n theta =
+  let sum = ref 0. in
+  for i = 1 to n do
+    sum := !sum +. (1. /. Float.pow (Float.of_int i) theta)
+  done;
+  !sum
+
+(* Harmonic sums are expensive for large n; memoize per (n, theta). *)
+let zetan_cache : (int * float, float) Hashtbl.t = Hashtbl.create 8
+
+let zetan_memo n theta =
+  match Hashtbl.find_opt zetan_cache (n, theta) with
+  | Some z -> z
+  | None ->
+    let z = zeta n theta in
+    Hashtbl.replace zetan_cache (n, theta) z;
+    z
+
+let create ~n ~theta =
+  if n < 1 then invalid_arg "Zipf.create: n must be ≥ 1";
+  if theta <= 0. || theta >= 1. then invalid_arg "Zipf.create: need 0 < θ < 1";
+  let zetan = zetan_memo n theta in
+  let zeta2 = zeta (min n 2) theta in
+  let alpha = 1. /. (1. -. theta) in
+  let eta =
+    (1. -. Float.pow (2. /. Float.of_int n) (1. -. theta)) /. (1. -. (zeta2 /. zetan))
+  in
+  { n; theta; alpha; zetan; eta; half_pow_theta = Float.pow 0.5 theta }
+
+let n t = t.n
+let theta t = t.theta
+
+(* Gray et al., Algorithm "zipf(n, theta)". *)
+let sample t rng =
+  let u = Random.State.float rng 1. in
+  let uz = u *. t.zetan in
+  if uz < 1. then 1
+  else if uz < 1. +. t.half_pow_theta then 2
+  else
+    let rank =
+      1
+      + int_of_float
+          (Float.of_int t.n
+          *. Float.pow ((t.eta *. u) -. t.eta +. 1.) t.alpha)
+    in
+    if rank > t.n then t.n else if rank < 1 then 1 else rank
+
+let expected_probability t i =
+  if i < 1 || i > t.n then 0.
+  else 1. /. (Float.pow (Float.of_int i) t.theta *. t.zetan)

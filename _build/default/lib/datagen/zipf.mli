@@ -1,0 +1,22 @@
+(** Zipfian sampling (paper, Sec. 5.1; Gray et al., SIGMOD 1994 — the
+    paper's reference [12]).
+
+    Draws ranks from [{1, …, n}] with [P(i) ∝ 1/i^θ], skew [0 < θ < 1] as
+    in the paper (the closer θ is to 1, the greater the skew; the paper's
+    experiments use θ ∈ {0.5, 0.7, 0.9}). Uses Gray et al.'s constant-time
+    approximate inversion after a one-time harmonic-sum precomputation,
+    with samplers memoized per (n, θ). *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** @raise Invalid_argument unless [n ≥ 1] and [0 < theta < 1]. *)
+
+val n : t -> int
+val theta : t -> float
+
+val sample : t -> Random.State.t -> int
+(** A rank in [{1, …, n}]. *)
+
+val expected_probability : t -> int -> float
+(** [P(rank)] under the exact distribution — for tests. *)

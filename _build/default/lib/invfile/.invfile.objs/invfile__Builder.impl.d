@@ -1,0 +1,1 @@
+lib/invfile/builder.ml: Array Dict Hashtbl Int Inverted_file List Nested Option Plist Posting Storage String Value_codec

@@ -1,0 +1,1 @@
+lib/invfile/builder.mli: Inverted_file Nested Plist Storage

@@ -1,0 +1,1 @@
+lib/invfile/cache.ml: Hashtbl Int List Plist String

@@ -1,0 +1,1 @@
+lib/invfile/cache.mli: Plist

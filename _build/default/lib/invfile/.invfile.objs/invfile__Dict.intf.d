@@ -1,0 +1,1 @@
+lib/invfile/dict.mli: Storage

@@ -1,0 +1,1 @@
+lib/invfile/integrity.ml: Array Format Hashtbl Inverted_file List Nested Option Plist Posting Printf Storage String

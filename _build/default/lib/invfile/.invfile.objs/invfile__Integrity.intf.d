@@ -1,0 +1,1 @@
+lib/invfile/integrity.mli: Format Inverted_file

@@ -1,0 +1,1 @@
+lib/invfile/inverted_file.ml: Array Cache Dict List Nested Plist Printf Storage String Value_codec

@@ -1,0 +1,1 @@
+lib/invfile/inverted_file.mli: Cache Dict Nested Plist Storage

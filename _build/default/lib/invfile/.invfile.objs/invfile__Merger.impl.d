@@ -1,0 +1,1 @@
+lib/invfile/merger.ml: Array Inverted_file List Plist Posting Storage String

@@ -1,0 +1,1 @@
+lib/invfile/merger.mli: Inverted_file

@@ -1,0 +1,1 @@
+lib/invfile/plist.ml: Array Char Format Int List Option Posting Storage String

@@ -1,0 +1,1 @@
+lib/invfile/plist.mli: Format Posting Storage

@@ -1,0 +1,1 @@
+lib/invfile/plist_stream.ml: Array Char List Plist Posting Storage

@@ -1,0 +1,1 @@
+lib/invfile/plist_stream.mli: Plist Posting

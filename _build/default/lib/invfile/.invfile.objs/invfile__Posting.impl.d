@@ -1,0 +1,1 @@
+lib/invfile/posting.ml: Array Format Int List Nested Storage String

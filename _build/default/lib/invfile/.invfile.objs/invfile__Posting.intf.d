@@ -1,0 +1,1 @@
+lib/invfile/posting.mli: Format Nested Storage

@@ -1,0 +1,1 @@
+lib/invfile/stats.ml: Float Format Hashtbl Int Inverted_file List Nested Option Plist Storage String

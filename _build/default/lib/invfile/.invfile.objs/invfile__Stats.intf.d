@@ -1,0 +1,1 @@
+lib/invfile/stats.mli: Format Inverted_file

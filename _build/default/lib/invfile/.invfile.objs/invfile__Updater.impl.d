@@ -1,0 +1,1 @@
+lib/invfile/updater.ml: Array Inverted_file List Nested Plist Posting Storage

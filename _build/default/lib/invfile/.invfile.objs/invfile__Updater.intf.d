@@ -1,0 +1,1 @@
+lib/invfile/updater.mli: Inverted_file Nested

@@ -1,0 +1,1 @@
+lib/invfile/value_codec.ml: Dict List Nested Printf Storage String

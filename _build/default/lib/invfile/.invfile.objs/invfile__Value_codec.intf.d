@@ -1,0 +1,1 @@
+lib/invfile/value_codec.mli: Dict Nested

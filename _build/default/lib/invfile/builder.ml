@@ -1,0 +1,111 @@
+type t = {
+  store : Storage.Kv.t;
+  store_values : bool;
+  node_table : bool;
+  codec : Plist.codec;
+  record_format : [ `Syntax | `Binary ];
+  dict : Dict.t;
+  top_k : int;
+  alloc : Nested.Tree.allocator;
+  postings : (string, Posting.t list) Hashtbl.t;  (* reverse-ordered *)
+  mutable all_nodes : Posting.t list;  (* reverse-ordered *)
+  mutable roots : int list;  (* reverse-ordered *)
+  mutable count : int;
+  mutable finished : bool;
+}
+
+let create ?(store_values = true) ?(node_table = true) ?(codec = Plist.Varint)
+    ?(record_format = `Syntax) ?(top_k = 4096) store =
+  store.Storage.Kv.put Inverted_file.meta_recfmt
+    (match record_format with `Syntax -> "S" | `Binary -> "B");
+  {
+    store;
+    store_values;
+    node_table;
+    codec;
+    record_format;
+    dict = Dict.create store;
+    top_k;
+    alloc = Nested.Tree.allocator ();
+    postings = Hashtbl.create 4096;
+    all_nodes = [];
+    roots = [];
+    count = 0;
+    finished = false;
+  }
+
+let record_count t = t.count
+
+let add_value t value =
+  if t.finished then invalid_arg "Builder.add_value: builder already finished";
+  let record_id = t.count in
+  let tree = Nested.Tree.of_value t.alloc ~record_id value in
+  Nested.Tree.iter
+    (fun n ->
+      let p = Posting.of_tree_node n in
+      if t.node_table then t.all_nodes <- p :: t.all_nodes;
+      Array.iter
+        (fun leaf ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt t.postings leaf) in
+          Hashtbl.replace t.postings leaf (p :: prev))
+        n.Nested.Tree.leaves)
+    tree;
+  t.roots <- tree.Nested.Tree.root :: t.roots;
+  if t.store_values then
+    t.store.Storage.Kv.put
+      (Inverted_file.record_key record_id)
+      (match t.record_format with
+      | `Syntax -> Value_codec.encode_syntax value
+      | `Binary -> Value_codec.encode t.dict value);
+  t.count <- t.count + 1;
+  record_id
+
+let add_string t s = add_value t (Nested.Syntax.of_string s)
+
+let finish t =
+  if t.finished then invalid_arg "Builder.finish: builder already finished";
+  t.finished <- true;
+  (* Inverted lists. Postings were appended in DFS order per record and
+     records in id order, so each reversed list is already sorted. *)
+  let freqs = ref [] in
+  Hashtbl.iter
+    (fun atom rev_postings ->
+      let l = Array.of_list (List.rev rev_postings) in
+      freqs := (atom, Array.length l) :: !freqs;
+      t.store.Storage.Kv.put (Inverted_file.atom_key atom)
+        (Plist.to_bytes ~codec:t.codec l))
+    t.postings;
+  Hashtbl.reset t.postings;
+  (* Node table. *)
+  if t.node_table then begin
+    let l = Array.of_list (List.rev t.all_nodes) in
+    Array.sort Posting.compare l;
+    t.store.Storage.Kv.put Inverted_file.meta_nodes (Plist.to_bytes ~codec:t.codec l)
+  end;
+  t.all_nodes <- [];
+  (* Metadata. *)
+  let roots = Array.of_list (List.rev t.roots) in
+  t.store.Storage.Kv.put Inverted_file.meta_roots (Storage.Codec.encode_int_array roots);
+  let w = Storage.Codec.writer () in
+  Storage.Codec.write_varint w (List.length !freqs);
+  Storage.Codec.write_varint w (Nested.Tree.next_id t.alloc);
+  t.store.Storage.Kv.put Inverted_file.meta_counts (Storage.Codec.contents w);
+  (* Top-k frequency table, by descending count then atom. *)
+  let by_freq =
+    List.sort
+      (fun (a1, c1) (a2, c2) ->
+        let c = Int.compare c2 c1 in
+        if c <> 0 then c else String.compare a1 a2)
+      !freqs
+  in
+  let top = List.filteri (fun i _ -> i < t.top_k) by_freq in
+  let w = Storage.Codec.writer () in
+  Storage.Codec.write_varint w (List.length top);
+  List.iter
+    (fun (a, c) ->
+      Storage.Codec.write_string w a;
+      Storage.Codec.write_varint w c)
+    top;
+  t.store.Storage.Kv.put Inverted_file.meta_topk (Storage.Codec.contents w);
+  t.store.Storage.Kv.sync ();
+  Inverted_file.open_store t.store

@@ -1,0 +1,34 @@
+(** Construction of the inverted file.
+
+    Records are added one by one; postings accumulate in memory and are
+    flushed to the backing store by {!finish}. All records of a collection
+    must be encoded by the builder's single allocator so node ids are
+    globally unique and DFS-ordered (see {!Nested.Tree}).
+
+    [store_values] (default [true]) persists each record's value for result
+    materialization and the naive baseline; [node_table] (default [true])
+    persists the posting of every internal node, enabling queries whose
+    nodes have no leaf children. [top_k] (default [4096]) bounds the
+    frequency table persisted for cache preloading. *)
+
+type t
+
+val create :
+  ?store_values:bool -> ?node_table:bool -> ?codec:Plist.codec ->
+  ?record_format:[ `Syntax | `Binary ] -> ?top_k:int -> Storage.Kv.t -> t
+(** [codec] selects the postings payload format (default [Varint]; see
+    {!Plist.codec}); [record_format] the stored-record encoding (default
+    [`Syntax]; [`Binary] is the dictionary-coded form of {!Value_codec}). *)
+
+val add_value : t -> Nested.Value.t -> int
+(** Indexes one record; returns its record id (consecutive from 0).
+    @raise Invalid_argument if the value is an atom, or after {!finish}. *)
+
+val add_string : t -> string -> int
+(** [add_string t s] parses [s] with {!Nested.Syntax} and adds it. *)
+
+val record_count : t -> int
+
+val finish : t -> Inverted_file.t
+(** Flushes postings and metadata and opens the result. The builder cannot
+    be reused afterwards. *)

@@ -1,0 +1,66 @@
+let count_key = "m:dict"
+let atom_key a = "dA:" ^ a
+let id_key id = "dI:" ^ string_of_int id
+
+type t = {
+  store : Storage.Kv.t;
+  by_atom : (string, int) Hashtbl.t;
+  by_id : (int, string) Hashtbl.t;
+  mutable next : int option;  (* lazily loaded allocation cursor *)
+}
+
+let create store =
+  { store; by_atom = Hashtbl.create 256; by_id = Hashtbl.create 256; next = None }
+
+let load_next t =
+  match t.next with
+  | Some n -> n
+  | None ->
+    let n =
+      match t.store.Storage.Kv.get count_key with
+      | None -> 0
+      | Some s -> (
+        match int_of_string_opt s with
+        | Some n -> n
+        | None -> failwith "Dict: corrupt dictionary count")
+    in
+    t.next <- Some n;
+    n
+
+let find t atom =
+  match Hashtbl.find_opt t.by_atom atom with
+  | Some id -> Some id
+  | None -> (
+    match t.store.Storage.Kv.get (atom_key atom) with
+    | None -> None
+    | Some s ->
+      let id = int_of_string s in
+      Hashtbl.replace t.by_atom atom id;
+      Hashtbl.replace t.by_id id atom;
+      Some id)
+
+let intern t atom =
+  match find t atom with
+  | Some id -> id
+  | None ->
+    let id = load_next t in
+    t.store.Storage.Kv.put (atom_key atom) (string_of_int id);
+    t.store.Storage.Kv.put (id_key id) atom;
+    t.next <- Some (id + 1);
+    t.store.Storage.Kv.put count_key (string_of_int (id + 1));
+    Hashtbl.replace t.by_atom atom id;
+    Hashtbl.replace t.by_id id atom;
+    id
+
+let atom_of_id t id =
+  match Hashtbl.find_opt t.by_id id with
+  | Some a -> a
+  | None -> (
+    match t.store.Storage.Kv.get (id_key id) with
+    | None -> raise Not_found
+    | Some a ->
+      Hashtbl.replace t.by_id id a;
+      Hashtbl.replace t.by_atom a id;
+      a)
+
+let size t = load_next t

@@ -1,0 +1,25 @@
+(** Persistent atom dictionary.
+
+    Bidirectional atom ↔ id mapping stored in the collection's store
+    (keys ["dA:"atom] and ["dI:"id], count under ["m:dict"]), with both
+    directions cached in memory after first use. Backs the binary record
+    format of {!Value_codec}: records reference atoms by small integer ids
+    instead of repeating their bytes. Ids are dense, assigned in first-use
+    order, and never reclaimed. *)
+
+type t
+
+val create : Storage.Kv.t -> t
+(** Attaches to a store (existing mappings are discovered lazily). *)
+
+val intern : t -> string -> int
+(** The id of an atom, allocating one if new (persisted immediately). *)
+
+val find : t -> string -> int option
+(** The id of an atom, without allocating. *)
+
+val atom_of_id : t -> int -> string
+(** @raise Not_found for unallocated ids. *)
+
+val size : t -> int
+(** Number of interned atoms. *)

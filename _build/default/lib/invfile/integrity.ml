@@ -1,0 +1,94 @@
+module IF = Inverted_file
+
+type problem = { what : string; detail : string }
+
+let pp_problem ppf p = Format.fprintf ppf "%s: %s" p.what p.detail
+
+let check inv =
+  let problems = ref [] in
+  let report what fmt =
+    Printf.ksprintf (fun detail -> problems := { what; detail } :: !problems) fmt
+  in
+  (* 1. roots ascending, counts sane *)
+  let roots = IF.roots inv in
+  Array.iteri
+    (fun i r ->
+      if i > 0 && roots.(i - 1) >= r then
+        report "roots" "root ids not strictly increasing at index %d" i)
+    roots;
+  if Array.length roots > 0 && roots.(Array.length roots - 1) >= IF.node_count inv
+  then report "roots" "last root beyond the node count";
+  (* 2. expected postings from the stored records *)
+  let expected : (string, Posting.t list) Hashtbl.t = Hashtbl.create 1024 in
+  let expected_nodes = ref [] in
+  let wrong_tree = ref false in
+  for record_id = 0 to IF.record_count inv - 1 do
+    match IF.record_value_opt inv record_id with
+    | None -> ()
+    | Some value -> (
+      match IF.record_tree inv record_id with
+      | exception _ ->
+        wrong_tree := true;
+        report "records" "record %d does not re-encode" record_id
+      | tree ->
+        if tree.Nested.Tree.root <> roots.(record_id) then
+          report "records" "record %d re-encodes at root %d, expected %d" record_id
+            tree.Nested.Tree.root roots.(record_id);
+        ignore value;
+        Nested.Tree.iter
+          (fun n ->
+            let p = Posting.of_tree_node n in
+            expected_nodes := p :: !expected_nodes;
+            Array.iter
+              (fun leaf ->
+                let prev = Option.value ~default:[] (Hashtbl.find_opt expected leaf) in
+                Hashtbl.replace expected leaf (p :: prev))
+              n.Nested.Tree.leaves)
+          tree)
+  done;
+  if not !wrong_tree then begin
+    (* 3. stored lists = expected lists, exactly *)
+    let store = IF.store inv in
+    let seen_atoms = ref 0 in
+    store.Storage.Kv.iter (fun key payload ->
+        if String.length key > 0 && key.[0] = 'a' then begin
+          incr seen_atoms;
+          let atom = String.sub key 1 (String.length key - 1) in
+          match Plist.of_bytes payload with
+          | exception _ -> report "postings" "list of %S does not decode" atom
+          | stored -> (
+            (* sortedness *)
+            Array.iteri
+              (fun i p ->
+                if i > 0 && stored.(i - 1).Posting.node >= p.Posting.node then
+                  report "postings" "list of %S not strictly sorted" atom)
+              stored;
+            match Hashtbl.find_opt expected atom with
+            | None ->
+              report "postings" "phantom list for %S (%d postings)" atom
+                (Array.length stored)
+            | Some rev ->
+              let want = Array.of_list (List.rev rev) in
+              Array.sort Posting.compare want;
+              if stored <> want then
+                report "postings" "list of %S diverges from the records (%d vs %d)"
+                  atom (Array.length stored) (Array.length want);
+              Hashtbl.remove expected atom)
+        end);
+    Hashtbl.iter
+      (fun atom _ -> report "postings" "missing list for %S" atom)
+      expected;
+    if !seen_atoms <> IF.atom_count inv then
+      report "counts" "atom count %d, but %d atom keys stored" (IF.atom_count inv)
+        !seen_atoms;
+    (* 4. node table *)
+    (match IF.all_nodes inv with
+    | exception IF.Malformed _ -> () (* not built: fine *)
+    | table ->
+      let want = Array.of_list !expected_nodes in
+      Array.sort Posting.compare want;
+      if table <> want then
+        report "node table" "table has %d nodes, records imply %d"
+          (Plist.length table) (Array.length want))
+  end;
+  List.rev !problems

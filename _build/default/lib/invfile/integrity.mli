@@ -1,0 +1,21 @@
+(** Collection integrity checking.
+
+    Structural invariants of an inverted file, verified against the stored
+    record values (the ground truth the index is derived from):
+
+    - metadata decodes; roots ascending; counts consistent;
+    - every postings list is strictly sorted with valid intervals;
+    - the inverted lists are {e exactly} the ones a rebuild of each live
+      record would produce (no missing, stale, or phantom postings);
+    - the node table (when present) matches the rebuilt trees;
+    - tombstoned records have no postings.
+
+    Cost is a full scan plus a per-record re-encode — an offline fsck, not
+    a query-path check. *)
+
+type problem = { what : string; detail : string }
+
+val check : Inverted_file.t -> problem list
+(** Empty when the collection is consistent. *)
+
+val pp_problem : Format.formatter -> problem -> unit

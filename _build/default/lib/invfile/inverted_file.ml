@@ -1,0 +1,250 @@
+exception Malformed of string
+
+(* Store key layout. Atom keys get prefix 'a'; metadata lives under "m:".
+   Record values live under "r:<decimal id>". *)
+let atom_key a = "a" ^ a
+let record_key id = "r:" ^ string_of_int id
+let meta_roots = "m:roots"
+let meta_counts = "m:counts"
+let meta_topk = "m:topk"
+let meta_nodes = "m:nodes"
+let meta_recfmt = "m:recfmt"
+
+type t = {
+  store : Storage.Kv.t;
+  dict : Dict.t;
+  mutable roots : int array;
+  mutable atom_count : int;
+  mutable node_count : int;
+  mutable all_nodes : Plist.t option;
+  mutable all_nodes_idset : Plist.idset option;
+  mutable cache : Cache.t option;
+  lookup_stats : Storage.Io_stats.t;
+}
+
+let store t = t.store
+let close t = t.store.Storage.Kv.close ()
+
+let get_meta store key =
+  match store.Storage.Kv.get key with
+  | Some v -> v
+  | None -> raise (Malformed (Printf.sprintf "missing metadata %S" key))
+
+let open_store store =
+  let roots =
+    try Storage.Codec.decode_int_array (get_meta store meta_roots)
+    with Storage.Codec.Corrupt m -> raise (Malformed ("roots: " ^ m))
+  in
+  let atom_count, node_count =
+    let r = Storage.Codec.reader (get_meta store meta_counts) in
+    try
+      let a = Storage.Codec.read_varint r in
+      let n = Storage.Codec.read_varint r in
+      (a, n)
+    with Storage.Codec.Corrupt m -> raise (Malformed ("counts: " ^ m))
+  in
+  {
+    store;
+    dict = Dict.create store;
+    roots;
+    atom_count;
+    node_count;
+    all_nodes = None;
+    all_nodes_idset = None;
+    cache = None;
+    lookup_stats = Storage.Io_stats.create ();
+  }
+
+let lookup_from_store t a =
+  match t.store.Storage.Kv.get (atom_key a) with
+  | None -> Plist.empty
+  | Some payload -> (
+    try Plist.of_bytes payload
+    with Storage.Codec.Corrupt m ->
+      raise (Malformed (Printf.sprintf "postings of %S: %s" a m)))
+
+let lookup t a =
+  match t.cache with
+  | None ->
+    Storage.Io_stats.record_miss t.lookup_stats;
+    lookup_from_store t a
+  | Some c -> (
+    match Cache.find c a with
+    | Some l ->
+      Storage.Io_stats.record_hit t.lookup_stats;
+      l
+    | None ->
+      Storage.Io_stats.record_miss t.lookup_stats;
+      let l = lookup_from_store t a in
+      (* Dynamic policies admit new lists; Static ignores this. *)
+      Cache.insert c a l;
+      l)
+
+let lookup_raw t a =
+  Storage.Io_stats.record_miss t.lookup_stats;
+  t.store.Storage.Kv.get (atom_key a)
+
+let mem_atom t a = Storage.Kv.mem t.store (atom_key a)
+
+let atoms_with_prefix t prefix =
+  let lo = atom_key prefix in
+  let is_prefixed key =
+    String.length key >= String.length lo
+    && String.sub key 0 (String.length lo) = lo
+  in
+  let strip key = String.sub key 1 (String.length key - 1) in
+  (* ordered range scan when the backend supports it; '\xff' caps the range
+     (atom bytes below 0xff; a pathological 0xff-atom falls back below) *)
+  match Storage.Btree_store.range t.store ~lo ~hi:(lo ^ "\xff\xff\xff\xff") with
+  | pairs -> List.filter_map (fun (k, _) -> if is_prefixed k then Some (strip k) else None) pairs
+  | exception Invalid_argument _ ->
+    let out = ref [] in
+    t.store.Storage.Kv.iter (fun k _ -> if is_prefixed k then out := strip k :: !out);
+    List.sort String.compare !out
+
+let all_nodes t =
+  match t.all_nodes with
+  | Some l -> l
+  | None ->
+    let l =
+      match t.store.Storage.Kv.get meta_nodes with
+      | None -> raise (Malformed "node table not built")
+      | Some payload -> Plist.of_bytes payload
+    in
+    t.all_nodes <- Some l;
+    l
+
+let all_nodes_idset t =
+  match t.all_nodes_idset with
+  | Some h -> h
+  | None ->
+    let h = Plist.idset_of_postings (all_nodes t) in
+    t.all_nodes_idset <- Some h;
+    h
+
+let record_count t = Array.length t.roots
+let atom_count t = t.atom_count
+let node_count t = t.node_count
+let roots t = t.roots
+
+(* Index of the last root <= id. *)
+let root_index t id =
+  let n = Array.length t.roots in
+  let rec bsearch lo hi =
+    (* invariant: roots.(lo) <= id, roots.(hi) > id (hi may be n) *)
+    if hi - lo <= 1 then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.roots.(mid) <= id then bsearch mid hi else bsearch lo mid
+  in
+  if n = 0 || id < t.roots.(0) then raise Not_found else bsearch 0 n
+
+let root_of_node t id = t.roots.(root_index t id)
+
+let is_root t id =
+  try root_of_node t id = id with Not_found -> false
+
+let record_of_root t id =
+  let i = root_index t id in
+  if t.roots.(i) = id then i else raise Not_found
+
+let deleted_marker = "\x00deleted"
+
+(* Record payloads: tagged 'S' (syntax) or 'B' (binary, dictionary-coded)
+   via Value_codec; payloads written by older builds carry no tag and are
+   parsed as raw literal syntax. *)
+let decode_record t s =
+  match Value_codec.decode t.dict s with
+  | v -> v
+  | exception Storage.Codec.Corrupt _ when String.length s > 0 && (s.[0] = '{' || s.[0] = '"') ->
+    Nested.Syntax.of_string s
+
+let record_format t =
+  match t.store.Storage.Kv.get meta_recfmt with
+  | Some "B" -> `Binary
+  | Some _ | None -> `Syntax
+
+let encode_record t v =
+  match record_format t with
+  | `Binary -> Value_codec.encode t.dict v
+  | `Syntax -> Value_codec.encode_syntax v
+
+let internal_put_record t record_id v =
+  t.store.Storage.Kv.put (record_key record_id) (encode_record t v)
+
+let dict t = t.dict
+
+let record_value t record_id =
+  match t.store.Storage.Kv.get (record_key record_id) with
+  | None -> raise (Malformed (Printf.sprintf "record %d not stored" record_id))
+  | Some s when s = deleted_marker ->
+    raise (Malformed (Printf.sprintf "record %d was deleted" record_id))
+  | Some s -> decode_record t s
+
+let record_value_opt t record_id =
+  match t.store.Storage.Kv.get (record_key record_id) with
+  | None -> raise (Malformed (Printf.sprintf "record %d not stored" record_id))
+  | Some s when s = deleted_marker -> None
+  | Some s -> Some (decode_record t s)
+
+let iter_records t f =
+  for i = 0 to record_count t - 1 do
+    match record_value_opt t i with
+    | Some v -> f i v
+    | None -> ()
+  done
+
+let top_atoms t =
+  match t.store.Storage.Kv.get meta_topk with
+  | None -> []
+  | Some payload ->
+    let r = Storage.Codec.reader payload in
+    let n = Storage.Codec.read_varint r in
+    let out = ref [] in
+    for _ = 1 to n do
+      let a = Storage.Codec.read_string r in
+      let c = Storage.Codec.read_varint r in
+      out := (a, c) :: !out
+    done;
+    List.rev !out
+
+let attach_cache t c =
+  t.cache <- Some c;
+  if Cache.policy c = Cache.Static then begin
+    let budget = Cache.capacity c in
+    let hot = List.filteri (fun i _ -> i < budget) (top_atoms t) in
+    Cache.preload c (List.map (fun (a, _) -> (a, lookup_from_store t a)) hot)
+  end
+
+let detach_cache t = t.cache <- None
+let cache t = t.cache
+let lookup_stats t = t.lookup_stats
+
+let internal_set_counts t ~roots ~atom_count ~node_count =
+  t.roots <- roots;
+  t.atom_count <- atom_count;
+  t.node_count <- node_count
+
+let internal_invalidate_atom t a =
+  match t.cache with None -> () | Some c -> Cache.remove c a
+
+let internal_reset_node_table t =
+  t.all_nodes <- None;
+  t.all_nodes_idset <- None
+
+let internal_write_meta t =
+  t.store.Storage.Kv.put meta_roots (Storage.Codec.encode_int_array t.roots);
+  let w = Storage.Codec.writer () in
+  Storage.Codec.write_varint w t.atom_count;
+  Storage.Codec.write_varint w t.node_count;
+  t.store.Storage.Kv.put meta_counts (Storage.Codec.contents w)
+
+let record_tree t record_id =
+  let first_id = t.roots.(record_id) in
+  let value = record_value t record_id in
+  Nested.Tree.of_value (Nested.Tree.allocator_from first_id) ~record_id value
+
+let subtree_value t id =
+  let root = root_of_node t id in
+  let tree = record_tree t (record_of_root t root) in
+  Nested.Tree.subtree_value tree id

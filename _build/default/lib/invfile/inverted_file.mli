@@ -1,0 +1,138 @@
+(** The inverted file [S_IF] for a collection of nested sets (paper, Sec. 2).
+
+    The key space is the set of atoms occurring in the collection; the
+    payload of atom [a] is the sorted postings list [S_IF(a)] (see
+    {!Posting}). Alongside the inverted lists the store holds:
+
+    - the record values themselves (for result materialization and the
+      naive baseline's full scan),
+    - the sorted array of record root ids (records are encoded by a shared
+      DFS allocator, so a record's node ids form the contiguous range
+      between consecutive roots),
+    - the node table — the posting of {e every} internal node — used as the
+      candidate list for query nodes with no leaf children, and
+    - the most frequent atoms with their frequencies, used to preload the
+      static cache of Sec. 3.3.
+
+    Use {!Builder} to construct one; [open_store] reopens a persisted one. *)
+
+type t
+
+exception Malformed of string
+
+val open_store : Storage.Kv.t -> t
+(** Attaches to a store populated by {!Builder.finish}.
+    @raise Malformed if the metadata is missing or corrupt. *)
+
+val store : t -> Storage.Kv.t
+val close : t -> unit
+
+(** {1 Lookup} *)
+
+val lookup : t -> string -> Plist.t
+(** [lookup t a] is [S_IF(a)]; the empty list for unknown atoms. Consults
+    the attached cache first; {!lookup_stats} records hits and misses. *)
+
+val lookup_raw : t -> string -> string option
+(** The encoded payload of [S_IF(a)], bypassing the decoded-list cache —
+    the entry point for streamed (blocked) processing, {!Plist_stream}. *)
+
+val all_nodes : t -> Plist.t
+(** The node table, lazily loaded then memoized. *)
+
+val all_nodes_idset : t -> Plist.idset
+(** The node table as a head set, memoized — the "universal" result of an
+    unconstrained query node (e.g. [{}]), shared instead of rebuilt per
+    occurrence. *)
+
+val mem_atom : t -> string -> bool
+
+val atoms_with_prefix : t -> string -> string list
+(** All atoms starting with the given prefix, ascending — an ordered range
+    scan on the B+tree backend, a full key scan elsewhere. Powers
+    prefix-wildcard query leaves ([v1*], {!Engine} [~wildcards]). *)
+
+(** {1 Collection access} *)
+
+val record_count : t -> int
+val atom_count : t -> int
+val node_count : t -> int
+
+val roots : t -> int array
+(** Record root ids, ascending; index in this array = record id. *)
+
+val is_root : t -> int -> bool
+
+val root_of_node : t -> int -> int
+(** The root id of the record containing the given node id. *)
+
+val record_of_root : t -> int -> int
+(** Record id (index) of a root id. @raise Not_found if not a root. *)
+
+val record_value : t -> int -> Nested.Value.t
+(** The stored value of a record, by record id.
+    @raise Malformed if absent (store built without values). *)
+
+val iter_records : t -> (int -> Nested.Value.t -> unit) -> unit
+(** Full scan in record-id order (the naive baseline's access path). *)
+
+val top_atoms : t -> (string * int) list
+(** Most frequent atoms with posting counts, descending, as persisted by the
+    builder. *)
+
+(** {1 Caching (paper Sec. 3.3)} *)
+
+val attach_cache : t -> Cache.t -> unit
+(** Also preloads a [Static] cache with the most frequent atoms' lists. *)
+
+val detach_cache : t -> unit
+val cache : t -> Cache.t option
+
+val lookup_stats : t -> Storage.Io_stats.t
+(** Logical lookup counters: cache hits vs misses (store-level I/O counters
+    live on the store's own {!Storage.Kv.t.stats}). *)
+
+(**/**)
+
+(* Store key layout, shared with {!Builder}. *)
+val atom_key : string -> string
+val record_key : int -> string
+val meta_roots : string
+val meta_counts : string
+val meta_topk : string
+val meta_nodes : string
+val meta_recfmt : string
+val internal_put_record : t -> int -> Nested.Value.t -> unit
+
+(**/**)
+
+val record_tree : t -> int -> Nested.Tree.t
+(** Re-encodes a stored record at its original node-id range (ids are
+    deterministic given the canonical value and the record's first id). *)
+
+val subtree_value : t -> int -> Nested.Value.t
+(** The value of the subtree rooted at an arbitrary node id of the
+    collection. *)
+
+val record_value_opt : t -> int -> Nested.Value.t option
+(** [None] for tombstoned (deleted) records. *)
+
+val record_format : t -> [ `Syntax | `Binary ]
+(** How record values are stored: human-readable literal syntax (default)
+    or the dictionary-coded binary form of {!Value_codec} (chosen at build
+    time, [Builder.create ~record_format]). *)
+
+val dict : t -> Dict.t
+(** The collection's atom dictionary (allocated lazily; empty unless the
+    binary record format is in use). *)
+
+(**/**)
+
+(* Internal hooks for {!Updater}. *)
+val deleted_marker : string
+val internal_set_counts : t -> roots:int array -> atom_count:int -> node_count:int -> unit
+val internal_invalidate_atom : t -> string -> unit
+val internal_reset_node_table : t -> unit
+val internal_write_meta : t -> unit
+
+(**/**)

@@ -1,0 +1,21 @@
+(** Bulk merging of indexed collections.
+
+    [append dst src] rewrites every record of [src] into [dst] so that the
+    result is identical to having built one collection from the
+    concatenation of both inputs. Because node ids are DFS-contiguous, the
+    rewrite is purely mechanical: every id (node, post, parent, children)
+    of [src] shifts by [dst]'s node count, record ids by [dst]'s record
+    count — no tree re-encoding or re-canonicalization is needed.
+
+    This is the reduce step for parallel index construction: build shards
+    independently (e.g. one per domain or input file), then fold them
+    together. Cost is O(|src| postings + records); [dst]'s lists only ever
+    grow at the tail (all shifted ids exceed [dst]'s). *)
+
+val append : dst:Inverted_file.t -> src:Inverted_file.t -> unit
+(** Appends all of [src]'s records to [dst]. Tombstoned [src] records are
+    skipped (their slots are not replicated). [src] is read-only; [dst]'s
+    in-handle state (roots, counts, memoized node table, caches for touched
+    atoms) is kept consistent. Both stores must have been built with a node
+    table, or neither.
+    @raise Inverted_file.Malformed if [src] stores no record values. *)

@@ -1,0 +1,141 @@
+(** Sorted inverted-list algebra.
+
+    All operations of the paper's query processing over inverted lists:
+    intersection (candidate computation, Alg. 2 line 8 / Alg. 4 line 11),
+    multiset union with multiplicities (superset and ε-overlap joins,
+    Sec. 4.1), and the list join [▷◁_IF] (Sec. 2) in its parent–child and
+    ancestor–descendant (Sec. 4.2) variants. Lists are arrays of postings
+    strictly sorted by node id. *)
+
+type t = Posting.t array
+
+val empty : t
+val is_empty : t -> bool
+val length : t -> int
+val of_list : Posting.t list -> t
+(** Sorts and checks for duplicate node ids.
+    @raise Invalid_argument on duplicates. *)
+
+val nodes : t -> int array
+(** The node ids, in ascending order. *)
+
+val mem : t -> int -> bool
+(** Binary search by node id. *)
+
+val find : t -> int -> Posting.t option
+
+(** {1 Set operations (by node id)} *)
+
+val inter : t -> t -> t
+(** Sorted-merge intersection. Payloads are identical for equal node ids. *)
+
+val union : t -> t -> t
+(** Sorted-merge set union (payloads are identical for equal node ids). *)
+
+val inter_many : t list -> t
+(** n-way intersection, smallest lists first; [inter_many []] is
+    [Invalid_argument] (the empty intersection is the full node universe —
+    callers must supply it explicitly, see {!Inverted_file.all_nodes}). *)
+
+val union_with_counts : t list -> (Posting.t * int) array
+(** Multiset union: each node paired with the number of input lists that
+    contain it, ascending by node id. This is the [⊎] of Sec. 4.1 (an atom
+    contributes a node at most once, so multiplicity = number of distinct
+    query leaf values present in the node). *)
+
+(** {1 Filters} *)
+
+val filter : (Posting.t -> bool) -> t -> t
+
+val filter_leaf_count_eq : int -> t -> t
+(** Keeps postings whose node has exactly the given leaf count
+    (set-equality join). *)
+
+val filter_leaf_count_ge : int -> t -> t
+(** Keeps postings whose node has at least the given leaf count. *)
+
+(** {1 Path lists}
+
+    A path records a candidate [head] for the query root together with the
+    posting of the node currently matched, i.e. the pair [(p, C)] of the
+    paper with the head threaded through the [▷◁_IF] joins (validated
+    against the worked example of Sec. 2). *)
+
+type path = { head : int; cur : Posting.t }
+type paths = path array
+
+val paths_of_candidates : t -> paths
+(** Initial path list: each candidate is its own head (Alg. 1, line 1). *)
+
+val heads : paths -> int array
+(** Distinct heads, ascending — the [π₁] of the paper's Sec. 3.1. *)
+
+val join_child : paths -> t -> paths
+(** [join_child p l] is [p ▷◁_IF l]: paths extended to postings of [l]
+    whose node is an internal {e child} of the path's current node. *)
+
+val join_descendant : paths -> t -> paths
+(** Homeomorphic variant: extends to postings whose node is a strict
+    {e descendant} of the path's current node (Sec. 4.2). *)
+
+(** {1 Head sets (bottom-up algorithm)}
+
+    The bottom-up algorithm's stack holds sets [H] of nodes that cover a
+    query subtree (Alg. 4). Elements keep their post rank so the
+    homeomorphic variant can test descendancy. *)
+
+type idset
+(** Sorted-by-id set of (id, post, parent) triples. *)
+
+val idset_empty : idset
+val idset_of_postings : t -> idset
+val idset_nodes : idset -> int array
+
+val idset_parents : idset -> int list
+(** Distinct parent ids of the members (roots excluded), ascending — the
+    candidate parents for the bottom-up small-side optimization. *)
+
+val idset_is_empty : idset -> bool
+val idset_cardinal : idset -> int
+
+val idset_mem : idset -> int -> bool
+
+val covers_child : Posting.t -> idset -> bool
+(** [covers_child p h] holds when some internal child of [p] is in [h] —
+    the condition of the [H()] operator (Alg. 4, line 12). *)
+
+val covers_descendant : Posting.t -> idset -> bool
+(** Homeomorphic variant: some strict descendant of [p] is in [h]. *)
+
+val idset_to_bytes : idset -> string
+val idset_of_bytes : string -> idset
+(** Serialization for externally-spilled head sets (see
+    {!Containment.Bottom_up} with an external stack). *)
+
+val pp : Format.formatter -> t -> unit
+val pp_paths : Format.formatter -> paths -> unit
+
+(** {1 Serialization}
+
+    Payloads are tagged with their format: [Varint] (byte-aligned
+    delta/varint, the default, streamable via {!Plist_stream}) or
+    [Bitpacked] (columnar frame-of-reference bit packing via
+    {!Storage.Bitpack} — smaller on dense lists, decoded wholesale). *)
+
+type codec = Varint | Bitpacked
+
+val encode : Storage.Codec.writer -> t -> unit
+(** Raw (untagged) varint encoding, for embedding in other structures. *)
+
+val decode : Storage.Codec.reader -> t
+
+val to_bytes : ?codec:codec -> t -> string
+val of_bytes : string -> t
+(** Dispatches on the payload tag. @raise Storage.Codec.Corrupt on
+    malformed input. *)
+
+val codec_of_bytes : string -> codec
+
+val restrict : t -> int array -> t
+(** [restrict l ids] keeps the postings whose node is in [ids] (a sorted,
+    strictly increasing array). *)

@@ -1,0 +1,143 @@
+type cursor = {
+  reader : Storage.Codec.reader option;  (* None for in-memory plists *)
+  mutable mem : Plist.t;  (* backing array when reader = None *)
+  mutable mem_pos : int;
+  mutable remaining : int;
+  mutable prev_node : int;
+  mutable lookahead : Posting.t option;
+}
+
+let cursor_of_bytes payload =
+  (match Plist.codec_of_bytes payload with
+  | Plist.Varint -> ()
+  | Plist.Bitpacked ->
+    invalid_arg "Plist_stream.cursor_of_bytes: bitpacked payloads are not streamable");
+  let reader = Storage.Codec.reader payload in
+  let tag = Storage.Codec.read_varint reader in
+  assert (tag = Char.code 'V');
+  let remaining = Storage.Codec.read_varint reader in
+  {
+    reader = Some reader;
+    mem = Plist.empty;
+    mem_pos = 0;
+    remaining;
+    prev_node = -1;
+    lookahead = None;
+  }
+
+let cursor_of_plist l =
+  {
+    reader = None;
+    mem = l;
+    mem_pos = 0;
+    remaining = Plist.length l;
+    prev_node = -1;
+    lookahead = None;
+  }
+
+let remaining c = c.remaining + (match c.lookahead with Some _ -> 1 | None -> 0)
+
+let decode_one c =
+  if c.remaining = 0 then None
+  else begin
+    c.remaining <- c.remaining - 1;
+    match c.reader with
+    | Some r ->
+      let p = Posting.decode r ~prev_node:c.prev_node in
+      c.prev_node <- p.Posting.node;
+      Some p
+    | None ->
+      let p = c.mem.(c.mem_pos) in
+      c.mem_pos <- c.mem_pos + 1;
+      Some p
+  end
+
+let peek c =
+  match c.lookahead with
+  | Some _ as p -> p
+  | None ->
+    let p = decode_one c in
+    c.lookahead <- p;
+    p
+
+let next c =
+  match c.lookahead with
+  | Some p ->
+    c.lookahead <- None;
+    Some p
+  | None -> decode_one c
+
+let rec skip_to c id =
+  match peek c with
+  | None -> None
+  | Some p when p.Posting.node >= id -> Some p
+  | Some _ ->
+    ignore (next c);
+    skip_to c id
+
+(* n-way merge intersection: advance all cursors to a common node id. *)
+let inter_many payloads =
+  if payloads = [] then
+    invalid_arg "Plist_stream.inter_many: empty intersection is the node universe";
+  let cursors = Array.of_list (List.map cursor_of_bytes payloads) in
+  let out = ref [] in
+  let rec align target i =
+    (* Try to bring every cursor to [target]; returns the next candidate
+       target, or None at exhaustion. *)
+    if i = Array.length cursors then Some target
+    else
+      match skip_to cursors.(i) target with
+      | None -> None
+      | Some p when p.Posting.node = target -> align target (i + 1)
+      | Some p -> align_from p.Posting.node
+  and align_from target = align target 0 in
+  let rec loop () =
+    match peek cursors.(0) with
+    | None -> ()
+    | Some p -> (
+      match align_from p.Posting.node with
+      | None -> ()
+      | Some node ->
+        (match peek cursors.(0) with
+        | Some q when q.Posting.node = node -> out := q :: !out
+        | _ -> assert false);
+        Array.iter (fun c -> ignore (next c)) cursors;
+        loop ())
+  in
+  loop ();
+  Array.of_list (List.rev !out)
+
+let union_with_counts payloads =
+  let cursors = List.map cursor_of_bytes payloads in
+  let out = ref [] in
+  let rec loop () =
+    (* smallest head among cursors *)
+    let smallest =
+      List.fold_left
+        (fun acc c ->
+          match peek c, acc with
+          | None, _ -> acc
+          | Some p, None -> Some p.Posting.node
+          | Some p, Some m -> Some (min p.Posting.node m))
+        None cursors
+    in
+    match smallest with
+    | None -> ()
+    | Some node ->
+      let count = ref 0 and posting = ref None in
+      List.iter
+        (fun c ->
+          match peek c with
+          | Some p when p.Posting.node = node ->
+            incr count;
+            posting := Some p;
+            ignore (next c)
+          | _ -> ())
+        cursors;
+      (match !posting with
+      | Some p -> out := (p, !count) :: !out
+      | None -> assert false);
+      loop ()
+  in
+  loop ();
+  Array.of_list (List.rev !out)

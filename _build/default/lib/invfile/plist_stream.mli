@@ -1,0 +1,41 @@
+(** Streamed, blocked processing of encoded inverted lists.
+
+    The paper assumes retrieved inverted lists fit in main memory and notes
+    that "the I/O-efficient blocked approach of Mamoulis for flat sets could
+    easily be used to lift this assumption" (Sec. 5.1, "Other assumptions",
+    (1)). This module is that lifting: cursors decode postings on demand
+    straight from the encoded payload, and the n-way operations work in
+    O(1) memory per input list plus the output.
+
+    Results agree exactly with the materializing {!Plist} operations (a
+    property checked in the test suite). *)
+
+type cursor
+
+val cursor_of_bytes : string -> cursor
+(** A cursor over an encoded postings list (the payload stored under an
+    atom key — see {!Plist.to_bytes}).
+    @raise Invalid_argument on a [Bitpacked] payload (not streamable). *)
+
+val cursor_of_plist : Plist.t -> cursor
+
+val remaining : cursor -> int
+(** Postings not yet consumed. *)
+
+val peek : cursor -> Posting.t option
+val next : cursor -> Posting.t option
+
+val skip_to : cursor -> int -> Posting.t option
+(** [skip_to c id] advances past postings with node id < [id] and peeks the
+    first with node ≥ [id], decoding (not buffering) the skipped prefix. *)
+
+(** {1 Blocked n-way operations} *)
+
+val inter_many : string list -> Plist.t
+(** Streamed intersection of encoded lists — same result as
+    [Plist.inter_many (List.map Plist.of_bytes ls)].
+    @raise Invalid_argument on the empty family. *)
+
+val union_with_counts : string list -> (Posting.t * int) array
+(** Streamed multiset union with multiplicities (cf.
+    {!Plist.union_with_counts}). *)

@@ -1,0 +1,35 @@
+(** Collection statistics.
+
+    Shape and frequency profiles of an indexed collection: the quantities
+    the paper's evaluation narrative refers to (skew of the value
+    distribution, wide vs deep structure) made measurable, plus the inputs
+    a cost-based optimizer would want. *)
+
+type t = {
+  records : int;  (** live records (tombstones excluded) *)
+  atoms : int;  (** distinct atoms *)
+  internal_nodes : int;
+  leaves : int;
+  max_depth : int;  (** nesting depth over live records *)
+  avg_depth : float;
+  avg_fanout : float;  (** internal children per internal node *)
+  avg_leaf_count : float;  (** leaf children per internal node *)
+  distinct_leaf_ratio : float;
+      (** distinct atoms / leaf occurrences — low means skewed/repetitive *)
+  posting_histogram : (int * int) list;
+      (** (2^k bucket upper bound, atom count): distribution of inverted-
+          list lengths, ascending; the long tail of a Zipfian collection
+          shows up here *)
+  depth_histogram : (int * int) list;
+      (** (node depth, internal-node count), ascending *)
+  top_atoms : (string * int) list;  (** most frequent atoms, as persisted *)
+}
+
+val compute : Inverted_file.t -> t
+(** Scans the stored records and the frequency table. O(collection). *)
+
+val skew_estimate : t -> float
+(** Crude skew indicator in [0, 1]: the share of leaf occurrences covered
+    by the 1% most frequent atoms (0 when the frequency table is absent). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,107 @@
+module IF = Inverted_file
+
+(* Read-modify-write of one atom's postings list; returns the change in
+   the number of live atoms (-1 when the list vanished, +1 when it was
+   created, 0 otherwise). *)
+let update_list inv atom f =
+  let store = IF.store inv in
+  let key = IF.atom_key atom in
+  let codec = ref Plist.Varint in
+  let existed = ref false in
+  let current =
+    match store.Storage.Kv.get key with
+    | None -> Plist.empty
+    | Some payload ->
+      existed := true;
+      codec := Plist.codec_of_bytes payload;
+      Plist.of_bytes payload
+  in
+  let updated = f current in
+  IF.internal_invalidate_atom inv atom;
+  if Plist.is_empty updated then begin
+    ignore (store.Storage.Kv.delete key);
+    if !existed then -1 else 0
+  end
+  else begin
+    store.Storage.Kv.put key (Plist.to_bytes ~codec:!codec updated);
+    if !existed then 0 else 1
+  end
+
+let update_node_table inv f =
+  let store = IF.store inv in
+  match store.Storage.Kv.get IF.meta_nodes with
+  | None -> () (* node table was not built for this collection *)
+  | Some payload ->
+    let codec = Plist.codec_of_bytes payload in
+    store.Storage.Kv.put IF.meta_nodes
+      (Plist.to_bytes ~codec (f (Plist.of_bytes payload)));
+    IF.internal_reset_node_table inv
+
+let append_posting l p = Array.append l [| p |]
+
+let add_value inv value =
+  if Nested.Value.is_atom value then
+    invalid_arg "Updater.add_value: record value must be a set";
+  let record_id = IF.record_count inv in
+  let first_id = IF.node_count inv in
+  let tree =
+    Nested.Tree.of_value (Nested.Tree.allocator_from first_id) ~record_id value
+  in
+  (* New ids exceed all existing ids, so postings append in sorted order. *)
+  let added_atoms = ref 0 in
+  let new_postings = ref [] in
+  Nested.Tree.iter
+    (fun n ->
+      let p = Posting.of_tree_node n in
+      new_postings := p :: !new_postings;
+      Array.iter
+        (fun leaf ->
+          added_atoms := !added_atoms + update_list inv leaf (fun l -> append_posting l p))
+        n.Nested.Tree.leaves)
+    tree;
+  update_node_table inv (fun l ->
+      Array.append l (Array.of_list (List.rev !new_postings)));
+  IF.internal_put_record inv record_id value;
+  (* metadata + in-handle state *)
+  let roots = Array.append (IF.roots inv) [| tree.Nested.Tree.root |] in
+  IF.internal_set_counts inv ~roots
+    ~atom_count:(IF.atom_count inv + !added_atoms)
+    ~node_count:(first_id + Nested.Tree.node_count tree);
+  IF.internal_write_meta inv;
+  record_id
+
+let add_string inv s = add_value inv (Nested.Syntax.of_string s)
+
+let is_deleted inv record_id =
+  record_id >= 0
+  && record_id < IF.record_count inv
+  && IF.record_value_opt inv record_id = None
+
+let delete_record inv record_id =
+  if record_id < 0 || record_id >= IF.record_count inv then false
+  else
+    match IF.record_value_opt inv record_id with
+    | None -> false
+    | Some value ->
+      let first_id = (IF.roots inv).(record_id) in
+      let next_id =
+        if record_id + 1 < IF.record_count inv then (IF.roots inv).(record_id + 1)
+        else IF.node_count inv
+      in
+      let in_range p = p.Posting.node >= first_id && p.Posting.node < next_id in
+      let atoms = Nested.Value.atom_universe value in
+      let removed_atoms = ref 0 in
+      List.iter
+        (fun atom ->
+          removed_atoms :=
+            !removed_atoms
+            - update_list inv atom (fun l -> Plist.filter (fun p -> not (in_range p)) l))
+        atoms;
+      update_node_table inv (fun l -> Plist.filter (fun p -> not (in_range p)) l);
+      let store = IF.store inv in
+      store.Storage.Kv.put (IF.record_key record_id) IF.deleted_marker;
+      IF.internal_set_counts inv ~roots:(IF.roots inv)
+        ~atom_count:(IF.atom_count inv - !removed_atoms)
+        ~node_count:(IF.node_count inv);
+      IF.internal_write_meta inv;
+      true

@@ -1,0 +1,48 @@
+let encode dict value =
+  if Nested.Value.is_atom value then
+    invalid_arg "Value_codec.encode: record value must be a set";
+  let w = Storage.Codec.writer () in
+  let rec go v =
+    let leaves = Nested.Value.leaves v in
+    let subsets = Nested.Value.subsets v in
+    Storage.Codec.write_varint w (List.length leaves);
+    List.iter (fun a -> Storage.Codec.write_varint w (Dict.intern dict a)) leaves;
+    Storage.Codec.write_varint w (List.length subsets);
+    List.iter go subsets
+  in
+  go value;
+  "B" ^ Storage.Codec.contents w
+
+let encode_syntax value = "S" ^ Nested.Syntax.to_string value
+
+let decode_binary dict payload =
+  let r = Storage.Codec.reader_sub payload ~pos:1 ~len:(String.length payload - 1) in
+  let rec go () =
+    let n_leaves = Storage.Codec.read_varint r in
+    let leaves = ref [] in
+    for _ = 1 to n_leaves do
+      let id = Storage.Codec.read_varint r in
+      match Dict.atom_of_id dict id with
+      | a -> leaves := Nested.Value.atom a :: !leaves
+      | exception Not_found ->
+        raise (Storage.Codec.Corrupt (Printf.sprintf "dangling atom id %d" id))
+    done;
+    let n_children = Storage.Codec.read_varint r in
+    let children = ref [] in
+    for _ = 1 to n_children do
+      children := go () :: !children
+    done;
+    Nested.Value.set (List.rev !leaves @ List.rev !children)
+  in
+  go ()
+
+let decode dict payload =
+  if String.length payload = 0 then
+    raise (Storage.Codec.Corrupt "Value_codec: empty payload");
+  match payload.[0] with
+  | 'B' -> decode_binary dict payload
+  | 'S' -> (
+    match Nested.Syntax.of_string_opt (String.sub payload 1 (String.length payload - 1)) with
+    | Some v -> v
+    | None -> raise (Storage.Codec.Corrupt "Value_codec: malformed syntax payload"))
+  | _ -> raise (Storage.Codec.Corrupt "Value_codec: unknown record format tag")

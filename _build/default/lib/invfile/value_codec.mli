@@ -1,0 +1,22 @@
+(** Binary record encoding with dictionary-coded atoms.
+
+    Stored record values default to the human-readable literal syntax; this
+    codec provides the compact alternative: a pre-order traversal where
+    each set writes its leaf atom {e ids} (via {!Dict}) and its children.
+    Collections whose atoms repeat across records (every realistic one)
+    shrink several-fold; see the benchmark suite's record-format ablation.
+
+    Payloads are tagged so the two formats coexist: ['S'] syntax, ['B']
+    binary. {!decode} dispatches on the tag, so readers handle either. *)
+
+val encode : Dict.t -> Nested.Value.t -> string
+(** Binary ('B') encoding, interning atoms as needed.
+    @raise Invalid_argument on an atom value. *)
+
+val encode_syntax : Nested.Value.t -> string
+(** Tagged ('S') literal-syntax encoding. *)
+
+val decode : Dict.t -> string -> Nested.Value.t
+(** Decodes either format.
+    @raise Storage.Codec.Corrupt on malformed payloads (including unknown
+    tags and dangling dictionary ids). *)

@@ -1,0 +1,1 @@
+lib/nested/syntax.ml: Buffer List Printf String Syntax_atom Value

@@ -1,0 +1,1 @@
+lib/nested/syntax.mli: Format Value

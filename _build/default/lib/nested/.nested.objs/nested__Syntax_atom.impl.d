@@ -1,0 +1,1 @@
+lib/nested/syntax_atom.ml: Format String

@@ -1,0 +1,1 @@
+lib/nested/tree.ml: Array Format List Printf String Value

@@ -1,0 +1,1 @@
+lib/nested/tree.mli: Format Value

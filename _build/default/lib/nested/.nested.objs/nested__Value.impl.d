@@ -1,0 +1,1 @@
+lib/nested/value.ml: Format Hashtbl List String Syntax_atom

@@ -1,0 +1,1 @@
+lib/nested/value.mli: Format

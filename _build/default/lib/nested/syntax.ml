@@ -1,0 +1,125 @@
+exception Parse_error of { pos : int; message : string }
+
+let fail pos message = raise (Parse_error { pos; message })
+
+type state = { input : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let is_space = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_space st =
+  while
+    match peek st with
+    | Some c when is_space c -> true
+    | _ -> false
+  do
+    advance st
+  done
+
+let parse_quoted st =
+  (* Consumes the opening quote's contents up to the closing quote. *)
+  let start = st.pos in
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail start "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | None -> fail st.pos "unterminated escape sequence"
+      | Some c ->
+        let decoded =
+          match c with
+          | '"' -> '"'
+          | '\\' -> '\\'
+          | 'n' -> '\n'
+          | 't' -> '\t'
+          | 'r' -> '\r'
+          | c -> fail st.pos (Printf.sprintf "invalid escape '\\%c'" c)
+        in
+        Buffer.add_char buf decoded;
+        advance st;
+        loop ())
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_bare st =
+  let start = st.pos in
+  while
+    match peek st with
+    | Some c when Syntax_atom.is_bare_char c -> true
+    | _ -> false
+  do
+    advance st
+  done;
+  if st.pos = start then fail start "expected a value";
+  String.sub st.input start (st.pos - start)
+
+let rec parse_value st =
+  skip_space st;
+  match peek st with
+  | Some '{' ->
+    advance st;
+    let elems = parse_elements st in
+    Value.set elems
+  | Some '"' -> Value.atom (parse_quoted st)
+  | Some _ -> Value.atom (parse_bare st)
+  | None -> fail st.pos "unexpected end of input"
+
+and parse_elements st =
+  skip_space st;
+  match peek st with
+  | Some '}' ->
+    advance st;
+    []
+  | None -> fail st.pos "unterminated set: expected '}'"
+  | Some _ ->
+    let first = parse_value st in
+    let rec rest acc =
+      skip_space st;
+      match peek st with
+      | Some ',' ->
+        advance st;
+        let v = parse_value st in
+        rest (v :: acc)
+      | Some '}' ->
+        advance st;
+        List.rev acc
+      | Some c -> fail st.pos (Printf.sprintf "expected ',' or '}', found '%c'" c)
+      | None -> fail st.pos "unterminated set: expected '}'"
+    in
+    rest [ first ]
+
+let of_string s =
+  let st = { input = s; pos = 0 } in
+  let v = parse_value st in
+  skip_space st;
+  (match peek st with
+  | Some c -> fail st.pos (Printf.sprintf "trailing input starting with '%c'" c)
+  | None -> ());
+  v
+
+let of_string_opt s = try Some (of_string s) with Parse_error _ -> None
+
+let pp = Value.pp
+let to_string = Value.to_string
+
+let parse_many s =
+  let st = { input = s; pos = 0 } in
+  let rec loop acc =
+    skip_space st;
+    match peek st with
+    | None -> List.rev acc
+    | Some _ -> loop (parse_value st :: acc)
+  in
+  loop []

@@ -1,0 +1,26 @@
+(** Literal syntax for nested set values.
+
+    Values are written as in the paper: [{London, UK, {UK, {A, motorbike}}}].
+    Atoms may be bare (no whitespace, braces, commas, or double quotes) or
+    double-quoted with backslash escapes (quote, backslash, [\n], [\t],
+    [\r]). A top-level bare or
+    quoted atom parses to an atomic value. *)
+
+exception Parse_error of { pos : int; message : string }
+(** Raised on malformed input; [pos] is a 0-based byte offset. *)
+
+val of_string : string -> Value.t
+(** Parses a single value, requiring the whole input to be consumed (modulo
+    trailing whitespace). @raise Parse_error on malformed input. *)
+
+val of_string_opt : string -> Value.t option
+
+val to_string : Value.t -> string
+(** Prints in a form [of_string] parses back to an [equal] value. *)
+
+val pp : Format.formatter -> Value.t -> unit
+
+val parse_many : string -> Value.t list
+(** Parses a sequence of whitespace- or newline-separated values, e.g. a
+    collection file with one record per line.
+    @raise Parse_error on malformed input. *)

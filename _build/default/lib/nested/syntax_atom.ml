@@ -1,0 +1,28 @@
+(* Quoting rules for atoms in the nested-set literal syntax.
+
+   A bare atom may contain any character except the syntax delimiters
+   '{' '}' ',' '"' and whitespace. Anything else is printed as a
+   double-quoted string with backslash escapes. *)
+
+let is_bare_char = function
+  | '{' | '}' | ',' | '"' | '\\' -> false
+  | c -> not (c = ' ' || c = '\t' || c = '\n' || c = '\r')
+
+let is_bare a = a <> "" && String.for_all is_bare_char a
+
+let pp ppf a =
+  if is_bare a then Format.pp_print_string ppf a
+  else begin
+    Format.pp_print_char ppf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Format.pp_print_string ppf "\\\""
+        | '\\' -> Format.pp_print_string ppf "\\\\"
+        | '\n' -> Format.pp_print_string ppf "\\n"
+        | '\t' -> Format.pp_print_string ppf "\\t"
+        | '\r' -> Format.pp_print_string ppf "\\r"
+        | c -> Format.pp_print_char ppf c)
+      a;
+    Format.pp_print_char ppf '"'
+  end

@@ -1,0 +1,12 @@
+(** Atom quoting for the nested-set literal syntax (shared between
+    {!Value.pp} and {!Syntax}). *)
+
+val is_bare_char : char -> bool
+(** Characters allowed in an unquoted atom (no whitespace, braces, commas,
+    quotes, or backslashes). *)
+
+val is_bare : string -> bool
+(** Whether an atom prints without quoting. *)
+
+val pp : Format.formatter -> string -> unit
+(** Prints the atom, double-quoting and escaping when needed. *)

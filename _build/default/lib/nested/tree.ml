@@ -1,0 +1,90 @@
+type node = {
+  id : int;
+  parent : int;
+  leaves : string array;
+  children : int array;
+  post : int;
+  depth : int;
+}
+
+type t = {
+  record_id : int;
+  root : int;
+  first_id : int;
+  nodes : node array;
+}
+
+type allocator = { mutable pre : int; mutable post : int }
+
+let allocator () = { pre = 0; post = 0 }
+let next_id alloc = alloc.pre
+
+(* Nodes are accumulated in a growing buffer during the DFS; ids are
+   pre-order ranks so the buffer index of a node is [id - first_id]. *)
+let of_value alloc ~record_id value =
+  if Value.is_atom value then
+    invalid_arg "Tree.of_value: record value must be a set";
+  let first_id = alloc.pre in
+  let buf = ref [] and count = ref 0 in
+  let rec build parent depth v =
+    let id = alloc.pre in
+    alloc.pre <- alloc.pre + 1;
+    let leaves = Array.of_list (Value.leaves v) in
+    let children = List.map (build id (depth + 1)) (Value.subsets v) in
+    let post = alloc.post in
+    alloc.post <- alloc.post + 1;
+    let n = { id; parent; leaves; children = Array.of_list children; post; depth } in
+    buf := n :: !buf;
+    incr count;
+    id
+  in
+  let root = build (-1) 0 value in
+  let nodes = Array.make !count (List.hd !buf) in
+  List.iter (fun n -> nodes.(n.id - first_id) <- n) !buf;
+  { record_id; root; first_id; nodes }
+
+let mem_id t id = id >= t.first_id && id < t.first_id + Array.length t.nodes
+
+let node t id =
+  if not (mem_id t id) then
+    invalid_arg (Printf.sprintf "Tree.node: id %d not in record %d" id t.record_id);
+  t.nodes.(id - t.first_id)
+
+let root_node t = node t t.root
+let node_count t = Array.length t.nodes
+
+let is_descendant t ~anc ~desc =
+  let a = node t anc and d = node t desc in
+  a.id < d.id && d.post < a.post
+
+let iter f t = Array.iter f t.nodes
+let fold f acc t = Array.fold_left f acc t.nodes
+
+let rec value_of_node t id =
+  let n = node t id in
+  let leaf_values = Array.to_list (Array.map Value.atom n.leaves) in
+  let child_values = Array.to_list (Array.map (value_of_node t) n.children) in
+  Value.set (leaf_values @ child_values)
+
+let to_value t = value_of_node t t.root
+
+let leaf_count t = fold (fun acc n -> acc + Array.length n.leaves) 0 t
+
+let depth t = 1 + fold (fun acc n -> max acc n.depth) 0 t
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>record %d (root %d)@," t.record_id t.root;
+  iter
+    (fun n ->
+      Format.fprintf ppf "  node %d (parent %d, post %d, depth %d): leaves {%s} children [%s]@,"
+        n.id n.parent n.post n.depth
+        (String.concat ", " (Array.to_list n.leaves))
+        (String.concat "; " (List.map string_of_int (Array.to_list n.children))))
+    t;
+  Format.fprintf ppf "@]"
+
+let allocator_from id =
+  if id < 0 then invalid_arg "Tree.allocator_from: negative id";
+  { pre = id; post = id }
+
+let subtree_value = value_of_node

@@ -1,0 +1,81 @@
+(** Tree encoding of nested sets with node identifiers.
+
+    A nested set is viewed as an unordered node-labelled rooted tree whose
+    internal nodes denote sets and whose leaves denote atoms (paper, Sec. 2).
+    Every internal node receives an integer identifier that is unique across
+    a whole collection; identifiers are assigned in depth-first pre-order by
+    a shared {!allocator}, so that
+
+    - the internal-node ids of one record form a contiguous range,
+    - the ids of a node's internal children are strictly increasing, and
+    - [(pre, post)] intervals (with [pre = id]) give constant-time
+      ancestor–descendant tests within a record (used for homeomorphic
+      containment, paper Sec. 4.2). *)
+
+type node = {
+  id : int;  (** unique across the collection; equals the pre-order rank *)
+  parent : int;  (** id of the parent internal node, or [-1] for the root *)
+  leaves : string array;  (** sorted, distinct leaf labels of this set *)
+  children : int array;  (** ids of internal children, strictly increasing *)
+  post : int;  (** post-order rank, from the same allocator as [id] *)
+  depth : int;  (** root has depth [0] *)
+}
+
+type t = {
+  record_id : int;
+  root : int;  (** id of the root node *)
+  first_id : int;  (** smallest node id of this record *)
+  nodes : node array;  (** indexed by [id - first_id] *)
+}
+
+(** {1 Id allocation} *)
+
+type allocator
+
+val allocator : unit -> allocator
+
+val next_id : allocator -> int
+(** The id the next created node would receive (exclusive upper bound of all
+    ids allocated so far). *)
+
+(** {1 Construction} *)
+
+val of_value : allocator -> record_id:int -> Value.t -> t
+(** Encodes a set value. @raise Invalid_argument if the value is an atom. *)
+
+val to_value : t -> Value.t
+(** Inverse of [of_value] (up to canonical form). *)
+
+(** {1 Access} *)
+
+val node : t -> int -> node
+(** [node t id] looks a node up by id. @raise Invalid_argument if [id] does
+    not belong to this record. *)
+
+val mem_id : t -> int -> bool
+val root_node : t -> node
+val node_count : t -> int
+
+val is_descendant : t -> anc:int -> desc:int -> bool
+(** Strict descendant test via pre/post intervals; [is_descendant ~anc:x
+    ~desc:x] is [false]. *)
+
+val iter : (node -> unit) -> t -> unit
+val fold : ('a -> node -> 'a) -> 'a -> t -> 'a
+
+val leaf_count : t -> int
+(** Total number of leaves in the record. *)
+
+val depth : t -> int
+(** Maximum node depth plus one (= nesting depth of the value). *)
+
+val pp : Format.formatter -> t -> unit
+
+val allocator_from : int -> allocator
+(** An allocator whose pre and post counters both start at the given id —
+    used to re-encode a stored record at its original id range (records
+    occupy contiguous, equal pre and post ranges). *)
+
+val subtree_value : t -> int -> Value.t
+(** The value of the subtree rooted at a node id.
+    @raise Invalid_argument if the id is not in this record. *)

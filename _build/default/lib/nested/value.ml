@@ -1,0 +1,140 @@
+type t =
+  | Atom of string
+  | Set of t list
+
+let atom a = Atom a
+
+let rec compare v w =
+  match v, w with
+  | Atom a, Atom b -> String.compare a b
+  | Atom _, Set _ -> -1
+  | Set _, Atom _ -> 1
+  | Set xs, Set ys -> compare_lists xs ys
+
+and compare_lists xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_lists xs' ys'
+
+let equal v w = compare v w = 0
+
+let rec dedup_sorted = function
+  | x :: (y :: _ as rest) ->
+    if compare x y = 0 then dedup_sorted rest else x :: dedup_sorted rest
+  | rest -> rest
+
+(* Elements are assumed canonical; only the top level is normalized. *)
+let set elems = Set (dedup_sorted (List.sort compare elems))
+
+let empty = Set []
+let of_atoms l = set (List.map atom l)
+
+let is_atom = function Atom _ -> true | Set _ -> false
+let is_set = function Set _ -> true | Atom _ -> false
+
+let elements = function
+  | Set xs -> xs
+  | Atom a -> invalid_arg ("Value.elements: atom " ^ a)
+
+let leaves v =
+  List.filter_map (function Atom a -> Some a | Set _ -> None) (elements v)
+
+let subsets v =
+  List.filter (function Set _ -> true | Atom _ -> false) (elements v)
+
+let mem x v = List.exists (equal x) (elements v)
+
+let cardinal = function Set xs -> List.length xs | Atom _ -> 0
+
+let rec size = function
+  | Atom _ -> 1
+  | Set xs -> 1 + List.fold_left (fun acc x -> acc + size x) 0 xs
+
+let rec internal_count = function
+  | Atom _ -> 0
+  | Set xs -> 1 + List.fold_left (fun acc x -> acc + internal_count x) 0 xs
+
+let rec leaf_count = function
+  | Atom _ -> 1
+  | Set xs -> List.fold_left (fun acc x -> acc + leaf_count x) 0 xs
+
+let rec depth = function
+  | Atom _ -> 0
+  | Set xs -> 1 + List.fold_left (fun acc x -> max acc (depth x)) 0 xs
+
+let atom_universe v =
+  let rec collect acc = function
+    | Atom a -> a :: acc
+    | Set xs -> List.fold_left collect acc xs
+  in
+  List.sort_uniq String.compare (collect [] v)
+
+let rec hash = function
+  | Atom a -> Hashtbl.hash a
+  | Set xs -> List.fold_left (fun acc x -> (acc * 31) + hash x) 17 xs
+
+let rec map_atoms f = function
+  | Atom a -> Atom (f a)
+  | Set xs -> set (List.map (map_atoms f) xs)
+
+let add x v = set (x :: elements v)
+let remove x v = set (List.filter (fun y -> not (equal x y)) (elements v))
+
+(* Merge operations on the canonically sorted element lists. *)
+let rec merge_union xs ys =
+  match xs, ys with
+  | [], l | l, [] -> l
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c < 0 then x :: merge_union xs' ys
+    else if c > 0 then y :: merge_union xs ys'
+    else x :: merge_union xs' ys'
+
+let rec merge_inter xs ys =
+  match xs, ys with
+  | [], _ | _, [] -> []
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c < 0 then merge_inter xs' ys
+    else if c > 0 then merge_inter xs ys'
+    else x :: merge_inter xs' ys'
+
+let rec merge_diff xs ys =
+  match xs, ys with
+  | [], _ -> []
+  | l, [] -> l
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c < 0 then x :: merge_diff xs' ys
+    else if c > 0 then merge_diff xs ys'
+    else merge_diff xs' ys'
+
+let union v w = Set (merge_union (elements v) (elements w))
+let inter v w = Set (merge_inter (elements v) (elements w))
+let diff v w = Set (merge_diff (elements v) (elements w))
+
+let subset v w =
+  let rec sub xs ys =
+    match xs, ys with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c < 0 then false
+      else if c > 0 then sub xs ys'
+      else sub xs' ys'
+  in
+  sub (elements v) (elements w)
+
+let rec pp ppf = function
+  | Atom a -> Syntax_atom.pp ppf a
+  | Set xs ->
+    Format.fprintf ppf "@[<hov 1>{%a}@]"
+      (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") pp)
+      xs
+
+let to_string v = Format.asprintf "%a" pp v

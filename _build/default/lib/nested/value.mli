@@ -1,0 +1,106 @@
+(** Nested set values.
+
+    A nested set is a finite set whose elements are atoms (strings) or nested
+    sets, with no bound on cardinality or nesting depth (paper, Sec. 2). Sets
+    are unordered and duplicate-free; values are kept in a canonical form
+    (elements recursively canonicalized, sorted, and deduplicated) so that
+    structural equality coincides with set equality. *)
+
+type t = private
+  | Atom of string
+  | Set of t list
+      (** Invariant: the list is sorted by [compare] and duplicate-free, and
+          every element is itself canonical. *)
+
+(** {1 Construction} *)
+
+val atom : string -> t
+(** [atom a] is the atomic value [a]. *)
+
+val set : t list -> t
+(** [set elems] is the set of [elems], canonicalized (sorted, deduplicated). *)
+
+val empty : t
+(** The empty set [{}]. *)
+
+val of_atoms : string list -> t
+(** [of_atoms l] is the flat set of the atoms in [l]. *)
+
+(** {1 Observation} *)
+
+val is_atom : t -> bool
+val is_set : t -> bool
+
+val elements : t -> t list
+(** [elements v] are the elements of a set value, in canonical order.
+    @raise Invalid_argument on an atom. *)
+
+val leaves : t -> string list
+(** [leaves v] are the atomic elements of a set value, sorted.
+    @raise Invalid_argument on an atom. *)
+
+val subsets : t -> t list
+(** [subsets v] are the set-valued elements of a set value, in canonical
+    order. @raise Invalid_argument on an atom. *)
+
+val mem : t -> t -> bool
+(** [mem x v] tests whether [x] is an element of the set [v]. *)
+
+(** {1 Measures} *)
+
+val cardinal : t -> int
+(** Number of (distinct) elements of a set; [0] for an atom. *)
+
+val size : t -> int
+(** Total number of nodes in the tree view (internal nodes + leaves). *)
+
+val internal_count : t -> int
+(** Number of internal (set) nodes in the tree view. *)
+
+val leaf_count : t -> int
+(** Number of leaf nodes in the tree view. *)
+
+val depth : t -> int
+(** Nesting depth: [0] for an atom, [1 + max over elements] for a non-empty
+    set, [1] for the empty set. *)
+
+val atom_universe : t -> string list
+(** All distinct atoms occurring anywhere in the value, sorted. *)
+
+(** {1 Comparison} *)
+
+val compare : t -> t -> int
+(** Total order on canonical values: atoms before sets, atoms by string
+    order, sets lexicographically on canonical element lists. *)
+
+val equal : t -> t -> bool
+
+val hash : t -> int
+
+(** {1 Transformation} *)
+
+val map_atoms : (string -> string) -> t -> t
+(** [map_atoms f v] renames every atom with [f] (re-canonicalizing). *)
+
+val add : t -> t -> t
+(** [add x v] is the set [v] with element [x] added. *)
+
+val remove : t -> t -> t
+(** [remove x v] is the set [v] without element [x]. *)
+
+(** {1 Flat-set operations}
+
+    These treat the top level of two set values as flat sets of canonical
+    elements. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+
+(** {1 Pretty printing} *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints in the literal syntax of {!Syntax}, e.g. [{A, motorbike, {B}}]. *)
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/storage/bitpack.ml: Array Buffer Char Codec String

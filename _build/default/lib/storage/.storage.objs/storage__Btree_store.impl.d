@@ -1,0 +1,1 @@
+lib/storage/btree_store.ml: Array Bytes Codec Hashtbl Int64 Io_stats Kv List Option Pager String

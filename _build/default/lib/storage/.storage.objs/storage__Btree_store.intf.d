@@ -1,0 +1,1 @@
+lib/storage/btree_store.mli: Kv

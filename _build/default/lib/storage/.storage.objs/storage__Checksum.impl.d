@@ -1,0 +1,1 @@
+lib/storage/checksum.ml: Array Bytes Char Int32 Lazy String

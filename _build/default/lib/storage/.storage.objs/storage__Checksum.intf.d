@@ -1,0 +1,1 @@
+lib/storage/checksum.mli:

@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Buffer Char List String

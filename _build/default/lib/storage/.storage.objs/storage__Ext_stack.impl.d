@@ -1,0 +1,1 @@
+lib/storage/ext_stack.ml: Bytes Int32 Io_stats List Stack String Sys Unix

@@ -1,0 +1,1 @@
+lib/storage/ext_stack.mli: Io_stats

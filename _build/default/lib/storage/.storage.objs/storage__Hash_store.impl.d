@@ -1,0 +1,1 @@
+lib/storage/hash_store.ml: Bytes Char Hashtbl Int32 Int64 Io_stats Kv Printf String Unix

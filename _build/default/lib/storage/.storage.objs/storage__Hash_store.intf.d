@@ -1,0 +1,1 @@
+lib/storage/hash_store.mli: Kv

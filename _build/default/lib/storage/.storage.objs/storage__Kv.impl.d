@@ -1,0 +1,1 @@
+lib/storage/kv.ml: Io_stats List Option String

@@ -1,0 +1,1 @@
+lib/storage/kv.mli: Io_stats

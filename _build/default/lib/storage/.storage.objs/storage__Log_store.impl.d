@@ -1,0 +1,1 @@
+lib/storage/log_store.ml: Bytes Checksum Hashtbl Int32 Io_stats Kv List Option Printf String Unix

@@ -1,0 +1,1 @@
+lib/storage/log_store.mli: Kv

@@ -1,0 +1,1 @@
+lib/storage/mem_store.ml: Hashtbl Io_stats Kv String

@@ -1,0 +1,1 @@
+lib/storage/mem_store.mli: Kv

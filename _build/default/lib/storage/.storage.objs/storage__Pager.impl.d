@@ -1,0 +1,1 @@
+lib/storage/pager.ml: Bytes Hashtbl Io_stats Printf Queue String Unix

@@ -1,0 +1,21 @@
+(** Block-wise bit packing of non-negative integer sequences.
+
+    The classic inverted-file compression alternative to byte-aligned
+    varints: values are packed in blocks of 128 using the per-block maximum
+    bit width. Callers delta-encode sorted sequences first (gaps pack into
+    few bits); this module packs the values it is given verbatim.
+
+    Used by {!Invfile.Plist} as the [`Bitpacked] postings codec — the
+    compression ablation of the benchmark suite. *)
+
+val block_size : int
+(** 128. *)
+
+val pack : int array -> string
+(** @raise Invalid_argument on negative values. *)
+
+val unpack : string -> int array
+(** @raise Storage.Codec.Corrupt on malformed input. *)
+
+val packed_size : int array -> int
+(** Size in bytes [pack] would produce, without producing it. *)

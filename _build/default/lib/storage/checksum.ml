@@ -1,0 +1,29 @@
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let update crc byte =
+  let t = Lazy.force table in
+  Int32.logxor
+    t.(Int32.to_int (Int32.logand (Int32.logxor crc (Int32.of_int byte)) 0xFFl))
+    (Int32.shift_right_logical crc 8)
+
+let crc32_bytes ?(init = 0l) b ~pos ~len =
+  let crc = ref (Int32.lognot init) in
+  for i = pos to pos + len - 1 do
+    crc := update !crc (Char.code (Bytes.get b i))
+  done;
+  Int32.lognot !crc
+
+let crc32_sub ?init s ~pos ~len =
+  crc32_bytes ?init (Bytes.unsafe_of_string s) ~pos ~len
+
+let crc32 ?init s = crc32_sub ?init s ~pos:0 ~len:(String.length s)

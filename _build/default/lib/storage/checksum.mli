@@ -1,0 +1,6 @@
+(** CRC-32 (IEEE 802.3, reflected) checksums, for torn-write detection in
+    the log-structured store. *)
+
+val crc32 : ?init:int32 -> string -> int32
+val crc32_sub : ?init:int32 -> string -> pos:int -> len:int -> int32
+val crc32_bytes : ?init:int32 -> bytes -> pos:int -> len:int -> int32

@@ -1,0 +1,40 @@
+(** Binary encoding of inverted-file payloads.
+
+    Postings lists are stored as length-prefixed byte strings: unsigned
+    LEB128 varints throughout, with sorted id sequences delta-encoded (gaps),
+    as is conventional for inverted files. *)
+
+(** {1 Writer} *)
+
+type writer
+
+val writer : unit -> writer
+val contents : writer -> string
+val write_varint : writer -> int -> unit
+val write_int_list : writer -> int list -> unit
+(** Length-prefixed, delta-encoded; the list must be strictly increasing. *)
+
+val write_int_array : writer -> int array -> unit
+(** As {!write_int_list}, for strictly increasing arrays. *)
+
+val write_string : writer -> string -> unit
+(** Length-prefixed raw bytes. *)
+
+(** {1 Reader} *)
+
+type reader
+
+exception Corrupt of string
+
+val reader : string -> reader
+val reader_sub : string -> pos:int -> len:int -> reader
+val at_end : reader -> bool
+val read_varint : reader -> int
+val read_int_list : reader -> int list
+val read_int_array : reader -> int array
+val read_string : reader -> string
+
+(** {1 Convenience} *)
+
+val encode_int_array : int array -> string
+val decode_int_array : string -> int array

@@ -1,0 +1,31 @@
+(** External-memory stack.
+
+    The paper's bottom-up algorithm assumes its stack fits in main memory
+    and points to STXXL's external stacks to lift the assumption (Sec. 5.1,
+    "Other assumptions", (2)). This is that structure: a stack of byte
+    strings that keeps only the top [buffer_items] entries in memory and
+    spills the rest to an append-only file, refilling the buffer from disk
+    as the in-memory part drains.
+
+    Spilled bytes are reclaimed when the file tail becomes garbage
+    (truncation on {!clear} and when the stack empties). *)
+
+type t
+
+val create : ?buffer_items:int -> string -> t
+(** [create path] opens a fresh external stack backed by [path]
+    (truncated). [buffer_items] (default 1024) bounds the in-memory top. *)
+
+val push : t -> string -> unit
+val pop : t -> string option
+val top : t -> string option
+val length : t -> int
+val is_empty : t -> bool
+val clear : t -> unit
+
+val spilled_items : t -> int
+(** Entries currently residing on disk (for tests and stats). *)
+
+val stats : t -> Io_stats.t
+val close : t -> unit
+(** Closes and removes the backing file. *)

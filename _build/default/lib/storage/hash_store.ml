@@ -1,0 +1,284 @@
+let magic = "NSCQHSH1"
+let header_size = 32
+
+(* Header: magic(8) | buckets(8) | count(8) | reserved(8).
+   Bucket directory: buckets * 8 bytes of chain-head offsets (0 = empty).
+   Record: next(8) | key_len(4) | val_len(4) | key | value. *)
+
+type handle = {
+  mutable fd : Unix.file_descr;
+  buckets : int;
+  mutable count : int;
+  mutable file_end : int;
+  stats : Io_stats.t;
+  path : string;
+  mutable closed : bool;
+}
+
+(* registry so [optimize]/[file_size] can recover the handle behind Kv.t *)
+let registry : (string, handle) Hashtbl.t = Hashtbl.create 8
+
+let record_header_size = 16
+
+let fnv1a s =
+  (* FNV-1a offset basis, truncated to OCaml's 63-bit int. *)
+  let h = ref 0x3bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int
+
+let bucket_of_key t key = fnv1a key land (t.buckets - 1)
+let bucket_offset b = header_size + (8 * b)
+
+let really_pread t ~off buf pos len =
+  Io_stats.record_seek t.stats;
+  ignore (Unix.lseek t.fd off Unix.SEEK_SET);
+  let rec loop pos len =
+    if len > 0 then begin
+      let n = Unix.read t.fd buf pos len in
+      if n = 0 then failwith "Hash_store: unexpected end of file";
+      loop (pos + n) (len - n)
+    end
+  in
+  loop pos len;
+  Io_stats.record_read t.stats ~bytes:len
+
+let really_pwrite t ~off buf pos len =
+  Io_stats.record_seek t.stats;
+  ignore (Unix.lseek t.fd off Unix.SEEK_SET);
+  let rec loop pos len =
+    if len > 0 then begin
+      let n = Unix.write t.fd buf pos len in
+      loop (pos + n) (len - n)
+    end
+  in
+  loop pos len;
+  Io_stats.record_write t.stats ~bytes:len
+
+let read_u64 buf pos = Int64.to_int (Bytes.get_int64_le buf pos)
+let write_u64 buf pos v = Bytes.set_int64_le buf pos (Int64.of_int v)
+let read_u32 buf pos = Int32.to_int (Bytes.get_int32_le buf pos)
+let write_u32 buf pos v = Bytes.set_int32_le buf pos (Int32.of_int v)
+
+let read_offset t ~off =
+  let buf = Bytes.create 8 in
+  really_pread t ~off buf 0 8;
+  read_u64 buf 0
+
+let write_offset t ~off v =
+  let buf = Bytes.create 8 in
+  write_u64 buf 0 v;
+  really_pwrite t ~off buf 0 8
+
+(* Reads the fixed part of a record; returns (next, key_len, val_len). *)
+let read_record_header t ~off =
+  let buf = Bytes.create record_header_size in
+  really_pread t ~off buf 0 record_header_size;
+  (read_u64 buf 0, read_u32 buf 8, read_u32 buf 12)
+
+let read_record_key t ~off ~key_len =
+  let buf = Bytes.create key_len in
+  really_pread t ~off:(off + record_header_size) buf 0 key_len;
+  Bytes.unsafe_to_string buf
+
+let read_record_value t ~off ~key_len ~val_len =
+  let buf = Bytes.create val_len in
+  really_pread t ~off:(off + record_header_size + key_len) buf 0 val_len;
+  Bytes.unsafe_to_string buf
+
+let write_header t =
+  let buf = Bytes.make header_size '\000' in
+  Bytes.blit_string magic 0 buf 0 8;
+  write_u64 buf 8 t.buckets;
+  write_u64 buf 16 t.count;
+  really_pwrite t ~off:0 buf 0 header_size
+
+let append_record t ~next ~key ~value =
+  let key_len = String.length key and val_len = String.length value in
+  let buf = Bytes.create (record_header_size + key_len + val_len) in
+  write_u64 buf 0 next;
+  write_u32 buf 8 key_len;
+  write_u32 buf 12 val_len;
+  Bytes.blit_string key 0 buf record_header_size key_len;
+  Bytes.blit_string value 0 buf (record_header_size + key_len) val_len;
+  let off = t.file_end in
+  really_pwrite t ~off buf 0 (Bytes.length buf);
+  t.file_end <- off + Bytes.length buf;
+  off
+
+(* Walks the chain of [key]'s bucket. Returns the offset holding the pointer
+   to the matching record (bucket slot or predecessor's next field) and the
+   record's header, if present. *)
+let find_in_chain t key =
+  let slot = bucket_offset (bucket_of_key t key) in
+  let rec walk ptr_off =
+    let rec_off = read_offset t ~off:ptr_off in
+    if rec_off = 0 then None
+    else
+      let next, key_len, val_len = read_record_header t ~off:rec_off in
+      if key_len = String.length key && read_record_key t ~off:rec_off ~key_len = key
+      then Some (ptr_off, rec_off, next, key_len, val_len)
+      else walk rec_off (* record's next field is at offset [rec_off] *)
+  in
+  walk slot
+
+let check_open t = if t.closed then failwith "Hash_store: store is closed"
+
+let get t key =
+  check_open t;
+  match find_in_chain t key with
+  | None -> None
+  | Some (_, rec_off, _, key_len, val_len) ->
+    Some (read_record_value t ~off:rec_off ~key_len ~val_len)
+
+let put t key value =
+  check_open t;
+  (match find_in_chain t key with
+  | Some (ptr_off, _, next, _, _) ->
+    (* Unlink the stale record. *)
+    write_offset t ~off:ptr_off next;
+    t.count <- t.count - 1
+  | None -> ());
+  let slot = bucket_offset (bucket_of_key t key) in
+  let head = read_offset t ~off:slot in
+  let rec_off = append_record t ~next:head ~key ~value in
+  write_offset t ~off:slot rec_off;
+  t.count <- t.count + 1
+
+let delete t key =
+  check_open t;
+  match find_in_chain t key with
+  | None -> false
+  | Some (ptr_off, _, next, _, _) ->
+    write_offset t ~off:ptr_off next;
+    t.count <- t.count - 1;
+    true
+
+let iter t f =
+  check_open t;
+  for b = 0 to t.buckets - 1 do
+    let rec walk off =
+      if off <> 0 then begin
+        let next, key_len, val_len = read_record_header t ~off in
+        let key = read_record_key t ~off ~key_len in
+        let value = read_record_value t ~off ~key_len ~val_len in
+        f key value;
+        walk next
+      end
+    in
+    walk (read_offset t ~off:(bucket_offset b))
+  done
+
+let sync t =
+  check_open t;
+  write_header t;
+  Unix.fsync t.fd
+
+let close t =
+  if not t.closed then begin
+    write_header t;
+    t.closed <- true;
+    Hashtbl.remove registry ("hash:" ^ t.path);
+    Unix.close t.fd
+  end
+
+let round_up_pow2 n =
+  let rec loop p = if p >= n then p else loop (p * 2) in
+  loop 1
+
+let to_kv t =
+  Hashtbl.replace registry ("hash:" ^ t.path) t;
+  {
+    Kv.name = "hash:" ^ t.path;
+    get = get t;
+    put = put t;
+    delete = delete t;
+    iter = iter t;
+    length = (fun () -> t.count);
+    sync = (fun () -> sync t);
+    close = (fun () -> close t);
+    stats = t.stats;
+  }
+
+let create ?(buckets = 65536) path =
+  if buckets <= 0 then invalid_arg "Hash_store.create: buckets must be positive";
+  let buckets = round_up_pow2 buckets in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let t =
+    {
+      fd;
+      buckets;
+      count = 0;
+      file_end = header_size + (8 * buckets);
+      stats = Io_stats.create ();
+      path;
+      closed = false;
+    }
+  in
+  write_header t;
+  (* Zero the bucket directory in one write. *)
+  let dir = Bytes.make (8 * buckets) '\000' in
+  really_pwrite t ~off:header_size dir 0 (Bytes.length dir);
+  Io_stats.reset t.stats;
+  to_kv t
+
+let open_existing path =
+  let fd =
+    try Unix.openfile path [ Unix.O_RDWR ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      failwith (Printf.sprintf "Hash_store.open_existing %s: %s" path (Unix.error_message e))
+  in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size < header_size then failwith "Hash_store.open_existing: file too small";
+  let t =
+    { fd; buckets = 0; count = 0; file_end = size; stats = Io_stats.create ();
+      path; closed = false }
+  in
+  let buf = Bytes.create header_size in
+  really_pread t ~off:0 buf 0 header_size;
+  if Bytes.sub_string buf 0 8 <> magic then
+    failwith "Hash_store.open_existing: bad magic";
+  let buckets = read_u64 buf 8 and count = read_u64 buf 16 in
+  Io_stats.reset t.stats;
+  let t = { t with buckets; count } in
+  to_kv t
+
+
+let find_handle kv what =
+  match Hashtbl.find_opt registry kv.Kv.name with
+  | Some t when not t.closed -> t
+  | _ -> invalid_arg ("Hash_store." ^ what ^ ": not an open hash store handle")
+
+let file_size kv =
+  let t = find_handle kv "file_size" in
+  (Unix.fstat t.fd).Unix.st_size
+
+let optimize kv =
+  let t = find_handle kv "optimize" in
+  let tmp_path = t.path ^ ".optimize" in
+  let fd = Unix.openfile tmp_path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let fresh =
+    {
+      fd;
+      buckets = t.buckets;
+      count = 0;
+      file_end = header_size + (8 * t.buckets);
+      stats = t.stats;
+      path = tmp_path;
+      closed = false;
+    }
+  in
+  write_header fresh;
+  let dir = Bytes.make (8 * t.buckets) '\000' in
+  really_pwrite fresh ~off:header_size dir 0 (Bytes.length dir);
+  iter t (fun key value -> put fresh key value);
+  write_header fresh;
+  Unix.fsync fd;
+  Unix.rename tmp_path t.path;
+  Unix.close t.fd;
+  t.fd <- fd;
+  t.count <- fresh.count;
+  t.file_end <- fresh.file_end

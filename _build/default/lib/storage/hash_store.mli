@@ -1,0 +1,37 @@
+(** On-disk external hash table.
+
+    Stands in for Tokyo Cabinet's external-memory hash table, the storage
+    engine of the paper's implementation (Sec. 5.1, with main-memory
+    buffering explicitly disabled). Every [get] performs real file I/O —
+    there is no user-space page cache — so the inverted-list caching
+    optimization of Sec. 3.3 has a genuine effect to measure.
+
+    File layout:
+    - a fixed header (magic, version, bucket count, live-record count),
+    - a bucket directory of [buckets] 8-byte chain heads,
+    - an append-only record heap; each record is
+      [next(8) | key_len(4) | val_len(4) | key | value].
+
+    Replacement unlinks the stale record from its chain and appends the new
+    one; dead space is not reclaimed (compaction is out of scope — Tokyo
+    Cabinet behaves the same until [optimize] is called). The bucket count
+    is fixed at creation time. *)
+
+val create : ?buckets:int -> string -> Kv.t
+(** [create path] creates a fresh store at [path], truncating any existing
+    file. [buckets] defaults to [65536] and is rounded up to a power of
+    two. *)
+
+val open_existing : string -> Kv.t
+(** Reopens a store created by {!create}.
+    @raise Failure if the file is missing or malformed. *)
+
+val optimize : Kv.t -> unit
+(** Rewrites the file with only the live records (the counterpart of Tokyo
+    Cabinet's [optimize]): replacement and deletion leave dead heap records
+    behind, which this reclaims via an atomic rename. Only valid on handles
+    from this module. @raise Invalid_argument on foreign handles. *)
+
+val file_size : Kv.t -> int
+(** Current size of the backing file in bytes.
+    @raise Invalid_argument on foreign handles. *)

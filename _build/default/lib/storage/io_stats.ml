@@ -1,0 +1,62 @@
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable seeks : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () =
+  { reads = 0; writes = 0; bytes_read = 0; bytes_written = 0; seeks = 0; hits = 0; misses = 0 }
+
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.bytes_read <- 0;
+  t.bytes_written <- 0;
+  t.seeks <- 0;
+  t.hits <- 0;
+  t.misses <- 0
+
+let record_read t ~bytes =
+  t.reads <- t.reads + 1;
+  t.bytes_read <- t.bytes_read + bytes
+
+let record_write t ~bytes =
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + bytes
+
+let record_seek t = t.seeks <- t.seeks + 1
+let record_hit t = t.hits <- t.hits + 1
+let record_miss t = t.misses <- t.misses + 1
+
+let reads t = t.reads
+let writes t = t.writes
+let bytes_read t = t.bytes_read
+let bytes_written t = t.bytes_written
+let seeks t = t.seeks
+let hits t = t.hits
+let misses t = t.misses
+
+let hit_ratio t =
+  let total = t.hits + t.misses in
+  if total = 0 then 0. else float_of_int t.hits /. float_of_int total
+
+let merge a b =
+  {
+    reads = a.reads + b.reads;
+    writes = a.writes + b.writes;
+    bytes_read = a.bytes_read + b.bytes_read;
+    bytes_written = a.bytes_written + b.bytes_written;
+    seeks = a.seeks + b.seeks;
+    hits = a.hits + b.hits;
+    misses = a.misses + b.misses;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "reads=%d (%d B) writes=%d (%d B) seeks=%d cache hits=%d misses=%d (%.1f%%)"
+    t.reads t.bytes_read t.writes t.bytes_written t.seeks t.hits t.misses
+    (100. *. hit_ratio t)

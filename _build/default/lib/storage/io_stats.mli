@@ -1,0 +1,40 @@
+(** I/O and access counters.
+
+    The paper's caching experiments (Sec. 3.3 / 5.2) measure the benefit of
+    buffering hot inverted lists in main memory against a storage engine with
+    caching disabled. These counters make that effect observable and testable
+    independently of wall-clock noise. *)
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+(** {1 Recording} *)
+
+val record_read : t -> bytes:int -> unit
+val record_write : t -> bytes:int -> unit
+val record_seek : t -> unit
+val record_hit : t -> unit
+(** A lookup served from a main-memory cache. *)
+
+val record_miss : t -> unit
+(** A lookup that had to go to the backing store. *)
+
+(** {1 Reading} *)
+
+val reads : t -> int
+val writes : t -> int
+val bytes_read : t -> int
+val bytes_written : t -> int
+val seeks : t -> int
+val hits : t -> int
+val misses : t -> int
+
+val hit_ratio : t -> float
+(** [hits / (hits + misses)], or [0.] when no lookups were recorded. *)
+
+val merge : t -> t -> t
+(** Pointwise sum, as a fresh counter. *)
+
+val pp : Format.formatter -> t -> unit

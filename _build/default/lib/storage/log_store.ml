@@ -1,0 +1,253 @@
+let magic = "NSCQLOG1"
+let header_size = 8
+
+(* Record: crc32(4, over everything after it) | flags(1) | key_len(4) |
+   val_len(4) | key | value. flags bit 0 = tombstone. *)
+let record_header_size = 13
+
+type entry = { offset : int; val_len : int; total_len : int }
+
+type t = {
+  mutable fd : Unix.file_descr;
+  path : string;
+  dir : (string, entry) Hashtbl.t;
+  mutable file_end : int;
+  mutable dead : int;  (* bytes of superseded/tombstoned records *)
+  stats : Io_stats.t;
+  mutable closed : bool;
+}
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+
+let really_pread t ~off buf pos len =
+  Io_stats.record_seek t.stats;
+  ignore (Unix.lseek t.fd off Unix.SEEK_SET);
+  let rec loop pos len =
+    if len > 0 then begin
+      let n = Unix.read t.fd buf pos len in
+      if n = 0 then failwith "Log_store: unexpected end of file";
+      loop (pos + n) (len - n)
+    end
+  in
+  loop pos len;
+  Io_stats.record_read t.stats ~bytes:len
+
+let really_write t buf =
+  Io_stats.record_seek t.stats;
+  ignore (Unix.lseek t.fd t.file_end Unix.SEEK_SET);
+  let len = Bytes.length buf in
+  let rec loop pos remaining =
+    if remaining > 0 then begin
+      let n = Unix.write t.fd buf pos remaining in
+      loop (pos + n) (remaining - n)
+    end
+  in
+  loop 0 len;
+  Io_stats.record_write t.stats ~bytes:len
+
+let encode_record ~tombstone ~key ~value =
+  let klen = String.length key and vlen = String.length value in
+  let buf = Bytes.create (record_header_size + klen + vlen) in
+  Bytes.set buf 4 (if tombstone then '\001' else '\000');
+  Bytes.set_int32_le buf 5 (Int32.of_int klen);
+  Bytes.set_int32_le buf 9 (Int32.of_int vlen);
+  Bytes.blit_string key 0 buf record_header_size klen;
+  Bytes.blit_string value 0 buf (record_header_size + klen) vlen;
+  let crc =
+    Checksum.crc32_bytes buf ~pos:4 ~len:(Bytes.length buf - 4)
+  in
+  Bytes.set_int32_le buf 0 crc;
+  buf
+
+let check_open t = if t.closed then failwith "Log_store: store is closed"
+
+let append t ~tombstone key value =
+  let buf = encode_record ~tombstone ~key ~value in
+  really_write t buf;
+  let offset = t.file_end in
+  t.file_end <- offset + Bytes.length buf;
+  (offset, Bytes.length buf)
+
+let supersede t key =
+  match Hashtbl.find_opt t.dir key with
+  | Some old ->
+    t.dead <- t.dead + old.total_len;
+    Hashtbl.remove t.dir key
+  | None -> ()
+
+let put t key value =
+  check_open t;
+  supersede t key;
+  let offset, total_len = append t ~tombstone:false key value in
+  Hashtbl.replace t.dir key { offset; val_len = String.length value; total_len }
+
+let get t key =
+  check_open t;
+  match Hashtbl.find_opt t.dir key with
+  | None -> None
+  | Some e ->
+    let buf = Bytes.create e.val_len in
+    really_pread t
+      ~off:(e.offset + record_header_size + String.length key)
+      buf 0 e.val_len;
+    Some (Bytes.unsafe_to_string buf)
+
+let delete t key =
+  check_open t;
+  match Hashtbl.find_opt t.dir key with
+  | None -> false
+  | Some _ ->
+    supersede t key;
+    let _, total_len = append t ~tombstone:true key "" in
+    (* the tombstone itself is dead weight for the next compaction *)
+    t.dead <- t.dead + total_len;
+    true
+
+let iter t f =
+  check_open t;
+  Hashtbl.iter (fun key _ -> f key (Option.get (get t key))) t.dir
+
+(* Scans the log from the header, rebuilding the directory; returns the
+   offset of the first invalid record (= consistent prefix length). *)
+let scan t ~file_size =
+  let pos = ref header_size in
+  let ok = ref true in
+  while !ok && !pos + record_header_size <= file_size do
+    let hdr = Bytes.create record_header_size in
+    really_pread t ~off:!pos hdr 0 record_header_size;
+    let stored_crc = Bytes.get_int32_le hdr 0 in
+    let tombstone = Bytes.get hdr 4 <> '\000' in
+    let klen = Int32.to_int (Bytes.get_int32_le hdr 5) in
+    let vlen = Int32.to_int (Bytes.get_int32_le hdr 9) in
+    if
+      klen < 0 || vlen < 0
+      || !pos + record_header_size + klen + vlen > file_size
+    then ok := false
+    else begin
+      let body = Bytes.create (9 + klen + vlen) in
+      Bytes.blit hdr 4 body 0 9;
+      really_pread t ~off:(!pos + record_header_size) body 9 (klen + vlen);
+      let crc = Checksum.crc32_bytes body ~pos:0 ~len:(Bytes.length body) in
+      if crc <> stored_crc then ok := false
+      else begin
+        let key = Bytes.sub_string body 9 klen in
+        let total_len = record_header_size + klen + vlen in
+        supersede t key;
+        if tombstone then t.dead <- t.dead + total_len
+        else
+          Hashtbl.replace t.dir key { offset = !pos; val_len = vlen; total_len };
+        pos := !pos + total_len
+      end
+    end
+  done;
+  !pos
+
+let to_kv t =
+  let name = "log:" ^ t.path in
+  Hashtbl.replace registry name t;
+  {
+    Kv.name;
+    get = get t;
+    put = put t;
+    delete = delete t;
+    iter = iter t;
+    length = (fun () -> Hashtbl.length t.dir);
+    sync =
+      (fun () ->
+        check_open t;
+        Unix.fsync t.fd);
+    close =
+      (fun () ->
+        if not t.closed then begin
+          t.closed <- true;
+          Hashtbl.remove registry name;
+          Unix.close t.fd
+        end);
+    stats = t.stats;
+  }
+
+let create path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let t =
+    {
+      fd;
+      path;
+      dir = Hashtbl.create 1024;
+      file_end = 0;
+      dead = 0;
+      stats = Io_stats.create ();
+      closed = false;
+    }
+  in
+  really_write t (Bytes.of_string magic);
+  t.file_end <- header_size;
+  Io_stats.reset t.stats;
+  to_kv t
+
+let open_existing path =
+  let fd =
+    try Unix.openfile path [ Unix.O_RDWR ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      failwith (Printf.sprintf "Log_store.open_existing %s: %s" path (Unix.error_message e))
+  in
+  let size = (Unix.fstat fd).Unix.st_size in
+  if size < header_size then failwith "Log_store.open_existing: file too small";
+  let t =
+    {
+      fd;
+      path;
+      dir = Hashtbl.create 1024;
+      file_end = 0;
+      dead = 0;
+      stats = Io_stats.create ();
+      closed = false;
+    }
+  in
+  let hdr = Bytes.create header_size in
+  really_pread t ~off:0 hdr 0 header_size;
+  if Bytes.to_string hdr <> magic then failwith "Log_store.open_existing: bad magic";
+  let consistent = scan t ~file_size:size in
+  (* torn tail (crash during the final append): truncate it away *)
+  if consistent < size then Unix.ftruncate fd consistent;
+  t.file_end <- consistent;
+  Io_stats.reset t.stats;
+  to_kv t
+
+let find_handle kv what =
+  match Hashtbl.find_opt registry kv.Kv.name with
+  | Some t -> t
+  | None -> invalid_arg ("Log_store." ^ what ^ ": not a log store handle")
+
+let dead_bytes kv = (find_handle kv "dead_bytes").dead
+
+let compact kv =
+  let t = find_handle kv "compact" in
+  check_open t;
+  let tmp_path = t.path ^ ".compact" in
+  let live =
+    Hashtbl.fold (fun key _ acc -> key :: acc) t.dir []
+    |> List.sort String.compare
+  in
+  let tmp_fd = Unix.openfile tmp_path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let fresh =
+    {
+      fd = tmp_fd;
+      path = tmp_path;
+      dir = Hashtbl.create (Hashtbl.length t.dir);
+      file_end = 0;
+      dead = 0;
+      stats = t.stats;
+      closed = false;
+    }
+  in
+  really_write fresh (Bytes.of_string magic);
+  fresh.file_end <- header_size;
+  List.iter (fun key -> put fresh key (Option.get (get t key))) live;
+  Unix.fsync tmp_fd;
+  Unix.rename tmp_path t.path;
+  Unix.close t.fd;
+  t.fd <- fresh.fd;
+  t.file_end <- fresh.file_end;
+  t.dead <- 0;
+  Hashtbl.reset t.dir;
+  Hashtbl.iter (fun k e -> Hashtbl.replace t.dir k e) fresh.dir

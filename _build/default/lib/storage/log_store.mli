@@ -1,0 +1,37 @@
+(** Crash-safe append-only key-value store (log-structured, Bitcask-style).
+
+    The paper's Tokyo Cabinet setting assumes a cleanly-written index; a
+    production deployment also wants crash safety. This backend provides it
+    with the classic log-structured design:
+
+    - the data file is a sequence of checksummed records
+      [crc32 | flags | key_len | val_len | key | value]; puts and deletes
+      (tombstones) only ever {e append}, so an interrupted write can only
+      produce a torn {e tail};
+    - the key directory lives in memory and is rebuilt by a sequential scan
+      on open; a record that fails its checksum — a torn write from a crash
+      — truncates the log at that point, recovering the store to its last
+      consistent prefix;
+    - {!compact} rewrites live records into a fresh file, dropping
+      overwritten versions and tombstones.
+
+    Trade-offs vs {!Hash_store}: O(live keys) memory for the directory and
+    an O(file) scan at open, in exchange for crash safety and strictly
+    sequential writes. *)
+
+val create : string -> Kv.t
+(** Creates a fresh store (truncating [path]). *)
+
+val open_existing : string -> Kv.t
+(** Recovers the store: scans the log, rebuilds the directory, and
+    truncates any torn tail. @raise Failure on a missing file or bad
+    header. *)
+
+val compact : Kv.t -> unit
+(** Garbage-collects dead records in place (atomic rename of a rewritten
+    file). Only valid on handles from this module.
+    @raise Invalid_argument on foreign handles. *)
+
+val dead_bytes : Kv.t -> int
+(** Bytes occupied by overwritten/deleted records (compaction would
+    reclaim them). @raise Invalid_argument on foreign handles. *)

@@ -1,0 +1,7 @@
+(** In-memory key-value store backed by a hash table.
+
+    Used for small collections, unit tests, and as the fully-buffered
+    extreme in the caching experiments. Access counters still run so the
+    backends are comparable. *)
+
+val create : ?initial_size:int -> unit -> Kv.t

@@ -1,0 +1,40 @@
+(** Paged file I/O.
+
+    Fixed-size pages over a Unix file descriptor, with access counters and
+    an optional user-space page cache (disabled by default, matching the
+    paper's "no main memory buffering" setting). Page 0 is conventionally a
+    metadata page owned by the client. *)
+
+type t
+
+val create : ?page_size:int -> ?cache_pages:int -> string -> t
+(** Creates (truncating) a paged file. [page_size] defaults to 4096 bytes;
+    [cache_pages] to [0] (no caching). *)
+
+val open_existing : ?page_size:int -> ?cache_pages:int -> string -> t
+(** Opens an existing paged file. The file size must be a multiple of
+    [page_size]. @raise Failure otherwise. *)
+
+val page_size : t -> int
+val page_count : t -> int
+
+val read_page : t -> int -> bytes
+(** Returns a fresh (or cached) buffer of [page_size] bytes.
+    @raise Invalid_argument if the page does not exist. *)
+
+val write_page : t -> int -> bytes -> unit
+(** The buffer must be exactly [page_size] bytes; pages beyond the current
+    end extend the file (intermediate pages are zero-filled). *)
+
+val append_page : t -> bytes -> int
+(** Writes a new page at the end of the file and returns its number. *)
+
+val append_blob : t -> string -> int
+(** [append_blob t s] stores [s] across [ceil (len/page_size)] fresh
+    contiguous pages and returns the first page number. *)
+
+val read_blob : t -> first_page:int -> len:int -> string
+
+val stats : t -> Io_stats.t
+val sync : t -> unit
+val close : t -> unit

@@ -1,0 +1,1 @@
+lib/textformats/json.ml: Buffer Char Float Format List Printf String

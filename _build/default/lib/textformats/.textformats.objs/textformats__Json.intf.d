@@ -1,0 +1,1 @@
+lib/textformats/json.mli: Format

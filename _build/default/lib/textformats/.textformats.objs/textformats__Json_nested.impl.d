@@ -1,0 +1,1 @@
+lib/textformats/json_nested.ml: Float Json List Nested Printf

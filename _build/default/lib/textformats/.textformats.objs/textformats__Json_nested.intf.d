@@ -1,0 +1,1 @@
+lib/textformats/json_nested.mli: Json Nested

@@ -1,0 +1,1 @@
+lib/textformats/xml.ml: Buffer Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/textformats/xml.mli: Format

@@ -1,0 +1,1 @@
+lib/textformats/xml_nested.ml: List Nested String Xml

@@ -1,0 +1,24 @@
+let atom_of_scalar = function
+  | Json.Null -> "null"
+  | Json.Bool true -> "true"
+  | Json.Bool false -> "false"
+  | Json.Number f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.17g" f
+  | Json.String s -> s
+  | Json.Array _ | Json.Object _ ->
+    invalid_arg "Json_nested.atom_of_scalar: not a scalar"
+
+let rec of_json = function
+  | (Json.Null | Json.Bool _ | Json.Number _ | Json.String _) as scalar ->
+    Nested.Value.atom (atom_of_scalar scalar)
+  | Json.Array elems -> Nested.Value.set (List.map of_json elems)
+  | Json.Object fields ->
+    Nested.Value.set
+      (List.map
+         (fun (k, v) -> Nested.Value.set [ Nested.Value.atom k; of_json v ])
+         fields)
+
+let field k v = Nested.Value.set [ Nested.Value.atom k; v ]
+
+let query fields = Nested.Value.set (List.map (fun (k, v) -> field k v) fields)

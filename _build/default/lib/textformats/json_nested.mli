@@ -1,0 +1,31 @@
+(** Mapping JSON into the nested-set data model.
+
+    The paper ingests nested JSON tweets "directly mapped into our data
+    model" (Sec. 5.1). The model has sets with atomic and set-valued
+    members but no field labels, so we use the standard encoding:
+
+    - a scalar becomes an atom ([null] → ["null"], booleans → ["true"] /
+      ["false"], numbers in their shortest decimal form, strings as-is);
+    - an array becomes the set of its mapped elements (order and
+      multiplicity are absorbed by the set semantics, as in the paper's
+      data model);
+    - an object becomes the set of its field encodings, where field
+      [k : v] becomes the two-element set [{k, map(v)}].
+
+    Under this encoding a JSON "pattern" object translates to a nested-set
+    query whose homomorphic containment matches records having at least
+    the pattern's fields/elements — the natural JSON containment semantics
+    (cf. Postgres [@>]). *)
+
+val of_json : Json.t -> Nested.Value.t
+
+val atom_of_scalar : Json.t -> string
+(** The atom used for a scalar ([Null]/[Bool]/[Number]/[String]).
+    @raise Invalid_argument on arrays and objects. *)
+
+val field : string -> Nested.Value.t -> Nested.Value.t
+(** [field k v] is the encoding [{k, v}] of one object field — a
+    convenience for building queries. *)
+
+val query : (string * Nested.Value.t) list -> Nested.Value.t
+(** [query fields] builds the encoding of an object pattern. *)

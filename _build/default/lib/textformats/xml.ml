@@ -1,0 +1,348 @@
+type t =
+  | Element of { tag : string; attrs : (string * string) list; children : t list }
+  | Text of string
+
+exception Parse_error of { pos : int; message : string }
+
+let fail pos message = raise (Parse_error { pos; message })
+
+type state = { input : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.input then Some st.input.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.input then Some st.input.[st.pos + 1] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.input && String.sub st.input st.pos n = s
+
+let skip_string st s =
+  if looking_at st s then st.pos <- st.pos + String.length s
+  else fail st.pos (Printf.sprintf "expected %S" s)
+
+let skip_until st s =
+  let n = String.length s in
+  let limit = String.length st.input - n in
+  let rec loop () =
+    if st.pos > limit then fail st.pos (Printf.sprintf "unterminated section, expected %S" s)
+    else if looking_at st s then st.pos <- st.pos + n
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+let is_ws = function ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+
+let skip_ws st =
+  while (match peek st with Some c when is_ws c -> true | _ -> false) do
+    advance st
+  done
+
+let is_name_start = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+  | c -> Char.code c >= 0x80
+
+let is_name_char c =
+  is_name_start c || (match c with '0' .. '9' | '-' | '.' -> true | _ -> false)
+
+let parse_name st =
+  let start = st.pos in
+  (match peek st with
+  | Some c when is_name_start c -> advance st
+  | _ -> fail st.pos "expected a name");
+  while (match peek st with Some c when is_name_char c -> true | _ -> false) do
+    advance st
+  done;
+  String.sub st.input start (st.pos - start)
+
+(* Decodes &amp; &lt; &gt; &quot; &apos; and numeric references. *)
+let parse_reference st buf =
+  skip_string st "&";
+  if looking_at st "#" then begin
+    advance st;
+    let hex = looking_at st "x" in
+    if hex then advance st;
+    let start = st.pos in
+    while
+      match peek st with
+      | Some ('0' .. '9') -> true
+      | Some ('a' .. 'f' | 'A' .. 'F') when hex -> true
+      | _ -> false
+    do
+      advance st
+    done;
+    let digits = String.sub st.input start (st.pos - start) in
+    if digits = "" then fail st.pos "empty character reference";
+    skip_string st ";";
+    let cp = int_of_string ((if hex then "0x" else "") ^ digits) in
+    (* reuse the JSON module's UTF-8 encoder semantics *)
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xf0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+    end
+  end
+  else begin
+    let name = parse_name st in
+    skip_string st ";";
+    let c =
+      match name with
+      | "amp" -> '&'
+      | "lt" -> '<'
+      | "gt" -> '>'
+      | "quot" -> '"'
+      | "apos" -> '\''
+      | _ -> fail st.pos (Printf.sprintf "unknown entity &%s;" name)
+    in
+    Buffer.add_char buf c
+  end
+
+let parse_attr_value st =
+  let quote =
+    match peek st with
+    | Some (('"' | '\'') as q) ->
+      advance st;
+      q
+    | _ -> fail st.pos "expected a quoted attribute value"
+  in
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek st with
+    | None -> fail st.pos "unterminated attribute value"
+    | Some c when c = quote -> advance st
+    | Some '&' ->
+      parse_reference st buf;
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_attrs st =
+  let rec loop acc =
+    skip_ws st;
+    match peek st with
+    | Some c when is_name_start c ->
+      let name = parse_name st in
+      skip_ws st;
+      skip_string st "=";
+      skip_ws st;
+      let value = parse_attr_value st in
+      loop ((name, value) :: acc)
+    | _ -> List.rev acc
+  in
+  loop []
+
+let rec skip_misc st =
+  skip_ws st;
+  if looking_at st "<!--" then begin
+    skip_until st "-->";
+    skip_misc st
+  end
+  else if looking_at st "<?" then begin
+    skip_until st "?>";
+    skip_misc st
+  end
+  else if looking_at st "<!DOCTYPE" then begin
+    (* skip to the matching '>' (internal subsets in brackets supported) *)
+    let depth = ref 0 in
+    let rec loop () =
+      match peek st with
+      | None -> fail st.pos "unterminated DOCTYPE"
+      | Some '[' ->
+        incr depth;
+        advance st;
+        loop ()
+      | Some ']' ->
+        decr depth;
+        advance st;
+        loop ()
+      | Some '>' when !depth = 0 -> advance st
+      | Some _ ->
+        advance st;
+        loop ()
+    in
+    loop ();
+    skip_misc st
+  end
+
+let rec parse_element st =
+  skip_string st "<";
+  let tag = parse_name st in
+  let attrs = parse_attrs st in
+  skip_ws st;
+  if looking_at st "/>" then begin
+    skip_string st "/>";
+    Element { tag; attrs; children = [] }
+  end
+  else begin
+    skip_string st ">";
+    let children = parse_content st tag in
+    Element { tag; attrs; children }
+  end
+
+and parse_content st tag =
+  let out = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_text () =
+    if Buffer.length buf > 0 then begin
+      let s = Buffer.contents buf in
+      Buffer.clear buf;
+      (* keep only non-whitespace-only text *)
+      if not (String.for_all is_ws s) then out := Text s :: !out
+    end
+  in
+  let rec loop () =
+    match peek st with
+    | None -> fail st.pos (Printf.sprintf "unterminated element <%s>" tag)
+    | Some '<' -> (
+      match peek2 st with
+      | Some '/' ->
+        flush_text ();
+        skip_string st "</";
+        let closing = parse_name st in
+        if closing <> tag then
+          fail st.pos (Printf.sprintf "mismatched </%s>, expected </%s>" closing tag);
+        skip_ws st;
+        skip_string st ">"
+      | Some '!' ->
+        if looking_at st "<!--" then begin
+          skip_until st "-->";
+          loop ()
+        end
+        else if looking_at st "<![CDATA[" then begin
+          skip_string st "<![CDATA[";
+          let start = st.pos in
+          skip_until st "]]>";
+          Buffer.add_string buf (String.sub st.input start (st.pos - start - 3));
+          loop ()
+        end
+        else fail st.pos "unexpected markup"
+      | Some '?' ->
+        skip_until st "?>";
+        loop ()
+      | _ ->
+        flush_text ();
+        out := parse_element st :: !out;
+        loop ())
+    | Some '&' ->
+      parse_reference st buf;
+      loop ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance st;
+      loop ()
+  in
+  loop ();
+  List.rev !out
+
+let of_string s =
+  let st = { input = s; pos = 0 } in
+  skip_misc st;
+  let e = parse_element st in
+  skip_misc st;
+  (match peek st with
+  | Some c -> fail st.pos (Printf.sprintf "trailing input starting with '%c'" c)
+  | None -> ());
+  e
+
+let of_string_opt s = try Some (of_string s) with Parse_error _ -> None
+
+let parse_many s =
+  let st = { input = s; pos = 0 } in
+  let rec loop acc =
+    skip_misc st;
+    match peek st with
+    | None -> List.rev acc
+    | Some _ -> loop (parse_element st :: acc)
+  in
+  loop []
+
+(* --- printing --- *)
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Text s -> escape buf s
+    | Element { tag; attrs; children } ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          escape buf v;
+          Buffer.add_char buf '"')
+        attrs;
+      if children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter go children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>'
+      end
+  in
+  go t;
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let tag = function Element { tag; _ } -> Some tag | Text _ -> None
+
+let attr name = function
+  | Element { attrs; _ } -> List.assoc_opt name attrs
+  | Text _ -> None
+
+let children = function Element { children; _ } -> children | Text _ -> []
+
+let text_content t =
+  let buf = Buffer.create 32 in
+  let rec go = function
+    | Text s -> Buffer.add_string buf s
+    | Element { children; _ } -> List.iter go children
+  in
+  go t;
+  Buffer.contents buf
+
+let rec equal a b =
+  match a, b with
+  | Text x, Text y -> String.equal x y
+  | Element x, Element y ->
+    let sort l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+    String.equal x.tag y.tag
+    && sort x.attrs = sort y.attrs
+    && List.length x.children = List.length y.children
+    && List.for_all2 equal x.children y.children
+  | (Text _ | Element _), _ -> false

@@ -1,0 +1,38 @@
+(** A small XML parser and printer.
+
+    Covers the subset needed to ingest DBLP-style bibliographic records
+    (paper, Experiment 3): elements with attributes, text content, the five
+    predefined entities plus numeric character references, comments,
+    processing instructions, CDATA sections, and an optional XML
+    declaration / DOCTYPE line (both skipped). No external DTD processing,
+    no namespaces semantics (prefixes are kept verbatim). *)
+
+type t =
+  | Element of { tag : string; attrs : (string * string) list; children : t list }
+  | Text of string
+
+exception Parse_error of { pos : int; message : string }
+
+val of_string : string -> t
+(** Parses a document and returns its root element (prolog, comments and
+    PIs around it are skipped). @raise Parse_error on malformed input. *)
+
+val of_string_opt : string -> t option
+
+val parse_many : string -> t list
+(** A sequence of top-level elements (e.g. one record per line). *)
+
+val to_string : t -> string
+(** Prints with the five predefined entities escaped; parses back to an
+    equal value. *)
+
+val pp : Format.formatter -> t -> unit
+
+val tag : t -> string option
+val attr : string -> t -> string option
+val children : t -> t list
+val text_content : t -> string
+(** Concatenated text of the whole subtree. *)
+
+val equal : t -> t -> bool
+(** Structural; attribute lists compared order-insensitively. *)

@@ -1,0 +1,33 @@
+let tokens s =
+  String.split_on_char ' ' s
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\r')
+  |> List.filter (fun t -> t <> "")
+
+let rec of_xml ?(tokenize = false) = function
+  | Xml.Text s ->
+    if tokenize then Nested.Value.of_atoms (tokens s)
+    else Nested.Value.atom (String.trim s)
+  | Xml.Element { tag; attrs; children } ->
+    let attr_values =
+      List.map
+        (fun (k, v) ->
+          Nested.Value.set [ Nested.Value.atom ("@" ^ k); Nested.Value.atom v ])
+        attrs
+    in
+    (* A text child contributes its atom(s) directly into the element's
+       set; element children contribute one nested set each. *)
+    let child_values =
+      List.concat_map
+        (fun c ->
+          match c with
+          | Xml.Text s ->
+            if tokenize then List.map Nested.Value.atom (tokens s)
+            else [ Nested.Value.atom (String.trim s) ]
+          | Xml.Element _ -> [ of_xml ~tokenize c ])
+        children
+    in
+    Nested.Value.set (Nested.Value.atom tag :: (attr_values @ child_values))
+
+let element tag members = Nested.Value.set (Nested.Value.atom tag :: members)

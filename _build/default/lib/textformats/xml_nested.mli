@@ -1,0 +1,19 @@
+(** Mapping XML into the nested-set data model.
+
+    The paper maps DBLP article records "directly into nested sets in our
+    model" (Sec. 5.1). Encoding:
+
+    - an element becomes a set containing its tag name as an atom, the
+      encoding of each attribute [k="v"] as the two-element set [{@k, v}]
+      (attribute names are prefixed with [@] to keep them distinct from
+      tags), and the encoding of each child;
+    - a text node becomes its whitespace-trimmed string as an atom;
+      optionally ({!of_xml} [~tokenize:true]) text is split on whitespace
+      into one atom per token, which makes word-level containment queries
+      possible (e.g. title keywords). *)
+
+val of_xml : ?tokenize:bool -> Xml.t -> Nested.Value.t
+(** [tokenize] defaults to [false]. *)
+
+val element : string -> Nested.Value.t list -> Nested.Value.t
+(** [element tag members] builds the encoding of an element pattern. *)

@@ -1,0 +1,1 @@
+test/test_bloom.ml: Alcotest Containment List Nested Printf QCheck Testutil

@@ -1,0 +1,1 @@
+test/test_containment.ml: Alcotest Array Containment Invfile List Nested Printf QCheck Testutil

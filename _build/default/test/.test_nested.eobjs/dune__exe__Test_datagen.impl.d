@@ -1,0 +1,1 @@
+test/test_datagen.ml: Alcotest Array Containment Datagen Float List Nested Random Testutil Textformats

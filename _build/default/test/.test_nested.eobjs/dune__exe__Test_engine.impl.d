@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Containment Datagen Fun Invfile List Printf Storage Testutil

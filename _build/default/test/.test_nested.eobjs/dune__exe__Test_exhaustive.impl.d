@@ -1,0 +1,1 @@
+test/test_exhaustive.ml: Alcotest Containment Hashtbl Lazy List Nested Set String

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Char Containment Fun Int Invfile List Nested Option Printf QCheck Random Stack Storage String Testutil

@@ -1,0 +1,1 @@
+test/test_invfile.ml: Alcotest Array Containment Datagen Format Gen Hashtbl Int Invfile List Nested Option QCheck Storage String Testutil

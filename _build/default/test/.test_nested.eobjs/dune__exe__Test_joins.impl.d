@@ -1,0 +1,1 @@
+test/test_joins.ml: Alcotest Containment List Nested QCheck Testutil

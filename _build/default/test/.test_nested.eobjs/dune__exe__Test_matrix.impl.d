@@ -1,0 +1,1 @@
+test/test_matrix.ml: Alcotest Containment Datagen Fun Invfile Lazy List Nested Printf Sys Testutil

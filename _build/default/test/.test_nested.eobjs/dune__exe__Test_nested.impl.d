@@ -1,0 +1,1 @@
+test/test_nested.ml: Alcotest Array Int List Nested QCheck String Testutil

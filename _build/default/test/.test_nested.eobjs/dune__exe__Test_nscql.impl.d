@@ -1,0 +1,1 @@
+test/test_nscql.ml: Alcotest Containment Format List Nested QCheck String Testutil

@@ -1,0 +1,1 @@
+test/test_semantics.ml: Alcotest Containment List Nested QCheck Testutil

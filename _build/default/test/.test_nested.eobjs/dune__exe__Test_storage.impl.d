@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Char Fun Hashtbl Int List Printf QCheck Storage String Sys Testutil Unix

@@ -1,0 +1,1 @@
+test/test_textformats.ml: Alcotest Containment Datagen List Nested Option QCheck Testutil Textformats

@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Array Containment Filename Format Fun List Nested QCheck QCheck_alcotest String Sys

@@ -1,0 +1,269 @@
+(* Tests for Bloom filters: the basic filter, the Breadth and Depth
+   hierarchical variants (paper Sec. 3.3), and the per-record prefilter. *)
+
+module E = Containment.Engine
+module S = Containment.Semantics
+module B = Containment.Bloom
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- basic filter --- *)
+
+let test_add_mem_no_false_negatives () =
+  let f = B.create ~bits:128 () in
+  let keys = List.init 20 (fun i -> "key" ^ string_of_int i) in
+  List.iter (B.add f) keys;
+  List.iter (fun k -> check_bool k true (B.mem f k)) keys
+
+let test_empty_filter_rejects () =
+  let f = B.create ~bits:128 () in
+  check_bool "nothing in empty filter" false (B.mem f "x");
+  Alcotest.(check (float 0.0001)) "fill 0" 0. (B.fill_ratio f)
+
+let test_subset_semantics () =
+  let a = B.create ~bits:256 () and b = B.create ~bits:256 () in
+  List.iter (B.add a) [ "x"; "y" ];
+  List.iter (B.add b) [ "x"; "y"; "z" ];
+  check_bool "a ⊆ b" true (B.subset a b);
+  check_bool "b ⊄ a" false (B.subset b a);
+  check_bool "empty ⊆ a" true (B.subset (B.create ~bits:256 ()) a)
+
+let test_union () =
+  let a = B.create ~bits:256 () and b = B.create ~bits:256 () in
+  B.add a "x";
+  B.add b "y";
+  let u = B.union a b in
+  check_bool "x in union" true (B.mem u "x");
+  check_bool "y in union" true (B.mem u "y");
+  check_bool "a ⊆ u" true (B.subset a u);
+  check_bool "b ⊆ u" true (B.subset b u)
+
+let test_geometry_mismatch () =
+  let a = B.create ~bits:128 () and b = B.create ~bits:256 () in
+  match B.subset a b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected geometry mismatch"
+
+let test_optimal_sizing () =
+  let f = B.optimal ~expected:100 ~fp_rate:0.01 in
+  check_bool "roughly 9.6 bits/key" true (B.bits f >= 900 && B.bits f <= 1000);
+  check_bool "about 7 hashes" true (B.hash_count f >= 6 && B.hash_count f <= 8)
+
+let test_encode_decode () =
+  let f = B.create ~bits:128 ~hashes:5 () in
+  List.iter (B.add f) [ "a"; "b"; "c" ];
+  let g = B.decode (B.encode f) in
+  check_int "hashes preserved" 5 (B.hash_count g);
+  check_bool "contents preserved" true (B.subset f g && B.subset g f)
+
+let test_fp_rate_reasonable () =
+  let f = B.optimal ~expected:200 ~fp_rate:0.05 in
+  for i = 0 to 199 do
+    B.add f ("member" ^ string_of_int i)
+  done;
+  let fps = ref 0 in
+  for i = 0 to 999 do
+    if B.mem f ("nonmember" ^ string_of_int i) then incr fps
+  done;
+  (* generous bound: 5% nominal, allow up to 12% *)
+  check_bool (Printf.sprintf "fp rate %d/1000" !fps) true (!fps < 120)
+
+let prop_no_false_negatives =
+  Testutil.qcheck_case ~name:"bloom never loses members"
+    (QCheck.list_of_size (QCheck.Gen.int_range 0 50) QCheck.printable_string)
+    (fun keys ->
+      let f = B.create ~bits:512 () in
+      List.iter (B.add f) keys;
+      List.for_all (B.mem f) keys)
+
+let prop_subset_sound_for_sets =
+  Testutil.qcheck_case ~name:"set ⊆ set ⇒ filter ⊆ filter"
+    (QCheck.pair
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 20) QCheck.printable_string)
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 20) QCheck.printable_string))
+    (fun (xs, ys) ->
+      let a = B.create ~bits:512 () and b = B.create ~bits:512 () in
+      List.iter (B.add a) xs;
+      List.iter (B.add b) (xs @ ys);
+      B.subset a b)
+
+(* --- hierarchical filters --- *)
+
+module BB = Containment.Breadth_bloom
+module DB = Containment.Depth_bloom
+
+let test_breadth_hom_soundness () =
+  (* q ⊆ s at matching levels must pass; wrong level must be testable *)
+  let s = BB.of_value (Testutil.v "{a, {b, {c}}}") in
+  let q_good = BB.of_value (Testutil.v "{a, {b}}") in
+  let q_wrong_level = BB.of_value (Testutil.v "{b, {a}}") in
+  let q_too_deep = BB.of_value (Testutil.v "{a, {b, {c, {d}}}}") in
+  check_bool "matching levels pass" true (BB.subset_hom ~q:q_good ~s);
+  check_bool "levels swapped fail" false (BB.subset_hom ~q:q_wrong_level ~s);
+  check_bool "deeper query fails" false (BB.subset_hom ~q:q_too_deep ~s)
+
+let test_breadth_homeo_relaxation () =
+  let s = BB.of_value (Testutil.v "{x, {y, {c}}}") in
+  (* c is at level 2 in s but level 1 in q: homeo check passes, hom fails *)
+  let q = BB.of_value (Testutil.v "{x, {c}}") in
+  check_bool "hom fails" false (BB.subset_hom ~q ~s);
+  check_bool "homeo passes" true (BB.subset_homeo ~q ~s)
+
+let test_depth_filter_variants () =
+  let s = DB.of_value (Testutil.v "{a, {b, {c}}}") in
+  let q_good = DB.of_value (Testutil.v "{a, {b}}") in
+  let q_wrong_level = DB.of_value (Testutil.v "{b, {a}}") in
+  check_bool "hom pass" true (DB.subset_hom ~q:q_good ~s);
+  check_bool "hom wrong level fail" false (DB.subset_hom ~q:q_wrong_level ~s);
+  (* homeo uses depth-agnostic labels only *)
+  check_bool "homeo tolerates level shift" true (DB.subset_homeo ~q:q_wrong_level ~s);
+  check_bool "missing label still fails homeo" false
+    (DB.subset_homeo ~q:(DB.of_value (Testutil.v "{zz}")) ~s)
+
+let test_hier_encode_decode () =
+  let v = Testutil.v "{a, {b, {c}}}" in
+  let bb = BB.of_value v in
+  let bb' = BB.decode (BB.encode bb) in
+  check_int "levels" (BB.levels bb) (BB.levels bb');
+  check_bool "same filter" true (BB.subset_hom ~q:bb ~s:bb' && BB.subset_hom ~q:bb' ~s:bb);
+  let db = DB.of_value v in
+  let db' = DB.decode (DB.encode db) in
+  check_bool "depth same" true (DB.subset_hom ~q:db ~s:db' && DB.subset_hom ~q:db' ~s:db)
+
+let prop_breadth_no_false_negatives =
+  Testutil.qcheck_case ~count:300 ~name:"breadth filter: containment ⇒ test passes"
+    (QCheck.pair Testutil.arbitrary_value Testutil.arbitrary_value)
+    (fun (q, s) ->
+      QCheck.assume (Nested.Value.is_set q && Nested.Value.is_set s);
+      QCheck.assume (Containment.Embed.contains S.Hom ~q ~s);
+      BB.subset_hom ~q:(BB.of_value q) ~s:(BB.of_value s))
+
+let prop_depth_no_false_negatives =
+  Testutil.qcheck_case ~count:300 ~name:"depth filter: containment ⇒ test passes"
+    (QCheck.pair Testutil.arbitrary_value Testutil.arbitrary_value)
+    (fun (q, s) ->
+      QCheck.assume (Nested.Value.is_set q && Nested.Value.is_set s);
+      QCheck.assume (Containment.Embed.contains S.Hom ~q ~s);
+      DB.subset_hom ~q:(DB.of_value q) ~s:(DB.of_value s))
+
+let prop_breadth_homeo_no_false_negatives =
+  Testutil.qcheck_case ~count:300 ~name:"breadth filter: homeo containment ⇒ homeo test"
+    (QCheck.pair Testutil.arbitrary_value Testutil.arbitrary_value)
+    (fun (q, s) ->
+      QCheck.assume (Nested.Value.is_set q && Nested.Value.is_set s);
+      QCheck.assume (Containment.Embed.contains S.Homeo ~q ~s);
+      BB.subset_homeo ~q:(BB.of_value q) ~s:(BB.of_value s))
+
+(* --- per-record prefilter --- *)
+
+module FI = Containment.Filter_index
+
+let test_prefilter_prunes_negatives () =
+  let inv = Testutil.mem_collection Testutil.licences_strings in
+  let fi = FI.build inv in
+  check_int "covers all records" 4 (FI.record_count fi);
+  (match FI.candidate_records fi ~join:S.Containment ~embedding:S.Hom (Testutil.v "{Mars}") with
+  | Some [] -> ()
+  | Some l -> Alcotest.failf "expected no candidates, got %d" (List.length l)
+  | None -> Alcotest.fail "expected a supported test");
+  match FI.candidate_records fi ~join:S.Containment ~embedding:S.Hom (Testutil.v "{London}") with
+  | Some l -> check_bool "record 0 survives" true (List.mem 0 l)
+  | None -> Alcotest.fail "expected a supported test"
+
+let test_prefilter_overlap_unsupported () =
+  let inv = Testutil.mem_collection Testutil.licences_strings in
+  let fi = FI.build inv in
+  check_bool "overlap yields None" true
+    (FI.candidate_records fi ~join:(S.Overlap 1) ~embedding:S.Hom (Testutil.v "{a}") = None)
+
+let test_engine_with_prefilter_same_results () =
+  let inv = Testutil.mem_collection Testutil.licences_strings in
+  let fi = FI.build inv in
+  let queries =
+    [ "{UK, {A, motorbike}}"; "{USA}"; "{Mars}"; "{{UK, {A, motorbike}}}"; "{Paris, FR}" ]
+  in
+  List.iter
+    (fun qs ->
+      let q = Testutil.v qs in
+      let plain = (E.query inv q).E.records in
+      let filtered =
+        (E.query ~config:{ E.default with E.filter_index = Some fi } inv q).E.records
+      in
+      Alcotest.(check (list int)) ("same results for " ^ qs) plain filtered)
+    queries
+
+let test_engine_prefilter_reports_survivors () =
+  let inv = Testutil.mem_collection Testutil.licences_strings in
+  let fi = FI.build inv in
+  let r =
+    E.query ~config:{ E.default with E.filter_index = Some fi } inv (Testutil.v "{Mars}")
+  in
+  Alcotest.(check (option int)) "all records pruned" (Some 0) r.E.prefilter_survivors
+
+let test_prefilter_save_load () =
+  let inv = Testutil.mem_collection Testutil.licences_strings in
+  let fi = FI.build ~kind:FI.Depth inv in
+  FI.save fi inv;
+  match FI.load inv with
+  | None -> Alcotest.fail "expected saved filters"
+  | Some fi' ->
+    check_bool "kind preserved" true (FI.kind fi' = FI.Depth);
+    check_int "record count" 4 (FI.record_count fi');
+    let q = Testutil.v "{London}" in
+    check_bool "same candidates" true
+      (FI.candidate_records fi ~join:S.Containment ~embedding:S.Hom q
+      = FI.candidate_records fi' ~join:S.Containment ~embedding:S.Hom q)
+
+let prop_prefilter_never_drops_matches =
+  Testutil.qcheck_case ~count:150 ~name:"prefilter preserves all true matches"
+    (QCheck.pair (Testutil.arbitrary_collection ()) Testutil.arbitrary_value)
+    (fun (values, q) ->
+      QCheck.assume (Nested.Value.is_set q);
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      let fi = FI.build inv in
+      let plain = (E.query inv q).E.records in
+      let filtered =
+        (E.query ~config:{ E.default with E.filter_index = Some fi } inv q).E.records
+      in
+      plain = filtered)
+
+let () =
+  Alcotest.run "bloom"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "no false negatives" `Quick test_add_mem_no_false_negatives;
+          Alcotest.test_case "empty filter" `Quick test_empty_filter_rejects;
+          Alcotest.test_case "subset" `Quick test_subset_semantics;
+          Alcotest.test_case "union" `Quick test_union;
+          Alcotest.test_case "geometry mismatch" `Quick test_geometry_mismatch;
+          Alcotest.test_case "optimal sizing" `Quick test_optimal_sizing;
+          Alcotest.test_case "encode/decode" `Quick test_encode_decode;
+          Alcotest.test_case "fp rate sane" `Quick test_fp_rate_reasonable;
+          prop_no_false_negatives;
+          prop_subset_sound_for_sets;
+        ] );
+      ( "hierarchical",
+        [
+          Alcotest.test_case "breadth hom" `Quick test_breadth_hom_soundness;
+          Alcotest.test_case "breadth homeo" `Quick test_breadth_homeo_relaxation;
+          Alcotest.test_case "depth variants" `Quick test_depth_filter_variants;
+          Alcotest.test_case "encode/decode" `Quick test_hier_encode_decode;
+          prop_breadth_no_false_negatives;
+          prop_depth_no_false_negatives;
+          prop_breadth_homeo_no_false_negatives;
+        ] );
+      ( "prefilter",
+        [
+          Alcotest.test_case "prunes negatives" `Quick test_prefilter_prunes_negatives;
+          Alcotest.test_case "overlap unsupported" `Quick test_prefilter_overlap_unsupported;
+          Alcotest.test_case "engine equivalence" `Quick
+            test_engine_with_prefilter_same_results;
+          Alcotest.test_case "survivor count" `Quick test_engine_prefilter_reports_survivors;
+          Alcotest.test_case "save/load" `Quick test_prefilter_save_load;
+          prop_prefilter_never_drops_matches;
+        ] );
+    ]

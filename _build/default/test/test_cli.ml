@@ -1,0 +1,199 @@
+(* End-to-end tests of the nscq command-line tool: the full pipeline
+   generate → build → stats → query → sql → workload, as a user would run
+   it, against each storage backend. *)
+
+(* Resolve the built binary whether we run under `dune runtest` (cwd =
+   _build/default/test) or `dune exec` from the project root. *)
+let nscq =
+  let candidates =
+    (match Sys.getenv_opt "NSCQ_BIN" with Some p -> [ p ] | None -> [])
+    @ [ "../bin/nscq.exe"; "_build/default/bin/nscq.exe"; "bin/nscq.exe" ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "../bin/nscq.exe"
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Runs the binary, returns (exit code, stdout). *)
+let run_cli args =
+  let out_file = Filename.temp_file "nscq_cli" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out_file with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2>&1" (Filename.quote nscq)
+          (String.concat " " (List.map Filename.quote args))
+          (Filename.quote out_file)
+      in
+      let code = Sys.command cmd in
+      let ic = open_in_bin out_file in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (code, contents))
+
+let expect_ok args =
+  let code, out = run_cli args in
+  if code <> 0 then
+    Alcotest.failf "nscq %s exited %d:\n%s" (String.concat " " args) code out;
+  out
+
+let contains_s haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let with_store backend f () =
+  Testutil.with_temp_path ".ns" (fun data ->
+      Testutil.with_temp_path ".store" (fun store ->
+          let oc = open_out data in
+          List.iter (fun s -> output_string oc (s ^ "\n")) Testutil.licences_strings;
+          close_out oc;
+          let _ =
+            expect_ok [ "build"; "-i"; data; "-o"; store; "--backend"; backend ]
+          in
+          f ~store ~backend))
+
+let test_build_reports backend =
+  with_store backend (fun ~store:_ ~backend:_ -> ())
+
+let test_stats backend =
+  with_store backend (fun ~store ~backend ->
+      let out = expect_ok [ "stats"; "-s"; store; "--backend"; backend ] in
+      check_bool "records reported" true (contains_s out "records        4");
+      let out = expect_ok [ "stats"; "-s"; store; "--backend"; backend; "--detailed" ] in
+      check_bool "detailed histograms" true (contains_s out "nodes per depth"))
+
+let test_query backend =
+  with_store backend (fun ~store ~backend ->
+      let out =
+        expect_ok
+          [ "query"; "-s"; store; "--backend"; backend; "--cache"; "10";
+            "{{UK, {A, motorbike}}}" ]
+      in
+      check_bool "three matches" true (contains_s out "3 matching record(s)");
+      let out =
+        expect_ok
+          [ "query"; "-s"; store; "--backend"; backend; "--join"; "superset";
+            (List.hd Testutil.licences_strings) ]
+      in
+      check_bool "superset matches itself" true (contains_s out "1 matching record(s)");
+      let out =
+        expect_ok
+          [ "query"; "-s"; store; "--backend"; backend; "--embedding"; "homeo";
+            "--explain"; "{{C}}" ]
+      in
+      check_bool "explain plan shown" true (contains_s out "candidates="))
+
+let test_sql backend =
+  with_store backend (fun ~store ~backend ->
+      let out =
+        expect_ok
+          [ "sql"; "-s"; store; "--backend"; backend;
+            "COUNT CONTAINS {{UK, {A, motorbike}}}" ]
+      in
+      check_bool "count is 3" true (contains_s out "3");
+      let out =
+        expect_ok
+          [ "sql"; "-s"; store; "--backend"; backend; "WITNESS CONTAINS {Boston}" ]
+      in
+      check_bool "witness rendered" true (contains_s out "match at node");
+      (* parse errors exit non-zero *)
+      let code, _ = run_cli [ "sql"; "-s"; store; "--backend"; backend; "FROB {a}" ] in
+      check_int "bad statement fails" 1 code)
+
+let test_workload backend =
+  with_store backend (fun ~store ~backend ->
+      let out =
+        expect_ok
+          [ "workload"; "-s"; store; "--backend"; backend; "-n"; "4"; "--cache"; "5" ]
+      in
+      check_bool "stats line" true (contains_s out "4 queries in"))
+
+let test_generate_roundtrip () =
+  Testutil.with_temp_path ".ns" (fun data ->
+      Testutil.with_temp_path ".store" (fun store ->
+          let _ =
+            expect_ok
+              [ "generate"; "--kind"; "wide-zipf"; "-n"; "50"; "--seed"; "3"; "-o"; data ]
+          in
+          let out = expect_ok [ "build"; "-i"; data; "-o"; store ] in
+          check_bool "indexed 50" true (contains_s out "indexed 50 records")))
+
+let test_generate_json_xml () =
+  Testutil.with_temp_path ".jsonl" (fun data ->
+      Testutil.with_temp_path ".store" (fun store ->
+          let _ = expect_ok [ "generate"; "--kind"; "twitter"; "-n"; "30"; "-o"; data ] in
+          let out = expect_ok [ "build"; "-i"; data; "--format"; "json"; "-o"; store ] in
+          check_bool "json indexed" true (contains_s out "indexed 30 records")));
+  Testutil.with_temp_path ".xml" (fun data ->
+      Testutil.with_temp_path ".store" (fun store ->
+          let _ = expect_ok [ "generate"; "--kind"; "dblp"; "-n"; "30"; "-o"; data ] in
+          let out =
+            expect_ok
+              [ "build"; "-i"; data; "--format"; "xml"; "--tokenize"; "-o"; store ]
+          in
+          check_bool "xml indexed" true (contains_s out "indexed 30 records")))
+
+let test_admin_commands () =
+  (* check / export / merge / compact over the log backend *)
+  Testutil.with_temp_path ".ns" (fun data ->
+      Testutil.with_temp_path ".store" (fun store ->
+          Testutil.with_temp_path ".store2" (fun store2 ->
+              Testutil.with_temp_path ".export" (fun export ->
+                  let oc = open_out data in
+                  List.iter (fun s -> output_string oc (s ^ "\n")) Testutil.licences_strings;
+                  close_out oc;
+                  ignore (expect_ok [ "build"; "-i"; data; "-o"; store; "--backend"; "log" ]);
+                  ignore (expect_ok [ "build"; "-i"; data; "-o"; store2; "--backend"; "log" ]);
+                  let out = expect_ok [ "check"; "-s"; store; "--backend"; "log" ] in
+                  check_bool "consistent" true (contains_s out "consistent");
+                  let out =
+                    expect_ok
+                      [ "merge"; "-s"; store; "--backend"; "log"; "--from"; store2;
+                        "--from-backend"; "log" ]
+                  in
+                  check_bool "merged to 8" true (contains_s out "-> 8");
+                  let out = expect_ok [ "check"; "-s"; store; "--backend"; "log" ] in
+                  check_bool "still consistent" true (contains_s out "consistent");
+                  ignore (expect_ok [ "export"; "-s"; store; "--backend"; "log"; "-o"; export ]);
+                  let ic = open_in export in
+                  let lines = ref 0 in
+                  (try
+                     while true do
+                       ignore (input_line ic);
+                       incr lines
+                     done
+                   with End_of_file -> close_in ic);
+                  check_int "exported 8 records" 8 !lines;
+                  let out = expect_ok [ "compact"; "-s"; store; "--backend"; "log" ] in
+                  check_bool "compacted" true (contains_s out "compacted")))))
+
+let test_missing_store_fails () =
+  let code, _ = run_cli [ "stats"; "-s"; "/nonexistent/store.tch" ] in
+  check_bool "clean failure" true (code <> 0)
+
+let backend_cases backend =
+  [
+    Alcotest.test_case (backend ^ ": build") `Quick (test_build_reports backend);
+    Alcotest.test_case (backend ^ ": stats") `Quick (test_stats backend);
+    Alcotest.test_case (backend ^ ": query") `Quick (test_query backend);
+    Alcotest.test_case (backend ^ ": sql") `Quick (test_sql backend);
+    Alcotest.test_case (backend ^ ": workload") `Quick (test_workload backend);
+  ]
+
+let () =
+  Alcotest.run "cli"
+    [
+      ("hash backend", backend_cases "hash");
+      ("btree backend", backend_cases "btree");
+      ("log backend", backend_cases "log");
+      ( "pipelines",
+        [
+          Alcotest.test_case "generate → build" `Quick test_generate_roundtrip;
+          Alcotest.test_case "json/xml ingestion" `Quick test_generate_json_xml;
+          Alcotest.test_case "admin commands" `Quick test_admin_commands;
+          Alcotest.test_case "missing store" `Quick test_missing_store_fails;
+        ] );
+    ]

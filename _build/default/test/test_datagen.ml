@@ -1,0 +1,305 @@
+(* Tests for the data generators: Zipf sampling, the Table-3 synthetic
+   process, the Twitter and DBLP simulators, and the benchmark workload. *)
+
+module V = Nested.Value
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- Zipf --- *)
+
+let test_zipf_bounds () =
+  let z = Datagen.Zipf.create ~n:100 ~theta:0.7 in
+  let rng = Random.State.make [| 7 |] in
+  for _ = 1 to 10_000 do
+    let r = Datagen.Zipf.sample z rng in
+    if r < 1 || r > 100 then Alcotest.failf "rank %d out of range" r
+  done
+
+let test_zipf_skew_shape () =
+  (* rank 1 must dominate, and higher θ must be more skewed *)
+  let count_rank1 theta =
+    let z = Datagen.Zipf.create ~n:1000 ~theta in
+    let rng = Random.State.make [| 11 |] in
+    let c = ref 0 in
+    for _ = 1 to 20_000 do
+      if Datagen.Zipf.sample z rng = 1 then incr c
+    done;
+    !c
+  in
+  let c5 = count_rank1 0.5 and c9 = count_rank1 0.9 in
+  check_bool "rank 1 frequent at θ=0.5" true (c5 > 200);
+  check_bool "θ=0.9 more skewed than θ=0.5" true (c9 > c5)
+
+let test_zipf_empirical_vs_expected () =
+  let z = Datagen.Zipf.create ~n:50 ~theta:0.7 in
+  let rng = Random.State.make [| 13 |] in
+  let n = 100_000 in
+  let counts = Array.make 51 0 in
+  for _ = 1 to n do
+    let r = Datagen.Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  (* the head of the distribution should track the exact probabilities
+     within a loose tolerance (Gray's method is approximate) *)
+  List.iter
+    (fun rank ->
+      let expected = Datagen.Zipf.expected_probability z rank in
+      let got = Float.of_int counts.(rank) /. Float.of_int n in
+      if Float.abs (got -. expected) > 0.25 *. expected +. 0.005 then
+        Alcotest.failf "rank %d: expected %.4f got %.4f" rank expected got)
+    [ 1; 2; 3; 5; 10 ]
+
+let test_zipf_probabilities_sum_to_one () =
+  let z = Datagen.Zipf.create ~n:200 ~theta:0.5 in
+  let total = ref 0. in
+  for i = 1 to 200 do
+    total := !total +. Datagen.Zipf.expected_probability z i
+  done;
+  Alcotest.(check (float 0.0001)) "sums to 1" 1.0 !total
+
+let test_zipf_validation () =
+  let bad f = match f () with exception Invalid_argument _ -> () | _ -> Alcotest.fail "expected Invalid_argument" in
+  bad (fun () -> Datagen.Zipf.create ~n:0 ~theta:0.5);
+  bad (fun () -> Datagen.Zipf.create ~n:10 ~theta:0.);
+  bad (fun () -> Datagen.Zipf.create ~n:10 ~theta:1.)
+
+(* --- label pool --- *)
+
+let test_label_pool () =
+  let p = Datagen.Label_pool.create ~prefix:"x" 100 in
+  Alcotest.(check string) "label" "x17" (Datagen.Label_pool.label p 17);
+  Alcotest.(check (option int)) "rank back" (Some 17)
+    (Datagen.Label_pool.rank_of_label p "x17");
+  Alcotest.(check (option int)) "foreign label" None
+    (Datagen.Label_pool.rank_of_label p "y17");
+  Alcotest.(check (option int)) "overflow rank" None
+    (Datagen.Label_pool.rank_of_label p "x101")
+
+(* --- synthetic (Table 3) --- *)
+
+let check_table3_bounds params v =
+  (* every node respects the Table-3 bounds; leaves may dedup below the
+     drawn count but can never exceed the max *)
+  let p_ok = ref true in
+  let rec walk depth v =
+    let leaves = List.length (V.leaves v) in
+    let children = V.subsets v in
+    if leaves > params.Datagen.Synthetic.max_leaves then p_ok := false;
+    if List.length children > params.Datagen.Synthetic.max_internal then p_ok := false;
+    if depth >= params.Datagen.Synthetic.max_depth then p_ok := false;
+    List.iter (walk (depth + 1)) children
+  in
+  walk 0 v;
+  !p_ok
+
+let test_wide_params () =
+  let params = Datagen.Synthetic.params_of_shape Datagen.Synthetic.Wide in
+  check_int "max leaves" 12 params.Datagen.Synthetic.max_leaves;
+  check_int "max internal" 6 params.Datagen.Synthetic.max_internal;
+  Alcotest.(check (float 0.001)) "stop prob" 0.8 params.Datagen.Synthetic.stop_probability
+
+let test_deep_params () =
+  let params = Datagen.Synthetic.params_of_shape Datagen.Synthetic.Deep in
+  check_int "max leaves" 2 params.Datagen.Synthetic.max_leaves;
+  check_int "max internal" 3 params.Datagen.Synthetic.max_internal;
+  Alcotest.(check (float 0.001)) "stop prob" 0.2 params.Datagen.Synthetic.stop_probability
+
+let test_synthetic_respects_bounds () =
+  List.iter
+    (fun shape ->
+      let params = Datagen.Synthetic.params_of_shape ~max_depth:10 shape in
+      let g = Datagen.Synthetic.make ~seed:5 ~params Datagen.Synthetic.Uniform in
+      List.iter
+        (fun v -> check_bool "bounds" true (check_table3_bounds params v))
+        (Datagen.Synthetic.values g 200))
+    [ Datagen.Synthetic.Wide; Datagen.Synthetic.Deep ]
+
+let test_synthetic_every_node_has_a_leaf () =
+  (* step (1) always draws ≥ 1 leaf: base algorithms apply *)
+  let params = Datagen.Synthetic.params_of_shape Datagen.Synthetic.Deep in
+  let g = Datagen.Synthetic.make ~seed:6 ~params (Datagen.Synthetic.Zipfian 0.7) in
+  List.iter
+    (fun v ->
+      check_bool "leafy" false
+        (Containment.Query.has_leafless_node (Containment.Query.of_value v)))
+    (Datagen.Synthetic.values g 100)
+
+let test_synthetic_deterministic () =
+  let mk () =
+    Datagen.Synthetic.make ~seed:9
+      ~params:(Datagen.Synthetic.params_of_shape Datagen.Synthetic.Wide)
+      Datagen.Synthetic.Uniform
+  in
+  let a = Datagen.Synthetic.values (mk ()) 20 in
+  let b = Datagen.Synthetic.values (mk ()) 20 in
+  check_bool "same seed, same data" true (List.for_all2 V.equal a b)
+
+let test_synthetic_shapes_differ () =
+  let gen shape =
+    Datagen.Synthetic.make ~seed:3
+      ~params:(Datagen.Synthetic.params_of_shape shape)
+      Datagen.Synthetic.Uniform
+  in
+  let avg f vs = List.fold_left (fun a v -> a + f v) 0 vs / List.length vs in
+  let wide = Datagen.Synthetic.values (gen Datagen.Synthetic.Wide) 300 in
+  let deep = Datagen.Synthetic.values (gen Datagen.Synthetic.Deep) 300 in
+  check_bool "deep sets are deeper on average" true
+    (avg V.depth deep > avg V.depth wide)
+
+let test_synthetic_seq_matches_values () =
+  let mk () =
+    Datagen.Synthetic.make ~seed:4
+      ~params:(Datagen.Synthetic.params_of_shape Datagen.Synthetic.Wide)
+      Datagen.Synthetic.Uniform
+  in
+  let a = Datagen.Synthetic.values (mk ()) 10 in
+  let b = List.of_seq (Datagen.Synthetic.seq (mk ()) 10) in
+  check_bool "seq = values" true (List.for_all2 V.equal a b)
+
+(* --- Twitter --- *)
+
+let test_twitter_structure () =
+  let g = Datagen.Twitter_sim.make ~seed:1 () in
+  let j = Datagen.Twitter_sim.tweet_json g in
+  check_bool "has user.screen_name" true
+    (match Textformats.Json.member "user" j with
+    | Some u -> Textformats.Json.member "screen_name" u <> None
+    | None -> false);
+  check_bool "has entities" true (Textformats.Json.member "entities" j <> None);
+  (* mapped value is nested ≥ 3 deep (root → field-pair → sub-object) *)
+  let v = Datagen.Twitter_sim.tweet g in
+  check_bool "nested" true (V.depth v >= 3)
+
+let test_twitter_queries_match () =
+  let g = Datagen.Twitter_sim.make ~seed:2 () in
+  let tweets = Datagen.Twitter_sim.values g 300 in
+  let inv = Containment.Collection.of_values tweets in
+  (* the most active user must appear in some tweets *)
+  let q = Datagen.Twitter_sim.user_query ~screen_name:(Datagen.Twitter_sim.screen_name 1) in
+  let r = Containment.Engine.query inv q in
+  check_bool "user 1 found" true (r.Containment.Engine.records <> []);
+  (* an unknown user matches nothing *)
+  let q404 = Datagen.Twitter_sim.user_query ~screen_name:"no_such_user" in
+  check_bool "unknown user" true ((Containment.Engine.query inv q404).Containment.Engine.records = [])
+
+let test_twitter_skew () =
+  let g = Datagen.Twitter_sim.make ~seed:3 ~users:500 () in
+  let tweets = Datagen.Twitter_sim.values g 1000 in
+  let inv = Containment.Collection.of_values tweets in
+  let count name =
+    List.length
+      (Containment.Engine.query inv (Datagen.Twitter_sim.user_query ~screen_name:name)).Containment.Engine.records
+  in
+  check_bool "popular user dominates" true
+    (count (Datagen.Twitter_sim.screen_name 1) > count (Datagen.Twitter_sim.screen_name 400))
+
+(* --- DBLP --- *)
+
+let test_dblp_structure () =
+  let g = Datagen.Dblp_sim.make ~seed:1 () in
+  let x = Datagen.Dblp_sim.article_xml g in
+  check_bool "is article or inproceedings" true
+    (match Textformats.Xml.tag x with
+    | Some "article" | Some "inproceedings" -> true
+    | _ -> false);
+  check_bool "has key attribute" true (Textformats.Xml.attr "key" x <> None);
+  check_bool "has an author" true
+    (List.exists
+       (fun c -> Textformats.Xml.tag c = Some "author")
+       (Textformats.Xml.children x))
+
+let test_dblp_queries_match () =
+  let g = Datagen.Dblp_sim.make ~seed:2 () in
+  let articles = Datagen.Dblp_sim.values g 300 in
+  let inv = Containment.Collection.of_values articles in
+  let q = Datagen.Dblp_sim.author_query ~author:(Datagen.Dblp_sim.author_name 1) in
+  check_bool "prolific author found" true
+    ((Containment.Engine.query inv q).Containment.Engine.records <> [])
+
+let test_dblp_xml_parses_back () =
+  let g = Datagen.Dblp_sim.make ~seed:4 () in
+  let x = Datagen.Dblp_sim.article_xml g in
+  let x' = Textformats.Xml.of_string (Textformats.Xml.to_string x) in
+  check_bool "xml roundtrip" true (Textformats.Xml.equal x x')
+
+(* --- workload --- *)
+
+let test_workload_split_and_labels () =
+  let inv =
+    Containment.Collection.of_values
+      (Datagen.Synthetic.values
+         (Datagen.Synthetic.make ~seed:8
+            ~params:(Datagen.Synthetic.params_of_shape Datagen.Synthetic.Wide)
+            Datagen.Synthetic.Uniform)
+         200)
+  in
+  let qs = Datagen.Workload.benchmark_queries ~seed:5 ~count:100 inv in
+  check_int "100 queries" 100 (List.length qs);
+  check_int "50 positive" 50
+    (List.length (List.filter (fun q -> q.Datagen.Workload.positive) qs));
+  (* positives really match; negatives really don't *)
+  List.iter
+    (fun (q : Datagen.Workload.query) ->
+      let r = Containment.Engine.query inv q.Datagen.Workload.value in
+      if q.Datagen.Workload.positive then begin
+        check_bool "positive matches its source" true
+          (List.mem q.Datagen.Workload.source_record r.Containment.Engine.records)
+      end
+      else check_bool "negative matches nothing" true (r.Containment.Engine.records = []))
+    qs
+
+let test_workload_distort_adds_fresh_leaf () =
+  let rng = Random.State.make [| 1 |] in
+  let v = Testutil.v "{a, {b, {c}}}" in
+  let d = Datagen.Workload.distort rng ~fresh:"FRESH" v in
+  check_int "one more leaf" (V.leaf_count v + 1) (V.leaf_count d);
+  check_bool "fresh present" true
+    (List.mem "FRESH" (V.atom_universe d))
+
+let test_workload_count_capped () =
+  let inv = Testutil.mem_collection Testutil.licences_strings in
+  let qs = Datagen.Workload.benchmark_queries ~count:100 inv in
+  check_int "capped at collection size" 4 (List.length qs)
+
+let () =
+  Alcotest.run "datagen"
+    [
+      ( "zipf",
+        [
+          Alcotest.test_case "bounds" `Quick test_zipf_bounds;
+          Alcotest.test_case "skew shape" `Quick test_zipf_skew_shape;
+          Alcotest.test_case "empirical vs expected" `Quick test_zipf_empirical_vs_expected;
+          Alcotest.test_case "probabilities sum" `Quick test_zipf_probabilities_sum_to_one;
+          Alcotest.test_case "validation" `Quick test_zipf_validation;
+        ] );
+      ("label pool", [ Alcotest.test_case "labels" `Quick test_label_pool ]);
+      ( "synthetic",
+        [
+          Alcotest.test_case "wide params (Table 3)" `Quick test_wide_params;
+          Alcotest.test_case "deep params (Table 3)" `Quick test_deep_params;
+          Alcotest.test_case "bounds hold" `Quick test_synthetic_respects_bounds;
+          Alcotest.test_case "every node leafy" `Quick test_synthetic_every_node_has_a_leaf;
+          Alcotest.test_case "deterministic" `Quick test_synthetic_deterministic;
+          Alcotest.test_case "wide vs deep" `Quick test_synthetic_shapes_differ;
+          Alcotest.test_case "seq = values" `Quick test_synthetic_seq_matches_values;
+        ] );
+      ( "twitter",
+        [
+          Alcotest.test_case "structure" `Quick test_twitter_structure;
+          Alcotest.test_case "queries match" `Quick test_twitter_queries_match;
+          Alcotest.test_case "skew" `Quick test_twitter_skew;
+        ] );
+      ( "dblp",
+        [
+          Alcotest.test_case "structure" `Quick test_dblp_structure;
+          Alcotest.test_case "queries match" `Quick test_dblp_queries_match;
+          Alcotest.test_case "xml roundtrip" `Quick test_dblp_xml_parses_back;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "split and labels" `Quick test_workload_split_and_labels;
+          Alcotest.test_case "distortion" `Quick test_workload_distort_adds_fresh_leaf;
+          Alcotest.test_case "count capped" `Quick test_workload_count_capped;
+        ] );
+    ]

@@ -1,0 +1,230 @@
+(* End-to-end engine tests: backends, scopes, verification, caching,
+   workload statistics, and persistence across reopen. *)
+
+module E = Containment.Engine
+module S = Containment.Semantics
+module IF = Invfile.Inverted_file
+
+let check_records = Alcotest.(check (list int))
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let q_uk = "{{UK, {A, motorbike}}}"
+
+(* --- backends produce identical results --- *)
+
+let with_backend backend f =
+  match backend with
+  | `Mem -> f (Containment.Collection.of_strings Testutil.licences_strings)
+  | `Hash ->
+    Testutil.with_temp_path ".tch" (fun path ->
+        let inv =
+          Containment.Collection.of_strings
+            ~backend:(Containment.Collection.Hash path) Testutil.licences_strings
+        in
+        Fun.protect ~finally:(fun () -> IF.close inv) (fun () -> f inv))
+  | `Btree ->
+    Testutil.with_temp_path ".tcb" (fun path ->
+        let inv =
+          Containment.Collection.of_strings
+            ~backend:(Containment.Collection.Btree path) Testutil.licences_strings
+        in
+        Fun.protect ~finally:(fun () -> IF.close inv) (fun () -> f inv))
+
+let test_backends_agree () =
+  let expected = ref None in
+  List.iter
+    (fun backend ->
+      with_backend backend (fun inv ->
+          let r = (E.query inv (Testutil.v q_uk)).E.records in
+          match !expected with
+          | None -> expected := Some r
+          | Some e -> check_records "backend agreement" e r))
+    [ `Mem; `Hash; `Btree ]
+
+let test_hash_backend_persists () =
+  Testutil.with_temp_path ".tch" (fun path ->
+      let inv =
+        Containment.Collection.of_strings
+          ~backend:(Containment.Collection.Hash path) Testutil.licences_strings
+      in
+      let before = (E.query inv (Testutil.v q_uk)).E.records in
+      IF.close inv;
+      let inv2 = IF.open_store (Storage.Hash_store.open_existing path) in
+      Fun.protect
+        ~finally:(fun () -> IF.close inv2)
+        (fun () ->
+          let after = (E.query inv2 (Testutil.v q_uk)).E.records in
+          check_records "reopened results" before after;
+          check_int "records preserved" 4 (IF.record_count inv2)))
+
+(* --- caching --- *)
+
+let test_static_cache_transparent () =
+  with_backend `Hash (fun inv ->
+      let q = Testutil.v q_uk in
+      let cold = (E.query inv q).E.records in
+      Containment.Collection.with_static_cache inv ~budget:250;
+      let warm = (E.query inv q).E.records in
+      check_records "same results" cold warm;
+      check_bool "cache hits happened" true
+        (Storage.Io_stats.hits (IF.lookup_stats inv) > 0))
+
+let test_cache_reduces_io () =
+  with_backend `Hash (fun inv ->
+      let q = Testutil.v q_uk in
+      let io () = Storage.Io_stats.reads (IF.store inv).Storage.Kv.stats in
+      (* warm-up parse etc. *)
+      ignore (E.query inv q);
+      let r0 = io () in
+      ignore (E.query inv q);
+      let uncached_reads = io () - r0 in
+      Containment.Collection.with_static_cache inv ~budget:250;
+      let r1 = io () in
+      ignore (E.query inv q);
+      let cached_reads = io () - r1 in
+      check_bool
+        (Printf.sprintf "fewer store reads with cache (%d < %d)" cached_reads
+           uncached_reads)
+        true
+        (cached_reads < uncached_reads))
+
+let test_lru_cache_transparent () =
+  with_backend `Hash (fun inv ->
+      let q = Testutil.v q_uk in
+      let cold = (E.query inv q).E.records in
+      IF.attach_cache inv (Invfile.Cache.create Invfile.Cache.Lru ~capacity:2);
+      let once = (E.query inv q).E.records in
+      let twice = (E.query inv q).E.records in
+      check_records "lru same results" cold once;
+      check_records "lru stable" once twice)
+
+(* --- verification option --- *)
+
+let test_verify_noop_on_sound_results () =
+  let inv = Testutil.mem_collection Testutil.licences_strings in
+  let q = Testutil.v q_uk in
+  let plain = (E.query inv q).E.records in
+  let verified = (E.query ~config:{ E.default with E.verify = true } inv q).E.records in
+  check_records "verify keeps sound results" plain verified
+
+let test_verify_fixes_paper_td () =
+  (* the published top-down variant over-approximates; verify repairs it *)
+  let inv = Testutil.mem_collection [ "{x, {a, {b}}, {a, {c}}}" ] in
+  let q = Testutil.v "{x, {a, {b}, {c}}}" in
+  let config = { E.default with E.algorithm = E.Top_down_paper } in
+  check_records "unverified over-approximates" [ 0 ] (E.query ~config inv q).E.records;
+  check_records "verified exact" []
+    (E.query ~config:{ config with E.verify = true } inv q).E.records
+
+(* --- workload statistics --- *)
+
+let test_run_workload_counts () =
+  let inv = Testutil.mem_collection Testutil.licences_strings in
+  let queries = [ Testutil.v q_uk; Testutil.v "{Mars}"; Testutil.v "{Paris}" ] in
+  let stats = E.run_workload inv queries in
+  check_int "queries" 3 stats.E.queries;
+  check_int "positives: q_uk (3 records) and Paris" 2 stats.E.positives;
+  check_int "results total 3+0+1" 4 stats.E.results_total;
+  check_bool "elapsed sane" true (stats.E.elapsed_s >= 0.)
+
+let test_run_workload_cache_counters () =
+  with_backend `Hash (fun inv ->
+      Containment.Collection.with_static_cache inv ~budget:250;
+      let stats = E.run_workload inv [ Testutil.v q_uk; Testutil.v q_uk ] in
+      check_bool "hits counted" true (stats.E.cache_hits > 0))
+
+(* --- result materialization --- *)
+
+let test_record_values () =
+  let inv = Testutil.mem_collection Testutil.licences_strings in
+  let r = E.query inv (Testutil.v "{Boston}") in
+  match E.record_values inv r with
+  | [ v ] ->
+    Alcotest.check Testutil.value_testable "Tim's record"
+      (Testutil.v (List.nth Testutil.licences_strings 1))
+      v
+  | l -> Alcotest.failf "expected one record, got %d" (List.length l)
+
+(* --- naive scan via engine --- *)
+
+let test_naive_scan_matches_indexed () =
+  let inv = Testutil.mem_collection Testutil.licences_strings in
+  List.iter
+    (fun qs ->
+      let q = Testutil.v qs in
+      check_records ("naive = indexed for " ^ qs)
+        (E.query inv q).E.records
+        (E.query ~config:{ E.default with E.algorithm = E.Naive_scan } inv q).E.records)
+    [ q_uk; "{Mars}"; "{USA, {UK, {A, motorbike}}}"; "{{FR, {B}}}" ]
+
+let test_matching_records_api () =
+  let inv = Testutil.mem_collection Testutil.licences_strings in
+  let q = Containment.Query.of_value (Testutil.v "{USA}") in
+  Alcotest.(check (list int)) "matching_records" [ 1; 3 ]
+    (Containment.Naive.matching_records inv q)
+
+(* --- queries drawn from a bigger synthetic collection across configs --- *)
+
+let test_cross_config_consistency_synthetic () =
+  let values =
+    Datagen.Synthetic.values
+      (Datagen.Synthetic.make ~seed:21
+         ~params:(Datagen.Synthetic.params_of_shape Datagen.Synthetic.Wide)
+         (Datagen.Synthetic.Zipfian 0.7))
+      150
+  in
+  let inv = Containment.Collection.of_values values in
+  let queries = Datagen.Workload.benchmark_queries ~seed:3 ~count:20 inv in
+  let fi = Containment.Filter_index.build inv in
+  List.iter
+    (fun (wq : Datagen.Workload.query) ->
+      let q = wq.Datagen.Workload.value in
+      let base = (E.query inv q).E.records in
+      List.iter
+        (fun config ->
+          check_records "config-independent results" base (E.query ~config inv q).E.records)
+        [
+          { E.default with E.algorithm = E.Top_down };
+          { E.default with E.algorithm = E.Naive_scan };
+          { E.default with E.verify = true };
+          { E.default with E.filter_index = Some fi };
+        ])
+    queries
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "backends",
+        [
+          Alcotest.test_case "agree" `Quick test_backends_agree;
+          Alcotest.test_case "hash persists" `Quick test_hash_backend_persists;
+        ] );
+      ( "caching",
+        [
+          Alcotest.test_case "static transparent" `Quick test_static_cache_transparent;
+          Alcotest.test_case "reduces io" `Quick test_cache_reduces_io;
+          Alcotest.test_case "lru transparent" `Quick test_lru_cache_transparent;
+        ] );
+      ( "verify",
+        [
+          Alcotest.test_case "no-op when sound" `Quick test_verify_noop_on_sound_results;
+          Alcotest.test_case "repairs published TD" `Quick test_verify_fixes_paper_td;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "counts" `Quick test_run_workload_counts;
+          Alcotest.test_case "cache counters" `Quick test_run_workload_cache_counters;
+        ] );
+      ( "results",
+        [
+          Alcotest.test_case "record values" `Quick test_record_values;
+          Alcotest.test_case "naive = indexed" `Quick test_naive_scan_matches_indexed;
+          Alcotest.test_case "matching_records" `Quick test_matching_records_api;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "synthetic cross-config" `Quick
+            test_cross_config_consistency_synthetic;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Exhaustive small-universe verification.
+
+   Enumerates EVERY canonical nested set over a 2-atom universe up to a
+   structural budget, indexes the whole universe as one collection, and
+   checks every (query, record) pair under every algorithm, join type, and
+   embedding semantics against the value-level oracle. Complements the
+   random qcheck properties with complete coverage of the small cases where
+   algorithmic corner cases live (empty sets, leafless nodes, duplicate
+   collapse, sibling sharing). *)
+
+module E = Containment.Engine
+module S = Containment.Semantics
+module V = Nested.Value
+
+(* All canonical sets with at most [budget] total elements spent across the
+   whole tree (atoms cost 1, subsets cost 1 + their own budget). *)
+let enumerate ~atoms ~budget =
+  let module VS = Set.Make (struct
+    type t = V.t
+
+    let compare = V.compare
+  end) in
+  (* sets_of b: all canonical set values of structural cost ≤ b, where the
+     cost of a set is 1 + sum of element costs *)
+  let memo = Hashtbl.create 16 in
+  let rec sets_of b =
+    match Hashtbl.find_opt memo b with
+    | Some s -> s
+    | None ->
+      let result =
+        if b < 1 then VS.empty
+        else begin
+          (* elements available with cost ≤ b - 1 *)
+          let element_pool =
+            List.map V.atom atoms @ VS.elements (sets_of (b - 2))
+          in
+          (* subsets of the pool whose members fit the budget; the pool is
+             small enough to enumerate subsets directly *)
+          let rec subsets acc pool budget_left =
+            match pool with
+            | [] -> VS.singleton (V.set acc)
+            | x :: rest ->
+              let without = subsets acc rest budget_left in
+              let c = if V.is_atom x then 1 else V.size x in
+              if c <= budget_left then
+                VS.union without (subsets (x :: acc) rest (budget_left - c))
+              else without
+          in
+          subsets [] element_pool (b - 1)
+        end
+      in
+      Hashtbl.replace memo b result;
+      result
+  in
+  VS.elements (sets_of budget)
+
+let universe = enumerate ~atoms:[ "a"; "b" ] ~budget:6
+
+let test_universe_sane () =
+  Alcotest.(check bool) "non-trivial universe" true (List.length universe > 100);
+  Alcotest.(check bool) "contains the empty set" true
+    (List.exists (V.equal V.empty) universe);
+  Alcotest.(check bool) "contains nesting" true
+    (List.exists (fun v -> V.depth v >= 3) universe);
+  (* all distinct and canonical *)
+  let sorted = List.sort_uniq V.compare universe in
+  Alcotest.(check int) "all distinct" (List.length universe) (List.length sorted)
+
+let inv = lazy (Containment.Collection.of_values universe)
+
+let oracle join embedding q =
+  List.mapi (fun i s -> (i, s)) universe
+  |> List.filter_map (fun (i, s) ->
+         match Containment.Embed.check join embedding ~q ~s with
+         | true -> Some i
+         | false -> None
+         | exception S.Unsupported _ -> raise Exit)
+
+let check_combination ~label ~algorithms join embedding () =
+  let inv = Lazy.force inv in
+  List.iter
+    (fun q ->
+      match oracle join embedding q with
+      | exception Exit -> ()
+      | expected ->
+        List.iter
+          (fun (alg_name, algorithm) ->
+            let config = { E.default with E.algorithm; E.join; E.embedding } in
+            let got = (E.query ~config inv q).E.records in
+            if got <> expected then
+              Alcotest.failf "%s/%s disagrees with oracle on %s: [%s] vs [%s]"
+                label alg_name (V.to_string q)
+                (String.concat ";" (List.map string_of_int got))
+                (String.concat ";" (List.map string_of_int expected)))
+          algorithms)
+    universe
+
+let both = [ ("bottom-up", E.Bottom_up); ("top-down", E.Top_down) ]
+
+let exhaustive label join embedding =
+  Alcotest.test_case label `Slow
+    (check_combination ~label ~algorithms:both join embedding)
+
+let test_published_td_superset_of_strict () =
+  (* the published variant may over-approximate but never under-approximate *)
+  let inv = Lazy.force inv in
+  List.iter
+    (fun q ->
+      let strict =
+        (E.query ~config:{ E.default with E.algorithm = E.Top_down } inv q).E.records
+      in
+      let paper =
+        (E.query ~config:{ E.default with E.algorithm = E.Top_down_paper } inv q)
+          .E.records
+      in
+      List.iter
+        (fun i ->
+          if not (List.mem i paper) then
+            Alcotest.failf "published TD lost a match on %s" (V.to_string q))
+        strict)
+    universe
+
+let test_verified_equality_exhaustive () =
+  let inv = Lazy.force inv in
+  List.iter
+    (fun q ->
+      let got =
+        (E.query
+           ~config:{ E.default with E.join = S.Equality; E.verify = true }
+           inv q)
+          .E.records
+      in
+      let expected =
+        List.mapi (fun i s -> (i, s)) universe
+        |> List.filter_map (fun (i, s) -> if V.equal q s then Some i else None)
+      in
+      if got <> expected then
+        Alcotest.failf "verified equality wrong on %s" (V.to_string q))
+    universe
+
+let () =
+  Alcotest.run "exhaustive"
+    [
+      ( "universe",
+        [ Alcotest.test_case "enumeration sane" `Quick test_universe_sane ] );
+      ( "all pairs vs oracle",
+        [
+          exhaustive "containment × hom" S.Containment S.Hom;
+          exhaustive "containment × iso" S.Containment S.Iso;
+          exhaustive "containment × homeo" S.Containment S.Homeo;
+          exhaustive "containment × homeo-full" S.Containment S.Homeo_full;
+          exhaustive "superset × hom" S.Superset S.Hom;
+          exhaustive "overlap-1 × hom" (S.Overlap 1) S.Hom;
+          exhaustive "overlap-2 × iso" (S.Overlap 2) S.Iso;
+          exhaustive "similarity-0.5 × hom" (S.Similarity 0.5) S.Hom;
+        ] );
+      ( "variants",
+        [
+          Alcotest.test_case "published ⊇ strict" `Slow
+            test_published_td_superset_of_strict;
+          Alcotest.test_case "verified equality exact" `Slow
+            test_verified_equality_exhaustive;
+        ] );
+    ]

@@ -1,0 +1,267 @@
+(* Tests for the set-based join extensions (paper, Sec. 4.1): set-equality,
+   superset, and ε-overlap joins, on both algorithms, against the oracle. *)
+
+module E = Containment.Engine
+module S = Containment.Semantics
+
+let records ?(algorithm = E.Bottom_up) ?(verify = false) ~join inv q =
+  (E.query ~config:{ E.default with E.algorithm; E.join; E.verify } inv q).E.records
+
+let check_records = Alcotest.(check (list int))
+let check_bool = Alcotest.(check bool)
+
+let both_algorithms f () =
+  f E.Bottom_up;
+  f E.Top_down
+
+(* --- set-equality join --- *)
+
+let equality_data =
+  [
+    "{a, b, {c, d}}";      (* 0 *)
+    "{b, a, {d, c}}";      (* 1 — equal to 0 up to order *)
+    "{a, b, {c, d}, {e}}"; (* 2 — extra child *)
+    "{a, b, {c}}";         (* 3 — smaller inner set *)
+    "{a, {c, d}}";         (* 4 — fewer root leaves *)
+  ]
+
+let test_equality_basic =
+  both_algorithms (fun alg ->
+      let inv = Testutil.mem_collection equality_data in
+      check_records "only the two order-variants" [ 0; 1 ]
+        (records ~algorithm:alg ~join:S.Equality inv (Testutil.v "{b, {d, c}, a}")))
+
+let test_equality_not_mere_containment =
+  both_algorithms (fun alg ->
+      let inv = Testutil.mem_collection equality_data in
+      (* containment would also return 2 *)
+      check_records "containment is looser" [ 0; 1; 2 ]
+        (records ~algorithm:alg ~join:S.Containment inv (Testutil.v "{a, b, {c, d}}"));
+      check_bool "equality excludes 2" true
+        (not (List.mem 2 (records ~algorithm:alg ~join:S.Equality inv (Testutil.v "{a, b, {c, d}}")))))
+
+let test_equality_leaf_count_filter_limits () =
+  (* The paper's leaf-count rule alone cannot distinguish sets whose extra
+     material hides in *which* children match; ~verify closes the gap. The
+     canonical example needs child counts to agree too — our gen already
+     filters those — so equality-by-algorithm may still overapproximate on
+     non-injective matches; verified mode must be exact. *)
+  let inv = Testutil.mem_collection [ "{a, {b}, {b, c}}" ] in
+  let q = Testutil.v "{a, {b}, {b}}" in
+  (* q collapses to {a, {b}}: child counts differ from the record's 2 → no
+     match even unverified *)
+  check_records "collapsed query" [] (records ~join:S.Equality inv q);
+  let exact = records ~verify:true ~join:S.Equality inv (Testutil.v "{a, {b}, {b, c}}") in
+  check_records "self equality verified" [ 0 ] exact
+
+let prop_equality_verified_is_exact =
+  Testutil.qcheck_case ~count:200 ~name:"equality join (verified) = value equality"
+    (QCheck.pair (Testutil.arbitrary_collection ()) Testutil.arbitrary_value)
+    (fun (values, q) ->
+      QCheck.assume (Nested.Value.is_set q);
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      let got = records ~verify:true ~join:S.Equality inv q in
+      let expected =
+        List.mapi (fun i v -> (i, v)) values
+        |> List.filter_map (fun (i, v) -> if Nested.Value.equal q v then Some i else None)
+      in
+      got = expected)
+
+let prop_equality_unverified_superset_of_exact =
+  Testutil.qcheck_case ~count:200 ~name:"equality join ⊇ value equality (no false negatives)"
+    (Testutil.arbitrary_collection ())
+    (fun values ->
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let q = List.hd values in
+      let inv = Containment.Collection.of_values values in
+      let got = records ~join:S.Equality inv q in
+      let exact =
+        List.mapi (fun i v -> (i, v)) values
+        |> List.filter_map (fun (i, v) -> if Nested.Value.equal q v then Some i else None)
+      in
+      List.for_all (fun i -> List.mem i got) exact)
+
+(* --- superset join --- *)
+
+let superset_data =
+  [
+    "{a}";                  (* 0 ⊆ q *)
+    "{a, b}";               (* 1 ⊆ q *)
+    "{a, {c}}";             (* 2 ⊆ q *)
+    "{a, z}";               (* 3 — z not in q *)
+    "{a, {c, z}}";          (* 4 — inner z *)
+    "{a, b, {c, d}, {e}}";  (* 5 = q *)
+    "{{c, d}}";             (* 6 ⊆ q *)
+    "{a, {d}}";             (* 7 ⊆ q ({d} hom-embeds into {c,d}) *)
+  ]
+
+let superset_query = "{a, b, {c, d}, {e}}"
+
+let test_superset_basic =
+  both_algorithms (fun alg ->
+      let inv = Testutil.mem_collection superset_data in
+      check_records "contained records" [ 0; 1; 2; 5; 6; 7 ]
+        (records ~algorithm:alg ~join:S.Superset inv (Testutil.v superset_query)))
+
+let test_superset_empty_record () =
+  let inv = Testutil.mem_collection [ "{}"; "{z}" ] in
+  check_records "empty set is contained in anything" [ 0 ]
+    (records ~join:S.Superset inv (Testutil.v "{a}"))
+
+let prop_superset_is_reverse_containment =
+  Testutil.qcheck_case ~count:200 ~name:"q ⊇ s ⟺ s ⊆ q (vs oracle)"
+    (QCheck.pair (Testutil.arbitrary_collection ()) Testutil.arbitrary_leafy_value)
+    (fun (values, q) ->
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      let got = records ~join:S.Superset inv q in
+      let expected =
+        List.mapi (fun i v -> (i, v)) values
+        |> List.filter_map (fun (i, s) ->
+               if Containment.Embed.contains S.Hom ~q:s ~s:q then Some i else None)
+      in
+      got = expected)
+
+let prop_superset_bu_eq_td =
+  Testutil.qcheck_case ~count:150 ~name:"superset: BU = TD"
+    (QCheck.pair (Testutil.arbitrary_collection ()) Testutil.arbitrary_value)
+    (fun (values, q) ->
+      QCheck.assume (Nested.Value.is_set q);
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      records ~algorithm:E.Bottom_up ~join:S.Superset inv q
+      = records ~algorithm:E.Top_down ~join:S.Superset inv q)
+
+(* --- ε-overlap join --- *)
+
+let overlap_data =
+  [
+    "{a, b, c}";        (* 0: 3 common *)
+    "{a, b, z}";        (* 1: 2 common *)
+    "{a, y, z}";        (* 2: 1 common *)
+    "{x, y, z}";        (* 3: 0 common *)
+    "{a, b, {p, q}}";   (* 4: 2 common at root, child ignored by flat query *)
+  ]
+
+let overlap_query = "{a, b, c, d}"
+
+let test_overlap_thresholds =
+  both_algorithms (fun alg ->
+      let inv = Testutil.mem_collection overlap_data in
+      let at eps = records ~algorithm:alg ~join:(S.Overlap eps) inv (Testutil.v overlap_query) in
+      check_records "ε=1" [ 0; 1; 2; 4 ] (at 1);
+      check_records "ε=2" [ 0; 1; 4 ] (at 2);
+      check_records "ε=3" [ 0 ] (at 3);
+      check_records "ε=4" [] (at 4))
+
+let test_overlap_nested_structure () =
+  (* every internal query node must overlap its image by ε *)
+  let inv = Testutil.mem_collection [ "{a, b, {c, d}}"; "{a, b, {c, z}}" ] in
+  let q = Testutil.v "{a, b, {c, d}}" in
+  check_records "ε=2 needs 2 at every level" [ 0 ]
+    (records ~join:(S.Overlap 2) inv q);
+  check_records "ε=1 accepts both" [ 0; 1 ] (records ~join:(S.Overlap 1) inv q)
+
+let test_overlap_eps_zero_rejected () =
+  let inv = Testutil.mem_collection [ "{a}" ] in
+  match records ~join:(S.Overlap 0) inv (Testutil.v "{a}") with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "ε = 0 must be rejected"
+
+let prop_overlap_matches_oracle =
+  Testutil.qcheck_case ~count:200 ~name:"ε-overlap = oracle (ε ∈ {1,2})"
+    (QCheck.triple (Testutil.arbitrary_collection ()) Testutil.arbitrary_leafy_value
+       (QCheck.int_range 1 2))
+    (fun (values, q, eps) ->
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      let got = records ~join:(S.Overlap eps) inv q in
+      let expected =
+        List.mapi (fun i v -> (i, v)) values
+        |> List.filter_map (fun (i, s) ->
+               if Containment.Embed.check (S.Overlap eps) S.Hom ~q ~s then Some i
+               else None)
+      in
+      got = expected)
+
+let prop_overlap_monotone_in_eps =
+  Testutil.qcheck_case ~count:150 ~name:"ε-overlap antitone in ε"
+    (QCheck.pair (Testutil.arbitrary_collection ()) Testutil.arbitrary_leafy_value)
+    (fun (values, q) ->
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      let r1 = records ~join:(S.Overlap 1) inv q in
+      let r2 = records ~join:(S.Overlap 2) inv q in
+      List.for_all (fun i -> List.mem i r1) r2)
+
+let prop_containment_implies_overlap1_when_leafy =
+  Testutil.qcheck_case ~count:150
+    ~name:"containment ⇒ 1-overlap (for queries with leaves everywhere)"
+    (Testutil.arbitrary_collection ())
+    (fun values ->
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      let q = List.hd values in
+      QCheck.assume
+        (not (Containment.Query.has_leafless_node (Containment.Query.of_value q)));
+      let contained = records ~join:S.Containment inv q in
+      let overlapping = records ~join:(S.Overlap 1) inv q in
+      List.for_all (fun i -> List.mem i overlapping) contained)
+
+(* --- unsupported combinations --- *)
+
+let test_unsupported_combinations () =
+  let inv = Testutil.mem_collection [ "{a}" ] in
+  let expect_unsupported join embedding =
+    match
+      E.query
+        ~config:{ E.default with E.join; E.embedding }
+        inv (Testutil.v "{a}")
+    with
+    | exception S.Unsupported _ -> ()
+    | _ -> Alcotest.fail "expected Unsupported"
+  in
+  expect_unsupported S.Superset S.Iso;
+  expect_unsupported S.Superset S.Homeo;
+  expect_unsupported S.Equality S.Homeo
+
+let () =
+  Alcotest.run "joins"
+    [
+      ( "equality",
+        [
+          Alcotest.test_case "basic" `Quick test_equality_basic;
+          Alcotest.test_case "tighter than containment" `Quick
+            test_equality_not_mere_containment;
+          Alcotest.test_case "verification closes gaps" `Quick
+            test_equality_leaf_count_filter_limits;
+          prop_equality_verified_is_exact;
+          prop_equality_unverified_superset_of_exact;
+        ] );
+      ( "superset",
+        [
+          Alcotest.test_case "basic" `Quick test_superset_basic;
+          Alcotest.test_case "empty record" `Quick test_superset_empty_record;
+          prop_superset_is_reverse_containment;
+          prop_superset_bu_eq_td;
+        ] );
+      ( "overlap",
+        [
+          Alcotest.test_case "thresholds" `Quick test_overlap_thresholds;
+          Alcotest.test_case "nested structure" `Quick test_overlap_nested_structure;
+          Alcotest.test_case "ε=0 rejected" `Quick test_overlap_eps_zero_rejected;
+          prop_overlap_matches_oracle;
+          prop_overlap_monotone_in_eps;
+          prop_containment_implies_overlap1_when_leafy;
+        ] );
+      ( "unsupported",
+        [ Alcotest.test_case "superset×iso etc." `Quick test_unsupported_combinations ] );
+    ]

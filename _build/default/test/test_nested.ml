@@ -1,0 +1,317 @@
+(* Tests for the nested data model: Value, Syntax, Tree. *)
+
+module V = Nested.Value
+module S = Nested.Syntax
+module T = Nested.Tree
+
+let check_value = Alcotest.(check Testutil.value_testable)
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- Value --- *)
+
+let test_canonical_dedup () =
+  check_value "duplicates collapse"
+    (V.of_atoms [ "a"; "b" ])
+    (V.set [ V.atom "b"; V.atom "a"; V.atom "b"; V.atom "a" ]);
+  check_value "nested duplicates collapse"
+    (V.set [ V.set [ V.atom "a" ] ])
+    (V.set [ V.set [ V.atom "a" ]; V.set [ V.atom "a" ] ])
+
+let test_canonical_order_irrelevant () =
+  let a = S.of_string "{x, {y, z}, {z}}" in
+  let b = S.of_string "{{z}, {z, y}, x}" in
+  check_bool "equal" true (V.equal a b);
+  check_int "same hash" (V.hash a) (V.hash b);
+  check_int "compare 0" 0 (V.compare a b)
+
+let test_compare_total_order () =
+  check_bool "atom < set" true (V.compare (V.atom "z") (V.set []) < 0);
+  check_bool "atoms by string" true (V.compare (V.atom "a") (V.atom "b") < 0);
+  check_bool "sets lexicographic" true
+    (V.compare (S.of_string "{a}") (S.of_string "{a, b}") < 0)
+
+let test_measures () =
+  let x = S.of_string "{a, b, {c, {d}}, {e}}" in
+  check_int "cardinal" 4 (V.cardinal x);
+  check_int "size: 4 internal + 5 leaves" 9 (V.size x);
+  check_int "internal_count" 4 (V.internal_count x);
+  check_int "leaf_count" 5 (V.leaf_count x);
+  check_int "depth" 3 (V.depth x);
+  check_int "atom depth" 0 (V.depth (V.atom "a"));
+  check_int "empty set depth" 1 (V.depth V.empty);
+  Alcotest.(check (list string))
+    "atom_universe" [ "a"; "b"; "c"; "d"; "e" ] (V.atom_universe x)
+
+let test_flat_ops () =
+  let a = S.of_string "{a, b, {c}}" and b = S.of_string "{b, {c}, {d}}" in
+  check_value "union" (S.of_string "{a, b, {c}, {d}}") (V.union a b);
+  check_value "inter" (S.of_string "{b, {c}}") (V.inter a b);
+  check_value "diff" (S.of_string "{a}") (V.diff a b);
+  check_bool "subset yes" true (V.subset (S.of_string "{b, {c}}") a);
+  check_bool "subset no: {c} vs {c,x} differ as elements" false
+    (V.subset (S.of_string "{b, {c, x}}") a)
+
+let test_add_remove_mem () =
+  let x = S.of_string "{a, {b}}" in
+  check_bool "mem atom" true (V.mem (V.atom "a") x);
+  check_bool "mem set" true (V.mem (S.of_string "{b}") x);
+  check_bool "not mem" false (V.mem (V.atom "b") x);
+  check_value "add" (S.of_string "{a, c, {b}}") (V.add (V.atom "c") x);
+  check_value "add existing is idempotent" x (V.add (V.atom "a") x);
+  check_value "remove" (S.of_string "{a}") (V.remove (S.of_string "{b}") x)
+
+let test_map_atoms () =
+  let x = S.of_string "{b, a, {c, a}}" in
+  check_value "rename all to z collapses"
+    (S.of_string "{z, {z}}")
+    (V.map_atoms (fun _ -> "z") x)
+
+let test_elements_on_atom_raises () =
+  Alcotest.check_raises "elements on atom"
+    (Invalid_argument "Value.elements: atom x") (fun () ->
+      ignore (V.elements (V.atom "x")))
+
+(* --- Syntax --- *)
+
+let test_parse_example () =
+  (* Table 1, Sue's record *)
+  let sue = S.of_string Testutil.(List.hd licences_strings) in
+  check_int "cardinal" 4 (V.cardinal sue);
+  check_bool "has London" true (V.mem (V.atom "London") sue)
+
+let test_parse_whitespace_and_empty () =
+  check_value "empty set" V.empty (S.of_string "  { } ");
+  check_value "spaces" (S.of_string "{a,b}") (S.of_string " { a , b } ");
+  check_value "newlines" (S.of_string "{a,{b}}") (S.of_string "{\n a ,\n {\n b }\n}\n")
+
+let test_parse_quoted () =
+  check_value "quoted atom with space"
+    (V.set [ V.atom "hello world" ])
+    (S.of_string "{\"hello world\"}");
+  check_value "escapes"
+    (V.set [ V.atom "a\"b\\c\nd" ])
+    (S.of_string "{\"a\\\"b\\\\c\\nd\"}");
+  check_value "quoted atom with braces"
+    (V.set [ V.atom "{x, y}" ])
+    (S.of_string "{\"{x, y}\"}")
+
+let test_parse_top_level_atom () =
+  check_value "bare atom" (V.atom "hello") (S.of_string "hello");
+  check_value "quoted atom" (V.atom "a b") (S.of_string "\"a b\"")
+
+let test_parse_errors () =
+  let fails s =
+    match S.of_string_opt s with
+    | None -> ()
+    | Some v -> Alcotest.failf "%S unexpectedly parsed to %a" s V.pp v
+  in
+  List.iter fails [ "{"; "{a,}"; "{a b}"; "}"; "{a} x"; "\"unterminated"; ""; "{a,,b}" ]
+
+let test_parse_many () =
+  let vs = S.parse_many "{a}\n{b, {c}}\n  {d}  " in
+  check_int "three values" 3 (List.length vs);
+  check_value "second" (S.of_string "{b, {c}}") (List.nth vs 1)
+
+let test_roundtrip_specific () =
+  let cases =
+    [ "{}"; "{a}"; "{a, b, {c, {d, e}}, {f}}"; "{\"x y\", \"a,b\", \"{\"}" ]
+  in
+  List.iter
+    (fun s ->
+      let v = S.of_string s in
+      check_value ("roundtrip " ^ s) v (S.of_string (S.to_string v)))
+    cases
+
+let prop_roundtrip =
+  Testutil.qcheck_case ~name:"syntax roundtrip" Testutil.arbitrary_value (fun v ->
+      V.equal v (S.of_string (S.to_string v)))
+
+let prop_canonical_stable =
+  Testutil.qcheck_case ~name:"canonicalization is idempotent"
+    Testutil.arbitrary_value (fun v ->
+      if V.is_atom v then true
+      else V.equal v (V.set (V.elements v)))
+
+let prop_union_commutative =
+  Testutil.qcheck_case ~name:"union commutative"
+    (QCheck.pair Testutil.arbitrary_value Testutil.arbitrary_value)
+    (fun (a, b) ->
+      QCheck.assume (V.is_set a && V.is_set b);
+      V.equal (V.union a b) (V.union b a))
+
+let prop_inter_subset =
+  Testutil.qcheck_case ~name:"inter is a subset of both"
+    (QCheck.pair Testutil.arbitrary_value Testutil.arbitrary_value)
+    (fun (a, b) ->
+      QCheck.assume (V.is_set a && V.is_set b);
+      let i = V.inter a b in
+      V.subset i a && V.subset i b)
+
+let prop_subset_diff_empty =
+  Testutil.qcheck_case ~name:"a ⊆ b ⟺ a∖b = {}"
+    (QCheck.pair Testutil.arbitrary_value Testutil.arbitrary_value)
+    (fun (a, b) ->
+      QCheck.assume (V.is_set a && V.is_set b);
+      V.subset a b = V.equal (V.diff a b) V.empty)
+
+(* --- Tree --- *)
+
+let tree_of s =
+  let alloc = T.allocator () in
+  T.of_value alloc ~record_id:0 (S.of_string s)
+
+let test_tree_roundtrip () =
+  let s = "{a, b, {c, {d}}, {e}}" in
+  let t = tree_of s in
+  check_value "to_value inverts of_value" (S.of_string s) (T.to_value t)
+
+let test_tree_ids_preorder () =
+  let t = tree_of "{a, {b, {c}}, {d}}" in
+  check_int "root id 0" 0 t.T.root;
+  check_int "4 internal nodes" 4 (T.node_count t);
+  let root = T.root_node t in
+  Alcotest.(check (list int))
+    "children ascending"
+    (List.sort Int.compare (Array.to_list root.T.children))
+    (Array.to_list root.T.children);
+  T.iter
+    (fun n ->
+      Array.iter (fun c -> check_bool "child id > parent id" true (c > n.T.id)) n.T.children)
+    t
+
+let test_tree_parent_links () =
+  let t = tree_of "{a, {b, {c}}, {d}}" in
+  check_int "root parent" (-1) (T.root_node t).T.parent;
+  T.iter
+    (fun n ->
+      Array.iter (fun c -> check_int "parent link" n.T.id (T.node t c).T.parent) n.T.children)
+    t
+
+let test_tree_descendants () =
+  let t = tree_of "{a, {b, {c}}, {d}}" in
+  (* node ids: 0 = root, 1 = {b,{c}}, 2 = {c}, 3 = {d} *)
+  check_bool "0 anc 2" true (T.is_descendant t ~anc:0 ~desc:2);
+  check_bool "1 anc 2" true (T.is_descendant t ~anc:1 ~desc:2);
+  check_bool "not self" false (T.is_descendant t ~anc:1 ~desc:1);
+  check_bool "siblings" false (T.is_descendant t ~anc:1 ~desc:3);
+  check_bool "reversed" false (T.is_descendant t ~anc:2 ~desc:1)
+
+let test_tree_shared_allocator () =
+  let alloc = T.allocator () in
+  let t1 = T.of_value alloc ~record_id:0 (S.of_string "{a, {b}}") in
+  let t2 = T.of_value alloc ~record_id:1 (S.of_string "{c}") in
+  check_int "t1 ids 0.." 0 t1.T.first_id;
+  check_int "t2 continues" 2 t2.T.first_id;
+  check_bool "no overlap" false (T.mem_id t1 t2.T.root);
+  check_int "next_id" 3 (T.next_id alloc)
+
+let test_tree_allocator_from () =
+  (* Rebuilding a record at its original offset reproduces identical ids. *)
+  let alloc = T.allocator () in
+  let _ = T.of_value alloc ~record_id:0 (S.of_string "{x, {y}}") in
+  let v = S.of_string "{a, {b, {c}}, {d}}" in
+  let t1 = T.of_value alloc ~record_id:1 v in
+  let t2 = T.of_value (T.allocator_from t1.T.first_id) ~record_id:1 v in
+  check_int "same root" t1.T.root t2.T.root;
+  T.iter
+    (fun n1 ->
+      let n2 = T.node t2 n1.T.id in
+      check_int "same post" n1.T.post n2.T.post;
+      check_string "same leaves" (String.concat "," (Array.to_list n1.T.leaves))
+        (String.concat "," (Array.to_list n2.T.leaves)))
+    t1
+
+let test_tree_measures () =
+  let t = tree_of "{a, b, {c, {d}}, {e}}" in
+  check_int "leaf_count" 5 (T.leaf_count t);
+  check_int "depth" 3 (T.depth t)
+
+let test_subtree_value () =
+  let t = tree_of "{a, {b, {c}}, {d}}" in
+  check_value "subtree at 1" (S.of_string "{b, {c}}") (T.subtree_value t 1);
+  check_value "subtree at root" (T.to_value t) (T.subtree_value t t.T.root)
+
+let test_tree_of_atom_raises () =
+  Alcotest.check_raises "atom rejected"
+    (Invalid_argument "Tree.of_value: record value must be a set") (fun () ->
+      ignore (T.of_value (T.allocator ()) ~record_id:0 (V.atom "a")))
+
+let prop_tree_roundtrip =
+  Testutil.qcheck_case ~name:"tree roundtrip" Testutil.arbitrary_value (fun v ->
+      QCheck.assume (V.is_set v);
+      let t = T.of_value (T.allocator ()) ~record_id:0 v in
+      V.equal v (T.to_value t))
+
+let prop_tree_counts =
+  Testutil.qcheck_case ~name:"tree node counts match value measures"
+    Testutil.arbitrary_value (fun v ->
+      QCheck.assume (V.is_set v);
+      let t = T.of_value (T.allocator ()) ~record_id:0 v in
+      T.node_count t = V.internal_count v && T.leaf_count t = V.leaf_count v)
+
+let prop_pre_post_intervals =
+  Testutil.qcheck_case ~name:"pre/post intervals nest or are disjoint"
+    Testutil.arbitrary_value (fun v ->
+      QCheck.assume (V.is_set v);
+      let t = T.of_value (T.allocator ()) ~record_id:0 v in
+      let ok = ref true in
+      T.iter
+        (fun a ->
+          T.iter
+            (fun b ->
+              if a.T.id <> b.T.id then begin
+                let a_desc_b = T.is_descendant t ~anc:b.T.id ~desc:a.T.id in
+                let b_desc_a = T.is_descendant t ~anc:a.T.id ~desc:b.T.id in
+                if a_desc_b && b_desc_a then ok := false
+              end)
+            t)
+        t;
+      !ok)
+
+let () =
+  Alcotest.run "nested"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "canonical dedup" `Quick test_canonical_dedup;
+          Alcotest.test_case "order irrelevant" `Quick test_canonical_order_irrelevant;
+          Alcotest.test_case "total order" `Quick test_compare_total_order;
+          Alcotest.test_case "measures" `Quick test_measures;
+          Alcotest.test_case "flat ops" `Quick test_flat_ops;
+          Alcotest.test_case "add/remove/mem" `Quick test_add_remove_mem;
+          Alcotest.test_case "map_atoms" `Quick test_map_atoms;
+          Alcotest.test_case "elements on atom" `Quick test_elements_on_atom_raises;
+          prop_canonical_stable;
+          prop_union_commutative;
+          prop_inter_subset;
+          prop_subset_diff_empty;
+        ] );
+      ( "syntax",
+        [
+          Alcotest.test_case "parse example" `Quick test_parse_example;
+          Alcotest.test_case "whitespace/empty" `Quick test_parse_whitespace_and_empty;
+          Alcotest.test_case "quoted atoms" `Quick test_parse_quoted;
+          Alcotest.test_case "top-level atom" `Quick test_parse_top_level_atom;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "parse_many" `Quick test_parse_many;
+          Alcotest.test_case "roundtrip cases" `Quick test_roundtrip_specific;
+          prop_roundtrip;
+        ] );
+      ( "tree",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_tree_roundtrip;
+          Alcotest.test_case "preorder ids" `Quick test_tree_ids_preorder;
+          Alcotest.test_case "parent links" `Quick test_tree_parent_links;
+          Alcotest.test_case "descendants" `Quick test_tree_descendants;
+          Alcotest.test_case "shared allocator" `Quick test_tree_shared_allocator;
+          Alcotest.test_case "allocator_from" `Quick test_tree_allocator_from;
+          Alcotest.test_case "measures" `Quick test_tree_measures;
+          Alcotest.test_case "subtree_value" `Quick test_subtree_value;
+          Alcotest.test_case "atom rejected" `Quick test_tree_of_atom_raises;
+          prop_tree_roundtrip;
+          prop_tree_counts;
+          prop_pre_post_intervals;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+(* Tests for the NSCQL query language: parsing, execution, and rendering. *)
+
+module Q = Containment.Nscql
+module E = Containment.Engine
+module S = Containment.Semantics
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let inv () = Testutil.mem_collection Testutil.licences_strings
+
+let records stmt_str =
+  match Q.run (inv ()) stmt_str with
+  | Ok (Q.Records { ids; _ }) -> ids
+  | Ok _ -> Alcotest.failf "expected records for %S" stmt_str
+  | Error m -> Alcotest.failf "%S failed: %s" stmt_str m
+
+let count stmt_str =
+  match Q.run (inv ()) stmt_str with
+  | Ok (Q.Count n) -> n
+  | Ok _ -> Alcotest.failf "expected a count for %S" stmt_str
+  | Error m -> Alcotest.failf "%S failed: %s" stmt_str m
+
+(* --- parsing --- *)
+
+let test_parse_basic () =
+  match Q.parse "FIND CONTAINS {USA, {UK}}" with
+  | Q.Query { verb = Q.Find; predicate = Q.Contains _; embedding = S.Hom;
+              algorithm = E.Bottom_up; anywhere = false; verified = false;
+              wildcards = false; minimized = false; limit = None } -> ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_parse_clauses () =
+  match Q.parse "count contains {a} under homeo via top-down anywhere verified limit 5" with
+  | Q.Query { verb = Q.Count; embedding = S.Homeo; algorithm = E.Top_down;
+              anywhere = true; verified = true; limit = Some 5; _ } -> ()
+  | _ -> Alcotest.fail "clauses not parsed"
+
+let test_parse_predicates () =
+  (match Q.parse "FIND EQUALS {a, b}" with
+  | Q.Query { predicate = Q.Equals _; _ } -> ()
+  | _ -> Alcotest.fail "equals");
+  (match Q.parse "FIND WITHIN {a, b}" with
+  | Q.Query { predicate = Q.Within _; _ } -> ()
+  | _ -> Alcotest.fail "within");
+  (match Q.parse "FIND OVERLAPS {a, b} BY 2" with
+  | Q.Query { predicate = Q.Overlaps (_, 2); _ } -> ()
+  | _ -> Alcotest.fail "overlaps");
+  (match Q.parse "FIND SIMILAR TO {a, b} AT 0.5" with
+  | Q.Query { predicate = Q.Similar (_, r); _ } when r = 0.5 -> ()
+  | _ -> Alcotest.fail "similar");
+  match Q.parse "EXPLAIN CONTAINS {a}" with
+  | Q.Query { verb = Q.Explain; _ } -> ()
+  | _ -> Alcotest.fail "explain"
+
+let test_parse_statements () =
+  (match Q.parse "INSERT {a, {b}}" with
+  | Q.Insert _ -> ()
+  | _ -> Alcotest.fail "insert");
+  (match Q.parse "DELETE 3" with
+  | Q.Delete 3 -> ()
+  | _ -> Alcotest.fail "delete");
+  match Q.parse "STATS" with Q.Stats -> () | _ -> Alcotest.fail "stats"
+
+let test_parse_quoted_atoms_and_comments () =
+  (match Q.parse "FIND CONTAINS {\"hello world\", \"{\"} -- trailing comment" with
+  | Q.Query { predicate = Q.Contains v; _ } ->
+    check_bool "quoted atom kept" true
+      (Nested.Value.mem (Nested.Value.atom "hello world") v)
+  | _ -> Alcotest.fail "quoted");
+  match Q.parse "STATS -- everything after is ignored" with
+  | Q.Stats -> ()
+  | _ -> Alcotest.fail "comment"
+
+let test_parse_errors () =
+  let fails s =
+    match Q.parse s with
+    | exception Q.Parse_error _ -> ()
+    | _ -> Alcotest.failf "%S should not parse" s
+  in
+  List.iter fails
+    [
+      "";
+      "FROB {a}";
+      "FIND {a}";
+      "FIND CONTAINS";
+      "FIND CONTAINS {a} UNDER sideways";
+      "FIND CONTAINS {a} VIA bogosort";
+      "FIND OVERLAPS {a} BY 0";
+      "FIND SIMILAR TO {a} AT 2.0";
+      "FIND CONTAINS {a} LIMIT -1";
+      "FIND CONTAINS {unclosed";
+      "DELETE many";
+      "INSERT atom_not_set";
+      "FIND CONTAINS {a} {b}";
+    ]
+
+(* --- execution --- *)
+
+let test_execute_queries () =
+  Alcotest.(check (list int)) "find" [ 0; 1; 3 ]
+    (records "FIND CONTAINS {{UK, {A, motorbike}}}");
+  check_int "count" 3 (count "COUNT CONTAINS {{UK, {A, motorbike}}}");
+  check_int "negative" 0 (count "COUNT CONTAINS {Mars}");
+  Alcotest.(check (list int)) "equals" [ 1 ]
+    (records
+       "FIND EQUALS {Boston, USA, {USA, VA, {A, B, car}}, {UK, {A, motorbike}}} VERIFIED");
+  check_int "overlaps: Tim, Paris, Austin" 3 (count "COUNT OVERLAPS {Boston, USA, Paris} BY 1");
+  check_int "homeo" 1 (count "COUNT CONTAINS {{C}} UNDER homeo")
+
+let test_execute_matches_engine () =
+  let inv = inv () in
+  let direct = (E.query inv (Testutil.v "{USA}")).E.records in
+  match Q.run inv "FIND CONTAINS {USA}" with
+  | Ok (Q.Records { ids; _ }) -> Alcotest.(check (list int)) "same" direct ids
+  | _ -> Alcotest.fail "run failed"
+
+let test_execute_insert_delete () =
+  let inv = inv () in
+  (match Q.run inv "INSERT {Utrecht, NL}" with
+  | Ok (Q.Inserted 4) -> ()
+  | _ -> Alcotest.fail "insert");
+  (match Q.run inv "FIND CONTAINS {Utrecht}" with
+  | Ok (Q.Records { ids = [ 4 ]; _ }) -> ()
+  | _ -> Alcotest.fail "inserted record not found");
+  (match Q.run inv "DELETE 4" with
+  | Ok (Q.Deleted true) -> ()
+  | _ -> Alcotest.fail "delete");
+  match Q.run inv "COUNT CONTAINS {Utrecht}" with
+  | Ok (Q.Count 0) -> ()
+  | _ -> Alcotest.fail "deleted record still found"
+
+let test_wildcards_clause () =
+  (match Q.parse "FIND CONTAINS {Lon*} WILDCARDS" with
+  | Q.Query { wildcards = true; _ } -> ()
+  | _ -> Alcotest.fail "wildcards clause");
+  match Q.run (inv ()) "FIND CONTAINS {Lon*} WILDCARDS" with
+  | Ok (Q.Records { ids = [ 0 ]; _ }) -> () (* London matches *)
+  | Ok (Q.Records { ids; _ }) ->
+    Alcotest.failf "expected [0], got [%s]"
+      (String.concat ";" (List.map string_of_int ids))
+  | _ -> Alcotest.fail "wildcard run"
+
+let test_execute_witness_and_explain () =
+  let inv = inv () in
+  (match Q.run inv "WITNESS CONTAINS {USA, {UK, {A, motorbike}}}" with
+  | Ok (Q.Witnesses ((root, w) :: _)) ->
+    check_int "root" 5 root;
+    check_int "mapping size" 3 (List.length w)
+  | _ -> Alcotest.fail "witness");
+  match Q.run inv "EXPLAIN CONTAINS {USA, {UK, {A, motorbike}}}" with
+  | Ok (Q.Plan plan) -> check_int "plan nodes" 3 (List.length plan)
+  | _ -> Alcotest.fail "explain"
+
+let test_run_reports_errors () =
+  let inv = inv () in
+  (match Q.run inv "FIND CONTAINS {a} VIA bogosort" with
+  | Error m -> check_bool "mentions parse" true (String.length m > 0)
+  | Ok _ -> Alcotest.fail "should fail");
+  match Q.run inv "FIND WITHIN {a} UNDER iso" with
+  | Error m ->
+    check_bool "unsupported surfaced" true
+      (String.length m >= 11 && String.sub m 0 11 = "unsupported")
+  | Ok _ -> Alcotest.fail "superset × iso should be unsupported"
+
+let test_pp_outcome_smoke () =
+  let inv = inv () in
+  List.iter
+    (fun stmt ->
+      match Q.run inv stmt with
+      | Ok o ->
+        let s = Format.asprintf "%a" (Q.pp_outcome ~collection:inv) o in
+        check_bool ("rendering of " ^ stmt) true (String.length s > 0)
+      | Error m -> Alcotest.failf "%S failed: %s" stmt m)
+    [
+      "FIND CONTAINS {USA} LIMIT 1";
+      "COUNT CONTAINS {USA}";
+      "EXPLAIN CONTAINS {USA}";
+      "WITNESS CONTAINS {USA}";
+      "STATS";
+    ]
+
+let prop_nscql_contains_equals_engine =
+  Testutil.qcheck_case ~count:100 ~name:"NSCQL FIND CONTAINS = Engine.query"
+    (QCheck.pair (Testutil.arbitrary_collection ()) Testutil.arbitrary_leafy_value)
+    (fun (values, q) ->
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      let stmt = "FIND CONTAINS " ^ Nested.Syntax.to_string q in
+      match Q.run inv stmt with
+      | Ok (Q.Records { ids; _ }) -> ids = (E.query inv q).E.records
+      | _ -> false)
+
+let () =
+  Alcotest.run "nscql"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "basic" `Quick test_parse_basic;
+          Alcotest.test_case "clauses" `Quick test_parse_clauses;
+          Alcotest.test_case "predicates" `Quick test_parse_predicates;
+          Alcotest.test_case "statements" `Quick test_parse_statements;
+          Alcotest.test_case "quoted atoms + comments" `Quick
+            test_parse_quoted_atoms_and_comments;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "execute",
+        [
+          Alcotest.test_case "queries" `Quick test_execute_queries;
+          Alcotest.test_case "matches engine" `Quick test_execute_matches_engine;
+          Alcotest.test_case "insert/delete" `Quick test_execute_insert_delete;
+          Alcotest.test_case "wildcards" `Quick test_wildcards_clause;
+          Alcotest.test_case "witness/explain" `Quick test_execute_witness_and_explain;
+          Alcotest.test_case "errors surfaced" `Quick test_run_reports_errors;
+          Alcotest.test_case "rendering" `Quick test_pp_outcome_smoke;
+          prop_nscql_contains_equals_engine;
+        ] );
+    ]

@@ -1,0 +1,296 @@
+(* Tests for the alternate embedding semantics (paper, Sec. 2 and 4.2):
+   isomorphic and homeomorphic containment, including the Figure 2 cases. *)
+
+module E = Containment.Engine
+module S = Containment.Semantics
+
+let records ?(algorithm = E.Bottom_up) ~embedding inv q =
+  (E.query ~config:{ E.default with E.algorithm; E.embedding } inv q).E.records
+
+let check_records = Alcotest.(check (list int))
+let check_bool = Alcotest.(check bool)
+
+let both_algorithms f () =
+  f E.Bottom_up;
+  f E.Top_down
+
+(* --- Figure 2 of the paper ---
+
+   The database set t_113 is, in our reconstruction of Fig. 1's subtree, a
+   set with leaves {A, B, C, car, motorbike} nested in {UK, ·}: we model the
+   essential shapes directly.
+
+   t_a: hom- but not iso-contained (two query children map to one data child).
+   t_b: iso-contained.
+   t_c: homeo- but not hom-contained (a leaf sits one level deeper). *)
+
+let fig2_data = "{UK, {A, B, car}, {C}}"
+
+let t_a = "{UK, {A}, {A, B}}" (* both children must map to {A, B, car} *)
+let t_b = "{UK, {A, B}, {C}}" (* distinct images exist *)
+
+let test_fig2_hom_vs_iso =
+  both_algorithms (fun alg ->
+      let inv = Testutil.mem_collection [ fig2_data ] in
+      check_records "t_a hom yes" [ 0 ]
+        (records ~algorithm:alg ~embedding:S.Hom inv (Testutil.v t_a));
+      check_records "t_a iso no" []
+        (records ~algorithm:alg ~embedding:S.Iso inv (Testutil.v t_a));
+      check_records "t_b hom yes" [ 0 ]
+        (records ~algorithm:alg ~embedding:S.Hom inv (Testutil.v t_b));
+      check_records "t_b iso yes" [ 0 ]
+        (records ~algorithm:alg ~embedding:S.Iso inv (Testutil.v t_b)))
+
+let test_fig2_homeo =
+  both_algorithms (fun alg ->
+      let inv = Testutil.mem_collection [ "{UK, {x, {C}}}" ] in
+      check_records "t_c hom no" []
+        (records ~algorithm:alg ~embedding:S.Hom inv (Testutil.v "{{{{C}}}}"));
+      (* {{C}} one level up: homeo lets the inner set slide down *)
+      check_records "homeo yes" [ 0 ]
+        (records ~algorithm:alg ~embedding:S.Homeo inv (Testutil.v "{{C}}"));
+      check_records "hom needs exact level" []
+        (records ~algorithm:alg ~embedding:S.Hom inv (Testutil.v "{{C}}")))
+
+(* --- isomorphic containment --- *)
+
+let test_iso_needs_distinct_images =
+  both_algorithms (fun alg ->
+      let inv = Testutil.mem_collection [ "{r, {a, b}}"; "{r, {a}, {b}}"; "{r, {a, b}, {a, c}}" ] in
+      let q = Testutil.v "{r, {a}, {b}}" in
+      check_records "hom matches all three" [ 0; 1; 2 ]
+        (records ~algorithm:alg ~embedding:S.Hom inv q);
+      (* iso: record 0 has one child for two query children; record 2's
+         children are {a,b} and {a,c}: {a}→{a,c}, {b}→{a,b} works *)
+      check_records "iso needs two children" [ 1; 2 ]
+        (records ~algorithm:alg ~embedding:S.Iso inv q))
+
+let test_iso_matching_needs_sdr =
+  both_algorithms (fun alg ->
+      (* three query children, only two distinct targets *)
+      let inv = Testutil.mem_collection [ "{x, {a, b, c}, {a, b}}" ] in
+      let q3 = Testutil.v "{x, {a}, {b}, {c}}" in
+      check_records "3 into 2 fails" []
+        (records ~algorithm:alg ~embedding:S.Iso inv q3);
+      let q2 = Testutil.v "{x, {a}, {c}}" in
+      (* {c} must take {a,b,c}, {a} takes {a,b} *)
+      check_records "forced assignment found" [ 0 ]
+        (records ~algorithm:alg ~embedding:S.Iso inv q2))
+
+let test_iso_deep_recursion =
+  both_algorithms (fun alg ->
+      let inv = Testutil.mem_collection [ "{x, {y, {a}, {a, b}}, {y, {a}}}" ] in
+      (* inner level also needs distinct images *)
+      let q = Testutil.v "{x, {y, {a}, {b}}}" in
+      check_records "inner sdr" [ 0 ]
+        (records ~algorithm:alg ~embedding:S.Iso inv q);
+      let q_too_many = Testutil.v "{x, {y, {a}, {a}, {b}}}" in
+      (* {a},{a} collapse canonically, so this equals q *)
+      check_records "canonical collapse" [ 0 ]
+        (records ~algorithm:alg ~embedding:S.Iso inv q_too_many))
+
+let prop_iso_implies_hom =
+  Testutil.qcheck_case ~count:200 ~name:"iso ⊆ hom"
+    (QCheck.pair (Testutil.arbitrary_collection ()) Testutil.arbitrary_value)
+    (fun (values, q) ->
+      QCheck.assume (Nested.Value.is_set q);
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      let iso = records ~embedding:S.Iso inv q in
+      let hom = records ~embedding:S.Hom inv q in
+      List.for_all (fun i -> List.mem i hom) iso)
+
+let prop_iso_algorithms_agree_with_oracle =
+  Testutil.qcheck_case ~count:200 ~name:"iso: BU = TD = oracle"
+    (QCheck.pair (Testutil.arbitrary_collection ()) Testutil.arbitrary_value)
+    (fun (values, q) ->
+      QCheck.assume (Nested.Value.is_set q);
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      let bu = records ~algorithm:E.Bottom_up ~embedding:S.Iso inv q in
+      let td = records ~algorithm:E.Top_down ~embedding:S.Iso inv q in
+      let oracle =
+        List.mapi (fun i v -> (i, v)) values
+        |> List.filter_map (fun (i, s) ->
+               if Containment.Embed.contains S.Iso ~q ~s then Some i else None)
+      in
+      bu = td && td = oracle)
+
+(* --- homeomorphic containment --- *)
+
+let test_homeo_skips_levels =
+  both_algorithms (fun alg ->
+      let inv = Testutil.mem_collection [ "{a, {b, {c, {d, leaf}}}}" ] in
+      (* internal edges relax to descendants *)
+      check_records "skip one" [ 0 ]
+        (records ~algorithm:alg ~embedding:S.Homeo inv (Testutil.v "{a, {c, {leaf}}}"));
+      check_records "skip many" [ 0 ]
+        (records ~algorithm:alg ~embedding:S.Homeo inv (Testutil.v "{{leaf}}"));
+      (* leaf edges stay parent-child: 'leaf' must be a direct member *)
+      check_records "leaf edge strict" []
+        (records ~algorithm:alg ~embedding:S.Homeo inv (Testutil.v "{a, leaf}")))
+
+let test_homeo_respects_subtree_boundaries =
+  both_algorithms (fun alg ->
+      (* the descendant must be inside the matched node's subtree, not a
+         cousin elsewhere in the record *)
+      let inv = Testutil.mem_collection [ "{x, {a, {p}}, {b, {q}}}" ] in
+      check_records "q not under the a-branch" []
+        (records ~algorithm:alg ~embedding:S.Homeo inv (Testutil.v "{{a, {q, b}}}"));
+      check_records "within subtree fine" [ 0 ]
+        (records ~algorithm:alg ~embedding:S.Homeo inv (Testutil.v "{{a, {p}}}")))
+
+let test_homeo_cross_record_isolation =
+  both_algorithms (fun alg ->
+      (* descendants never leak into the next record despite global ids *)
+      let inv = Testutil.mem_collection [ "{a}"; "{b, {c}}" ] in
+      check_records "no cross-record descendant" []
+        (records ~algorithm:alg ~embedding:S.Homeo inv (Testutil.v "{a, {c}}")))
+
+let prop_hom_implies_homeo =
+  Testutil.qcheck_case ~count:200 ~name:"hom ⊆ homeo"
+    (QCheck.pair (Testutil.arbitrary_collection ()) Testutil.arbitrary_value)
+    (fun (values, q) ->
+      QCheck.assume (Nested.Value.is_set q);
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      let hom = records ~embedding:S.Hom inv q in
+      let homeo = records ~embedding:S.Homeo inv q in
+      List.for_all (fun i -> List.mem i homeo) hom)
+
+let prop_homeo_algorithms_agree_with_oracle =
+  Testutil.qcheck_case ~count:200 ~name:"homeo: BU = TD = oracle"
+    (QCheck.pair (Testutil.arbitrary_collection ()) Testutil.arbitrary_value)
+    (fun (values, q) ->
+      QCheck.assume (Nested.Value.is_set q);
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      let bu = records ~algorithm:E.Bottom_up ~embedding:S.Homeo inv q in
+      let td = records ~algorithm:E.Top_down ~embedding:S.Homeo inv q in
+      let oracle =
+        List.mapi (fun i v -> (i, v)) values
+        |> List.filter_map (fun (i, s) ->
+               if Containment.Embed.contains S.Homeo ~q ~s then Some i else None)
+      in
+      bu = td && td = oracle)
+
+(* --- fully homeomorphic containment (footnote 4 lifted) --- *)
+
+let test_homeo_full_leaf_edges_relaxed =
+  both_algorithms (fun alg ->
+      let inv = Testutil.mem_collection [ "{a, {x, {b, y}}}" ] in
+      (* b sits two levels below the root: full homeo accepts, homeo does not *)
+      check_records "homeo-full accepts deep leaf" [ 0 ]
+        (records ~algorithm:alg ~embedding:S.Homeo_full inv (Testutil.v "{a, b}"));
+      check_records "homeo keeps leaf edges strict" []
+        (records ~algorithm:alg ~embedding:S.Homeo inv (Testutil.v "{a, b}"));
+      (* a missing label still fails *)
+      check_records "missing label" []
+        (records ~algorithm:alg ~embedding:S.Homeo_full inv (Testutil.v "{a, z}")))
+
+let test_homeo_full_structure_still_matters =
+  both_algorithms (fun alg ->
+      let inv = Testutil.mem_collection [ "{a, {b}, {c}}" ] in
+      (* both leaves reachable, but the nested pair {b, c} needs one node
+         whose subtree has both — only the root qualifies, and the query
+         wants it one level down *)
+      check_records "subtree grouping enforced" []
+        (records ~algorithm:alg ~embedding:S.Homeo_full inv (Testutil.v "{{b, c}, {b, c}}"));
+      check_records "achievable grouping" [ 0 ]
+        (records ~algorithm:alg ~embedding:S.Homeo_full inv (Testutil.v "{{b}, {c}}")))
+
+let prop_homeo_implies_homeo_full =
+  Testutil.qcheck_case ~count:200 ~name:"homeo ⊆ homeo-full"
+    (QCheck.pair (Testutil.arbitrary_collection ()) Testutil.arbitrary_value)
+    (fun (values, q) ->
+      QCheck.assume (Nested.Value.is_set q);
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      let homeo = records ~embedding:S.Homeo inv q in
+      let full = records ~embedding:S.Homeo_full inv q in
+      List.for_all (fun i -> List.mem i full) homeo)
+
+let prop_homeo_full_algorithms_agree_with_oracle =
+  Testutil.qcheck_case ~count:200 ~name:"homeo-full: BU = TD = oracle"
+    (QCheck.pair (Testutil.arbitrary_collection ()) Testutil.arbitrary_value)
+    (fun (values, q) ->
+      QCheck.assume (Nested.Value.is_set q);
+      let values = List.filter Nested.Value.is_set values in
+      QCheck.assume (values <> []);
+      let inv = Containment.Collection.of_values values in
+      let bu = records ~algorithm:E.Bottom_up ~embedding:S.Homeo_full inv q in
+      let td = records ~algorithm:E.Top_down ~embedding:S.Homeo_full inv q in
+      let oracle =
+        List.mapi (fun i v -> (i, v)) values
+        |> List.filter_map (fun (i, s) ->
+               if Containment.Embed.contains S.Homeo_full ~q ~s then Some i else None)
+      in
+      bu = td && td = oracle)
+
+(* --- strictness of the inclusions (Sec. 2: "both inclusions are strict") --- *)
+
+let test_inclusions_strict () =
+  (* iso ⊊ hom: t_a-style witness *)
+  check_bool "hom not iso" true
+    (Containment.Embed.contains S.Hom ~q:(Testutil.v t_a) ~s:(Testutil.v fig2_data)
+    && not (Containment.Embed.contains S.Iso ~q:(Testutil.v t_a) ~s:(Testutil.v fig2_data)));
+  (* hom ⊊ homeo *)
+  let q = Testutil.v "{{C}}" and s = Testutil.v "{UK, {x, {C}}}" in
+  check_bool "homeo not hom" true
+    (Containment.Embed.contains S.Homeo ~q ~s
+    && not (Containment.Embed.contains S.Hom ~q ~s))
+
+(* --- the matching module itself --- *)
+
+let test_sdr () =
+  let m = Containment.Matching.has_sdr in
+  check_bool "empty" true (m []);
+  check_bool "simple" true (m [ [| 1 |]; [| 2 |] ]);
+  check_bool "conflict" false (m [ [| 1 |]; [| 1 |] ]);
+  check_bool "augmenting path needed" true (m [ [| 1; 2 |]; [| 1 |] ]);
+  check_bool "hall violation" false (m [ [| 1; 2 |]; [| 1; 2 |]; [| 1; 2 |] ]);
+  check_bool "chain reassignment" true (m [ [| 1 |]; [| 1; 2 |]; [| 2; 3 |] ]);
+  check_bool "empty set blocks" false (m [ [| 1 |]; [||] ])
+
+let () =
+  Alcotest.run "semantics"
+    [
+      ( "figure 2",
+        [
+          Alcotest.test_case "hom vs iso" `Quick test_fig2_hom_vs_iso;
+          Alcotest.test_case "homeo" `Quick test_fig2_homeo;
+          Alcotest.test_case "strict inclusions" `Quick test_inclusions_strict;
+        ] );
+      ( "isomorphic",
+        [
+          Alcotest.test_case "distinct images" `Quick test_iso_needs_distinct_images;
+          Alcotest.test_case "sdr" `Quick test_iso_matching_needs_sdr;
+          Alcotest.test_case "deep" `Quick test_iso_deep_recursion;
+          prop_iso_implies_hom;
+          prop_iso_algorithms_agree_with_oracle;
+        ] );
+      ( "homeomorphic",
+        [
+          Alcotest.test_case "skips levels" `Quick test_homeo_skips_levels;
+          Alcotest.test_case "subtree boundaries" `Quick
+            test_homeo_respects_subtree_boundaries;
+          Alcotest.test_case "cross-record isolation" `Quick
+            test_homeo_cross_record_isolation;
+          prop_hom_implies_homeo;
+          prop_homeo_algorithms_agree_with_oracle;
+        ] );
+      ( "fully homeomorphic",
+        [
+          Alcotest.test_case "leaf edges relaxed" `Quick test_homeo_full_leaf_edges_relaxed;
+          Alcotest.test_case "structure still matters" `Quick
+            test_homeo_full_structure_still_matters;
+          prop_homeo_implies_homeo_full;
+          prop_homeo_full_algorithms_agree_with_oracle;
+        ] );
+      ("matching", [ Alcotest.test_case "has_sdr" `Quick test_sdr ]);
+    ]

@@ -1,0 +1,297 @@
+(* Tests for the JSON and XML parsers/printers and the nested-set mappings. *)
+
+module J = Textformats.Json
+module X = Textformats.Xml
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let check_value = Alcotest.(check Testutil.value_testable)
+
+let json_testable = Alcotest.testable J.pp J.equal
+let xml_testable = Alcotest.testable X.pp X.equal
+
+(* --- JSON parsing --- *)
+
+let test_json_scalars () =
+  Alcotest.check json_testable "null" J.Null (J.of_string "null");
+  Alcotest.check json_testable "true" (J.Bool true) (J.of_string "true");
+  Alcotest.check json_testable "false" (J.Bool false) (J.of_string " false ");
+  Alcotest.check json_testable "int" (J.Number 42.) (J.of_string "42");
+  Alcotest.check json_testable "negative" (J.Number (-7.5)) (J.of_string "-7.5");
+  Alcotest.check json_testable "exponent" (J.Number 1200.) (J.of_string "1.2e3");
+  Alcotest.check json_testable "string" (J.String "hi") (J.of_string "\"hi\"")
+
+let test_json_structures () =
+  Alcotest.check json_testable "array"
+    (J.Array [ J.Number 1.; J.Number 2. ])
+    (J.of_string "[1, 2]");
+  Alcotest.check json_testable "empty array" (J.Array []) (J.of_string "[]");
+  Alcotest.check json_testable "empty object" (J.Object []) (J.of_string "{}");
+  Alcotest.check json_testable "nested"
+    (J.Object [ ("a", J.Array [ J.Object [ ("b", J.Null) ] ]) ])
+    (J.of_string "{\"a\": [{\"b\": null}]}")
+
+let test_json_string_escapes () =
+  check_string "basic escapes" "a\"b\\c\nd\te"
+    (match J.of_string "\"a\\\"b\\\\c\\nd\\te\"" with
+    | J.String s -> s
+    | _ -> Alcotest.fail "not a string");
+  check_string "unicode bmp" "\xc3\xa9"
+    (match J.of_string "\"\\u00e9\"" with J.String s -> s | _ -> assert false);
+  check_string "surrogate pair" "\xf0\x9f\x98\x80"
+    (match J.of_string "\"\\ud83d\\ude00\"" with J.String s -> s | _ -> assert false)
+
+let test_json_errors () =
+  let fails s =
+    match J.of_string_opt s with
+    | None -> ()
+    | Some v -> Alcotest.failf "%S parsed to %s" s (J.to_string v)
+  in
+  List.iter fails
+    [
+      "";
+      "{";
+      "[1,";
+      "{\"a\" 1}";
+      "{\"a\": }";
+      "tru";
+      "\"\\ud83d\"" (* unpaired surrogate *);
+      "\"unterminated";
+      "[1] trailing";
+      "{\"a\":1,}";
+    ]
+
+let test_json_member_and_list () =
+  let j = J.of_string "{\"a\": 1, \"b\": [2, 3]}" in
+  check_bool "member a" true (J.member "a" j = Some (J.Number 1.));
+  check_bool "member c" true (J.member "c" j = None);
+  check_int "to_list" 2 (List.length (J.to_list (Option.get (J.member "b" j))))
+
+let test_json_roundtrip () =
+  let cases =
+    [
+      "null";
+      "[1,2.5,-3]";
+      "{\"k\":\"v\",\"nested\":{\"arr\":[true,false,null]}}";
+      "{\"text\":\"line\\nbreak\"}";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let j = J.of_string s in
+      Alcotest.check json_testable ("roundtrip " ^ s) j (J.of_string (J.to_string j));
+      (* pretty printing parses back too *)
+      Alcotest.check json_testable ("pretty " ^ s) j
+        (J.of_string (J.to_string ~pretty:true j)))
+    cases
+
+let test_json_equal_order_insensitive () =
+  check_bool "field order" true
+    (J.equal (J.of_string "{\"a\":1,\"b\":2}") (J.of_string "{\"b\":2,\"a\":1}"));
+  check_bool "array order sensitive" false
+    (J.equal (J.of_string "[1,2]") (J.of_string "[2,1]"))
+
+(* --- XML parsing --- *)
+
+let test_xml_basic () =
+  let x = X.of_string "<a href=\"u\">text<b/>more</a>" in
+  check_bool "tag" true (X.tag x = Some "a");
+  check_bool "attr" true (X.attr "href" x = Some "u");
+  check_int "children" 3 (List.length (X.children x));
+  check_string "text content" "textmore" (X.text_content x)
+
+let test_xml_entities () =
+  let x = X.of_string "<t>a &amp; b &lt;c&gt; &#65; &#x42; &quot;</t>" in
+  check_string "decoded" "a & b <c> A B \"" (X.text_content x)
+
+let test_xml_prolog_comments_cdata () =
+  let doc =
+    "<?xml version=\"1.0\"?><!DOCTYPE dblp SYSTEM \"dblp.dtd\">\n\
+     <!-- comment --><r><!-- inner --><![CDATA[raw <stuff>]]></r>"
+  in
+  let x = X.of_string doc in
+  check_bool "root" true (X.tag x = Some "r");
+  check_string "cdata" "raw <stuff>" (X.text_content x)
+
+let test_xml_whitespace_only_text_dropped () =
+  let x = X.of_string "<a>\n  <b/>\n  <c/>\n</a>" in
+  check_int "only elements" 2 (List.length (X.children x))
+
+let test_xml_errors () =
+  let fails s =
+    match X.of_string_opt s with
+    | None -> ()
+    | Some x -> Alcotest.failf "%S parsed to %s" s (X.to_string x)
+  in
+  List.iter fails
+    [ ""; "<a>"; "<a></b>"; "<a attr></a>"; "text only"; "<a>&unknown;</a>"; "<a/><b/>" ]
+
+let test_xml_parse_many () =
+  let xs = X.parse_many "<a/>\n<b>t</b>\n<c x=\"1\"/>" in
+  check_int "three elements" 3 (List.length xs)
+
+let test_xml_roundtrip () =
+  let cases =
+    [
+      "<a/>";
+      "<a k=\"v\" k2=\"&amp;&quot;\">t1<b><c/>deep</b>t2</a>";
+      "<article key=\"conf/x/1\"><author>A. B.</author><title>T &lt;3.</title></article>";
+    ]
+  in
+  List.iter
+    (fun s ->
+      let x = X.of_string s in
+      Alcotest.check xml_testable ("roundtrip " ^ s) x (X.of_string (X.to_string x)))
+    cases
+
+(* --- JSON → nested mapping --- *)
+
+let test_json_mapping_shape () =
+  let v = Textformats.Json_nested.of_json (J.of_string "{\"k\": \"v\"}") in
+  check_value "object of one field" (Testutil.v "{{k, v}}") v;
+  let v2 = Textformats.Json_nested.of_json (J.of_string "[1, \"x\", null, true]") in
+  check_value "array to flat set" (Testutil.v "{1, null, true, x}") v2;
+  let v3 = Textformats.Json_nested.of_json (J.of_string "{\"a\": {\"b\": [1]}}") in
+  check_value "nesting preserved" (Testutil.v "{{a, {{b, {1}}}}}") v3
+
+let test_json_scalar_atoms () =
+  check_string "null" "null" (Textformats.Json_nested.atom_of_scalar J.Null);
+  check_string "int-like" "42" (Textformats.Json_nested.atom_of_scalar (J.Number 42.));
+  check_string "float" "2.5" (Textformats.Json_nested.atom_of_scalar (J.Number 2.5));
+  match Textformats.Json_nested.atom_of_scalar (J.Array []) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "array is not a scalar"
+
+let test_json_pattern_containment () =
+  (* the motivating use: JSON pattern query over mapped documents *)
+  let doc = J.of_string "{\"user\": {\"name\": \"ann\", \"age\": 7}, \"tags\": [\"x\",\"y\"]}" in
+  let s = Textformats.Json_nested.of_json doc in
+  let q =
+    Textformats.Json_nested.query
+      [ ("user", Textformats.Json_nested.query [ ("name", Nested.Value.atom "ann") ]) ]
+  in
+  check_bool "pattern matches" true
+    (Containment.Embed.contains Containment.Semantics.Hom ~q ~s);
+  let q2 =
+    Textformats.Json_nested.query
+      [ ("user", Textformats.Json_nested.query [ ("name", Nested.Value.atom "bob") ]) ]
+  in
+  check_bool "wrong value" false
+    (Containment.Embed.contains Containment.Semantics.Hom ~q:q2 ~s)
+
+(* --- XML → nested mapping --- *)
+
+let test_xml_mapping_shape () =
+  let x = X.of_string "<article key=\"k1\"><author>Ann</author><year>2005</year></article>" in
+  let v = Textformats.Xml_nested.of_xml x in
+  check_value "element encoding"
+    (Testutil.v "{article, {@key, k1}, {author, Ann}, {year, 2005}}")
+    v
+
+let test_xml_mapping_tokenize () =
+  let x = X.of_string "<title>Big Data Systems</title>" in
+  let v = Textformats.Xml_nested.of_xml ~tokenize:true x in
+  check_value "tokens inline" (Testutil.v "{Big, Data, Systems, title}") v;
+  let v2 = Textformats.Xml_nested.of_xml x in
+  check_value "untokenized" (Testutil.v "{title, \"Big Data Systems\"}") v2
+
+let test_xml_pattern_containment () =
+  let x =
+    X.of_string
+      "<article><author>Ann</author><author>Bob</author><title>On Sets.</title></article>"
+  in
+  let s = Textformats.Xml_nested.of_xml ~tokenize:true x in
+  let q = Textformats.Xml_nested.element "author" [ Nested.Value.atom "Ann" ] in
+  let q = Nested.Value.set [ q ] in
+  check_bool "author query" true
+    (Containment.Embed.contains Containment.Semantics.Hom ~q ~s);
+  let keyword =
+    Nested.Value.set
+      [ Textformats.Xml_nested.element "title" [ Nested.Value.atom "Sets." ] ]
+  in
+  check_bool "title keyword" true
+    (Containment.Embed.contains Containment.Semantics.Hom ~q:keyword ~s)
+
+(* random JSON values for roundtrip fuzzing *)
+let rec gen_json depth st =
+  let open QCheck.Gen in
+  match if depth >= 3 then int_range 0 3 st else int_range 0 5 st with
+  | 0 -> J.Null
+  | 1 -> J.Bool (bool st)
+  | 2 -> J.Number (float_of_int (int_range (-1000) 1000 st))
+  | 3 -> J.String (string_size ~gen:printable (int_range 0 8) st)
+  | 4 -> J.Array (list_size (int_range 0 4) (fun st -> gen_json (depth + 1) st) st)
+  | _ ->
+    J.Object
+      (List.mapi
+         (fun i v -> ("k" ^ string_of_int i, v))
+         (list_size (int_range 0 4) (fun st -> gen_json (depth + 1) st) st))
+
+let prop_json_random_roundtrip =
+  Testutil.qcheck_case ~count:300 ~name:"random JSON roundtrips"
+    (QCheck.make ~print:J.to_string (gen_json 0))
+    (fun j ->
+      J.equal j (J.of_string (J.to_string j))
+      && J.equal j (J.of_string (J.to_string ~pretty:true j)))
+
+let prop_json_mapping_respects_containment =
+  Testutil.qcheck_case ~count:200 ~name:"object-field removal ⇒ mapped containment"
+    (QCheck.make ~print:J.to_string (gen_json 0))
+    (fun j ->
+      match j with
+      | J.Object ((_ :: _ :: _) as fields) ->
+        let q = Textformats.Json_nested.of_json (J.Object (List.tl fields)) in
+        let s = Textformats.Json_nested.of_json j in
+        Containment.Embed.contains Containment.Semantics.Hom ~q ~s
+      | _ -> QCheck.assume_fail ())
+
+let prop_json_mapping_total =
+  Testutil.qcheck_case ~count:100 ~name:"json mapping is total on generated tweets"
+    QCheck.unit
+    (fun () ->
+      let g = Datagen.Twitter_sim.make ~seed:77 () in
+      let j = Datagen.Twitter_sim.tweet_json g in
+      let v = Textformats.Json_nested.of_json j in
+      Nested.Value.is_set v && Nested.Value.depth v >= 2)
+
+let () =
+  Alcotest.run "textformats"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "scalars" `Quick test_json_scalars;
+          Alcotest.test_case "structures" `Quick test_json_structures;
+          Alcotest.test_case "string escapes" `Quick test_json_string_escapes;
+          Alcotest.test_case "errors" `Quick test_json_errors;
+          Alcotest.test_case "member/to_list" `Quick test_json_member_and_list;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "equality" `Quick test_json_equal_order_insensitive;
+        ] );
+      ( "xml",
+        [
+          Alcotest.test_case "basic" `Quick test_xml_basic;
+          Alcotest.test_case "entities" `Quick test_xml_entities;
+          Alcotest.test_case "prolog/comments/cdata" `Quick test_xml_prolog_comments_cdata;
+          Alcotest.test_case "whitespace text dropped" `Quick
+            test_xml_whitespace_only_text_dropped;
+          Alcotest.test_case "errors" `Quick test_xml_errors;
+          Alcotest.test_case "parse_many" `Quick test_xml_parse_many;
+          Alcotest.test_case "roundtrip" `Quick test_xml_roundtrip;
+        ] );
+      ( "json mapping",
+        [
+          Alcotest.test_case "shape" `Quick test_json_mapping_shape;
+          Alcotest.test_case "scalar atoms" `Quick test_json_scalar_atoms;
+          Alcotest.test_case "pattern containment" `Quick test_json_pattern_containment;
+          prop_json_mapping_total;
+          prop_json_random_roundtrip;
+          prop_json_mapping_respects_containment;
+        ] );
+      ( "xml mapping",
+        [
+          Alcotest.test_case "shape" `Quick test_xml_mapping_shape;
+          Alcotest.test_case "tokenize" `Quick test_xml_mapping_tokenize;
+          Alcotest.test_case "pattern containment" `Quick test_xml_pattern_containment;
+        ] );
+    ]
