@@ -365,22 +365,66 @@ let workload_cmd =
 
 let check_cmd =
   let run store backend =
-    let inv = IF.open_store (open_store backend store) in
+    let kv = open_store backend store in
+    let inv = IF.open_store ~lenient:true kv in
     Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
-    match Invfile.Integrity.check inv with
+    let recoveries = Storage.Io_stats.recoveries kv.Storage.Kv.stats in
+    if recoveries > 0 then
+      Printf.printf "note: %d recovery action(s) ran while opening the store\n"
+        recoveries;
+    match E.verify_store inv with
     | [] ->
       Printf.printf "ok: %d records, %d atoms, %d nodes — consistent\n"
         (IF.record_count inv) (IF.atom_count inv) (IF.node_count inv)
     | problems ->
-      List.iter
-        (fun p -> Format.printf "PROBLEM %a@." Invfile.Integrity.pp_problem p)
+      List.iteri
+        (fun i p ->
+          if i < 20 then
+            Format.printf "PROBLEM %a@." Invfile.Integrity.pp_problem p
+          else if i = 20 then
+            Printf.printf "... (%d more)\n" (List.length problems - 20))
         problems;
+      Printf.printf "%d problem(s); run 'nscq repair' to rebuild the index from the records\n"
+        (List.length problems);
       exit 1
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Verify a store's integrity (index vs stored records).")
     Term.(const run $ store_arg $ backend_arg)
+
+(* --- repair --- *)
+
+let repair_cmd =
+  let dry_arg =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:"Report what repair would do without rewriting anything.")
+  in
+  let run store backend dry =
+    let inv = IF.open_store ~lenient:true (open_store backend store) in
+    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+    if dry then begin
+      match E.verify_store inv with
+      | [] -> print_endline "store is consistent; nothing to repair"
+      | problems ->
+        List.iter
+          (fun p -> Format.printf "WOULD FIX %a@." Invfile.Integrity.pp_problem p)
+          problems;
+        exit 1
+    end
+    else begin
+      let report = E.repair inv in
+      Format.printf "%a" E.pp_repair_report report;
+      if report.E.problems_after <> [] then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "repair"
+       ~doc:"Recover a store: finish pending journal rollbacks and rebuild \
+             the index from the stored records if it is inconsistent.")
+    Term.(const run $ store_arg $ backend_arg $ dry_arg)
 
 (* --- export --- *)
 
@@ -678,4 +722,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; build_cmd; query_cmd; workload_cmd; stats_cmd; repl_cmd;
-            sql_cmd; check_cmd; export_cmd; merge_cmd; compact_cmd ]))
+            sql_cmd; check_cmd; repair_cmd; export_cmd; merge_cmd; compact_cmd ]))

@@ -6,9 +6,17 @@
    compares every algorithm/join/semantics combination against the
    value-level oracle and a model of the live records.
 
-     dune exec fuzz/fuzz.exe            -- 200 scenarios
-     dune exec fuzz/fuzz.exe -- 10000   -- more
-     dune exec fuzz/fuzz.exe -- 500 99  -- scenarios, seed
+     dune exec fuzz/fuzz.exe                  -- 200 scenarios
+     dune exec fuzz/fuzz.exe -- 10000         -- more
+     dune exec fuzz/fuzz.exe -- 500 99        -- scenarios, seed
+     dune exec fuzz/fuzz.exe -- crash 500 99  -- crash-recovery mode
+
+   Crash mode is the long-running companion to test/test_faults.ml: each
+   scenario runs a random update workload behind Storage.Fault with a
+   random kill point (clean or torn), reopens, and checks that recovery
+   leaves the store consistent, that queries agree with the value-level
+   oracle, and that the surviving records are exactly a prefix of the
+   updates (update atomicity).
 
    Exits non-zero on the first divergence, printing a reproducer. *)
 
@@ -124,18 +132,160 @@ let scenario rng i =
     exit 1);
   IF.close inv
 
-let () =
-  let scenarios =
-    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200
+(* --- crash-recovery mode --- *)
+
+module F = Storage.Fault
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun id v acc -> (id, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let crash_scenario rng i =
+  let path = Filename.temp_file "fuzz_crash" ".log" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with _ -> ())
+  @@ fun () ->
+  let n0 = 3 + Random.State.int rng 6 in
+  let initial = List.init n0 (fun _ -> random_set rng 0) in
+  IF.close
+    (Containment.Collection.of_values
+       ~backend:(Containment.Collection.Log path) initial);
+  (* script the updates up front so every intermediate model state is
+     known: after an atomic crash, the store must equal one of them *)
+  let n_updates = 2 + Random.State.int rng 8 in
+  let slots = ref n0 in
+  let updates =
+    List.init n_updates (fun _ ->
+        if Random.State.int rng 3 > 0 then begin
+          incr slots;
+          `Add (random_set rng 0)
+        end
+        else `Delete (Random.State.int rng !slots))
   in
-  let seed = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1 in
+  let states =
+    (* model after 0, 1, ..., n updates *)
+    let model = Hashtbl.create 16 in
+    List.iteri (fun id v -> Hashtbl.replace model id v) initial;
+    let next = ref n0 in
+    (* bind the initial snapshot before List.map mutates the model —
+       [::] gives no evaluation-order guarantee *)
+    let s0 = sorted_bindings model in
+    s0
+    :: List.map
+         (fun u ->
+           (match u with
+           | `Add v ->
+             Hashtbl.replace model !next v;
+             incr next
+           | `Delete id -> Hashtbl.remove model id);
+           sorted_bindings model)
+         updates
+  in
+  let config =
+    {
+      F.default with
+      F.seed = i;
+      crash_after = Some (1 + Random.State.int rng 80);
+      crash_mode = (if Random.State.bool rng then F.Clean else F.Torn);
+    }
+  in
+  let wrapper = F.wrap ~config (Storage.Log_store.open_existing path) in
+  (try
+     let inv = IF.open_store (F.kv wrapper) in
+     List.iter
+       (function
+         | `Add v -> ignore (Invfile.Updater.add_value inv v)
+         | `Delete id -> ignore (Invfile.Updater.delete_record inv id))
+       updates
+   with F.Crashed _ -> ());
+  (F.kv wrapper).Storage.Kv.close ();
+  (* reopen: recovery runs in open_store *)
+  let inv = IF.open_store (Storage.Log_store.open_existing path) in
+  Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+  (match Invfile.Integrity.check inv with
+  | [] -> ()
+  | problems ->
+    Printf.printf "\nCRASH-RECOVERY INTEGRITY FAILURE in scenario %d:\n" i;
+    List.iter (fun p -> Format.printf "  %a@." Invfile.Integrity.pp_problem p) problems;
+    exit 1);
+  let live =
+    List.filter_map
+      (fun id -> Option.map (fun v -> (id, v)) (IF.record_value_opt inv id))
+      (List.init (IF.record_count inv) Fun.id)
+  in
+  let state_equal a b =
+    List.length a = List.length b
+    && List.for_all2 (fun (i1, v1) (i2, v2) -> i1 = i2 && V.equal v1 v2) a b
+  in
+  if not (List.exists (fun st -> state_equal st live) states) then begin
+    Printf.printf "\nATOMICITY FAILURE in scenario %d: recovered state is not a\n" i;
+    Printf.printf "prefix of the scripted updates.\n";
+    List.iter (fun (id, v) -> Printf.printf "  live %d: %s\n" id (V.to_string v)) live;
+    List.iteri
+      (fun k st ->
+        Printf.printf "  state %d: {%s}\n" k
+          (String.concat "," (List.map (fun (id, _) -> string_of_int id) st)))
+      states;
+    List.iteri
+      (fun k st ->
+        if List.map fst st = List.map fst live then
+          List.iter2
+            (fun (id, mv) (_, lv) ->
+              if not (V.equal mv lv) then
+                Printf.printf "  state %d id %d differs:\n    model %s\n    live  %s\n"
+                  k id (V.to_string mv) (V.to_string lv))
+            st live)
+      states;
+    exit 1
+  end;
+  for _ = 1 to 4 do
+    let q = random_set rng 1 in
+    let expected =
+      List.filter_map
+        (fun (id, s) ->
+          if Containment.Embed.check S.Containment S.Hom ~q ~s then Some id
+          else None)
+        live
+    in
+    let got = (E.query inv q).E.records in
+    if got <> expected then begin
+      Printf.printf "\nCRASH-RECOVERY DIVERGENCE in scenario %d:\n" i;
+      Printf.printf "  query: %s\n" (V.to_string q);
+      List.iter (fun (id, v) -> Printf.printf "  live %d: %s\n" id (V.to_string v)) live;
+      Printf.printf "  got      [%s]\n" (String.concat ";" (List.map string_of_int got));
+      Printf.printf "  expected [%s]\n"
+        (String.concat ";" (List.map string_of_int expected));
+      exit 1
+    end
+  done
+
+let run ~label ~scenarios ~seed one =
   let rng = Random.State.make [| seed; 0xf022 |] in
   let t0 = Unix.gettimeofday () in
   for i = 1 to scenarios do
-    scenario rng i;
+    one rng i;
     if i mod 50 = 0 then begin
-      Printf.printf "%d scenarios ok (%.1fs)\n" i (Unix.gettimeofday () -. t0);
+      Printf.printf "%d %s scenarios ok (%.1fs)\n" i label
+        (Unix.gettimeofday () -. t0);
       flush stdout
     end
   done;
-  Printf.printf "all %d scenarios passed (%.1fs)\n" scenarios (Unix.gettimeofday () -. t0)
+  Printf.printf "all %d %s scenarios passed (%.1fs)\n" scenarios label
+    (Unix.gettimeofday () -. t0)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  match args with
+  | _ :: "crash" :: rest ->
+    let scenarios, seed =
+      match rest with
+      | [] -> (100, 1)
+      | [ n ] -> (int_of_string n, 1)
+      | n :: s :: _ -> (int_of_string n, int_of_string s)
+    in
+    run ~label:"crash" ~scenarios ~seed crash_scenario
+  | _ ->
+    let scenarios =
+      if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200
+    in
+    let seed = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 1 in
+    run ~label:"differential" ~scenarios ~seed scenario

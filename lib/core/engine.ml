@@ -260,6 +260,59 @@ let pp_plan ppf plans =
         p.candidate_count)
     plans
 
+(* --- store verification & repair --- *)
+
+let verify_store inv = Invfile.Integrity.check inv
+
+type repair_report = {
+  rolled_back : int;
+  problems_before : Invfile.Integrity.problem list;
+  rebuilt : Invfile.Repair.outcome option;
+  problems_after : Invfile.Integrity.problem list;
+}
+
+let repair inv =
+  (* 1. finish any interrupted update transaction (normally already done
+     by open_store; explicit here so repair works on a handle whose store
+     was mutated behind its back) *)
+  let rolled_back = Invfile.Journal.recover (IF.store inv) in
+  if rolled_back > 0 then IF.refresh inv;
+  (* 2. if the derived index still disagrees with the records, rebuild it
+     from them *)
+  let problems_before = Invfile.Integrity.check inv in
+  let rebuilt =
+    match problems_before with
+    | [] -> None
+    | _ :: _ ->
+      let outcome = Invfile.Repair.rebuild inv in
+      Log.info (fun m ->
+          m "repair: rebuilt index from records (%d live, %d tombstoned, %d atoms)"
+            outcome.Invfile.Repair.live_records outcome.Invfile.Repair.tombstoned
+            outcome.Invfile.Repair.atoms);
+      Some outcome
+  in
+  let problems_after =
+    match rebuilt with None -> problems_before | Some _ -> Invfile.Integrity.check inv
+  in
+  { rolled_back; problems_before; rebuilt; problems_after }
+
+let pp_repair_report ppf r =
+  Format.fprintf ppf "journal: %d key(s) rolled back@." r.rolled_back;
+  (match r.rebuilt with
+  | None -> Format.fprintf ppf "index: consistent, no rebuild needed@."
+  | Some o ->
+    Format.fprintf ppf
+      "index: rebuilt from records (%d live, %d tombstoned, %d atoms), %d problem(s) before@."
+      o.Invfile.Repair.live_records o.Invfile.Repair.tombstoned
+      o.Invfile.Repair.atoms
+      (List.length r.problems_before));
+  match r.problems_after with
+  | [] -> Format.fprintf ppf "store is consistent@."
+  | problems ->
+    List.iter
+      (fun p -> Format.fprintf ppf "UNREPAIRED %a@." Invfile.Integrity.pp_problem p)
+      problems
+
 (* --- workloads --- *)
 
 type workload_stats = {

@@ -105,6 +105,34 @@ val explain : ?config:config -> Invfile.Inverted_file.t -> Nested.Value.t -> nod
 
 val pp_plan : Format.formatter -> node_plan list -> unit
 
+(** {1 Verification & repair}
+
+    The durability story end-to-end: {!Invfile.Journal} makes updates
+    atomic, {!Storage.Log_store} recovers torn tails, and these entry
+    points let an operator (or [nscq check] / [nscq repair]) audit and
+    restore a store. *)
+
+val verify_store : Invfile.Inverted_file.t -> Invfile.Integrity.problem list
+(** Full offline consistency audit of the store behind a collection —
+    {!Invfile.Integrity.check}; empty means consistent. *)
+
+type repair_report = {
+  rolled_back : int;  (** keys restored by finishing a pending journal *)
+  problems_before : Invfile.Integrity.problem list;
+  rebuilt : Invfile.Repair.outcome option;
+      (** set when the index had to be rebuilt from the records *)
+  problems_after : Invfile.Integrity.problem list;
+      (** non-empty only when even a rebuild could not restore consistency *)
+}
+
+val repair : Invfile.Inverted_file.t -> repair_report
+(** Restores a damaged store: completes any pending journal rollback,
+    then — if the index still disagrees with the stored records — rebuilds
+    it from them ({!Invfile.Repair.rebuild}). The handle is refreshed and
+    usable afterwards. *)
+
+val pp_repair_report : Format.formatter -> repair_report -> unit
+
 (** {1 Workloads} *)
 
 type workload_stats = {

@@ -64,3 +64,8 @@ let atom_of_id t id =
       a)
 
 let size t = load_next t
+
+let reset t =
+  Hashtbl.reset t.by_atom;
+  Hashtbl.reset t.by_id;
+  t.next <- None

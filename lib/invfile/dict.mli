@@ -23,3 +23,14 @@ val atom_of_id : t -> int -> string
 
 val size : t -> int
 (** Number of interned atoms. *)
+
+val reset : t -> unit
+(** Drops the in-memory caches; mappings are re-read from the store on
+    demand. Required after a transaction rollback rewrites dict keys. *)
+
+(** {1 Store keys} — exposed so {!Journal} transactions can snapshot the
+    dictionary entries an update may write. *)
+
+val atom_key : string -> string
+val id_key : int -> string
+val count_key : string

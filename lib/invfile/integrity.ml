@@ -9,6 +9,9 @@ let check inv =
   let report what fmt =
     Printf.ksprintf (fun detail -> problems := { what; detail } :: !problems) fmt
   in
+  (* 0. no half-applied transaction left behind *)
+  if Journal.pending (IF.store inv) then
+    report "journal" "pending undo record (crash recovery has not run)";
   (* 1. roots ascending, counts sane *)
   let roots = IF.roots inv in
   Array.iteri
@@ -18,12 +21,24 @@ let check inv =
     roots;
   if Array.length roots > 0 && roots.(Array.length roots - 1) >= IF.node_count inv
   then report "roots" "last root beyond the node count";
+  (* 1b. no phantom record slots beyond the root count *)
+  (let store = IF.store inv in
+   store.Storage.Kv.iter (fun key _ ->
+       if String.length key > 2 && key.[0] = 'r' && key.[1] = ':' then
+         match int_of_string_opt (String.sub key 2 (String.length key - 2)) with
+         | Some id when id >= Array.length roots ->
+           report "records" "phantom record key %S beyond the root count" key
+         | Some _ -> ()
+         | None -> report "records" "unparsable record key %S" key));
   (* 2. expected postings from the stored records *)
   let expected : (string, Posting.t list) Hashtbl.t = Hashtbl.create 1024 in
   let expected_nodes = ref [] in
   let wrong_tree = ref false in
   for record_id = 0 to IF.record_count inv - 1 do
     match IF.record_value_opt inv record_id with
+    | exception IF.Malformed m ->
+      wrong_tree := true;
+      report "records" "record %d unreadable: %s" record_id m
     | None -> ()
     | Some value -> (
       match IF.record_tree inv record_id with

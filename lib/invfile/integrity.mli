@@ -3,7 +3,9 @@
     Structural invariants of an inverted file, verified against the stored
     record values (the ground truth the index is derived from):
 
-    - metadata decodes; roots ascending; counts consistent;
+    - no pending {!Journal} undo record (crash recovery has run);
+    - metadata decodes; roots ascending; counts consistent; no record
+      slots beyond the root count;
     - every postings list is strictly sorted with valid intervals;
     - the inverted lists are {e exactly} the ones a rebuild of each live
       record would produce (no missing, stale, or phantom postings);

@@ -30,7 +30,7 @@ let get_meta store key =
   | Some v -> v
   | None -> raise (Malformed (Printf.sprintf "missing metadata %S" key))
 
-let open_store store =
+let read_meta store =
   let roots =
     try Storage.Codec.decode_int_array (get_meta store meta_roots)
     with Storage.Codec.Corrupt m -> raise (Malformed ("roots: " ^ m))
@@ -42,6 +42,18 @@ let open_store store =
       let n = Storage.Codec.read_varint r in
       (a, n)
     with Storage.Codec.Corrupt m -> raise (Malformed ("counts: " ^ m))
+  in
+  (roots, atom_count, node_count)
+
+let open_store ?(lenient = false) store =
+  (* roll back any transaction a crash left half-applied *)
+  ignore (Journal.recover store);
+  let roots, atom_count, node_count =
+    if not lenient then read_meta store
+    else
+      (* damaged-store mode for repair: missing/corrupt metadata reads as
+         an empty index; the record slots remain the ground truth *)
+      try read_meta store with Malformed _ -> ([||], 0, 0)
   in
   {
     store;
@@ -64,6 +76,7 @@ let lookup_from_store t a =
       raise (Malformed (Printf.sprintf "postings of %S: %s" a m)))
 
 let lookup t a =
+  Storage.Io_stats.record_lookup t.lookup_stats;
   match t.cache with
   | None ->
     Storage.Io_stats.record_miss t.lookup_stats;
@@ -81,6 +94,7 @@ let lookup t a =
       l)
 
 let lookup_raw t a =
+  Storage.Io_stats.record_lookup t.lookup_stats;
   Storage.Io_stats.record_miss t.lookup_stats;
   t.store.Storage.Kv.get (atom_key a)
 
@@ -238,6 +252,16 @@ let internal_write_meta t =
   Storage.Codec.write_varint w t.atom_count;
   Storage.Codec.write_varint w t.node_count;
   t.store.Storage.Kv.put meta_counts (Storage.Codec.contents w)
+
+let refresh t =
+  let roots, atom_count, node_count = read_meta t.store in
+  t.roots <- roots;
+  t.atom_count <- atom_count;
+  t.node_count <- node_count;
+  t.all_nodes <- None;
+  t.all_nodes_idset <- None;
+  Dict.reset t.dict;
+  match t.cache with None -> () | Some c -> Cache.clear c
 
 let record_tree t record_id =
   let first_id = t.roots.(record_id) in

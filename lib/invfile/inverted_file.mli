@@ -20,8 +20,19 @@ type t
 
 exception Malformed of string
 
-val open_store : Storage.Kv.t -> t
-(** Attaches to a store populated by {!Builder.finish}.
+val open_store : ?lenient:bool -> Storage.Kv.t -> t
+(** Attaches to a store populated by {!Builder.finish}. Rolls back any
+    update transaction a crash left half-applied ({!Journal.recover})
+    before reading the metadata. With [~lenient:true] (default false),
+    missing or corrupt metadata reads as an empty index instead of
+    raising — the mode {!Repair} and [nscq repair] use to open a store
+    damaged beyond what the journal covers.
+    @raise Malformed if the metadata is missing or corrupt (strict mode). *)
+
+val refresh : t -> unit
+(** Re-reads the metadata and drops every in-memory cache (node table,
+    dictionary, attached list cache) — realigns a handle with its store
+    after an in-place rollback or repair.
     @raise Malformed if the metadata is missing or corrupt. *)
 
 val store : t -> Storage.Kv.t

@@ -1,0 +1,95 @@
+module C = Storage.Codec
+
+let key = "j:undo"
+
+(* Undo record layout: crc32(4, LE, over the payload) | payload, where
+   payload = varint n, then n × (string key | varint present | string
+   pre-image if present). The CRC guards against a torn journal write on
+   backends without record-level checksums. *)
+
+let encode pre_images =
+  let w = C.writer () in
+  C.write_varint w (List.length pre_images);
+  List.iter
+    (fun (k, v) ->
+      C.write_string w k;
+      match v with
+      | None -> C.write_varint w 0
+      | Some v ->
+        C.write_varint w 1;
+        C.write_string w v)
+    pre_images;
+  let payload = C.contents w in
+  let hdr = Bytes.create 4 in
+  Bytes.set_int32_le hdr 0 (Storage.Checksum.crc32 payload);
+  Bytes.to_string hdr ^ payload
+
+let decode s =
+  if String.length s < 4 then None
+  else begin
+    let stored = Bytes.get_int32_le (Bytes.of_string (String.sub s 0 4)) 0 in
+    let payload = String.sub s 4 (String.length s - 4) in
+    if Storage.Checksum.crc32 payload <> stored then None
+    else
+      match
+        let r = C.reader payload in
+        let n = C.read_varint r in
+        List.init n (fun _ ->
+            let k = C.read_string r in
+            match C.read_varint r with
+            | 0 -> (k, None)
+            | _ -> (k, Some (C.read_string r)))
+      with
+      | entries -> Some entries
+      | exception C.Corrupt _ -> None
+  end
+
+let pending store = Storage.Kv.mem store key
+
+let restore store pre_images =
+  List.iter
+    (fun (k, v) ->
+      match v with
+      | Some v -> store.Storage.Kv.put k v
+      | None -> ignore (store.Storage.Kv.delete k))
+    pre_images
+
+let recover store =
+  match store.Storage.Kv.get key with
+  | None -> 0
+  | Some payload ->
+    let restored =
+      match decode payload with
+      | None ->
+        (* torn journal write: the transaction had not touched any data
+           yet, so dropping the journal restores consistency *)
+        0
+      | Some pre_images ->
+        restore store pre_images;
+        List.length pre_images
+    in
+    ignore (store.Storage.Kv.delete key);
+    store.Storage.Kv.sync ();
+    Storage.Io_stats.record_recovery store.Storage.Kv.stats;
+    restored
+
+let with_txn store ~keys f =
+  let keys = List.sort_uniq String.compare keys in
+  let pre_images = List.map (fun k -> (k, store.Storage.Kv.get k)) keys in
+  store.Storage.Kv.put key (encode pre_images);
+  store.Storage.Kv.sync ();
+  match f () with
+  | result ->
+    ignore (store.Storage.Kv.delete key);
+    store.Storage.Kv.sync ();
+    result
+  | exception e ->
+    (* Roll back in place when the store still answers; a crashed store is
+       repaired by [recover] at the next open instead. *)
+    (try
+       restore store pre_images;
+       ignore (store.Storage.Kv.delete key);
+       store.Storage.Kv.sync ();
+       Storage.Io_stats.record_recovery store.Storage.Kv.stats
+     with _ -> ());
+    raise e

@@ -1,0 +1,41 @@
+(** Write-ahead undo journal for multi-key inverted-file updates.
+
+    {!Updater} transactions touch many keys (one postings list per atom,
+    the node table, the record slot, the metadata); a crash between the
+    first and the last write leaves the index inconsistent with the stored
+    records. The journal restores atomicity at the key-value level, so it
+    works identically on every backend:
+
+    + the pre-images of every key the transaction will touch are collected
+      and written, CRC-protected, under one reserved key ([j:undo]);
+    + the store is synced, then the data writes run;
+    + the journal key is deleted (the commit point) and the store synced.
+
+    Under an ordered-crash model (writes reach the backend in program
+    order; the crashing write may be torn) every prefix of a transaction
+    is recoverable: a torn journal write means no data was touched, so the
+    corrupt journal is discarded; an intact journal means data writes may
+    have happened, so the pre-images are restored. Either way the
+    transaction fully applies or fully rolls back.
+
+    Recovery runs automatically in {!Inverted_file.open_store} and records
+    a [recovery] on the store's {!Storage.Io_stats}. *)
+
+val key : string
+(** The reserved store key holding the undo record ("j:undo"). *)
+
+val pending : Storage.Kv.t -> bool
+(** An undo record is present — the store was not cleanly closed. *)
+
+val recover : Storage.Kv.t -> int
+(** Rolls back the pending transaction, if any. Returns the number of
+    keys restored (0 when there was nothing to do, or when the journal
+    itself was torn — in which case the interrupted transaction had not
+    written any data yet and the journal is simply dropped). *)
+
+val with_txn : Storage.Kv.t -> keys:string list -> (unit -> 'a) -> 'a
+(** [with_txn store ~keys f] snapshots the pre-images of [keys], journals
+    them, runs [f], and commits. If [f] raises, the pre-images are
+    restored immediately (best effort — a dead store is left to reopen
+    recovery) and the exception is re-raised. [keys] must cover every key
+    [f] writes or deletes. *)

@@ -1,0 +1,25 @@
+(** Index reconstruction from the stored records.
+
+    The record values are the ground truth an inverted file is derived
+    from ({!Integrity} verifies the derived state against them); when the
+    derived state is damaged — historical corruption predating the update
+    journal, a manually edited store, a bug — the index can be rebuilt
+    from the records alone.
+
+    {!rebuild} drops every postings list, the node table, the root and
+    count metadata, and the top-frequency table, then recomputes all of
+    them from the readable record slots. Unreadable or missing slots are
+    tombstoned (their data is gone; tombstoning restores the structural
+    invariants and preserves the ids of the surviving records). The whole
+    rewrite runs inside a {!Journal} transaction, so a crash during repair
+    is itself recoverable. *)
+
+type outcome = {
+  live_records : int;  (** records re-indexed *)
+  tombstoned : int;  (** slots tombstoned because their value was lost *)
+  atoms : int;  (** distinct atoms in the rebuilt index *)
+}
+
+val rebuild : Inverted_file.t -> outcome
+(** Rebuilds the index in place and {!Inverted_file.refresh}es the
+    handle. *)

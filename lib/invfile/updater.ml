@@ -39,7 +39,36 @@ let update_node_table inv f =
 
 let append_posting l p = Array.append l [| p |]
 
-let add_value inv value =
+let meta_keys = [ IF.meta_nodes; IF.meta_roots; IF.meta_counts ]
+
+(* Store keys the binary record format may write while encoding [value]:
+   the dictionary entries of its not-yet-interned atoms plus the
+   allocation cursor. Ids are dense, so the new entries occupy the next
+   [n] ids regardless of interning order. *)
+let dict_keys inv atoms =
+  match IF.record_format inv with
+  | `Syntax -> []
+  | `Binary ->
+    let dict = IF.dict inv in
+    let fresh = List.filter (fun a -> Dict.find dict a = None) atoms in
+    let base = Dict.size dict in
+    Dict.count_key
+    :: List.map Dict.atom_key fresh
+    @ List.mapi (fun i _ -> Dict.id_key (base + i)) fresh
+
+(* Runs [apply] under an undo-journal transaction covering [keys], so a
+   crash or I/O error mid-update fully rolls back. On an in-place
+   rollback the handle's in-memory state (counts, dictionary and list
+   caches) is realigned with the store. *)
+let in_txn ~journal inv keys apply =
+  if not journal then apply ()
+  else
+    try Journal.with_txn (IF.store inv) ~keys apply
+    with e ->
+      (try IF.refresh inv with _ -> ());
+      raise e
+
+let add_value ?(journal = true) inv value =
   if Nested.Value.is_atom value then
     invalid_arg "Updater.add_value: record value must be a set";
   let record_id = IF.record_count inv in
@@ -47,6 +76,12 @@ let add_value inv value =
   let tree =
     Nested.Tree.of_value (Nested.Tree.allocator_from first_id) ~record_id value
   in
+  let atoms = Nested.Value.atom_universe value in
+  let keys =
+    (IF.record_key record_id :: List.map IF.atom_key atoms)
+    @ meta_keys @ dict_keys inv atoms
+  in
+  in_txn ~journal inv keys @@ fun () ->
   (* New ids exceed all existing ids, so postings append in sorted order. *)
   let added_atoms = ref 0 in
   let new_postings = ref [] in
@@ -70,14 +105,14 @@ let add_value inv value =
   IF.internal_write_meta inv;
   record_id
 
-let add_string inv s = add_value inv (Nested.Syntax.of_string s)
+let add_string ?journal inv s = add_value ?journal inv (Nested.Syntax.of_string s)
 
 let is_deleted inv record_id =
   record_id >= 0
   && record_id < IF.record_count inv
   && IF.record_value_opt inv record_id = None
 
-let delete_record inv record_id =
+let delete_record ?(journal = true) inv record_id =
   if record_id < 0 || record_id >= IF.record_count inv then false
   else
     match IF.record_value_opt inv record_id with
@@ -90,6 +125,10 @@ let delete_record inv record_id =
       in
       let in_range p = p.Posting.node >= first_id && p.Posting.node < next_id in
       let atoms = Nested.Value.atom_universe value in
+      let keys =
+        IF.record_key record_id :: List.map IF.atom_key atoms @ meta_keys
+      in
+      in_txn ~journal inv keys @@ fun () ->
       let removed_atoms = ref 0 in
       List.iter
         (fun atom ->

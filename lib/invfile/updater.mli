@@ -15,13 +15,20 @@
     recomputed on updates; reattach a cache after bulk changes if preload
     quality matters. *)
 
-val add_value : Inverted_file.t -> Nested.Value.t -> int
+val add_value : ?journal:bool -> Inverted_file.t -> Nested.Value.t -> int
 (** Indexes one new record and returns its record id.
+
+    Updates run under an undo-journal transaction ({!Journal}) by
+    default, so a crash or I/O failure mid-update fully rolls back
+    instead of leaving the index inconsistent with the records;
+    [~journal:false] restores the unprotected fast path (used by the
+    crash-consistency suite to demonstrate the failure mode, and safe
+    when the store is purely in-memory and errors are fatal anyway).
     @raise Invalid_argument if the value is an atom. *)
 
-val add_string : Inverted_file.t -> string -> int
+val add_string : ?journal:bool -> Inverted_file.t -> string -> int
 
-val delete_record : Inverted_file.t -> int -> bool
+val delete_record : ?journal:bool -> Inverted_file.t -> int -> bool
 (** Removes a record's postings and tombstones its slot; [false] if the id
     is out of range or already deleted. Record ids of other records are
     unchanged. *)

@@ -15,8 +15,11 @@ type t = {
   path : string;
 }
 
-(* A registry so [range] can recover the B+tree behind a Kv.t handle. *)
+(* A registry so [range] can recover the B+tree behind a Kv.t handle;
+   serialized because parallel workers may open handles concurrently. *)
 let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+let registry_mutex = Mutex.create ()
+let with_registry f = Mutex.protect registry_mutex f
 
 (* --- node serialization --- *)
 
@@ -308,7 +311,7 @@ let range_fold t ~lo ~hi f acc =
 
 let to_kv t =
   let name = "btree:" ^ t.path in
-  Hashtbl.replace registry name t;
+  with_registry (fun () -> Hashtbl.replace registry name t);
   {
     Kv.name;
     get = (fun k -> get_from t t.root k);
@@ -323,7 +326,7 @@ let to_kv t =
     close =
       (fun () ->
         write_meta t;
-        Hashtbl.remove registry name;
+        with_registry (fun () -> Hashtbl.remove registry name);
         Pager.close t.pager);
     stats = Pager.stats t.pager;
   }
@@ -346,6 +349,6 @@ let open_existing ?page_size ?cache_pages path =
   to_kv t
 
 let range kv ~lo ~hi =
-  match Hashtbl.find_opt registry kv.Kv.name with
+  match with_registry (fun () -> Hashtbl.find_opt registry kv.Kv.name) with
   | None -> invalid_arg "Btree_store.range: not a btree handle"
   | Some t -> List.rev (range_fold t ~lo ~hi (fun acc k v -> (k, v) :: acc) [])

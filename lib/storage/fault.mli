@@ -1,0 +1,67 @@
+(** Fault injection around any {!Kv.t} backend.
+
+    Wraps a store handle so that failures a production deployment will
+    eventually see — torn writes, read errors, a process dying mid-update,
+    dropped fsyncs — can be provoked deterministically in tests. The
+    wrapper counts every operation it forwards, so a "crash" can be aimed
+    at any write boundary of a workload: run once with no faults to learn
+    the boundary count, then re-run crashing at each boundary in turn.
+
+    All injection decisions derive from the config's [seed] and the op
+    counters, never from wall-clock or global state, so every observed
+    failure is replayable bit-for-bit. Injected faults are counted on the
+    inner store's {!Io_stats} ([faults]). *)
+
+exception Crashed of string
+(** The simulated process death: raised by the op that crosses
+    [crash_after], and by every subsequent operation except [close]. *)
+
+exception Injected of string
+(** A transient injected I/O error (read or write); the store stays
+    usable. *)
+
+type crash_mode =
+  | Clean  (** the crashing write never reaches the backend *)
+  | Torn
+      (** the crashing [put] reaches the backend with only a prefix of its
+          value — a torn page/record the backend itself considers intact *)
+
+type config = {
+  seed : int;  (** drives torn-write cut points and error placement *)
+  crash_after : int option;
+      (** crash on the Nth mutating op (1-based: put, delete, sync) *)
+  crash_mode : crash_mode;
+  read_error_every : int option;  (** every Nth [get] raises {!Injected} *)
+  write_error_every : int option;
+      (** every Nth mutating op raises {!Injected} without applying *)
+  drop_syncs : bool;  (** silently skip the backend's fsync *)
+}
+
+val default : config
+(** No faults: pure op counting/tracing. *)
+
+type op = Get of string | Put of string | Delete of string | Sync
+
+val pp_op : Format.formatter -> op -> unit
+
+type t
+
+val wrap : ?config:config -> Kv.t -> t
+(** The wrapped handle is a fully conforming {!Kv.t}; [close] always
+    passes through (a dead process's fds are closed by the OS too). *)
+
+val kv : t -> Kv.t
+val config : t -> config
+
+val write_ops : t -> int
+(** Mutating ops (put/delete/sync) forwarded or faulted so far — the
+    write-boundary count a crash sweep iterates over. *)
+
+val read_ops : t -> int
+
+val crashed : t -> bool
+
+val trace : t -> (int * op) list
+(** Every operation observed, oldest first, numbered by its own counter
+    (mutating and read ops are numbered independently). The replay recipe
+    for any injected failure. *)

@@ -15,8 +15,11 @@ type handle = {
   mutable closed : bool;
 }
 
-(* registry so [optimize]/[file_size] can recover the handle behind Kv.t *)
+(* registry so [optimize]/[file_size] can recover the handle behind Kv.t;
+   serialized because parallel workers may open handles concurrently *)
 let registry : (string, handle) Hashtbl.t = Hashtbl.create 8
+let registry_mutex = Mutex.create ()
+let with_registry f = Mutex.protect registry_mutex f
 
 let record_header_size = 16
 
@@ -181,7 +184,7 @@ let close t =
   if not t.closed then begin
     write_header t;
     t.closed <- true;
-    Hashtbl.remove registry ("hash:" ^ t.path);
+    with_registry (fun () -> Hashtbl.remove registry ("hash:" ^ t.path));
     Unix.close t.fd
   end
 
@@ -190,7 +193,7 @@ let round_up_pow2 n =
   loop 1
 
 let to_kv t =
-  Hashtbl.replace registry ("hash:" ^ t.path) t;
+  with_registry (fun () -> Hashtbl.replace registry ("hash:" ^ t.path) t);
   {
     Kv.name = "hash:" ^ t.path;
     get = get t;
@@ -248,7 +251,7 @@ let open_existing path =
 
 
 let find_handle kv what =
-  match Hashtbl.find_opt registry kv.Kv.name with
+  match with_registry (fun () -> Hashtbl.find_opt registry kv.Kv.name) with
   | Some t when not t.closed -> t
   | _ -> invalid_arg ("Hash_store." ^ what ^ ": not an open hash store handle")
 

@@ -6,10 +6,14 @@ type t = {
   mutable seeks : int;
   mutable hits : int;
   mutable misses : int;
+  mutable lookups : int;
+  mutable faults : int;
+  mutable recoveries : int;
 }
 
 let create () =
-  { reads = 0; writes = 0; bytes_read = 0; bytes_written = 0; seeks = 0; hits = 0; misses = 0 }
+  { reads = 0; writes = 0; bytes_read = 0; bytes_written = 0; seeks = 0;
+    hits = 0; misses = 0; lookups = 0; faults = 0; recoveries = 0 }
 
 let reset t =
   t.reads <- 0;
@@ -18,7 +22,10 @@ let reset t =
   t.bytes_written <- 0;
   t.seeks <- 0;
   t.hits <- 0;
-  t.misses <- 0
+  t.misses <- 0;
+  t.lookups <- 0;
+  t.faults <- 0;
+  t.recoveries <- 0
 
 let record_read t ~bytes =
   t.reads <- t.reads + 1;
@@ -31,6 +38,9 @@ let record_write t ~bytes =
 let record_seek t = t.seeks <- t.seeks + 1
 let record_hit t = t.hits <- t.hits + 1
 let record_miss t = t.misses <- t.misses + 1
+let record_lookup t = t.lookups <- t.lookups + 1
+let record_fault t = t.faults <- t.faults + 1
+let record_recovery t = t.recoveries <- t.recoveries + 1
 
 let reads t = t.reads
 let writes t = t.writes
@@ -39,6 +49,9 @@ let bytes_written t = t.bytes_written
 let seeks t = t.seeks
 let hits t = t.hits
 let misses t = t.misses
+let lookups t = t.lookups
+let faults t = t.faults
+let recoveries t = t.recoveries
 
 let hit_ratio t =
   let total = t.hits + t.misses in
@@ -53,10 +66,15 @@ let merge a b =
     seeks = a.seeks + b.seeks;
     hits = a.hits + b.hits;
     misses = a.misses + b.misses;
+    lookups = a.lookups + b.lookups;
+    faults = a.faults + b.faults;
+    recoveries = a.recoveries + b.recoveries;
   }
 
 let pp ppf t =
   Format.fprintf ppf
     "reads=%d (%d B) writes=%d (%d B) seeks=%d cache hits=%d misses=%d (%.1f%%)"
     t.reads t.bytes_read t.writes t.bytes_written t.seeks t.hits t.misses
-    (100. *. hit_ratio t)
+    (100. *. hit_ratio t);
+  if t.faults > 0 || t.recoveries > 0 then
+    Format.fprintf ppf " faults=%d recoveries=%d" t.faults t.recoveries

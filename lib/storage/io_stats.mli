@@ -21,6 +21,17 @@ val record_hit : t -> unit
 val record_miss : t -> unit
 (** A lookup that had to go to the backing store. *)
 
+val record_lookup : t -> unit
+(** One logical inverted-list lookup. Every lookup must record exactly one
+    hit or miss, so [lookups = hits + misses] always holds — a property
+    the test suite checks. *)
+
+val record_fault : t -> unit
+(** An injected failure (see {!Fault}). *)
+
+val record_recovery : t -> unit
+(** A recovery action: a journal rollback or a truncated log tail. *)
+
 (** {1 Reading} *)
 
 val reads : t -> int
@@ -30,6 +41,9 @@ val bytes_written : t -> int
 val seeks : t -> int
 val hits : t -> int
 val misses : t -> int
+val lookups : t -> int
+val faults : t -> int
+val recoveries : t -> int
 
 val hit_ratio : t -> float
 (** [hits / (hits + misses)], or [0.] when no lookups were recorded. *)

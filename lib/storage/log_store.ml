@@ -2,8 +2,13 @@ let magic = "NSCQLOG1"
 let header_size = 8
 
 (* Record: crc32(4, over everything after it) | flags(1) | key_len(4) |
-   val_len(4) | key | value. flags bit 0 = tombstone. *)
+   val_len(4) | key | value. flags bit 0 = tombstone; bit 1 = commit
+   marker (an empty record fencing a batch: recovery can roll the log
+   back to the last marker instead of merely dropping a torn tail). *)
 let record_header_size = 13
+
+let flag_tombstone = 0x01
+let flag_commit = 0x02
 
 type entry = { offset : int; val_len : int; total_len : int }
 
@@ -13,11 +18,17 @@ type t = {
   dir : (string, entry) Hashtbl.t;
   mutable file_end : int;
   mutable dead : int;  (* bytes of superseded/tombstoned records *)
+  mutable last_commit : int;  (* file offset just past the last commit marker *)
   stats : Io_stats.t;
   mutable closed : bool;
 }
 
+(* The registry is shared by every domain that opens a log store (e.g.
+   Parallel workers each opening their own handle on one path), so its
+   accesses are serialized. *)
 let registry : (string, t) Hashtbl.t = Hashtbl.create 8
+let registry_mutex = Mutex.create ()
+let with_registry f = Mutex.protect registry_mutex f
 
 let really_pread t ~off buf pos len =
   Io_stats.record_seek t.stats;
@@ -45,10 +56,10 @@ let really_write t buf =
   loop 0 len;
   Io_stats.record_write t.stats ~bytes:len
 
-let encode_record ~tombstone ~key ~value =
+let encode_record ?(flags = 0) ~key ~value () =
   let klen = String.length key and vlen = String.length value in
   let buf = Bytes.create (record_header_size + klen + vlen) in
-  Bytes.set buf 4 (if tombstone then '\001' else '\000');
+  Bytes.set buf 4 (Char.chr flags);
   Bytes.set_int32_le buf 5 (Int32.of_int klen);
   Bytes.set_int32_le buf 9 (Int32.of_int vlen);
   Bytes.blit_string key 0 buf record_header_size klen;
@@ -61,8 +72,8 @@ let encode_record ~tombstone ~key ~value =
 
 let check_open t = if t.closed then failwith "Log_store: store is closed"
 
-let append t ~tombstone key value =
-  let buf = encode_record ~tombstone ~key ~value in
+let append t ~flags key value =
+  let buf = encode_record ~flags ~key ~value () in
   really_write t buf;
   let offset = t.file_end in
   t.file_end <- offset + Bytes.length buf;
@@ -78,7 +89,7 @@ let supersede t key =
 let put t key value =
   check_open t;
   supersede t key;
-  let offset, total_len = append t ~tombstone:false key value in
+  let offset, total_len = append t ~flags:0 key value in
   Hashtbl.replace t.dir key { offset; val_len = String.length value; total_len }
 
 let get t key =
@@ -98,7 +109,7 @@ let delete t key =
   | None -> false
   | Some _ ->
     supersede t key;
-    let _, total_len = append t ~tombstone:true key "" in
+    let _, total_len = append t ~flags:flag_tombstone key "" in
     (* the tombstone itself is dead weight for the next compaction *)
     t.dead <- t.dead + total_len;
     true
@@ -116,7 +127,7 @@ let scan t ~file_size =
     let hdr = Bytes.create record_header_size in
     really_pread t ~off:!pos hdr 0 record_header_size;
     let stored_crc = Bytes.get_int32_le hdr 0 in
-    let tombstone = Bytes.get hdr 4 <> '\000' in
+    let flags = Char.code (Bytes.get hdr 4) in
     let klen = Int32.to_int (Bytes.get_int32_le hdr 5) in
     let vlen = Int32.to_int (Bytes.get_int32_le hdr 9) in
     if
@@ -132,10 +143,17 @@ let scan t ~file_size =
       else begin
         let key = Bytes.sub_string body 9 klen in
         let total_len = record_header_size + klen + vlen in
-        supersede t key;
-        if tombstone then t.dead <- t.dead + total_len
-        else
-          Hashtbl.replace t.dir key { offset = !pos; val_len = vlen; total_len };
+        if flags land flag_commit <> 0 then begin
+          (* a batch fence: everything before it is committed *)
+          t.dead <- t.dead + total_len;
+          t.last_commit <- !pos + total_len
+        end
+        else begin
+          supersede t key;
+          if flags land flag_tombstone <> 0 then t.dead <- t.dead + total_len
+          else
+            Hashtbl.replace t.dir key { offset = !pos; val_len = vlen; total_len }
+        end;
         pos := !pos + total_len
       end
     end
@@ -144,7 +162,7 @@ let scan t ~file_size =
 
 let to_kv t =
   let name = "log:" ^ t.path in
-  Hashtbl.replace registry name t;
+  with_registry (fun () -> Hashtbl.replace registry name t);
   {
     Kv.name;
     get = get t;
@@ -160,7 +178,7 @@ let to_kv t =
       (fun () ->
         if not t.closed then begin
           t.closed <- true;
-          Hashtbl.remove registry name;
+          with_registry (fun () -> Hashtbl.remove registry name);
           Unix.close t.fd
         end);
     stats = t.stats;
@@ -175,6 +193,7 @@ let create path =
       dir = Hashtbl.create 1024;
       file_end = 0;
       dead = 0;
+      last_commit = header_size;
       stats = Io_stats.create ();
       closed = false;
     }
@@ -184,7 +203,7 @@ let create path =
   Io_stats.reset t.stats;
   to_kv t
 
-let open_existing path =
+let open_existing ?(to_last_commit = false) path =
   let fd =
     try Unix.openfile path [ Unix.O_RDWR ] 0o644
     with Unix.Unix_error (e, _, _) ->
@@ -199,6 +218,7 @@ let open_existing path =
       dir = Hashtbl.create 1024;
       file_end = 0;
       dead = 0;
+      last_commit = header_size;
       stats = Io_stats.create ();
       closed = false;
     }
@@ -207,16 +227,37 @@ let open_existing path =
   really_pread t ~off:0 hdr 0 header_size;
   if Bytes.to_string hdr <> magic then failwith "Log_store.open_existing: bad magic";
   let consistent = scan t ~file_size:size in
-  (* torn tail (crash during the final append): truncate it away *)
-  if consistent < size then Unix.ftruncate fd consistent;
-  t.file_end <- consistent;
+  (* Torn tail (crash during the final append): truncate it away. Under
+     [to_last_commit], roll further back to the last commit fence so a
+     half-written batch disappears entirely. *)
+  let keep = if to_last_commit then min consistent t.last_commit else consistent in
+  if keep < consistent then begin
+    (* drop the uncommitted records from the directory by rescanning *)
+    Hashtbl.reset t.dir;
+    t.dead <- 0;
+    t.last_commit <- header_size;
+    ignore (scan t ~file_size:keep)
+  end;
+  if keep < size then Unix.ftruncate fd keep;
+  t.file_end <- keep;
   Io_stats.reset t.stats;
+  if keep < size then Io_stats.record_recovery t.stats;
   to_kv t
 
 let find_handle kv what =
-  match Hashtbl.find_opt registry kv.Kv.name with
+  match with_registry (fun () -> Hashtbl.find_opt registry kv.Kv.name) with
   | Some t -> t
   | None -> invalid_arg ("Log_store." ^ what ^ ": not a log store handle")
+
+let mark_commit kv =
+  let t = find_handle kv "mark_commit" in
+  check_open t;
+  let _, total_len = append t ~flags:flag_commit "" "" in
+  t.dead <- t.dead + total_len;
+  t.last_commit <- t.file_end;
+  Unix.fsync t.fd
+
+let last_commit kv = (find_handle kv "last_commit").last_commit
 
 let dead_bytes kv = (find_handle kv "dead_bytes").dead
 
@@ -236,6 +277,7 @@ let compact kv =
       dir = Hashtbl.create (Hashtbl.length t.dir);
       file_end = 0;
       dead = 0;
+      last_commit = header_size;
       stats = t.stats;
       closed = false;
     }

@@ -22,10 +22,23 @@
 val create : string -> Kv.t
 (** Creates a fresh store (truncating [path]). *)
 
-val open_existing : string -> Kv.t
+val open_existing : ?to_last_commit:bool -> string -> Kv.t
 (** Recovers the store: scans the log, rebuilds the directory, and
-    truncates any torn tail. @raise Failure on a missing file or bad
-    header. *)
+    truncates any torn tail (recorded as a recovery on the handle's
+    {!Io_stats}). With [~to_last_commit:true] the log is additionally
+    rolled back to the last {!mark_commit} fence, so a batch interrupted
+    {e between} records — not only inside one — disappears entirely.
+    @raise Failure on a missing file or bad header. *)
+
+val mark_commit : Kv.t -> unit
+(** Appends a commit fence and fsyncs: everything before it survives an
+    [open_existing ~to_last_commit:true] recovery. Only valid on handles
+    from this module. @raise Invalid_argument on foreign handles. *)
+
+val last_commit : Kv.t -> int
+(** File offset just past the most recent commit fence (the header size
+    when none was ever written). @raise Invalid_argument on foreign
+    handles. *)
 
 val compact : Kv.t -> unit
 (** Garbage-collects dead records in place (atomic rename of a rewritten

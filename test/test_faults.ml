@@ -1,0 +1,327 @@
+(* Crash-consistency suite.
+
+   The systematic sweep at the heart of this file: for a scripted update
+   workload against an on-disk log store, kill the process (via
+   Storage.Fault) at *every* write boundary, reopen the store, let
+   recovery run, and require that
+
+   - Invfile.Integrity.check finds a fully consistent index, and
+   - every engine query returns exactly what the value-level Embed oracle
+     computes over the records that actually survived.
+
+   A companion test runs the same sweep with the update journal disabled
+   and demonstrates the corruption the journal prevents. *)
+
+module IF = Invfile.Inverted_file
+module E = Containment.Engine
+module S = Containment.Semantics
+module F = Storage.Fault
+
+let v = Nested.Syntax.of_string
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- the scripted workload --- *)
+
+let initial_records =
+  [
+    "{London, UK, {UK, {A, B, C, car, motorbike}}, {UK, {A, motorbike}}}";
+    "{Boston, USA, {USA, VA, {A, B, car}}, {UK, {A, motorbike}}}";
+    "{Paris, FR, {FR, {B, car}}, {DE, {B, car, truck}}}";
+    "{Austin, USA, {USA, TX, {A, motorbike}}, {UK, {A, motorbike}}}";
+  ]
+
+let updates =
+  [
+    `Add "{Berlin, DE, {DE, {A, car}}, {UK, {B, motorbike}}}";
+    `Delete 1;
+    `Add "{Kyoto, JP, {JP, {C, car, truck}}}";
+    `Delete 0;
+    `Add "{Oslo, NO, {NO, {A, B}}, {UK, {A, motorbike}}}";
+    `Delete 4;
+  ]
+
+let probes =
+  [
+    (S.Containment, S.Hom, v "{UK, {A, motorbike}}");
+    (S.Containment, S.Hom, v "{car}");
+    (S.Containment, S.Homeo, v "{A, B}");
+    (S.Superset, S.Hom, v "{Kyoto, JP, extra, {JP, {C, car, truck}}}");
+  ]
+
+let build path =
+  let store = Storage.Log_store.create path in
+  let b = Invfile.Builder.create store in
+  List.iter (fun s -> ignore (Invfile.Builder.add_string b s)) initial_records;
+  IF.close (Invfile.Builder.finish b)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc contents;
+  close_out oc
+
+let apply_updates ~journal inv =
+  List.iter
+    (function
+      | `Add s -> ignore (Invfile.Updater.add_string ~journal inv s)
+      | `Delete id -> ignore (Invfile.Updater.delete_record ~journal inv id))
+    updates
+
+(* Runs the workload against [path] behind a fault wrapper; returns the
+   wrapper so callers can read op counts, and whether it crashed. *)
+let run_with_faults ?(config = F.default) ~journal path =
+  let wrapper = F.wrap ~config (Storage.Log_store.open_existing path) in
+  let crashed = ref false in
+  (try
+     let inv = IF.open_store (F.kv wrapper) in
+     apply_updates ~journal inv
+   with F.Crashed _ -> crashed := true);
+  (F.kv wrapper).Storage.Kv.close ();
+  (wrapper, !crashed)
+
+(* Reopen after a (possible) crash and hold the store to the two oracles:
+   structural integrity, and query/value-level agreement. *)
+let assert_recovered ~ctx path =
+  let kv = Storage.Log_store.open_existing path in
+  let inv = IF.open_store kv in
+  Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+  (match Invfile.Integrity.check inv with
+  | [] -> ()
+  | problems ->
+    Alcotest.failf "%s: %d integrity problem(s), first: %s" ctx
+      (List.length problems)
+      (Format.asprintf "%a" Invfile.Integrity.pp_problem (List.hd problems)));
+  let live =
+    List.filter_map
+      (fun id -> Option.map (fun value -> (id, value)) (IF.record_value_opt inv id))
+      (List.init (IF.record_count inv) Fun.id)
+  in
+  List.iter
+    (fun (join, embedding, q) ->
+      let expected =
+        List.filter_map
+          (fun (id, s) ->
+            if Containment.Embed.check join embedding ~q ~s then Some id else None)
+          live
+      in
+      let config = { E.default with E.join; E.embedding } in
+      let got = (E.query ~config inv q).E.records in
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s: query agrees with oracle" ctx)
+        expected got)
+    probes
+
+(* --- the sweep --- *)
+
+let count_write_boundaries () =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  build path;
+  let wrapper, crashed = run_with_faults ~journal:true path in
+  check_bool "no crash without a crash config" false crashed;
+  F.write_ops wrapper
+
+let test_sweep_counts_boundaries () =
+  let w = count_write_boundaries () in
+  (* the scripted workload must exercise a meaningful number of write
+     boundaries, or the sweep proves nothing *)
+  check_bool (Printf.sprintf "enough write boundaries (%d)" w) true (w > 30)
+
+let crash_sweep ~mode () =
+  Testutil.with_temp_path ".log" @@ fun pristine ->
+  build pristine;
+  let total =
+    let wrapper, _ = run_with_faults ~journal:true pristine in
+    F.write_ops wrapper
+  in
+  (* the unfaulted counting run above mutated its input, so rebuild *)
+  build pristine;
+  for n = 1 to total do
+    Testutil.with_temp_path ".log" @@ fun work ->
+    copy_file pristine work;
+    let config = { F.default with F.crash_after = Some n; crash_mode = mode } in
+    let _, crashed = run_with_faults ~config ~journal:true work in
+    check_bool (Printf.sprintf "crashed at boundary %d" n) true crashed;
+    assert_recovered ~ctx:(Printf.sprintf "boundary %d/%d" n total) work
+  done
+
+let test_crash_sweep_clean () = crash_sweep ~mode:F.Clean ()
+let test_crash_sweep_torn () = crash_sweep ~mode:F.Torn ()
+
+(* Without the journal, some crash point must leave the index diverged
+   from the records — the corruption the journal exists to prevent — and
+   Engine.repair must then be able to rebuild it. *)
+let test_unjournaled_crash_corrupts_and_repair_fixes () =
+  Testutil.with_temp_path ".log" @@ fun pristine ->
+  build pristine;
+  let total =
+    let wrapper, _ = run_with_faults ~journal:false pristine in
+    F.write_ops wrapper
+  in
+  build pristine;
+  let corrupted = ref 0 in
+  let repaired = ref 0 in
+  for n = 1 to total do
+    Testutil.with_temp_path ".log" @@ fun work ->
+    copy_file pristine work;
+    let config = { F.default with F.crash_after = Some n } in
+    ignore (run_with_faults ~config ~journal:false work);
+    let kv = Storage.Log_store.open_existing work in
+    let inv = IF.open_store kv in
+    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+    match E.verify_store inv with
+    | [] -> ()
+    | _ :: _ ->
+      incr corrupted;
+      (* the repair path must restore full consistency *)
+      let report = E.repair inv in
+      if report.E.problems_after = [] then incr repaired
+      else
+        Alcotest.failf "repair left %d problem(s) at boundary %d"
+          (List.length report.E.problems_after) n
+  done;
+  check_bool
+    (Printf.sprintf "unjournaled crashes corrupt the index (%d/%d boundaries)"
+       !corrupted total)
+    true (!corrupted > 0);
+  check_int "every corruption was repaired" !corrupted !repaired
+
+(* --- fault wrapper semantics --- *)
+
+let test_fault_trace_deterministic () =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  build path;
+  let w1, _ = run_with_faults ~journal:true path in
+  build path;
+  let w2, _ = run_with_faults ~journal:true path in
+  check_int "same op count" (F.write_ops w1) (F.write_ops w2);
+  check_bool "same trace" true (F.trace w1 = F.trace w2)
+
+let test_read_errors_and_fault_counter () =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  build path;
+  let inner = Storage.Log_store.open_existing path in
+  let wrapper = F.wrap ~config:{ F.default with F.read_error_every = Some 1 } inner in
+  let kv = F.kv wrapper in
+  (match kv.Storage.Kv.get "anything" with
+  | exception F.Injected _ -> ()
+  | _ -> Alcotest.fail "expected an injected read error");
+  check_int "fault recorded" 1 (Storage.Io_stats.faults kv.Storage.Kv.stats);
+  kv.Storage.Kv.close ()
+
+let test_dropped_syncs_count_as_faults () =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  build path;
+  let inner = Storage.Log_store.open_existing path in
+  let wrapper = F.wrap ~config:{ F.default with F.drop_syncs = true } inner in
+  let kv = F.kv wrapper in
+  kv.Storage.Kv.sync ();
+  kv.Storage.Kv.sync ();
+  check_int "faults" 2 (Storage.Io_stats.faults kv.Storage.Kv.stats);
+  kv.Storage.Kv.close ()
+
+let test_write_error_recovers_on_reopen () =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  build path;
+  let inner = Storage.Log_store.open_existing path in
+  let wrapper =
+    F.wrap ~config:{ F.default with F.write_error_every = Some 3 } inner
+  in
+  let inv = IF.open_store (F.kv wrapper) in
+  (* an update fails on an injected error; the in-place rollback itself
+     also hits injected errors, so the journal may survive — the contract
+     is that reopening the store recovers it *)
+  let failures = ref 0 in
+  (try apply_updates ~journal:true inv with F.Injected _ -> incr failures);
+  check_bool "an update failed" true (!failures = 1);
+  IF.close inv;
+  assert_recovered ~ctx:"after injected write errors" path
+
+(* --- journal unit behavior --- *)
+
+let test_journal_rollback_restores_preimages () =
+  let store = Storage.Mem_store.create () in
+  store.Storage.Kv.put "x" "1";
+  store.Storage.Kv.put "y" "2";
+  (try
+     Invfile.Journal.with_txn store ~keys:[ "x"; "y"; "z" ] (fun () ->
+         store.Storage.Kv.put "x" "changed";
+         ignore (store.Storage.Kv.delete "y");
+         store.Storage.Kv.put "z" "new";
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check (option string)) "x restored" (Some "1") (store.Storage.Kv.get "x");
+  Alcotest.(check (option string)) "y restored" (Some "2") (store.Storage.Kv.get "y");
+  Alcotest.(check (option string)) "z gone" None (store.Storage.Kv.get "z");
+  check_bool "journal cleared" false (Invfile.Journal.pending store)
+
+let test_journal_recover_survives_torn_record () =
+  let store = Storage.Mem_store.create () in
+  store.Storage.Kv.put "x" "1";
+  (* a torn journal write: garbage that fails the CRC *)
+  store.Storage.Kv.put Invfile.Journal.key "\x01\x02\x03";
+  check_int "nothing restored" 0 (Invfile.Journal.recover store);
+  check_bool "journal dropped" false (Invfile.Journal.pending store);
+  Alcotest.(check (option string)) "data untouched" (Some "1") (store.Storage.Kv.get "x");
+  check_int "recovery counted" 1 (Storage.Io_stats.recoveries store.Storage.Kv.stats)
+
+(* --- log-store commit fences --- *)
+
+let test_log_commit_fence_rollback () =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  let kv = Storage.Log_store.create path in
+  kv.Storage.Kv.put "a" "1";
+  kv.Storage.Kv.put "b" "2";
+  Storage.Log_store.mark_commit kv;
+  kv.Storage.Kv.put "b" "overwritten";
+  kv.Storage.Kv.put "c" "uncommitted";
+  kv.Storage.Kv.close ();
+  (* default recovery keeps the whole intact tail *)
+  let kv = Storage.Log_store.open_existing path in
+  Alcotest.(check (option string)) "tail kept" (Some "overwritten")
+    (kv.Storage.Kv.get "b");
+  kv.Storage.Kv.close ();
+  (* commit-fence recovery rolls the uncommitted batch back *)
+  let kv = Storage.Log_store.open_existing ~to_last_commit:true path in
+  Alcotest.(check (option string)) "a survives" (Some "1") (kv.Storage.Kv.get "a");
+  Alcotest.(check (option string)) "b rolled back" (Some "2") (kv.Storage.Kv.get "b");
+  Alcotest.(check (option string)) "c rolled back" None (kv.Storage.Kv.get "c");
+  check_int "rollback counted as recovery" 1
+    (Storage.Io_stats.recoveries kv.Storage.Kv.stats);
+  kv.Storage.Kv.close ()
+
+let () =
+  Alcotest.run "faults"
+    [
+      ( "crash sweep",
+        [
+          Alcotest.test_case "workload has enough boundaries" `Quick
+            test_sweep_counts_boundaries;
+          Alcotest.test_case "every boundary, clean crash" `Slow
+            test_crash_sweep_clean;
+          Alcotest.test_case "every boundary, torn write" `Slow
+            test_crash_sweep_torn;
+          Alcotest.test_case "unjournaled updates corrupt; repair fixes" `Slow
+            test_unjournaled_crash_corrupts_and_repair_fixes;
+        ] );
+      ( "fault wrapper",
+        [
+          Alcotest.test_case "deterministic trace" `Quick test_fault_trace_deterministic;
+          Alcotest.test_case "read errors + fault counter" `Quick
+            test_read_errors_and_fault_counter;
+          Alcotest.test_case "dropped syncs" `Quick test_dropped_syncs_count_as_faults;
+          Alcotest.test_case "write errors recover on reopen" `Quick
+            test_write_error_recovers_on_reopen;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "rollback restores pre-images" `Quick
+            test_journal_rollback_restores_preimages;
+          Alcotest.test_case "torn journal record is dropped" `Quick
+            test_journal_recover_survives_torn_record;
+        ] );
+      ( "log commit fences",
+        [ Alcotest.test_case "roll back to last fence" `Quick test_log_commit_fence_rollback ] );
+    ]

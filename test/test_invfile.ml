@@ -429,6 +429,32 @@ let test_attached_cache_hits () =
   let cached = IF.lookup inv "UK" in
   check_bool "cache transparent" true (direct = cached)
 
+(* Accounting invariant: whatever the cache configuration, every lookup
+   lands in exactly one of the hit or miss buckets. *)
+let prop_lookup_accounting =
+  let arb =
+    QCheck.triple
+      (QCheck.int_bound 3) (* 0 = no cache, else a policy *)
+      (QCheck.int_bound 8) (* capacity *)
+      (QCheck.list_of_size (QCheck.Gen.int_range 0 40)
+         (QCheck.oneofa
+            [| "UK"; "USA"; "A"; "B"; "car"; "motorbike"; "London"; "absent"; "zz" |]))
+  in
+  Testutil.qcheck_case ~count:300 ~name:"cache stats: hits + misses = lookups" arb
+    (fun (policy, capacity, atoms) ->
+      let inv = Testutil.mem_collection Testutil.licences_strings in
+      (match policy with
+      | 0 -> ()
+      | 1 -> IF.attach_cache inv (Invfile.Cache.create Invfile.Cache.Static ~capacity)
+      | 2 -> IF.attach_cache inv (Invfile.Cache.create Invfile.Cache.Lru ~capacity)
+      | _ -> IF.attach_cache inv (Invfile.Cache.create Invfile.Cache.Lfu ~capacity));
+      let stats = IF.lookup_stats inv in
+      Storage.Io_stats.reset stats;
+      List.iter (fun a -> ignore (IF.lookup inv a)) atoms;
+      Storage.Io_stats.lookups stats = List.length atoms
+      && Storage.Io_stats.hits stats + Storage.Io_stats.misses stats
+         = Storage.Io_stats.lookups stats)
+
 (* --- payload codecs --- *)
 
 let test_bitpacked_payload_roundtrip () =
@@ -671,5 +697,6 @@ let () =
           Alcotest.test_case "lfu eviction" `Quick test_cache_lfu_eviction;
           Alcotest.test_case "zero capacity" `Quick test_cache_zero_capacity;
           Alcotest.test_case "attached cache hits" `Quick test_attached_cache_hits;
+          prop_lookup_accounting;
         ] );
     ]

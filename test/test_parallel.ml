@@ -1,0 +1,101 @@
+(* Parallel workload execution must be a pure scale-up: the same results
+   as the sequential engine, for any number of domains. *)
+
+module IF = Invfile.Inverted_file
+module E = Containment.Engine
+module P = Containment.Parallel
+module V = Nested.Value
+
+let check_int = Alcotest.(check int)
+
+(* A deterministic medium-size collection: the licences records plus
+   generated data so slices are non-trivial at 4 domains. *)
+let collection_strings =
+  let st = Random.State.make [| 42 |] in
+  let gen _ =
+    V.to_string (Testutil.gen_leafy_set ~max_depth:3 ~max_width:4 st)
+  in
+  Testutil.licences_strings @ List.init 60 gen
+
+let queries =
+  let st = Random.State.make [| 7 |] in
+  let all = List.map Testutil.v collection_strings in
+  (* subqueries of actual records (guaranteed hits under hom) plus some
+     independent random probes *)
+  let subs =
+    List.filteri (fun i _ -> i mod 3 = 0) all
+    |> List.map (fun r ->
+           let q = Testutil.shrink_to_subquery st r in
+           if V.is_set q && V.elements q <> [] then q else r)
+  in
+  let probes =
+    List.init 10 (fun _ -> Testutil.gen_leafy_set ~max_depth:2 ~max_width:3 st)
+  in
+  subs @ probes
+
+let build path =
+  let store = Storage.Log_store.create path in
+  let b = Invfile.Builder.create store in
+  List.iter (fun s -> ignore (Invfile.Builder.add_string b s)) collection_strings;
+  IF.close (Invfile.Builder.finish b)
+
+let sequential_baseline path config =
+  let inv = IF.open_store (Storage.Log_store.open_existing path) in
+  Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+  let stats = E.run_workload ~config inv queries in
+  (stats.E.results_total, stats.E.positives)
+
+let test_domains_match_sequential () =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  build path;
+  let config = E.default in
+  let expected_total, expected_pos = sequential_baseline path config in
+  Alcotest.(check bool) "workload finds something" true (expected_pos > 0);
+  List.iter
+    (fun domains ->
+      let r =
+        P.run_workload ~domains
+          ~open_handle:(fun () ->
+            IF.open_store (Storage.Log_store.open_existing path))
+          ~config ~cache_budget:64 queries
+      in
+      check_int
+        (Printf.sprintf "results_total with %d domain(s)" domains)
+        expected_total r.P.results_total;
+      check_int
+        (Printf.sprintf "positives with %d domain(s)" domains)
+        expected_pos r.P.positives)
+    [ 1; 2; 4 ]
+
+let test_domains_match_top_down () =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  build path;
+  let config = { E.default with E.algorithm = E.Top_down } in
+  let expected_total, expected_pos = sequential_baseline path config in
+  List.iter
+    (fun domains ->
+      let r =
+        P.run_workload ~domains
+          ~open_handle:(fun () ->
+            IF.open_store (Storage.Log_store.open_existing path))
+          ~config queries
+      in
+      check_int
+        (Printf.sprintf "top-down results_total with %d domain(s)" domains)
+        expected_total r.P.results_total;
+      check_int
+        (Printf.sprintf "top-down positives with %d domain(s)" domains)
+        expected_pos r.P.positives)
+    [ 2; 4 ]
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "1/2/4 domains = sequential (bottom-up)" `Quick
+            test_domains_match_sequential;
+          Alcotest.test_case "2/4 domains = sequential (top-down)" `Quick
+            test_domains_match_top_down;
+        ] );
+    ]
