@@ -528,8 +528,10 @@ let multicore scale =
   IF.close inv0;
   let open_handle () = IF.open_store (Storage.Hash_store.open_existing path) in
   let base = ref 0. in
-  let available = Containment.Parallel.recommended_domains () in
-  Printf.printf "(host reports %d recommended domain(s); speedups need real cores)\n"
+  let available = Containment.Parallel.default_domains () in
+  Printf.printf
+    "(default worker count %d — NSCQ_DOMAINS or cores - 1; speedups need real \
+     cores)\n"
     available;
   let counts =
     (* always include 2 domains to exercise the parallel path; larger counts
@@ -660,6 +662,95 @@ let complexity scale =
       in
       H.print_table ~columns:[ "depth"; "|q| nodes"; "td (ms)"; "bu (ms)" ] rows)
 
+(* --- E20: server under closed-loop load --- *)
+
+let serve_load scale =
+  H.print_header "E20: server throughput under closed-loop load"
+    "An in-process nscq server (wire protocol, domain pool, batching) \
+     driven by N closed-loop clients, each issuing the 100-query paper \
+     workload back-to-back over its own connection; throughput and tail \
+     latency per concurrency level. One JSON line per row for scripted \
+     consumption.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  let path = H.scratch_path "serve_load.tch" in
+  H.remove_if_exists path;
+  let store = Storage.Hash_store.create ~buckets:(1 lsl 16) path in
+  let builder = Invfile.Builder.create store in
+  Seq.iter
+    (fun v -> ignore (Invfile.Builder.add_value builder v))
+    (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7) ~seed:29 size);
+  let inv0 = Invfile.Builder.finish builder in
+  let queries = List.map Nested.Value.to_string (H.paper_queries inv0) in
+  IF.close inv0;
+  let open_handle () = IF.open_store (Storage.Hash_store.open_existing path) in
+  let domains = Containment.Parallel.default_domains () in
+  Printf.printf "(server runs %d worker domain(s))\n" domains;
+  let rows =
+    List.map
+      (fun clients ->
+        let cfg =
+          {
+            Server.Service.default_config with
+            Server.Service.port = 0;
+            domains;
+            queue_cap = 128;
+            stats_interval_s = 0.;
+          }
+        in
+        let srv = Server.Service.start cfg ~open_handle in
+        let errors = Atomic.make 0 in
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          List.init clients (fun _ ->
+              Thread.create
+                (fun () ->
+                  let c =
+                    Server.Client.connect ~port:(Server.Service.port srv) ()
+                  in
+                  Fun.protect
+                    ~finally:(fun () -> Server.Client.close c)
+                    (fun () ->
+                      List.iter
+                        (fun q ->
+                          match Server.Client.query c q with
+                          | Ok _ -> ()
+                          | Error _ -> Atomic.incr errors)
+                        queries))
+                ())
+        in
+        List.iter Thread.join threads;
+        let elapsed = Unix.gettimeofday () -. t0 in
+        let stats = Server.Service.stats srv in
+        let p50 = Server.Server_stats.quantile stats 0.50
+        and p95 = Server.Server_stats.quantile stats 0.95
+        and mean_batch = Server.Server_stats.mean_batch stats in
+        Server.Service.stop srv;
+        let requests = clients * List.length queries in
+        let throughput = float_of_int requests /. elapsed in
+        Printf.printf
+          "{\"experiment\":\"serve-load\",\"clients\":%d,\"domains\":%d,\
+           \"requests\":%d,\"errors\":%d,\"elapsed_s\":%.3f,\
+           \"throughput_rps\":%.1f,\"p50_ms\":%.3f,\"p95_ms\":%.3f,\
+           \"mean_batch\":%.2f}\n"
+          clients domains requests (Atomic.get errors) elapsed throughput p50
+          p95 mean_batch;
+        [
+          H.i clients;
+          H.i requests;
+          H.ms (1000. *. elapsed);
+          Printf.sprintf "%.0f" throughput;
+          H.ms p50;
+          H.ms p95;
+          Printf.sprintf "%.2f" mean_batch;
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  H.remove_if_exists path;
+  H.print_table
+    ~columns:[ "clients"; "requests"; "elapsed"; "req/s"; "p50 (ms)";
+               "p95 (ms)"; "batch" ]
+    rows
+
 (* --- registry --- *)
 
 let all : (string * string * (scale -> unit)) list =
@@ -687,4 +778,5 @@ let all : (string * string * (scale -> unit)) list =
     ("preflight", "preflight atom checks (E17)", preflight);
     ("record-format", "record storage format (E18)", record_format);
     ("complexity", "time vs |q| analysis check (E19)", complexity);
+    ("serve-load", "server under closed-loop load (E20)", serve_load);
   ]

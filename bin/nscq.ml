@@ -44,6 +44,10 @@ let backend_arg =
               append-only).")
 
 let open_store backend path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "nscq: store '%s' does not exist\n" path;
+    exit 1
+  end;
   match backend with
   | `Hash -> Storage.Hash_store.open_existing path
   | `Btree -> Storage.Btree_store.open_existing path
@@ -283,6 +287,58 @@ let build_cmd =
 
 (* --- query --- *)
 
+(* Remote mode: ship the query text to a running `nscq serve` over the
+   wire protocol instead of opening the store in-process. *)
+let with_remote_client ~connect f =
+  let host, port =
+    match String.rindex_opt connect ':' with
+    | Some i -> (
+      let host = String.sub connect 0 i in
+      let port_s = String.sub connect (i + 1) (String.length connect - i - 1) in
+      match int_of_string_opt port_s with
+      | Some p when p > 0 && p < 65536 -> ((if host = "" then "127.0.0.1" else host), p)
+      | _ ->
+        prerr_endline "nscq: --connect expects HOST:PORT";
+        exit 1)
+    | None ->
+      prerr_endline "nscq: --connect expects HOST:PORT";
+      exit 1
+  in
+  let client =
+    try Server.Client.connect ~host ~port ()
+    with
+    | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "nscq: cannot connect to %s:%d: %s\n" host port
+        (Unix.error_message e);
+      exit 1
+    | Server.Client.Handshake_failed m ->
+      Printf.eprintf "nscq: handshake with %s:%d failed: %s\n" host port m;
+      exit 1
+  in
+  Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+  f client
+
+let run_remote_query ~connect ~deadline_ms ~limit qs =
+  with_remote_client ~connect @@ fun client ->
+  match Server.Client.query client ~deadline_ms qs with
+  | Ok payload ->
+    if String.length (String.trim qs) > 0 && (String.trim qs).[0] = '{' then begin
+      (* literal query: the payload is the matching record ids *)
+      let ids =
+        if payload = "" then []
+        else String.split_on_char ' ' payload
+      in
+      Printf.printf "%d matching record(s)\n" (List.length ids);
+      List.iteri (fun i id -> if i < limit then Printf.printf "  #%s\n" id) ids;
+      if List.length ids > limit then
+        Printf.printf "  … and %d more (raise --limit)\n" (List.length ids - limit)
+    end
+    else print_string payload
+  | Error (code, message) ->
+    Format.eprintf "nscq: server refused: %a: %s@." Server.Wire.pp_error_code
+      code message;
+    exit 1
+
 let query_cmd =
   let query_arg =
     Arg.(
@@ -296,9 +352,40 @@ let query_cmd =
   let explain_arg =
     Arg.(value & flag & info [ "explain" ] ~doc:"Print per-node candidate statistics.")
   in
-  let run store backend cache algorithm join embedding anywhere verify streamed spill
-      wildcards explain verbose qs limit =
+  let store_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "store" ] ~docv:"PATH"
+          ~doc:"Path of the collection store (omit with $(b,--connect)).")
+  in
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Send the query to a running $(b,nscq serve) instead of \
+                opening a store in-process.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline for $(b,--connect) (0 = none).")
+  in
+  let run store connect deadline_ms backend cache algorithm join embedding anywhere
+      verify streamed spill wildcards explain verbose qs limit =
     setup_logging verbose;
+    match connect with
+    | Some connect -> run_remote_query ~connect ~deadline_ms ~limit qs
+    | None ->
+    let store =
+      match store with
+      | Some s -> s
+      | None ->
+        prerr_endline "nscq: either --store or --connect is required";
+        exit 1
+    in
     let inv = IF.open_store (open_store backend store) in
     Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
     setup_engine inv ~cache;
@@ -333,11 +420,14 @@ let query_cmd =
     if explain then Format.printf "@.plan:@.%a" E.pp_plan (E.explain ~config inv q)
   in
   Cmd.v
-    (Cmd.info "query" ~doc:"Run one containment query against a store.")
+    (Cmd.info "query"
+       ~doc:"Run one containment query against a store (or a running \
+             server, with --connect).")
     Term.(
-      const run $ store_arg $ backend_arg $ cache_arg $ algorithm_arg $ join_arg
-      $ embedding_arg $ anywhere_arg $ verify_arg $ streamed_arg $ spill_arg
-      $ wildcards_arg $ explain_arg $ verbose_arg $ query_arg $ limit_arg)
+      const run $ store_opt_arg $ connect_arg $ deadline_arg $ backend_arg
+      $ cache_arg $ algorithm_arg $ join_arg $ embedding_arg $ anywhere_arg
+      $ verify_arg $ streamed_arg $ spill_arg $ wildcards_arg $ explain_arg
+      $ verbose_arg $ query_arg $ limit_arg)
 
 (* --- workload --- *)
 
@@ -689,29 +779,156 @@ let repl_cmd =
     (Cmd.info "repl" ~doc:"Interactive query shell over a store.")
     Term.(const run $ store_arg $ backend_arg $ cache_arg)
 
+(* --- serve --- *)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 7411
+      & info [ "p"; "port" ] ~docv:"PORT"
+          ~doc:"TCP port to listen on (0 picks an ephemeral port).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Interface to bind.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Worker domains, one store handle + cache each (0 = \
+                default: NSCQ_DOMAINS or the host's core count - 1).")
+  in
+  let queue_cap_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-cap" ] ~docv:"N"
+          ~doc:"Admission queue bound; requests beyond it are shed with \
+                an $(i,overloaded) error instead of queueing unboundedly.")
+  in
+  let max_batch_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-batch" ] ~docv:"N"
+          ~doc:"Coalesce up to $(docv) compatible queued queries into one \
+                block probe of the inverted file.")
+  in
+  let stats_interval_arg =
+    Arg.(
+      value & opt float 10.
+      & info [ "stats-interval" ] ~docv:"SECONDS"
+          ~doc:"Period of the stats log line (0 disables).")
+  in
+  let run store backend cache port host domains queue_cap max_batch
+      stats_interval verbose =
+    setup_logging verbose;
+    Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
+    let open_handle () = IF.open_store (open_store backend store) in
+    (* open once up front: fail fast (and with the one-line error) before
+       binding the port, and report the collection size *)
+    let probe = open_handle () in
+    let records = IF.record_count probe in
+    IF.close probe;
+    let domains =
+      if domains > 0 then domains else Containment.Parallel.default_domains ()
+    in
+    let cfg =
+      {
+        Server.Service.default_config with
+        Server.Service.host;
+        port;
+        domains;
+        queue_cap;
+        max_batch;
+        cache_budget = cache;
+        stats_interval_s = stats_interval;
+      }
+    in
+    let srv = Server.Service.start cfg ~open_handle in
+    Printf.printf
+      "nscq serve: %d record(s) from %s; listening on %s:%d (%d domain(s), \
+       queue cap %d, batch <= %d)\n\
+       %!"
+      records store host (Server.Service.port srv) domains queue_cap max_batch;
+    let stop = Atomic.make false in
+    let request_stop _ = Atomic.set stop true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    while not (Atomic.get stop) do
+      (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
+    done;
+    Printf.printf "nscq serve: draining…\n%!";
+    Server.Service.stop srv;
+    Printf.printf "nscq serve: stopped cleanly\n%!"
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve containment queries over the nscq wire protocol until \
+             SIGINT (which drains in-flight requests and closes the \
+             store cleanly).")
+    Term.(
+      const run $ store_arg $ backend_arg $ cache_arg $ port_arg $ host_arg
+      $ domains_arg $ queue_cap_arg $ max_batch_arg $ stats_interval_arg
+      $ verbose_arg)
+
 (* --- stats --- *)
 
 let stats_cmd =
   let detailed_arg =
     Arg.(value & flag & info [ "detailed" ] ~doc:"Scan the collection for shape and frequency profiles.")
   in
-  let run store backend detailed =
-    let inv = IF.open_store (open_store backend store) in
-    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
-    if detailed then Format.printf "%a@." Invfile.Stats.pp (Invfile.Stats.compute inv)
-    else begin
-      Printf.printf "records        %d\n" (IF.record_count inv);
-      Printf.printf "atoms          %d\n" (IF.atom_count inv);
-      Printf.printf "internal nodes %d\n" (IF.node_count inv);
-      Printf.printf "top atoms:\n";
-      List.iteri
-        (fun i (a, c) -> if i < 10 then Printf.printf "  %-24s %d postings\n" a c)
-        (IF.top_atoms inv)
-    end
+  let store_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "store" ] ~docv:"PATH"
+          ~doc:"Path of the collection store (omit with $(b,--connect)).")
+  in
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Ask a running $(b,nscq serve) for its server statistics \
+                (throughput, queue, batching, latency quantiles).")
+  in
+  let run store connect backend detailed =
+    match connect with
+    | Some connect -> (
+      with_remote_client ~connect @@ fun client ->
+      match Server.Client.stats client with
+      | Ok payload -> print_string payload
+      | Error (code, message) ->
+        Format.eprintf "nscq: server refused: %a: %s@."
+          Server.Wire.pp_error_code code message;
+        exit 1)
+    | None ->
+      let store =
+        match store with
+        | Some s -> s
+        | None ->
+          prerr_endline "nscq: either --store or --connect is required";
+          exit 1
+      in
+      let inv = IF.open_store (open_store backend store) in
+      Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+      if detailed then Format.printf "%a@." Invfile.Stats.pp (Invfile.Stats.compute inv)
+      else begin
+        Printf.printf "records        %d\n" (IF.record_count inv);
+        Printf.printf "atoms          %d\n" (IF.atom_count inv);
+        Printf.printf "internal nodes %d\n" (IF.node_count inv);
+        Printf.printf "top atoms:\n";
+        List.iteri
+          (fun i (a, c) -> if i < 10 then Printf.printf "  %-24s %d postings\n" a c)
+          (IF.top_atoms inv)
+      end
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Show collection statistics.")
-    Term.(const run $ store_arg $ backend_arg $ detailed_arg)
+    (Cmd.info "stats"
+       ~doc:"Show collection statistics (or a running server's, with \
+             --connect).")
+    Term.(const run $ store_opt_arg $ connect_arg $ backend_arg $ detailed_arg)
 
 let () =
   let info =
@@ -722,4 +939,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; build_cmd; query_cmd; workload_cmd; stats_cmd; repl_cmd;
-            sql_cmd; check_cmd; repair_cmd; export_cmd; merge_cmd; compact_cmd ]))
+            sql_cmd; serve_cmd; check_cmd; repair_cmd; export_cmd; merge_cmd;
+            compact_cmd ]))

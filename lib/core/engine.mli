@@ -78,6 +78,22 @@ val query_prepared : ?config:config -> Invfile.Inverted_file.t -> Query.t -> res
 val record_values : Invfile.Inverted_file.t -> result -> Nested.Value.t list
 (** Materializes the matching records' values. *)
 
+val query_batch :
+  ?config:config -> Invfile.Inverted_file.t -> Nested.Value.t list ->
+  result list
+(** Evaluates a block of queries against one handle, amortizing index
+    probes: every distinct atom across the block is fetched from the store
+    once ({!Invfile.Inverted_file.prefetch}) before the queries run
+    against the warmed cache (cf. Bouros et al.'s block processing for set
+    containment joins, PAPERS.md). Handles without an attached cache get a
+    transient batch-scoped one. Results are returned in input order and
+    are identical to running {!query} per value.
+
+    A handle is {e not} shareable across domains (separate descriptors per
+    domain, as {!Parallel} does), but one handle may interleave prepared
+    batches and single queries freely — the server's per-domain workers
+    rely on this re-entrancy. *)
+
 val containment_join :
   ?config:config -> Invfile.Inverted_file.t -> Nested.Value.t list ->
   (int * int list) list

@@ -6,6 +6,13 @@ type result = {
 
 let recommended_domains () = min 8 (Domain.recommended_domain_count ())
 
+(* One domain stays free for the caller (accept loops, the bench driver);
+   NSCQ_DOMAINS overrides for constrained CI hosts and experiments. *)
+let default_domains () =
+  match Option.bind (Sys.getenv_opt "NSCQ_DOMAINS") int_of_string_opt with
+  | Some n when n >= 1 -> n
+  | Some _ | None -> max 1 (Domain.recommended_domain_count () - 1)
+
 let slice ~domains i queries =
   List.filteri (fun j _ -> j mod domains = i) queries
 
@@ -24,8 +31,9 @@ let run_slice open_handle config cache_budget queries () =
           (total + n, if n > 0 then pos + 1 else pos))
         (0, 0) queries)
 
-let run_workload ~domains ~open_handle ?(config = Engine.default)
+let run_workload ?domains ~open_handle ?(config = Engine.default)
     ?(cache_budget = 0) queries =
+  let domains = match domains with Some d -> d | None -> default_domains () in
   if domains < 1 then invalid_arg "Parallel.run_workload: domains must be ≥ 1";
   let t0 = Unix.gettimeofday () in
   let results_total, positives =

@@ -14,7 +14,7 @@ type result = {
 }
 
 val run_workload :
-  domains:int ->
+  ?domains:int ->
   open_handle:(unit -> Invfile.Inverted_file.t) ->
   ?config:Engine.config ->
   ?cache_budget:int ->
@@ -24,7 +24,14 @@ val run_workload :
     is called once per domain, in that domain); each handle is closed when
     its slice completes. [cache_budget] attaches the static cache per
     domain (0 = none, the default). Queries are dealt round-robin.
+    [domains] defaults to {!default_domains}.
     @raise Invalid_argument if [domains < 1]. *)
 
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count], capped at 8. *)
+
+val default_domains : unit -> int
+(** The [NSCQ_DOMAINS] environment variable when set to a positive
+    integer, else [Domain.recommended_domain_count () - 1] (min 1) — one
+    domain is left free for the caller's own loop. The default of
+    {!run_workload} and of [nscq serve] / the bench driver. *)

@@ -93,6 +93,27 @@ let lookup t a =
       Cache.insert c a l;
       l)
 
+(* Block probe for a batch of queries: load every distinct atom's list in
+   one sorted pass and pin the results in the attached cache, so the
+   per-query lookups that follow are all hits. Sorting the probe keys keeps
+   the access pattern sequential on the B+tree backend. *)
+let prefetch t atoms =
+  match t.cache with
+  | None -> 0
+  | Some c ->
+    let loaded = ref 0 in
+    List.iter
+      (fun a ->
+        match Cache.find c a with
+        | Some _ -> ()
+        | None ->
+          Storage.Io_stats.record_lookup t.lookup_stats;
+          Storage.Io_stats.record_miss t.lookup_stats;
+          Cache.preload c [ (a, lookup_from_store t a) ];
+          incr loaded)
+      (List.sort_uniq String.compare atoms);
+    !loaded
+
 let lookup_raw t a =
   Storage.Io_stats.record_lookup t.lookup_stats;
   Storage.Io_stats.record_miss t.lookup_stats;

@@ -44,6 +44,17 @@ val lookup : t -> string -> Plist.t
 (** [lookup t a] is [S_IF(a)]; the empty list for unknown atoms. Consults
     the attached cache first; {!lookup_stats} records hits and misses. *)
 
+val prefetch : t -> string list -> int
+(** [prefetch t atoms] block-probes the inverted file: every distinct atom
+    not already cached is read from the store in one sorted pass and
+    preloaded into the attached cache (any policy — {!Cache.preload}
+    bypasses admission rules). Returns the number of lists loaded; a no-op
+    (0) without an attached cache. The entry point batched query execution
+    ({!Engine.query_batch}, the server's batcher) uses to amortize index
+    probes across a block of queries. Each load counts one lookup + miss
+    in {!lookup_stats}; the per-query lookups that follow then count as
+    hits. *)
+
 val lookup_raw : t -> string -> string option
 (** The encoded payload of [S_IF(a)], bypassing the decoded-list cache —
     the entry point for streamed (blocked) processing, {!Plist_stream}. *)

@@ -1,0 +1,38 @@
+module Nscql = Containment.Nscql
+
+type request =
+  | Literal of Nested.Value.t
+  | Statement of Containment.Nscql.statement
+
+let parse text =
+  let text = String.trim text in
+  if text = "" then Error "empty query"
+  else if text.[0] = '{' then
+    match Nested.Syntax.of_string_opt text with
+    | Some v when Nested.Value.is_set v -> Ok (Literal v)
+    | Some _ -> Error "query must be a set, not a bare atom"
+    | None -> Error "parse error: expected a nested-set literal"
+  else
+    match Nscql.parse text with
+    | Nscql.Insert _ | Nscql.Delete _ ->
+      Error "refused: the server is read-only (INSERT/DELETE are not accepted)"
+    | stmt -> Ok (Statement stmt)
+    | exception Nscql.Parse_error m -> Error ("parse error: " ^ m)
+
+let batchable = function Literal _ -> true | Statement _ -> false
+
+let coalesce queue ~batchable ~max =
+  let first = Queue.pop queue in
+  if not (batchable first) then [ first ]
+  else begin
+    let acc = ref [ first ] and n = ref 1 in
+    let more = ref true in
+    while !more && !n < max do
+      match Queue.peek_opt queue with
+      | Some j when batchable j ->
+        acc := Queue.pop queue :: !acc;
+        incr n
+      | _ -> more := false
+    done;
+    List.rev !acc
+  end

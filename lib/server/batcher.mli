@@ -1,0 +1,30 @@
+(** Request classification and batch formation.
+
+    The scheduler amortizes index probes by running compatible queued
+    queries as one block against a domain's store handle
+    ({!Containment.Engine.query_batch} — every distinct atom of the block
+    is probed once). Compatible means: plain nested-set literal queries
+    evaluated under the server's default config. NSCQL statements run
+    singly (they carry their own semantics clauses), and mutating
+    statements are refused outright — the serving store is read-only, so
+    the per-domain handles can never go stale against each other. *)
+
+type request =
+  | Literal of Nested.Value.t
+      (** a bare nested-set literal — containment query, batchable *)
+  | Statement of Containment.Nscql.statement
+      (** a read-only NSCQL statement — executed singly *)
+
+val parse : string -> (request, string) result
+(** Classifies a wire [Query] verb's text: leading ['{'] means a literal,
+    anything else is parsed as NSCQL. [Error] carries a client-facing
+    message (syntax error, or a refused [INSERT]/[DELETE]). *)
+
+val batchable : request -> bool
+
+val coalesce : 'job Queue.t -> batchable:('job -> bool) -> max:int -> 'job list
+(** Dequeues the next batch: the head job plus — when the head is
+    batchable — up to [max - 1] contiguous batchable successors. Stops at
+    the first incompatible job so admission order is preserved. The caller
+    must hold the queue lock and guarantee the queue is nonempty.
+    @raise Queue.Empty on an empty queue. *)

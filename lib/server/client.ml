@@ -1,0 +1,69 @@
+type t = {
+  fd : Unix.file_descr;
+  mutable next_id : int;
+  mutable open_ : bool;
+}
+
+exception Handshake_failed of string
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (
+      match Unix.gethostbyname host with
+      | { Unix.h_addr_list = [||]; _ } ->
+        raise (Handshake_failed ("cannot resolve " ^ host))
+      | { Unix.h_addr_list; _ } -> h_addr_list.(0)
+      | exception Not_found ->
+        raise (Handshake_failed ("cannot resolve " ^ host)))
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.connect fd (Unix.ADDR_INET (addr, port));
+     Unix.setsockopt fd Unix.TCP_NODELAY true
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  let t = { fd; next_id = 1; open_ = true } in
+  (try
+     Wire.write_frame fd (Wire.Hello { version = Wire.version });
+     match Wire.read_frame fd with
+     | Wire.Hello_ack { version; _ } when version = Wire.version -> ()
+     | Wire.Hello_ack { version; _ } ->
+       raise
+         (Handshake_failed (Printf.sprintf "server speaks version %d" version))
+     | Wire.Error { message; _ } -> raise (Handshake_failed message)
+     | _ -> raise (Handshake_failed "unexpected frame during handshake")
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  t
+
+let roundtrip t verb ~deadline_ms =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Wire.write_frame t.fd (Wire.Request { id; deadline_ms; verb });
+  let buf = Buffer.create 256 in
+  let rec collect () =
+    match Wire.read_frame t.fd with
+    | Wire.Result { id = rid; chunk; last; _ } when rid = id ->
+      Buffer.add_string buf chunk;
+      if last then Ok (Buffer.contents buf) else collect ()
+    | Wire.Error { id = rid; code; message } when rid = id ->
+      Error (code, message)
+    | _ ->
+      (* a frame for a request this lock-step client never made *)
+      raise (Wire.Protocol_error "response for an unknown request id")
+  in
+  collect ()
+
+let query t ?(deadline_ms = 0) text = roundtrip t (Wire.Query text) ~deadline_ms
+let stats t = roundtrip t Wire.Stats ~deadline_ms:0
+
+let close t =
+  if t.open_ then begin
+    t.open_ <- false;
+    (try Wire.write_frame t.fd Wire.Goodbye
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,32 @@
+(** Blocking client for the nscq wire protocol — the other half of the
+    {!Wire} codec, used by [nscq query --connect], the serve-load bench
+    and the test suite.
+
+    One outstanding request at a time per connection (the protocol allows
+    pipelining; this client keeps to the simple lock-step discipline). A
+    client value is not thread-safe — open one connection per thread. *)
+
+type t
+
+exception Handshake_failed of string
+
+val connect : ?host:string -> port:int -> unit -> t
+(** Connects and performs the versioned handshake.
+    @raise Unix.Unix_error if the connection is refused.
+    @raise Handshake_failed on a version mismatch or a non-nscq peer. *)
+
+val query :
+  t -> ?deadline_ms:int -> string ->
+  (string, Wire.error_code * string) result
+(** Sends a query — a nested-set literal or a read-only NSCQL statement —
+    and blocks for the reassembled response payload. For a literal the
+    payload is the matching record ids, space-separated and ascending
+    (empty string = no matches); for NSCQL it is the rendered outcome.
+    [Error] carries the server's refusal (e.g. [Overloaded] under load).
+    @raise Wire.Closed / Wire.Protocol_error if the connection breaks. *)
+
+val stats : t -> (string, Wire.error_code * string) result
+(** The server's aggregated counters ({!Server_stats.render}). *)
+
+val close : t -> unit
+(** Sends [Goodbye] (best effort) and closes the socket. Idempotent. *)

@@ -1,0 +1,245 @@
+module E = Containment.Engine
+module IF = Invfile.Inverted_file
+
+let src = Logs.Src.create "nscq.dispatch" ~doc:"containment-query scheduler"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type reply = Data of string | Refused of Wire.error_code * string
+
+type job = {
+  request : Batcher.request;
+  deadline : float option;  (* absolute *)
+  enqueued_at : float;
+  reply : reply -> unit;
+}
+
+type state = Running | Draining | Stopped
+
+type t = {
+  mutex : Mutex.t;
+  wake : Condition.t;
+  queue : job Queue.t;
+  queue_cap : int;
+  max_batch : int;
+  n_domains : int;
+  mutable state : state;
+  mutable paused : bool;
+  stats : Server_stats.t;
+  mutable workers : unit Domain.t list;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+(* --- worker side --- *)
+
+let job_batchable j = Batcher.batchable j.request
+
+(* Deltas of a handle's counters since the last report, folded into the
+   server-wide stats — this is how per-domain Io_stats surface without
+   cross-domain reads of mutable state. *)
+type io_snapshot = {
+  mutable s_lookups : int;
+  mutable s_hits : int;
+  mutable s_misses : int;
+  mutable s_reads : int;
+  mutable s_bytes : int;
+}
+
+let report_io t inv snap =
+  let lk = IF.lookup_stats inv and st = (IF.store inv).Storage.Kv.stats in
+  let lookups = Storage.Io_stats.lookups lk
+  and hits = Storage.Io_stats.hits lk
+  and misses = Storage.Io_stats.misses lk
+  and reads = Storage.Io_stats.reads st
+  and bytes_read = Storage.Io_stats.bytes_read st in
+  Server_stats.record_io t.stats ~lookups:(lookups - snap.s_lookups)
+    ~hits:(hits - snap.s_hits) ~misses:(misses - snap.s_misses)
+    ~reads:(reads - snap.s_reads) ~bytes_read:(bytes_read - snap.s_bytes);
+  snap.s_lookups <- lookups;
+  snap.s_hits <- hits;
+  snap.s_misses <- misses;
+  snap.s_reads <- reads;
+  snap.s_bytes <- bytes_read
+
+let ids_payload (r : E.result) =
+  String.concat " " (List.map string_of_int r.records)
+
+let finish t job reply =
+  let latency_s = Unix.gettimeofday () -. job.enqueued_at in
+  (match reply with
+  | Data _ -> Server_stats.record_done t.stats ~latency_s
+  | Refused _ -> Server_stats.record_failed t.stats ~latency_s);
+  try job.reply reply
+  with exn ->
+    (* a reply callback failing (client gone mid-response) must not take
+       the worker domain down *)
+    Log.debug (fun m -> m "reply callback raised: %s" (Printexc.to_string exn))
+
+let refusal_of_exn = function
+  | Containment.Semantics.Unsupported msg -> (Wire.Bad_request, msg)
+  | Invalid_argument msg -> (Wire.Bad_request, msg)
+  | exn -> (Wire.Server_error, Printexc.to_string exn)
+
+let execute_group t config inv jobs =
+  match jobs with
+  | [] -> ()
+  | [ { request = Batcher.Statement stmt; _ } as job ] -> (
+    match Containment.Nscql.execute inv stmt with
+    | outcome ->
+      finish t job
+        (Data
+           (Format.asprintf "%a"
+              (Containment.Nscql.pp_outcome ~collection:inv)
+              outcome))
+    | exception exn ->
+      let code, msg = refusal_of_exn exn in
+      finish t job (Refused (code, msg)))
+  | jobs -> (
+    (* an all-literal block (Batcher.coalesce groups nothing else) *)
+    let values =
+      List.map
+        (fun j ->
+          match j.request with
+          | Batcher.Literal v -> v
+          | Batcher.Statement _ -> assert false)
+        jobs
+    in
+    match E.query_batch ~config inv values with
+    | results ->
+      List.iter2 (fun job r -> finish t job (Data (ids_payload r))) jobs results
+    | exception exn ->
+      let code, msg = refusal_of_exn exn in
+      List.iter (fun job -> finish t job (Refused (code, msg))) jobs)
+
+let worker t config cache_budget open_handle () =
+  let inv = open_handle () in
+  Fun.protect
+    ~finally:(fun () -> IF.close inv)
+    (fun () ->
+      if cache_budget > 0 then
+        IF.attach_cache inv
+          (Invfile.Cache.create Invfile.Cache.Static ~capacity:cache_budget);
+      let snap =
+        { s_lookups = 0; s_hits = 0; s_misses = 0; s_reads = 0; s_bytes = 0 }
+      in
+      (* the handle starts with counters already advanced by the cache
+         preload; baseline them so only query work is reported *)
+      let () =
+        let lk = IF.lookup_stats inv and st = (IF.store inv).Storage.Kv.stats in
+        snap.s_lookups <- Storage.Io_stats.lookups lk;
+        snap.s_hits <- Storage.Io_stats.hits lk;
+        snap.s_misses <- Storage.Io_stats.misses lk;
+        snap.s_reads <- Storage.Io_stats.reads st;
+        snap.s_bytes <- Storage.Io_stats.bytes_read st
+      in
+      let rec loop () =
+        Mutex.lock t.mutex;
+        while (t.paused || Queue.is_empty t.queue) && t.state = Running do
+          Condition.wait t.wake t.mutex
+        done;
+        if Queue.is_empty t.queue then Mutex.unlock t.mutex (* draining: done *)
+        else begin
+          let jobs =
+            Batcher.coalesce t.queue ~batchable:job_batchable ~max:t.max_batch
+          in
+          Mutex.unlock t.mutex;
+          let now = Unix.gettimeofday () in
+          let live, dead =
+            List.partition
+              (fun j ->
+                match j.deadline with None -> true | Some d -> now <= d)
+              jobs
+          in
+          List.iter
+            (fun job ->
+              Server_stats.record_expired t.stats;
+              try
+                job.reply
+                  (Refused
+                     (Wire.Deadline_exceeded, "deadline passed while queued"))
+              with _ -> ())
+            dead;
+          if live <> [] then begin
+            Server_stats.record_batch t.stats ~size:(List.length live);
+            execute_group t config inv live;
+            report_io t inv snap
+          end;
+          loop ()
+        end
+      in
+      loop ())
+
+(* --- caller side --- *)
+
+let create ?(paused = false) ?(config = E.default) ~domains ~queue_cap
+    ~max_batch ~cache_budget ~open_handle ~stats () =
+  if domains < 1 then invalid_arg "Dispatch.create: domains must be ≥ 1";
+  if queue_cap < 1 then invalid_arg "Dispatch.create: queue_cap must be ≥ 1";
+  if max_batch < 1 then invalid_arg "Dispatch.create: max_batch must be ≥ 1";
+  let t =
+    {
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      queue = Queue.create ();
+      queue_cap;
+      max_batch;
+      n_domains = domains;
+      state = Running;
+      paused;
+      stats;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init domains (fun _ ->
+        Domain.spawn (worker t config cache_budget open_handle));
+  t
+
+let submit t ?deadline ~request ~reply () =
+  let job = { request; deadline; enqueued_at = Unix.gettimeofday (); reply } in
+  let outcome =
+    locked t (fun () ->
+        match t.state with
+        | Draining | Stopped -> `Shutting_down
+        | Running ->
+          if Queue.length t.queue >= t.queue_cap then `Overloaded
+          else begin
+            Queue.push job t.queue;
+            Server_stats.record_admitted t.stats
+              ~queue_depth:(Queue.length t.queue);
+            Condition.broadcast t.wake;
+            `Accepted
+          end)
+  in
+  (match outcome with
+  | `Overloaded -> Server_stats.record_overloaded t.stats
+  | `Shutting_down -> Server_stats.record_shed t.stats
+  | `Accepted -> ());
+  outcome
+
+let resume t =
+  locked t (fun () ->
+      t.paused <- false;
+      Condition.broadcast t.wake)
+
+let queue_depth t = locked t (fun () -> Queue.length t.queue)
+let domains t = t.n_domains
+
+let drain t =
+  let joinable =
+    locked t (fun () ->
+        match t.state with
+        | Stopped -> []
+        | Draining | Running ->
+          t.state <- Draining;
+          t.paused <- false;
+          Condition.broadcast t.wake;
+          let ws = t.workers in
+          t.workers <- [];
+          ws)
+  in
+  List.iter Domain.join joinable;
+  locked t (fun () -> t.state <- Stopped)

@@ -1,0 +1,60 @@
+(** The request scheduler: a fixed pool of OCaml 5 domains behind one
+    bounded admission queue.
+
+    Each worker domain opens its {e own} store handle and cache (exactly
+    as {!Containment.Parallel} does — the stores' seek-then-read access is
+    not shareable across domains) and loops: dequeue a batch of compatible
+    requests ({!Batcher.coalesce}), run it as one block
+    ({!Containment.Engine.query_batch}), reply.
+
+    Admission is explicitly bounded: {!submit} refuses with [`Overloaded]
+    when [queue_cap] requests are already waiting, instead of queueing
+    unboundedly — the caller turns that into a wire [Overloaded] error and
+    the client backs off. Requests carry an optional absolute deadline;
+    a request whose deadline passes while queued is answered with
+    [Deadline_exceeded] without running. *)
+
+type t
+
+type reply =
+  | Data of string  (** success payload (chunked onto the wire by the caller) *)
+  | Refused of Wire.error_code * string
+
+val create :
+  ?paused:bool ->
+  ?config:Containment.Engine.config ->
+  domains:int ->
+  queue_cap:int ->
+  max_batch:int ->
+  cache_budget:int ->
+  open_handle:(unit -> Invfile.Inverted_file.t) ->
+  stats:Server_stats.t ->
+  unit ->
+  t
+(** Spawns [domains] worker domains immediately. With [~paused:true] the
+    workers idle until {!resume} — submissions still queue (up to
+    [queue_cap]), which gives tests and staged startups a deterministic
+    way to fill the queue. [open_handle] is called once per worker, in
+    that worker's domain; [cache_budget > 0] attaches a static cache of
+    that many lists per domain.
+    @raise Invalid_argument if [domains < 1], [queue_cap < 1] or
+    [max_batch < 1]. *)
+
+val submit :
+  t -> ?deadline:float -> request:Batcher.request -> reply:(reply -> unit) ->
+  unit -> [ `Accepted | `Overloaded | `Shutting_down ]
+(** Enqueues one request. [deadline] is absolute ([Unix.gettimeofday]
+    scale). On [`Accepted], [reply] is called exactly once, later, from a
+    worker domain — the callback must be thread-safe. On [`Overloaded] /
+    [`Shutting_down] the callback is never called and nothing was queued. *)
+
+val resume : t -> unit
+(** Wakes the workers of a [~paused:true] dispatcher (idempotent). *)
+
+val queue_depth : t -> int
+val domains : t -> int
+
+val drain : t -> unit
+(** Graceful shutdown: stop admitting, let the workers finish everything
+    already queued, join them, close their handles. Idempotent; blocks
+    until the queue is empty and every domain has exited. *)

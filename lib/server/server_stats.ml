@@ -1,0 +1,162 @@
+(* Latencies land in log2-scaled microsecond buckets: bucket i holds
+   [2^i, 2^(i+1)) µs, 40 buckets reaching ~18 minutes. Quantiles read the
+   bucket upper edge, so they are exact to within a factor of 2 — plenty
+   for p95-style load reporting without unbounded memory. *)
+
+let buckets = 40
+
+type t = {
+  mutex : Mutex.t;
+  started_at : float;
+  hist : int array;
+  mutable latencies : int;
+  mutable accepted : int;
+  mutable completed : int;
+  mutable failed : int;
+  mutable overloaded : int;
+  mutable shed : int;
+  mutable expired : int;
+  mutable batches : int;
+  mutable batched_jobs : int;
+  mutable max_batch : int;
+  mutable max_queue_depth : int;
+  mutable lookups : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable reads : int;
+  mutable bytes_read : int;
+}
+
+let create () =
+  {
+    mutex = Mutex.create ();
+    started_at = Unix.gettimeofday ();
+    hist = Array.make buckets 0;
+    latencies = 0;
+    accepted = 0;
+    completed = 0;
+    failed = 0;
+    overloaded = 0;
+    shed = 0;
+    expired = 0;
+    batches = 0;
+    batched_jobs = 0;
+    max_batch = 0;
+    max_queue_depth = 0;
+    lookups = 0;
+    hits = 0;
+    misses = 0;
+    reads = 0;
+    bytes_read = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let bucket_of latency_s =
+  let us = int_of_float (latency_s *. 1e6) in
+  if us <= 1 then 0
+  else min (buckets - 1) (int_of_float (Float.log2 (float_of_int us)))
+
+let bucket_upper_ms i = Float.pow 2. (float_of_int (i + 1)) /. 1000.
+
+let observe t latency_s =
+  t.hist.(bucket_of latency_s) <- t.hist.(bucket_of latency_s) + 1;
+  t.latencies <- t.latencies + 1
+
+let record_admitted t ~queue_depth =
+  locked t (fun () ->
+      t.accepted <- t.accepted + 1;
+      if queue_depth > t.max_queue_depth then t.max_queue_depth <- queue_depth)
+
+let record_overloaded t = locked t (fun () -> t.overloaded <- t.overloaded + 1)
+let record_shed t = locked t (fun () -> t.shed <- t.shed + 1)
+
+let record_batch t ~size =
+  locked t (fun () ->
+      t.batches <- t.batches + 1;
+      t.batched_jobs <- t.batched_jobs + size;
+      if size > t.max_batch then t.max_batch <- size)
+
+let record_done t ~latency_s =
+  locked t (fun () ->
+      t.completed <- t.completed + 1;
+      observe t latency_s)
+
+let record_failed t ~latency_s =
+  locked t (fun () ->
+      t.failed <- t.failed + 1;
+      observe t latency_s)
+
+let record_expired t = locked t (fun () -> t.expired <- t.expired + 1)
+
+let record_io t ~lookups ~hits ~misses ~reads ~bytes_read =
+  locked t (fun () ->
+      t.lookups <- t.lookups + lookups;
+      t.hits <- t.hits + hits;
+      t.misses <- t.misses + misses;
+      t.reads <- t.reads + reads;
+      t.bytes_read <- t.bytes_read + bytes_read)
+
+let accepted t = locked t (fun () -> t.accepted)
+let completed t = locked t (fun () -> t.completed)
+let overloaded t = locked t (fun () -> t.overloaded)
+let batches t = locked t (fun () -> t.batches)
+
+let mean_batch t =
+  locked t (fun () ->
+      if t.batches = 0 then 0.
+      else float_of_int t.batched_jobs /. float_of_int t.batches)
+
+let quantile_locked t p =
+  if t.latencies = 0 then 0.
+  else begin
+    let rank = int_of_float (ceil (p *. float_of_int t.latencies)) in
+    let rank = max 1 (min rank t.latencies) in
+    let acc = ref 0 and result = ref (bucket_upper_ms (buckets - 1)) in
+    (try
+       for i = 0 to buckets - 1 do
+         acc := !acc + t.hist.(i);
+         if !acc >= rank then begin
+           result := bucket_upper_ms i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let quantile t p = locked t (fun () -> quantile_locked t p)
+
+let render t ~domains ~queue_depth ~queue_cap =
+  locked t (fun () ->
+      let b = Buffer.create 512 in
+      let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+      line "uptime_s %.1f" (Unix.gettimeofday () -. t.started_at);
+      line "domains %d" domains;
+      line "accepted %d completed %d failed %d" t.accepted t.completed t.failed;
+      line "rejected overloaded %d shutting_down %d deadline %d" t.overloaded
+        t.shed t.expired;
+      line "queue depth %d cap %d max %d" queue_depth queue_cap t.max_queue_depth;
+      line "batches %d mean_occupancy %.2f max %d" t.batches
+        (if t.batches = 0 then 0.
+         else float_of_int t.batched_jobs /. float_of_int t.batches)
+        t.max_batch;
+      line "latency_ms p50 %.3f p95 %.3f p99 %.3f" (quantile_locked t 0.5)
+        (quantile_locked t 0.95) (quantile_locked t 0.99);
+      line "lookups %d cache_hits %d cache_misses %d" t.lookups t.hits t.misses;
+      line "io_reads %d io_bytes_read %d" t.reads t.bytes_read;
+      Buffer.contents b)
+
+let log_line t ~queue_depth =
+  locked t (fun () ->
+      Printf.sprintf
+        "served %d (failed %d, shed %d, expired %d) queue %d/%d batches %d \
+         occ %.2f p50 %.2fms p95 %.2fms p99 %.2fms hits %d/%d"
+        t.completed t.failed (t.overloaded + t.shed) t.expired queue_depth
+        t.max_queue_depth t.batches
+        (if t.batches = 0 then 0.
+         else float_of_int t.batched_jobs /. float_of_int t.batches)
+        (quantile_locked t 0.5) (quantile_locked t 0.95) (quantile_locked t 0.99)
+        t.hits t.lookups)

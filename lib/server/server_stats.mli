@@ -1,0 +1,64 @@
+(** Aggregated server observability.
+
+    One instance per running server, shared by the connection threads and
+    the worker domains (all recording goes through one mutex — recording
+    is a handful of integer bumps, far off the query path's cost).
+
+    Collected: admission/completion/rejection counters, a log-scaled
+    latency histogram answering p50/p95/p99, queue-depth and batch
+    occupancy gauges, and the per-domain {!Storage.Io_stats} deltas the
+    workers report after each batch. Rendered two ways: {!render} is the
+    payload of the wire protocol's [Stats] verb, {!log_line} the periodic
+    one-line digest the server logs. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Recording} *)
+
+val record_admitted : t -> queue_depth:int -> unit
+(** A request entered the admission queue (tracks the high-water mark). *)
+
+val record_overloaded : t -> unit
+(** A request was shed with [Overloaded] — the queue was full. *)
+
+val record_shed : t -> unit
+(** A request was refused because the server is draining. *)
+
+val record_batch : t -> size:int -> unit
+(** A worker dequeued a batch of [size] compatible requests. *)
+
+val record_done : t -> latency_s:float -> unit
+(** A request completed successfully; latency is queue-entry → reply. *)
+
+val record_failed : t -> latency_s:float -> unit
+(** A request failed in execution (engine error, unsupported semantics). *)
+
+val record_expired : t -> unit
+(** A request's deadline passed before a worker reached it. *)
+
+val record_io :
+  t -> lookups:int -> hits:int -> misses:int -> reads:int -> bytes_read:int ->
+  unit
+(** Per-domain I/O deltas, merged into the server-wide totals (workers
+    report the change in their handle's counters after each batch). *)
+
+(** {1 Reading} *)
+
+val accepted : t -> int
+val completed : t -> int
+val overloaded : t -> int
+val batches : t -> int
+val mean_batch : t -> float
+(** Mean batch occupancy (requests per dequeued batch); 0 when idle. *)
+
+val quantile : t -> float -> float
+(** [quantile t 0.95] is the p95 latency in milliseconds (the upper edge
+    of the histogram bucket containing that rank; 0 when empty). *)
+
+val render : t -> domains:int -> queue_depth:int -> queue_cap:int -> string
+(** The multi-line text payload served for the [Stats] protocol verb. *)
+
+val log_line : t -> queue_depth:int -> string
+(** One-line digest for the server's periodic stats log. *)

@@ -1,0 +1,282 @@
+let src = Logs.Src.create "nscq.server" ~doc:"containment-query server"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  host : string;
+  port : int;
+  domains : int;
+  queue_cap : int;
+  max_batch : int;
+  cache_budget : int;
+  stats_interval_s : float;
+  engine : Containment.Engine.config;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    domains = Containment.Parallel.default_domains ();
+    queue_cap = 64;
+    max_batch = 8;
+    cache_budget = 250;
+    stats_interval_s = 10.;
+    engine = Containment.Engine.default;
+  }
+
+type conn = {
+  fd : Unix.file_descr;
+  wmutex : Mutex.t;
+  mutable alive : bool;
+  mutable thread : Thread.t option;
+}
+
+type t = {
+  cfg : config;
+  lfd : Unix.file_descr;
+  actual_port : int;
+  dispatch : Dispatch.t;
+  server_stats : Server_stats.t;
+  stopping : bool Atomic.t;
+  conns_mutex : Mutex.t;
+  mutable conns : conn list;
+  mutable accept_thread : Thread.t option;
+  mutable ticker : Thread.t option;
+  stop_mutex : Mutex.t;
+  mutable stopped : bool;
+}
+
+(* --- per-connection plumbing --- *)
+
+(* All writes to one socket go through its mutex: worker domains streaming
+   replies and the connection thread answering handshakes/errors would
+   otherwise interleave frame bytes. [alive] is flipped under the same
+   mutex before the descriptor is closed, so no reply can hit a recycled
+   fd. *)
+let send conn frame =
+  Mutex.lock conn.wmutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wmutex)
+    (fun () ->
+      if conn.alive then
+        try Wire.write_frame conn.fd frame
+        with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false)
+
+let close_conn conn =
+  Mutex.lock conn.wmutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock conn.wmutex)
+    (fun () ->
+      if conn.alive then begin
+        conn.alive <- false;
+        (* shutdown first: it wakes a thread blocked in read on this
+           socket, which plain close does not guarantee *)
+        (try Unix.shutdown conn.fd Unix.SHUTDOWN_ALL
+         with Unix.Unix_error _ -> ());
+        try Unix.close conn.fd with Unix.Unix_error _ -> ()
+      end)
+
+let unregister t conn =
+  Mutex.lock t.conns_mutex;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
+  Mutex.unlock t.conns_mutex
+
+let hello_exchange conn =
+  match Wire.read_frame conn.fd with
+  | Wire.Hello { version } when version = Wire.version ->
+    send conn (Wire.Hello_ack { version = Wire.version; server = "nscq" });
+    true
+  | Wire.Hello { version } ->
+    send conn
+      (Wire.Error
+         {
+           id = 0;
+           code = Wire.Bad_request;
+           message = Printf.sprintf "unsupported protocol version %d" version;
+         });
+    false
+  | _ -> false
+
+let handle_request t conn ~id ~deadline_ms verb =
+  match verb with
+  | Wire.Stats ->
+    let payload =
+      Server_stats.render t.server_stats ~domains:t.cfg.domains
+        ~queue_depth:(Dispatch.queue_depth t.dispatch)
+        ~queue_cap:t.cfg.queue_cap
+    in
+    List.iter (send conn) (Wire.chunk_result ~id payload)
+  | Wire.Query text -> (
+    match Batcher.parse text with
+    | Error message ->
+      send conn (Wire.Error { id; code = Wire.Bad_request; message })
+    | Ok request -> (
+      let deadline =
+        if deadline_ms <= 0 then None
+        else Some (Unix.gettimeofday () +. (float_of_int deadline_ms /. 1000.))
+      in
+      let reply = function
+        | Dispatch.Data payload ->
+          List.iter (send conn) (Wire.chunk_result ~id payload)
+        | Dispatch.Refused (code, message) ->
+          send conn (Wire.Error { id; code; message })
+      in
+      match Dispatch.submit t.dispatch ?deadline ~request ~reply () with
+      | `Accepted -> ()
+      | `Overloaded ->
+        send conn
+          (Wire.Error
+             { id; code = Wire.Overloaded; message = "admission queue full" })
+      | `Shutting_down ->
+        send conn
+          (Wire.Error
+             { id; code = Wire.Shutting_down; message = "server is draining" })))
+
+let conn_loop t conn =
+  Fun.protect
+    ~finally:(fun () ->
+      close_conn conn;
+      unregister t conn)
+    (fun () ->
+      if hello_exchange conn then
+        let rec loop () =
+          match Wire.read_frame conn.fd with
+          | Wire.Request { id; deadline_ms; verb } ->
+            handle_request t conn ~id ~deadline_ms verb;
+            loop ()
+          | Wire.Goodbye -> ()
+          | Wire.Hello _ | Wire.Hello_ack _ | Wire.Result _ | Wire.Error _ ->
+            () (* protocol violation: drop the connection *)
+        in
+        try loop () with
+        | Wire.Closed -> ()
+        | Wire.Protocol_error m ->
+          Log.debug (fun f -> f "dropping connection: %s" m)
+        | Unix.Unix_error _ | Sys_error _ -> ())
+
+(* --- accept loop --- *)
+
+let accept_loop t () =
+  let rec loop () =
+    if not (Atomic.get t.stopping) then begin
+      (match Unix.select [ t.lfd ] [] [] 0.25 with
+      | [], _, _ -> ()
+      | _ :: _, _, _ -> (
+        match Unix.accept t.lfd with
+        | fd, _ ->
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          let conn = { fd; wmutex = Mutex.create (); alive = true; thread = None } in
+          Mutex.lock t.conns_mutex;
+          t.conns <- conn :: t.conns;
+          Mutex.unlock t.conns_mutex;
+          conn.thread <- Some (Thread.create (fun () -> conn_loop t conn) ())
+        | exception Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+let ticker_loop t () =
+  let interval = t.cfg.stats_interval_s in
+  let rec loop elapsed =
+    if not (Atomic.get t.stopping) then begin
+      Thread.delay 0.25;
+      let elapsed = elapsed +. 0.25 in
+      if elapsed >= interval then begin
+        Log.info (fun m ->
+            m "%s"
+              (Server_stats.log_line t.server_stats
+                 ~queue_depth:(Dispatch.queue_depth t.dispatch)));
+        loop 0.
+      end
+      else loop elapsed
+    end
+  in
+  loop 0.
+
+(* --- lifecycle --- *)
+
+let start ?(paused = false) cfg ~open_handle =
+  (match Sys.os_type with
+  | "Unix" -> (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
+  | _ -> ());
+  let addr =
+    try Unix.inet_addr_of_string cfg.host
+    with Failure _ -> Unix.inet_addr_loopback
+  in
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+     Unix.bind lfd (Unix.ADDR_INET (addr, cfg.port));
+     Unix.listen lfd 64
+   with exn ->
+     (try Unix.close lfd with Unix.Unix_error _ -> ());
+     raise exn);
+  let actual_port =
+    match Unix.getsockname lfd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> cfg.port
+  in
+  let server_stats = Server_stats.create () in
+  let dispatch =
+    Dispatch.create ~paused ~config:cfg.engine ~domains:cfg.domains
+      ~queue_cap:cfg.queue_cap ~max_batch:cfg.max_batch
+      ~cache_budget:cfg.cache_budget ~open_handle ~stats:server_stats ()
+  in
+  let t =
+    {
+      cfg;
+      lfd;
+      actual_port;
+      dispatch;
+      server_stats;
+      stopping = Atomic.make false;
+      conns_mutex = Mutex.create ();
+      conns = [];
+      accept_thread = None;
+      ticker = None;
+      stop_mutex = Mutex.create ();
+      stopped = false;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  if cfg.stats_interval_s > 0. then
+    t.ticker <- Some (Thread.create (ticker_loop t) ());
+  Log.info (fun m ->
+      m "listening on %s:%d (%d domain(s), queue cap %d, batch ≤ %d)" cfg.host
+        actual_port cfg.domains cfg.queue_cap cfg.max_batch);
+  t
+
+let port t = t.actual_port
+let stats t = t.server_stats
+let queue_depth t = Dispatch.queue_depth t.dispatch
+let resume t = Dispatch.resume t.dispatch
+
+let stop t =
+  Mutex.lock t.stop_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.stop_mutex)
+    (fun () ->
+      if not t.stopped then begin
+        t.stopped <- true;
+        (* 1. no new connections or admissions *)
+        Atomic.set t.stopping true;
+        Option.iter Thread.join t.accept_thread;
+        (try Unix.close t.lfd with Unix.Unix_error _ -> ());
+        (* 2. finish everything already admitted; replies stream out while
+           connections are still open *)
+        Dispatch.drain t.dispatch;
+        (* 3. now disconnect lingering clients and collect their threads *)
+        Mutex.lock t.conns_mutex;
+        let conns = t.conns in
+        Mutex.unlock t.conns_mutex;
+        List.iter close_conn conns;
+        List.iter (fun c -> Option.iter Thread.join c.thread) conns;
+        Option.iter Thread.join t.ticker;
+        Log.info (fun m ->
+            m "stopped: %s"
+              (Server_stats.log_line t.server_stats ~queue_depth:0))
+      end)

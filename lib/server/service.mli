@@ -1,0 +1,56 @@
+(** The long-running containment-query server.
+
+    Glues the pieces together: a TCP accept loop (one lightweight thread
+    per connection doing frame I/O), the {!Dispatch} domain pool executing
+    queries, {!Batcher} classification at admission, and {!Server_stats}
+    for the [stats] verb plus a periodic log line.
+
+    Connection threads never run queries — they parse, submit, and stream
+    replies written by the worker domains through a per-connection write
+    lock (so responses to pipelined requests interleave safely).
+
+    {!stop} is the graceful path [nscq serve] takes on SIGINT: stop
+    accepting, refuse new requests with [Shutting_down], let the workers
+    drain everything admitted, close every store handle, then return —
+    an orderly stop never leaves journal recovery work behind. *)
+
+type config = {
+  host : string;  (** interface to bind, default ["127.0.0.1"] *)
+  port : int;  (** [0] picks an ephemeral port (see {!port}) *)
+  domains : int;  (** worker domains, each with its own store handle *)
+  queue_cap : int;  (** admission-queue bound; beyond it requests are shed *)
+  max_batch : int;  (** largest query block one worker dequeues at once *)
+  cache_budget : int;  (** per-domain static cache, in lists; 0 = none *)
+  stats_interval_s : float;  (** periodic stats log line; [<= 0] disables *)
+  engine : Containment.Engine.config;  (** config for literal queries *)
+}
+
+val default_config : config
+(** loopback, ephemeral port, {!Containment.Parallel.default_domains}
+    workers, queue cap 64, batches of up to 8, cache 250 (the paper's
+    budget), stats every 10 s. *)
+
+type t
+
+val start :
+  ?paused:bool -> config ->
+  open_handle:(unit -> Invfile.Inverted_file.t) -> t
+(** Binds, listens, spawns the worker domains and the accept thread, and
+    returns immediately. [open_handle] is called once per worker domain.
+    [~paused:true] starts with idle workers (requests queue but do not
+    execute until {!resume}) — deterministic backpressure for tests.
+    @raise Unix.Unix_error if the address cannot be bound. *)
+
+val port : t -> int
+(** The bound port — the ephemeral one when the config said [0]. *)
+
+val stats : t -> Server_stats.t
+val queue_depth : t -> int
+
+val resume : t -> unit
+(** Wakes the workers of a [~paused:true] server. *)
+
+val stop : t -> unit
+(** Graceful shutdown; idempotent. Blocks until in-flight requests have
+    been answered, worker domains have exited and every store handle and
+    socket is closed. *)

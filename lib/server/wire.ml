@@ -1,0 +1,240 @@
+type error_code =
+  | Overloaded
+  | Deadline_exceeded
+  | Bad_request
+  | Server_error
+  | Shutting_down
+
+type verb = Query of string | Stats
+
+type frame =
+  | Hello of { version : int }
+  | Hello_ack of { version : int; server : string }
+  | Request of { id : int; deadline_ms : int; verb : verb }
+  | Result of { id : int; seq : int; last : bool; chunk : string }
+  | Error of { id : int; code : error_code; message : string }
+  | Goodbye
+
+let version = 1
+let max_frame = 16 * 1024 * 1024
+let magic = "NSCQ"
+let header_len = 9 (* u32 length, u8 tag, u32 crc *)
+
+let pp_error_code ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Overloaded -> "overloaded"
+    | Deadline_exceeded -> "deadline-exceeded"
+    | Bad_request -> "bad-request"
+    | Server_error -> "server-error"
+    | Shutting_down -> "shutting-down")
+
+let pp_frame ppf = function
+  | Hello { version } -> Format.fprintf ppf "Hello v%d" version
+  | Hello_ack { version; server } ->
+    Format.fprintf ppf "Hello_ack v%d %S" version server
+  | Request { id; deadline_ms; verb } ->
+    Format.fprintf ppf "Request #%d deadline=%dms %s" id deadline_ms
+      (match verb with Query q -> Printf.sprintf "query %S" q | Stats -> "stats")
+  | Result { id; seq; last; chunk } ->
+    Format.fprintf ppf "Result #%d seq=%d%s (%d B)" id seq
+      (if last then " last" else "")
+      (String.length chunk)
+  | Error { id; code; message } ->
+    Format.fprintf ppf "Error #%d %a %S" id pp_error_code code message
+  | Goodbye -> Format.pp_print_string ppf "Goodbye"
+
+(* --- payload encodings --- *)
+
+let tag_of = function
+  | Hello _ -> 0
+  | Hello_ack _ -> 1
+  | Request _ -> 2
+  | Result _ -> 3
+  | Error _ -> 4
+  | Goodbye -> 5
+
+let code_to_int = function
+  | Overloaded -> 0
+  | Deadline_exceeded -> 1
+  | Bad_request -> 2
+  | Server_error -> 3
+  | Shutting_down -> 4
+
+let code_of_int = function
+  | 0 -> Some Overloaded
+  | 1 -> Some Deadline_exceeded
+  | 2 -> Some Bad_request
+  | 3 -> Some Server_error
+  | 4 -> Some Shutting_down
+  | _ -> None
+
+let put_u32 b pos v = Bytes.set_int32_be b pos (Int32.of_int v)
+let get_u32 s pos = Int32.to_int (String.get_int32_be s pos) land 0xFFFFFFFF
+
+let payload_of = function
+  | Hello { version } ->
+    let b = Bytes.create 6 in
+    Bytes.blit_string magic 0 b 0 4;
+    Bytes.set_uint16_be b 4 version;
+    Bytes.unsafe_to_string b
+  | Hello_ack { version; server } ->
+    let b = Bytes.create (2 + String.length server) in
+    Bytes.set_uint16_be b 0 version;
+    Bytes.blit_string server 0 b 2 (String.length server);
+    Bytes.unsafe_to_string b
+  | Request { id; deadline_ms; verb } ->
+    let text = match verb with Query q -> q | Stats -> "" in
+    let b = Bytes.create (9 + String.length text) in
+    put_u32 b 0 id;
+    put_u32 b 4 deadline_ms;
+    Bytes.set_uint8 b 8 (match verb with Query _ -> 0 | Stats -> 1);
+    Bytes.blit_string text 0 b 9 (String.length text);
+    Bytes.unsafe_to_string b
+  | Result { id; seq; last; chunk } ->
+    let b = Bytes.create (9 + String.length chunk) in
+    put_u32 b 0 id;
+    put_u32 b 4 seq;
+    Bytes.set_uint8 b 8 (if last then 1 else 0);
+    Bytes.blit_string chunk 0 b 9 (String.length chunk);
+    Bytes.unsafe_to_string b
+  | Error { id; code; message } ->
+    let b = Bytes.create (5 + String.length message) in
+    put_u32 b 0 id;
+    Bytes.set_uint8 b 4 (code_to_int code);
+    Bytes.blit_string message 0 b 5 (String.length message);
+    Bytes.unsafe_to_string b
+  | Goodbye -> ""
+
+let parse_payload tag p =
+  let len = String.length p in
+  let rest pos = String.sub p pos (len - pos) in
+  match tag with
+  | 0 ->
+    if len <> 6 then Result.Error "hello: bad length"
+    else if String.sub p 0 4 <> magic then Result.Error "hello: bad magic"
+    else Result.Ok (Hello { version = String.get_uint16_be p 4 })
+  | 1 ->
+    if len < 2 then Result.Error "hello_ack: short payload"
+    else
+      Result.Ok (Hello_ack { version = String.get_uint16_be p 0; server = rest 2 })
+  | 2 ->
+    if len < 9 then Result.Error "request: short payload"
+    else
+      let id = get_u32 p 0 and deadline_ms = get_u32 p 4 in
+      (match String.get_uint8 p 8 with
+      | 0 -> Result.Ok (Request { id; deadline_ms; verb = Query (rest 9) })
+      | 1 when len = 9 -> Result.Ok (Request { id; deadline_ms; verb = Stats })
+      | _ -> Result.Error "request: bad verb")
+  | 3 ->
+    if len < 9 then Result.Error "result: short payload"
+    else (
+      match String.get_uint8 p 8 with
+      | (0 | 1) as last ->
+        Result.Ok
+          (Result { id = get_u32 p 0; seq = get_u32 p 4; last = last = 1;
+                    chunk = rest 9 })
+      | _ -> Result.Error "result: bad last flag")
+  | 4 ->
+    if len < 5 then Result.Error "error: short payload"
+    else (
+      match code_of_int (String.get_uint8 p 4) with
+      | Some code -> Result.Ok (Error { id = get_u32 p 0; code; message = rest 5 })
+      | None -> Result.Error "error: unknown code")
+  | 5 -> if len = 0 then Result.Ok Goodbye else Result.Error "goodbye: unexpected payload"
+  | n -> Result.Error (Printf.sprintf "unknown frame tag %d" n)
+
+(* --- framing --- *)
+
+let encode frame =
+  let payload = payload_of frame in
+  let len = String.length payload in
+  let b = Bytes.create (header_len + len) in
+  put_u32 b 0 len;
+  Bytes.set_uint8 b 4 (tag_of frame);
+  Bytes.blit_string payload 0 b header_len len;
+  (* CRC covers length, tag and payload; the CRC field itself is written
+     after computing it over the rest of the frame. *)
+  let crc =
+    Storage.Checksum.crc32_bytes
+      ~init:(Storage.Checksum.crc32_bytes b ~pos:0 ~len:5)
+      b ~pos:header_len ~len
+  in
+  Bytes.set_int32_be b 5 crc;
+  Bytes.unsafe_to_string b
+
+type decode_result = Decoded of frame * int | Need_more | Invalid of string
+
+let decode ?(pos = 0) buf =
+  let avail = String.length buf - pos in
+  if avail < header_len then Need_more
+  else
+    let len = get_u32 buf pos in
+    if len > max_frame then Invalid (Printf.sprintf "frame too large (%d B)" len)
+    else if avail < header_len + len then Need_more
+    else
+      let tag = String.get_uint8 buf (pos + 4) in
+      let crc = String.get_int32_be buf (pos + 5) in
+      let expected =
+        Storage.Checksum.crc32_sub
+          ~init:(Storage.Checksum.crc32_sub buf ~pos ~len:5)
+          buf ~pos:(pos + header_len) ~len
+      in
+      if crc <> expected then Invalid "crc mismatch"
+      else
+        match parse_payload tag (String.sub buf (pos + header_len) len) with
+        | Result.Ok frame -> Decoded (frame, header_len + len)
+        | Result.Error m -> Invalid m
+
+(* --- blocking I/O --- *)
+
+exception Closed
+exception Protocol_error of string
+
+let really_write fd s =
+  let len = String.length s in
+  let b = Bytes.unsafe_of_string s in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write fd b !written (len - !written)
+  done
+
+let write_frame fd frame = really_write fd (encode frame)
+
+let really_read fd n =
+  let b = Bytes.create n in
+  let got = ref 0 in
+  while !got < n do
+    match Unix.read fd b !got (n - !got) with
+    | 0 -> raise Closed
+    | k -> got := !got + k
+  done;
+  Bytes.unsafe_to_string b
+
+let read_frame fd =
+  let header = really_read fd header_len in
+  let len = get_u32 header 0 in
+  if len > max_frame then
+    raise (Protocol_error (Printf.sprintf "frame too large (%d B)" len));
+  let payload = if len = 0 then "" else really_read fd len in
+  match decode (header ^ payload) with
+  | Decoded (frame, _) -> frame
+  | Need_more -> raise (Protocol_error "short frame")
+  | Invalid m -> raise (Protocol_error m)
+
+let chunk_result ~id payload =
+  let n = String.length payload in
+  if n = 0 then [ Result { id; seq = 0; last = true; chunk = "" } ]
+  else begin
+    let frames = ref [] and seq = ref 0 and pos = ref 0 in
+    while !pos < n do
+      let len = min max_frame (n - !pos) in
+      let last = !pos + len >= n in
+      frames :=
+        Result { id; seq = !seq; last; chunk = String.sub payload !pos len }
+        :: !frames;
+      incr seq;
+      pos := !pos + len
+    done;
+    List.rev !frames
+  end

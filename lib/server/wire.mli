@@ -1,0 +1,85 @@
+(** The nscq wire protocol: length-prefixed binary frames with a CRC.
+
+    Layout of one frame on the wire (all integers big-endian):
+
+    {v
+    +--------+--------+--------+-----------------+
+    | u32    | u8     | u32    | payload         |
+    | length | tag    | crc32  | (length bytes)  |
+    +--------+--------+--------+-----------------+
+    v}
+
+    The CRC (reusing {!Storage.Checksum}, the log store's torn-write
+    detector) covers the length word, the tag byte {e and} the payload, so
+    a flipped tag or truncated length cannot re-parse as a different valid
+    frame. A connection starts with a versioned handshake
+    ([Hello]/[Hello_ack]); result payloads stream back as a sequence of
+    [Result] chunks sharing the request id, the final one flagged [last].
+
+    The codec is pure ({!encode} / {!decode}) so it can be property-tested
+    without sockets; {!read_frame} / {!write_frame} bind it to blocking
+    file descriptors for the server and client. *)
+
+(** {1 Frames} *)
+
+type error_code =
+  | Overloaded  (** admission queue full — retry later, with backoff *)
+  | Deadline_exceeded  (** the request's deadline passed while queued *)
+  | Bad_request  (** unparsable query / unsupported statement *)
+  | Server_error  (** the engine raised; message carries details *)
+  | Shutting_down  (** server is draining; no new work accepted *)
+
+type verb =
+  | Query of string
+      (** a nested-set literal (["{…}"]) or an NSCQL statement *)
+  | Stats  (** the server's aggregated counters, rendered as text *)
+
+type frame =
+  | Hello of { version : int }  (** client → server, first frame *)
+  | Hello_ack of { version : int; server : string }
+  | Request of { id : int; deadline_ms : int; verb : verb }
+      (** [deadline_ms = 0] means no deadline; [id] is chosen by the
+          client and echoed on every frame of the response *)
+  | Result of { id : int; seq : int; last : bool; chunk : string }
+  | Error of { id : int; code : error_code; message : string }
+  | Goodbye  (** either side: orderly close *)
+
+val version : int
+(** Protocol version spoken by this build (currently 1). *)
+
+val max_frame : int
+(** Upper bound on the payload length a peer will accept (16 MiB);
+    larger results are chunked into multiple [Result] frames. *)
+
+val pp_error_code : Format.formatter -> error_code -> unit
+val pp_frame : Format.formatter -> frame -> unit
+
+(** {1 Pure codec} *)
+
+val encode : frame -> string
+
+type decode_result =
+  | Decoded of frame * int
+      (** the frame and the number of bytes consumed *)
+  | Need_more  (** a prefix of a valid frame — read more bytes *)
+  | Invalid of string  (** CRC mismatch, bad tag, malformed payload… *)
+
+val decode : ?pos:int -> string -> decode_result
+(** Decodes the frame starting at [pos] (default 0). Never raises. *)
+
+(** {1 Blocking I/O} *)
+
+exception Closed
+(** The peer closed the connection mid-frame (or before one started). *)
+
+exception Protocol_error of string
+(** The peer sent bytes that do not decode as a frame. *)
+
+val write_frame : Unix.file_descr -> frame -> unit
+val read_frame : Unix.file_descr -> frame
+(** @raise Closed / Protocol_error as above. *)
+
+val chunk_result : id:int -> string -> frame list
+(** Splits a response payload into [Result] frames of at most
+    {!max_frame} bytes each (an empty payload still yields one final
+    frame). *)

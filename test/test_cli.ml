@@ -171,8 +171,17 @@ let test_admin_commands () =
                   check_bool "compacted" true (contains_s out "compacted")))))
 
 let test_missing_store_fails () =
-  let code, _ = run_cli [ "stats"; "-s"; "/nonexistent/store.tch" ] in
-  check_bool "clean failure" true (code <> 0)
+  List.iter
+    (fun args ->
+      let code, out = run_cli args in
+      check_int "exit code 1" 1 code;
+      check_bool "one-line diagnostic" true (contains_s out "does not exist");
+      (* a clean message, not a raw exception trace *)
+      check_bool "no backtrace" false (contains_s out "Fatal error"))
+    [
+      [ "stats"; "-s"; "/nonexistent/store.tch" ];
+      [ "query"; "-s"; "/nonexistent/store.tch"; "{a}" ];
+    ]
 
 let backend_cases backend =
   [
