@@ -751,6 +751,92 @@ let serve_load scale =
                "p95 (ms)"; "batch" ]
     rows
 
+(* --- E21: sharded scatter-gather scaling --- *)
+
+let shard_scaling scale =
+  H.print_header "E21: throughput vs shard count (scatter-gather router)"
+    "One collection of fixed size partitioned into 1/2/4/8 shards (hash \
+     placement), queried through the shard router with the 100-query \
+     paper workload; per-query latency quantiles and throughput per \
+     shard count. The 1-shard row is the single-store baseline plus \
+     router overhead. One JSON line per row for scripted consumption.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  let values =
+    List.of_seq
+      (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7)
+         ~seed:29 size)
+  in
+  (* workload selected against a throwaway single-store build *)
+  let queries =
+    let path = H.scratch_path "shard_scaling_oracle.tch" in
+    H.remove_if_exists path;
+    let b =
+      Invfile.Builder.create
+        (Storage.Hash_store.create ~buckets:(1 lsl 16) path)
+    in
+    List.iter (fun v -> ignore (Invfile.Builder.add_value b v)) values;
+    let inv = Invfile.Builder.finish b in
+    let qs = H.paper_queries inv in
+    IF.close inv;
+    H.remove_if_exists path;
+    qs
+  in
+  let quantile sorted q =
+    if Array.length sorted = 0 then 0.
+    else
+      sorted.(min
+                (Array.length sorted - 1)
+                (int_of_float (q *. float_of_int (Array.length sorted))))
+  in
+  let rows =
+    List.map
+      (fun shards ->
+        let manifest_path = H.scratch_path "shard_scaling.manifest" in
+        let m = Shard.Partitioner.build ~shards ~manifest_path values in
+        let r = Shard.Router.open_manifest m in
+        let latencies =
+          Array.of_list
+            (List.map
+               (fun q ->
+                 let t0 = Unix.gettimeofday () in
+                 ignore (Shard.Router.query r q);
+                 1000. *. (Unix.gettimeofday () -. t0))
+               queries)
+        in
+        Shard.Router.close r;
+        Array.iter
+          (fun (s : Shard.Manifest.shard) ->
+            match s.Shard.Manifest.location with
+            | Shard.Manifest.Local { path; _ } -> H.remove_if_exists path
+            | Shard.Manifest.Remote _ -> ())
+          m.Shard.Manifest.shards;
+        H.remove_if_exists manifest_path;
+        let elapsed_ms = Array.fold_left ( +. ) 0. latencies in
+        let sorted = Array.copy latencies in
+        Array.sort compare sorted;
+        let p50 = quantile sorted 0.50 and p95 = quantile sorted 0.95 in
+        let throughput =
+          1000. *. float_of_int (List.length queries) /. elapsed_ms
+        in
+        Printf.printf
+          "{\"experiment\":\"shard-scaling\",\"shards\":%d,\"records\":%d,\
+           \"queries\":%d,\"elapsed_ms\":%.3f,\"throughput_qps\":%.1f,\
+           \"p50_ms\":%.3f,\"p95_ms\":%.3f}\n"
+          shards size (List.length queries) elapsed_ms throughput p50 p95;
+        [
+          H.i shards;
+          H.i size;
+          H.ms elapsed_ms;
+          Printf.sprintf "%.0f" throughput;
+          H.ms p50;
+          H.ms p95;
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  H.print_table
+    ~columns:[ "shards"; "records"; "elapsed"; "q/s"; "p50 (ms)"; "p95 (ms)" ]
+    rows
+
 (* --- registry --- *)
 
 let all : (string * string * (scale -> unit)) list =
@@ -779,4 +865,5 @@ let all : (string * string * (scale -> unit)) list =
     ("record-format", "record storage format (E18)", record_format);
     ("complexity", "time vs |q| analysis check (E19)", complexity);
     ("serve-load", "server under closed-loop load (E20)", serve_load);
+    ("shard-scaling", "sharded scatter-gather router (E21)", shard_scaling);
   ]

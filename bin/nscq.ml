@@ -1,12 +1,14 @@
 (* nscq — nested-set containment queries from the command line.
 
-   Subcommands: generate, build, query, workload, stats.
+   Subcommands: generate, build, query, workload, stats, shard, serve, …
 
      nscq generate --kind wide-zipf --count 10000 -o data.ns
      nscq build -i data.ns -o data.tch
      nscq query -s data.tch '{USA, {UK, {A, motorbike}}}'
      nscq workload -s data.tch --cache 250
-     nscq stats -s data.tch *)
+     nscq stats -s data.tch
+     nscq shard build -i data.ns --shards 4 -o data.manifest
+     nscq query -s data.manifest '{USA}'     # routed over the shards *)
 
 open Cmdliner
 
@@ -141,6 +143,40 @@ let spill_arg =
         ~doc:"Run the bottom-up stack through an external-memory stack \
               backed by $(docv).")
 
+let partial_arg =
+  Arg.(
+    value & flag
+    & info [ "partial" ]
+        ~doc:"Over a shard manifest: answer from the surviving shards (with \
+              a warning per failure) instead of failing when a shard is \
+              unreachable.")
+
+let load_manifest path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "nscq: manifest '%s' does not exist\n" path;
+    exit 1
+  end;
+  match Shard.Manifest.load path with
+  | m -> m
+  | exception Shard.Manifest.Corrupt msg ->
+    Printf.eprintf "nscq: %s: %s\n" path msg;
+    exit 1
+
+(* Resolves --host to a numeric address up front so a typo is a one-line
+   error, not a silent bind to loopback. *)
+let resolve_host host =
+  match Unix.inet_addr_of_string host with
+  | _ -> host
+  | exception Failure _ -> (
+    match Unix.gethostbyname host with
+    | exception Not_found ->
+      Printf.eprintf "nscq: cannot resolve host '%s'\n" host;
+      exit 1
+    | { Unix.h_addr_list = [||]; _ } ->
+      Printf.eprintf "nscq: cannot resolve host '%s'\n" host;
+      exit 1
+    | he -> Unix.string_of_inet_addr he.Unix.h_addr_list.(0))
+
 let verbose_arg =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log engine internals to stderr.")
 
@@ -220,24 +256,41 @@ let generate_cmd =
 
 (* --- build --- *)
 
+let input_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "i"; "input" ] ~docv:"FILE"
+        ~doc:"Input collection: nested-set literals, JSON lines, or XML \
+              records (one per line).")
+
+let format_arg =
+  Arg.(
+    value
+    & opt (enum [ ("nested", `Nested); ("json", `Json); ("xml", `Xml) ]) `Nested
+    & info [ "format" ] ~docv:"FMT" ~doc:"$(b,nested), $(b,json), or $(b,xml).")
+
+let tokenize_arg =
+  Arg.(value & flag & info [ "tokenize" ] ~doc:"Tokenize XML text into word atoms.")
+
+let recfmt_arg =
+  Arg.(
+    value
+    & opt (enum [ ("syntax", `Syntax); ("binary", `Binary) ]) `Syntax
+    & info [ "record-format" ] ~docv:"FMT"
+        ~doc:"Stored-record encoding: $(b,syntax) (readable) or $(b,binary)
+              (dictionary-coded, ~3x smaller).")
+
+let parse_collection ~format ~tokenize contents =
+  match format with
+  | `Nested -> Nested.Syntax.parse_many contents
+  | `Json ->
+    List.map Textformats.Json_nested.of_json (Textformats.Json.parse_many contents)
+  | `Xml ->
+    List.map (Textformats.Xml_nested.of_xml ~tokenize)
+      (Textformats.Xml.parse_many contents)
+
 let build_cmd =
-  let input_arg =
-    Arg.(
-      required
-      & opt (some file) None
-      & info [ "i"; "input" ] ~docv:"FILE"
-          ~doc:"Input collection: nested-set literals, JSON lines, or XML \
-                records (one per line).")
-  in
-  let format_arg =
-    Arg.(
-      value
-      & opt (enum [ ("nested", `Nested); ("json", `Json); ("xml", `Xml) ]) `Nested
-      & info [ "format" ] ~docv:"FMT" ~doc:"$(b,nested), $(b,json), or $(b,xml).")
-  in
-  let tokenize_arg =
-    Arg.(value & flag & info [ "tokenize" ] ~doc:"Tokenize XML text into word atoms.")
-  in
   let output_arg =
     Arg.(
       required
@@ -247,25 +300,8 @@ let build_cmd =
   let buckets_arg =
     Arg.(value & opt int 65536 & info [ "buckets" ] ~docv:"N" ~doc:"Hash store buckets.")
   in
-  let recfmt_arg =
-    Arg.(
-      value
-      & opt (enum [ ("syntax", `Syntax); ("binary", `Binary) ]) `Syntax
-      & info [ "record-format" ] ~docv:"FMT"
-          ~doc:"Stored-record encoding: $(b,syntax) (readable) or $(b,binary)
-                (dictionary-coded, ~3x smaller).")
-  in
   let run input format tokenize output backend buckets record_format =
-    let contents = read_file input in
-    let values =
-      match format with
-      | `Nested -> Nested.Syntax.parse_many contents
-      | `Json ->
-        List.map Textformats.Json_nested.of_json (Textformats.Json.parse_many contents)
-      | `Xml ->
-        List.map (Textformats.Xml_nested.of_xml ~tokenize)
-          (Textformats.Xml.parse_many contents)
-    in
+    let values = parse_collection ~format ~tokenize (read_file input) in
     let store =
       match backend with
       | `Hash -> Storage.Hash_store.create ~buckets output
@@ -339,6 +375,52 @@ let run_remote_query ~connect ~deadline_ms ~limit qs =
       code message;
     exit 1
 
+(* Sharded mode: scatter-gather over a manifest's shards instead of one
+   store handle. *)
+let run_sharded_query ~manifest_path ~engine ~partial ~deadline_ms ~cache
+    ~limit qs =
+  let m = load_manifest manifest_path in
+  let config =
+    {
+      Shard.Router.default_config with
+      Shard.Router.engine;
+      fail_mode = (if partial then Shard.Router.Partial else Shard.Router.Fail_fast);
+      remote_deadline_ms = deadline_ms;
+      cache_budget = cache;
+    }
+  in
+  let r = Shard.Router.open_manifest ~config m in
+  Fun.protect ~finally:(fun () -> Shard.Router.close r) @@ fun () ->
+  let q = Nested.Syntax.of_string qs in
+  let t0 = Unix.gettimeofday () in
+  match Shard.Router.query r q with
+  | exception Shard.Router.Shard_failed (i, reason) ->
+    Printf.eprintf
+      "nscq: shard %d failed: %s (use --partial for a degraded answer)\n" i
+      reason;
+    exit 1
+  | o ->
+    let dt = 1000. *. (Unix.gettimeofday () -. t0) in
+    List.iter
+      (fun (i, reason) ->
+        Printf.eprintf "nscq: warning: shard %d dropped from answer: %s\n" i
+          reason)
+      o.Shard.Router.warnings;
+    Printf.printf
+      "%d matching record(s) in %.3f ms (%d shard(s) queried, %d pruned)\n"
+      (List.length o.Shard.Router.records)
+      dt o.Shard.Router.shards_queried o.Shard.Router.shards_skipped;
+    List.iteri
+      (fun i id ->
+        if i < limit then
+          match Shard.Router.record_value r id with
+          | Some v -> Format.printf "  #%d: %a@." id Nested.Value.pp v
+          | None -> Printf.printf "  #%d (remote shard)\n" id)
+      o.Shard.Router.records;
+    if List.length o.Shard.Router.records > limit then
+      Printf.printf "  … and %d more (raise --limit)\n"
+        (List.length o.Shard.Router.records - limit)
+
 let query_cmd =
   let query_arg =
     Arg.(
@@ -374,22 +456,8 @@ let query_cmd =
           ~doc:"Per-request deadline for $(b,--connect) (0 = none).")
   in
   let run store connect deadline_ms backend cache algorithm join embedding anywhere
-      verify streamed spill wildcards explain verbose qs limit =
+      verify streamed spill wildcards partial explain verbose qs limit =
     setup_logging verbose;
-    match connect with
-    | Some connect -> run_remote_query ~connect ~deadline_ms ~limit qs
-    | None ->
-    let store =
-      match store with
-      | Some s -> s
-      | None ->
-        prerr_endline "nscq: either --store or --connect is required";
-        exit 1
-    in
-    let inv = IF.open_store (open_store backend store) in
-    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
-    setup_engine inv ~cache;
-    let q = Nested.Syntax.of_string qs in
     let config =
       {
         E.algorithm;
@@ -406,6 +474,24 @@ let query_cmd =
         minimize = false;
       }
     in
+    match connect with
+    | Some connect -> run_remote_query ~connect ~deadline_ms ~limit qs
+    | None ->
+    let store =
+      match store with
+      | Some s -> s
+      | None ->
+        prerr_endline "nscq: either --store or --connect is required";
+        exit 1
+    in
+    if Shard.Manifest.is_manifest_file store then
+      run_sharded_query ~manifest_path:store ~engine:config ~partial
+        ~deadline_ms ~cache ~limit qs
+    else begin
+    let inv = IF.open_store (open_store backend store) in
+    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+    setup_engine inv ~cache;
+    let q = Nested.Syntax.of_string qs in
     let t0 = Unix.gettimeofday () in
     let r = E.query ~config inv q in
     let dt = 1000. *. (Unix.gettimeofday () -. t0) in
@@ -418,16 +504,17 @@ let query_cmd =
     if List.length r.E.records > limit then
       Printf.printf "  … and %d more (raise --limit)\n" (List.length r.E.records - limit);
     if explain then Format.printf "@.plan:@.%a" E.pp_plan (E.explain ~config inv q)
+    end
   in
   Cmd.v
     (Cmd.info "query"
-       ~doc:"Run one containment query against a store (or a running \
-             server, with --connect).")
+       ~doc:"Run one containment query against a store, a shard manifest, \
+             or a running server (with --connect).")
     Term.(
       const run $ store_opt_arg $ connect_arg $ deadline_arg $ backend_arg
       $ cache_arg $ algorithm_arg $ join_arg $ embedding_arg $ anywhere_arg
-      $ verify_arg $ streamed_arg $ spill_arg $ wildcards_arg $ explain_arg
-      $ verbose_arg $ query_arg $ limit_arg)
+      $ verify_arg $ streamed_arg $ spill_arg $ wildcards_arg $ partial_arg
+      $ explain_arg $ verbose_arg $ query_arg $ limit_arg)
 
 (* --- workload --- *)
 
@@ -820,16 +907,36 @@ let serve_cmd =
       & info [ "stats-interval" ] ~docv:"SECONDS"
           ~doc:"Period of the stats log line (0 disables).")
   in
-  let run store backend cache port host domains queue_cap max_batch
-      stats_interval verbose =
+  let store_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "store" ] ~docv:"PATH"
+          ~doc:"Path of the collection store (or a shard manifest — \
+                detected automatically).")
+  in
+  let manifest_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "shard-manifest" ] ~docv:"PATH"
+          ~doc:"Serve a sharded collection: every worker scatter-gathers \
+                over the manifest's shards instead of opening one store.")
+  in
+  let run store manifest backend cache port host domains queue_cap max_batch
+      stats_interval partial verbose =
     setup_logging verbose;
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
-    let open_handle () = IF.open_store (open_store backend store) in
-    (* open once up front: fail fast (and with the one-line error) before
-       binding the port, and report the collection size *)
-    let probe = open_handle () in
-    let records = IF.record_count probe in
-    IF.close probe;
+    let host = resolve_host host in
+    let source =
+      match (manifest, store) with
+      | Some m, _ -> `Manifest m
+      | None, Some s when Shard.Manifest.is_manifest_file s -> `Manifest s
+      | None, Some s -> `Store s
+      | None, None ->
+        prerr_endline "nscq: either --store or --shard-manifest is required";
+        exit 1
+    in
     let domains =
       if domains > 0 then domains else Containment.Parallel.default_domains ()
     in
@@ -845,12 +952,47 @@ let serve_cmd =
         stats_interval_s = stats_interval;
       }
     in
-    let srv = Server.Service.start cfg ~open_handle in
+    (* probe up front either way: fail fast (and with the one-line error)
+       before binding the port, and report the collection size *)
+    let records, described, start =
+      match source with
+      | `Store store ->
+        let open_handle () = IF.open_store (open_store backend store) in
+        let probe = open_handle () in
+        let records = IF.record_count probe in
+        IF.close probe;
+        (records, store, fun () -> Server.Service.start cfg ~open_handle)
+      | `Manifest path ->
+        let m = load_manifest path in
+        let rconfig =
+          {
+            Shard.Router.default_config with
+            Shard.Router.cache_budget = cache;
+            fail_mode =
+              (if partial then Shard.Router.Partial else Shard.Router.Fail_fast);
+          }
+        in
+        Shard.Router.close (Shard.Router.open_manifest ~config:rconfig m);
+        ( Shard.Manifest.live_records m,
+          Printf.sprintf "%s (%d shard(s))" path
+            (Array.length m.Shard.Manifest.shards),
+          fun () ->
+            Server.Service.start_with cfg
+              ~open_backend:(Shard.Router.dispatch_backend ~config:rconfig m) )
+    in
+    let srv =
+      try start ()
+      with Unix.Unix_error (e, _, _) ->
+        Printf.eprintf "nscq: cannot bind %s:%d: %s\n" host port
+          (Unix.error_message e);
+        exit 1
+    in
     Printf.printf
       "nscq serve: %d record(s) from %s; listening on %s:%d (%d domain(s), \
        queue cap %d, batch <= %d)\n\
        %!"
-      records store host (Server.Service.port srv) domains queue_cap max_batch;
+      records described host (Server.Service.port srv) domains queue_cap
+      max_batch;
     let stop = Atomic.make false in
     let request_stop _ = Atomic.set stop true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
@@ -866,11 +1008,12 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Serve containment queries over the nscq wire protocol until \
              SIGINT (which drains in-flight requests and closes the \
-             store cleanly).")
+             store cleanly). With --shard-manifest, each worker routes \
+             queries over the manifest's shards.")
     Term.(
-      const run $ store_arg $ backend_arg $ cache_arg $ port_arg $ host_arg
-      $ domains_arg $ queue_cap_arg $ max_batch_arg $ stats_interval_arg
-      $ verbose_arg)
+      const run $ store_opt_arg $ manifest_arg $ backend_arg $ cache_arg
+      $ port_arg $ host_arg $ domains_arg $ queue_cap_arg $ max_batch_arg
+      $ stats_interval_arg $ partial_arg $ verbose_arg)
 
 (* --- stats --- *)
 
@@ -911,6 +1054,20 @@ let stats_cmd =
           prerr_endline "nscq: either --store or --connect is required";
           exit 1
       in
+      if Shard.Manifest.is_manifest_file store then begin
+        (* a sharded collection: the manifest summary, plus per-shard
+           index sizes straight from the shard stores *)
+        let m = load_manifest store in
+        Format.printf "%a" Shard.Manifest.pp m;
+        Array.iteri
+          (fun i (s : Shard.Manifest.shard) ->
+            match s.Shard.Manifest.location with
+            | Shard.Manifest.Local { path; _ } when not (Sys.file_exists path)
+              -> Printf.printf "warning: shard %d store %s is missing\n" i path
+            | _ -> ())
+          m.Shard.Manifest.shards
+      end
+      else begin
       let inv = IF.open_store (open_store backend store) in
       Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
       if detailed then Format.printf "%a@." Invfile.Stats.pp (Invfile.Stats.compute inv)
@@ -923,12 +1080,125 @@ let stats_cmd =
           (fun i (a, c) -> if i < 10 then Printf.printf "  %-24s %d postings\n" a c)
           (IF.top_atoms inv)
       end
+      end
   in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Show collection statistics (or a running server's, with \
-             --connect).")
+       ~doc:"Show collection statistics (a store's, a shard manifest's, or \
+             a running server's with --connect).")
     Term.(const run $ store_opt_arg $ connect_arg $ backend_arg $ detailed_arg)
+
+(* --- shard (build | status | reshard) --- *)
+
+let manifest_path_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "m"; "manifest" ] ~docv:"PATH" ~doc:"Path of the shard manifest.")
+
+let shards_arg =
+  Arg.(
+    required
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N" ~doc:"Number of shards.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("hash", Shard.Manifest.Hash); ("round-robin", Shard.Manifest.Round_robin) ])
+        Shard.Manifest.Hash
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Record placement: $(b,hash) (stable under reordering) or \
+              $(b,round-robin) (perfectly balanced).")
+
+let shard_build_cmd =
+  let output_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH"
+          ~doc:"Manifest file to create; shard stores are placed next to it.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Shard builders run in parallel, at most $(docv) at once \
+                (0 = default: NSCQ_DOMAINS or the host's core count - 1).")
+  in
+  let run input format tokenize output backend record_format policy shards
+      domains =
+    if shards < 1 then begin
+      prerr_endline "nscq: --shards must be at least 1";
+      exit 1
+    end;
+    let values = parse_collection ~format ~tokenize (read_file input) in
+    let max_domains =
+      if domains > 0 then domains else Containment.Parallel.default_domains ()
+    in
+    let m =
+      Shard.Partitioner.build ~policy ~backend ~record_format ~max_domains
+        ~shards ~manifest_path:output values
+    in
+    Format.printf "%a" Shard.Manifest.pp m
+  in
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:"Partition a collection into N shard stores (built in \
+             parallel) plus the manifest tying them together.")
+    Term.(
+      const run $ input_arg $ format_arg $ tokenize_arg $ output_arg
+      $ backend_arg $ recfmt_arg $ policy_arg $ shards_arg $ domains_arg)
+
+let shard_status_cmd =
+  let run manifest_path =
+    let m = load_manifest manifest_path in
+    Format.printf "%a" Shard.Manifest.pp m;
+    let missing = ref 0 in
+    Array.iteri
+      (fun i (s : Shard.Manifest.shard) ->
+        match s.Shard.Manifest.location with
+        | Shard.Manifest.Local { path; _ } when not (Sys.file_exists path) ->
+          incr missing;
+          Printf.printf "shard %d store %s is MISSING\n" i path
+        | _ -> ())
+      m.Shard.Manifest.shards;
+    if !missing > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Describe a shard manifest and check its local stores exist.")
+    Term.(const run $ manifest_path_arg)
+
+let shard_reshard_cmd =
+  let output_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"PATH"
+          ~doc:"Manifest file to write the resharded collection under \
+                (source stores are left intact).")
+  in
+  let run manifest_path shards output backend =
+    let m = load_manifest manifest_path in
+    match Shard.Partitioner.reshard ~backend ~shards ~output m with
+    | m' -> Format.printf "%a" Shard.Manifest.pp m'
+    | exception Invalid_argument msg ->
+      Printf.eprintf "nscq: %s\n" msg;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "reshard"
+       ~doc:"Rewrite a sharded collection with a different shard count \
+             (merging via the id-shifting reduce when shrinking, \
+             re-partitioning when growing). Query results are unchanged.")
+    Term.(const run $ manifest_path_arg $ shards_arg $ output_arg $ backend_arg)
+
+let shard_cmd =
+  Cmd.group
+    (Cmd.info "shard"
+       ~doc:"Sharded collections: partitioned build, status, reshard.")
+    [ shard_build_cmd; shard_status_cmd; shard_reshard_cmd ]
 
 let () =
   let info =
@@ -939,5 +1209,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; build_cmd; query_cmd; workload_cmd; stats_cmd; repl_cmd;
-            sql_cmd; serve_cmd; check_cmd; repair_cmd; export_cmd; merge_cmd;
-            compact_cmd ]))
+            sql_cmd; serve_cmd; shard_cmd; check_cmd; repair_cmd; export_cmd;
+            merge_cmd; compact_cmd ]))

@@ -8,10 +8,12 @@ let recommended_domains () = min 8 (Domain.recommended_domain_count ())
 
 (* One domain stays free for the caller (accept loops, the bench driver);
    NSCQ_DOMAINS overrides for constrained CI hosts and experiments. *)
+(* Never 0 or negative, whatever NSCQ_DOMAINS holds or however few cores
+   the host reports: every consumer spawns this many domains. *)
 let default_domains () =
   match Option.bind (Sys.getenv_opt "NSCQ_DOMAINS") int_of_string_opt with
-  | Some n when n >= 1 -> n
-  | Some _ | None -> max 1 (Domain.recommended_domain_count () - 1)
+  | Some n -> max 1 n
+  | None -> max 1 (Domain.recommended_domain_count () - 1)
 
 let slice ~domains i queries =
   List.filteri (fun j _ -> j mod domains = i) queries

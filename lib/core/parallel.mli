@@ -31,7 +31,10 @@ val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count], capped at 8. *)
 
 val default_domains : unit -> int
-(** The [NSCQ_DOMAINS] environment variable when set to a positive
-    integer, else [Domain.recommended_domain_count () - 1] (min 1) — one
-    domain is left free for the caller's own loop. The default of
-    {!run_workload} and of [nscq serve] / the bench driver. *)
+(** The [NSCQ_DOMAINS] environment variable when set to an integer
+    (clamped to at least 1), else [Domain.recommended_domain_count () - 1]
+    — one domain left free for the caller's own loop, and again never
+    below 1, even on a single-core host. Unparseable [NSCQ_DOMAINS]
+    values fall back to the core-count default. The default of
+    {!run_workload}, [nscq serve], the shard router, and the bench
+    driver. *)

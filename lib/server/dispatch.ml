@@ -33,39 +33,66 @@ let locked t f =
   Mutex.lock t.mutex;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
 
+(* --- execution backends --- *)
+
+type io_totals = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  reads : int;
+  bytes_read : int;
+}
+
+type backend = {
+  run_literals : Nested.Value.t list -> string list;
+  run_statement : Containment.Nscql.statement -> string;
+  io_totals : unit -> io_totals;
+  close : unit -> unit;
+}
+
+let ids_payload (r : E.result) =
+  String.concat " " (List.map string_of_int r.records)
+
+let store_backend ?(config = E.default) ~cache_budget ~open_handle () =
+  let inv = open_handle () in
+  if cache_budget > 0 then
+    IF.attach_cache inv
+      (Invfile.Cache.create Invfile.Cache.Static ~capacity:cache_budget);
+  {
+    run_literals =
+      (fun values -> List.map ids_payload (E.query_batch ~config inv values));
+    run_statement =
+      (fun stmt ->
+        Format.asprintf "%a"
+          (Containment.Nscql.pp_outcome ~collection:inv)
+          (Containment.Nscql.execute inv stmt));
+    io_totals =
+      (fun () ->
+        let lk = IF.lookup_stats inv and st = (IF.store inv).Storage.Kv.stats in
+        {
+          lookups = Storage.Io_stats.lookups lk;
+          hits = Storage.Io_stats.hits lk;
+          misses = Storage.Io_stats.misses lk;
+          reads = Storage.Io_stats.reads st;
+          bytes_read = Storage.Io_stats.bytes_read st;
+        });
+    close = (fun () -> IF.close inv);
+  }
+
 (* --- worker side --- *)
 
 let job_batchable j = Batcher.batchable j.request
 
-(* Deltas of a handle's counters since the last report, folded into the
-   server-wide stats — this is how per-domain Io_stats surface without
-   cross-domain reads of mutable state. *)
-type io_snapshot = {
-  mutable s_lookups : int;
-  mutable s_hits : int;
-  mutable s_misses : int;
-  mutable s_reads : int;
-  mutable s_bytes : int;
-}
-
-let report_io t inv snap =
-  let lk = IF.lookup_stats inv and st = (IF.store inv).Storage.Kv.stats in
-  let lookups = Storage.Io_stats.lookups lk
-  and hits = Storage.Io_stats.hits lk
-  and misses = Storage.Io_stats.misses lk
-  and reads = Storage.Io_stats.reads st
-  and bytes_read = Storage.Io_stats.bytes_read st in
-  Server_stats.record_io t.stats ~lookups:(lookups - snap.s_lookups)
-    ~hits:(hits - snap.s_hits) ~misses:(misses - snap.s_misses)
-    ~reads:(reads - snap.s_reads) ~bytes_read:(bytes_read - snap.s_bytes);
-  snap.s_lookups <- lookups;
-  snap.s_hits <- hits;
-  snap.s_misses <- misses;
-  snap.s_reads <- reads;
-  snap.s_bytes <- bytes_read
-
-let ids_payload (r : E.result) =
-  String.concat " " (List.map string_of_int r.records)
+(* Deltas of the backend's counters since the last report, folded into
+   the server-wide stats — this is how per-domain Io_stats surface
+   without cross-domain reads of mutable state. *)
+let report_io t backend snap =
+  let cur = backend.io_totals () and prev = !snap in
+  Server_stats.record_io t.stats ~lookups:(cur.lookups - prev.lookups)
+    ~hits:(cur.hits - prev.hits) ~misses:(cur.misses - prev.misses)
+    ~reads:(cur.reads - prev.reads)
+    ~bytes_read:(cur.bytes_read - prev.bytes_read);
+  snap := cur
 
 let finish t job reply =
   let latency_s = Unix.gettimeofday () -. job.enqueued_at in
@@ -83,17 +110,12 @@ let refusal_of_exn = function
   | Invalid_argument msg -> (Wire.Bad_request, msg)
   | exn -> (Wire.Server_error, Printexc.to_string exn)
 
-let execute_group t config inv jobs =
+let execute_group t backend jobs =
   match jobs with
   | [] -> ()
   | [ { request = Batcher.Statement stmt; _ } as job ] -> (
-    match Containment.Nscql.execute inv stmt with
-    | outcome ->
-      finish t job
-        (Data
-           (Format.asprintf "%a"
-              (Containment.Nscql.pp_outcome ~collection:inv)
-              outcome))
+    match backend.run_statement stmt with
+    | payload -> finish t job (Data payload)
     | exception exn ->
       let code, msg = refusal_of_exn exn in
       finish t job (Refused (code, msg)))
@@ -107,34 +129,21 @@ let execute_group t config inv jobs =
           | Batcher.Statement _ -> assert false)
         jobs
     in
-    match E.query_batch ~config inv values with
-    | results ->
-      List.iter2 (fun job r -> finish t job (Data (ids_payload r))) jobs results
+    match backend.run_literals values with
+    | payloads ->
+      List.iter2 (fun job p -> finish t job (Data p)) jobs payloads
     | exception exn ->
       let code, msg = refusal_of_exn exn in
       List.iter (fun job -> finish t job (Refused (code, msg))) jobs)
 
-let worker t config cache_budget open_handle () =
-  let inv = open_handle () in
+let worker t open_backend () =
+  let backend = open_backend () in
   Fun.protect
-    ~finally:(fun () -> IF.close inv)
+    ~finally:(fun () -> backend.close ())
     (fun () ->
-      if cache_budget > 0 then
-        IF.attach_cache inv
-          (Invfile.Cache.create Invfile.Cache.Static ~capacity:cache_budget);
-      let snap =
-        { s_lookups = 0; s_hits = 0; s_misses = 0; s_reads = 0; s_bytes = 0 }
-      in
-      (* the handle starts with counters already advanced by the cache
-         preload; baseline them so only query work is reported *)
-      let () =
-        let lk = IF.lookup_stats inv and st = (IF.store inv).Storage.Kv.stats in
-        snap.s_lookups <- Storage.Io_stats.lookups lk;
-        snap.s_hits <- Storage.Io_stats.hits lk;
-        snap.s_misses <- Storage.Io_stats.misses lk;
-        snap.s_reads <- Storage.Io_stats.reads st;
-        snap.s_bytes <- Storage.Io_stats.bytes_read st
-      in
+      (* the backend may start with counters already advanced (cache
+         preload); baseline them so only query work is reported *)
+      let snap = ref (backend.io_totals ()) in
       let rec loop () =
         Mutex.lock t.mutex;
         while (t.paused || Queue.is_empty t.queue) && t.state = Running do
@@ -164,8 +173,8 @@ let worker t config cache_budget open_handle () =
             dead;
           if live <> [] then begin
             Server_stats.record_batch t.stats ~size:(List.length live);
-            execute_group t config inv live;
-            report_io t inv snap
+            execute_group t backend live;
+            report_io t backend snap
           end;
           loop ()
         end
@@ -174,8 +183,8 @@ let worker t config cache_budget open_handle () =
 
 (* --- caller side --- *)
 
-let create ?(paused = false) ?(config = E.default) ~domains ~queue_cap
-    ~max_batch ~cache_budget ~open_handle ~stats () =
+let create ?(paused = false) ~domains ~queue_cap ~max_batch ~open_backend
+    ~stats () =
   if domains < 1 then invalid_arg "Dispatch.create: domains must be ≥ 1";
   if queue_cap < 1 then invalid_arg "Dispatch.create: queue_cap must be ≥ 1";
   if max_batch < 1 then invalid_arg "Dispatch.create: max_batch must be ≥ 1";
@@ -194,8 +203,7 @@ let create ?(paused = false) ?(config = E.default) ~domains ~queue_cap
     }
   in
   t.workers <-
-    List.init domains (fun _ ->
-        Domain.spawn (worker t config cache_budget open_handle));
+    List.init domains (fun _ -> Domain.spawn (worker t open_backend));
   t
 
 let submit t ?deadline ~request ~reply () =

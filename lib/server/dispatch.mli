@@ -1,11 +1,12 @@
 (** The request scheduler: a fixed pool of OCaml 5 domains behind one
     bounded admission queue.
 
-    Each worker domain opens its {e own} store handle and cache (exactly
-    as {!Containment.Parallel} does — the stores' seek-then-read access is
-    not shareable across domains) and loops: dequeue a batch of compatible
-    requests ({!Batcher.coalesce}), run it as one block
-    ({!Containment.Engine.query_batch}), reply.
+    Each worker domain opens its {e own} execution {!backend} — by
+    default a store handle and cache via {!store_backend} (exactly as
+    {!Containment.Parallel} does — the stores' seek-then-read access is
+    not shareable across domains) — and loops: dequeue a batch of
+    compatible requests ({!Batcher.coalesce}), run it as one block,
+    reply.
 
     Admission is explicitly bounded: {!submit} refuses with [`Overloaded]
     when [queue_cap] requests are already waiting, instead of queueing
@@ -20,23 +21,59 @@ type reply =
   | Data of string  (** success payload (chunked onto the wire by the caller) *)
   | Refused of Wire.error_code * string
 
+(** Cumulative I/O counters of one worker's execution backend; the
+    dispatcher folds deltas of these into {!Server_stats} after each
+    batch. *)
+type io_totals = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  reads : int;
+  bytes_read : int;
+}
+
+(** What a worker domain runs requests against. The default is
+    {!store_backend} — one inverted-file handle per worker — but anything
+    that can answer literal queries with a record-id payload plugs in
+    (e.g. a shard router fanning out to many stores). All four functions
+    are called only from the worker domain that opened the backend, so
+    they need no internal synchronisation. [run_literals] returns one
+    payload per input value, in order; both run functions may raise —
+    [Containment.Semantics.Unsupported] and [Invalid_argument] become
+    [Bad_request] refusals, anything else [Server_error]. *)
+type backend = {
+  run_literals : Nested.Value.t list -> string list;
+  run_statement : Containment.Nscql.statement -> string;
+  io_totals : unit -> io_totals;
+  close : unit -> unit;
+}
+
+val store_backend :
+  ?config:Containment.Engine.config ->
+  cache_budget:int ->
+  open_handle:(unit -> Invfile.Inverted_file.t) ->
+  unit ->
+  backend
+(** The classic single-store backend: opens one
+    {!Invfile.Inverted_file} handle ([cache_budget > 0] attaches a
+    static cache of that many lists), answers literal blocks with
+    {!Containment.Engine.query_batch} and NSCQL statements with
+    {!Containment.Nscql.execute}. *)
+
 val create :
   ?paused:bool ->
-  ?config:Containment.Engine.config ->
   domains:int ->
   queue_cap:int ->
   max_batch:int ->
-  cache_budget:int ->
-  open_handle:(unit -> Invfile.Inverted_file.t) ->
+  open_backend:(unit -> backend) ->
   stats:Server_stats.t ->
   unit ->
   t
 (** Spawns [domains] worker domains immediately. With [~paused:true] the
     workers idle until {!resume} — submissions still queue (up to
     [queue_cap]), which gives tests and staged startups a deterministic
-    way to fill the queue. [open_handle] is called once per worker, in
-    that worker's domain; [cache_budget > 0] attaches a static cache of
-    that many lists per domain.
+    way to fill the queue. [open_backend] is called once per worker, in
+    that worker's domain.
     @raise Invalid_argument if [domains < 1], [queue_cap < 1] or
     [max_batch < 1]. *)
 

@@ -199,7 +199,7 @@ let ticker_loop t () =
 
 (* --- lifecycle --- *)
 
-let start ?(paused = false) cfg ~open_handle =
+let start_with ?(paused = false) cfg ~open_backend =
   (match Sys.os_type with
   | "Unix" -> (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ())
   | _ -> ());
@@ -222,9 +222,8 @@ let start ?(paused = false) cfg ~open_handle =
   in
   let server_stats = Server_stats.create () in
   let dispatch =
-    Dispatch.create ~paused ~config:cfg.engine ~domains:cfg.domains
-      ~queue_cap:cfg.queue_cap ~max_batch:cfg.max_batch
-      ~cache_budget:cfg.cache_budget ~open_handle ~stats:server_stats ()
+    Dispatch.create ~paused ~domains:cfg.domains ~queue_cap:cfg.queue_cap
+      ~max_batch:cfg.max_batch ~open_backend ~stats:server_stats ()
   in
   let t =
     {
@@ -249,6 +248,12 @@ let start ?(paused = false) cfg ~open_handle =
       m "listening on %s:%d (%d domain(s), queue cap %d, batch ≤ %d)" cfg.host
         actual_port cfg.domains cfg.queue_cap cfg.max_batch);
   t
+
+let start ?paused cfg ~open_handle =
+  start_with ?paused cfg
+    ~open_backend:
+      (Dispatch.store_backend ~config:cfg.engine
+         ~cache_budget:cfg.cache_budget ~open_handle)
 
 let port t = t.actual_port
 let stats t = t.server_stats

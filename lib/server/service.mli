@@ -36,10 +36,19 @@ val start :
   ?paused:bool -> config ->
   open_handle:(unit -> Invfile.Inverted_file.t) -> t
 (** Binds, listens, spawns the worker domains and the accept thread, and
-    returns immediately. [open_handle] is called once per worker domain.
-    [~paused:true] starts with idle workers (requests queue but do not
-    execute until {!resume}) — deterministic backpressure for tests.
+    returns immediately. [open_handle] is called once per worker domain
+    (the workers run a {!Dispatch.store_backend} over it, with the
+    config's engine and cache budget). [~paused:true] starts with idle
+    workers (requests queue but do not execute until {!resume}) —
+    deterministic backpressure for tests.
     @raise Unix.Unix_error if the address cannot be bound. *)
+
+val start_with :
+  ?paused:bool -> config -> open_backend:(unit -> Dispatch.backend) -> t
+(** Like {!start}, but each worker domain runs an arbitrary
+    {!Dispatch.backend} — e.g. a shard router scatter-gathering over a
+    manifest. The config's [engine] and [cache_budget] are ignored (the
+    backend owns both). *)
 
 val port : t -> int
 (** The bound port — the ephemeral one when the config said [0]. *)

@@ -1,0 +1,196 @@
+type backend = [ `Hash | `Btree | `Log ]
+
+type location =
+  | Local of { path : string; backend : backend }
+  | Remote of { host : string; port : int }
+
+type shard = {
+  location : location;
+  records : int;
+  atoms : int;
+  nodes : int;
+  ids : int array;
+}
+
+type policy = Hash | Round_robin
+
+type t = {
+  version : int;
+  policy : policy;
+  total_records : int;
+  shards : shard array;
+}
+
+exception Corrupt of string
+
+let version = 1
+let magic = "NSCQMAN1"
+
+let make ~policy ~total_records shards =
+  { version; policy; total_records; shards = Array.of_list shards }
+
+let backend_name = function `Hash -> "hash" | `Btree -> "btree" | `Log -> "log"
+
+let backend_of_name = function
+  | "hash" -> Some `Hash
+  | "btree" -> Some `Btree
+  | "log" -> Some `Log
+  | _ -> None
+
+let backend_tag = function `Hash -> 0 | `Btree -> 1 | `Log -> 2
+let policy_tag = function Hash -> 0 | Round_robin -> 1
+
+(* --- serialization --- *)
+
+let encode t =
+  let w = Storage.Codec.writer () in
+  Storage.Codec.write_varint w t.version;
+  Storage.Codec.write_varint w (policy_tag t.policy);
+  Storage.Codec.write_varint w t.total_records;
+  Storage.Codec.write_varint w (Array.length t.shards);
+  Array.iter
+    (fun s ->
+      (match s.location with
+      | Local { path; backend } ->
+        Storage.Codec.write_varint w 0;
+        Storage.Codec.write_varint w (backend_tag backend);
+        Storage.Codec.write_string w path
+      | Remote { host; port } ->
+        Storage.Codec.write_varint w 1;
+        Storage.Codec.write_string w host;
+        Storage.Codec.write_varint w port);
+      Storage.Codec.write_varint w s.records;
+      Storage.Codec.write_varint w s.atoms;
+      Storage.Codec.write_varint w s.nodes;
+      (* ids are ascending per shard for freshly partitioned collections
+         but not after a merge reshard, so no delta coding *)
+      Storage.Codec.write_varint w (Array.length s.ids);
+      Array.iter (Storage.Codec.write_varint w) s.ids)
+    t.shards;
+  let body = magic ^ Storage.Codec.contents w in
+  let crc = Storage.Checksum.crc32 body in
+  let trailer = Bytes.create 4 in
+  Bytes.set_int32_be trailer 0 crc;
+  body ^ Bytes.to_string trailer
+
+let decode data =
+  let len = String.length data in
+  if len < String.length magic + 4 then raise (Corrupt "manifest too short");
+  if String.sub data 0 (String.length magic) <> magic then
+    raise (Corrupt "not a shard manifest (bad magic)");
+  let stored = String.get_int32_be data (len - 4) in
+  let computed = Storage.Checksum.crc32_sub data ~pos:0 ~len:(len - 4) in
+  if stored <> computed then raise (Corrupt "manifest checksum mismatch");
+  let r =
+    Storage.Codec.reader_sub data ~pos:(String.length magic)
+      ~len:(len - 4 - String.length magic)
+  in
+  try
+    let v = Storage.Codec.read_varint r in
+    if v <> version then
+      raise (Corrupt (Printf.sprintf "unsupported manifest version %d" v));
+    let policy =
+      match Storage.Codec.read_varint r with
+      | 0 -> Hash
+      | 1 -> Round_robin
+      | n -> raise (Corrupt (Printf.sprintf "unknown placement policy %d" n))
+    in
+    let total_records = Storage.Codec.read_varint r in
+    let n = Storage.Codec.read_varint r in
+    let shards =
+      Array.init n (fun _ ->
+          let location =
+            match Storage.Codec.read_varint r with
+            | 0 ->
+              let backend =
+                match Storage.Codec.read_varint r with
+                | 0 -> `Hash
+                | 1 -> `Btree
+                | 2 -> `Log
+                | b -> raise (Corrupt (Printf.sprintf "unknown backend %d" b))
+              in
+              let path = Storage.Codec.read_string r in
+              Local { path; backend }
+            | 1 ->
+              let host = Storage.Codec.read_string r in
+              let port = Storage.Codec.read_varint r in
+              Remote { host; port }
+            | l -> raise (Corrupt (Printf.sprintf "unknown location kind %d" l))
+          in
+          let records = Storage.Codec.read_varint r in
+          let atoms = Storage.Codec.read_varint r in
+          let nodes = Storage.Codec.read_varint r in
+          let nids = Storage.Codec.read_varint r in
+          if nids <> records then
+            raise
+              (Corrupt
+                 (Printf.sprintf "shard id map has %d entries for %d records"
+                    nids records));
+          let ids = Array.init nids (fun _ -> Storage.Codec.read_varint r) in
+          { location; records; atoms; nodes; ids })
+    in
+    { version = v; policy; total_records; shards }
+  with Storage.Codec.Corrupt msg -> raise (Corrupt ("manifest body: " ^ msg))
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (encode t))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> decode (really_input_string ic (in_channel_length ic)))
+
+let is_manifest_file path =
+  Sys.file_exists path && not (Sys.is_directory path)
+  &&
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      in_channel_length ic >= String.length magic
+      && really_input_string ic (String.length magic) = magic)
+
+(* --- observation --- *)
+
+let id_range s =
+  if Array.length s.ids = 0 then None
+  else begin
+    let lo = ref s.ids.(0) and hi = ref s.ids.(0) in
+    Array.iter
+      (fun id ->
+        if id < !lo then lo := id;
+        if id > !hi then hi := id)
+      s.ids;
+    Some (!lo, !hi)
+  end
+
+let live_records t = Array.fold_left (fun acc s -> acc + s.records) 0 t.shards
+
+let pp_policy ppf = function
+  | Hash -> Format.pp_print_string ppf "hash"
+  | Round_robin -> Format.pp_print_string ppf "round-robin"
+
+let pp ppf t =
+  Format.fprintf ppf "shard manifest v%d: %d shard(s), %d/%d live record(s), %a placement@."
+    t.version (Array.length t.shards) (live_records t) t.total_records
+    pp_policy t.policy;
+  Array.iteri
+    (fun i s ->
+      let where =
+        match s.location with
+        | Local { path; backend } ->
+          Printf.sprintf "local  %-5s %s" (backend_name backend) path
+        | Remote { host; port } -> Printf.sprintf "remote %s:%d" host port
+      in
+      let range =
+        match id_range s with
+        | None -> "empty"
+        | Some (lo, hi) -> Printf.sprintf "ids %d..%d" lo hi
+      in
+      Format.fprintf ppf "  shard %-3d %s — %d record(s), %d atom(s), %d node(s), %s@."
+        i where s.records s.atoms s.nodes range)
+    t.shards

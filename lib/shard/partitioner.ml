@@ -1,0 +1,226 @@
+module IF = Invfile.Inverted_file
+
+let assign policy ~shards ~index value =
+  match policy with
+  | Manifest.Round_robin -> index mod shards
+  | Manifest.Hash -> (Nested.Value.hash value land max_int) mod shards
+
+let backend_ext = function `Hash -> ".tch" | `Btree -> ".btr" | `Log -> ".log"
+
+let shard_store_path ~manifest_path ~backend i =
+  let base =
+    let b = Filename.remove_extension manifest_path in
+    if b = "" then manifest_path else b
+  in
+  Printf.sprintf "%s.shard%d%s" base i (backend_ext backend)
+
+let create_store backend path =
+  (try Sys.remove path with Sys_error _ -> ());
+  match backend with
+  | `Hash -> Storage.Hash_store.create path
+  | `Btree -> Storage.Btree_store.create path
+  | `Log -> Storage.Log_store.create path
+
+let open_store backend path =
+  match backend with
+  | `Hash -> Storage.Hash_store.open_existing path
+  | `Btree -> Storage.Btree_store.open_existing path
+  | `Log -> Storage.Log_store.open_existing path
+
+(* Runs [f i] for every shard index, at most [max_domains] concurrently
+   (one domain per in-flight shard build), preserving index order in the
+   result list. *)
+let parallel_shards ~max_domains ~shards f =
+  let max_domains = max 1 max_domains in
+  let rec waves acc = function
+    | [] -> List.concat (List.rev acc)
+    | pending ->
+      let rec take n = function
+        | x :: rest when n > 0 ->
+          let taken, rest = take (n - 1) rest in
+          (x :: taken, rest)
+        | rest -> ([], rest)
+      in
+      let now, later = take max_domains pending in
+      let results =
+        if List.length now = 1 then List.map f now
+        else
+          List.map Domain.join
+            (List.map (fun i -> Domain.spawn (fun () -> f i)) now)
+      in
+      waves (results :: acc) later
+  in
+  waves [] (List.init shards Fun.id)
+
+(* Builds one shard store from its (global id, value) assignments and
+   returns the manifest entry. *)
+let build_shard ~backend ~record_format path assigned =
+  let store = create_store backend path in
+  let builder = Invfile.Builder.create ~record_format store in
+  List.iter
+    (fun (_global, v) -> ignore (Invfile.Builder.add_value builder v))
+    assigned;
+  let inv = Invfile.Builder.finish builder in
+  let entry =
+    {
+      Manifest.location = Manifest.Local { path; backend };
+      records = IF.record_count inv;
+      atoms = IF.atom_count inv;
+      nodes = IF.node_count inv;
+      ids = Array.of_list (List.map fst assigned);
+    }
+  in
+  IF.close inv;
+  entry
+
+let build_assigned ~policy ~backend ~record_format ~max_domains ~total_records
+    ~manifest_path per_shard =
+  let shards = Array.length per_shard in
+  let entries =
+    parallel_shards ~max_domains ~shards (fun i ->
+        build_shard ~backend ~record_format
+          (shard_store_path ~manifest_path ~backend i)
+          per_shard.(i))
+  in
+  let manifest = Manifest.make ~policy ~total_records entries in
+  Manifest.save manifest manifest_path;
+  manifest
+
+(* Deals (global id, value) pairs into per-shard lists, in global-id
+   order within each shard. *)
+let partition policy ~shards pairs =
+  let buckets = Array.make shards [] in
+  List.iter
+    (fun (global, v) ->
+      let s = assign policy ~shards ~index:global v in
+      buckets.(s) <- (global, v) :: buckets.(s))
+    pairs;
+  Array.map List.rev buckets
+
+let build ?(policy = Manifest.Hash) ?(backend = `Hash)
+    ?(record_format = `Syntax) ?max_domains ~shards ~manifest_path values =
+  if shards < 1 then invalid_arg "Partitioner.build: shards must be ≥ 1";
+  let max_domains =
+    match max_domains with
+    | Some d -> d
+    | None -> Containment.Parallel.default_domains ()
+  in
+  let pairs = List.mapi (fun i v -> (i, v)) values in
+  build_assigned ~policy ~backend ~record_format ~max_domains
+    ~total_records:(List.length values) ~manifest_path
+    (partition policy ~shards pairs)
+
+(* --- reshard --- *)
+
+let local_shards manifest =
+  Array.map
+    (fun (s : Manifest.shard) ->
+      match s.Manifest.location with
+      | Manifest.Local { path; backend } -> (s, path, backend)
+      | Manifest.Remote { host; port } ->
+        invalid_arg
+          (Printf.sprintf
+             "Partitioner.reshard: shard at %s:%d is remote; reshard where \
+              the stores live"
+             host port))
+    manifest.Manifest.shards
+
+let check_no_collision sources path =
+  if Array.exists (fun (_, p, _) -> p = path) sources then
+    invalid_arg
+      (Printf.sprintf
+         "Partitioner.reshard: output store %s collides with a source shard \
+          (choose a different output manifest name)"
+         path)
+
+(* Live (local id → global id) pairs of a source shard, in local order.
+   The store may have been tombstoned since the manifest was written;
+   grown stores are rejected because new records have no global id. *)
+let live_globals (entry : Manifest.shard) inv =
+  if IF.record_count inv <> Array.length entry.Manifest.ids then
+    invalid_arg
+      "Partitioner.reshard: shard store and manifest id map disagree \
+       (records were added since the manifest was written)";
+  let live = ref [] in
+  for i = IF.record_count inv - 1 downto 0 do
+    match IF.record_value_opt inv i with
+    | None -> ()
+    | Some v -> live := (entry.Manifest.ids.(i), v) :: !live
+  done;
+  !live
+
+(* Shrinking: merge contiguous groups of source shards into each output
+   shard with Merger.append — postings shift mechanically, no record
+   re-encoding. *)
+let merge_groups ~backend ~output ~shards sources =
+  let n = Array.length sources in
+  let base = n / shards and extra = n mod shards in
+  let start = ref 0 in
+  let entries =
+    List.init shards (fun g ->
+        let size = base + if g < extra then 1 else 0 in
+        let members = Array.sub sources !start size in
+        start := !start + size;
+        let path = shard_store_path ~manifest_path:output ~backend g in
+        let dst_store = create_store backend path in
+        let dst = Invfile.Builder.finish (Invfile.Builder.create dst_store) in
+        let ids = ref [] in
+        Array.iter
+          (fun ((entry : Manifest.shard), src_path, src_backend) ->
+            let src = IF.open_store (open_store src_backend src_path) in
+            Fun.protect
+              ~finally:(fun () -> IF.close src)
+              (fun () ->
+                let live = live_globals entry src in
+                Invfile.Merger.append ~dst ~src;
+                (* reversed-prepend: a final List.rev restores order *)
+                ids := List.rev_append (List.map fst live) !ids))
+          members;
+        let entry =
+          {
+            Manifest.location = Manifest.Local { path; backend };
+            records = IF.record_count dst;
+            atoms = IF.atom_count dst;
+            nodes = IF.node_count dst;
+            ids = Array.of_list (List.rev !ids);
+          }
+        in
+        IF.close dst;
+        entry)
+  in
+  entries
+
+let reshard ?(backend = `Hash) ~shards ~output manifest =
+  if shards < 1 then invalid_arg "Partitioner.reshard: shards must be ≥ 1";
+  let sources = local_shards manifest in
+  for g = 0 to shards - 1 do
+    check_no_collision sources (shard_store_path ~manifest_path:output ~backend g)
+  done;
+  let n = Array.length sources in
+  if shards < n then begin
+    let entries = merge_groups ~backend ~output ~shards sources in
+    let m =
+      Manifest.make ~policy:manifest.Manifest.policy
+        ~total_records:manifest.Manifest.total_records entries
+    in
+    Manifest.save m output;
+    m
+  end
+  else begin
+    (* growing (or equal): re-partition the records through fresh
+       builders, keeping each record's global id *)
+    let pairs =
+      Array.to_list sources
+      |> List.concat_map (fun ((entry : Manifest.shard), path, sbackend) ->
+             let inv = IF.open_store (open_store sbackend path) in
+             Fun.protect
+               ~finally:(fun () -> IF.close inv)
+               (fun () -> live_globals entry inv))
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    build_assigned ~policy:manifest.Manifest.policy ~backend
+      ~record_format:`Syntax
+      ~max_domains:(Containment.Parallel.default_domains ())
+      ~total_records:manifest.Manifest.total_records ~manifest_path:output
+      (partition manifest.Manifest.policy ~shards pairs)
+  end

@@ -1,0 +1,380 @@
+module IF = Invfile.Inverted_file
+module E = Containment.Engine
+module Sem = Containment.Semantics
+
+let src = Logs.Src.create "nscq.shard" ~doc:"scatter-gather query router"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type fail_mode = Fail_fast | Partial
+
+type config = {
+  engine : E.config;
+  fail_mode : fail_mode;
+  remote_deadline_ms : int;
+  domains : int;
+  cache_budget : int;
+}
+
+let default_config =
+  {
+    engine = E.default;
+    fail_mode = Fail_fast;
+    remote_deadline_ms = 0;
+    domains = Containment.Parallel.default_domains ();
+    cache_budget = 0;
+  }
+
+exception Shard_failed of int * string
+
+type target =
+  | Local_handle of IF.t
+  | Remote_addr of { host : string; port : int }
+
+type shard_stat = {
+  mutable queries : int;
+  mutable failures : int;
+  mutable skips : int;
+  mutable results : int;
+  mutable total_ms : float;
+  mutable max_ms : float;
+}
+
+type t = {
+  config : config;
+  manifest : Manifest.t;
+  targets : target array;
+  stats : shard_stat array;
+  mutable total_queries : int;
+  mutable partial_answers : int;
+  mutable closed : bool;
+  mutable global_index : (int, int * int) Hashtbl.t option;
+      (* global record id → (shard, local record id), built on demand *)
+}
+
+let manifest t = t.manifest
+
+let open_manifest ?(config = default_config) m =
+  let targets =
+    Array.map
+      (fun (s : Manifest.shard) ->
+        match s.Manifest.location with
+        | Manifest.Local { path; backend } ->
+          let inv = IF.open_store (Partitioner.open_store backend path) in
+          if config.cache_budget > 0 then
+            IF.attach_cache inv
+              (Invfile.Cache.create Invfile.Cache.Static
+                 ~capacity:config.cache_budget);
+          Local_handle inv
+        | Manifest.Remote { host; port } -> Remote_addr { host; port })
+      m.Manifest.shards
+  in
+  let stats =
+    Array.map
+      (fun _ ->
+        { queries = 0; failures = 0; skips = 0; results = 0; total_ms = 0.;
+          max_ms = 0. })
+      m.Manifest.shards
+  in
+  {
+    config;
+    manifest = m;
+    targets;
+    stats;
+    total_queries = 0;
+    partial_answers = 0;
+    closed = false;
+    global_index = None;
+  }
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    Array.iter
+      (function Local_handle inv -> IF.close inv | Remote_addr _ -> ())
+      t.targets
+  end
+
+(* --- relevance pruning ---
+
+   Under the containment and equality joins every atom of the query must
+   occur (as a leaf label) in any matching record, so a shard whose
+   store lacks one of the query's atoms cannot contribute: key-existence
+   probes, no list reads. Unsound for superset/overlap/similarity (the
+   record's atoms may be a strict subset of the query's) and for
+   wildcard leaves, so pruning is off there. *)
+
+let prunable (cfg : E.config) =
+  (not cfg.E.wildcards)
+  &&
+  match cfg.E.join with
+  | Sem.Containment | Sem.Equality -> true
+  | Sem.Superset | Sem.Overlap _ | Sem.Similarity _ -> false
+
+let shard_relevant inv atoms = List.for_all (IF.mem_atom inv) atoms
+
+(* --- per-shard execution --- *)
+
+type shard_outcome =
+  | Skipped
+  | Answered of int list  (* shard-local record ids *)
+  | Failed of string
+
+let describe_exn = function
+  | Unix.Unix_error (e, _, _) -> Unix.error_message e
+  | Server.Client.Handshake_failed m -> "handshake failed: " ^ m
+  | Server.Wire.Protocol_error m -> "protocol error: " ^ m
+  | Server.Wire.Closed -> "connection closed"
+  | exn -> Printexc.to_string exn
+
+let run_local t value i inv =
+  match E.query ~config:t.config.engine inv value with
+  | r -> Answered r.E.records
+  | exception ((Sem.Unsupported _ | Invalid_argument _) as exn) ->
+    (* a config the engine refuses is refused identically on every
+       shard: surface it as the error the single-store engine raises *)
+    raise exn
+  | exception exn -> Failed (Printf.sprintf "shard %d: %s" i (describe_exn exn))
+
+let parse_id_payload payload =
+  if payload = "" then Answered []
+  else
+    let rec go acc = function
+      | [] -> Answered (List.rev acc)
+      | s :: rest -> (
+        match int_of_string_opt s with
+        | Some id -> go (id :: acc) rest
+        | None -> Failed (Printf.sprintf "malformed result id %S" s))
+    in
+    go [] (List.filter (fun s -> s <> "") (String.split_on_char ' ' payload))
+
+let run_remote t text ~host ~port =
+  match Server.Client.connect ~host ~port () with
+  | exception exn -> Failed (describe_exn exn)
+  | client -> (
+    Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+    match
+      Server.Client.query client ~deadline_ms:t.config.remote_deadline_ms text
+    with
+    | Ok payload -> parse_id_payload payload
+    | Error (code, msg) ->
+      Failed (Format.asprintf "%a: %s" Server.Wire.pp_error_code code msg)
+    | exception exn -> Failed (describe_exn exn))
+
+(* --- scatter-gather --- *)
+
+type outcome = {
+  records : int list;
+  warnings : (int * string) list;
+  shards_queried : int;
+  shards_skipped : int;
+}
+
+let slice ~slices i items = List.filteri (fun j _ -> j mod slices = i) items
+
+let query t value =
+  if t.closed then invalid_arg "Router.query: router is closed";
+  let n = Array.length t.targets in
+  let atoms =
+    if prunable t.config.engine then Nested.Value.atom_universe value else []
+  in
+  let outcomes = Array.make n Skipped in
+  let elapsed = Array.make n 0. in
+  let timed i f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    elapsed.(i) <- 1000. *. (Unix.gettimeofday () -. t0);
+    r
+  in
+  (* split the shard list by kind; remote shards run on threads (they
+     block on sockets), local shards on domains *)
+  let locals = ref [] and remotes = ref [] in
+  Array.iteri
+    (fun i -> function
+      | Local_handle inv ->
+        if atoms = [] || shard_relevant inv atoms then
+          locals := (i, inv) :: !locals
+      | Remote_addr { host; port } -> remotes := (i, host, port) :: !remotes)
+    t.targets;
+  let locals = List.rev !locals and remotes = List.rev !remotes in
+  let text = lazy (Nested.Value.to_string value) in
+  let remote_threads =
+    List.map
+      (fun (i, host, port) ->
+        Thread.create
+          (fun () ->
+            outcomes.(i) <- timed i (fun () -> run_remote t (Lazy.force text) ~host ~port))
+          ())
+      remotes
+  in
+  (* engine refusals (unsupported semantics, atom query) must propagate
+     as such, not as shard failures — run one local shard in the calling
+     domain first so the exception escapes before any fan-out result is
+     folded; the rest run in parallel *)
+  let run_locals jobs =
+    List.map (fun (i, inv) -> (i, timed i (fun () -> run_local t value i inv))) jobs
+  in
+  let local_results =
+    match locals with
+    | [] -> []
+    | (i0, inv0) :: rest ->
+      let first = (i0, timed i0 (fun () -> run_local t value i0 inv0)) in
+      let slices = min (t.config.domains - 1) (List.length rest) in
+      let others =
+        if slices <= 1 then run_locals rest
+        else
+          List.init slices (fun k ->
+              Domain.spawn (fun () -> run_locals (slice ~slices k rest)))
+          |> List.concat_map Domain.join
+      in
+      first :: others
+  in
+  List.iter (fun (i, o) -> outcomes.(i) <- o) local_results;
+  List.iter Thread.join remote_threads;
+  (* fold in shard order: deterministic gathering *)
+  let parts = ref [] and warnings = ref [] and queried = ref 0 and skipped = ref 0 in
+  Array.iteri
+    (fun i o ->
+      let st = t.stats.(i) in
+      match o with
+      | Skipped -> incr skipped; st.skips <- st.skips + 1
+      | Answered locals ->
+        incr queried;
+        st.queries <- st.queries + 1;
+        st.total_ms <- st.total_ms +. elapsed.(i);
+        if elapsed.(i) > st.max_ms then st.max_ms <- elapsed.(i);
+        let ids = t.manifest.Manifest.shards.(i).Manifest.ids in
+        let translated =
+          List.map
+            (fun local ->
+              if local >= 0 && local < Array.length ids then ids.(local)
+              else
+                raise
+                  (Shard_failed
+                     (i, Printf.sprintf "returned unmapped record id %d" local)))
+            locals
+        in
+        st.results <- st.results + List.length translated;
+        parts := translated :: !parts
+      | Failed reason -> (
+        incr queried;
+        st.queries <- st.queries + 1;
+        st.failures <- st.failures + 1;
+        match t.config.fail_mode with
+        | Fail_fast -> raise (Shard_failed (i, reason))
+        | Partial -> warnings := (i, reason) :: !warnings))
+    outcomes;
+  t.total_queries <- t.total_queries + 1;
+  if !warnings <> [] then t.partial_answers <- t.partial_answers + 1;
+  {
+    records = List.sort Int.compare (List.concat !parts);
+    warnings = List.rev !warnings;
+    shards_queried = !queried;
+    shards_skipped = !skipped;
+  }
+
+(* --- record access --- *)
+
+let global_index t =
+  match t.global_index with
+  | Some h -> h
+  | None ->
+    let h = Hashtbl.create 1024 in
+    Array.iteri
+      (fun s (entry : Manifest.shard) ->
+        Array.iteri (fun local global -> Hashtbl.replace h global (s, local))
+          entry.Manifest.ids)
+      t.manifest.Manifest.shards;
+    t.global_index <- Some h;
+    h
+
+let record_value t global =
+  match Hashtbl.find_opt (global_index t) global with
+  | None -> None
+  | Some (s, local) -> (
+    match t.targets.(s) with
+    | Remote_addr _ -> None
+    | Local_handle inv -> IF.record_value_opt inv local)
+
+(* --- observability --- *)
+
+let local_io t =
+  Array.fold_left
+    (fun (lookups, hits, misses, reads, bytes) target ->
+      match target with
+      | Remote_addr _ -> (lookups, hits, misses, reads, bytes)
+      | Local_handle inv ->
+        let lk = IF.lookup_stats inv
+        and st = (IF.store inv).Storage.Kv.stats in
+        ( lookups + Storage.Io_stats.lookups lk,
+          hits + Storage.Io_stats.hits lk,
+          misses + Storage.Io_stats.misses lk,
+          reads + Storage.Io_stats.reads st,
+          bytes + Storage.Io_stats.bytes_read st ))
+    (0, 0, 0, 0, 0) t.targets
+
+let render_stats t =
+  let b = Buffer.create 512 in
+  let n_local =
+    Array.fold_left
+      (fun acc -> function Local_handle _ -> acc + 1 | Remote_addr _ -> acc)
+      0 t.targets
+  in
+  Printf.bprintf b
+    "router: %d shard(s) (%d local, %d remote), %d quer%s, %d partial \
+     answer(s)\n"
+    (Array.length t.targets) n_local
+    (Array.length t.targets - n_local)
+    t.total_queries
+    (if t.total_queries = 1 then "y" else "ies")
+    t.partial_answers;
+  let lookups, hits, misses, reads, bytes = local_io t in
+  Printf.bprintf b
+    "local io: lookups=%d hits=%d misses=%d reads=%d bytes_read=%d\n" lookups
+    hits misses reads bytes;
+  Array.iteri
+    (fun i st ->
+      let where =
+        match t.manifest.Manifest.shards.(i).Manifest.location with
+        | Manifest.Local { path; _ } -> path
+        | Manifest.Remote { host; port } -> Printf.sprintf "%s:%d" host port
+      in
+      let mean = if st.queries = 0 then 0. else st.total_ms /. float_of_int st.queries in
+      Printf.bprintf b
+        "shard %-3d %-40s queries=%d skipped=%d failures=%d results=%d \
+         mean_ms=%.3f max_ms=%.3f\n"
+        i where st.queries st.skips st.failures st.results mean st.max_ms)
+    t.stats;
+  Buffer.contents b
+
+(* --- serving --- *)
+
+let ids_payload records = String.concat " " (List.map string_of_int records)
+
+let dispatch_backend ?(config = default_config) m () =
+  (* concurrency inside a server comes from the worker pool; each worker's
+     router walks its local shards sequentially *)
+  let t = open_manifest ~config:{ config with domains = 1 } m in
+  {
+    Server.Dispatch.run_literals =
+      (fun values ->
+        List.map
+          (fun v ->
+            let o = query t v in
+            List.iter
+              (fun (i, reason) ->
+                Log.warn (fun f -> f "shard %d dropped from answer: %s" i reason))
+              o.warnings;
+            ids_payload o.records)
+          values);
+    run_statement =
+      (fun _ ->
+        invalid_arg
+          "NSCQL statements are not supported over a sharded collection \
+           (literal queries only)");
+    io_totals =
+      (fun () ->
+        let lookups, hits, misses, reads, bytes_read = local_io t in
+        { Server.Dispatch.lookups; hits; misses; reads; bytes_read });
+    close = (fun () -> close t);
+  }

@@ -1,0 +1,90 @@
+(** The scatter-gather query router: one logical collection over N
+    shards.
+
+    A router opens every local shard of a {!Manifest} (one
+    {!Invfile.Inverted_file} handle each, optionally with a static
+    cache) and answers containment queries by fanning out — local shards
+    run concurrently on OCaml 5 domains, remote shards are queried
+    through {!Server.Client} with a per-request deadline — then
+    translating each shard's local record ids to global ids through the
+    manifest and merging the partial semi-join results into one
+    deterministic, ascending id list.
+
+    Shards that provably cannot contribute are skipped: under the
+    containment and equality joins (without wildcards) every query atom
+    must occur in a matching record, so a local shard missing one of the
+    query's atoms is pruned with key-existence probes before any list is
+    read. Remote shards are always queried.
+
+    Failure handling is configurable: [Fail_fast] (the default) raises
+    {!Shard_failed} if any shard cannot be reached or errors, while
+    [Partial] returns the surviving shards' results plus a warning per
+    failed shard — the degraded mode a serving deployment prefers over
+    going dark. *)
+
+type fail_mode = Fail_fast | Partial
+
+type config = {
+  engine : Containment.Engine.config;  (** config for per-shard evaluation *)
+  fail_mode : fail_mode;
+  remote_deadline_ms : int;
+      (** per-shard deadline for remote requests (0 = none), carried on
+          the wire and enforced by the remote server's {!Server.Dispatch}
+          deadline machinery *)
+  domains : int;
+      (** max local shards queried concurrently (1 = sequential — the
+          right setting inside a server worker domain) *)
+  cache_budget : int;  (** static cache per local shard handle; 0 = none *)
+}
+
+val default_config : config
+(** [Engine.default], [Fail_fast], no remote deadline,
+    {!Containment.Parallel.default_domains} local domains, no cache. *)
+
+type t
+
+exception Shard_failed of int * string
+(** Shard index and reason — raised under [Fail_fast]. *)
+
+val open_manifest : ?config:config -> Manifest.t -> t
+(** Opens every local shard store. Remote shards are connected per query
+    (a dead remote is detected at query time, per [fail_mode]).
+    @raise Invfile.Inverted_file.Malformed / Sys_error if a local shard
+    store is missing or corrupt. *)
+
+val close : t -> unit
+(** Closes the local shard handles. Idempotent. *)
+
+val manifest : t -> Manifest.t
+
+type outcome = {
+  records : int list;  (** matching global record ids, ascending *)
+  warnings : (int * string) list;
+      (** failed shards (index, reason) — nonempty only under [Partial] *)
+  shards_queried : int;
+  shards_skipped : int;  (** pruned by the atom-existence filter *)
+}
+
+val query : t -> Nested.Value.t -> outcome
+(** Scatter, gather, translate, merge — see the module header.
+    @raise Shard_failed under [Fail_fast].
+    @raise Invalid_argument if the query is an atom. *)
+
+val record_value : t -> int -> Nested.Value.t option
+(** The stored value behind a global record id, when its shard is local
+    ([None] for remote shards and unknown ids). *)
+
+val render_stats : t -> string
+(** Cumulative router statistics: per-shard query counts, failures,
+    latency (mean/max), result rows, and the local shards' aggregated
+    {!Storage.Io_stats} (lookups, cache hits/misses, reads) — the
+    sharded counterpart of [nscq stats]. *)
+
+val dispatch_backend :
+  ?config:config -> Manifest.t -> unit -> Server.Dispatch.backend
+(** An execution backend for {!Server.Dispatch}: each server worker
+    domain gets its own router (local handles and all) over [manifest].
+    Literal queries scatter-gather with [config] (its [domains] is
+    forced to 1 — concurrency comes from the worker pool); NSCQL
+    statements are refused as unsupported over a sharded collection.
+    Partial-mode warnings are logged, not returned to the client. *)

@@ -170,6 +170,65 @@ let test_admin_commands () =
                   let out = expect_ok [ "compact"; "-s"; store; "--backend"; "log" ] in
                   check_bool "compacted" true (contains_s out "compacted")))))
 
+let test_malformed_endpoints_fail () =
+  (* malformed HOST:PORT and unresolvable hosts: a one-line diagnostic
+     and exit 1, never a backtrace *)
+  List.iter
+    (fun args ->
+      let code, out = run_cli args in
+      check_int (String.concat " " args) 1 code;
+      check_bool "one-line diagnostic" true (contains_s out "nscq:");
+      check_bool "no backtrace" false (contains_s out "Fatal error"))
+    [
+      [ "query"; "--connect"; "nohostport"; "{a}" ];
+      [ "query"; "--connect"; "127.0.0.1:notaport"; "{a}" ];
+      [ "query"; "--connect"; "127.0.0.1:99999"; "{a}" ];
+      [ "stats"; "--connect"; ":" ];
+      [ "serve"; "--host"; "definitely.not.a.real.host.invalid" ];
+    ]
+
+let test_shard_cli () =
+  Testutil.with_temp_path ".ns" @@ fun data ->
+  Testutil.with_temp_path ".manifest" @@ fun manifest ->
+  Testutil.with_temp_path ".manifest" @@ fun resharded ->
+  let oc = open_out data in
+  List.iter (fun s -> output_string oc (s ^ "\n")) Testutil.licences_strings;
+  close_out oc;
+  let rm_shards () =
+    List.iter
+      (fun m ->
+        let dir = Filename.dirname m and base = Filename.basename m in
+        let stem = Filename.remove_extension base in
+        Array.iter
+          (fun f ->
+            if
+              String.length f > String.length stem
+              && String.sub f 0 (String.length stem) = stem
+              && contains_s f ".shard"
+            then try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+          (Sys.readdir dir))
+      [ manifest; resharded ]
+  in
+  Fun.protect ~finally:rm_shards @@ fun () ->
+  let out =
+    expect_ok [ "shard"; "build"; "-i"; data; "--shards"; "3"; "-o"; manifest ]
+  in
+  check_bool "3 shards built" true (contains_s out "3 shard(s)");
+  let out = expect_ok [ "shard"; "status"; "-m"; manifest ] in
+  check_bool "status lists live records" true (contains_s out "4/4 live record(s)");
+  (* plain query auto-detects the manifest and routes over the shards *)
+  let out = expect_ok [ "query"; "-s"; manifest; "{{UK, {A, motorbike}}}" ] in
+  check_bool "sharded query matches" true (contains_s out "3 matching record(s)");
+  let out = expect_ok [ "stats"; "-s"; manifest ] in
+  check_bool "stats shows manifest" true (contains_s out "shard manifest");
+  let out =
+    expect_ok
+      [ "shard"; "reshard"; "-m"; manifest; "--shards"; "2"; "-o"; resharded ]
+  in
+  check_bool "resharded to 2" true (contains_s out "2 shard(s)");
+  let out = expect_ok [ "query"; "-s"; resharded; "{{UK, {A, motorbike}}}" ] in
+  check_bool "resharded query matches" true (contains_s out "3 matching record(s)")
+
 let test_missing_store_fails () =
   List.iter
     (fun args ->
@@ -204,5 +263,9 @@ let () =
           Alcotest.test_case "json/xml ingestion" `Quick test_generate_json_xml;
           Alcotest.test_case "admin commands" `Quick test_admin_commands;
           Alcotest.test_case "missing store" `Quick test_missing_store_fails;
+          Alcotest.test_case "malformed endpoints" `Quick
+            test_malformed_endpoints_fail;
+          Alcotest.test_case "shard build/status/query/reshard" `Quick
+            test_shard_cli;
         ] );
     ]

@@ -1,0 +1,134 @@
+(* Merger.append edge cases — empty sides, all-tombstoned sources — and
+   the law the shard subsystem leans on: appending store B onto store A
+   answers every query exactly like one store built from A's records
+   followed by B's. *)
+
+module IF = Invfile.Inverted_file
+module E = Containment.Engine
+module V = Nested.Value
+
+let check_int = Alcotest.(check int)
+let check_ids = Alcotest.(check (list int))
+
+let build path values =
+  let store = Storage.Log_store.create path in
+  let b = Invfile.Builder.create store in
+  List.iter (fun v -> ignore (Invfile.Builder.add_value b v)) values;
+  Invfile.Builder.finish b
+
+let with_store values f =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  let inv = build path values in
+  Fun.protect ~finally:(fun () -> IF.close inv) (fun () -> f inv)
+
+let records inv q = (E.query inv q).E.records
+
+let licences = List.map Testutil.v Testutil.licences_strings
+
+let probe_queries =
+  List.map Testutil.v
+    [ "{UK, {A, motorbike}}"; "{USA}"; "{car}"; "{nothere}"; "{B, car}" ]
+
+(* --- empty source: a no-op append --- *)
+
+let test_empty_src () =
+  with_store licences @@ fun dst ->
+  with_store [] @@ fun src ->
+  Invfile.Merger.append ~dst ~src;
+  check_int "record count unchanged" (List.length licences) (IF.record_count dst);
+  List.iter
+    (fun q ->
+      with_store licences @@ fun oracle ->
+      check_ids (V.to_string q) (records oracle q) (records dst q))
+    probe_queries
+
+(* --- empty destination: append becomes a copy --- *)
+
+let test_empty_dst () =
+  with_store [] @@ fun dst ->
+  with_store licences @@ fun src ->
+  Invfile.Merger.append ~dst ~src;
+  check_int "all records copied" (List.length licences) (IF.record_count dst);
+  List.iter
+    (fun q ->
+      with_store licences @@ fun oracle ->
+      check_ids (V.to_string q) (records oracle q) (records dst q))
+    probe_queries
+
+(* --- all-tombstoned source contributes nothing --- *)
+
+let test_all_tombstoned_src () =
+  with_store licences @@ fun dst ->
+  with_store licences @@ fun src ->
+  for i = 0 to List.length licences - 1 do
+    Alcotest.(check bool)
+      "delete succeeds" true
+      (Invfile.Updater.delete_record src i)
+  done;
+  Invfile.Merger.append ~dst ~src;
+  check_int "no records appended" (List.length licences) (IF.record_count dst);
+  List.iter
+    (fun q ->
+      with_store licences @@ fun oracle ->
+      check_ids (V.to_string q) (records oracle q) (records dst q))
+    probe_queries
+
+(* --- property: append = build from the concatenation --- *)
+
+let arbitrary_two_collections =
+  QCheck.make
+    ~print:(fun (a, b) ->
+      String.concat "\n" (List.map V.to_string a)
+      ^ "\n--\n"
+      ^ String.concat "\n" (List.map V.to_string b))
+    (fun st ->
+      let n a = QCheck.Gen.int_range 0 6 st + a in
+      ( List.init (n 0) (fun _ ->
+            Testutil.gen_leafy_set ~max_depth:3 ~max_width:4 st),
+        List.init (n 0) (fun _ ->
+            Testutil.gen_leafy_set ~max_depth:3 ~max_width:4 st) ))
+
+let prop_append_is_concat (a, b) =
+  with_store a @@ fun dst ->
+  with_store b @@ fun src ->
+  with_store (a @ b) @@ fun oracle ->
+  Invfile.Merger.append ~dst ~src;
+  if IF.record_count dst <> IF.record_count oracle then
+    QCheck.Test.fail_reportf "record counts differ: %d vs %d"
+      (IF.record_count dst) (IF.record_count oracle);
+  let st = Random.State.make [| 97 |] in
+  let queries =
+    probe_queries
+    @ List.map (fun r -> Testutil.shrink_to_subquery st r) (a @ b)
+  in
+  List.for_all
+    (fun q ->
+      V.is_set q
+      &&
+      let got = records dst q and want = records oracle q in
+      if got <> want then
+        QCheck.Test.fail_reportf "results differ on %s: [%s] vs [%s]"
+          (V.to_string q)
+          (String.concat ";" (List.map string_of_int got))
+          (String.concat ";" (List.map string_of_int want))
+      else true)
+    (List.filter V.is_set queries)
+
+let () =
+  Alcotest.run "merger"
+    [
+      ( "edges",
+        [
+          Alcotest.test_case "empty source is a no-op" `Quick test_empty_src;
+          Alcotest.test_case "empty destination becomes a copy" `Quick
+            test_empty_dst;
+          Alcotest.test_case "all-tombstoned source contributes nothing"
+            `Quick test_all_tombstoned_src;
+        ] );
+      ( "laws",
+        [
+          Testutil.qcheck_case ~count:25
+            ~name:"append ≡ build from concatenation"
+            arbitrary_two_collections prop_append_is_concat;
+        ] );
+    ]

@@ -88,6 +88,30 @@ let test_domains_match_top_down () =
         expected_pos r.P.positives)
     [ 2; 4 ]
 
+(* default_domains must never answer 0, whatever NSCQ_DOMAINS holds —
+   every consumer passes the result straight to Domain.spawn loops. *)
+let test_default_domains_never_zero () =
+  let saved = Sys.getenv_opt "NSCQ_DOMAINS" in
+  Fun.protect ~finally:(fun () ->
+      (* putenv cannot unset; empty parses as garbage → fallback, which
+         matches the unset behaviour *)
+      Unix.putenv "NSCQ_DOMAINS" (Option.value saved ~default:""))
+  @@ fun () ->
+  Unix.putenv "NSCQ_DOMAINS" "0";
+  check_int "NSCQ_DOMAINS=0 clamps to 1" 1 (P.default_domains ());
+  Unix.putenv "NSCQ_DOMAINS" "-3";
+  check_int "negative clamps to 1" 1 (P.default_domains ());
+  Unix.putenv "NSCQ_DOMAINS" "5";
+  check_int "positive value is honoured" 5 (P.default_domains ());
+  List.iter
+    (fun garbage ->
+      Unix.putenv "NSCQ_DOMAINS" garbage;
+      Alcotest.(check bool)
+        (Printf.sprintf "NSCQ_DOMAINS=%S falls back to >= 1" garbage)
+        true
+        (P.default_domains () >= 1))
+    [ "garbage"; ""; "2.5" ]
+
 let () =
   Alcotest.run "parallel"
     [
@@ -97,5 +121,10 @@ let () =
             test_domains_match_sequential;
           Alcotest.test_case "2/4 domains = sequential (top-down)" `Quick
             test_domains_match_top_down;
+        ] );
+      ( "default_domains",
+        [
+          Alcotest.test_case "never returns 0 for any NSCQ_DOMAINS" `Quick
+            test_default_domains_never_zero;
         ] );
     ]

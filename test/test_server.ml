@@ -244,8 +244,11 @@ let test_drained_dispatch_refuses () =
   build path;
   let stats = Server.Server_stats.create () in
   let d =
-    Server.Dispatch.create ~domains:1 ~queue_cap:4 ~max_batch:4 ~cache_budget:16
-      ~open_handle:(open_handle path) ~stats ()
+    Server.Dispatch.create ~domains:1 ~queue_cap:4 ~max_batch:4
+      ~open_backend:
+        (Server.Dispatch.store_backend ~cache_budget:16
+           ~open_handle:(open_handle path))
+      ~stats ()
   in
   Server.Dispatch.drain d;
   match
