@@ -837,6 +837,84 @@ let shard_scaling scale =
     ~columns:[ "shards"; "records"; "elapsed"; "q/s"; "p50 (ms)"; "p95 (ms)" ]
     rows
 
+(* --- E22: observability overhead --- *)
+
+let obs_overhead scale =
+  H.print_header "E22: observability overhead (tracing off vs. on)"
+    "The paper workload against one wide-zipfian collection, run three \
+     ways: tracing disabled (no ?trace argument — the default), a second \
+     disabled pass (A/B pair: the instrumentation cost when off is an \
+     Option match per phase, so the pair bounds it together with run \
+     noise), and tracing enabled (a fresh span tree per query). Each \
+     mode is best-of-5 after a warmup. Summary also written to \
+     BENCH_obs.json; acceptance is overhead_disabled_pct <= 5.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  H.with_collection ~name:"obs_overhead"
+    (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7) ~seed:31
+       size)
+    (fun inv ->
+      Containment.Collection.with_static_cache inv ~budget:cache_budget;
+      let queries = H.paper_queries inv in
+      let nq = List.length queries in
+      let disabled () =
+        let t0 = Unix.gettimeofday () in
+        List.iter (fun q -> ignore (E.query inv q)) queries;
+        Unix.gettimeofday () -. t0
+      in
+      let enabled () =
+        let t0 = Unix.gettimeofday () in
+        List.iter
+          (fun q ->
+            let trace = Obs.Trace.create "query" in
+            ignore (E.query ~trace inv q);
+            ignore (Obs.Trace.finish trace))
+          queries;
+        Unix.gettimeofday () -. t0
+      in
+      (* warm the cache and the minor heap before timing *)
+      ignore (disabled ());
+      let runs = 5 in
+      (* interleave the three modes so drift hits them equally *)
+      let best = Array.make 3 infinity in
+      for _ = 1 to runs do
+        best.(0) <- min best.(0) (disabled ());
+        best.(1) <- min best.(1) (disabled ());
+        best.(2) <- min best.(2) (enabled ())
+      done;
+      let qps s = float_of_int nq /. s in
+      let off_a = qps best.(0)
+      and off_b = qps best.(1)
+      and on_ = qps best.(2) in
+      let overhead base v = 100. *. (base -. v) /. base in
+      let disabled_pct = Float.abs (overhead off_a off_b) in
+      let enabled_pct = overhead (Float.max off_a off_b) on_ in
+      let json =
+        Printf.sprintf
+          "{\"experiment\":\"obs-overhead\",\"records\":%d,\"queries\":%d,\
+           \"runs\":%d,\"throughput_disabled_qps\":%.1f,\
+           \"throughput_disabled_rerun_qps\":%.1f,\
+           \"throughput_enabled_qps\":%.1f,\"overhead_disabled_pct\":%.2f,\
+           \"overhead_enabled_pct\":%.2f}"
+          size nq runs off_a off_b on_ disabled_pct enabled_pct
+      in
+      print_endline json;
+      let oc = open_out "BENCH_obs.json" in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      H.print_table
+        ~columns:[ "mode"; "best (ms)"; "q/s"; "overhead" ]
+        [
+          [ "tracing off"; H.ms (1000. *. best.(0));
+            Printf.sprintf "%.0f" off_a; "baseline" ];
+          [ "tracing off (rerun)"; H.ms (1000. *. best.(1));
+            Printf.sprintf "%.0f" off_b;
+            Printf.sprintf "%.2f%%" disabled_pct ];
+          [ "tracing on"; H.ms (1000. *. best.(2));
+            Printf.sprintf "%.0f" on_;
+            Printf.sprintf "%.2f%%" enabled_pct ];
+        ])
+
 (* --- registry --- *)
 
 let all : (string * string * (scale -> unit)) list =
@@ -866,4 +944,5 @@ let all : (string * string * (scale -> unit)) list =
     ("complexity", "time vs |q| analysis check (E19)", complexity);
     ("serve-load", "server under closed-loop load (E20)", serve_load);
     ("shard-scaling", "sharded scatter-gather router (E21)", shard_scaling);
+    ("obs-overhead", "observability overhead (E22)", obs_overhead);
   ]

@@ -516,6 +516,141 @@ let query_cmd =
       $ verify_arg $ streamed_arg $ spill_arg $ wildcards_arg $ partial_arg
       $ explain_arg $ verbose_arg $ query_arg $ limit_arg)
 
+(* --- trace --- *)
+
+let print_id_count payload =
+  let ids =
+    if payload = "" then []
+    else List.filter (fun s -> s <> "") (String.split_on_char ' ' payload)
+  in
+  Printf.printf "%d matching record(s)\n" (List.length ids)
+
+let trace_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"Query in nested-set literal syntax.")
+  in
+  let store_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "store" ] ~docv:"PATH"
+          ~doc:"Path of the collection store or shard manifest (omit with \
+                $(b,--connect)).")
+  in
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Trace the query on a running $(b,nscq serve): the server \
+                executes it under the wire $(b,Trace) verb and ships its \
+                span tree back.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline for $(b,--connect) (0 = none).")
+  in
+  let run store connect deadline_ms backend cache algorithm join embedding
+      anywhere verify streamed wildcards partial verbose qs =
+    setup_logging verbose;
+    let config =
+      {
+        E.default with
+        E.algorithm;
+        join;
+        embedding;
+        scope = (if anywhere then E.Anywhere else E.Roots);
+        verify;
+        streamed;
+        wildcards;
+      }
+    in
+    let print_span id span =
+      Printf.printf "trace %08x\n" id;
+      print_string (Obs.Trace.render span)
+    in
+    match connect with
+    | Some connect -> (
+      with_remote_client ~connect @@ fun client ->
+      match Server.Client.trace client ~deadline_ms qs with
+      | Ok payload -> (
+        let result, spans = Server.Wire.split_traced payload in
+        print_id_count result;
+        match Obs.Trace.of_wire spans with
+        | Some (id, span) -> print_span id span
+        | None ->
+          prerr_endline "nscq: the server's reply carried no span tree";
+          exit 1)
+      | Error (code, message) ->
+        Format.eprintf "nscq: server refused: %a: %s@."
+          Server.Wire.pp_error_code code message;
+        exit 1)
+    | None -> (
+      let store =
+        match store with
+        | Some s -> s
+        | None ->
+          prerr_endline "nscq: either --store or --connect is required";
+          exit 1
+      in
+      let q = Nested.Syntax.of_string qs in
+      let trace = Obs.Trace.create "query" in
+      if Shard.Manifest.is_manifest_file store then begin
+        let m = load_manifest store in
+        let rconfig =
+          {
+            Shard.Router.default_config with
+            Shard.Router.engine = config;
+            fail_mode =
+              (if partial then Shard.Router.Partial else Shard.Router.Fail_fast);
+            remote_deadline_ms = deadline_ms;
+            cache_budget = cache;
+          }
+        in
+        let r = Shard.Router.open_manifest ~config:rconfig m in
+        Fun.protect ~finally:(fun () -> Shard.Router.close r) @@ fun () ->
+        match Shard.Router.query ~trace r q with
+        | exception Shard.Router.Shard_failed (i, reason) ->
+          Printf.eprintf
+            "nscq: shard %d failed: %s (use --partial for a degraded answer)\n"
+            i reason;
+          exit 1
+        | o ->
+          List.iter
+            (fun (i, reason) ->
+              Printf.eprintf "nscq: warning: shard %d dropped from answer: %s\n"
+                i reason)
+            o.Shard.Router.warnings;
+          Printf.printf "%d matching record(s)\n"
+            (List.length o.Shard.Router.records);
+          print_span (Obs.Trace.id trace) (Obs.Trace.finish trace)
+      end
+      else begin
+        let inv = IF.open_store (open_store backend store) in
+        Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+        setup_engine inv ~cache;
+        let r = E.query ~config ~trace inv q in
+        Printf.printf "%d matching record(s)\n" (List.length r.E.records);
+        print_span (Obs.Trace.id trace) (Obs.Trace.finish trace)
+      end)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run one containment query and print its span tree — per-phase \
+             timings (minimize, prefilter, retrieval per atom, merge, \
+             verify) with I/O deltas, per shard over a manifest, and \
+             server-side with --connect.")
+    Term.(
+      const run $ store_opt_arg $ connect_arg $ deadline_arg $ backend_arg
+      $ cache_arg $ algorithm_arg $ join_arg $ embedding_arg $ anywhere_arg
+      $ verify_arg $ streamed_arg $ wildcards_arg $ partial_arg $ verbose_arg
+      $ query_arg)
+
 (* --- workload --- *)
 
 let workload_cmd =
@@ -907,6 +1042,14 @@ let serve_cmd =
       & info [ "stats-interval" ] ~docv:"SECONDS"
           ~doc:"Period of the stats log line (0 disables).")
   in
+  let slow_query_arg =
+    Arg.(
+      value & opt float 0.
+      & info [ "slow-query-ms" ] ~docv:"MS"
+          ~doc:"Log one structured line (query digest, phase breakdown, \
+                I/O deltas) for every request slower than $(docv) \
+                milliseconds from admission to reply (0 disables).")
+  in
   let store_opt_arg =
     Arg.(
       value
@@ -924,7 +1067,7 @@ let serve_cmd =
                 over the manifest's shards instead of opening one store.")
   in
   let run store manifest backend cache port host domains queue_cap max_batch
-      stats_interval partial verbose =
+      stats_interval slow_query_ms partial verbose =
     setup_logging verbose;
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
     let host = resolve_host host in
@@ -950,6 +1093,7 @@ let serve_cmd =
         max_batch;
         cache_budget = cache;
         stats_interval_s = stats_interval;
+        slow_query_ms;
       }
     in
     (* probe up front either way: fail fast (and with the one-line error)
@@ -1013,7 +1157,7 @@ let serve_cmd =
     Term.(
       const run $ store_opt_arg $ manifest_arg $ backend_arg $ cache_arg
       $ port_arg $ host_arg $ domains_arg $ queue_cap_arg $ max_batch_arg
-      $ stats_interval_arg $ partial_arg $ verbose_arg)
+      $ stats_interval_arg $ slow_query_arg $ partial_arg $ verbose_arg)
 
 (* --- stats --- *)
 
@@ -1036,9 +1180,37 @@ let stats_cmd =
           ~doc:"Ask a running $(b,nscq serve) for its server statistics \
                 (throughput, queue, batching, latency quantiles).")
   in
-  let run store connect backend detailed =
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Also print the unified metrics registry (Prometheus text \
+                exposition) for the store or manifest — the same registry \
+                a server exposes under $(b,--connect).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the metrics registry as JSON instead of the text \
+                exposition (implies $(b,--metrics); local stores and \
+                manifests only).")
+  in
+  let render_registry ~json reg =
+    print_newline ();
+    if json then print_string (Obs.Metrics.render_json reg)
+    else print_string (Obs.Metrics.render_text reg)
+  in
+  let run store connect backend detailed metrics json =
+    let metrics = metrics || json in
     match connect with
     | Some connect -> (
+      if json then begin
+        prerr_endline
+          "nscq: --json applies to local stores and manifests (a server's \
+           stats verb returns the text exposition)";
+        exit 1
+      end;
       with_remote_client ~connect @@ fun client ->
       match Server.Client.stats client with
       | Ok payload -> print_string payload
@@ -1065,7 +1237,15 @@ let stats_cmd =
             | Shard.Manifest.Local { path; _ } when not (Sys.file_exists path)
               -> Printf.printf "warning: shard %d store %s is missing\n" i path
             | _ -> ())
-          m.Shard.Manifest.shards
+          m.Shard.Manifest.shards;
+        if metrics then begin
+          let router = Shard.Router.open_manifest m in
+          Fun.protect ~finally:(fun () -> Shard.Router.close router)
+          @@ fun () ->
+          let reg = Obs.Metrics.create () in
+          Shard.Router.register reg router;
+          render_registry ~json reg
+        end
       end
       else begin
       let inv = IF.open_store (open_store backend store) in
@@ -1079,14 +1259,25 @@ let stats_cmd =
         List.iteri
           (fun i (a, c) -> if i < 10 then Printf.printf "  %-24s %d postings\n" a c)
           (IF.top_atoms inv)
+      end;
+      if metrics then begin
+        let reg = Obs.Metrics.create () in
+        Storage.Io_stats.register reg ~labels:[ ("source", "lists") ]
+          (IF.lookup_stats inv);
+        Storage.Io_stats.register reg ~labels:[ ("source", "store") ]
+          (IF.store inv).Storage.Kv.stats;
+        render_registry ~json reg
       end
       end
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Show collection statistics (a store's, a shard manifest's, or \
-             a running server's with --connect).")
-    Term.(const run $ store_opt_arg $ connect_arg $ backend_arg $ detailed_arg)
+             a running server's with --connect); --metrics adds the \
+             unified registry view.")
+    Term.(
+      const run $ store_opt_arg $ connect_arg $ backend_arg $ detailed_arg
+      $ metrics_arg $ json_arg)
 
 (* --- shard (build | status | reshard) --- *)
 
@@ -1208,6 +1399,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; build_cmd; query_cmd; workload_cmd; stats_cmd; repl_cmd;
-            sql_cmd; serve_cmd; shard_cmd; check_cmd; repair_cmd; export_cmd;
-            merge_cmd; compact_cmd ]))
+          [ generate_cmd; build_cmd; query_cmd; trace_cmd; workload_cmd;
+            stats_cmd; repl_cmd; sql_cmd; serve_cmd; shard_cmd; check_cmd;
+            repair_cmd; export_cmd; merge_cmd; compact_cmd ]))

@@ -119,24 +119,100 @@ let preflight_rejects config inv (q : Query.t) =
   in
   not (atoms_exist q)
 
-let query_prepared ?(config = default) inv (q : Query.t) =
-  if preflight_rejects config inv q then
-    { nodes = Intset.empty; records = []; prefilter_survivors = None }
+(* --- tracing helpers --- *)
+
+(* All observability below is opt-in: when [trace] is [None] every helper
+   reduces to running the phase directly, keeping the hot path free of
+   recording cost (measured by bench obs-overhead). *)
+
+let tspan trace name f =
+  match trace with None -> f () | Some t -> Obs.Trace.span t name f
+
+let tattr trace k v =
+  match trace with None -> () | Some t -> Obs.Trace.add_attr t k v
+
+type io_snap = { lookups : int; hits : int; misses : int; reads : int; bytes : int }
+
+let io_snap inv =
+  let l = IF.lookup_stats inv and s = (IF.store inv).Storage.Kv.stats in
+  {
+    lookups = Storage.Io_stats.lookups l;
+    hits = Storage.Io_stats.hits l;
+    misses = Storage.Io_stats.misses l;
+    reads = Storage.Io_stats.reads s;
+    bytes = Storage.Io_stats.bytes_read s;
+  }
+
+(* Attach lookup/hit/miss (always, so zero is visible) and read deltas
+   (when non-zero) of the innermost open span. *)
+let io_attrs trace before inv =
+  match trace with
+  | None -> ()
+  | Some t ->
+    let now = io_snap inv in
+    let put k v = Obs.Trace.add_attr t k (string_of_int v) in
+    put "lookups" (now.lookups - before.lookups);
+    put "hits" (now.hits - before.hits);
+    put "misses" (now.misses - before.misses);
+    if now.reads > before.reads then put "reads" (now.reads - before.reads);
+    if now.bytes > before.bytes then put "bytes_read" (now.bytes - before.bytes)
+
+(* Distinct non-pattern leaf atoms of a query, in first-occurrence order
+   (shared with batching below). *)
+let distinct_atoms config qs =
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  let add a =
+    if not (config.wildcards && Semantics.is_pattern a) && not (Hashtbl.mem seen a)
+    then begin
+      Hashtbl.add seen a ();
+      out := a :: !out
+    end
+  in
+  let rec walk (n : Query.node) =
+    Array.iter add n.Query.leaves;
+    List.iter walk n.Query.children
+  in
+  List.iter walk qs;
+  List.rev !out
+
+let query_prepared ?(config = default) ?trace inv (q : Query.t) =
+  let all0 = io_snap inv in
+  let finish result =
+    (match trace with
+    | None -> ()
+    | Some t ->
+      io_attrs trace all0 inv;
+      Obs.Trace.add_attr t "records" (string_of_int (List.length result.records)));
+    result
+  in
+  let rejected =
+    if not config.preflight then false
+    else
+      tspan trace "preflight" (fun () ->
+          let r = preflight_rejects config inv q in
+          tattr trace "rejected" (string_of_bool r);
+          r)
+  in
+  if rejected then
+    finish { nodes = Intset.empty; records = []; prefilter_survivors = None }
   else
   (* Bloom prefilter: restrict to records that might match. *)
   let allowed, prefilter_survivors =
     match config.filter_index with
     | None -> (None, None)
-    | Some fi -> (
-      match
-        Filter_index.candidate_records fi ~join:config.join
-          ~embedding:config.embedding (Query.to_value q)
-      with
-      | None -> (None, None)
-      | Some records ->
-        let roots = IF.roots inv in
-        let set = Intset.of_list (List.map (fun r -> roots.(r)) records) in
-        (Some set, Some (List.length records)))
+    | Some fi ->
+      tspan trace "prefilter" (fun () ->
+          match
+            Filter_index.candidate_records fi ~join:config.join
+              ~embedding:config.embedding (Query.to_value q)
+          with
+          | None -> (None, None)
+          | Some records ->
+            let roots = IF.roots inv in
+            let set = Intset.of_list (List.map (fun r -> roots.(r)) records) in
+            tattr trace "survivors" (string_of_int (List.length records));
+            (Some set, Some (List.length records)))
   in
   (* Anchor Equation-2 queries at record roots (intersected with Bloom
      survivors when a prefilter ran): the index algorithms then never chase
@@ -151,43 +227,103 @@ let query_prepared ?(config = default) inv (q : Query.t) =
         | None -> IF.roots inv
         | Some a -> Intset.inter (IF.roots inv) a)
   in
-  let t0 = Unix.gettimeofday () in
-  let nodes =
-    match root_filter with
-    | Some f when Intset.is_empty f ->
-      Log.debug (fun m -> m "prefilter eliminated every record; skipping algorithm");
-      Intset.empty
-    | _ -> run_algorithm config ?root_filter inv q
+  let pruned =
+    match root_filter with Some f -> Intset.is_empty f | None -> false
   in
-  Log.debug (fun m ->
-      m "%s %a/%a: %d candidate node(s) in %.3f ms"
-        (match config.algorithm with
-        | Top_down -> "top-down"
-        | Top_down_paper -> "top-down(paper)"
-        | Bottom_up -> "bottom-up"
-        | Naive_scan -> "naive"
-        | Signature_scan -> "signature-scan")
-        Semantics.pp_join config.join Semantics.pp_embedding config.embedding
-        (Intset.cardinal nodes)
-        (1000. *. (Unix.gettimeofday () -. t0)));
-  (* Scope: Equation 2 keeps only record roots. *)
-  let nodes =
-    match config.scope with
-    | Anywhere -> nodes
-    | Roots -> Array.of_list (List.filter (IF.is_root inv) (Intset.to_list nodes))
+  (* Per-atom retrieval spans: probe each distinct query atom through the
+     cached lookup path so the trace shows which lists were fetched and
+     which were already warm. Skipped in streamed mode — it bypasses the
+     decoded-list cache, so pre-materializing would change the measured
+     access pattern (and every raw read counts as a miss anyway). *)
+  let traced_retrieval =
+    Option.is_some trace && not config.streamed && not pruned
   in
-  let nodes =
-    if config.verify then
-      Array.of_list (List.filter (verify_node config inv q) (Intset.to_list nodes))
-    else nodes
-  in
-  let records =
-    (* records containing at least one matching node *)
-    Intset.to_list nodes
-    |> List.map (fun id -> IF.record_of_root inv (IF.root_of_node inv id))
-    |> List.sort_uniq Int.compare
-  in
-  { nodes; records; prefilter_survivors }
+  let transient = traced_retrieval && Option.is_none (IF.cache inv) in
+  let atoms = if traced_retrieval then distinct_atoms config [ q ] else [] in
+  if transient then
+    IF.attach_cache inv
+      (Invfile.Cache.create Invfile.Cache.Lru
+         ~capacity:(max 1 (List.length atoms)));
+  Fun.protect
+    ~finally:(fun () -> if transient then IF.detach_cache inv)
+    (fun () ->
+      if traced_retrieval then
+        tspan trace "retrieve" (fun () ->
+            let r0 = io_snap inv in
+            List.iter
+              (fun a ->
+                tspan trace ("atom:" ^ a) (fun () ->
+                    let b = io_snap inv in
+                    ignore (IF.lookup inv a);
+                    let now = io_snap inv in
+                    tattr trace "hits" (string_of_int (now.hits - b.hits));
+                    tattr trace "misses" (string_of_int (now.misses - b.misses))))
+              atoms;
+            io_attrs trace r0 inv);
+      let t0 = Unix.gettimeofday () in
+      let nodes =
+        tspan trace "eval" (fun () ->
+            let e0 = io_snap inv in
+            let nodes =
+              if pruned then begin
+                Log.debug (fun m ->
+                    m "prefilter eliminated every record; skipping algorithm");
+                Intset.empty
+              end
+              else run_algorithm config ?root_filter inv q
+            in
+            tattr trace "algorithm"
+              (match config.algorithm with
+              | Top_down -> "top-down"
+              | Top_down_paper -> "top-down-paper"
+              | Bottom_up -> "bottom-up"
+              | Naive_scan -> "naive-scan"
+              | Signature_scan -> "signature-scan");
+            tattr trace "candidates" (string_of_int (Intset.cardinal nodes));
+            io_attrs trace e0 inv;
+            nodes)
+      in
+      Log.debug (fun m ->
+          m "%s %a/%a: %d candidate node(s) in %.3f ms"
+            (match config.algorithm with
+            | Top_down -> "top-down"
+            | Top_down_paper -> "top-down(paper)"
+            | Bottom_up -> "bottom-up"
+            | Naive_scan -> "naive"
+            | Signature_scan -> "signature-scan")
+            Semantics.pp_join config.join Semantics.pp_embedding config.embedding
+            (Intset.cardinal nodes)
+            (1000. *. (Unix.gettimeofday () -. t0)));
+      let nodes =
+        tspan trace "verify" (fun () ->
+            let v0 = io_snap inv in
+            let checked = Intset.cardinal nodes in
+            (* Scope: Equation 2 keeps only record roots. *)
+            let nodes =
+              match config.scope with
+              | Anywhere -> nodes
+              | Roots ->
+                Array.of_list
+                  (List.filter (IF.is_root inv) (Intset.to_list nodes))
+            in
+            let nodes =
+              if config.verify then
+                Array.of_list
+                  (List.filter (verify_node config inv q) (Intset.to_list nodes))
+              else nodes
+            in
+            tattr trace "checked" (string_of_int checked);
+            tattr trace "kept" (string_of_int (Intset.cardinal nodes));
+            io_attrs trace v0 inv;
+            nodes)
+      in
+      let records =
+        (* records containing at least one matching node *)
+        Intset.to_list nodes
+        |> List.map (fun id -> IF.record_of_root inv (IF.root_of_node inv id))
+        |> List.sort_uniq Int.compare
+      in
+      finish { nodes; records; prefilter_survivors })
 
 let minimize_applicable config =
   config.minimize && (not config.wildcards)
@@ -197,30 +333,24 @@ let minimize_applicable config =
   | Semantics.Hom | Semantics.Homeo | Semantics.Homeo_full -> true
   | Semantics.Iso -> false
 
-let query ?(config = default) inv value =
+let query ?(config = default) ?trace inv value =
   let value =
-    if minimize_applicable config then Minimize.minimize value else value
+    if minimize_applicable config then
+      tspan trace "minimize" (fun () ->
+          let v = Minimize.minimize value in
+          tattr trace "size_before" (string_of_int (Nested.Value.size value));
+          tattr trace "size_after" (string_of_int (Nested.Value.size v));
+          v)
+    else value
   in
-  query_prepared ~config inv (Query.of_value value)
+  query_prepared ~config ?trace inv (Query.of_value value)
 
 let record_values inv result = List.map (IF.record_value inv) result.records
 
 (* --- batched execution --- *)
 
-(* All distinct leaf atoms of a block of queries. Wildcard patterns are
-   resolved by range scans, not point probes, so they are not prefetchable. *)
-let batch_atoms config qs =
-  let seen = Hashtbl.create 64 in
-  let add a =
-    if not (config.wildcards && Semantics.is_pattern a) then
-      Hashtbl.replace seen a ()
-  in
-  let rec walk (n : Query.node) =
-    Array.iter add n.Query.leaves;
-    List.iter walk n.Query.children
-  in
-  List.iter walk qs;
-  Hashtbl.fold (fun a () acc -> a :: acc) seen []
+(* Wildcard patterns are resolved by range scans, not point probes, so
+   they are not prefetchable — [distinct_atoms] (above) excludes them. *)
 
 (* A block of queries against one handle: probe the inverted file once per
    distinct atom (cf. Bouros et al., "Set Containment Join Revisited" —
@@ -228,17 +358,25 @@ let batch_atoms config qs =
    against the warmed cache. When the handle has no cache attached, a
    transient one scoped to the batch is used. Returns results in input
    order. *)
-let query_batch ?(config = default) inv values =
+let query_batch ?(config = default) ?traces inv values =
+  (* pad/truncate the optional trace list to line up with [values] *)
+  let trace_for =
+    match traces with
+    | None -> fun _ -> None
+    | Some l ->
+      let arr = Array.of_list l in
+      fun i -> if i < Array.length arr then arr.(i) else None
+  in
   match values with
   | [] -> []
-  | [ v ] -> [ query ~config inv v ]
+  | [ v ] -> [ query ~config ?trace:(trace_for 0) inv v ]
   | values ->
     let values =
       if minimize_applicable config then List.map Minimize.minimize values
       else values
     in
     let qs = List.map Query.of_value values in
-    let atoms = batch_atoms config qs in
+    let atoms = distinct_atoms config qs in
     let transient = Option.is_none (IF.cache inv) in
     if transient then
       IF.attach_cache inv
@@ -247,11 +385,29 @@ let query_batch ?(config = default) inv values =
     Fun.protect
       ~finally:(fun () -> if transient then IF.detach_cache inv)
       (fun () ->
-        let loaded = IF.prefetch inv atoms in
+        (* the block-wide prefetch belongs to no single query; record it
+           into the first traced one so its I/O stays attributed *)
+        let prefetch_trace =
+          List.find_map Fun.id
+            (List.mapi (fun i _ -> trace_for i) values)
+        in
+        let loaded =
+          tspan prefetch_trace "prefetch" (fun () ->
+              let p0 = io_snap inv in
+              let loaded = IF.prefetch inv atoms in
+              tattr prefetch_trace "batch_size"
+                (string_of_int (List.length qs));
+              tattr prefetch_trace "atoms" (string_of_int (List.length atoms));
+              tattr prefetch_trace "loaded" (string_of_int loaded);
+              io_attrs prefetch_trace p0 inv;
+              loaded)
+        in
         Log.debug (fun m ->
             m "batch of %d queries: %d distinct atom(s), %d list(s) loaded"
               (List.length qs) (List.length atoms) loaded);
-        List.map (query_prepared ~config inv) qs)
+        List.mapi
+          (fun i q -> query_prepared ~config ?trace:(trace_for i) inv q)
+          qs)
 
 (* Equation 1: the containment join of a whole query collection Q with S. *)
 let containment_join ?config inv queries =

@@ -68,19 +68,41 @@ type result = {
       (** record count that passed the Bloom prefilter, when one ran *)
 }
 
-val query : ?config:config -> Invfile.Inverted_file.t -> Nested.Value.t -> result
+val query :
+  ?config:config -> ?trace:Obs.Trace.t -> Invfile.Inverted_file.t ->
+  Nested.Value.t -> result
 (** Evaluates [q ⋈ S] for one query value.
+
+    When [trace] is given, each evaluation phase records a span into it:
+    [minimize] (when applied), [preflight] (when enabled, with a
+    [rejected] attr), [prefilter] (when a filter index is set, with
+    [survivors]), [retrieve] (one [atom:a] child per distinct query atom,
+    each with its cache hit/miss delta), [eval] (algorithm, candidate
+    count, I/O deltas) and [verify] (checked/kept). Every phase span and
+    the enclosing root carry [lookups]/[hits]/[misses] deltas pulled from
+    {!Invfile.Inverted_file.lookup_stats}, so the tree reconciles with
+    {!Storage.Io_stats} totals. Without [trace], nothing is recorded and
+    no extra I/O happens.
+
+    The [retrieve] phase pre-probes atoms through the cached lookup path
+    (attaching a transient cache when the handle has none) so the trace
+    shows which lists were fetched cold. In [streamed] mode it is skipped
+    entirely: streaming bypasses the decoded-list cache, so cache hits
+    are structurally 0 and pre-materializing lists would distort the
+    measured access pattern.
     @raise Invalid_argument if the query is an atom.
     @raise Semantics.Unsupported per {!Semantics.mode_of}. *)
 
-val query_prepared : ?config:config -> Invfile.Inverted_file.t -> Query.t -> result
+val query_prepared :
+  ?config:config -> ?trace:Obs.Trace.t -> Invfile.Inverted_file.t ->
+  Query.t -> result
 
 val record_values : Invfile.Inverted_file.t -> result -> Nested.Value.t list
 (** Materializes the matching records' values. *)
 
 val query_batch :
-  ?config:config -> Invfile.Inverted_file.t -> Nested.Value.t list ->
-  result list
+  ?config:config -> ?traces:Obs.Trace.t option list ->
+  Invfile.Inverted_file.t -> Nested.Value.t list -> result list
 (** Evaluates a block of queries against one handle, amortizing index
     probes: every distinct atom across the block is fetched from the store
     once ({!Invfile.Inverted_file.prefetch}) before the queries run
@@ -88,6 +110,11 @@ val query_batch :
     containment joins, PAPERS.md). Handles without an attached cache get a
     transient batch-scoped one. Results are returned in input order and
     are identical to running {!query} per value.
+
+    [traces] pairs up positionally with the values (shorter lists are
+    padded with [None]); each query records its phase spans into its own
+    trace, and the block-wide prefetch span lands in the first traced
+    query so its I/O stays attributed.
 
     A handle is {e not} shareable across domains (separate descriptors per
     domain, as {!Parallel} does), but one handle may interleave prepared

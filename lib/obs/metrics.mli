@@ -1,0 +1,106 @@
+(** The metrics registry: named, labelled counters, gauges and log2-bucket
+    histograms behind one lock-cheap interface.
+
+    The paper's empirical study (Sec. 5) argues entirely from measured
+    access patterns — list lookups, cache hits, I/O — and this registry is
+    where every subsystem now publishes those quantities under one naming
+    scheme instead of keeping private counter piles. A registry renders two
+    ways: {!render_text} is Prometheus-style text exposition (the payload
+    [nscq stats] prints and the server's [Stats] verb carries), and
+    {!render_json} a machine-readable dump for scripts and benches.
+
+    Recording is lock-free: counters and histogram buckets are [Atomic]
+    cells, so concurrent bumps from {!Containment.Parallel} worker domains
+    sum exactly (a property the test suite checks). The registry's own
+    mutex guards only metric {e registration}, which is rare and off the
+    hot path.
+
+    Existing mutable counter piles (e.g. {!Storage.Io_stats}, the shard
+    router's per-shard stats) attach through {!register_callback}: the
+    registry samples the callback at render time, so per-handle counters
+    surface without being rewritten. *)
+
+type t
+(** A registry. Create one per observed process (or per test). *)
+
+val create : unit -> t
+
+type labels = (string * string) list
+(** Label pairs, e.g. [[("shard", "3"); ("kind", "local")]]. Order is
+    normalized internally; the same set in any order names the same
+    series. *)
+
+(** {1 Counters}
+
+    Monotonically increasing integers (requests served, lists read). *)
+
+type counter
+
+val counter : t -> ?help:string -> ?labels:labels -> string -> counter
+(** Registers (or retrieves — same name and labels yield the same
+    instrument) a counter.
+    @raise Invalid_argument if the name is already registered as a
+    different kind. *)
+
+val inc : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges}
+
+    Point-in-time values (queue depth, high-water marks, ratios). *)
+
+type gauge
+
+val gauge : t -> ?help:string -> ?labels:labels -> string -> gauge
+val set : gauge -> float -> unit
+
+val set_max : gauge -> float -> unit
+(** Lock-free monotone maximum: keeps the larger of the current and given
+    value (high-water marks from concurrent recorders). *)
+
+val gauge_value : gauge -> float
+
+(** {1 Histograms}
+
+    Log2-scaled buckets: bucket [i] holds values in [(2^i, 2^(i+1)]]
+    (bucket 0 also takes everything [<= 2]), 64 buckets. Quantiles read
+    the bucket upper edge, so they are exact to within a factor of 2 —
+    plenty for p95-style reporting without unbounded memory. The unit is
+    the caller's (suffix the metric name, e.g. [_us]). *)
+
+type histogram
+
+val histogram : t -> ?help:string -> ?labels:labels -> string -> histogram
+val observe : histogram -> float -> unit
+
+val quantile : histogram -> float -> float
+(** [quantile h 0.95] is the upper bucket edge containing the p95 rank.
+    Returns [0.] for the empty histogram (no observations) — callers that
+    render quantiles before traffic arrives rely on this. *)
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+
+(** {1 Callback metrics} *)
+
+val register_callback :
+  t -> ?help:string -> ?labels:labels -> kind:[ `Counter | `Gauge ] ->
+  string -> (unit -> float) -> unit
+(** Attaches an externally-owned value, sampled at render time. Re-registering
+    the same name and labels replaces the callback (a reopened handle takes
+    over its series). The callback must be safe to call from the rendering
+    thread. *)
+
+(** {1 Rendering} *)
+
+val render_text : t -> string
+(** Prometheus-style text exposition: [# HELP] / [# TYPE] comments, one
+    [name{label="v"} value] line per series, histograms as cumulative
+    [_bucket{le="..."}] series plus [_sum] and [_count]. Series are sorted
+    by name then labels, so the output is deterministic. *)
+
+val render_json : t -> string
+(** A JSON dump of the same data: an array of objects with [name],
+    [labels], [kind] and [value] (histograms carry [count], [sum] and
+    [p50]/[p95]/[p99]). *)

@@ -1,0 +1,37 @@
+let sanitize v =
+  String.map (fun c -> if c = ' ' || c = '\n' || c = '\t' then '_' else c) v
+
+let line ?digest ?trace ?(extra = []) ~latency_ms ~threshold_ms () =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "slow_query";
+  (match digest with
+  | Some d -> Buffer.add_string buf (Printf.sprintf " digest=%s" (sanitize d))
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf " latency_ms=%.1f threshold_ms=%.1f" latency_ms threshold_ms);
+  (match trace with
+  | None -> ()
+  | Some (root : Trace.span) ->
+      let phases =
+        List.map
+          (fun (s : Trace.span) ->
+            Printf.sprintf "%s=%.1f" (sanitize s.name)
+              (Float.max 0. s.duration_s *. 1e3))
+          root.Trace.children
+      in
+      if phases <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf " phases=[%s]" (String.concat "," phases));
+      let io =
+        List.map
+          (fun (k, v) -> Printf.sprintf "%s=%s" (sanitize k) (sanitize v))
+          root.Trace.attrs
+      in
+      if io <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf " io=[%s]" (String.concat "," io)));
+  List.iter
+    (fun (k, v) ->
+      Buffer.add_string buf (Printf.sprintf " %s=%s" (sanitize k) (sanitize v)))
+    extra;
+  Buffer.contents buf

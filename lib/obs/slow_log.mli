@@ -1,0 +1,23 @@
+(** Slow-query log line formatting.
+
+    The server emits one structured line per request whose latency crosses
+    the configured threshold ([Service.config.slow_query_ms]): a stable
+    [key=value] format carrying the query digest, latency vs. threshold,
+    the per-phase breakdown and I/O deltas pulled from the request's
+    trace. One line per offence keeps the log greppable and cheap —
+    aggregation lives in the metrics registry, not here. *)
+
+val line :
+  ?digest:string ->
+  ?trace:Trace.span ->
+  ?extra:(string * string) list ->
+  latency_ms:float ->
+  threshold_ms:float ->
+  unit ->
+  string
+(** [line ~latency_ms ~threshold_ms ()] renders
+    [slow_query digest=... latency_ms=... threshold_ms=...
+     phases=[name=ms,...] io=[k=v,...]].
+    [phases] comes from the trace root's direct children, [io] from the
+    root span's attributes; both are omitted without a trace. [extra]
+    pairs (queue depth, shard id, ...) are appended verbatim. *)

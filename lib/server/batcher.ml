@@ -3,6 +3,7 @@ module Nscql = Containment.Nscql
 type request =
   | Literal of Nested.Value.t
   | Statement of Containment.Nscql.statement
+  | Traced of { value : Nested.Value.t; trace_id : int option }
 
 let parse text =
   let text = String.trim text in
@@ -19,7 +20,9 @@ let parse text =
     | stmt -> Ok (Statement stmt)
     | exception Nscql.Parse_error m -> Error ("parse error: " ^ m)
 
-let batchable = function Literal _ -> true | Statement _ -> false
+let batchable = function
+  | Literal _ -> true
+  | Statement _ | Traced _ -> false
 
 let coalesce queue ~batchable ~max =
   let first = Queue.pop queue in

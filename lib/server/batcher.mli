@@ -14,6 +14,10 @@ type request =
       (** a bare nested-set literal — containment query, batchable *)
   | Statement of Containment.Nscql.statement
       (** a read-only NSCQL statement — executed singly *)
+  | Traced of { value : Nested.Value.t; trace_id : int option }
+      (** a literal evaluated under the wire [Trace] verb: runs singly
+          (its phase spans must not interleave with a block's) and its
+          response carries the span tree alongside the result ids *)
 
 val parse : string -> (request, string) result
 (** Classifies a wire [Query] verb's text: leading ['{'] means a literal,

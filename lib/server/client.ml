@@ -39,10 +39,10 @@ let connect ?(host = "127.0.0.1") ~port () =
      raise exn);
   t
 
-let roundtrip t verb ~deadline_ms =
+let roundtrip t ?trace verb ~deadline_ms =
   let id = t.next_id in
   t.next_id <- id + 1;
-  Wire.write_frame t.fd (Wire.Request { id; deadline_ms; verb });
+  Wire.write_frame t.fd (Wire.Request { id; deadline_ms; verb; trace });
   let buf = Buffer.create 256 in
   let rec collect () =
     match Wire.read_frame t.fd with
@@ -59,6 +59,9 @@ let roundtrip t verb ~deadline_ms =
 
 let query t ?(deadline_ms = 0) text = roundtrip t (Wire.Query text) ~deadline_ms
 let stats t = roundtrip t Wire.Stats ~deadline_ms:0
+
+let trace t ?(deadline_ms = 0) ?trace_id text =
+  roundtrip t ?trace:trace_id (Wire.Trace text) ~deadline_ms
 
 let close t =
   if t.open_ then begin

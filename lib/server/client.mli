@@ -26,7 +26,18 @@ val query :
     @raise Wire.Closed / Wire.Protocol_error if the connection breaks. *)
 
 val stats : t -> (string, Wire.error_code * string) result
-(** The server's aggregated counters ({!Server_stats.render}). *)
+(** The server's aggregated counters ({!Server_stats.render}) followed by
+    the metrics-registry text exposition
+    ({!Obs.Metrics.render_text}), separated by a blank line. *)
+
+val trace :
+  t -> ?deadline_ms:int -> ?trace_id:int -> string ->
+  (string, Wire.error_code * string) result
+(** Sends a literal under the [Trace] verb: the payload carries the
+    result ids and the server-side span tree — split it with
+    {!Wire.split_traced}, parse the spans with {!Obs.Trace.of_wire}.
+    [trace_id] propagates the caller's trace id so local and remote spans
+    correlate. Servers predating the verb answer with a protocol error. *)
 
 val close : t -> unit
 (** Sends [Goodbye] (best effort) and closes the socket. Idempotent. *)

@@ -23,6 +23,7 @@ type t = {
   queue_cap : int;
   max_batch : int;
   n_domains : int;
+  slow_ms : float; (* <= 0. disables the slow-query log *)
   mutable state : state;
   mutable paused : bool;
   stats : Server_stats.t;
@@ -44,8 +45,10 @@ type io_totals = {
 }
 
 type backend = {
-  run_literals : Nested.Value.t list -> string list;
+  run_literals :
+    ?traces:Obs.Trace.t option list -> Nested.Value.t list -> string list;
   run_statement : Containment.Nscql.statement -> string;
+  run_traced : trace_id:int option -> Nested.Value.t -> string;
   io_totals : unit -> io_totals;
   close : unit -> unit;
 }
@@ -60,12 +63,20 @@ let store_backend ?(config = E.default) ~cache_budget ~open_handle () =
       (Invfile.Cache.create Invfile.Cache.Static ~capacity:cache_budget);
   {
     run_literals =
-      (fun values -> List.map ids_payload (E.query_batch ~config inv values));
+      (fun ?traces values ->
+        List.map ids_payload (E.query_batch ~config ?traces inv values));
     run_statement =
       (fun stmt ->
         Format.asprintf "%a"
           (Containment.Nscql.pp_outcome ~collection:inv)
           (Containment.Nscql.execute inv stmt));
+    run_traced =
+      (fun ~trace_id value ->
+        let trace = Obs.Trace.create ?id:trace_id "query" in
+        let r = E.query ~config ~trace inv value in
+        let root = Obs.Trace.finish trace in
+        Wire.traced_payload ~result:(ids_payload r)
+          ~spans:(Obs.Trace.to_wire ~id:(Obs.Trace.id trace) root));
     io_totals =
       (fun () ->
         let lk = IF.lookup_stats inv and st = (IF.store inv).Storage.Kv.stats in
@@ -110,12 +121,50 @@ let refusal_of_exn = function
   | Invalid_argument msg -> (Wire.Bad_request, msg)
   | exn -> (Wire.Server_error, Printexc.to_string exn)
 
+(* Slow-query log: one structured line per request whose queue-entry →
+   reply latency crosses the threshold. The digest identifies the query
+   without dumping it (logs stay one line); the phase breakdown comes from
+   the trace when the request ran with one. *)
+let digest_of_value v =
+  Printf.sprintf "%08lx" (Storage.Checksum.crc32 (Nested.Value.to_string v))
+
+let maybe_slow t job ?trace () =
+  if t.slow_ms > 0. then begin
+    let latency_ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1000. in
+    if latency_ms > t.slow_ms then begin
+      Server_stats.record_slow t.stats;
+      let digest =
+        match job.request with
+        | Batcher.Literal v | Batcher.Traced { value = v; _ } ->
+          digest_of_value v
+        | Batcher.Statement _ -> "nscql"
+      in
+      let trace = Option.map Obs.Trace.finish trace in
+      Log.warn (fun m ->
+          m "%s"
+            (Obs.Slow_log.line ~digest ?trace ~latency_ms
+               ~threshold_ms:t.slow_ms ()))
+    end
+  end
+
 let execute_group t backend jobs =
   match jobs with
   | [] -> ()
   | [ { request = Batcher.Statement stmt; _ } as job ] -> (
     match backend.run_statement stmt with
-    | payload -> finish t job (Data payload)
+    | payload ->
+      finish t job (Data payload);
+      maybe_slow t job ()
+    | exception exn ->
+      let code, msg = refusal_of_exn exn in
+      finish t job (Refused (code, msg)))
+  | [ { request = Batcher.Traced { value; trace_id }; _ } as job ] -> (
+    match backend.run_traced ~trace_id value with
+    | payload ->
+      finish t job (Data payload);
+      (* the trace lives inside the backend; the slow line still carries
+         the digest and latency *)
+      maybe_slow t job ()
     | exception exn ->
       let code, msg = refusal_of_exn exn in
       finish t job (Refused (code, msg)))
@@ -126,12 +175,29 @@ let execute_group t backend jobs =
         (fun j ->
           match j.request with
           | Batcher.Literal v -> v
-          | Batcher.Statement _ -> assert false)
+          | Batcher.Statement _ | Batcher.Traced _ -> assert false)
         jobs
     in
-    match backend.run_literals values with
+    (* with the slow log armed, give every job a trace so an offending
+       request can report its phase breakdown *)
+    let traces =
+      if t.slow_ms > 0. then
+        Some (List.map (fun _ -> Some (Obs.Trace.create "query")) jobs)
+      else None
+    in
+    match backend.run_literals ?traces values with
     | payloads ->
-      List.iter2 (fun job p -> finish t job (Data p)) jobs payloads
+      let traces =
+        match traces with
+        | Some l -> l
+        | None -> List.map (fun _ -> None) jobs
+      in
+      List.iter2
+        (fun (job, trace) p ->
+          finish t job (Data p);
+          maybe_slow t job ?trace ())
+        (List.combine jobs traces)
+        payloads
     | exception exn ->
       let code, msg = refusal_of_exn exn in
       List.iter (fun job -> finish t job (Refused (code, msg))) jobs)
@@ -183,8 +249,8 @@ let worker t open_backend () =
 
 (* --- caller side --- *)
 
-let create ?(paused = false) ~domains ~queue_cap ~max_batch ~open_backend
-    ~stats () =
+let create ?(paused = false) ?(slow_ms = 0.) ~domains ~queue_cap ~max_batch
+    ~open_backend ~stats () =
   if domains < 1 then invalid_arg "Dispatch.create: domains must be ≥ 1";
   if queue_cap < 1 then invalid_arg "Dispatch.create: queue_cap must be ≥ 1";
   if max_batch < 1 then invalid_arg "Dispatch.create: max_batch must be ≥ 1";
@@ -196,6 +262,7 @@ let create ?(paused = false) ~domains ~queue_cap ~max_batch ~open_backend
       queue_cap;
       max_batch;
       n_domains = domains;
+      slow_ms;
       state = Running;
       paused;
       stats;

@@ -35,15 +35,21 @@ type io_totals = {
 (** What a worker domain runs requests against. The default is
     {!store_backend} — one inverted-file handle per worker — but anything
     that can answer literal queries with a record-id payload plugs in
-    (e.g. a shard router fanning out to many stores). All four functions
-    are called only from the worker domain that opened the backend, so
-    they need no internal synchronisation. [run_literals] returns one
-    payload per input value, in order; both run functions may raise —
+    (e.g. a shard router fanning out to many stores). All functions are
+    called only from the worker domain that opened the backend, so they
+    need no internal synchronisation. [run_literals] returns one payload
+    per input value, in order ([traces] pairs up positionally when the
+    dispatcher arms per-request tracing for the slow-query log);
+    [run_traced] answers one [Trace]-verb request with a
+    {!Wire.traced_payload}-composed payload (result ids + span tree under
+    the given trace id). The run functions may raise —
     [Containment.Semantics.Unsupported] and [Invalid_argument] become
     [Bad_request] refusals, anything else [Server_error]. *)
 type backend = {
-  run_literals : Nested.Value.t list -> string list;
+  run_literals :
+    ?traces:Obs.Trace.t option list -> Nested.Value.t list -> string list;
   run_statement : Containment.Nscql.statement -> string;
+  run_traced : trace_id:int option -> Nested.Value.t -> string;
   io_totals : unit -> io_totals;
   close : unit -> unit;
 }
@@ -62,6 +68,7 @@ val store_backend :
 
 val create :
   ?paused:bool ->
+  ?slow_ms:float ->
   domains:int ->
   queue_cap:int ->
   max_batch:int ->
@@ -74,6 +81,13 @@ val create :
     [queue_cap]), which gives tests and staged startups a deterministic
     way to fill the queue. [open_backend] is called once per worker, in
     that worker's domain.
+
+    [slow_ms > 0.] arms the slow-query log: every literal request runs
+    with a phase trace, and any request whose queue-entry → reply latency
+    exceeds the threshold emits one {!Obs.Slow_log} line (digest, phase
+    breakdown, I/O deltas) at warning level and bumps
+    [nscq_slow_queries_total]. The default [0.] disables it — and skips
+    the per-request trace allocation entirely.
     @raise Invalid_argument if [domains < 1], [queue_cap < 1] or
     [max_batch < 1]. *)
 

@@ -1,162 +1,151 @@
-(* Latencies land in log2-scaled microsecond buckets: bucket i holds
-   [2^i, 2^(i+1)) µs, 40 buckets reaching ~18 minutes. Quantiles read the
-   bucket upper edge, so they are exact to within a factor of 2 — plenty
-   for p95-style load reporting without unbounded memory. *)
+(* All counters live in an Obs.Metrics registry, so the server's [Stats]
+   verb and [nscq stats] render one coherent view — the named record
+   fields of the old implementation became named registry series. The
+   instruments are lock-free Atomics; there is no recording mutex at all
+   now. Latencies land in log2-scaled microsecond buckets with the same
+   upper edges as before (bucket i ends at 2^(i+1) µs), so quantiles read
+   identically. *)
 
-let buckets = 40
+module M = Obs.Metrics
 
 type t = {
-  mutex : Mutex.t;
+  registry : M.t;
   started_at : float;
-  hist : int array;
-  mutable latencies : int;
-  mutable accepted : int;
-  mutable completed : int;
-  mutable failed : int;
-  mutable overloaded : int;
-  mutable shed : int;
-  mutable expired : int;
-  mutable batches : int;
-  mutable batched_jobs : int;
-  mutable max_batch : int;
-  mutable max_queue_depth : int;
-  mutable lookups : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable reads : int;
-  mutable bytes_read : int;
+  accepted : M.counter;
+  completed : M.counter;
+  failed : M.counter;
+  overloaded : M.counter;
+  shed : M.counter;
+  expired : M.counter;
+  batches : M.counter;
+  batched_jobs : M.counter;
+  slow : M.counter;
+  max_batch : M.gauge;
+  max_queue_depth : M.gauge;
+  latency_us : M.histogram;
+  lookups : M.counter;
+  hits : M.counter;
+  misses : M.counter;
+  reads : M.counter;
+  bytes_read : M.counter;
 }
 
-let create () =
+let create ?registry () =
+  let reg = match registry with Some r -> r | None -> M.create () in
+  let c name help = M.counter reg ~help name in
+  let rejected reason =
+    M.counter reg ~help:"Requests refused without running"
+      ~labels:[ ("reason", reason) ]
+      "nscq_requests_rejected_total"
+  in
   {
-    mutex = Mutex.create ();
+    registry = reg;
     started_at = Unix.gettimeofday ();
-    hist = Array.make buckets 0;
-    latencies = 0;
-    accepted = 0;
-    completed = 0;
-    failed = 0;
-    overloaded = 0;
-    shed = 0;
-    expired = 0;
-    batches = 0;
-    batched_jobs = 0;
-    max_batch = 0;
-    max_queue_depth = 0;
-    lookups = 0;
-    hits = 0;
-    misses = 0;
-    reads = 0;
-    bytes_read = 0;
+    accepted = c "nscq_requests_accepted_total" "Requests admitted to the queue";
+    completed = c "nscq_requests_completed_total" "Requests answered with data";
+    failed = c "nscq_requests_failed_total" "Requests refused in execution";
+    overloaded = rejected "overloaded";
+    shed = rejected "shutting_down";
+    expired = rejected "deadline";
+    batches = c "nscq_batches_total" "Batches dequeued by worker domains";
+    batched_jobs = c "nscq_batched_jobs_total" "Requests executed inside batches";
+    slow = c "nscq_slow_queries_total" "Requests over the slow-query threshold";
+    max_batch = M.gauge reg ~help:"Largest batch dequeued" "nscq_batch_max";
+    max_queue_depth =
+      M.gauge reg ~help:"Admission queue high-water mark" "nscq_queue_depth_max";
+    latency_us =
+      M.histogram reg ~help:"Queue-entry to reply latency (microseconds)"
+        "nscq_request_latency_us";
+    lookups = c "nscq_list_lookups_total" "Logical inverted-list lookups";
+    hits = c "nscq_cache_hits_total" "Lookups served from a decoded-list cache";
+    misses = c "nscq_cache_misses_total" "Lookups that went to the store";
+    reads = c "nscq_store_reads_total" "Store read operations";
+    bytes_read = c "nscq_store_bytes_read_total" "Bytes read from the store";
   }
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let registry t = t.registry
 
-let bucket_of latency_s =
-  let us = int_of_float (latency_s *. 1e6) in
-  if us <= 1 then 0
-  else min (buckets - 1) (int_of_float (Float.log2 (float_of_int us)))
-
-let bucket_upper_ms i = Float.pow 2. (float_of_int (i + 1)) /. 1000.
-
-let observe t latency_s =
-  t.hist.(bucket_of latency_s) <- t.hist.(bucket_of latency_s) + 1;
-  t.latencies <- t.latencies + 1
+let observe t latency_s = M.observe t.latency_us (latency_s *. 1e6)
 
 let record_admitted t ~queue_depth =
-  locked t (fun () ->
-      t.accepted <- t.accepted + 1;
-      if queue_depth > t.max_queue_depth then t.max_queue_depth <- queue_depth)
+  M.inc t.accepted;
+  M.set_max t.max_queue_depth (float_of_int queue_depth)
 
-let record_overloaded t = locked t (fun () -> t.overloaded <- t.overloaded + 1)
-let record_shed t = locked t (fun () -> t.shed <- t.shed + 1)
+let record_overloaded t = M.inc t.overloaded
+let record_shed t = M.inc t.shed
 
 let record_batch t ~size =
-  locked t (fun () ->
-      t.batches <- t.batches + 1;
-      t.batched_jobs <- t.batched_jobs + size;
-      if size > t.max_batch then t.max_batch <- size)
+  M.inc t.batches;
+  M.add t.batched_jobs size;
+  M.set_max t.max_batch (float_of_int size)
 
 let record_done t ~latency_s =
-  locked t (fun () ->
-      t.completed <- t.completed + 1;
-      observe t latency_s)
+  M.inc t.completed;
+  observe t latency_s
 
 let record_failed t ~latency_s =
-  locked t (fun () ->
-      t.failed <- t.failed + 1;
-      observe t latency_s)
+  M.inc t.failed;
+  observe t latency_s
 
-let record_expired t = locked t (fun () -> t.expired <- t.expired + 1)
+let record_expired t = M.inc t.expired
+let record_slow t = M.inc t.slow
 
 let record_io t ~lookups ~hits ~misses ~reads ~bytes_read =
-  locked t (fun () ->
-      t.lookups <- t.lookups + lookups;
-      t.hits <- t.hits + hits;
-      t.misses <- t.misses + misses;
-      t.reads <- t.reads + reads;
-      t.bytes_read <- t.bytes_read + bytes_read)
+  M.add t.lookups lookups;
+  M.add t.hits hits;
+  M.add t.misses misses;
+  M.add t.reads reads;
+  M.add t.bytes_read bytes_read
 
-let accepted t = locked t (fun () -> t.accepted)
-let completed t = locked t (fun () -> t.completed)
-let overloaded t = locked t (fun () -> t.overloaded)
-let batches t = locked t (fun () -> t.batches)
+let accepted t = M.counter_value t.accepted
+let completed t = M.counter_value t.completed
+let overloaded t = M.counter_value t.overloaded
+let batches t = M.counter_value t.batches
+let slow t = M.counter_value t.slow
 
 let mean_batch t =
-  locked t (fun () ->
-      if t.batches = 0 then 0.
-      else float_of_int t.batched_jobs /. float_of_int t.batches)
+  let b = M.counter_value t.batches in
+  if b = 0 then 0. else float_of_int (M.counter_value t.batched_jobs) /. float_of_int b
 
-let quantile_locked t p =
-  if t.latencies = 0 then 0.
-  else begin
-    let rank = int_of_float (ceil (p *. float_of_int t.latencies)) in
-    let rank = max 1 (min rank t.latencies) in
-    let acc = ref 0 and result = ref (bucket_upper_ms (buckets - 1)) in
-    (try
-       for i = 0 to buckets - 1 do
-         acc := !acc + t.hist.(i);
-         if !acc >= rank then begin
-           result := bucket_upper_ms i;
-           raise Exit
-         end
-       done
-     with Exit -> ());
-    !result
-  end
+let quantile t p = M.quantile t.latency_us p /. 1000.
 
-let quantile t p = locked t (fun () -> quantile_locked t p)
+let hit_ratio t =
+  let h = M.counter_value t.hits and m = M.counter_value t.misses in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
 
 let render t ~domains ~queue_depth ~queue_cap =
-  locked t (fun () ->
-      let b = Buffer.create 512 in
-      let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
-      line "uptime_s %.1f" (Unix.gettimeofday () -. t.started_at);
-      line "domains %d" domains;
-      line "accepted %d completed %d failed %d" t.accepted t.completed t.failed;
-      line "rejected overloaded %d shutting_down %d deadline %d" t.overloaded
-        t.shed t.expired;
-      line "queue depth %d cap %d max %d" queue_depth queue_cap t.max_queue_depth;
-      line "batches %d mean_occupancy %.2f max %d" t.batches
-        (if t.batches = 0 then 0.
-         else float_of_int t.batched_jobs /. float_of_int t.batches)
-        t.max_batch;
-      line "latency_ms p50 %.3f p95 %.3f p99 %.3f" (quantile_locked t 0.5)
-        (quantile_locked t 0.95) (quantile_locked t 0.99);
-      line "lookups %d cache_hits %d cache_misses %d" t.lookups t.hits t.misses;
-      line "io_reads %d io_bytes_read %d" t.reads t.bytes_read;
-      Buffer.contents b)
+  let b = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+  line "uptime_s %.1f" (Unix.gettimeofday () -. t.started_at);
+  line "domains %d" domains;
+  line "accepted %d completed %d failed %d" (M.counter_value t.accepted)
+    (M.counter_value t.completed) (M.counter_value t.failed);
+  line "rejected overloaded %d shutting_down %d deadline %d"
+    (M.counter_value t.overloaded) (M.counter_value t.shed)
+    (M.counter_value t.expired);
+  line "queue depth %d cap %d max %.0f" queue_depth queue_cap
+    (M.gauge_value t.max_queue_depth);
+  line "batches %d mean_occupancy %.2f max %.0f" (M.counter_value t.batches)
+    (mean_batch t) (M.gauge_value t.max_batch);
+  line "latency_ms p50 %.1f p95 %.1f p99 %.1f" (quantile t 0.5)
+    (quantile t 0.95) (quantile t 0.99);
+  line "slow_queries %d" (M.counter_value t.slow);
+  line "lookups %d cache_hits %d cache_misses %d (ratio %.3f)"
+    (M.counter_value t.lookups) (M.counter_value t.hits)
+    (M.counter_value t.misses) (hit_ratio t);
+  line "io_reads %d io_bytes_read %d" (M.counter_value t.reads)
+    (M.counter_value t.bytes_read);
+  Buffer.contents b
 
 let log_line t ~queue_depth =
-  locked t (fun () ->
-      Printf.sprintf
-        "served %d (failed %d, shed %d, expired %d) queue %d/%d batches %d \
-         occ %.2f p50 %.2fms p95 %.2fms p99 %.2fms hits %d/%d"
-        t.completed t.failed (t.overloaded + t.shed) t.expired queue_depth
-        t.max_queue_depth t.batches
-        (if t.batches = 0 then 0.
-         else float_of_int t.batched_jobs /. float_of_int t.batches)
-        (quantile_locked t 0.5) (quantile_locked t 0.95) (quantile_locked t 0.99)
-        t.hits t.lookups)
+  Printf.sprintf
+    "served %d (failed %d, shed %d, expired %d, slow %d) queue %d/%.0f \
+     batches %d occ %.2f p50 %.1fms p95 %.1fms p99 %.1fms hits %d/%d \
+     (ratio %.3f)"
+    (M.counter_value t.completed) (M.counter_value t.failed)
+    (M.counter_value t.overloaded + M.counter_value t.shed)
+    (M.counter_value t.expired) (M.counter_value t.slow) queue_depth
+    (M.gauge_value t.max_queue_depth)
+    (M.counter_value t.batches) (mean_batch t) (quantile t 0.5)
+    (quantile t 0.95) (quantile t 0.99) (M.counter_value t.hits)
+    (M.counter_value t.lookups) (hit_ratio t)

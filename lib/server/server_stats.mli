@@ -1,19 +1,26 @@
 (** Aggregated server observability.
 
     One instance per running server, shared by the connection threads and
-    the worker domains (all recording goes through one mutex — recording
-    is a handful of integer bumps, far off the query path's cost).
+    the worker domains. Every counter is a series in an {!Obs.Metrics}
+    registry (recording is lock-free Atomic bumps), so the same numbers
+    render three ways: the classic {!render} text, the registry's
+    Prometheus exposition ({!registry} → {!Obs.Metrics.render_text},
+    appended to the wire [Stats] payload), and its JSON dump.
 
     Collected: admission/completion/rejection counters, a log-scaled
     latency histogram answering p50/p95/p99, queue-depth and batch
-    occupancy gauges, and the per-domain {!Storage.Io_stats} deltas the
-    workers report after each batch. Rendered two ways: {!render} is the
-    payload of the wire protocol's [Stats] verb, {!log_line} the periodic
-    one-line digest the server logs. *)
+    occupancy high-water marks, a slow-query counter, and the per-domain
+    {!Storage.Io_stats} deltas the workers report after each batch. *)
 
 type t
 
-val create : unit -> t
+val create : ?registry:Obs.Metrics.t -> unit -> t
+(** Registers this server's series into [registry] (default: a fresh
+    one) under [nscq_requests_*], [nscq_batches_total],
+    [nscq_request_latency_us], [nscq_slow_queries_total],
+    [nscq_list_lookups_total], [nscq_cache_*] and [nscq_store_*] names. *)
+
+val registry : t -> Obs.Metrics.t
 
 (** {1 Recording} *)
 
@@ -38,6 +45,10 @@ val record_failed : t -> latency_s:float -> unit
 val record_expired : t -> unit
 (** A request's deadline passed before a worker reached it. *)
 
+val record_slow : t -> unit
+(** A request crossed the configured slow-query threshold (one
+    {!Obs.Slow_log} line was emitted for it). *)
+
 val record_io :
   t -> lookups:int -> hits:int -> misses:int -> reads:int -> bytes_read:int ->
   unit
@@ -50,12 +61,16 @@ val accepted : t -> int
 val completed : t -> int
 val overloaded : t -> int
 val batches : t -> int
+val slow : t -> int
 val mean_batch : t -> float
 (** Mean batch occupancy (requests per dequeued batch); 0 when idle. *)
 
 val quantile : t -> float -> float
-(** [quantile t 0.95] is the p95 latency in milliseconds (the upper edge
-    of the histogram bucket containing that rank; 0 when empty). *)
+(** [quantile t 0.95] is the p95 latency in milliseconds — the upper edge
+    of the log2 histogram bucket containing that rank. With no recorded
+    latencies there is no bucket to read, and the result is [0.] (not an
+    error, not NaN): a freshly started server legitimately reports
+    [p50 0.0]. The empty case is pinned by a regression test. *)
 
 val render : t -> domains:int -> queue_depth:int -> queue_cap:int -> string
 (** The multi-line text payload served for the [Stats] protocol verb. *)

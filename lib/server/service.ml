@@ -10,6 +10,7 @@ type config = {
   max_batch : int;
   cache_budget : int;
   stats_interval_s : float;
+  slow_query_ms : float;
   engine : Containment.Engine.config;
 }
 
@@ -22,6 +23,7 @@ let default_config =
     max_batch = 8;
     cache_budget = 250;
     stats_interval_s = 10.;
+    slow_query_ms = 0.;
     engine = Containment.Engine.default;
   }
 
@@ -98,40 +100,62 @@ let hello_exchange conn =
     false
   | _ -> false
 
-let handle_request t conn ~id ~deadline_ms verb =
+let submit_request t conn ~id ~deadline_ms request =
+  let deadline =
+    if deadline_ms <= 0 then None
+    else Some (Unix.gettimeofday () +. (float_of_int deadline_ms /. 1000.))
+  in
+  let reply = function
+    | Dispatch.Data payload ->
+      List.iter (send conn) (Wire.chunk_result ~id payload)
+    | Dispatch.Refused (code, message) ->
+      send conn (Wire.Error { id; code; message })
+  in
+  match Dispatch.submit t.dispatch ?deadline ~request ~reply () with
+  | `Accepted -> ()
+  | `Overloaded ->
+    send conn
+      (Wire.Error
+         { id; code = Wire.Overloaded; message = "admission queue full" })
+  | `Shutting_down ->
+    send conn
+      (Wire.Error
+         { id; code = Wire.Shutting_down; message = "server is draining" })
+
+let handle_request t conn ~id ~deadline_ms ~trace_id verb =
   match verb with
   | Wire.Stats ->
+    (* the classic digest first, then the full registry exposition — one
+       coherent view for both humans and scrapers *)
     let payload =
       Server_stats.render t.server_stats ~domains:t.cfg.domains
         ~queue_depth:(Dispatch.queue_depth t.dispatch)
         ~queue_cap:t.cfg.queue_cap
+      ^ "\n"
+      ^ Obs.Metrics.render_text (Server_stats.registry t.server_stats)
     in
     List.iter (send conn) (Wire.chunk_result ~id payload)
   | Wire.Query text -> (
     match Batcher.parse text with
     | Error message ->
       send conn (Wire.Error { id; code = Wire.Bad_request; message })
-    | Ok request -> (
-      let deadline =
-        if deadline_ms <= 0 then None
-        else Some (Unix.gettimeofday () +. (float_of_int deadline_ms /. 1000.))
-      in
-      let reply = function
-        | Dispatch.Data payload ->
-          List.iter (send conn) (Wire.chunk_result ~id payload)
-        | Dispatch.Refused (code, message) ->
-          send conn (Wire.Error { id; code; message })
-      in
-      match Dispatch.submit t.dispatch ?deadline ~request ~reply () with
-      | `Accepted -> ()
-      | `Overloaded ->
-        send conn
-          (Wire.Error
-             { id; code = Wire.Overloaded; message = "admission queue full" })
-      | `Shutting_down ->
-        send conn
-          (Wire.Error
-             { id; code = Wire.Shutting_down; message = "server is draining" })))
+    | Ok request -> submit_request t conn ~id ~deadline_ms request)
+  | Wire.Trace text -> (
+    match Batcher.parse text with
+    | Ok (Batcher.Literal value) ->
+      submit_request t conn ~id ~deadline_ms
+        (Batcher.Traced { value; trace_id })
+    | Ok (Batcher.Statement _) ->
+      send conn
+        (Wire.Error
+           {
+             id;
+             code = Wire.Bad_request;
+             message = "trace expects a nested-set literal, not NSCQL";
+           })
+    | Ok (Batcher.Traced _) -> assert false (* parse never builds these *)
+    | Error message ->
+      send conn (Wire.Error { id; code = Wire.Bad_request; message }))
 
 let conn_loop t conn =
   Fun.protect
@@ -142,8 +166,8 @@ let conn_loop t conn =
       if hello_exchange conn then
         let rec loop () =
           match Wire.read_frame conn.fd with
-          | Wire.Request { id; deadline_ms; verb } ->
-            handle_request t conn ~id ~deadline_ms verb;
+          | Wire.Request { id; deadline_ms; verb; trace } ->
+            handle_request t conn ~id ~deadline_ms ~trace_id:trace verb;
             loop ()
           | Wire.Goodbye -> ()
           | Wire.Hello _ | Wire.Hello_ack _ | Wire.Result _ | Wire.Error _ ->
@@ -222,8 +246,9 @@ let start_with ?(paused = false) cfg ~open_backend =
   in
   let server_stats = Server_stats.create () in
   let dispatch =
-    Dispatch.create ~paused ~domains:cfg.domains ~queue_cap:cfg.queue_cap
-      ~max_batch:cfg.max_batch ~open_backend ~stats:server_stats ()
+    Dispatch.create ~paused ~slow_ms:cfg.slow_query_ms ~domains:cfg.domains
+      ~queue_cap:cfg.queue_cap ~max_batch:cfg.max_batch ~open_backend
+      ~stats:server_stats ()
   in
   let t =
     {

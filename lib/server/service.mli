@@ -22,13 +22,17 @@ type config = {
   max_batch : int;  (** largest query block one worker dequeues at once *)
   cache_budget : int;  (** per-domain static cache, in lists; 0 = none *)
   stats_interval_s : float;  (** periodic stats log line; [<= 0] disables *)
+  slow_query_ms : float;
+      (** slow-query log threshold: requests slower than this (queue entry
+          → reply) emit one structured {!Obs.Slow_log} line with their
+          phase breakdown; [<= 0] (the default) disables it *)
   engine : Containment.Engine.config;  (** config for literal queries *)
 }
 
 val default_config : config
 (** loopback, ephemeral port, {!Containment.Parallel.default_domains}
     workers, queue cap 64, batches of up to 8, cache 250 (the paper's
-    budget), stats every 10 s. *)
+    budget), stats every 10 s, slow-query log off. *)
 
 type t
 

@@ -5,12 +5,12 @@ type error_code =
   | Server_error
   | Shutting_down
 
-type verb = Query of string | Stats
+type verb = Query of string | Stats | Trace of string
 
 type frame =
   | Hello of { version : int }
   | Hello_ack of { version : int; server : string }
-  | Request of { id : int; deadline_ms : int; verb : verb }
+  | Request of { id : int; deadline_ms : int; verb : verb; trace : int option }
   | Result of { id : int; seq : int; last : bool; chunk : string }
   | Error of { id : int; code : error_code; message : string }
   | Goodbye
@@ -33,9 +33,15 @@ let pp_frame ppf = function
   | Hello { version } -> Format.fprintf ppf "Hello v%d" version
   | Hello_ack { version; server } ->
     Format.fprintf ppf "Hello_ack v%d %S" version server
-  | Request { id; deadline_ms; verb } ->
-    Format.fprintf ppf "Request #%d deadline=%dms %s" id deadline_ms
-      (match verb with Query q -> Printf.sprintf "query %S" q | Stats -> "stats")
+  | Request { id; deadline_ms; verb; trace } ->
+    Format.fprintf ppf "Request #%d deadline=%dms %s%s" id deadline_ms
+      (match verb with
+      | Query q -> Printf.sprintf "query %S" q
+      | Stats -> "stats"
+      | Trace q -> Printf.sprintf "trace %S" q)
+      (match trace with
+      | None -> ""
+      | Some t -> Printf.sprintf " trace_id=%d" t)
   | Result { id; seq; last; chunk } ->
     Format.fprintf ppf "Result #%d seq=%d%s (%d B)" id seq
       (if last then " last" else "")
@@ -83,13 +89,19 @@ let payload_of = function
     Bytes.set_uint16_be b 0 version;
     Bytes.blit_string server 0 b 2 (String.length server);
     Bytes.unsafe_to_string b
-  | Request { id; deadline_ms; verb } ->
-    let text = match verb with Query q -> q | Stats -> "" in
-    let b = Bytes.create (9 + String.length text) in
+  | Request { id; deadline_ms; verb; trace } ->
+    (* the verb byte carries the verb in its low nibble and a trace-id
+       presence flag in bit 4, so trace-less requests encode byte-for-byte
+       as protocol v1 did — old peers keep interoperating *)
+    let text = match verb with Query q | Trace q -> q | Stats -> "" in
+    let base = match verb with Query _ -> 0 | Stats -> 1 | Trace _ -> 2 in
+    let tlen = match trace with None -> 0 | Some _ -> 4 in
+    let b = Bytes.create (9 + tlen + String.length text) in
     put_u32 b 0 id;
     put_u32 b 4 deadline_ms;
-    Bytes.set_uint8 b 8 (match verb with Query _ -> 0 | Stats -> 1);
-    Bytes.blit_string text 0 b 9 (String.length text);
+    Bytes.set_uint8 b 8 (base lor (match trace with None -> 0 | Some _ -> 0x10));
+    (match trace with None -> () | Some t -> put_u32 b 9 t);
+    Bytes.blit_string text 0 b (9 + tlen) (String.length text);
     Bytes.unsafe_to_string b
   | Result { id; seq; last; chunk } ->
     let b = Bytes.create (9 + String.length chunk) in
@@ -122,10 +134,20 @@ let parse_payload tag p =
     if len < 9 then Result.Error "request: short payload"
     else
       let id = get_u32 p 0 and deadline_ms = get_u32 p 4 in
-      (match String.get_uint8 p 8 with
-      | 0 -> Result.Ok (Request { id; deadline_ms; verb = Query (rest 9) })
-      | 1 when len = 9 -> Result.Ok (Request { id; deadline_ms; verb = Stats })
-      | _ -> Result.Error "request: bad verb")
+      let vb = String.get_uint8 p 8 in
+      let has_trace = vb land 0x10 <> 0 in
+      if has_trace && len < 13 then Result.Error "request: short trace field"
+      else
+        let trace = if has_trace then Some (get_u32 p 9) else None in
+        let text_pos = if has_trace then 13 else 9 in
+        (match vb land lnot 0x10 with
+        | 0 ->
+          Result.Ok (Request { id; deadline_ms; verb = Query (rest text_pos); trace })
+        | 1 when len = text_pos ->
+          Result.Ok (Request { id; deadline_ms; verb = Stats; trace })
+        | 2 ->
+          Result.Ok (Request { id; deadline_ms; verb = Trace (rest text_pos); trace })
+        | _ -> Result.Error "request: bad verb")
   | 3 ->
     if len < 9 then Result.Error "result: short payload"
     else (
@@ -221,6 +243,22 @@ let read_frame fd =
   | Decoded (frame, _) -> frame
   | Need_more -> raise (Protocol_error "short frame")
   | Invalid m -> raise (Protocol_error m)
+
+(* --- trace-verb payload composition --- *)
+
+(* A Trace response carries the normal result line first, then the span
+   tree ([Obs.Trace.to_wire] lines). One newline separates them; the span
+   part is itself line-oriented but its first line is the "trace <id>"
+   header, so the split is unambiguous. *)
+
+let traced_payload ~result ~spans = result ^ "\n" ^ spans
+
+let split_traced payload =
+  match String.index_opt payload '\n' with
+  | None -> (payload, "")
+  | Some i ->
+    ( String.sub payload 0 i,
+      String.sub payload (i + 1) (String.length payload - i - 1) )
 
 let chunk_result ~id payload =
   let n = String.length payload in

@@ -32,14 +32,25 @@ type error_code =
 type verb =
   | Query of string
       (** a nested-set literal (["{…}"]) or an NSCQL statement *)
-  | Stats  (** the server's aggregated counters, rendered as text *)
+  | Stats
+      (** the server's aggregated counters plus the metrics-registry
+          text exposition, separated by a blank line *)
+  | Trace of string
+      (** like [Query] for a literal, but the response payload carries
+          the result ids {e and} the server-side span tree — see
+          {!traced_payload} / {!split_traced} *)
 
 type frame =
   | Hello of { version : int }  (** client → server, first frame *)
   | Hello_ack of { version : int; server : string }
-  | Request of { id : int; deadline_ms : int; verb : verb }
+  | Request of { id : int; deadline_ms : int; verb : verb; trace : int option }
       (** [deadline_ms = 0] means no deadline; [id] is chosen by the
-          client and echoed on every frame of the response *)
+          client and echoed on every frame of the response. [trace]
+          propagates the caller's trace id to the server; it rides in an
+          optional field flagged in the verb byte, so [trace = None]
+          requests encode byte-for-byte as protocol v1 — old clients and
+          servers interoperate untouched (the [Trace] verb itself is
+          rejected by v1 servers) *)
   | Result of { id : int; seq : int; last : bool; chunk : string }
   | Error of { id : int; code : error_code; message : string }
   | Goodbye  (** either side: orderly close *)
@@ -83,3 +94,13 @@ val chunk_result : id:int -> string -> frame list
 (** Splits a response payload into [Result] frames of at most
     {!max_frame} bytes each (an empty payload still yields one final
     frame). *)
+
+(** {1 Trace-verb payloads} *)
+
+val traced_payload : result:string -> spans:string -> string
+(** Composes a [Trace] response: the result line, a newline, then the
+    serialized span tree ({!Obs.Trace.to_wire} output). *)
+
+val split_traced : string -> string * string
+(** Inverse of {!traced_payload}: [(result, spans)]; [spans] is [""]
+    when the payload carries no trace part. *)

@@ -127,8 +127,12 @@ let describe_exn = function
   | Server.Wire.Closed -> "connection closed"
   | exn -> Printexc.to_string exn
 
-let run_local t value i inv =
-  match E.query ~config:t.config.engine inv value with
+(* Each traced local shard evaluates into its own sub-trace (same trace
+   id, root named [shard:i]) — a Trace.t is single-owner mutable state, so
+   domains must never share one. The finished sub-trees are grafted into
+   the caller's trace after the gather barrier. *)
+let run_local t ?trace value i inv =
+  match E.query ~config:t.config.engine ?trace inv value with
   | r -> Answered r.E.records
   | exception ((Sem.Unsupported _ | Invalid_argument _) as exn) ->
     (* a config the engine refuses is refused identically on every
@@ -148,18 +152,33 @@ let parse_id_payload payload =
     in
     go [] (List.filter (fun s -> s <> "") (String.split_on_char ' ' payload))
 
-let run_remote t text ~host ~port =
+(* Under tracing, a remote shard is queried with the wire [Trace] verb so
+   its server-side phase spans come back alongside the ids; the parsed
+   tree is returned for grafting. A remote server predating the verb
+   answers with an error, surfaced per [fail_mode] like any shard
+   failure. *)
+let run_remote t ?trace_id text ~host ~port =
   match Server.Client.connect ~host ~port () with
-  | exception exn -> Failed (describe_exn exn)
+  | exception exn -> (Failed (describe_exn exn), None)
   | client -> (
     Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
-    match
-      Server.Client.query client ~deadline_ms:t.config.remote_deadline_ms text
-    with
-    | Ok payload -> parse_id_payload payload
-    | Error (code, msg) ->
-      Failed (Format.asprintf "%a: %s" Server.Wire.pp_error_code code msg)
-    | exception exn -> Failed (describe_exn exn))
+    let deadline_ms = t.config.remote_deadline_ms in
+    match trace_id with
+    | None -> (
+      match Server.Client.query client ~deadline_ms text with
+      | Ok payload -> (parse_id_payload payload, None)
+      | Error (code, msg) ->
+        (Failed (Format.asprintf "%a: %s" Server.Wire.pp_error_code code msg), None)
+      | exception exn -> (Failed (describe_exn exn), None))
+    | Some tid -> (
+      match Server.Client.trace client ~deadline_ms ~trace_id:tid text with
+      | Ok payload ->
+        let result, spans = Server.Wire.split_traced payload in
+        let span = Option.map snd (Obs.Trace.of_wire spans) in
+        (parse_id_payload result, span)
+      | Error (code, msg) ->
+        (Failed (Format.asprintf "%a: %s" Server.Wire.pp_error_code code msg), None)
+      | exception exn -> (Failed (describe_exn exn), None)))
 
 (* --- scatter-gather --- *)
 
@@ -172,7 +191,7 @@ type outcome = {
 
 let slice ~slices i items = List.filteri (fun j _ -> j mod slices = i) items
 
-let query t value =
+let query ?trace t value =
   if t.closed then invalid_arg "Router.query: router is closed";
   let n = Array.length t.targets in
   let atoms =
@@ -180,8 +199,15 @@ let query t value =
   in
   let outcomes = Array.make n Skipped in
   let elapsed = Array.make n 0. in
+  let started = Array.make n 0. in
+  (* per-shard span sources when tracing: a sub-trace per local shard, a
+     parsed wire tree per remote shard *)
+  let subtraces = Array.make n None in
+  let remote_spans = Array.make n None in
+  let trace_id = Option.map Obs.Trace.id trace in
   let timed i f =
     let t0 = Unix.gettimeofday () in
+    started.(i) <- t0;
     let r = f () in
     elapsed.(i) <- 1000. *. (Unix.gettimeofday () -. t0);
     r
@@ -197,13 +223,28 @@ let query t value =
       | Remote_addr { host; port } -> remotes := (i, host, port) :: !remotes)
     t.targets;
   let locals = List.rev !locals and remotes = List.rev !remotes in
+  (match trace with
+  | None -> ()
+  | Some tr ->
+    List.iter
+      (fun (i, _) ->
+        subtraces.(i) <-
+          Some
+            (Obs.Trace.create ~id:(Obs.Trace.id tr)
+               (Printf.sprintf "shard:%d" i)))
+      locals);
   let text = lazy (Nested.Value.to_string value) in
   let remote_threads =
     List.map
       (fun (i, host, port) ->
         Thread.create
           (fun () ->
-            outcomes.(i) <- timed i (fun () -> run_remote t (Lazy.force text) ~host ~port))
+            let o, span =
+              timed i (fun () ->
+                  run_remote t ?trace_id (Lazy.force text) ~host ~port)
+            in
+            outcomes.(i) <- o;
+            remote_spans.(i) <- span)
           ())
       remotes
   in
@@ -212,13 +253,18 @@ let query t value =
      domain first so the exception escapes before any fan-out result is
      folded; the rest run in parallel *)
   let run_locals jobs =
-    List.map (fun (i, inv) -> (i, timed i (fun () -> run_local t value i inv))) jobs
+    List.map
+      (fun (i, inv) ->
+        (i, timed i (fun () -> run_local t ?trace:subtraces.(i) value i inv)))
+      jobs
   in
   let local_results =
     match locals with
     | [] -> []
     | (i0, inv0) :: rest ->
-      let first = (i0, timed i0 (fun () -> run_local t value i0 inv0)) in
+      let first =
+        (i0, timed i0 (fun () -> run_local t ?trace:subtraces.(i0) value i0 inv0))
+      in
       let slices = min (t.config.domains - 1) (List.length rest) in
       let others =
         if slices <= 1 then run_locals rest
@@ -264,6 +310,41 @@ let query t value =
         | Fail_fast -> raise (Shard_failed (i, reason))
         | Partial -> warnings := (i, reason) :: !warnings))
     outcomes;
+  (* graft per-shard span trees in shard order, then summarize on the
+     caller's innermost span *)
+  (match trace with
+  | None -> ()
+  | Some tr ->
+    Array.iteri
+      (fun i o ->
+        let shard_span =
+          match subtraces.(i) with
+          | Some sub -> Some (Obs.Trace.finish sub)
+          | None -> (
+            match remote_spans.(i) with
+            | Some remote ->
+              Some
+                (Obs.Trace.make_span
+                   ~name:(Printf.sprintf "shard:%d" i)
+                   ~start_s:started.(i)
+                   ~duration_s:(elapsed.(i) /. 1000.)
+                   ~attrs:[ ("remote", "true") ]
+                   ~children:[ remote ] ())
+            | None -> (
+              match o with
+              | Failed reason ->
+                Some
+                  (Obs.Trace.make_span
+                     ~name:(Printf.sprintf "shard:%d" i)
+                     ~start_s:started.(i)
+                     ~duration_s:(elapsed.(i) /. 1000.)
+                     ~attrs:[ ("failed", reason) ] ())
+              | Skipped | Answered _ -> None))
+        in
+        Option.iter (Obs.Trace.graft tr) shard_span)
+      outcomes;
+    Obs.Trace.add_attr tr "shards_queried" (string_of_int !queried);
+    Obs.Trace.add_attr tr "shards_skipped" (string_of_int !skipped));
   t.total_queries <- t.total_queries + 1;
   if !warnings <> [] then t.partial_answers <- t.partial_answers + 1;
   {
@@ -313,6 +394,47 @@ let local_io t =
           bytes + Storage.Io_stats.bytes_read st ))
     (0, 0, 0, 0, 0) t.targets
 
+let register reg ?(labels = []) t =
+  let module M = Obs.Metrics in
+  let cb ?help name kind f = M.register_callback reg ?help ~labels ~kind name f in
+  cb "nscq_router_queries_total" `Counter (fun () ->
+      float_of_int t.total_queries)
+    ~help:"Scatter-gather queries routed";
+  cb "nscq_router_partial_answers_total" `Counter (fun () ->
+      float_of_int t.partial_answers)
+    ~help:"Answers missing at least one failed shard";
+  Array.iteri
+    (fun i st ->
+      let shard_labels = ("shard", string_of_int i) :: labels in
+      let scb ?help name kind f =
+        M.register_callback reg ?help ~labels:shard_labels ~kind name f
+      in
+      scb "nscq_shard_queries_total" `Counter (fun () -> float_of_int st.queries)
+        ~help:"Queries dispatched to the shard";
+      scb "nscq_shard_failures_total" `Counter (fun () ->
+          float_of_int st.failures)
+        ~help:"Shard executions that failed";
+      scb "nscq_shard_skips_total" `Counter (fun () -> float_of_int st.skips)
+        ~help:"Queries pruned away from the shard by atom relevance";
+      scb "nscq_shard_results_total" `Counter (fun () ->
+          float_of_int st.results)
+        ~help:"Record ids the shard contributed to answers";
+      scb "nscq_shard_query_ms_max" `Gauge (fun () -> st.max_ms)
+        ~help:"Slowest query the shard has answered, in ms";
+      match t.targets.(i) with
+      | Remote_addr _ -> ()
+      | Local_handle inv ->
+        (* two Io_stats per local shard — list lookups and raw store I/O —
+           disambiguated by a [source] label so the metric names don't
+           collide *)
+        Storage.Io_stats.register reg
+          ~labels:(("source", "lists") :: shard_labels)
+          (IF.lookup_stats inv);
+        Storage.Io_stats.register reg
+          ~labels:(("source", "store") :: shard_labels)
+          (IF.store inv).Storage.Kv.stats)
+    t.stats
+
 let render_stats t =
   let b = Buffer.create 512 in
   let n_local =
@@ -355,23 +477,37 @@ let dispatch_backend ?(config = default_config) m () =
   (* concurrency inside a server comes from the worker pool; each worker's
      router walks its local shards sequentially *)
   let t = open_manifest ~config:{ config with domains = 1 } m in
+  let run_one ?trace v =
+    let o = query ?trace t v in
+    List.iter
+      (fun (i, reason) ->
+        Log.warn (fun f -> f "shard %d dropped from answer: %s" i reason))
+      o.warnings;
+    ids_payload o.records
+  in
   {
     Server.Dispatch.run_literals =
-      (fun values ->
-        List.map
-          (fun v ->
-            let o = query t v in
-            List.iter
-              (fun (i, reason) ->
-                Log.warn (fun f -> f "shard %d dropped from answer: %s" i reason))
-              o.warnings;
-            ids_payload o.records)
+      (fun ?(traces = []) values ->
+        List.mapi
+          (fun idx v ->
+            let trace = match List.nth_opt traces idx with
+              | Some t -> t
+              | None -> None
+            in
+            run_one ?trace v)
           values);
     run_statement =
       (fun _ ->
         invalid_arg
           "NSCQL statements are not supported over a sharded collection \
            (literal queries only)");
+    run_traced =
+      (fun ~trace_id v ->
+        let trace = Obs.Trace.create ?id:trace_id "query" in
+        let result = run_one ~trace v in
+        Server.Wire.traced_payload ~result
+          ~spans:(Obs.Trace.to_wire ~id:(Obs.Trace.id trace)
+                    (Obs.Trace.finish trace)));
     io_totals =
       (fun () ->
         let lookups, hits, misses, reads, bytes_read = local_io t in

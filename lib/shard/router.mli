@@ -65,14 +65,37 @@ type outcome = {
   shards_skipped : int;  (** pruned by the atom-existence filter *)
 }
 
-val query : t -> Nested.Value.t -> outcome
+val query : ?trace:Obs.Trace.t -> t -> Nested.Value.t -> outcome
 (** Scatter, gather, translate, merge — see the module header.
+
+    With [?trace], the fan-out is recorded as one [shard:<i>] span per
+    shard in shard order, grafted into the caller's innermost open span
+    after the gather barrier: local shards evaluate into their own
+    sub-trace (a {!Obs.Trace.t} is single-owner mutable state, so domains
+    never share the caller's) carrying the engine's phase spans; remote
+    shards are queried with the wire [Trace] verb and their server-side
+    span tree is parsed back and nested under a [remote=true] span.
+    Failed shards get a span with a [failed] attribute; skipped shards
+    get none. [shards_queried]/[shards_skipped] are attached as
+    attributes. A remote server predating the [Trace] verb answers with
+    an error, handled per [fail_mode] like any shard failure.
     @raise Shard_failed under [Fail_fast].
     @raise Invalid_argument if the query is an atom. *)
 
 val record_value : t -> int -> Nested.Value.t option
 (** The stored value behind a global record id, when its shard is local
     ([None] for remote shards and unknown ids). *)
+
+val register : Obs.Metrics.t -> ?labels:(string * string) list -> t -> unit
+(** Publishes the router's counters into a metrics registry as callback
+    metrics sampled at render time: [nscq_router_queries_total],
+    [nscq_router_partial_answers_total], and per shard (labelled
+    [shard="<i>"]) [nscq_shard_queries_total], [nscq_shard_failures_total],
+    [nscq_shard_skips_total], [nscq_shard_results_total] and the
+    [nscq_shard_query_ms_max] gauge. Each local shard additionally
+    publishes its two {!Storage.Io_stats} (list lookups and raw store
+    I/O, disambiguated by a [source] label) via
+    {!Storage.Io_stats.register}. *)
 
 val render_stats : t -> string
 (** Cumulative router statistics: per-shard query counts, failures,

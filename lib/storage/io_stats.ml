@@ -73,8 +73,31 @@ let merge a b =
 
 let pp ppf t =
   Format.fprintf ppf
-    "reads=%d (%d B) writes=%d (%d B) seeks=%d cache hits=%d misses=%d (%.1f%%)"
+    "reads=%d (%d B) writes=%d (%d B) seeks=%d cache hits=%d misses=%d \
+     (ratio %.3f)"
     t.reads t.bytes_read t.writes t.bytes_written t.seeks t.hits t.misses
-    (100. *. hit_ratio t);
+    (hit_ratio t);
   if t.faults > 0 || t.recoveries > 0 then
     Format.fprintf ppf " faults=%d recoveries=%d" t.faults t.recoveries
+
+let register reg ?(labels = []) t =
+  let c name help f =
+    Obs.Metrics.register_callback reg ~help ~labels ~kind:`Counter name
+      (fun () -> float_of_int (f t))
+  in
+  c "nscq_io_reads_total" "Store read operations" reads;
+  c "nscq_io_writes_total" "Store write operations" writes;
+  c "nscq_io_bytes_read_total" "Bytes read from the store" bytes_read;
+  c "nscq_io_bytes_written_total" "Bytes written to the store" bytes_written;
+  c "nscq_io_seeks_total" "Store seeks" seeks;
+  c "nscq_io_lookups_total" "Logical inverted-list lookups" lookups;
+  c "nscq_io_cache_hits_total" "Lookups served from the decoded-list cache"
+    hits;
+  c "nscq_io_cache_misses_total" "Lookups that went to the backing store"
+    misses;
+  c "nscq_io_faults_total" "Injected storage faults" faults;
+  c "nscq_io_recoveries_total" "Recovery actions (rollbacks, log truncations)"
+    recoveries;
+  Obs.Metrics.register_callback reg
+    ~help:"Cache hit ratio, hits / (hits + misses)" ~labels ~kind:`Gauge
+    "nscq_io_cache_hit_ratio" (fun () -> hit_ratio t)

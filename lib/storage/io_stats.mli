@@ -52,3 +52,11 @@ val merge : t -> t -> t
 (** Pointwise sum, as a fresh counter. *)
 
 val pp : Format.formatter -> t -> unit
+(** One line: reads/writes/seeks and cache hits/misses with the hit ratio
+    rendered as [ratio %.3f] (matching [Server_stats.render] precision). *)
+
+val register : Obs.Metrics.t -> ?labels:(string * string) list -> t -> unit
+(** Publishes these counters into a metrics registry as
+    [nscq_io_*_total] callback series plus an [nscq_io_cache_hit_ratio]
+    gauge. Registering another [t] under the same labels replaces the
+    series (the registry samples whichever handle registered last). *)

@@ -229,6 +229,37 @@ let test_shard_cli () =
   let out = expect_ok [ "query"; "-s"; resharded; "{{UK, {A, motorbike}}}" ] in
   check_bool "resharded query matches" true (contains_s out "3 matching record(s)")
 
+let test_trace_cli () =
+  with_store "hash" (fun ~store ~backend ->
+      let out =
+        expect_ok
+          [ "trace"; "-s"; store; "--backend"; backend; "--cache"; "10";
+            "{{UK, {A, motorbike}}}" ]
+      in
+      check_bool "result count" true (contains_s out "3 matching record(s)");
+      check_bool "trace header" true (contains_s out "trace ");
+      check_bool "retrieve phase" true (contains_s out "retrieve");
+      check_bool "eval phase" true (contains_s out "eval");
+      check_bool "per-atom spans" true (contains_s out "atom:");
+      check_bool "io attrs" true (contains_s out "lookups="))
+    ()
+
+let test_stats_metrics_cli () =
+  with_store "hash" (fun ~store ~backend ->
+      let out =
+        expect_ok [ "stats"; "-s"; store; "--backend"; backend; "--metrics" ]
+      in
+      check_bool "text exposition" true
+        (contains_s out "# TYPE nscq_io_reads_total counter");
+      check_bool "both io sources" true
+        (contains_s out "{source=\"store\"}");
+      let out =
+        expect_ok [ "stats"; "-s"; store; "--backend"; backend; "--json" ]
+      in
+      check_bool "json dump" true
+        (contains_s out "\"name\":\"nscq_io_reads_total\""))
+    ()
+
 let test_missing_store_fails () =
   List.iter
     (fun args ->
@@ -267,5 +298,12 @@ let () =
             test_malformed_endpoints_fail;
           Alcotest.test_case "shard build/status/query/reshard" `Quick
             test_shard_cli;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "trace prints the span tree" `Quick
+            test_trace_cli;
+          Alcotest.test_case "stats --metrics/--json" `Quick
+            test_stats_metrics_cli;
         ] );
     ]

@@ -192,6 +192,111 @@ let test_cross_config_consistency_synthetic () =
         ])
     queries
 
+(* --- tracing --- *)
+
+module T = Obs.Trace
+
+let span_names (s : T.span) = List.map (fun (c : T.span) -> c.T.name) s.T.children
+let attr name (s : T.span) = List.assoc_opt name s.T.attrs
+let int_attr name s = Option.bind (attr name s) int_of_string_opt
+
+(* The acceptance bar for the trace subsystem: the root span's recorded
+   I/O deltas must reconcile exactly with the store's own Io_stats
+   counters around the query — the trace is the same truth, sliced per
+   query. *)
+let test_trace_reconciles_io_stats () =
+  with_backend `Hash (fun inv ->
+      let q = Testutil.v q_uk in
+      let snap () =
+        let lk = IF.lookup_stats inv
+        and st = (IF.store inv).Storage.Kv.stats in
+        ( Storage.Io_stats.lookups lk,
+          Storage.Io_stats.hits lk,
+          Storage.Io_stats.misses lk,
+          Storage.Io_stats.reads st,
+          Storage.Io_stats.bytes_read st )
+      in
+      let l0, h0, m0, r0, b0 = snap () in
+      let trace = T.create "query" in
+      let result = E.query ~trace inv q in
+      let l1, h1, m1, r1, b1 = snap () in
+      let root = T.finish trace in
+      check_int "lookups delta" (l1 - l0) (Option.get (int_attr "lookups" root));
+      check_int "hits delta" (h1 - h0) (Option.get (int_attr "hits" root));
+      check_int "misses delta" (m1 - m0) (Option.get (int_attr "misses" root));
+      (match int_attr "reads" root with
+      | Some reads -> check_int "reads delta" (r1 - r0) reads
+      | None -> check_int "no reads recorded" 0 (r1 - r0));
+      (match int_attr "bytes_read" root with
+      | Some bytes -> check_int "bytes delta" (b1 - b0) bytes
+      | None -> check_int "no bytes recorded" 0 (b1 - b0));
+      check_int "result count attr" (List.length result.E.records)
+        (Option.get (int_attr "records" root));
+      (* the phase spans are present, in evaluation order *)
+      Alcotest.(check (list string))
+        "phases" [ "retrieve"; "eval"; "verify" ] (span_names root);
+      (* per-atom retrieval: one child span per distinct query atom, and
+         their hit+miss deltas sum to the retrieve phase's lookups *)
+      let retrieve = List.hd root.T.children in
+      let atom_io =
+        List.fold_left
+          (fun acc s ->
+            acc
+            + Option.value ~default:0 (int_attr "hits" s)
+            + Option.value ~default:0 (int_attr "misses" s))
+          0 retrieve.T.children
+      in
+      check_int "atom spans account for retrieve lookups"
+        (Option.get (int_attr "lookups" retrieve))
+        atom_io)
+
+let test_trace_absent_records_nothing () =
+  with_backend `Mem (fun inv ->
+      (* no ?trace: the result must be identical — tracing is opt-in and
+         must not perturb evaluation *)
+      let q = Testutil.v q_uk in
+      let plain = (E.query inv q).E.records in
+      let trace = T.create "query" in
+      let traced = (E.query ~trace inv q).E.records in
+      check_records "same results with and without trace" plain traced)
+
+(* Satellite regression: under streamed retrieval the engine intersects
+   lists straight from their encoded payloads, bypassing the decoded-list
+   cache entirely — so the trace must show zero cache hits and no
+   per-atom retrieve spans (there is no materialization phase to time). *)
+let test_trace_streamed_no_cache_hits () =
+  with_backend `Hash (fun inv ->
+      Containment.Collection.with_static_cache inv ~budget:250;
+      let q = Testutil.v q_uk in
+      (* warm the cache through the materialized path *)
+      let warm = (E.query inv q).E.records in
+      let config = { E.default with E.streamed = true } in
+      let trace = T.create "query" in
+      let r = E.query ~config ~trace inv q in
+      let root = T.finish trace in
+      check_records "streamed agrees" warm r.E.records;
+      check_int "streamed hits are structurally 0" 0
+        (Option.get (int_attr "hits" root));
+      check_bool "no retrieve span under streamed" true
+        (not (List.mem "retrieve" (span_names root))))
+
+let test_trace_batch_positional () =
+  with_backend `Mem (fun inv ->
+      let qs = [ Testutil.v q_uk; Testutil.v "{{zzz_nowhere}}"; Testutil.v q_uk ] in
+      (* trace only the middle query; results must match the untraced run
+         positionally *)
+      let plain = List.map (fun r -> r.E.records) (E.query_batch inv qs) in
+      let t = T.create "query" in
+      let traced =
+        E.query_batch ~traces:[ None; Some t; None ] inv qs
+        |> List.map (fun r -> r.E.records)
+      in
+      Alcotest.(check (list (list int))) "batch results unchanged" plain traced;
+      let root = T.finish t in
+      check_int "traced slot records its own result count"
+        (List.length (List.nth plain 1))
+        (Option.get (int_attr "records" root)))
+
 let () =
   Alcotest.run "engine"
     [
@@ -226,5 +331,16 @@ let () =
         [
           Alcotest.test_case "synthetic cross-config" `Quick
             test_cross_config_consistency_synthetic;
+        ] );
+      ( "tracing",
+        [
+          Alcotest.test_case "reconciles with Io_stats" `Quick
+            test_trace_reconciles_io_stats;
+          Alcotest.test_case "opt-in, same results" `Quick
+            test_trace_absent_records_nothing;
+          Alcotest.test_case "streamed: zero cache hits" `Quick
+            test_trace_streamed_no_cache_hits;
+          Alcotest.test_case "batch: positional traces" `Quick
+            test_trace_batch_positional;
         ] );
     ]

@@ -60,10 +60,11 @@ let expected_payloads path =
         String.concat " " (List.map string_of_int (E.query inv q).E.records) ))
     queries
 
-let with_server ?paused ~domains ?(queue_cap = 16) ?(max_batch = 4) path f =
+let with_server ?paused ~domains ?(queue_cap = 16) ?(max_batch = 4)
+    ?(slow_query_ms = 0.) path f =
   let cfg =
     { S.default_config with S.port = 0; domains; queue_cap; max_batch;
-      stats_interval_s = 0. }
+      stats_interval_s = 0.; slow_query_ms }
   in
   let srv = S.start ?paused cfg ~open_handle:(open_handle path) in
   Fun.protect ~finally:(fun () -> S.stop srv) (fun () -> f srv)
@@ -358,6 +359,85 @@ let test_sigint_leaves_clean_store () =
         (fun () ->
           check_int "integrity clean" 0 (List.length (Invfile.Integrity.check inv))))
 
+(* --- observability over the wire --- *)
+
+(* The Trace verb must answer the same record ids as Query, plus a span
+   tree that parses and carries the query's phases; the caller's trace id
+   must come back on the tree so distributed spans correlate. *)
+let test_trace_verb () =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  build path;
+  let expected = expected_payloads path in
+  with_server ~domains:2 path @@ fun srv ->
+  let c = C.connect ~port:(S.port srv) () in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  List.iteri
+    (fun i (text, want) ->
+      if i < 8 then
+        match C.trace c ~trace_id:(0x1000 + i) text with
+        | Error (code, msg) ->
+          Alcotest.failf "trace %s refused: %a: %s" text W.pp_error_code code
+            msg
+        | Ok payload -> (
+          let result, spans = W.split_traced payload in
+          Alcotest.(check string) ("trace ids for " ^ text) want result;
+          match Obs.Trace.of_wire spans with
+          | None -> Alcotest.failf "unparsable span tree:\n%s" spans
+          | Some (id, root) ->
+            check_int "caller's trace id echoed" (0x1000 + i) id;
+            check_bool "eval phase recorded" true
+              (List.exists
+                 (fun (s : Obs.Trace.span) -> s.Obs.Trace.name = "eval")
+                 root.Obs.Trace.children)))
+    expected;
+  (* NSCQL under the Trace verb is refused, not crashed *)
+  match C.trace c "COUNT CONTAINS {a}" with
+  | Error (W.Bad_request, _) -> ()
+  | Ok _ -> Alcotest.fail "NSCQL accepted under Trace"
+  | Error (code, _) ->
+    Alcotest.failf "NSCQL under Trace refused with %a" W.pp_error_code code
+
+let test_stats_carries_registry () =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  build path;
+  with_server ~domains:1 path @@ fun srv ->
+  let c = C.connect ~port:(S.port srv) () in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  ignore (C.query c (V.to_string (List.hd queries)));
+  match C.stats c with
+  | Error (_, msg) -> Alcotest.failf "stats refused: %s" msg
+  | Ok out ->
+    (* the human-readable digest and the text exposition ride together *)
+    List.iter
+      (fun needle ->
+        check_bool ("stats carry " ^ needle) true (contains_s out needle))
+      [
+        "accepted"; "# TYPE nscq_requests_accepted_total counter";
+        "nscq_requests_accepted_total"; "nscq_request_latency_us_bucket";
+        "nscq_list_lookups_total";
+      ]
+
+let test_slow_query_log_counts () =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  build path;
+  (* a threshold every request crosses: every completed query is slow *)
+  with_server ~domains:1 ~slow_query_ms:0.0001 path @@ fun srv ->
+  let c = C.connect ~port:(S.port srv) () in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  let n = 5 in
+  List.iteri
+    (fun i (text, _) -> if i < n then ignore (C.query c text))
+    (expected_payloads path);
+  ignore (C.trace c (V.to_string (List.hd queries)));
+  check_bool "slow queries counted" true
+    (wait_until (fun () -> Server.Server_stats.slow (S.stats srv) >= n + 1));
+  match C.stats c with
+  | Ok out ->
+    check_bool "slow count rendered" true (contains_s out "slow_queries");
+    check_bool "slow counter exported" true
+      (contains_s out "nscq_slow_queries_total")
+  | Error (_, msg) -> Alcotest.failf "stats refused: %s" msg
+
 let () =
   Alcotest.run "server"
     [
@@ -385,5 +465,14 @@ let () =
         [
           Alcotest.test_case "SIGINT leaves a clean store" `Quick
             test_sigint_leaves_clean_store;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "trace verb round-trips spans" `Quick
+            test_trace_verb;
+          Alcotest.test_case "stats carries the registry" `Quick
+            test_stats_carries_registry;
+          Alcotest.test_case "slow-query log counts" `Quick
+            test_slow_query_log_counts;
         ] );
     ]

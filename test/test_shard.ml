@@ -334,6 +334,104 @@ let test_manifest_corruption () =
   write (Bytes.of_string "not a manifest at all");
   Alcotest.(check bool) "foreign file" false (M.is_manifest_file path)
 
+(* --- observability: per-shard spans and the metrics registry --- *)
+
+module T = Obs.Trace
+
+let shard_spans (root : T.span) =
+  List.filter
+    (fun (s : T.span) ->
+      String.length s.T.name > 6 && String.sub s.T.name 0 6 = "shard:")
+    root.T.children
+
+let test_traced_scatter_local () =
+  with_built ~shards:3 @@ fun _mpath m ->
+  let r = R.open_manifest m in
+  Fun.protect ~finally:(fun () -> R.close r) @@ fun () ->
+  let q = Testutil.v "{car}" in
+  let plain = (R.query r q).R.records in
+  let trace = T.create "query" in
+  let o = R.query ~trace r q in
+  let root = T.finish trace in
+  check_ids "tracing does not change the answer" plain o.R.records;
+  let spans = shard_spans root in
+  Alcotest.(check int)
+    "one span per queried shard (skipped shards get none)"
+    o.R.shards_queried (List.length spans);
+  (* each local shard span carries the engine's phase spans inside *)
+  List.iter
+    (fun (s : T.span) ->
+      Alcotest.(check bool)
+        (s.T.name ^ " has an eval phase")
+        true
+        (List.exists (fun (c : T.span) -> c.T.name = "eval") s.T.children))
+    spans;
+  Alcotest.(check (option string))
+    "shards_queried attr"
+    (Some (string_of_int o.R.shards_queried))
+    (List.assoc_opt "shards_queried" root.T.attrs);
+  Alcotest.(check (option string))
+    "shards_skipped attr"
+    (Some (string_of_int o.R.shards_skipped))
+    (List.assoc_opt "shards_skipped" root.T.attrs)
+
+let test_traced_scatter_remote () =
+  with_built ~shards:3 @@ fun _mpath m ->
+  let servers = Array.map serve_shard m.M.shards in
+  Fun.protect ~finally:(fun () -> Array.iter Server.Service.stop servers)
+  @@ fun () ->
+  let rm = remote_manifest m (Array.map Server.Service.port servers) in
+  let r = R.open_manifest rm in
+  Fun.protect ~finally:(fun () -> R.close r) @@ fun () ->
+  let q = Testutil.v "{car}" in
+  let trace = T.create "query" in
+  let o = R.query ~trace r q in
+  let root = T.finish trace in
+  let spans = shard_spans root in
+  Alcotest.(check int) "a span per remote shard" 3 (List.length spans);
+  Alcotest.(check int) "all queried" 3 o.R.shards_queried;
+  List.iter
+    (fun (s : T.span) ->
+      Alcotest.(check (option string))
+        (s.T.name ^ " marked remote") (Some "true")
+        (List.assoc_opt "remote" s.T.attrs);
+      (* the server-side tree is nested inside, phases and all *)
+      match s.T.children with
+      | [ server_root ] ->
+        Alcotest.(check bool)
+          (s.T.name ^ " carries server phases")
+          true
+          (List.exists
+             (fun (c : T.span) -> c.T.name = "eval")
+             server_root.T.children)
+      | l -> Alcotest.failf "%s: %d server roots" s.T.name (List.length l))
+    spans
+
+let test_router_register () =
+  with_built ~shards:3 @@ fun _mpath m ->
+  let r = R.open_manifest m in
+  Fun.protect ~finally:(fun () -> R.close r) @@ fun () ->
+  List.iter (fun q -> ignore (R.query r q)) queries;
+  let reg = Obs.Metrics.create () in
+  R.register reg r;
+  let out = Obs.Metrics.render_text reg in
+  let contains needle =
+    let nl = String.length needle and hl = String.length out in
+    let rec go i = i + nl <= hl && (String.sub out i nl = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("registry carries " ^ needle) true (contains needle))
+    [
+      Printf.sprintf "nscq_router_queries_total %d" (List.length queries);
+      "nscq_shard_queries_total{shard=\"0\"}";
+      "nscq_shard_queries_total{shard=\"2\"}";
+      "nscq_shard_skips_total{shard=\"1\"}";
+      "nscq_io_lookups_total{shard=\"0\",source=\"lists\"}";
+      "nscq_shard_query_ms_max";
+    ]
+
 let () =
   Alcotest.run "shard"
     [
@@ -367,5 +465,14 @@ let () =
             (test_reshard_equivalence ~from_shards:4 ~to_shards:2);
           Alcotest.test_case "2 -> 3 (grow) = oracle" `Quick
             (test_reshard_equivalence ~from_shards:2 ~to_shards:3);
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "local scatter traced" `Quick
+            test_traced_scatter_local;
+          Alcotest.test_case "remote scatter traced" `Quick
+            test_traced_scatter_remote;
+          Alcotest.test_case "registry registration" `Quick
+            test_router_register;
         ] );
     ]

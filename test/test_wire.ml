@@ -34,9 +34,13 @@ let gen_frame st =
   | 1 -> W.Hello_ack { version = gen_u16 st; server = gen_string st }
   | 2 ->
     let verb =
-      if QCheck.Gen.bool st then W.Query (gen_string st) else W.Stats
+      match QCheck.Gen.int_bound 2 st with
+      | 0 -> W.Query (gen_string st)
+      | 1 -> W.Stats
+      | _ -> W.Trace (gen_string st)
     in
-    W.Request { id = gen_u32 st; deadline_ms = gen_u32 st; verb }
+    let trace = if QCheck.Gen.bool st then Some (gen_u32 st) else None in
+    W.Request { id = gen_u32 st; deadline_ms = gen_u32 st; verb; trace }
   | 3 ->
     W.Result
       { id = gen_u32 st; seq = gen_u32 st; last = QCheck.Gen.bool st;
@@ -141,6 +145,57 @@ let test_chunking () =
   | [ W.Result { id = 3; last = true; chunk = "hello"; _ } ] -> ()
   | _ -> Alcotest.fail "small payload should be a single chunk"
 
+(* Trace-less requests must encode byte-for-byte as protocol v1 did: the
+   payload is exactly [u32 id][u32 deadline][verb byte 0|1][text], with no
+   trace-presence bit — old peers parse it unchanged, and frames an old
+   peer produces parse here with [trace = None]. *)
+let test_v1_request_layout () =
+  let check_layout verb ~verb_byte ~text =
+    let s =
+      W.encode (W.Request { id = 7; deadline_ms = 30; verb; trace = None })
+    in
+    let payload = String.sub s 9 (String.length s - 9) in
+    check_int "payload length" (9 + String.length text) (String.length payload);
+    check_int "id" 7 (Int32.to_int (String.get_int32_be payload 0));
+    check_int "deadline" 30 (Int32.to_int (String.get_int32_be payload 4));
+    check_int "verb byte (no trace bit)" verb_byte (String.get_uint8 payload 8);
+    Alcotest.(check string)
+      "text" text
+      (String.sub payload 9 (String.length payload - 9))
+  in
+  check_layout (W.Query "{a, {b}}") ~verb_byte:0 ~text:"{a, {b}}";
+  check_layout W.Stats ~verb_byte:1 ~text:"";
+  (* the trace-id rides behind bit 4 of the verb byte; an old parser sees
+     a verb it does not know and rejects the frame instead of misreading *)
+  let s =
+    W.encode
+      (W.Request
+         { id = 7; deadline_ms = 30; verb = W.Query "{a}"; trace = Some 99 })
+  in
+  check_int "trace bit set" 0x10 (String.get_uint8 s (9 + 8) land 0x10);
+  check_int "trace id" 99 (Int32.to_int (String.get_int32_be s (9 + 9)))
+
+let prop_trace_field =
+  Testutil.qcheck_case ~count:300 ~name:"optional trace id round-trips"
+    QCheck.(
+      pair (option (int_bound 0x3FFFFFFF)) (pair small_string bool))
+    (fun (trace, (text, as_trace_verb)) ->
+      let verb = if as_trace_verb then W.Trace text else W.Query text in
+      let frame = W.Request { id = 3; deadline_ms = 0; verb; trace } in
+      match W.decode (W.encode frame) with
+      | W.Decoded (frame', _) -> frame' = frame
+      | W.Need_more | W.Invalid _ -> false)
+
+let test_traced_payload () =
+  let result = "0 2 5" and spans = "trace 2a\n0\t1\t2\tquery" in
+  let r, s = W.split_traced (W.traced_payload ~result ~spans) in
+  Alcotest.(check string) "result part" result r;
+  Alcotest.(check string) "spans part" spans s;
+  (* a payload with no newline is all result, no spans *)
+  let r, s = W.split_traced "0 2 5" in
+  Alcotest.(check string) "bare result" "0 2 5" r;
+  Alcotest.(check string) "no spans" "" s
+
 let test_pipe_io () =
   (* write_frame / read_frame over a pipe, including interleaved frames *)
   let r, w = Unix.pipe () in
@@ -151,7 +206,12 @@ let test_pipe_io () =
     (fun () ->
       let sent =
         [ W.Hello { version = 1 };
-          W.Request { id = 1; deadline_ms = 250; verb = W.Query "{a, {b}}" };
+          W.Request
+            { id = 1; deadline_ms = 250; verb = W.Query "{a, {b}}";
+              trace = None };
+          W.Request
+            { id = 2; deadline_ms = 0; verb = W.Trace "{a}";
+              trace = Some 0x1234 };
           W.Result { id = 1; seq = 0; last = true; chunk = "0 2 5" };
           W.Goodbye ]
       in
@@ -170,11 +230,14 @@ let () =
   Alcotest.run "wire"
     [
       ( "codec",
-        [ prop_roundtrip; prop_truncation; prop_corruption; prop_stream ] );
+        [ prop_roundtrip; prop_truncation; prop_corruption; prop_stream;
+          prop_trace_field ] );
       ( "edges",
         [
           Alcotest.test_case "bad magic / garbage" `Quick test_bad_magic;
           Alcotest.test_case "oversized length" `Quick test_oversized_length;
+          Alcotest.test_case "v1 request layout" `Quick test_v1_request_layout;
+          Alcotest.test_case "traced payload split" `Quick test_traced_payload;
           Alcotest.test_case "result chunking" `Quick test_chunking;
           Alcotest.test_case "pipe round-trip" `Quick test_pipe_io;
         ] );
