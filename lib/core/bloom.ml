@@ -22,10 +22,12 @@ let optimal ~expected ~fp_rate =
 let bits t = t.nbits
 let hash_count t = t.hashes
 
-(* Double hashing: h_i = h1 + i*h2 (Kirsch-Mitzenmacher). *)
+(* Double hashing: h_i = h1 + i*h2 (Kirsch-Mitzenmacher). String.hash is
+   the string-monomorphic spelling of Hashtbl.hash — same bit pattern, so
+   signatures built by earlier versions stay valid. *)
 let base_hashes s =
-  let h1 = Hashtbl.hash s in
-  let h2 = Hashtbl.hash (s ^ "\x00nscq") in
+  let h1 = String.hash s in
+  let h2 = String.hash (s ^ "\x00nscq") in
   (h1, (2 * h2) + 1)
 
 let set_bit t i =

@@ -14,15 +14,24 @@ let zeta n theta =
   done;
   !sum
 
-(* Harmonic sums are expensive for large n; memoize per (n, theta). *)
+(* Harmonic sums are expensive for large n; memoize per (n, theta). The
+   cache is process-wide (parallel shard builds create generators from
+   several domains), so it sits behind a mutex. *)
+let zetan_lock = Lockdep.create "datagen.zipf.zetan"
+
 let zetan_cache : (int * float, float) Hashtbl.t = Hashtbl.create 8
+[@@lint.guarded_by zetan_lock]
 
 let zetan_memo n theta =
-  match Hashtbl.find_opt zetan_cache (n, theta) with
+  match
+    Lockdep.protect zetan_lock (fun () ->
+        Hashtbl.find_opt zetan_cache (n, theta))
+  with
   | Some z -> z
   | None ->
     let z = zeta n theta in
-    Hashtbl.replace zetan_cache (n, theta) z;
+    Lockdep.protect zetan_lock (fun () ->
+        Hashtbl.replace zetan_cache (n, theta) z);
     z
 
 let create ~n ~theta =

@@ -74,7 +74,7 @@ let atom_universe v =
   List.sort_uniq String.compare (collect [] v)
 
 let rec hash = function
-  | Atom a -> Hashtbl.hash a
+  | Atom a -> String.hash a
   | Set xs -> List.fold_left (fun acc x -> (acc * 31) + hash x) 17 xs
 
 let rec map_atoms f = function

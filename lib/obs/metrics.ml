@@ -31,12 +31,13 @@ type series = {
 }
 
 type t = {
-  lock : Mutex.t;
+  lock : Lockdep.t;
   table : (string * labels, series) Hashtbl.t;
   mutable order : series list; (* registration order, reversed *)
 }
 
-let create () = { lock = Mutex.create (); table = Hashtbl.create 64; order = [] }
+let create () =
+  { lock = Lockdep.create "obs.metrics"; table = Hashtbl.create 64; order = [] }
 
 let valid_name name =
   String.length name > 0
@@ -58,10 +59,7 @@ let register t ?(help = "") ?(labels = []) name make =
   if not (valid_name name) then
     invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
   let labels = normalize labels in
-  Mutex.lock t.lock;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () ->
+  Lockdep.protect t.lock (fun () ->
       match Hashtbl.find_opt t.table (name, labels) with
       | Some s -> s
       | None ->
@@ -168,12 +166,7 @@ let register_callback t ?help ?labels ~kind name f =
 (* ---- rendering ---- *)
 
 let sorted_series t =
-  Mutex.lock t.lock;
-  let all =
-    Fun.protect
-      ~finally:(fun () -> Mutex.unlock t.lock)
-      (fun () -> List.rev t.order)
-  in
+  let all = Lockdep.protect t.lock (fun () -> List.rev t.order) in
   List.stable_sort
     (fun a b ->
       match String.compare a.name b.name with

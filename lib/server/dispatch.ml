@@ -17,7 +17,7 @@ type job = {
 type state = Running | Draining | Stopped
 
 type t = {
-  mutex : Mutex.t;
+  mutex : Lockdep.t;
   wake : Condition.t;
   queue : job Queue.t;
   queue_cap : int;
@@ -30,9 +30,7 @@ type t = {
   mutable workers : unit Domain.t list;
 }
 
-let locked t f =
-  Mutex.lock t.mutex;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+let locked t f = Lockdep.protect t.mutex f
 
 (* --- execution backends --- *)
 
@@ -169,13 +167,27 @@ let execute_group t backend jobs =
       let code, msg = refusal_of_exn exn in
       finish t job (Refused (code, msg)))
   | jobs -> (
-    (* an all-literal block (Batcher.coalesce groups nothing else) *)
-    let values =
-      List.map
+    (* an all-literal block (Batcher.coalesce groups nothing else); a
+       stray non-literal is an internal bug, but the wire protocol has an
+       error frame for it, so refuse the job instead of dying *)
+    let jobs, strays =
+      List.partition
         (fun j ->
           match j.request with
-          | Batcher.Literal v -> v
-          | Batcher.Statement _ | Batcher.Traced _ -> assert false)
+          | Batcher.Literal _ -> true
+          | Batcher.Statement _ | Batcher.Traced _ -> false)
+        jobs
+    in
+    List.iter
+      (fun job ->
+        finish t job
+          (Refused
+             (Wire.Server_error, "internal: non-literal job in a batch")))
+      strays;
+    let values =
+      List.filter_map
+        (fun j ->
+          match j.request with Batcher.Literal v -> Some v | _ -> None)
         jobs
     in
     (* with the slow log armed, give every job a trace so an offending
@@ -211,16 +223,16 @@ let worker t open_backend () =
          preload); baseline them so only query work is reported *)
       let snap = ref (backend.io_totals ()) in
       let rec loop () =
-        Mutex.lock t.mutex;
+        Lockdep.lock t.mutex;
         while (t.paused || Queue.is_empty t.queue) && t.state = Running do
-          Condition.wait t.wake t.mutex
+          Lockdep.wait t.wake t.mutex
         done;
-        if Queue.is_empty t.queue then Mutex.unlock t.mutex (* draining: done *)
+        if Queue.is_empty t.queue then Lockdep.unlock t.mutex (* draining: done *)
         else begin
           let jobs =
             Batcher.coalesce t.queue ~batchable:job_batchable ~max:t.max_batch
           in
-          Mutex.unlock t.mutex;
+          Lockdep.unlock t.mutex;
           let now = Unix.gettimeofday () in
           let live, dead =
             List.partition
@@ -256,7 +268,7 @@ let create ?(paused = false) ?(slow_ms = 0.) ~domains ~queue_cap ~max_batch
   if max_batch < 1 then invalid_arg "Dispatch.create: max_batch must be ≥ 1";
   let t =
     {
-      mutex = Mutex.create ();
+      mutex = Lockdep.create "server.dispatch";
       wake = Condition.create ();
       queue = Queue.create ();
       queue_cap;

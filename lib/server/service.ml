@@ -29,7 +29,7 @@ let default_config =
 
 type conn = {
   fd : Unix.file_descr;
-  wmutex : Mutex.t;
+  wmutex : Lockdep.t;
   mutable alive : bool;
   mutable thread : Thread.t option;
 }
@@ -41,11 +41,11 @@ type t = {
   dispatch : Dispatch.t;
   server_stats : Server_stats.t;
   stopping : bool Atomic.t;
-  conns_mutex : Mutex.t;
+  conns_mutex : Lockdep.t;
   mutable conns : conn list;
   mutable accept_thread : Thread.t option;
   mutable ticker : Thread.t option;
-  stop_mutex : Mutex.t;
+  stop_mutex : Lockdep.t;
   mutable stopped : bool;
 }
 
@@ -57,19 +57,13 @@ type t = {
    mutex before the descriptor is closed, so no reply can hit a recycled
    fd. *)
 let send conn frame =
-  Mutex.lock conn.wmutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock conn.wmutex)
-    (fun () ->
+  Lockdep.protect conn.wmutex (fun () ->
       if conn.alive then
         try Wire.write_frame conn.fd frame
         with Unix.Unix_error _ | Sys_error _ -> conn.alive <- false)
 
 let close_conn conn =
-  Mutex.lock conn.wmutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock conn.wmutex)
-    (fun () ->
+  Lockdep.protect conn.wmutex (fun () ->
       if conn.alive then begin
         conn.alive <- false;
         (* shutdown first: it wakes a thread blocked in read on this
@@ -80,9 +74,8 @@ let close_conn conn =
       end)
 
 let unregister t conn =
-  Mutex.lock t.conns_mutex;
-  t.conns <- List.filter (fun c -> c != conn) t.conns;
-  Mutex.unlock t.conns_mutex
+  Lockdep.protect t.conns_mutex (fun () ->
+      t.conns <- List.filter (fun c -> c != conn) t.conns)
 
 let hello_exchange conn =
   match Wire.read_frame conn.fd with
@@ -153,7 +146,16 @@ let handle_request t conn ~id ~deadline_ms ~trace_id verb =
              code = Wire.Bad_request;
              message = "trace expects a nested-set literal, not NSCQL";
            })
-    | Ok (Batcher.Traced _) -> assert false (* parse never builds these *)
+    | Ok (Batcher.Traced _) ->
+      (* parse never builds these; answer with an error frame rather
+         than killing the connection thread *)
+      send conn
+        (Wire.Error
+           {
+             id;
+             code = Wire.Server_error;
+             message = "internal: parser produced a traced request";
+           })
     | Error message ->
       send conn (Wire.Error { id; code = Wire.Bad_request; message }))
 
@@ -191,10 +193,11 @@ let accept_loop t () =
         | fd, _ ->
           (try Unix.setsockopt fd Unix.TCP_NODELAY true
            with Unix.Unix_error _ -> ());
-          let conn = { fd; wmutex = Mutex.create (); alive = true; thread = None } in
-          Mutex.lock t.conns_mutex;
-          t.conns <- conn :: t.conns;
-          Mutex.unlock t.conns_mutex;
+          let conn =
+            { fd; wmutex = Lockdep.create "server.conn.write"; alive = true;
+              thread = None }
+          in
+          Lockdep.protect t.conns_mutex (fun () -> t.conns <- conn :: t.conns);
           conn.thread <- Some (Thread.create (fun () -> conn_loop t conn) ())
         | exception Unix.Unix_error _ -> ())
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
@@ -258,11 +261,11 @@ let start_with ?(paused = false) cfg ~open_backend =
       dispatch;
       server_stats;
       stopping = Atomic.make false;
-      conns_mutex = Mutex.create ();
+      conns_mutex = Lockdep.create "server.conns";
       conns = [];
       accept_thread = None;
       ticker = None;
-      stop_mutex = Mutex.create ();
+      stop_mutex = Lockdep.create "server.stop";
       stopped = false;
     }
   in
@@ -286,10 +289,7 @@ let queue_depth t = Dispatch.queue_depth t.dispatch
 let resume t = Dispatch.resume t.dispatch
 
 let stop t =
-  Mutex.lock t.stop_mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.stop_mutex)
-    (fun () ->
+  Lockdep.protect t.stop_mutex (fun () ->
       if not t.stopped then begin
         t.stopped <- true;
         (* 1. no new connections or admissions *)
@@ -300,9 +300,7 @@ let stop t =
            connections are still open *)
         Dispatch.drain t.dispatch;
         (* 3. now disconnect lingering clients and collect their threads *)
-        Mutex.lock t.conns_mutex;
-        let conns = t.conns in
-        Mutex.unlock t.conns_mutex;
+        let conns = Lockdep.protect t.conns_mutex (fun () -> t.conns) in
         List.iter close_conn conns;
         List.iter (fun c -> Option.iter Thread.join c.thread) conns;
         Option.iter Thread.join t.ticker;

@@ -16,10 +16,12 @@ type t = {
 }
 
 (* A registry so [range] can recover the B+tree behind a Kv.t handle;
-   serialized because parallel workers may open handles concurrently. *)
-let registry : (string, t) Hashtbl.t = Hashtbl.create 8
-let registry_mutex = Mutex.create ()
-let with_registry f = Mutex.protect registry_mutex f
+   shared because parallel workers may open handles concurrently. *)
+module Reg = Registry.Make (struct
+  type nonrec t = t
+
+  let kind = "Btree_store"
+end)
 
 (* --- node serialization --- *)
 
@@ -311,7 +313,7 @@ let range_fold t ~lo ~hi f acc =
 
 let to_kv t =
   let name = "btree:" ^ t.path in
-  with_registry (fun () -> Hashtbl.replace registry name t);
+  Reg.put name t;
   {
     Kv.name;
     get = (fun k -> get_from t t.root k);
@@ -326,7 +328,7 @@ let to_kv t =
     close =
       (fun () ->
         write_meta t;
-        with_registry (fun () -> Hashtbl.remove registry name);
+        Reg.remove name;
         Pager.close t.pager);
     stats = Pager.stats t.pager;
   }
@@ -349,6 +351,5 @@ let open_existing ?page_size ?cache_pages path =
   to_kv t
 
 let range kv ~lo ~hi =
-  match with_registry (fun () -> Hashtbl.find_opt registry kv.Kv.name) with
-  | None -> invalid_arg "Btree_store.range: not a btree handle"
-  | Some t -> List.rev (range_fold t ~lo ~hi (fun acc k v -> (k, v) :: acc) [])
+  let t = Reg.find kv.Kv.name ~what:"range" in
+  List.rev (range_fold t ~lo ~hi (fun acc k v -> (k, v) :: acc) [])

@@ -16,10 +16,12 @@ type handle = {
 }
 
 (* registry so [optimize]/[file_size] can recover the handle behind Kv.t;
-   serialized because parallel workers may open handles concurrently *)
-let registry : (string, handle) Hashtbl.t = Hashtbl.create 8
-let registry_mutex = Mutex.create ()
-let with_registry f = Mutex.protect registry_mutex f
+   shared because parallel workers may open handles concurrently *)
+module Reg = Registry.Make (struct
+  type t = handle
+
+  let kind = "Hash_store"
+end)
 
 let record_header_size = 16
 
@@ -184,7 +186,7 @@ let close t =
   if not t.closed then begin
     write_header t;
     t.closed <- true;
-    with_registry (fun () -> Hashtbl.remove registry ("hash:" ^ t.path));
+    Reg.remove ("hash:" ^ t.path);
     Unix.close t.fd
   end
 
@@ -193,7 +195,7 @@ let round_up_pow2 n =
   loop 1
 
 let to_kv t =
-  with_registry (fun () -> Hashtbl.replace registry ("hash:" ^ t.path) t);
+  Reg.put ("hash:" ^ t.path) t;
   {
     Kv.name = "hash:" ^ t.path;
     get = get t;
@@ -251,7 +253,7 @@ let open_existing path =
 
 
 let find_handle kv what =
-  match with_registry (fun () -> Hashtbl.find_opt registry kv.Kv.name) with
+  match Reg.find_opt kv.Kv.name with
   | Some t when not t.closed -> t
   | _ -> invalid_arg ("Hash_store." ^ what ^ ": not an open hash store handle")
 

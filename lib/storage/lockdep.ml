@@ -1,0 +1,200 @@
+exception Violation of string
+
+type t = {
+  class_name : string;
+  m : Mutex.t;
+}
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "NSCQ_LOCKDEP" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some _ | None -> false)
+
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* All bookkeeping lives behind one plain mutex: the held-lock table is
+   keyed by thread id (connection threads share their domain, so
+   Domain.DLS would conflate them), the order graph by class name. This
+   is the only [Mutex.create] outside lockdep's own [create]. *)
+let state_mu = Mutex.create ()
+
+let held : (int, t list ref) Hashtbl.t = Hashtbl.create 16
+[@@lint.guarded_by state_mu]
+
+let adjacency : (string, string list ref) Hashtbl.t = Hashtbl.create 16
+[@@lint.guarded_by state_mu]
+
+let edge_seen : (string * string, unit) Hashtbl.t = Hashtbl.create 64
+[@@lint.guarded_by state_mu]
+
+let violation_seen : (string, unit) Hashtbl.t = Hashtbl.create 16
+[@@lint.guarded_by state_mu]
+
+let violation_log : string list ref = ref [] [@@lint.guarded_by state_mu]
+
+let with_state f = Mutex.protect state_mu f
+
+let record_violation msg =
+  if not (Hashtbl.mem violation_seen msg) then begin
+    Hashtbl.add violation_seen msg ();
+    violation_log := msg :: !violation_log
+  end
+
+(* Is [target] reachable from [src] in the order graph? *)
+let reachable src target =
+  let visited = Hashtbl.create 8 in
+  let rec go n =
+    String.equal n target
+    || (not (Hashtbl.mem visited n))
+       &&
+       (Hashtbl.add visited n ();
+        match Hashtbl.find_opt adjacency n with
+        | None -> false
+        | Some succs -> List.exists go !succs)
+  in
+  go src
+
+let add_edge from_class to_class =
+  if not (Hashtbl.mem edge_seen (from_class, to_class)) then begin
+    Hashtbl.add edge_seen (from_class, to_class) ();
+    match Hashtbl.find_opt adjacency from_class with
+    | Some succs -> succs := to_class :: !succs
+    | None -> Hashtbl.add adjacency from_class (ref [ to_class ])
+  end
+
+let thread_id () = Thread.id (Thread.self ())
+
+let held_slot tid =
+  match Hashtbl.find_opt held tid with
+  | Some slot -> slot
+  | None ->
+    let slot = ref [] in
+    Hashtbl.add held tid slot;
+    slot
+
+(* Runs the checks for acquiring [t]; raises on double-acquire, records
+   everything else. Must be called before the real [Mutex.lock] so a
+   self-deadlock surfaces as an exception, not a hang. *)
+let note_acquire t =
+  with_state (fun () ->
+      let slot = held_slot (thread_id ()) in
+      List.iter
+        (fun h ->
+          if h == t then
+            raise
+              (Violation
+                 (Printf.sprintf "double acquire of %S in one thread"
+                    t.class_name));
+          if String.equal h.class_name t.class_name then
+            record_violation
+              (Printf.sprintf
+                 "same-class nesting: two %S instances held at once"
+                 t.class_name)
+          else begin
+            (* Check for the inversion before inserting the new edge, so
+               the cycle we report is one another thread created. *)
+            if reachable t.class_name h.class_name then
+              record_violation
+                (Printf.sprintf
+                   "potential deadlock: acquiring %S while holding %S, but \
+                    the order graph already has %S -> ... -> %S"
+                   t.class_name h.class_name t.class_name h.class_name);
+            add_edge h.class_name t.class_name
+          end)
+        !slot)
+
+let note_locked t =
+  with_state (fun () ->
+      let slot = held_slot (thread_id ()) in
+      slot := t :: !slot)
+
+let note_unlocked t =
+  with_state (fun () ->
+      let tid = thread_id () in
+      match Hashtbl.find_opt held tid with
+      | None -> ()
+      | Some slot ->
+        let rec drop_first = function
+          | [] -> []
+          | h :: rest -> if h == t then rest else h :: drop_first rest
+        in
+        slot := drop_first !slot;
+        if !slot = [] then Hashtbl.remove held tid)
+
+let create class_name = { class_name; m = Mutex.create () }
+let name t = t.class_name
+
+let lock t =
+  if Atomic.get enabled_flag then begin
+    note_acquire t;
+    Mutex.lock t.m;
+    note_locked t
+  end
+  else Mutex.lock t.m
+
+let unlock t =
+  if Atomic.get enabled_flag then begin
+    note_unlocked t;
+    Mutex.unlock t.m
+  end
+  else Mutex.unlock t.m
+
+let protect t f =
+  lock t;
+  Fun.protect ~finally:(fun () -> unlock t) f
+
+let wait cond t =
+  if Atomic.get enabled_flag then begin
+    (* Condition.wait releases and re-acquires the mutex; mirror that in
+       the held table. The re-acquire cannot self-deadlock, but running
+       the full checks keeps order edges complete. *)
+    note_unlocked t;
+    Condition.wait cond t.m;
+    note_acquire t;
+    note_locked t
+  end
+  else Condition.wait cond t.m
+
+let violations () = with_state (fun () -> List.rev !violation_log)
+
+let report () =
+  with_state (fun () ->
+      let b = Buffer.create 256 in
+      Buffer.add_string b "lock-order graph:\n";
+      let edges =
+        Hashtbl.fold
+          (fun from_class succs acc ->
+            List.fold_left
+              (fun acc to_class -> (from_class, to_class) :: acc)
+              acc !succs)
+          adjacency []
+        |> List.sort (fun (a1, a2) (b1, b2) ->
+               match String.compare a1 b1 with
+               | 0 -> String.compare a2 b2
+               | c -> c)
+      in
+      if edges = [] then Buffer.add_string b "  (empty)\n"
+      else
+        List.iter
+          (fun (a, b') ->
+            Buffer.add_string b (Printf.sprintf "  %s -> %s\n" a b'))
+          edges;
+      (match List.rev !violation_log with
+      | [] -> Buffer.add_string b "no violations recorded\n"
+      | vs ->
+        Buffer.add_string b
+          (Printf.sprintf "%d violation(s):\n" (List.length vs));
+        List.iter
+          (fun v -> Buffer.add_string b (Printf.sprintf "  %s\n" v))
+          vs);
+      Buffer.contents b)
+
+let reset () =
+  with_state (fun () ->
+      Hashtbl.reset held;
+      Hashtbl.reset adjacency;
+      Hashtbl.reset edge_seen;
+      Hashtbl.reset violation_seen;
+      violation_log := [])

@@ -1,0 +1,63 @@
+(** Named mutexes with optional runtime lock-order checking.
+
+    Every mutex in the project is created through this module with a
+    class name (e.g. ["server.dispatch"]). When the [NSCQ_LOCKDEP]
+    environment variable is set to [1] (or [true]/[yes]/[on]), each
+    acquire records, per thread, which lock classes were already held
+    and adds the corresponding edges to a global lock-order graph:
+
+    - acquiring a mutex the current thread already holds raises
+      {!Violation} immediately instead of deadlocking;
+    - an acquire whose class closes a cycle in the order graph (the
+      classic A→B in one thread, B→A in another) is recorded as a
+      potential deadlock and reported by {!violations} — the program
+      keeps running, exactly like the kernel's lockdep warns once;
+    - holding two instances of the same class is recorded as a
+      same-class nesting violation.
+
+    With the variable unset, every operation is a direct call on the
+    underlying [Mutex] plus one branch on a cached boolean — no
+    allocation, no bookkeeping. *)
+
+type t
+
+exception Violation of string
+
+(** [create name] makes a mutex belonging to lock class [name].
+    Instances created with the same name share one node in the order
+    graph. *)
+val create : string -> t
+
+val name : t -> string
+
+(** Like [Mutex.lock]. Under lockdep, checks for double-acquire (raises
+    {!Violation}) and records order edges before blocking. *)
+val lock : t -> unit
+
+val unlock : t -> unit
+
+(** [protect t f] = lock, run [f], unlock — like [Mutex.protect]. *)
+val protect : t -> (unit -> 'a) -> 'a
+
+(** [wait cond t] is [Condition.wait cond] on the underlying mutex,
+    keeping the held-lock bookkeeping consistent across the implicit
+    release/re-acquire. *)
+val wait : Condition.t -> t -> unit
+
+(** Whether lockdep checking is currently on. Initialised from
+    [NSCQ_LOCKDEP]. *)
+val enabled : unit -> bool
+
+(** Test hook: turn checking on or off at runtime. *)
+val set_enabled : bool -> unit
+
+(** Violations recorded so far (deduplicated, oldest first). *)
+val violations : unit -> string list
+
+(** Human-readable report: the lock-order graph followed by any
+    violations. *)
+val report : unit -> string
+
+(** Test hook: forget the order graph, held-lock state and recorded
+    violations. *)
+val reset : unit -> unit

@@ -24,11 +24,12 @@ type t = {
 }
 
 (* The registry is shared by every domain that opens a log store (e.g.
-   Parallel workers each opening their own handle on one path), so its
-   accesses are serialized. *)
-let registry : (string, t) Hashtbl.t = Hashtbl.create 8
-let registry_mutex = Mutex.create ()
-let with_registry f = Mutex.protect registry_mutex f
+   Parallel workers each opening their own handle on one path). *)
+module Reg = Registry.Make (struct
+  type nonrec t = t
+
+  let kind = "Log_store"
+end)
 
 let really_pread t ~off buf pos len =
   Io_stats.record_seek t.stats;
@@ -162,7 +163,7 @@ let scan t ~file_size =
 
 let to_kv t =
   let name = "log:" ^ t.path in
-  with_registry (fun () -> Hashtbl.replace registry name t);
+  Reg.put name t;
   {
     Kv.name;
     get = get t;
@@ -178,7 +179,7 @@ let to_kv t =
       (fun () ->
         if not t.closed then begin
           t.closed <- true;
-          with_registry (fun () -> Hashtbl.remove registry name);
+          Reg.remove name;
           Unix.close t.fd
         end);
     stats = t.stats;
@@ -244,10 +245,7 @@ let open_existing ?(to_last_commit = false) path =
   if keep < size then Io_stats.record_recovery t.stats;
   to_kv t
 
-let find_handle kv what =
-  match with_registry (fun () -> Hashtbl.find_opt registry kv.Kv.name) with
-  | Some t -> t
-  | None -> invalid_arg ("Log_store." ^ what ^ ": not a log store handle")
+let find_handle kv what = Reg.find kv.Kv.name ~what
 
 let mark_commit kv =
   let t = find_handle kv "mark_commit" in

@@ -1,0 +1,24 @@
+module Make (V : sig
+  type t
+
+  val kind : string
+end) =
+struct
+  let lock = Lockdep.create (V.kind ^ ".registry")
+
+  let table : (string, V.t) Hashtbl.t = Hashtbl.create 8
+  [@@lint.guarded_by lock]
+
+  let put name v = Lockdep.protect lock (fun () -> Hashtbl.replace table name v)
+  let remove name = Lockdep.protect lock (fun () -> Hashtbl.remove table name)
+
+  let find_opt name =
+    Lockdep.protect lock (fun () -> Hashtbl.find_opt table name)
+
+  let find name ~what =
+    match find_opt name with
+    | Some v -> v
+    | None ->
+      invalid_arg
+        (Printf.sprintf "%s.%s: not a %s handle" V.kind what V.kind)
+end

@@ -1,0 +1,24 @@
+(** Shared name → handle registries.
+
+    The file-backed stores each keep a process-wide table mapping a
+    [Kv.t] name back to the concrete handle so module-specific
+    operations ([compact], [optimize], [range], …) can recover it. The
+    table is shared by every domain that opens a store, so all accesses
+    go through a {!Lockdep} mutex named ["<kind>.registry"]. *)
+
+module Make (V : sig
+  type t
+
+  (** Lock-class and diagnostic prefix, e.g. ["log_store"]. *)
+  val kind : string
+end) : sig
+  (** [put name v] binds [name], replacing any previous binding. *)
+  val put : string -> V.t -> unit
+
+  val remove : string -> unit
+  val find_opt : string -> V.t option
+
+  (** [find name ~what] is the handle bound to [name], or
+      [Invalid_argument "<kind>.<what>: not a <kind> handle"]. *)
+  val find : string -> what:string -> V.t
+end

@@ -1,0 +1,300 @@
+(* End-to-end tests of nscq-lint: for each rule, a violating fixture
+   (asserting exit code and file:line positions), a clean fixture, and
+   an allowlisted one. Fixtures are written to a fresh temp directory
+   and checked with `--rule RX`, which bypasses the path-based scoping;
+   the scoping itself is tested last with a fake lib/ tree. *)
+
+(* Resolve the built linter whether we run under `dune runtest` (cwd =
+   _build/default/test) or `dune exec` from the project root. *)
+let lint_exe =
+  let candidates =
+    (match Sys.getenv_opt "NSCQ_LINT_BIN" with Some p -> [ p ] | None -> [])
+    @ [
+        "../tools/lint/nscq_lint.exe";
+        "_build/default/tools/lint/nscq_lint.exe";
+        "tools/lint/nscq_lint.exe";
+      ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> "../tools/lint/nscq_lint.exe"
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains_s haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* Runs the linter, returns (exit code, combined output). *)
+let run_lint args =
+  let out_file = Filename.temp_file "nscq_lint" ".out" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove out_file with Sys_error _ -> ())
+    (fun () ->
+      let cmd =
+        Printf.sprintf "%s %s > %s 2>&1" (Filename.quote lint_exe)
+          (String.concat " " (List.map Filename.quote args))
+          (Filename.quote out_file)
+      in
+      let code = Sys.command cmd in
+      let ic = open_in_bin out_file in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (code, contents))
+
+(* Fresh directory under the system temp dir; caller's files are
+   removed afterwards. *)
+let with_fixture_dir f =
+  let dir = Filename.temp_file "nscq_lintfix" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> try rm dir with Sys_error _ -> ()) (fun () -> f dir)
+
+let write_file dir name contents =
+  let path = Filename.concat dir name in
+  let rec ensure_parent d =
+    if not (Sys.file_exists d) then begin
+      ensure_parent (Filename.dirname d);
+      Sys.mkdir d 0o700
+    end
+  in
+  ensure_parent (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  path
+
+(* Asserts the run found exactly the expected diagnostics: one
+   "<file>:<line>:" position with the rule tag per entry. *)
+let expect_violations ~rule path lines out =
+  List.iter
+    (fun line ->
+      let pos = Printf.sprintf "%s:%d:" (Filename.basename path) line in
+      check_bool
+        (Printf.sprintf "diagnostic at %s with [%s]" pos rule)
+        true
+        (contains_s out pos && contains_s out ("[" ^ rule ^ "]")))
+    lines
+
+let expect_clean ~what (code, out) =
+  if code <> 0 then Alcotest.failf "%s: expected exit 0, got %d:\n%s" what code out
+
+let expect_dirty ~what (code, out) =
+  if code <> 1 then Alcotest.failf "%s: expected exit 1, got %d:\n%s" what code out;
+  check_bool (what ^ ": summary line present") true
+    (contains_s out "violation(s)")
+
+(* --- R1: polymorphic comparison --- *)
+
+let test_r1 () =
+  with_fixture_dir (fun dir ->
+      let viol =
+        write_file dir "viol_r1.ml"
+          "let f a b = compare a b\n\
+           let g v values = List.mem v values\n\
+           let h x = Hashtbl.hash x\n\
+           let i v w = List.exists (( = ) v) w\n"
+      in
+      let code, out = run_lint [ "--rule"; "R1"; viol ] in
+      expect_dirty ~what:"R1 violating" (code, out);
+      expect_violations ~rule:"R1" viol [ 1; 2; 3; 4 ] out;
+      let clean =
+        write_file dir "clean_r1.ml"
+          "let f a b = String.compare a b\n\
+           let g v values = List.exists (String.equal v) values\n\
+           let h x = String.hash x\n\
+           let eq a b = a = b\n"
+      in
+      expect_clean ~what:"R1 clean" (run_lint [ "--rule"; "R1"; clean ]);
+      let allowed =
+        write_file dir "allow_r1.ml"
+          "let ok a b = (compare a b) [@lint.allow polycmp]\n"
+      in
+      expect_clean ~what:"R1 allowlisted" (run_lint [ "--rule"; "R1"; allowed ]))
+
+(* a file that defines its own compare may call it bare *)
+let test_r1_shadowed_compare () =
+  with_fixture_dir (fun dir ->
+      let f =
+        write_file dir "own_compare.ml"
+          "let compare a b = String.compare a b\n\
+           let sort l = List.sort compare l\n"
+      in
+      expect_clean ~what:"R1 shadowed compare" (run_lint [ "--rule"; "R1"; f ]))
+
+(* --- R2: printing / blocking I/O in hot paths --- *)
+
+let test_r2 () =
+  with_fixture_dir (fun dir ->
+      let viol =
+        write_file dir "viol_r2.ml"
+          "let f x = Printf.printf \"%d\\n\" x\n\
+           let g () = print_endline \"hi\"\n\
+           let h fd buf = Unix.read fd buf 0 1\n"
+      in
+      let code, out = run_lint [ "--rule"; "R2"; viol ] in
+      expect_dirty ~what:"R2 violating" (code, out);
+      expect_violations ~rule:"R2" viol [ 1; 2; 3 ] out;
+      let clean =
+        write_file dir "clean_r2.ml"
+          "let f x = Printf.sprintf \"%d\" x\n\
+           let pp ppf x = Format.fprintf ppf \"%d\" x\n"
+      in
+      expect_clean ~what:"R2 clean" (run_lint [ "--rule"; "R2"; clean ]);
+      let allowed =
+        write_file dir "allow_r2.ml"
+          "[@@@lint.allow io]\n\
+           let f x = Printf.printf \"%d\\n\" x\n"
+      in
+      expect_clean ~what:"R2 allowlisted" (run_lint [ "--rule"; "R2"; allowed ]))
+
+(* --- R3: unguarded top-level mutable state --- *)
+
+let test_r3 () =
+  with_fixture_dir (fun dir ->
+      let viol =
+        write_file dir "viol_r3.ml"
+          "let table = Hashtbl.create 16\n\
+           let counter = ref 0\n"
+      in
+      let code, out = run_lint [ "--rule"; "R3"; viol ] in
+      expect_dirty ~what:"R3 violating" (code, out);
+      expect_violations ~rule:"R3" viol [ 1; 2 ] out;
+      let clean =
+        write_file dir "clean_r3.ml"
+          "let limit = 16\n\
+           let make () = Hashtbl.create 16\n\
+           let scoped () = let c = ref 0 in incr c; !c\n"
+      in
+      expect_clean ~what:"R3 clean" (run_lint [ "--rule"; "R3"; clean ]);
+      let guarded =
+        write_file dir "guarded_r3.ml"
+          "let table = Hashtbl.create 16 [@@lint.guarded_by state_mu]\n\
+           let counter = ref 0 [@@lint.guarded_by state_mu]\n"
+      in
+      expect_clean ~what:"R3 guarded" (run_lint [ "--rule"; "R3"; guarded ]))
+
+(* bindings nested in sub-modules are still top-level state *)
+let test_r3_submodule () =
+  with_fixture_dir (fun dir ->
+      let f =
+        write_file dir "sub_r3.ml"
+          "module Cache = struct\n\
+          \  let table = Hashtbl.create 16\n\
+           end\n"
+      in
+      let code, out = run_lint [ "--rule"; "R3"; f ] in
+      expect_dirty ~what:"R3 submodule" (code, out);
+      expect_violations ~rule:"R3" f [ 2 ] out)
+
+(* --- R4: bare failure in reply paths --- *)
+
+let test_r4 () =
+  with_fixture_dir (fun dir ->
+      let viol =
+        write_file dir "viol_r4.ml"
+          "let f () = failwith \"boom\"\n\
+           let g () = assert false\n"
+      in
+      let code, out = run_lint [ "--rule"; "R4"; viol ] in
+      expect_dirty ~what:"R4 violating" (code, out);
+      expect_violations ~rule:"R4" viol [ 1; 2 ] out;
+      let clean =
+        write_file dir "clean_r4.ml"
+          "exception Bad_request of string\n\
+           let f () = raise (Bad_request \"boom\")\n\
+           let g x = assert (x > 0)\n"
+      in
+      expect_clean ~what:"R4 clean" (run_lint [ "--rule"; "R4"; clean ]);
+      let allowed =
+        write_file dir "allow_r4.ml"
+          "let f () = (failwith \"boom\") [@lint.allow bare_fail]\n"
+      in
+      expect_clean ~what:"R4 allowlisted" (run_lint [ "--rule"; "R4"; allowed ]))
+
+(* --- R5: every library module has an .mli --- *)
+
+let test_r5 () =
+  with_fixture_dir (fun dir ->
+      let lone = write_file dir "lone.ml" "let x = 1\n" in
+      let code, out = run_lint [ "--rule"; "R5"; lone ] in
+      expect_dirty ~what:"R5 missing mli" (code, out);
+      check_bool "R5 names the missing interface" true
+        (contains_s out "[R5]" && contains_s out "lone.mli");
+      let paired = write_file dir "paired.ml" "let x = 1\n" in
+      let _mli = write_file dir "paired.mli" "val x : int\n" in
+      expect_clean ~what:"R5 with mli" (run_lint [ "--rule"; "R5"; paired ]);
+      let allowed =
+        write_file dir "allow_r5.ml" "[@@@lint.allow mli]\nlet x = 1\n"
+      in
+      expect_clean ~what:"R5 allowlisted" (run_lint [ "--rule"; "R5"; allowed ]))
+
+(* --- default path-based scoping (no --rule) --- *)
+
+let test_default_scoping () =
+  with_fixture_dir (fun dir ->
+      (* same polymorphic-compare body in three places: lib/core (R1
+         applies), lib/textformats (R1 does not), and bin (no lib rules
+         at all) — each with an .mli / outside lib so R5 stays quiet *)
+      let body = "let f a b = compare a b\n" in
+      let core = write_file dir "lib/core/fixture_scope.ml" body in
+      let _ = write_file dir "lib/core/fixture_scope.mli" "val f : 'a -> 'a -> int\n" in
+      let other = write_file dir "lib/textformats/fixture_scope.ml" body in
+      let _ =
+        write_file dir "lib/textformats/fixture_scope.mli" "val f : 'a -> 'a -> int\n"
+      in
+      let bin = write_file dir "bin/fixture_scope.ml" body in
+      let code, out = run_lint [ Filename.concat dir "lib"; Filename.concat dir "bin" ] in
+      if code <> 1 then
+        Alcotest.failf "scoping: expected exit 1, got %d:\n%s" code out;
+      check_bool "lib/core file flagged" true (contains_s out core);
+      check_bool "lib/textformats file not flagged" false (contains_s out other);
+      check_bool "bin file not flagged" false (contains_s out bin))
+
+(* --- driver behaviour --- *)
+
+let test_usage_errors () =
+  let code, _ = run_lint [] in
+  check_int "no paths is a usage error" 2 code;
+  let code, _ = run_lint [ "--rule"; "R9"; "lib" ] in
+  check_int "unknown rule is a usage error" 2 code;
+  let code, _ = run_lint [ "/nonexistent/nscq/path" ] in
+  check_int "missing path is a usage error" 2 code
+
+let test_parse_error_reported () =
+  with_fixture_dir (fun dir ->
+      let bad = write_file dir "bad.ml" "let = in (\n" in
+      let code, out = run_lint [ "--rule"; "R1"; bad ] in
+      check_int "parse failure exits 1" 1 code;
+      check_bool "parse diagnostic present" true (contains_s out "[parse]"))
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "R1 polycmp" `Quick test_r1;
+          Alcotest.test_case "R1 shadowed compare" `Quick
+            test_r1_shadowed_compare;
+          Alcotest.test_case "R2 io" `Quick test_r2;
+          Alcotest.test_case "R3 guarded" `Quick test_r3;
+          Alcotest.test_case "R3 submodule" `Quick test_r3_submodule;
+          Alcotest.test_case "R4 bare_fail" `Quick test_r4;
+          Alcotest.test_case "R5 mli" `Quick test_r5;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "default scoping" `Quick test_default_scoping;
+          Alcotest.test_case "usage errors" `Quick test_usage_errors;
+          Alcotest.test_case "parse error" `Quick test_parse_error_reported;
+        ] );
+    ]

@@ -1,0 +1,513 @@
+(* nscq-lint — project-rule checker built on compiler-libs.
+
+   Parses every .ml under the given roots (no type-checking, so the
+   rules are syntactic approximations, documented in DESIGN.md) and
+   enforces:
+
+     R1 polycmp    no polymorphic compare/hash on nested-set data
+                   (lib/core, lib/nested)
+     R2 io         no console printing / blocking Unix calls in query
+                   hot paths (lib/core, lib/invfile, lib/shard/router.ml)
+     R3 guarded    no top-level mutable Hashtbl/ref in library modules
+                   without [@@lint.guarded_by <mutex>]
+     R4 bare_fail  no failwith / assert false in server reply paths
+                   (lib/server, excluding the client side)
+     R5 mli        every library module has an .mli
+
+   Suppression: [@lint.allow <rule-name>] on an expression or binding,
+   [@@@lint.allow <rule-name>] for the rest of a file. Exit 0 when
+   clean, 1 with one "file:line:col: [R#] message" line per violation,
+   2 on usage errors. *)
+
+type rule = R1 | R2 | R3 | R4 | R5
+
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+
+(* the name used in [@lint.allow <name>] *)
+let rule_key = function
+  | R1 -> "polycmp"
+  | R2 -> "io"
+  | R3 -> "guarded"
+  | R4 -> "bare_fail"
+  | R5 -> "mli"
+
+let all_rules = [ R1; R2; R3; R4; R5 ]
+
+let rule_of_string s =
+  match String.lowercase_ascii s with
+  | "r1" | "polycmp" -> Some R1
+  | "r2" | "io" -> Some R2
+  | "r3" | "guarded" -> Some R3
+  | "r4" | "bare_fail" -> Some R4
+  | "r5" | "mli" -> Some R5
+  | _ -> None
+
+(* --- diagnostics --- *)
+
+type diagnostic = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string; (* "R1".."R5" or "parse" *)
+  msg : string;
+}
+
+let diagnostics : diagnostic list ref = ref []
+
+let report ~file ~line ~col ~rule msg =
+  diagnostics := { file; line; col; rule; msg } :: !diagnostics
+
+let report_loc (loc : Location.t) ~rule msg =
+  let p = loc.loc_start in
+  report ~file:p.pos_fname ~line:p.pos_lnum ~col:(p.pos_cnum - p.pos_bol)
+    ~rule:(rule_id rule) msg
+
+(* --- attribute helpers --- *)
+
+let rec payload_idents (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt = Longident.Lident s; _ } -> [ s ]
+  | Pexp_construct ({ txt = Longident.Lident s; _ }, None) -> [ s ]
+  | Pexp_constant (Pconst_string (s, _, _)) -> [ s ]
+  | Pexp_apply (f, args) ->
+    payload_idents f @ List.concat_map (fun (_, a) -> payload_idents a) args
+  | Pexp_tuple es -> List.concat_map payload_idents es
+  | _ -> []
+
+let attr_rule_names name (attrs : Parsetree.attributes) =
+  List.concat_map
+    (fun (a : Parsetree.attribute) ->
+      if String.equal a.attr_name.txt name then
+        match a.attr_payload with
+        | PStr [ { pstr_desc = Pstr_eval (e, _); _ } ] -> payload_idents e
+        | _ -> []
+      else [])
+    attrs
+
+let allow_names attrs = attr_rule_names "lint.allow" attrs
+
+let has_guarded_by (attrs : Parsetree.attributes) =
+  List.exists
+    (fun (a : Parsetree.attribute) ->
+      String.equal a.attr_name.txt "lint.guarded_by")
+    attrs
+
+(* --- per-file checking context --- *)
+
+type ctx = {
+  file : string;
+  active : rule list; (* rules in force for this file *)
+  suppressed : (string, int) Hashtbl.t; (* allow-name -> nesting depth *)
+  defines_compare : bool; (* file defines its own [compare] *)
+}
+
+let rule_on ctx r =
+  List.mem r ctx.active
+  &&
+  match Hashtbl.find_opt ctx.suppressed (rule_key r) with
+  | Some n when n > 0 -> false
+  | _ -> true
+
+let push_allows ctx names =
+  List.iter
+    (fun n ->
+      Hashtbl.replace ctx.suppressed n
+        (1 + Option.value ~default:0 (Hashtbl.find_opt ctx.suppressed n)))
+    names
+
+let pop_allows ctx names =
+  List.iter
+    (fun n ->
+      match Hashtbl.find_opt ctx.suppressed n with
+      | Some d when d > 1 -> Hashtbl.replace ctx.suppressed n (d - 1)
+      | _ -> Hashtbl.remove ctx.suppressed n)
+    names
+
+let with_allows ctx names f =
+  push_allows ctx names;
+  Fun.protect ~finally:(fun () -> pop_allows ctx names) f
+
+(* --- longident classification --- *)
+
+let rec flatten_lid = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten_lid l @ [ s ]
+  | Longident.Lapply _ -> []
+
+let strip_stdlib = function
+  | ("Stdlib" | "Pervasives") :: rest -> rest
+  | l -> l
+
+let lid_path lid = strip_stdlib (flatten_lid lid)
+let lid_str lid = String.concat "." (flatten_lid lid)
+
+(* R1: polymorphic structural comparison or hashing. *)
+let polycmp_hit ctx path =
+  match path with
+  | [ "compare" ] -> not ctx.defines_compare
+  | [ "Hashtbl"; ("hash" | "seeded_hash" | "hash_param") ] -> true
+  | [ "List"; ("mem" | "assoc" | "mem_assoc" | "remove_assoc") ] -> true
+  | _ -> false
+
+(* R2: console printing and blocking Unix calls. Formatter-directed
+   Format.fprintf/pp_* and string-building Printf.sprintf stay legal. *)
+let io_hit path =
+  match path with
+  | [ ( "print_string" | "print_endline" | "print_newline" | "print_char"
+      | "print_int" | "print_float" | "print_bytes" | "prerr_string"
+      | "prerr_endline" | "prerr_newline" | "prerr_char" | "prerr_int"
+      | "prerr_float" | "prerr_bytes" | "output_string" | "output_bytes"
+      | "output_char" | "output_value" | "read_line" | "read_int" ) ] ->
+    true
+  | [ "Printf"; ("printf" | "eprintf" | "fprintf") ] -> true
+  | [ "Format"; ("printf" | "eprintf" | "print_string" | "print_newline") ]
+    ->
+    true
+  | [ "Unix";
+      ( "read" | "write" | "single_write" | "select" | "sleep" | "sleepf"
+      | "openfile" | "system" | "fsync" | "waitpid" ) ] ->
+    true
+  | _ -> false
+
+(* --- expression checks (R1, R2, R4) --- *)
+
+let check_ident ctx (lid : Longident.t) (loc : Location.t) =
+  let path = lid_path lid in
+  if rule_on ctx R1 && polycmp_hit ctx path then
+    report_loc loc ~rule:R1
+      (Printf.sprintf
+         "polymorphic %s on nested-set data; use a monomorphic \
+          compare/equal/hash (Value.compare, String.equal, String.hash, \
+          ...) or annotate [@lint.allow polycmp]"
+         (lid_str lid));
+  if rule_on ctx R2 && io_hit path then
+    report_loc loc ~rule:R2
+      (Printf.sprintf
+         "%s in a query hot path; route diagnostics through Obs (metrics, \
+          trace, slow log) or annotate [@lint.allow io]"
+         (lid_str lid));
+  if rule_on ctx R4 && path = [ "failwith" ] then
+    report_loc loc ~rule:R4
+      "failwith in a server reply path; the wire protocol has an error \
+       frame — reply with Wire.Error / Dispatch.Refused or annotate \
+       [@lint.allow bare_fail]"
+
+let check_expr ctx (e : Parsetree.expression) =
+  (match e.pexp_desc with
+  | Pexp_ident { txt; loc } -> check_ident ctx txt loc
+  | Pexp_apply (f, args) when rule_on ctx R1 ->
+    (* (=) / (<>) used as a first-class equality: passed bare to a
+       higher-order function, or partially applied to build a predicate
+       ([List.exists (( = ) v)]). Infix two-argument tests stay legal —
+       ints and strings compare that way all over the tree. *)
+    (match (f.pexp_desc, args) with
+    | Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); loc }, [ _ ]
+      ->
+      report_loc loc ~rule:R1
+        (Printf.sprintf
+           "polymorphic (%s) partially applied as an equality predicate; \
+            use Value.equal / String.equal / Int.equal or annotate \
+            [@lint.allow polycmp]"
+           op)
+    | _ -> ());
+    List.iter
+      (fun ((_, arg) : Asttypes.arg_label * Parsetree.expression) ->
+        match arg.pexp_desc with
+        | Pexp_ident { txt = Longident.Lident (("=" | "<>") as op); loc } ->
+          report_loc loc ~rule:R1
+            (Printf.sprintf
+               "polymorphic (%s) passed as an equality function; pass \
+                Value.equal / String.equal / Int.equal or annotate \
+                [@lint.allow polycmp]"
+               op)
+        | _ -> ())
+      args
+  | Pexp_assert { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
+    when rule_on ctx R4 ->
+    report_loc e.pexp_loc ~rule:R4
+      "assert false in a server reply path; reply with Wire.Error / \
+       Dispatch.Refused or annotate [@lint.allow bare_fail]"
+  | _ -> ())
+
+let make_iterator ctx =
+  let super = Ast_iterator.default_iterator in
+  let expr self (e : Parsetree.expression) =
+    with_allows ctx
+      (allow_names e.pexp_attributes)
+      (fun () ->
+        check_expr ctx e;
+        super.expr self e)
+  in
+  let value_binding self (vb : Parsetree.value_binding) =
+    with_allows ctx
+      (allow_names vb.pvb_attributes)
+      (fun () -> super.value_binding self vb)
+  in
+  let structure_item self (item : Parsetree.structure_item) =
+    match item.pstr_desc with
+    | Pstr_attribute a ->
+      (* [@@@lint.allow ...] holds for the rest of the file: push without
+         a matching pop *)
+      push_allows ctx (allow_names [ a ]);
+      super.structure_item self item
+    | _ -> super.structure_item self item
+  in
+  { super with expr; value_binding; structure_item }
+
+(* --- R3: top-level mutable state --- *)
+
+let rec peel_constraints (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_constraint (e, _) | Pexp_coerce (e, _, _) -> peel_constraints e
+  | _ -> e
+
+let mutable_kind (e : Parsetree.expression) =
+  match (peel_constraints e).pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+    match lid_path txt with
+    | [ "Hashtbl"; "create" ] -> Some "Hashtbl"
+    | [ "ref" ] -> Some "ref"
+    | _ -> None)
+  | _ -> None
+
+let rec check_r3_structure ctx (str : Parsetree.structure) =
+  List.iter
+    (fun (item : Parsetree.structure_item) ->
+      match item.pstr_desc with
+      | Pstr_attribute a -> push_allows ctx (allow_names [ a ])
+      | Pstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            if
+              rule_on ctx R3
+              && (not (has_guarded_by vb.pvb_attributes))
+              && (not (has_guarded_by vb.pvb_expr.pexp_attributes))
+              && not (List.mem (rule_key R3) (allow_names vb.pvb_attributes))
+            then
+              match mutable_kind vb.pvb_expr with
+              | Some kind ->
+                report_loc vb.pvb_loc ~rule:R3
+                  (Printf.sprintf
+                     "top-level mutable %s shared by every domain; guard \
+                      it with a Lockdep mutex and annotate \
+                      [@@lint.guarded_by <mutex>]"
+                     kind)
+              | None -> ())
+          vbs
+      | Pstr_module mb -> check_r3_module ctx mb.pmb_expr
+      | Pstr_recmodule mbs ->
+        List.iter (fun (mb : Parsetree.module_binding) ->
+            check_r3_module ctx mb.pmb_expr)
+          mbs
+      | _ -> ())
+    str
+
+and check_r3_module ctx (me : Parsetree.module_expr) =
+  match me.pmod_desc with
+  | Pmod_structure s -> check_r3_structure ctx s
+  | Pmod_functor (_, body) -> check_r3_module ctx body
+  | Pmod_constraint (me, _) -> check_r3_module ctx me
+  | _ -> ()
+
+(* --- file scanning --- *)
+
+let norm_path p =
+  (* normalize ./foo and backslashes so scope matching is stable *)
+  let p = String.concat "/" (String.split_on_char '\\' p) in
+  if String.length p > 2 && String.sub p 0 2 = "./" then
+    String.sub p 2 (String.length p - 2)
+  else p
+
+let in_dir dir file =
+  (* [dir] like "lib/core/": true for any path containing it *)
+  let dl = String.length dir and fl = String.length file in
+  let rec go i =
+    i + dl <= fl && (String.sub file i dl = dir || go (i + 1))
+  in
+  go 0
+
+let default_rules_for file =
+  let file = norm_path file in
+  let r1 = in_dir "lib/core/" file || in_dir "lib/nested/" file in
+  let r2 =
+    in_dir "lib/core/" file || in_dir "lib/invfile/" file
+    || in_dir "lib/shard/router.ml" file
+  in
+  let r4 =
+    in_dir "lib/server/" file && not (in_dir "lib/server/client." file)
+  in
+  let lib = in_dir "lib/" file in
+  List.filter_map
+    (fun (cond, r) -> if cond then Some r else None)
+    [ (r1, R1); (r2, R2); (lib, R3); (r4, R4); (lib, R5) ]
+
+let file_defines_compare (str : Parsetree.structure) =
+  let found = ref false in
+  let rec pat_binds_compare (p : Parsetree.pattern) =
+    match p.ppat_desc with
+    | Ppat_var { txt = "compare"; _ } -> true
+    | Ppat_constraint (p, _) | Ppat_alias (p, _) -> pat_binds_compare p
+    | Ppat_tuple ps -> List.exists pat_binds_compare ps
+    | _ -> false
+  in
+  let rec scan (items : Parsetree.structure) =
+    List.iter
+      (fun (item : Parsetree.structure_item) ->
+        match item.pstr_desc with
+        | Pstr_value (_, vbs) ->
+          if List.exists (fun (vb : Parsetree.value_binding) ->
+                 pat_binds_compare vb.pvb_pat)
+               vbs
+          then found := true
+        | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure s; _ }; _ } ->
+          scan s
+        | _ -> ())
+      items
+  in
+  scan str;
+  !found
+
+let parse_implementation file =
+  try Ok (Pparse.parse_implementation ~tool_name:"nscq-lint" file)
+  with exn ->
+    let msg =
+      match Location.error_of_exn exn with
+      | Some (`Ok e) -> Format.asprintf "%a" Location.print_report e
+      | _ -> Printexc.to_string exn
+    in
+    Error msg
+
+let check_mli_presence active file str =
+  if List.mem R5 active && Filename.check_suffix file ".ml" then
+    let mli = file ^ "i" in
+    if not (Sys.file_exists mli) then
+      if not (List.mem (rule_key R5) (allow_names (List.concat_map
+               (fun (item : Parsetree.structure_item) ->
+                 match item.pstr_desc with
+                 | Pstr_attribute a -> [ a ]
+                 | _ -> [])
+               str)))
+      then
+        report ~file ~line:1 ~col:0 ~rule:(rule_id R5)
+          (Printf.sprintf
+             "library module has no interface: %s is missing (add it, or \
+              put [@@@lint.allow mli] at the top of the file)"
+             (Filename.basename mli))
+
+let check_file ~forced_rules file =
+  let active =
+    match forced_rules with
+    | Some rs -> rs
+    | None -> default_rules_for file
+  in
+  if active <> [] then
+    match parse_implementation file with
+    | Error msg ->
+      report ~file ~line:1 ~col:0 ~rule:"parse" msg
+    | Ok str ->
+      let ctx =
+        {
+          file;
+          active;
+          suppressed = Hashtbl.create 8;
+          defines_compare = file_defines_compare str;
+        }
+      in
+      check_mli_presence active file str;
+      let it = make_iterator ctx in
+      it.structure it str;
+      (* R3 walks only structure-level bindings, so it gets its own
+         traversal with a fresh suppression scope *)
+      let ctx3 = { ctx with suppressed = Hashtbl.create 8 } in
+      check_r3_structure ctx3 str
+
+(* --- directory walking & driver --- *)
+
+let rec collect acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc entry ->
+           if
+             String.length entry > 0
+             && entry.[0] <> '.'
+             && entry <> "_build"
+           then collect acc (Filename.concat path entry)
+           else acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let usage () =
+  prerr_endline
+    "usage: nscq-lint [--rule R1|R2|R3|R4|R5]... [--list-rules] path...";
+  exit 2
+
+let () =
+  let forced = ref [] in
+  let paths = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--rule" :: v :: rest -> (
+      match rule_of_string v with
+      | Some r ->
+        forced := r :: !forced;
+        parse_args rest
+      | None ->
+        Printf.eprintf "nscq-lint: unknown rule %S\n" v;
+        usage ())
+    | "--list-rules" :: rest ->
+      List.iter
+        (fun r -> Printf.printf "%s %s\n" (rule_id r) (rule_key r))
+        all_rules;
+      parse_args rest
+    | ("--help" | "-h") :: _ -> usage ()
+    | p :: rest ->
+      paths := p :: !paths;
+      parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  if !paths = [] then usage ();
+  let files =
+    List.fold_left
+      (fun acc p ->
+        if not (Sys.file_exists p) then begin
+          Printf.eprintf "nscq-lint: no such file or directory: %s\n" p;
+          exit 2
+        end;
+        collect acc p)
+      [] (List.rev !paths)
+    |> List.sort_uniq String.compare
+  in
+  let forced_rules =
+    match !forced with [] -> None | rs -> Some (List.rev rs)
+  in
+  List.iter (check_file ~forced_rules) files;
+  let ds =
+    List.sort
+      (fun (a : diagnostic) (b : diagnostic) ->
+        match String.compare a.file b.file with
+        | 0 -> (
+          match Int.compare a.line b.line with
+          | 0 -> Int.compare a.col b.col
+          | c -> c)
+        | c -> c)
+      !diagnostics
+  in
+  List.iter
+    (fun (d : diagnostic) ->
+      Printf.printf "%s:%d:%d: [%s] %s\n" d.file d.line d.col d.rule d.msg)
+    ds;
+  if ds <> [] then begin
+    Printf.printf "nscq-lint: %d violation(s) in %d file(s)\n"
+      (List.length ds)
+      (List.length
+         (List.sort_uniq String.compare
+            (List.map (fun (d : diagnostic) -> d.file) ds)));
+    exit 1
+  end
