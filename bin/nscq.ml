@@ -281,6 +281,23 @@ let recfmt_arg =
         ~doc:"Stored-record encoding: $(b,syntax) (readable) or $(b,binary)
               (dictionary-coded, ~3x smaller).")
 
+let codec_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("blocked", Invfile.Plist.Blocked);
+             ("varint", Invfile.Plist.Varint);
+             ("bitpacked", Invfile.Plist.Bitpacked);
+           ])
+        Invfile.Plist.Blocked
+    & info [ "codec" ] ~docv:"CODEC"
+        ~doc:"Postings payload format: $(b,blocked) (block-partitioned
+              varint/bitmap with a skip directory, the default),
+              $(b,varint) (plain delta/varint) or $(b,bitpacked)
+              (columnar, not streamable).")
+
 let parse_collection ~format ~tokenize contents =
   match format with
   | `Nested -> Nested.Syntax.parse_many contents
@@ -300,7 +317,7 @@ let build_cmd =
   let buckets_arg =
     Arg.(value & opt int 65536 & info [ "buckets" ] ~docv:"N" ~doc:"Hash store buckets.")
   in
-  let run input format tokenize output backend buckets record_format =
+  let run input format tokenize output backend buckets record_format codec =
     let values = parse_collection ~format ~tokenize (read_file input) in
     let store =
       match backend with
@@ -308,7 +325,7 @@ let build_cmd =
       | `Btree -> Storage.Btree_store.create output
       | `Log -> Storage.Log_store.create output
     in
-    let builder = Invfile.Builder.create ~record_format store in
+    let builder = Invfile.Builder.create ~record_format ~codec store in
     List.iter (fun v -> ignore (Invfile.Builder.add_value builder v)) values;
     let inv = Invfile.Builder.finish builder in
     Printf.printf "indexed %d records, %d atoms, %d internal nodes into %s\n"
@@ -319,7 +336,7 @@ let build_cmd =
     (Cmd.info "build" ~doc:"Build the inverted file for a collection.")
     Term.(
       const run $ input_arg $ format_arg $ tokenize_arg $ output_arg $ backend_arg
-      $ buckets_arg $ recfmt_arg)
+      $ buckets_arg $ recfmt_arg $ codec_arg)
 
 (* --- query --- *)
 

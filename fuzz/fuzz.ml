@@ -10,6 +10,7 @@
      dune exec fuzz/fuzz.exe -- 10000         -- more
      dune exec fuzz/fuzz.exe -- 500 99        -- scenarios, seed
      dune exec fuzz/fuzz.exe -- crash 500 99  -- crash-recovery mode
+     dune exec fuzz/fuzz.exe -- codec 500 99  -- payload-codec mode
 
    Crash mode is the long-running companion to test/test_faults.ml: each
    scenario runs a random update workload behind Storage.Fault with a
@@ -17,6 +18,11 @@
    leaves the store consistent, that queries agree with the value-level
    oracle, and that the surviving records are exactly a prefix of the
    updates (update atomicity).
+
+   Codec mode is the companion to test/test_kernels.ml: random postings
+   lists with lengths biased to the Plist_blocks block boundaries are
+   round-tripped through every payload codec and driven through the
+   streamed kernels against the Plist_ref oracle.
 
    Exits non-zero on the first divergence, printing a reproducer. *)
 
@@ -258,6 +264,105 @@ let crash_scenario rng i =
     end
   done
 
+(* --- payload-codec mode --- *)
+
+module L = Invfile.Plist
+module R = Invfile.Plist_ref
+module St = Invfile.Plist_stream
+module P = Invfile.Posting
+
+(* Deterministic posting per node id — equal ids carry identical payloads
+   across lists, the invariant the intersection kernels assume. *)
+let posting_of_id node =
+  let h = (node * 2654435761) land 0x3FFFFFFF in
+  let n_children = h land 3 in
+  let step = 1 + ((h lsr 2) land 7) in
+  let children = Array.init n_children (fun k -> node + 1 + ((k + 1) * step)) in
+  let parent = if node = 0 || h land 16 = 0 then -1 else (h lsr 5) mod node in
+  {
+    P.node;
+    children;
+    leaf_count = (h lsr 8) land 15;
+    post = node + ((h lsr 12) land 255);
+    parent;
+  }
+
+(* Lengths straddling the 128-posting block boundary, half the time. *)
+let boundary_lengths = [| 0; 1; 2; 127; 128; 129; 255; 256; 257; 383; 384; 385 |]
+
+let random_plist rng =
+  let n =
+    if Random.State.bool rng then
+      boundary_lengths.(Random.State.int rng (Array.length boundary_lengths))
+    else Random.State.int rng 600
+  in
+  let id = ref (Random.State.int rng 1000) in
+  let out = ref [] in
+  for _ = 1 to n do
+    out := posting_of_id !id :: !out;
+    (* per-posting stride: runs of 1 produce bitmap blocks, large jumps
+       varint blocks — most lists end up mixing both representations *)
+    let stride =
+      match Random.State.int rng 3 with
+      | 0 -> 1
+      | 1 -> 1 + Random.State.int rng 8
+      | _ -> 1 + Random.State.int rng 5000
+    in
+    id := !id + stride
+  done;
+  Array.of_list (List.rev !out)
+
+let codec_scenario rng i =
+  let fail fmt =
+    Printf.ksprintf
+      (fun m ->
+        Printf.printf "\nCODEC FAILURE in scenario %d: %s\n" i m;
+        exit 1)
+      fmt
+  in
+  let lists = List.init (1 + Random.State.int rng 4) (fun _ -> random_plist rng) in
+  List.iter
+    (fun l ->
+      List.iter
+        (fun codec ->
+          let payload = L.to_bytes ~codec l in
+          (match L.of_bytes payload with
+          | back ->
+            if back <> l then fail "round trip diverged (%d postings)" (Array.length l);
+            (* canonical: decode-then-encode reproduces the payload *)
+            if not (String.equal (L.to_bytes ~codec back) payload) then
+              fail "payload not canonical (%d postings)" (Array.length l)
+          | exception e -> fail "decode raised %s" (Printexc.to_string e)))
+        [ L.Varint; L.Bitpacked; L.Blocked ])
+    lists;
+  (* streamed kernels over mixed 'C'/'V' payloads vs the oracle *)
+  let payloads =
+    List.mapi
+      (fun k l -> L.to_bytes ~codec:(if k land 1 = 0 then L.Blocked else L.Varint) l)
+      lists
+  in
+  if St.inter_many payloads <> R.inter_many lists then fail "inter_many diverged";
+  if St.union_with_counts payloads <> R.union_with_counts lists then
+    fail "union_with_counts diverged";
+  (match lists with
+  | a :: b :: _ ->
+    if L.inter a b <> R.inter a b then fail "inter diverged";
+    if L.union a b <> R.union a b then fail "union diverged"
+  | _ -> ());
+  (* ascending skip_to probes on a blocked cursor vs the oracle's lower_bound *)
+  let l = List.hd lists in
+  let c = St.cursor_of_bytes (L.to_bytes ~codec:L.Blocked l) in
+  let probe = ref 0 in
+  for _ = 1 to 16 do
+    probe := !probe + Random.State.int rng 100_000;
+    let lb = R.lower_bound l !probe in
+    (match St.skip_to c !probe with
+    | Some p when lb < Array.length l && p = l.(lb) -> ()
+    | None when lb = Array.length l -> ()
+    | _ -> fail "skip_to %d diverged" !probe);
+    if St.remaining c <> Array.length l - lb then fail "remaining after skip_to %d" !probe
+  done
+
 let run ~label ~scenarios ~seed one =
   let rng = Random.State.make [| seed; 0xf022 |] in
   let t0 = Unix.gettimeofday () in
@@ -283,6 +388,14 @@ let () =
       | n :: s :: _ -> (int_of_string n, int_of_string s)
     in
     run ~label:"crash" ~scenarios ~seed crash_scenario
+  | _ :: "codec" :: rest ->
+    let scenarios, seed =
+      match rest with
+      | [] -> (200, 1)
+      | [ n ] -> (int_of_string n, 1)
+      | n :: s :: _ -> (int_of_string n, int_of_string s)
+    in
+    run ~label:"codec" ~scenarios ~seed codec_scenario
   | _ ->
     let scenarios =
       if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200

@@ -92,7 +92,13 @@ let rec interior mode ?root_filter ~at_root inv (n : Query.node) stack =
        instead of materializing the node table each time. *)
     let unconstrained =
       (not restricted) && lists = []
-      && candidates == Invfile.Inverted_file.all_nodes inv
+      && (match Invfile.Inverted_file.all_nodes inv with
+         | table -> candidates == table
+         | exception Invfile.Inverted_file.Malformed _ ->
+           (* no memoized node table (built with [node_table:false]):
+              the candidates came from Semantics.universe's rebuild, so
+              fall through to the generic filter below *)
+           false)
       &&
       match mode.Semantics.cover with
       | Semantics.Exists_child | Semantics.Exists_distinct -> true

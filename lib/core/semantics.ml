@@ -17,6 +17,26 @@ exception Unsupported of string
 let lookup_all inv (n : Query.node) =
   Array.to_list (Array.map (Invfile.Inverted_file.lookup inv) n.Query.leaves)
 
+(* The candidate universe for a query node that constrains nothing (no
+   leaf labels): every internal node. Normally the memoized node table;
+   when the collection was built without one, derive it from the stored
+   records instead of crashing — degenerate queries are the only path
+   that needs the universe, so the O(data) rebuild is acceptable and
+   keeps [Engine.query {}] total on every store. *)
+let universe inv =
+  match Invfile.Inverted_file.all_nodes inv with
+  | l -> l
+  | exception Invfile.Inverted_file.Malformed _ ->
+    let out = ref [] in
+    Invfile.Inverted_file.iter_records inv (fun record_id _ ->
+        let tree = Invfile.Inverted_file.record_tree inv record_id in
+        Nested.Tree.iter
+          (fun node -> out := Invfile.Posting.of_tree_node node :: !out)
+          tree);
+    let a = Array.of_list !out in
+    Array.sort Invfile.Posting.compare a;
+    a
+
 (* Raw encoded payloads for streamed (blocked) processing; absent atoms
    contribute an empty encoded list. *)
 let lookup_all_raw inv (n : Query.node) =
@@ -32,7 +52,7 @@ let lookup_all_raw inv (n : Query.node) =
    Alg. 2 line 8. A node with no leaf labels constrains nothing, so its
    candidates are the whole node table (our extension; see DESIGN.md). *)
 let containment_gen inv (n : Query.node) =
-  if Array.length n.Query.leaves = 0 then Invfile.Inverted_file.all_nodes inv
+  if Array.length n.Query.leaves = 0 then universe inv
   else Invfile.Plist.inter_many (lookup_all inv n)
 
 (* Fully-homeomorphic candidates: nodes whose *subtree* contains every leaf
@@ -40,7 +60,7 @@ let containment_gen inv (n : Query.node) =
    intersected (paper, footnote 4). Parent chains are resolved against the
    node table. *)
 let subtree_containment_gen inv (n : Query.node) =
-  if Array.length n.Query.leaves = 0 then Invfile.Inverted_file.all_nodes inv
+  if Array.length n.Query.leaves = 0 then universe inv
   else begin
     let table = Invfile.Inverted_file.all_nodes inv in
     let closure l =
@@ -65,7 +85,7 @@ let subtree_containment_gen inv (n : Query.node) =
 (* Blocked variant (paper Sec. 5.1, assumption (1)): intersect the encoded
    lists without materializing them. *)
 let containment_gen_streamed inv (n : Query.node) =
-  if Array.length n.Query.leaves = 0 then Invfile.Inverted_file.all_nodes inv
+  if Array.length n.Query.leaves = 0 then universe inv
   else Invfile.Plist_stream.inter_many (lookup_all_raw inv n)
 
 (* q = s strengthens containment with |ℓ(n)| = |ℓ(s)| (Sec. 4.1). We also
@@ -85,7 +105,7 @@ let equality_gen inv (n : Query.node) =
    formulation), so they are merged in from the node table. *)
 let superset_gen inv (n : Query.node) =
   let leafless =
-    Invfile.Plist.filter_leaf_count_eq 0 (Invfile.Inverted_file.all_nodes inv)
+    Invfile.Plist.filter_leaf_count_eq 0 (universe inv)
   in
   if Array.length n.Query.leaves = 0 then leafless
   else begin
@@ -117,7 +137,7 @@ let overlap_gen eps inv (n : Query.node) =
 
 let similarity_gen r inv (n : Query.node) =
   let eps = similarity_threshold r n in
-  if eps = 0 then Invfile.Inverted_file.all_nodes inv else overlap_gen eps inv n
+  if eps = 0 then universe inv else overlap_gen eps inv n
 
 (* Streamed multiset union, for the union-based joins. *)
 let union_with_counts_streamed inv n =
@@ -125,7 +145,7 @@ let union_with_counts_streamed inv n =
 
 let superset_gen_streamed inv (n : Query.node) =
   let leafless =
-    Invfile.Plist.filter_leaf_count_eq 0 (Invfile.Inverted_file.all_nodes inv)
+    Invfile.Plist.filter_leaf_count_eq 0 (universe inv)
   in
   if Array.length n.Query.leaves = 0 then leafless
   else begin
@@ -146,7 +166,7 @@ let overlap_gen_streamed eps inv (n : Query.node) =
 
 let similarity_gen_streamed r inv (n : Query.node) =
   let eps = similarity_threshold r n in
-  if eps = 0 then Invfile.Inverted_file.all_nodes inv
+  if eps = 0 then universe inv
   else overlap_gen_streamed eps inv n
 
 let streamed_of join mode =
@@ -166,7 +186,7 @@ let is_pattern a = String.length a >= 1 && a.[String.length a - 1] = '*'
 let pattern_prefix a = String.sub a 0 (String.length a - 1)
 
 let wildcard_containment_gen inv (n : Query.node) =
-  if Array.length n.Query.leaves = 0 then Invfile.Inverted_file.all_nodes inv
+  if Array.length n.Query.leaves = 0 then universe inv
   else begin
     let lists =
       Array.to_list n.Query.leaves

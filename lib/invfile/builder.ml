@@ -14,7 +14,7 @@ type t = {
   mutable finished : bool;
 }
 
-let create ?(store_values = true) ?(node_table = true) ?(codec = Plist.Varint)
+let create ?(store_values = true) ?(node_table = true) ?(codec = Plist.Blocked)
     ?(record_format = `Syntax) ?(top_k = 4096) store =
   store.Storage.Kv.put Inverted_file.meta_recfmt
     (match record_format with `Syntax -> "S" | `Binary -> "B");

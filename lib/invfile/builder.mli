@@ -16,7 +16,7 @@ type t
 val create :
   ?store_values:bool -> ?node_table:bool -> ?codec:Plist.codec ->
   ?record_format:[ `Syntax | `Binary ] -> ?top_k:int -> Storage.Kv.t -> t
-(** [codec] selects the postings payload format (default [Varint]; see
+(** [codec] selects the postings payload format (default [Blocked]; see
     {!Plist.codec}); [record_format] the stored-record encoding (default
     [`Syntax]; [`Binary] is the dictionary-coded form of {!Value_codec}). *)
 

@@ -78,6 +78,15 @@ let check inv =
                 if i > 0 && stored.(i - 1).Posting.node >= p.Posting.node then
                   report "postings" "list of %S not strictly sorted" atom)
               stored;
+            (* canonical bytes: every writer emits to_bytes of the decoded
+               list, so a payload that fails to round-trip byte-for-byte
+               (e.g. a non-canonical varint or misdeclared block) is damage
+               even when it happens to decode *)
+            (match Plist.codec_of_bytes payload with
+            | codec ->
+              if not (String.equal (Plist.to_bytes ~codec stored) payload) then
+                report "postings" "payload of %S is not canonical" atom
+            | exception _ -> report "postings" "payload of %S has no codec tag" atom);
             match Hashtbl.find_opt expected atom with
             | None ->
               report "postings" "phantom list for %S (%d postings)" atom

@@ -59,6 +59,13 @@ val lookup_raw : t -> string -> string option
 (** The encoded payload of [S_IF(a)], bypassing the decoded-list cache —
     the entry point for streamed (blocked) processing, {!Plist_stream}. *)
 
+val list_codec : t -> Plist.codec
+(** The codec this collection's postings payloads were written with
+    (sniffed from the node table, or failing that any atom list; fresh
+    stores report the build default, [Blocked]). Writers that create new
+    lists — {!Merger}, {!Updater} — use this to keep a store's
+    representation homogeneous. *)
+
 val all_nodes : t -> Plist.t
 (** The node table, lazily loaded then memoized. *)
 

@@ -12,11 +12,13 @@ let shift_posting ~offset (p : Posting.t) =
 let shift_list ~offset l = Array.map (shift_posting ~offset) l
 
 (* Appends (already-shifted, all-larger-id) postings to dst's list for
-   [atom], preserving the payload codec. *)
-let append_postings dst atom shifted =
+   [atom], preserving the payload codec; lists new to dst are written
+   with dst's collection codec, not src's, so a merge never mixes
+   representations within one store. *)
+let append_postings dst ~default_codec atom shifted =
   let store = IF.store dst in
   let key = IF.atom_key atom in
-  let codec = ref Plist.Varint in
+  let codec = ref default_codec in
   let current =
     match store.Storage.Kv.get key with
     | None -> Plist.empty
@@ -31,12 +33,14 @@ let append_postings dst atom shifted =
 let append ~dst ~src =
   let offset = IF.node_count dst in
   let src_store = IF.store src in
+  let default_codec = IF.list_codec dst in
   (* 1. Inverted lists: shift and append, atom by atom. Tombstoned records
      have no postings, so nothing special is needed for them here. *)
   src_store.Storage.Kv.iter (fun key payload ->
       if String.length key > 0 && key.[0] = 'a' then begin
         let atom = String.sub key 1 (String.length key - 1) in
-        append_postings dst atom (shift_list ~offset (Plist.of_bytes payload))
+        append_postings dst ~default_codec atom
+          (shift_list ~offset (Plist.of_bytes payload))
       end);
   (* 2. Node table. *)
   let dst_store = IF.store dst in

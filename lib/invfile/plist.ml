@@ -30,14 +30,49 @@ let find l id =
 
 let mem l id = Option.is_some (find l id)
 
+(* Index of the first posting with node id >= [id], probing exponentially
+   from [lo] before binary-searching the bracketed range — O(log gap)
+   rather than O(log n), so a scan that advances monotonically through a
+   long list pays for the distance it actually covers. *)
+let gallop_lower_bound l ~lo id =
+  let n = Array.length l in
+  if lo >= n || l.(lo).Posting.node >= id then lo
+  else begin
+    (* invariant: l.(last).node < id *)
+    let last = ref lo and step = ref 1 in
+    let hi = ref (lo + 1) in
+    while !hi < n && l.(!hi).Posting.node < id do
+      last := !hi;
+      step := !step * 2;
+      hi := lo + !step
+    done;
+    let rec bsearch lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if l.(mid).Posting.node < id then bsearch (mid + 1) hi else bsearch lo mid
+    in
+    bsearch (!last + 1) (min !hi n)
+  end
+
 let inter a b =
-  (* Sorted merge; gallop via binary search when one side is much smaller. *)
+  (* Sorted merge; gallop through the big side when sizes are skewed. *)
   let la = Array.length a and lb = Array.length b in
   let small, big = if la <= lb then (a, b) else (b, a) in
-  if Array.length small * 16 < Array.length big then
-    Array.of_list
-      (Array.to_list small
-      |> List.filter (fun p -> mem big p.Posting.node))
+  let ls = Array.length small and lbg = Array.length big in
+  if ls * 8 < lbg then begin
+    let out = ref [] in
+    let j = ref 0 in
+    for i = 0 to ls - 1 do
+      let id = small.(i).Posting.node in
+      j := gallop_lower_bound big ~lo:!j id;
+      if !j < lbg && big.(!j).Posting.node = id then begin
+        out := small.(i) :: !out;
+        incr j
+      end
+    done;
+    Array.of_list (List.rev !out)
+  end
   else begin
     let out = ref [] and i = ref 0 and j = ref 0 in
     while !i < la && !j < lb do
@@ -79,7 +114,7 @@ let union a b =
   Array.of_list (List.rev !out)
 
 let inter_many = function
-  | [] -> invalid_arg "Plist.inter_many: empty intersection is the node universe"
+  | [] -> invalid_arg "inter_many: empty intersection is the node universe"
   | first :: rest ->
     let sorted = List.sort (fun a b -> Int.compare (length a) (length b)) (first :: rest) in
     (match sorted with
@@ -249,10 +284,11 @@ let pp_paths ppf ps =
 
 (* --- serialization ---
 
-   Payloads carry a one-byte format tag: 'V' = varint/delta (default),
-   'B' = columnar frame-of-reference bitpacking (see Storage.Bitpack). *)
+   Payloads carry a one-byte format tag: 'V' = varint/delta,
+   'B' = columnar frame-of-reference bitpacking (see Storage.Bitpack),
+   'C' = block-partitioned compressed (see Plist_blocks; the default). *)
 
-type codec = Varint | Bitpacked
+type codec = Varint | Bitpacked | Blocked
 
 let encode w l =
   Storage.Codec.write_varint w (Array.length l);
@@ -356,7 +392,7 @@ let of_bitpacked s =
   done;
   Array.of_list (List.rev !out)
 
-let to_bytes ?(codec = Varint) l =
+let to_bytes ?(codec = Blocked) l =
   match codec with
   | Varint ->
     let w = Storage.Codec.writer () in
@@ -364,6 +400,7 @@ let to_bytes ?(codec = Varint) l =
     encode w l;
     Storage.Codec.contents w
   | Bitpacked -> "B" ^ to_bitpacked l
+  | Blocked -> "C" ^ Plist_blocks.encode l
 
 let codec_of_bytes s =
   if String.length s = 0 then raise (Storage.Codec.Corrupt "Plist: empty payload")
@@ -371,6 +408,7 @@ let codec_of_bytes s =
     match s.[0] with
     | 'V' -> Varint
     | 'B' -> Bitpacked
+    | 'C' -> Blocked
     | _ -> raise (Storage.Codec.Corrupt "Plist: unknown payload format")
 
 let of_bytes s =
@@ -381,6 +419,7 @@ let of_bytes s =
     assert (tag = Char.code 'V');
     decode r
   | Bitpacked -> of_bitpacked (String.sub s 1 (String.length s - 1))
+  | Blocked -> Plist_blocks.decode (Plist_blocks.directory s ~pos:1)
 
 let restrict l ids =
   let nl = Array.length l and ni = Array.length ids in

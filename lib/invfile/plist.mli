@@ -22,12 +22,22 @@ val nodes : t -> int array
 val mem : t -> int -> bool
 (** Binary search by node id. *)
 
+val gallop_lower_bound : t -> lo:int -> int -> int
+(** [gallop_lower_bound l ~lo id] is the index of the first posting at or
+    after [lo] with node id ≥ [id] (or [length l]), found by exponential
+    probing from [lo] — O(log distance), the building block of the skewed
+    intersection kernels here and in {!Plist_stream}. *)
+
 val find : t -> int -> Posting.t option
 
 (** {1 Set operations (by node id)} *)
 
 val inter : t -> t -> t
-(** Sorted-merge intersection. Payloads are identical for equal node ids. *)
+(** Intersection: sorted merge for comparable sizes, galloping
+    (exponential probe + binary search, with the probe base advancing
+    monotonically through the big list) when sizes are skewed. Payloads
+    are identical for equal node ids. Agrees with {!Plist_ref.inter} on
+    every input (enforced by the differential suite). *)
 
 val union : t -> t -> t
 (** Sorted-merge set union (payloads are identical for equal node ids). *)
@@ -118,11 +128,14 @@ val pp_paths : Format.formatter -> paths -> unit
 (** {1 Serialization}
 
     Payloads are tagged with their format: [Varint] (byte-aligned
-    delta/varint, the default, streamable via {!Plist_stream}) or
-    [Bitpacked] (columnar frame-of-reference bit packing via
-    {!Storage.Bitpack} — smaller on dense lists, decoded wholesale). *)
+    delta/varint, streamable via {!Plist_stream}), [Bitpacked] (columnar
+    frame-of-reference bit packing via {!Storage.Bitpack} — smaller on
+    dense lists, decoded wholesale, not streamable), or [Blocked] (the
+    default: block-partitioned with per-block varint/bitmap
+    representation and a skip directory, see {!Plist_blocks} — streamable
+    with block skipping). *)
 
-type codec = Varint | Bitpacked
+type codec = Varint | Bitpacked | Blocked
 
 val encode : Storage.Codec.writer -> t -> unit
 (** Raw (untagged) varint encoding, for embedding in other structures. *)
@@ -130,6 +143,8 @@ val encode : Storage.Codec.writer -> t -> unit
 val decode : Storage.Codec.reader -> t
 
 val to_bytes : ?codec:codec -> t -> string
+(** Defaults to [Blocked]. *)
+
 val of_bytes : string -> t
 (** Dispatches on the payload tag. @raise Storage.Codec.Corrupt on
     malformed input. *)

@@ -1,0 +1,56 @@
+(** Block-partitioned compressed postings payloads (the ['C'] format).
+
+    A postings list is cut into fixed-size blocks; a directory records
+    each block's node-id span [min, max], posting count, representation
+    and byte length, so readers can {e skip} whole blocks by id — the
+    primitive behind the skewed-intersection kernels of {!Plist_stream}.
+    Per block, the representation is chosen at build time: delta-encoded
+    varint (identical bytes to a ['V'] slice) for sparse blocks, a bitmap
+    over [min, max] plus out-of-band posting fields for dense ones.
+
+    The payload body produced here carries no format tag; {!Plist} owns
+    the leading ['C'] byte and passes [pos = 1] when parsing. *)
+
+val block_size : int
+(** Postings per block (the last block of a list may hold fewer). *)
+
+val dense : range:int -> count:int -> bool
+(** The representation heuristic: a block whose id span [range] is within
+    4x its posting [count] is stored as a bitmap (the bitmap then costs at
+    most half a byte per posting, cheaper than any gap varint). *)
+
+val encode : Posting.t array -> string
+(** Encode a sorted postings array as an (untagged) blocked body. *)
+
+(** {1 Reading} *)
+
+type t
+(** A parsed directory over an encoded payload. Holds the per-block spans
+    and body offsets; block bodies are only decoded on demand. *)
+
+val directory : string -> pos:int -> t
+(** Parse the directory of the blocked body starting at byte [pos] of the
+    payload. @raise Storage.Codec.Corrupt on malformed input. *)
+
+val total : t -> int
+(** Total postings in the list. *)
+
+val n_blocks : t -> int
+val block_min : t -> int -> int
+val block_max : t -> int -> int
+
+val suffix_count : t -> int -> int
+(** [suffix_count d i] is the number of postings in blocks [i ..]
+    (defined for [0 <= i <= n_blocks d], with the last being [0]). *)
+
+val decode_block : t -> int -> Posting.t array
+(** Decode one block. Validates span, count and (for bitmap blocks)
+    popcount. @raise Storage.Codec.Corrupt on mismatch. *)
+
+val decode : t -> Posting.t array
+(** Decode the full list (all blocks, concatenated). *)
+
+val find_block : t -> start:int -> int -> int
+(** [find_block d ~start id] is the first block index [>= start] whose
+    max node id is [>= id], or [n_blocks d] — a binary search over the
+    directory that never touches block bodies. *)

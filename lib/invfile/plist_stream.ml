@@ -1,62 +1,92 @@
-type cursor = {
-  reader : Storage.Codec.reader option;  (* None for in-memory plists *)
-  mutable mem : Plist.t;  (* backing array when reader = None *)
-  mutable mem_pos : int;
-  mutable remaining : int;
+(* Cursors over encoded postings lists.
+
+   Three sources: in-memory arrays (Mem), sequential delta-varint
+   payloads ('V', Seq) and block-partitioned compressed payloads ('C',
+   Blk). Blk cursors exploit the Plist_blocks directory: skip_to binary
+   searches the per-block [min, max] spans and decodes only the landing
+   block, so an n-way intersection over skewed lists never touches the
+   bytes of skipped blocks. *)
+
+type mem_src = { arr : Plist.t; mutable mpos : int }
+
+type seq_src = {
+  reader : Storage.Codec.reader;
   mutable prev_node : int;
-  mutable lookahead : Posting.t option;
+  mutable left : int;
 }
 
+type blk_src = {
+  dir : Plist_blocks.t;
+  mutable bi : int;  (* next block to decode *)
+  mutable buf : Plist.t;  (* current decoded block *)
+  mutable bpos : int;  (* cursor within [buf] *)
+}
+
+type src = Mem of mem_src | Seq of seq_src | Blk of blk_src
+
+type cursor = { src : src; mutable lookahead : Posting.t option }
+
 let cursor_of_bytes payload =
-  (match Plist.codec_of_bytes payload with
-  | Plist.Varint -> ()
+  match Plist.codec_of_bytes payload with
   | Plist.Bitpacked ->
-    invalid_arg "Plist_stream.cursor_of_bytes: bitpacked payloads are not streamable");
-  let reader = Storage.Codec.reader payload in
-  let tag = Storage.Codec.read_varint reader in
-  assert (tag = Char.code 'V');
-  let remaining = Storage.Codec.read_varint reader in
-  {
-    reader = Some reader;
-    mem = Plist.empty;
-    mem_pos = 0;
-    remaining;
-    prev_node = -1;
-    lookahead = None;
-  }
+    invalid_arg "Plist_stream.cursor_of_bytes: bitpacked payloads are not streamable"
+  | Plist.Varint ->
+    let reader = Storage.Codec.reader payload in
+    let tag = Storage.Codec.read_varint reader in
+    assert (tag = Char.code 'V');
+    let left = Storage.Codec.read_varint reader in
+    { src = Seq { reader; prev_node = -1; left }; lookahead = None }
+  | Plist.Blocked ->
+    let dir = Plist_blocks.directory payload ~pos:1 in
+    { src = Blk { dir; bi = 0; buf = Plist.empty; bpos = 0 }; lookahead = None }
 
-let cursor_of_plist l =
-  {
-    reader = None;
-    mem = l;
-    mem_pos = 0;
-    remaining = Plist.length l;
-    prev_node = -1;
-    lookahead = None;
-  }
+let cursor_of_plist l = { src = Mem { arr = l; mpos = 0 }; lookahead = None }
 
-let remaining c = c.remaining + (match c.lookahead with Some _ -> 1 | None -> 0)
+let src_remaining = function
+  | Mem m -> Array.length m.arr - m.mpos
+  | Seq s -> s.left
+  | Blk b -> Array.length b.buf - b.bpos + Plist_blocks.suffix_count b.dir b.bi
 
-let decode_one c =
-  if c.remaining = 0 then None
-  else begin
-    c.remaining <- c.remaining - 1;
-    match c.reader with
-    | Some r ->
-      let p = Posting.decode r ~prev_node:c.prev_node in
-      c.prev_node <- p.Posting.node;
-      Some p
-    | None ->
-      let p = c.mem.(c.mem_pos) in
-      c.mem_pos <- c.mem_pos + 1;
-      Some p
+let remaining c =
+  src_remaining c.src + (match c.lookahead with Some _ -> 1 | None -> 0)
+
+let rec blk_next b =
+  if b.bpos < Array.length b.buf then begin
+    let p = b.buf.(b.bpos) in
+    b.bpos <- b.bpos + 1;
+    Some p
   end
+  else if b.bi < Plist_blocks.n_blocks b.dir then begin
+    b.buf <- Plist_blocks.decode_block b.dir b.bi;
+    b.bi <- b.bi + 1;
+    b.bpos <- 0;
+    blk_next b
+  end
+  else None
+
+let src_next = function
+  | Mem m ->
+    if m.mpos < Array.length m.arr then begin
+      let p = m.arr.(m.mpos) in
+      m.mpos <- m.mpos + 1;
+      Some p
+    end
+    else None
+  | Seq s ->
+    if s.left = 0 then None
+    else begin
+      s.left <- s.left - 1;
+      let p = Posting.decode s.reader ~prev_node:s.prev_node in
+      s.prev_node <- p.Posting.node;
+      Some p
+    end
+  | Blk b -> blk_next b
 
 let peek c =
   match c.lookahead with
   | Some _ as p -> p
   | None ->
-    let p = decode_one c in
+    let p = src_next c.src in
     c.lookahead <- p;
     p
 
@@ -65,47 +95,103 @@ let next c =
   | Some p ->
     c.lookahead <- None;
     Some p
-  | None -> decode_one c
+  | None -> src_next c.src
 
-let rec skip_to c id =
+(* Consume up to (and including) the first posting with node >= id;
+   return it. Mem positions by galloping; Seq decodes sequentially (delta
+   coding admits nothing better); Blk galls within the current block and
+   otherwise binary searches the directory, decoding only the landing
+   block. *)
+let src_skip_to src id =
+  match src with
+  | Mem m ->
+    let k = Plist.gallop_lower_bound m.arr ~lo:m.mpos id in
+    if k < Array.length m.arr then begin
+      m.mpos <- k + 1;
+      Some m.arr.(k)
+    end
+    else begin
+      m.mpos <- Array.length m.arr;
+      None
+    end
+  | Seq _ ->
+    let rec loop () =
+      match src_next src with
+      | None -> None
+      | Some p when p.Posting.node >= id -> Some p
+      | Some _ -> loop ()
+    in
+    loop ()
+  | Blk b ->
+    let blen = Array.length b.buf in
+    if b.bpos < blen && b.buf.(blen - 1).Posting.node >= id then begin
+      (* stays within the current block *)
+      let k = Plist.gallop_lower_bound b.buf ~lo:b.bpos id in
+      b.bpos <- k + 1;
+      Some b.buf.(k)
+    end
+    else begin
+      let j = Plist_blocks.find_block b.dir ~start:b.bi id in
+      if j >= Plist_blocks.n_blocks b.dir then begin
+        b.bi <- Plist_blocks.n_blocks b.dir;
+        b.buf <- Plist.empty;
+        b.bpos <- 0;
+        None
+      end
+      else begin
+        b.buf <- Plist_blocks.decode_block b.dir j;
+        b.bi <- j + 1;
+        let k = Plist.gallop_lower_bound b.buf ~lo:0 id in
+        b.bpos <- k + 1;
+        Some b.buf.(k)
+      end
+    end
+
+let skip_to c id =
   match peek c with
   | None -> None
   | Some p when p.Posting.node >= id -> Some p
   | Some _ ->
-    ignore (next c);
-    skip_to c id
+    c.lookahead <- None;
+    let p = src_skip_to c.src id in
+    c.lookahead <- p;
+    p
 
-(* n-way merge intersection: advance all cursors to a common node id. *)
+(* n-way intersection: drive from the smallest list and skip_to the rest
+   to each candidate — block-skipping makes each skip cheap on 'C'
+   payloads. *)
 let inter_many payloads =
-  if payloads = [] then
-    invalid_arg "Plist_stream.inter_many: empty intersection is the node universe";
-  let cursors = Array.of_list (List.map cursor_of_bytes payloads) in
-  let out = ref [] in
-  let rec align target i =
-    (* Try to bring every cursor to [target]; returns the next candidate
-       target, or None at exhaustion. *)
-    if i = Array.length cursors then Some target
-    else
-      match skip_to cursors.(i) target with
-      | None -> None
-      | Some p when p.Posting.node = target -> align target (i + 1)
-      | Some p -> align_from p.Posting.node
-  and align_from target = align target 0 in
-  let rec loop () =
-    match peek cursors.(0) with
-    | None -> ()
-    | Some p -> (
-      match align_from p.Posting.node with
+  match payloads with
+  | [] -> invalid_arg "inter_many: empty intersection is the node universe"
+  | payloads ->
+    let cursors = Array.of_list (List.map cursor_of_bytes payloads) in
+    Array.sort (fun a b -> Int.compare (remaining a) (remaining b)) cursors;
+    let out = ref [] in
+    let rec align target i =
+      (* Try to bring every cursor to [target]; returns the next candidate
+         target, or None at exhaustion. *)
+      if i = Array.length cursors then Some target
+      else
+        match skip_to cursors.(i) target with
+        | None -> None
+        | Some p when p.Posting.node = target -> align target (i + 1)
+        | Some p -> align_from p.Posting.node
+    and align_from target = align target 0 in
+    let rec loop () =
+      match peek cursors.(0) with
       | None -> ()
-      | Some node ->
-        (match peek cursors.(0) with
-        | Some q when q.Posting.node = node -> out := q :: !out
-        | _ -> assert false);
-        Array.iter (fun c -> ignore (next c)) cursors;
-        loop ())
-  in
-  loop ();
-  Array.of_list (List.rev !out)
+      | Some p -> (
+        match align_from p.Posting.node with
+        | None -> ()
+        | Some node ->
+          (match peek cursors.(0) with
+          | Some q when q.Posting.node = node -> out := q :: !out
+          | _ -> assert false);
+          Array.iter (fun c -> ignore (next c)) cursors;
+          loop ())
+    in
+    loop ();
+    Array.of_list (List.rev !out)
 
 let union_with_counts payloads =
   let cursors = List.map cursor_of_bytes payloads in

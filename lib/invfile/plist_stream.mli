@@ -14,7 +14,9 @@ type cursor
 
 val cursor_of_bytes : string -> cursor
 (** A cursor over an encoded postings list (the payload stored under an
-    atom key — see {!Plist.to_bytes}).
+    atom key — see {!Plist.to_bytes}). [Varint] payloads decode
+    sequentially; [Blocked] payloads decode one block at a time and
+    support block skipping (see {!skip_to}).
     @raise Invalid_argument on a [Bitpacked] payload (not streamable). *)
 
 val cursor_of_plist : Plist.t -> cursor
@@ -27,14 +29,19 @@ val next : cursor -> Posting.t option
 
 val skip_to : cursor -> int -> Posting.t option
 (** [skip_to c id] advances past postings with node id < [id] and peeks the
-    first with node ≥ [id], decoding (not buffering) the skipped prefix. *)
+    first with node ≥ [id]. On [Varint] payloads the skipped prefix is
+    decoded (not buffered); on [Blocked] payloads whole blocks whose max
+    node id is below [id] are skipped via the directory without touching
+    their bytes; in-memory cursors gallop. *)
 
 (** {1 Blocked n-way operations} *)
 
 val inter_many : string list -> Plist.t
-(** Streamed intersection of encoded lists — same result as
+(** Streamed intersection of encoded lists, driven from the smallest
+    list with block-skipping advances on the others — same result as
     [Plist.inter_many (List.map Plist.of_bytes ls)].
-    @raise Invalid_argument on the empty family. *)
+    @raise Invalid_argument on the empty family, with the same message as
+    {!Plist.inter_many} (shared contract). *)
 
 val union_with_counts : string list -> (Posting.t * int) array
 (** Streamed multiset union with multiplicities (cf.

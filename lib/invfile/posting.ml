@@ -19,8 +19,7 @@ let compare a b = Int.compare a.node b.node
 
 let is_descendant ~anc ~desc = anc.node < desc.node && desc.post < anc.post
 
-let encode w t ~prev_node =
-  Storage.Codec.write_varint w (t.node - prev_node - 1);
+let encode_aux w t =
   Storage.Codec.write_varint w t.leaf_count;
   Storage.Codec.write_varint w t.post;
   (* parents precede their children in pre-order, so node - parent ≥ 1;
@@ -28,14 +27,21 @@ let encode w t ~prev_node =
   Storage.Codec.write_varint w (if t.parent < 0 then 0 else t.node - t.parent);
   Storage.Codec.write_int_array w t.children
 
-let decode r ~prev_node =
-  let node = prev_node + 1 + Storage.Codec.read_varint r in
+let encode w t ~prev_node =
+  Storage.Codec.write_varint w (t.node - prev_node - 1);
+  encode_aux w t
+
+let decode_aux r ~node =
   let leaf_count = Storage.Codec.read_varint r in
   let post = Storage.Codec.read_varint r in
   let parent_gap = Storage.Codec.read_varint r in
   let parent = if parent_gap = 0 then -1 else node - parent_gap in
   let children = Storage.Codec.read_int_array r in
   { node; children; leaf_count; post; parent }
+
+let decode r ~prev_node =
+  let node = prev_node + 1 + Storage.Codec.read_varint r in
+  decode_aux r ~node
 
 let pp ppf t =
   Format.fprintf ppf "(%d, {%s})" t.node

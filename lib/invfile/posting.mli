@@ -30,4 +30,11 @@ val is_descendant : anc:t -> desc:t -> bool
 val encode : Storage.Codec.writer -> t -> prev_node:int -> unit
 val decode : Storage.Codec.reader -> prev_node:int -> t
 
+val encode_aux : Storage.Codec.writer -> t -> unit
+(** Everything but the node id (leaf count, post rank, parent gap,
+    children) — used when the node id is carried out of band, e.g. by a
+    bitmap block (see {!Plist_blocks}). *)
+
+val decode_aux : Storage.Codec.reader -> node:int -> t
+
 val pp : Format.formatter -> t -> unit

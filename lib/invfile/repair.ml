@@ -31,14 +31,15 @@ let rebuild inv =
   in
   let had_node_table = Storage.Kv.mem store IF.meta_nodes in
   let codec =
-    (* preserve the collection's list codec when a list survives to tell us *)
+    (* preserve the collection's list codec when a list survives to tell
+       us; otherwise fall back to the build default *)
     match !old_atom_keys with
     | key :: _ -> (
       match store.Storage.Kv.get key with
       | Some payload -> (
-        try Plist.codec_of_bytes payload with _ -> Plist.Varint)
-      | None -> Plist.Varint)
-    | [] -> Plist.Varint
+        try Plist.codec_of_bytes payload with _ -> Plist.Blocked)
+      | None -> Plist.Blocked)
+    | [] -> Plist.Blocked
   in
   (* Recompute everything the builder derives, in record-id order so each
      postings list comes out sorted. *)

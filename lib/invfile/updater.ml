@@ -6,14 +6,14 @@ module IF = Inverted_file
 let update_list inv atom f =
   let store = IF.store inv in
   let key = IF.atom_key atom in
-  let codec = ref Plist.Varint in
+  let codec = ref None in
   let existed = ref false in
   let current =
     match store.Storage.Kv.get key with
     | None -> Plist.empty
     | Some payload ->
       existed := true;
-      codec := Plist.codec_of_bytes payload;
+      codec := Some (Plist.codec_of_bytes payload);
       Plist.of_bytes payload
   in
   let updated = f current in
@@ -23,7 +23,11 @@ let update_list inv atom f =
     if !existed then -1 else 0
   end
   else begin
-    store.Storage.Kv.put key (Plist.to_bytes ~codec:!codec updated);
+    (* a list new to the store adopts the collection codec *)
+    let codec =
+      match !codec with Some c -> c | None -> IF.list_codec inv
+    in
+    store.Storage.Kv.put key (Plist.to_bytes ~codec updated);
     if !existed then 0 else 1
   end
 

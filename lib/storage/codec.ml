@@ -38,6 +38,8 @@ let write_string buf s =
   write_varint buf (String.length s);
   Buffer.add_string buf s
 
+let write_raw = Buffer.add_string
+
 type reader = { data : string; limit : int; mutable pos : int }
 
 exception Corrupt of string
@@ -50,6 +52,7 @@ let reader_sub s ~pos ~len =
   { data = s; limit = pos + len; pos }
 
 let at_end r = r.pos >= r.limit
+let pos r = r.pos
 
 let read_byte r =
   if r.pos >= r.limit then raise (Corrupt "truncated varint");

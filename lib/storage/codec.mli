@@ -20,6 +20,10 @@ val write_int_array : writer -> int array -> unit
 val write_string : writer -> string -> unit
 (** Length-prefixed raw bytes. *)
 
+val write_raw : writer -> string -> unit
+(** Raw bytes, no length prefix — for framing formats that carry their own
+    lengths (e.g. the {!Plist_blocks} directory). *)
+
 (** {1 Reader} *)
 
 type reader
@@ -29,6 +33,10 @@ exception Corrupt of string
 val reader : string -> reader
 val reader_sub : string -> pos:int -> len:int -> reader
 val at_end : reader -> bool
+
+(** Current byte offset within the underlying string (absolute, i.e.
+    relative to the string passed to {!reader} / {!reader_sub}). *)
+val pos : reader -> int
 val read_varint : reader -> int
 val read_int_list : reader -> int list
 val read_int_array : reader -> int array

@@ -1,0 +1,366 @@
+(* Differential tests for the optimized inverted-list kernels.
+
+   The galloping intersection in Plist, the blocked 'C' payload format of
+   Plist_blocks and the block-skipping cursors of Plist_stream must agree
+   — byte for byte — with the frozen Plist_ref oracle on every input.
+   Generators derive each posting deterministically from its node id, so
+   equal ids always carry identical payloads: the invariant every
+   intersection kernel relies on when lists come from the same builder. *)
+
+module P = Invfile.Posting
+module L = Invfile.Plist
+module R = Invfile.Plist_ref
+module B = Invfile.Plist_blocks
+module St = Invfile.Plist_stream
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* Children strictly increasing and above the node id, parent strictly
+   below it (or -1): the shape of real builder output, where ids are
+   pre-order DFS ranks. *)
+let posting_of_id node =
+  let h = (node * 2654435761) land 0x3FFFFFFF in
+  let n_children = h land 3 in
+  let step = 1 + ((h lsr 2) land 7) in
+  let children = Array.init n_children (fun i -> node + 1 + ((i + 1) * step)) in
+  let parent = if node = 0 || h land 16 = 0 then -1 else (h lsr 5) mod node in
+  {
+    P.node;
+    children;
+    leaf_count = (h lsr 8) land 15;
+    post = node + ((h lsr 12) land 255);
+    parent;
+  }
+
+(* Raw int lists keep QCheck's built-in shrinking; the transform to a
+   sorted, deduplicated postings array happens inside each property. *)
+let plist_of_ints ints =
+  ints
+  |> List.map (fun i -> i land 0xFFFFF)
+  |> List.sort_uniq Int.compare
+  |> List.map posting_of_id
+  |> Array.of_list
+
+let same name (a : L.t) (b : R.t) =
+  if a <> b then
+    Alcotest.failf "%s: kernels diverge (%d vs %d postings)" name
+      (Array.length a) (Array.length b);
+  (* arrays equal must also mean payloads byte-identical once re-encoded *)
+  List.iter
+    (fun codec ->
+      if not (String.equal (L.to_bytes ~codec a) (L.to_bytes ~codec b)) then
+        Alcotest.failf "%s: equal lists re-encode differently" name)
+    [ L.Varint; L.Blocked ];
+  true
+
+(* --- binary operations vs the oracle --- *)
+
+(* Two id bounds: 600 forces heavy overlap and dense blocks, 200_000
+   yields sparse lists whose intersection exercises skipping. *)
+let arb_pair bound =
+  QCheck.(pair (list (int_bound bound)) (list (int_bound bound)))
+
+let prop_inter (xs, ys) =
+  let a = plist_of_ints xs and b = plist_of_ints ys in
+  same "inter" (L.inter a b) (R.inter a b)
+  && same "inter sym" (L.inter b a) (R.inter b a)
+
+let prop_union (xs, ys) =
+  let a = plist_of_ints xs and b = plist_of_ints ys in
+  same "union" (L.union a b) (R.union a b)
+
+(* Skewed sizes drive Plist.inter into its galloping branch. *)
+let arb_skewed =
+  QCheck.(pair (list_of_size Gen.(0 -- 4) (int_bound 200_000))
+            (list_of_size Gen.(100 -- 400) (int_bound 200_000)))
+
+let prop_inter_skewed (xs, ys) =
+  let small = plist_of_ints xs and big = plist_of_ints ys in
+  same "gallop" (L.inter small big) (R.inter small big)
+  && same "gallop sym" (L.inter big small) (R.inter big small)
+
+(* --- n-way operations, materialized and streamed --- *)
+
+let arb_family bound =
+  QCheck.(list_of_size Gen.(1 -- 5) (list (int_bound bound)))
+
+(* Alternate payload codecs across the family: the streamed kernels must
+   not care whether an input is a 'V' or a 'C' payload. *)
+let encode_mixed lists =
+  List.mapi
+    (fun i l ->
+      L.to_bytes ~codec:(if i land 1 = 0 then L.Blocked else L.Varint) l)
+    lists
+
+let prop_inter_many ints_lists =
+  let lists = List.map plist_of_ints ints_lists in
+  same "inter_many" (L.inter_many lists) (R.inter_many lists)
+  && same "inter_many streamed"
+       (St.inter_many (encode_mixed lists))
+       (R.inter_many lists)
+
+let counts_same name a b =
+  if a <> b then
+    Alcotest.failf "%s: multiset kernels diverge (%d vs %d entries)" name
+      (Array.length a) (Array.length b);
+  true
+
+let prop_union_with_counts ints_lists =
+  let lists = List.map plist_of_ints ints_lists in
+  counts_same "union_with_counts" (L.union_with_counts lists)
+    (R.union_with_counts lists)
+  && counts_same "union_with_counts streamed"
+       (St.union_with_counts (encode_mixed lists))
+       (R.union_with_counts lists)
+
+(* --- serialization: round trips and canonical bytes --- *)
+
+let prop_roundtrip ints =
+  let l = plist_of_ints ints in
+  List.for_all
+    (fun codec ->
+      let payload = L.to_bytes ~codec l in
+      let back = L.of_bytes payload in
+      if back <> l then Alcotest.failf "round trip lost postings";
+      if L.codec_of_bytes payload <> codec then
+        Alcotest.failf "codec tag not preserved";
+      (* canonical: re-encoding the decoded list reproduces the payload *)
+      if not (String.equal (L.to_bytes ~codec back) payload) then
+        Alcotest.failf "payload not canonical";
+      true)
+    [ L.Varint; L.Bitpacked; L.Blocked ]
+
+(* --- cursors: sequential reads and skip_to --- *)
+
+let cursors_of l =
+  [
+    ("mem", St.cursor_of_plist l);
+    ("varint", St.cursor_of_bytes (L.to_bytes ~codec:L.Varint l));
+    ("blocked", St.cursor_of_bytes (L.to_bytes ~codec:L.Blocked l));
+  ]
+
+let prop_cursor_drain ints =
+  let l = plist_of_ints ints in
+  List.for_all
+    (fun (name, c) ->
+      check_int (name ^ " remaining") (Array.length l) (St.remaining c);
+      Array.iter
+        (fun p ->
+          match St.next c with
+          | Some q when q = p -> ()
+          | Some q ->
+            Alcotest.failf "%s: decoded node %d, expected %d" name q.P.node
+              p.P.node
+          | None -> Alcotest.failf "%s: cursor ended early" name)
+        l;
+      check_bool (name ^ " exhausted") true (St.next c = None);
+      true)
+    (cursors_of l)
+
+(* Ascending probes against every cursor source: skip_to must land on
+   exactly the posting the oracle's lower_bound names, and account for
+   every skipped posting in [remaining]. *)
+let prop_cursor_skip_to (ints, probes) =
+  let l = plist_of_ints ints in
+  let probes = List.sort_uniq Int.compare (List.map (fun i -> i land 0xFFFFF) probes) in
+  List.for_all
+    (fun (name, c) ->
+      List.iter
+        (fun id ->
+          let lb = R.lower_bound l id in
+          (match St.skip_to c id with
+          | Some p when lb < Array.length l && p = l.(lb) -> ()
+          | None when lb = Array.length l -> ()
+          | Some p ->
+            Alcotest.failf "%s: skip_to %d landed on node %d" name id p.P.node
+          | None -> Alcotest.failf "%s: skip_to %d ended early" name id);
+          check_int
+            (Printf.sprintf "%s remaining after skip_to %d" name id)
+            (Array.length l - lb) (St.remaining c))
+        probes;
+      true)
+    (cursors_of l)
+
+(* --- block format edges --- *)
+
+(* Lengths straddling the 128-posting block boundary, dense (consecutive
+   ids — bitmap blocks) and sparse (stride 1009 — varint blocks). *)
+let test_block_boundaries () =
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (shape, stride) ->
+          let l = Array.init n (fun i -> posting_of_id (i * stride)) in
+          let payload = L.to_bytes ~codec:L.Blocked l in
+          let back = L.of_bytes payload in
+          if back <> l then
+            Alcotest.failf "blocked round trip, %s n=%d" shape n;
+          let c = St.cursor_of_bytes payload in
+          check_int (Printf.sprintf "%s n=%d remaining" shape n) n
+            (St.remaining c);
+          (* drain through skip_to on every other posting *)
+          let seen = ref 0 in
+          let rec drain () =
+            match St.next c with
+            | None -> ()
+            | Some p ->
+              check_int "drained in order" l.(!seen).P.node p.P.node;
+              incr seen;
+              drain ()
+          in
+          drain ();
+          check_int (Printf.sprintf "%s n=%d drained" shape n) n !seen)
+        [ ("dense", 1); ("sparse", 1009) ])
+    [ 0; 1; 127; 128; 129; 255; 256; 257; 1000 ]
+
+(* The directory itself: spans, suffix counts and find_block. *)
+let test_block_directory () =
+  let l = Array.init 300 (fun i -> posting_of_id (i * 7)) in
+  let body = B.encode l in
+  let d = B.directory body ~pos:0 in
+  check_int "total" 300 (B.total d);
+  check_int "blocks" 3 (B.n_blocks d);
+  check_int "suffix 0" 300 (B.suffix_count d 0);
+  check_int "suffix last" 0 (B.suffix_count d (B.n_blocks d));
+  for i = 0 to B.n_blocks d - 1 do
+    let b = B.decode_block d i in
+    check_int "block min" b.(0).P.node (B.block_min d i);
+    check_int "block max" b.(Array.length b - 1).P.node (B.block_max d i)
+  done;
+  check_bool "decode" true (B.decode d = l);
+  (* find_block: first block whose max covers the probe *)
+  check_int "find first" 0 (B.find_block d ~start:0 0);
+  check_int "find mid" 1 (B.find_block d ~start:0 (B.block_max d 0 + 1));
+  check_int "find honors start" 2 (B.find_block d ~start:2 0);
+  check_int "find past end" 3 (B.find_block d ~start:0 (B.block_max d 2 + 1))
+
+(* Representation heuristic: consecutive ids become bitmap blocks
+   (smaller than their varint encoding), stride-1009 ids stay varint. *)
+let test_representation_heuristic () =
+  check_bool "dense block" true (B.dense ~range:127 ~count:128);
+  check_bool "sparse block" false (B.dense ~range:(127 * 1009) ~count:128);
+  let dense = Array.init 256 posting_of_id in
+  let sparse = Array.init 256 (fun i -> posting_of_id (i * 1009)) in
+  let size l = String.length (L.to_bytes ~codec:L.Blocked l) in
+  let vsize l = String.length (L.to_bytes ~codec:L.Varint l) in
+  check_bool "bitmap no bigger than varint on dense runs" true
+    (size dense <= vsize dense + 16);
+  (* sparse lists pay only the directory over the plain varint form *)
+  check_bool "blocked stays close to varint on sparse lists" true
+    (size sparse <= vsize sparse + 16 * (256 / B.block_size + 1))
+
+(* Truncating a blocked payload anywhere must be detected, not silently
+   decoded: the directory pins every block's span, count and byte length. *)
+let test_blocked_truncation_detected () =
+  let l = Array.init 200 (fun i -> posting_of_id (i * 3)) in
+  let payload = L.to_bytes ~codec:L.Blocked l in
+  for len = 1 to String.length payload - 1 do
+    let prefix = String.sub payload 0 len in
+    match L.of_bytes prefix with
+    | exception Storage.Codec.Corrupt _ -> ()
+    | exception e ->
+      Alcotest.failf "truncation at %d raised %s" len (Printexc.to_string e)
+    | _ -> Alcotest.failf "truncation at %d decoded silently" len
+  done
+
+(* --- skew: the headline kernel path, 2 vs 100_000 postings --- *)
+
+let test_skewed_intersection () =
+  let big = Array.init 100_000 (fun i -> posting_of_id (i * 3)) in
+  let small = [| posting_of_id 0; posting_of_id 150_000; posting_of_id 299_997 |] in
+  let expect = R.inter small big in
+  check_int "oracle finds the planted hits" 3 (Array.length expect);
+  check_bool "gallop" true (L.inter small big = expect);
+  check_bool "gallop sym" true (L.inter big small = expect);
+  let payloads =
+    [ L.to_bytes ~codec:L.Blocked small; L.to_bytes ~codec:L.Blocked big ]
+  in
+  check_bool "streamed" true (St.inter_many payloads = expect)
+
+(* --- the shared inter_many contract --- *)
+
+let empty_family_message =
+  Invalid_argument "inter_many: empty intersection is the node universe"
+
+let test_empty_family_contract () =
+  Alcotest.check_raises "Plist" empty_family_message (fun () ->
+      ignore (L.inter_many []));
+  Alcotest.check_raises "Plist_stream" empty_family_message (fun () ->
+      ignore (St.inter_many []));
+  Alcotest.check_raises "Plist_ref" empty_family_message (fun () ->
+      ignore (R.inter_many []))
+
+(* --- degenerate queries reach the engine as answers, not crashes --- *)
+
+module E = Containment.Engine
+
+let test_degenerate_queries () =
+  let values = List.map Testutil.v Testutil.licences_strings in
+  let n_records = List.length values in
+  List.iter
+    (fun node_table ->
+      let inv = Containment.Collection.of_values ~node_table values in
+      List.iter
+        (fun streamed ->
+          let config = { E.default with E.streamed } in
+          let ctx = Printf.sprintf "node_table:%b streamed:%b" node_table streamed in
+          (* {} is contained in every record *)
+          let r = E.query ~config inv (Testutil.v "{}") in
+          check_int (ctx ^ " {} matches all") n_records (List.length r.E.records);
+          (* {{}} needs some internal child anywhere below the root *)
+          let r2 = E.query ~config inv (Testutil.v "{{}}") in
+          check_bool (ctx ^ " {{}} answered") true
+            (List.for_all (fun id -> id >= 0 && id < n_records) r2.E.records))
+        [ false; true ])
+    [ true; false ]
+
+let qc = Testutil.qcheck_case
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "differential",
+        [
+          qc ~name:"inter = ref (dense)" (arb_pair 600) prop_inter;
+          qc ~name:"inter = ref (sparse)" (arb_pair 200_000) prop_inter;
+          qc ~name:"inter = ref (skewed)" arb_skewed prop_inter_skewed;
+          qc ~name:"union = ref" (arb_pair 600) prop_union;
+          qc ~name:"inter_many = ref, mixed codecs" (arb_family 800)
+            prop_inter_many;
+          qc ~name:"union_with_counts = ref, mixed codecs" (arb_family 800)
+            prop_union_with_counts;
+        ] );
+      ( "serialization",
+        [
+          qc ~name:"round trip + canonical, all codecs"
+            QCheck.(list (int_bound 100_000))
+            prop_roundtrip;
+        ] );
+      ( "cursors",
+        [
+          qc ~name:"drain all sources" QCheck.(list (int_bound 50_000))
+            prop_cursor_drain;
+          qc ~name:"skip_to = oracle lower_bound"
+            QCheck.(pair (list (int_bound 50_000)) (list (int_bound 50_000)))
+            prop_cursor_skip_to;
+        ] );
+      ( "blocks",
+        [
+          Alcotest.test_case "boundary lengths" `Quick test_block_boundaries;
+          Alcotest.test_case "directory" `Quick test_block_directory;
+          Alcotest.test_case "representation heuristic" `Quick
+            test_representation_heuristic;
+          Alcotest.test_case "truncation detected" `Quick
+            test_blocked_truncation_detected;
+          Alcotest.test_case "skewed intersection" `Quick
+            test_skewed_intersection;
+        ] );
+      ( "contract",
+        [
+          Alcotest.test_case "empty family message" `Quick
+            test_empty_family_contract;
+          Alcotest.test_case "degenerate engine queries" `Quick
+            test_degenerate_queries;
+        ] );
+    ]

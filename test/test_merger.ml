@@ -73,6 +73,151 @@ let test_all_tombstoned_src () =
       check_ids (V.to_string q) (records oracle q) (records dst q))
     probe_queries
 
+(* --- mixed payload representations --- *)
+
+(* Append across every pairing of list codecs: the merger must read the
+   source's representation and keep the destination homogeneous in its
+   own. Integrity.check's canonical-bytes rule then catches any list the
+   merge re-encoded in the wrong format. *)
+
+let build_with_codec path codec values =
+  let store = Storage.Log_store.create path in
+  let b = Invfile.Builder.create ~codec store in
+  List.iter (fun v -> ignore (Invfile.Builder.add_value b v)) values;
+  Invfile.Builder.finish b
+
+let with_store_codec codec values f =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  let inv = build_with_codec path codec values in
+  Fun.protect ~finally:(fun () -> IF.close inv) (fun () -> f inv)
+
+let codec_name = function
+  | Invfile.Plist.Varint -> "varint"
+  | Invfile.Plist.Bitpacked -> "bitpacked"
+  | Invfile.Plist.Blocked -> "blocked"
+
+let test_mixed_codec_append () =
+  let half = List.length licences / 2 in
+  let a = List.filteri (fun i _ -> i < half) licences in
+  let b = List.filteri (fun i _ -> i >= half) licences in
+  let codecs = Invfile.Plist.[ Varint; Bitpacked; Blocked ] in
+  List.iter
+    (fun dst_codec ->
+      List.iter
+        (fun src_codec ->
+          let ctx =
+            Printf.sprintf "%s <- %s" (codec_name dst_codec)
+              (codec_name src_codec)
+          in
+          with_store_codec dst_codec a @@ fun dst ->
+          with_store_codec src_codec b @@ fun src ->
+          Invfile.Merger.append ~dst ~src;
+          (match E.verify_store dst with
+          | [] -> ()
+          | problems ->
+            Alcotest.failf "%s: %d integrity problem(s), first: %s" ctx
+              (List.length problems)
+              (Format.asprintf "%a" Invfile.Integrity.pp_problem
+                 (List.hd problems)));
+          List.iter
+            (fun q ->
+              with_store licences @@ fun oracle ->
+              check_ids
+                (ctx ^ ": " ^ V.to_string q)
+                (records oracle q) (records dst q))
+            probe_queries)
+        codecs)
+    codecs
+
+(* --- crash mid-merge: repair must restore a consistent store --- *)
+
+module F = Storage.Fault
+
+(* Run [Merger.append] onto the log store at [dst_path] behind a fault
+   wrapper; returns the wrapper (for op counts) and whether it crashed. *)
+let append_with_faults ?(config = F.default) dst_path src =
+  let wrapper = F.wrap ~config (Storage.Log_store.open_existing dst_path) in
+  let crashed = ref false in
+  (try
+     let dst = IF.open_store (F.kv wrapper) in
+     Invfile.Merger.append ~dst ~src
+   with F.Crashed _ -> crashed := true);
+  (F.kv wrapper).Storage.Kv.close ();
+  (wrapper, !crashed)
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin dst in
+  output_string oc contents;
+  close_out oc
+
+(* Kill the destination store at every write boundary of an append whose
+   lists are blocked-compressed, then require Engine.repair to leave
+   Engine.verify_store clean and queries agreeing with an oracle over the
+   records that actually survived. *)
+let test_mid_merge_crash_sweep () =
+  let half = List.length licences / 2 in
+  let a = List.filteri (fun i _ -> i < half) licences in
+  let b = List.filteri (fun i _ -> i >= half) licences in
+  with_store_codec Invfile.Plist.Blocked b @@ fun src ->
+  Testutil.with_temp_path ".log" @@ fun pristine ->
+  IF.close (build_with_codec pristine Invfile.Plist.Blocked a);
+  let total =
+    let wrapper, crashed = append_with_faults pristine src in
+    Alcotest.(check bool) "no crash without a crash config" false crashed;
+    F.write_ops wrapper
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "enough write boundaries (%d)" total)
+    true (total > 10);
+  (* the counting run mutated its destination, so rebuild it *)
+  IF.close (build_with_codec pristine Invfile.Plist.Blocked a);
+  for n = 1 to total do
+    Testutil.with_temp_path ".log" @@ fun work ->
+    copy_file pristine work;
+    let config = { F.default with F.crash_after = Some n } in
+    let _, crashed = append_with_faults ~config work src in
+    Alcotest.(check bool)
+      (Printf.sprintf "crashed at boundary %d" n)
+      true crashed;
+    let kv = Storage.Log_store.open_existing work in
+    let inv = IF.open_store kv in
+    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+    (match E.verify_store inv with
+    | [] -> ()
+    | _ :: _ ->
+      let report = E.repair inv in
+      if report.E.problems_after <> [] then
+        Alcotest.failf "repair left %d problem(s) at boundary %d"
+          (List.length report.E.problems_after) n);
+    (* whatever survived, queries must agree with the value-level oracle *)
+    let live =
+      List.filter_map
+        (fun id ->
+          Option.map (fun value -> (id, value)) (IF.record_value_opt inv id))
+        (List.init (IF.record_count inv) Fun.id)
+    in
+    List.iter
+      (fun q ->
+        let expected =
+          List.filter_map
+            (fun (id, s) ->
+              if
+                Containment.Embed.check Containment.Semantics.Containment
+                  Containment.Semantics.Hom ~q ~s
+              then Some id
+              else None)
+            live
+        in
+        check_ids
+          (Printf.sprintf "boundary %d: %s" n (V.to_string q))
+          expected
+          (records inv q))
+      probe_queries
+  done
+
 (* --- property: append = build from the concatenation --- *)
 
 let arbitrary_two_collections =
@@ -124,6 +269,13 @@ let () =
             test_empty_dst;
           Alcotest.test_case "all-tombstoned source contributes nothing"
             `Quick test_all_tombstoned_src;
+          Alcotest.test_case "mixed codec pairings" `Quick
+            test_mixed_codec_append;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "crash sweep mid-merge, repair recovers" `Slow
+            test_mid_merge_crash_sweep;
         ] );
       ( "laws",
         [

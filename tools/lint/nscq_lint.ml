@@ -5,9 +5,10 @@
    enforces:
 
      R1 polycmp    no polymorphic compare/hash on nested-set data
-                   (lib/core, lib/nested)
+                   (lib/core, lib/nested, the lib/invfile/plist modules)
      R2 io         no console printing / blocking Unix calls in query
-                   hot paths (lib/core, lib/invfile, lib/shard/router.ml)
+                   hot paths (lib/core, lib/invfile, lib/shard/router.ml,
+                   lib/storage/bitpack)
      R3 guarded    no top-level mutable Hashtbl/ref in library modules
                    without [@@lint.guarded_by <mutex>]
      R4 bare_fail  no failwith / assert false in server reply paths
@@ -333,10 +334,16 @@ let in_dir dir file =
 
 let default_rules_for file =
   let file = norm_path file in
-  let r1 = in_dir "lib/core/" file || in_dir "lib/nested/" file in
+  let r1 =
+    in_dir "lib/core/" file || in_dir "lib/nested/" file
+    (* the intersection kernels: a stray polymorphic compare on postings
+       would silently bypass Posting.compare *)
+    || in_dir "lib/invfile/plist" file
+  in
   let r2 =
     in_dir "lib/core/" file || in_dir "lib/invfile/" file
     || in_dir "lib/shard/router.ml" file
+    || in_dir "lib/storage/bitpack" file
   in
   let r4 =
     in_dir "lib/server/" file && not (in_dir "lib/server/client." file)
