@@ -1060,6 +1060,107 @@ let intersect scale =
   | [] -> ());
   IF.close inv
 
+(* --- E24: set-containment join scaling --- *)
+
+let join_scaling scale =
+  H.print_header "E24: set-containment join (prefix tree vs naive loop)"
+    "Paired collections from Datagen.Paired (containment selectivity 0.3, \
+     Zipf θ=0.7, label pool scaled to inner/16 so atoms repeat across \
+     outer sets — the regime a prefix tree amortizes): the inner \
+     collection is indexed, the outer collection is joined against it two \
+     ways — the naive per-query engine loop and the PRETTI-style \
+     prefix-tree join with adaptive LIMIT+ cuts. Every row is gated on \
+     pair-set equality against the naive oracle. The headline (largest \
+     outer×inner) speedup is also written to BENCH_join.json; acceptance \
+     is headline_speedup >= 5.";
+  let json_rows = ref [] and headline = ref 0. in
+  (* rows grow 4x faster than the shared size ladder (the join amortizes
+     over volume), and the ladder always ends on the acceptance workload's
+     10k x 100k row — that is the row the headline is judged on *)
+  let inner_sizes =
+    100_000 :: List.map (fun s -> min (4 * s) 100_000) scale.sizes
+    |> List.sort_uniq Int.compare
+  in
+  let rows =
+    List.map
+      (fun inner_n ->
+        let outer_n = max 50 (min (inner_n / 5) 10_000) in
+        let pool_n = max 500 (inner_n / 16) in
+        let w =
+          Datagen.Paired.make ~seed:67
+            ~pool:(Datagen.Label_pool.create pool_n)
+            ~label_dist:(Datagen.Synthetic.Zipfian 0.7) ~selectivity:0.3
+            ~inner:inner_n ~outer:outer_n ()
+        in
+        H.with_collection ~name:"join_scaling" (List.to_seq w.Datagen.Paired.inner)
+        @@ fun inv ->
+        Containment.Collection.with_static_cache inv ~budget:cache_budget;
+        let outers = Datagen.Workload.values w.Datagen.Paired.outer in
+        let t0 = Unix.gettimeofday () in
+        let naive_pairs = Join.Engine.naive inv outers in
+        let naive_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+        let t0 = Unix.gettimeofday () in
+        let r = Join.Engine.join inv outers in
+        let join_ms = 1000. *. (Unix.gettimeofday () -. t0) in
+        (* the oracle gate: cuts, root lifting, and verification must not
+           change the answer, at any scale *)
+        if r.Join.Engine.pairs <> naive_pairs then
+          failwith
+            (Printf.sprintf
+               "E24 oracle violation at %dx%d: join returned %d pairs, naive \
+                %d"
+               outer_n inner_n
+               (List.length r.Join.Engine.pairs)
+               (List.length naive_pairs));
+        let s = r.Join.Engine.stats in
+        let speedup = if join_ms > 0. then naive_ms /. join_ms else 0. in
+        headline := speedup;
+        json_rows :=
+          Printf.sprintf
+            "{\"outer\":%d,\"inner\":%d,\"pairs\":%d,\"naive_ms\":%.3f,\
+             \"join_ms\":%.3f,\"speedup\":%.2f,\"tree_nodes\":%d,\
+             \"nodes_expanded\":%d,\"intersections_shared\":%d,\
+             \"intersections_recomputed\":%d,\"limit_cuts\":%d,\
+             \"fallback\":%d}"
+            outer_n inner_n s.Join.Engine.pairs naive_ms join_ms speedup
+            s.Join.Engine.tree_nodes s.Join.Engine.nodes_expanded
+            s.Join.Engine.intersections_shared
+            s.Join.Engine.intersections_recomputed s.Join.Engine.limit_cuts
+            s.Join.Engine.fallback
+          :: !json_rows;
+        [
+          H.i outer_n;
+          H.i inner_n;
+          H.i s.Join.Engine.pairs;
+          H.ms naive_ms;
+          H.ms join_ms;
+          Printf.sprintf "%.1fx" speedup;
+          H.i s.Join.Engine.intersections_shared;
+          H.i s.Join.Engine.limit_cuts;
+        ])
+      inner_sizes
+  in
+  H.print_table
+    ~columns:
+      [ "outer"; "inner"; "pairs"; "naive"; "join"; "speedup"; "shared";
+        "cuts" ]
+    rows;
+  let json =
+    Printf.sprintf
+      "{\"experiment\":\"join-scaling\",\"headline_speedup\":%.2f,\
+       \"acceptance\":\"headline_speedup >= 5\",\"rows\":[%s]}"
+      !headline
+      (String.concat "," (List.rev !json_rows))
+  in
+  print_endline json;
+  let oc = open_out "BENCH_join.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "headline speedup (largest outer×inner): %.1fx — %s\n"
+    !headline
+    (if !headline >= 5. then "PASS (>= 5x)" else "below the 5x target")
+
 (* --- registry --- *)
 
 let all : (string * string * (scale -> unit)) list =
@@ -1091,4 +1192,5 @@ let all : (string * string * (scale -> unit)) list =
     ("shard-scaling", "sharded scatter-gather router (E21)", shard_scaling);
     ("obs-overhead", "observability overhead (E22)", obs_overhead);
     ("intersect", "intersection kernels (E23)", intersect);
+    ("join-scaling", "set-containment join engine (E24)", join_scaling);
   ]

@@ -533,6 +533,222 @@ let query_cmd =
       $ verify_arg $ streamed_arg $ spill_arg $ wildcards_arg $ partial_arg
       $ explain_arg $ verbose_arg $ query_arg $ limit_arg)
 
+(* --- join --- *)
+
+(* The three execution modes of `nscq query`, for a whole outer
+   collection at once: a local store runs the prefix-tree join engine
+   in-process, a manifest scatter-gathers through the router, and
+   --connect ships the outer collection under the wire Join verb. All
+   three parse the outer file with the server's own line parser so a
+   collection accepted locally is accepted remotely, byte for byte. *)
+let join_cmd =
+  let queries_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "q"; "queries" ] ~docv:"FILE"
+          ~doc:"Outer collection: one nested-set literal per line.")
+  in
+  let store_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "store" ] ~docv:"PATH"
+          ~doc:"Path of the inner collection store or shard manifest (omit \
+                with $(b,--connect)).")
+  in
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Send the join to a running $(b,nscq serve) instead of \
+                opening a store in-process.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline for $(b,--connect) and remote shards \
+                (0 = none).")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Print at most $(docv) outer-query result lines.")
+  in
+  let max_depth_arg =
+    Arg.(
+      value & opt int Join.Engine.default.Join.Engine.max_depth
+      & info [ "max-depth" ] ~docv:"D"
+          ~doc:"Adaptive depth cap: stop expanding prefix-tree nodes below \
+                depth $(docv) (0 = unbounded).")
+  in
+  let cut_candidates_arg =
+    Arg.(
+      value & opt int Join.Engine.default.Join.Engine.cut_candidates
+      & info [ "cut-candidates" ] ~docv:"N"
+          ~doc:"Stop refining a prefix-tree node once its candidate list \
+                has at most $(docv) records, finishing with per-record \
+                verification.")
+  in
+  let cut_fanout_arg =
+    Arg.(
+      value & opt int Join.Engine.default.Join.Engine.cut_fanout
+      & info [ "cut-fanout" ] ~docv:"N"
+          ~doc:"Stop refining a prefix-tree node shared by fewer than \
+                $(docv) outer queries.")
+  in
+  let print_groups ~limit groups =
+    List.iteri
+      (fun qi ids ->
+        if qi < limit then
+          Printf.printf "  q%d: %s\n" qi
+            (if ids = [] then "-"
+             else String.concat " " (List.map string_of_int ids)))
+      groups;
+    let n = List.length groups in
+    if n > limit then
+      Printf.printf "  … and %d more outer quer%s (raise --limit)\n" (n - limit)
+        (if n - limit = 1 then "y" else "ies")
+  in
+  let run store connect deadline_ms backend cache algorithm join_sem embedding
+      anywhere verify wildcards partial max_depth cut_candidates cut_fanout
+      verbose queries limit =
+    setup_logging verbose;
+    let engine =
+      {
+        E.default with
+        E.algorithm;
+        join = join_sem;
+        embedding;
+        scope = (if anywhere then E.Anywhere else E.Roots);
+        verify;
+        wildcards;
+      }
+    in
+    let text = read_file queries in
+    let values =
+      match Server.Batcher.parse_join text with
+      | Ok (Server.Batcher.Join values) -> values
+      | Ok _ ->
+        prerr_endline "nscq: internal: unexpected parse outcome";
+        exit 1
+      | Error message ->
+        Printf.eprintf "nscq: %s: %s\n" queries message;
+        exit 1
+    in
+    let n_outer = List.length values in
+    match connect with
+    | Some connect -> (
+      with_remote_client ~connect @@ fun client ->
+      let t0 = Unix.gettimeofday () in
+      match Server.Client.join client ~deadline_ms text with
+      | Ok payload -> (
+        let dt = 1000. *. (Unix.gettimeofday () -. t0) in
+        match Server.Wire.split_join payload with
+        | Ok groups ->
+          Printf.printf "%d pair(s) across %d outer quer%s in %.3f ms\n"
+            (List.fold_left (fun acc g -> acc + List.length g) 0 groups)
+            n_outer
+            (if n_outer = 1 then "y" else "ies")
+            dt;
+          print_groups ~limit groups
+        | Error m ->
+          Printf.eprintf "nscq: malformed join payload: %s\n" m;
+          exit 1)
+      | Error (code, message) ->
+        Format.eprintf "nscq: server refused: %a: %s@." Server.Wire.pp_error_code
+          code message;
+        exit 1)
+    | None -> (
+      let store =
+        match store with
+        | Some s -> s
+        | None ->
+          prerr_endline "nscq: either --store or --connect is required";
+          exit 1
+      in
+      if Shard.Manifest.is_manifest_file store then begin
+        let m = load_manifest store in
+        let config =
+          {
+            Shard.Router.default_config with
+            Shard.Router.engine;
+            fail_mode =
+              (if partial then Shard.Router.Partial else Shard.Router.Fail_fast);
+            remote_deadline_ms = deadline_ms;
+            cache_budget = cache;
+          }
+        in
+        let r = Shard.Router.open_manifest ~config m in
+        Fun.protect ~finally:(fun () -> Shard.Router.close r) @@ fun () ->
+        let t0 = Unix.gettimeofday () in
+        match Shard.Router.join r values with
+        | exception Shard.Router.Shard_failed (i, reason) ->
+          Printf.eprintf
+            "nscq: shard %d failed: %s (use --partial for a degraded answer)\n"
+            i reason;
+          exit 1
+        | o ->
+          let dt = 1000. *. (Unix.gettimeofday () -. t0) in
+          List.iter
+            (fun (i, reason) ->
+              Printf.eprintf "nscq: warning: shard %d dropped from join: %s\n" i
+                reason)
+            o.Shard.Router.join_warnings;
+          Printf.printf
+            "%d pair(s) across %d outer quer%s in %.3f ms (%d shard(s) \
+             queried, %d pruned)\n"
+            (List.length o.Shard.Router.pairs)
+            n_outer
+            (if n_outer = 1 then "y" else "ies")
+            dt o.Shard.Router.join_shards_queried
+            o.Shard.Router.join_shards_skipped;
+          print_groups ~limit
+            (Join.Engine.group ~outer:n_outer o.Shard.Router.pairs)
+      end
+      else begin
+        let inv = IF.open_store (open_store backend store) in
+        Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+        setup_engine inv ~cache;
+        let config =
+          { Join.Engine.engine; max_depth; cut_candidates; cut_fanout }
+        in
+        let t0 = Unix.gettimeofday () in
+        let r = Join.Engine.join ~config inv values in
+        let dt = 1000. *. (Unix.gettimeofday () -. t0) in
+        let s = r.Join.Engine.stats in
+        Printf.printf "%d pair(s) across %d outer quer%s in %.3f ms\n"
+          s.Join.Engine.pairs n_outer
+          (if n_outer = 1 then "y" else "ies")
+          dt;
+        Printf.printf
+          "  prefix tree: %d node(s), %d expanded, %d intersection(s) shared \
+           / %d recomputed, %d adaptive cut(s), %d candidate(s) verified, %d \
+           preflight-rejected, %d fallback quer%s\n"
+          s.Join.Engine.tree_nodes s.Join.Engine.nodes_expanded
+          s.Join.Engine.intersections_shared
+          s.Join.Engine.intersections_recomputed s.Join.Engine.limit_cuts
+          s.Join.Engine.candidates_checked s.Join.Engine.preflight_rejected
+          s.Join.Engine.fallback
+          (if s.Join.Engine.fallback = 1 then "y" else "ies");
+        print_groups ~limit (Join.Engine.group ~outer:n_outer r.Join.Engine.pairs)
+      end)
+  in
+  Cmd.v
+    (Cmd.info "join"
+       ~doc:"Set-containment join: match every query of an outer collection \
+             against a store, a shard manifest, or a running server \
+             (with --connect) in one pass over a shared prefix tree.")
+    Term.(
+      const run $ store_opt_arg $ connect_arg $ deadline_arg $ backend_arg
+      $ cache_arg $ algorithm_arg $ join_arg $ embedding_arg $ anywhere_arg
+      $ verify_arg $ wildcards_arg $ partial_arg $ max_depth_arg
+      $ cut_candidates_arg $ cut_fanout_arg $ verbose_arg $ queries_arg
+      $ limit_arg)
+
 (* --- trace --- *)
 
 let print_id_count payload =
@@ -1416,6 +1632,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; build_cmd; query_cmd; trace_cmd; workload_cmd;
-            stats_cmd; repl_cmd; sql_cmd; serve_cmd; shard_cmd; check_cmd;
-            repair_cmd; export_cmd; merge_cmd; compact_cmd ]))
+          [ generate_cmd; build_cmd; query_cmd; join_cmd; trace_cmd;
+            workload_cmd; stats_cmd; repl_cmd; sql_cmd; serve_cmd; shard_cmd;
+            check_cmd; repair_cmd; export_cmd; merge_cmd; compact_cmd ]))

@@ -11,6 +11,7 @@
      dune exec fuzz/fuzz.exe -- 500 99        -- scenarios, seed
      dune exec fuzz/fuzz.exe -- crash 500 99  -- crash-recovery mode
      dune exec fuzz/fuzz.exe -- codec 500 99  -- payload-codec mode
+     dune exec fuzz/fuzz.exe -- join 500 99   -- containment-join mode
 
    Crash mode is the long-running companion to test/test_faults.ml: each
    scenario runs a random update workload behind Storage.Fault with a
@@ -137,6 +138,76 @@ let scenario rng i =
       model;
     exit 1);
   IF.close inv
+
+(* --- join mode ---
+
+   The prefix-tree join engine against the naive per-query loop: random
+   inner collections (random backend), random outer collections mixing
+   subqueries of records (dense positives) with fresh sets, under random
+   LIMIT+ cut thresholds — every cut point must stay exact. *)
+
+let join_scenario rng i =
+  let backend, cleanup =
+    match Random.State.int rng 2 with
+    | 0 -> (Containment.Collection.Mem, fun () -> ())
+    | _ ->
+      let path = Filename.temp_file "fuzz" ".tch" in
+      (Containment.Collection.Hash path, fun () -> try Sys.remove path with _ -> ())
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let n0 = Random.State.int rng 12 in
+  let inner = List.init n0 (fun _ -> random_set rng 0) in
+  let inv = Containment.Collection.of_values ~backend inner in
+  Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+  let inner_arr = Array.of_list inner in
+  let rec subquery v =
+    if V.is_atom v then v
+    else
+      V.set
+        (List.filter_map
+           (fun e ->
+             if Random.State.bool rng then None
+             else Some (if V.is_set e then subquery e else e))
+           (V.elements v))
+  in
+  let outer =
+    List.init
+      (Random.State.int rng 8)
+      (fun _ ->
+        if n0 > 0 && Random.State.bool rng then
+          subquery inner_arr.(Random.State.int rng n0)
+        else random_set rng 1)
+    |> List.filter V.is_set
+  in
+  let config =
+    {
+      Join.Engine.default with
+      Join.Engine.max_depth = Random.State.int rng 4;
+      cut_candidates = Random.State.int rng 4;
+      cut_fanout = 1 + Random.State.int rng 3;
+    }
+  in
+  let got = (Join.Engine.join ~config inv outer).Join.Engine.pairs in
+  let expected = Join.Engine.naive inv outer in
+  if got <> expected then begin
+    Printf.printf "\nJOIN DIVERGENCE in scenario %d:\n" i;
+    Printf.printf "  config: max_depth=%d cut_candidates=%d cut_fanout=%d\n"
+      config.Join.Engine.max_depth config.Join.Engine.cut_candidates
+      config.Join.Engine.cut_fanout;
+    List.iteri
+      (fun id s -> Printf.printf "  record %d: %s\n" id (V.to_string s))
+      inner;
+    List.iteri
+      (fun qi q -> Printf.printf "  outer %d: %s\n" qi (V.to_string q))
+      outer;
+    let show ps =
+      String.concat ";"
+        (List.map (fun (a, b) -> Printf.sprintf "(%d,%d)" a b) ps)
+    in
+    Printf.printf "  got      [%s]\n" (show got);
+    Printf.printf "  expected [%s]\n" (show expected);
+    exit 1
+  end
 
 (* --- crash-recovery mode --- *)
 
@@ -388,6 +459,14 @@ let () =
       | n :: s :: _ -> (int_of_string n, int_of_string s)
     in
     run ~label:"crash" ~scenarios ~seed crash_scenario
+  | _ :: "join" :: rest ->
+    let scenarios, seed =
+      match rest with
+      | [] -> (200, 1)
+      | [ n ] -> (int_of_string n, 1)
+      | n :: s :: _ -> (int_of_string n, int_of_string s)
+    in
+    run ~label:"join" ~scenarios ~seed join_scenario
   | _ :: "codec" :: rest ->
     let scenarios, seed =
       match rest with

@@ -1,0 +1,76 @@
+type pair_workload = {
+  inner : Nested.Value.t list;
+  outer : Workload.query list;
+}
+
+let keep_probability = 0.7
+
+(* Keeps each element with probability [keep_probability], forcing one
+   survivor so a set never thins to {} (an atomless query would answer
+   "every record" under containment and defeat the polarity guarantee).
+   Kept sets are thinned recursively; the identity mapping of survivors
+   onto their originals witnesses containment in the source value. *)
+let rec thin rng v =
+  if not (Nested.Value.is_set v) then v
+  else
+    let elems = Nested.Value.elements v in
+    if elems = [] then v
+    else
+      let kept =
+        List.filter
+          (fun _ -> Random.State.float rng 1.0 < keep_probability)
+          elems
+      in
+      let kept =
+        if kept <> [] then kept
+        else
+          (* force a uniformly random survivor, not always the first *)
+          [ List.nth elems (Random.State.int rng (List.length elems)) ]
+      in
+      Nested.Value.set (List.map (thin rng) kept)
+
+let make ?(seed = 42) ?pool ?(shape = Synthetic.Wide)
+    ?(label_dist = Synthetic.Uniform) ?(selectivity = 0.5) ~inner ~outer () =
+  if inner <= 0 then invalid_arg "Paired.make: inner must be positive";
+  if outer < 0 then invalid_arg "Paired.make: outer must be non-negative";
+  let selectivity = Float.min 1.0 (Float.max 0.0 selectivity) in
+  let gen =
+    Synthetic.make ~seed ?pool ~params:(Synthetic.params_of_shape shape)
+      label_dist
+  in
+  let inner_values = Synthetic.values gen inner in
+  let inner_arr = Array.of_list inner_values in
+  let rng = Random.State.make [| seed; 0x9a12ed |] in
+  let n_pos =
+    int_of_float (Float.round (selectivity *. float_of_int outer))
+  in
+  let queries =
+    List.init outer (fun i ->
+        if i < n_pos then begin
+          let source_record = Random.State.int rng inner in
+          let value = thin rng inner_arr.(source_record) in
+          { Workload.value; positive = true; source_record }
+        end
+        else begin
+          (* a fresh synthetic set (drawn after the inner collection, so
+             structurally alike) poisoned with an atom no record has *)
+          let base = Synthetic.value gen in
+          let fresh = Printf.sprintf "⊥neg%d" i in
+          {
+            Workload.value = Workload.distort rng ~fresh base;
+            positive = false;
+            source_record = -1;
+          }
+        end)
+  in
+  (* interleave polarities deterministically so prefixes of the outer
+     collection stay mixed (benchmarks often truncate) *)
+  let shuffled = Array.of_list queries in
+  let n = Array.length shuffled in
+  for i = 0 to n - 2 do
+    let j = i + Random.State.int rng (n - i) in
+    let t = shuffled.(i) in
+    shuffled.(i) <- shuffled.(j);
+    shuffled.(j) <- t
+  done;
+  { inner = inner_values; outer = Array.to_list shuffled }

@@ -1,0 +1,48 @@
+(** Paired collections for set-containment join benchmarks: one inner
+    collection to index plus an outer query collection with controllable
+    containment selectivity and atom skew.
+
+    Positive outer queries are produced by {e thinning} a random inner
+    record — recursively dropping elements while keeping at least one per
+    retained set — so each is contained in its source record by
+    construction (the identity mapping of the kept elements is an
+    injective witness, valid under both the hom and iso embeddings).
+    Negative outer queries are fresh synthetic sets distorted with a
+    ["⊥neg<i>"] leaf that occurs nowhere in the inner collection (the
+    {!Workload.distort} convention), so they match nothing.
+
+    Atom skew (Zipfian θ vs. uniform) applies to both sides: skewed
+    inner data concentrates postings on few hot atoms, the regime where
+    the prefix-tree join's shared intersections pay off. Deterministic
+    for a given seed. *)
+
+type pair_workload = {
+  inner : Nested.Value.t list;  (** the collection to index *)
+  outer : Workload.query list;
+      (** outer query sets; [positive] records the construction-time
+          guarantee, [source_record] is the thinned inner record's index
+          for positives and [-1] for (fresh, synthetic) negatives *)
+}
+
+val make :
+  ?seed:int ->
+  ?pool:Label_pool.t ->
+  ?shape:Synthetic.shape ->
+  ?label_dist:Synthetic.label_dist ->
+  ?selectivity:float ->
+  inner:int ->
+  outer:int ->
+  unit ->
+  pair_workload
+(** [make ~inner ~outer ()] generates [inner] records and [outer] query
+    sets. [selectivity] (default [0.5], clamped to [0..1]) is the
+    fraction of outer queries guaranteed positive; the rest are
+    guaranteed negative. Defaults: seed 42, shape [Wide], uniform
+    labels, the {!Synthetic.make} default pool.
+    @raise Invalid_argument if [inner <= 0] or [outer < 0]. *)
+
+val thin : Random.State.t -> Nested.Value.t -> Nested.Value.t
+(** One random thinning step over a set value: every set keeps each of
+    its elements with probability 0.7 (at least one always survives),
+    and kept sets are thinned recursively. [thin rng v] is contained in
+    [v] under hom and iso embeddings. Atoms are returned unchanged. *)

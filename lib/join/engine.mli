@@ -1,0 +1,110 @@
+(** The set-containment join engine: [R ⋉⊆ S] for a whole outer collection
+    in one pass (PRETTI with an adaptive depth limit — Bouros et al., "Set
+    Containment Join Revisited", PAPERS.md).
+
+    Each outer set's atoms are sorted by ascending posting-list length
+    (rarest — most selective — first, ties by atom) and threaded into a
+    {!Prefix_tree}; a single DFS then computes the record-level candidate
+    intersection of every prefix {e once}, shared by all queries passing
+    through the node, galloping over per-atom {e root lists} (posting
+    lists lifted from nodes to sorted arrays of the records containing
+    them — atoms of a nested set may occur at different nodes of one
+    record, so node-level intersection would be unsound at the record
+    level). A query naming an atom absent from the collection is rejected
+    during the build by a key-existence probe, before any list is
+    decoded.
+
+    Tree expansion stops early, LIMIT+-style, when a node's candidate list
+    is small, its sharing factor drops below a threshold, or the depth cap
+    is reached; the queries below a cut finish by per-candidate
+    verification with the {!Containment.Embed} oracle — the same check
+    {!Containment.Engine}'s [~verify] path uses, so a cut at any point is
+    exact. Configurations the prefix filter is not sound for (any join
+    other than containment, [Anywhere] scope, wildcard patterns, atomless
+    queries) fall back to the per-query engine loop, keeping the contract
+    below for every configuration.
+
+    Contract: [join inv values] returns exactly the pairs the naive loop
+    [Containment.Engine.containment_join] returns — the qcheck differential
+    suite and the bench E24 oracle gate pin this. *)
+
+type config = {
+  engine : Containment.Engine.config;
+      (** semantics of each (outer, inner) test, and the fallback path's
+          engine configuration *)
+  max_depth : int;
+      (** hard cap on prefix-tree expansion depth; [<= 0] means unlimited *)
+  cut_candidates : int;
+      (** LIMIT+ candidate threshold: a node whose candidate list has at
+          most this many records is not expanded further — verification of
+          so few candidates is cheaper than more intersections *)
+  cut_fanout : int;
+      (** LIMIT+ sharing threshold: a node serving fewer than this many
+          queries is not expanded further (1 = never cut by fanout) *)
+}
+
+val default : config
+(** {!Containment.Engine.default} semantics, [max_depth = 32],
+    [cut_candidates = 8], [cut_fanout = 1]. *)
+
+type stats = {
+  outer : int;  (** outer queries processed *)
+  fast_path : int;
+      (** queries answered through the prefix tree (including
+          preflight-rejected ones, which never reach it) *)
+  preflight_rejected : int;
+      (** fast-path queries dismissed with zero matches because an atom
+          does not occur anywhere in the collection *)
+  fallback : int;  (** queries answered by the per-query engine loop *)
+  tree_nodes : int;  (** prefix-tree nodes built *)
+  nodes_expanded : int;  (** nodes whose candidate list was computed *)
+  intersections_shared : int;
+      (** intersections saved by prefix sharing: for each expanded node
+          serving [k] queries, the naive loop would compute its
+          intersection [k] times — [k - 1] are shared *)
+  intersections_recomputed : int;
+      (** root-list intersections actually performed (depth ≥ 2 nodes;
+          depth-1 candidate lists are plain lookups) *)
+  limit_cuts : int;  (** subtrees finished early by a LIMIT+ cut *)
+  candidates_checked : int;  (** per-candidate oracle verifications run *)
+  pairs : int;  (** result pairs emitted *)
+}
+
+type result = { pairs : (int * int) list; stats : stats }
+
+val join :
+  ?config:config -> ?trace:Obs.Trace.t -> Invfile.Inverted_file.t ->
+  Nested.Value.t list -> result
+(** [join inv values] evaluates the containment join of the outer
+    collection [values] (indexed by position) against the records of
+    [inv]. Pairs are [(outer index, record id)], strictly ascending by
+    outer index then record id — deterministic for a given store and
+    input order.
+
+    When [trace] is given, three phase spans are recorded into it:
+    [build-tree] (queries routed, distinct atoms fetched, tree size),
+    [intersect] (nodes expanded, intersections shared vs recomputed,
+    LIMIT+ cuts) and [verify] (candidates checked, pairs kept, fallback
+    queries run) — each with I/O deltas, mirroring
+    {!Containment.Engine.query}'s phase tree.
+    @raise Invalid_argument if an outer value is an atom.
+    @raise Containment.Semantics.Unsupported as the engine does for the
+    configured semantics. *)
+
+val naive :
+  ?config:Containment.Engine.config -> Invfile.Inverted_file.t ->
+  Nested.Value.t list -> (int * int) list
+(** The baseline: one {!Containment.Engine.query} per outer value
+    ({!Containment.Engine.containment_join}), flattened to the same
+    sorted pair form — the differential oracle for {!join}. *)
+
+val group : outer:int -> (int * int) list -> int list list
+(** [group ~outer pairs] splits sorted pairs into one ascending record-id
+    list per outer index, [outer] lists in total (empty lists for outer
+    queries with no matches) — the shape the wire payload and the shard
+    router work in. *)
+
+val register : Obs.Metrics.t -> unit
+(** Publishes the process-wide join totals (joins run, nodes expanded,
+    intersections shared/recomputed, pairs emitted, fallback queries,
+    LIMIT+ cuts) as registry counters under [nscq_join_*]. *)

@@ -1,0 +1,46 @@
+type node = {
+  atom : string;
+  children : (string, node) Hashtbl.t;
+  mutable endpoints : int list;
+  mutable subtree : int;
+}
+
+type t = { root : node; mutable node_count : int }
+
+let mk_node atom =
+  { atom; children = Hashtbl.create 4; endpoints = []; subtree = 0 }
+
+let create () = { root = mk_node ""; node_count = 0 }
+let root t = t.root
+let node_count t = t.node_count
+
+let insert t qi atoms =
+  if atoms = [] then invalid_arg "Prefix_tree.insert: empty atom sequence";
+  let rec go node = function
+    | [] -> node.endpoints <- qi :: node.endpoints
+    | a :: rest ->
+      let child =
+        match Hashtbl.find_opt node.children a with
+        | Some c -> c
+        | None ->
+          let c = mk_node a in
+          Hashtbl.add node.children a c;
+          t.node_count <- t.node_count + 1;
+          c
+      in
+      child.subtree <- child.subtree + 1;
+      go child rest
+  in
+  t.root.subtree <- t.root.subtree + 1;
+  go t.root atoms
+
+let sorted_children node =
+  Hashtbl.fold (fun _ c acc -> c :: acc) node.children []
+  |> List.sort (fun a b -> String.compare a.atom b.atom)
+
+let endpoints_below node =
+  let rec go acc n =
+    let acc = List.rev_append n.endpoints acc in
+    Hashtbl.fold (fun _ c acc -> go acc c) n.children acc
+  in
+  List.sort Int.compare (go [] node)

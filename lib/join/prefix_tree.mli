@@ -1,0 +1,51 @@
+(** The PRETTI prefix tree over an outer query collection (Bouros et al.,
+    "Set Containment Join Revisited", PAPERS.md).
+
+    Each outer set's atoms, sorted by a global total order (ascending
+    posting-list length, ties by atom), form a path from the root; queries
+    sharing a sorted prefix share the corresponding path. {!Engine} walks
+    the tree once, memoizing the partial inverted-list intersection at each
+    node, so sibling queries never redo the shared prefix's work.
+
+    The tree itself is pure structure: it stores which query indices end at
+    (and pass through) each node, not the intersections — those live on the
+    DFS stack of {!Engine.join}, bounding memory by tree depth rather than
+    tree size. *)
+
+type node = {
+  atom : string;  (** the atom this edge adds to the prefix; [""] at the root *)
+  children : (string, node) Hashtbl.t;
+  mutable endpoints : int list;
+      (** query indices whose full (sorted) atom sequence ends here, in
+          insertion order — duplicates of the same outer set stack up on
+          one node and share everything *)
+  mutable subtree : int;
+      (** number of inserted queries whose path passes through this node
+          (including those ending here) — the sharing factor of the
+          memoized intersection, and the fanout signal for the LIMIT+
+          depth cut *)
+}
+
+type t
+
+val create : unit -> t
+
+val insert : t -> int -> string list -> unit
+(** [insert t qi atoms] threads query [qi]'s sorted atom sequence into the
+    tree. [atoms] must be non-empty (atomless queries take the fallback
+    path in {!Engine}).
+    @raise Invalid_argument on an empty atom list. *)
+
+val root : t -> node
+
+val node_count : t -> int
+(** Nodes allocated so far, the root excluded. *)
+
+val sorted_children : node -> node list
+(** A node's children sorted by atom (ascending) — the deterministic
+    traversal order {!Engine.join} relies on. *)
+
+val endpoints_below : node -> int list
+(** Every endpoint query index in the subtree rooted at the node (the node
+    itself included), ascending — the queries a LIMIT+ cut at this node
+    must finish by verification. *)

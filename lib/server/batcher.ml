@@ -4,6 +4,7 @@ type request =
   | Literal of Nested.Value.t
   | Statement of Containment.Nscql.statement
   | Traced of { value : Nested.Value.t; trace_id : int option }
+  | Join of Nested.Value.t list
 
 let parse text =
   let text = String.trim text in
@@ -20,9 +21,33 @@ let parse text =
     | stmt -> Ok (Statement stmt)
     | exception Nscql.Parse_error m -> Error ("parse error: " ^ m)
 
+(* A Join request's text is line-oriented: one nested-set literal per
+   line (blank lines skipped). An empty outer collection — no lines — is
+   legal and answers with no pairs. *)
+let parse_join text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let rec go acc n = function
+    | [] -> Ok (Join (List.rev acc))
+    | line :: rest -> (
+      match Nested.Syntax.of_string_opt line with
+      | Some v when Nested.Value.is_set v -> go (v :: acc) (n + 1) rest
+      | Some _ ->
+        Error
+          (Printf.sprintf "outer value %d must be a set, not a bare atom" n)
+      | None ->
+        Error
+          (Printf.sprintf
+             "parse error in outer value %d: expected a nested-set literal" n))
+  in
+  go [] 0 lines
+
 let batchable = function
   | Literal _ -> true
-  | Statement _ | Traced _ -> false
+  | Statement _ | Traced _ | Join _ -> false
 
 let coalesce queue ~batchable ~max =
   let first = Queue.pop queue in

@@ -18,11 +18,20 @@ type request =
       (** a literal evaluated under the wire [Trace] verb: runs singly
           (its phase spans must not interleave with a block's) and its
           response carries the span tree alongside the result ids *)
+  | Join of Nested.Value.t list
+      (** a whole outer collection evaluated as one set-containment join
+          ([Join] wire verb) — runs singly: the join engine amortizes
+          across its own outer queries already *)
 
 val parse : string -> (request, string) result
 (** Classifies a wire [Query] verb's text: leading ['{'] means a literal,
     anything else is parsed as NSCQL. [Error] carries a client-facing
     message (syntax error, or a refused [INSERT]/[DELETE]). *)
+
+val parse_join : string -> (request, string) result
+(** Parses a wire [Join] verb's text — one nested-set literal per line,
+    blank lines skipped; no lines is the legal empty outer collection —
+    into a [Join] request. [Error] names the offending line. *)
 
 val batchable : request -> bool
 

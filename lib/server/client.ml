@@ -58,6 +58,7 @@ let roundtrip t ?trace verb ~deadline_ms =
   collect ()
 
 let query t ?(deadline_ms = 0) text = roundtrip t (Wire.Query text) ~deadline_ms
+let join t ?(deadline_ms = 0) text = roundtrip t (Wire.Join text) ~deadline_ms
 let stats t = roundtrip t Wire.Stats ~deadline_ms:0
 
 let trace t ?(deadline_ms = 0) ?trace_id text =

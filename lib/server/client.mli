@@ -25,6 +25,15 @@ val query :
     [Error] carries the server's refusal (e.g. [Overloaded] under load).
     @raise Wire.Closed / Wire.Protocol_error if the connection breaks. *)
 
+val join :
+  t -> ?deadline_ms:int -> string ->
+  (string, Wire.error_code * string) result
+(** Sends an outer collection — one nested-set literal per line — under
+    the [Join] verb and blocks for the reassembled response payload:
+    a {!Wire.join_payload}-composed line set (one record-id line per
+    outer query), parse it with {!Wire.split_join}. Servers predating
+    the verb answer with a protocol error. *)
+
 val stats : t -> (string, Wire.error_code * string) result
 (** The server's aggregated counters ({!Server_stats.render}) followed by
     the metrics-registry text exposition

@@ -47,6 +47,7 @@ type backend = {
     ?traces:Obs.Trace.t option list -> Nested.Value.t list -> string list;
   run_statement : Containment.Nscql.statement -> string;
   run_traced : trace_id:int option -> Nested.Value.t -> string;
+  run_join : Nested.Value.t list -> string;
   io_totals : unit -> io_totals;
   close : unit -> unit;
 }
@@ -75,6 +76,16 @@ let store_backend ?(config = E.default) ~cache_budget ~open_handle () =
         let root = Obs.Trace.finish trace in
         Wire.traced_payload ~result:(ids_payload r)
           ~spans:(Obs.Trace.to_wire ~id:(Obs.Trace.id trace) root));
+    run_join =
+      (fun values ->
+        let r =
+          Join.Engine.join
+            ~config:{ Join.Engine.default with engine = config }
+            inv values
+        in
+        Wire.join_payload
+          (Join.Engine.group ~outer:(List.length values)
+             r.Join.Engine.pairs));
     io_totals =
       (fun () ->
         let lk = IF.lookup_stats inv and st = (IF.store inv).Storage.Kv.stats in
@@ -136,6 +147,8 @@ let maybe_slow t job ?trace () =
         | Batcher.Literal v | Batcher.Traced { value = v; _ } ->
           digest_of_value v
         | Batcher.Statement _ -> "nscql"
+        | Batcher.Join values ->
+          Printf.sprintf "join[%d]" (List.length values)
       in
       let trace = Option.map Obs.Trace.finish trace in
       Log.warn (fun m ->
@@ -166,6 +179,14 @@ let execute_group t backend jobs =
     | exception exn ->
       let code, msg = refusal_of_exn exn in
       finish t job (Refused (code, msg)))
+  | [ { request = Batcher.Join values; _ } as job ] -> (
+    match backend.run_join values with
+    | payload ->
+      finish t job (Data payload);
+      maybe_slow t job ()
+    | exception exn ->
+      let code, msg = refusal_of_exn exn in
+      finish t job (Refused (code, msg)))
   | jobs -> (
     (* an all-literal block (Batcher.coalesce groups nothing else); a
        stray non-literal is an internal bug, but the wire protocol has an
@@ -175,7 +196,7 @@ let execute_group t backend jobs =
         (fun j ->
           match j.request with
           | Batcher.Literal _ -> true
-          | Batcher.Statement _ | Batcher.Traced _ -> false)
+          | Batcher.Statement _ | Batcher.Traced _ | Batcher.Join _ -> false)
         jobs
     in
     List.iter

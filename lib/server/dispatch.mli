@@ -50,6 +50,10 @@ type backend = {
     ?traces:Obs.Trace.t option list -> Nested.Value.t list -> string list;
   run_statement : Containment.Nscql.statement -> string;
   run_traced : trace_id:int option -> Nested.Value.t -> string;
+  run_join : Nested.Value.t list -> string;
+      (** one [Join]-verb request: the whole outer collection against the
+          served store, answered with a {!Wire.join_payload}-composed
+          payload *)
   io_totals : unit -> io_totals;
   close : unit -> unit;
 }
@@ -63,8 +67,9 @@ val store_backend :
 (** The classic single-store backend: opens one
     {!Invfile.Inverted_file} handle ([cache_budget > 0] attaches a
     static cache of that many lists), answers literal blocks with
-    {!Containment.Engine.query_batch} and NSCQL statements with
-    {!Containment.Nscql.execute}. *)
+    {!Containment.Engine.query_batch}, NSCQL statements with
+    {!Containment.Nscql.execute} and [Join] requests with
+    {!Join.Engine.join} under the server's engine config. *)
 
 val create :
   ?paused:bool ->

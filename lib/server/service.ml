@@ -133,6 +133,11 @@ let handle_request t conn ~id ~deadline_ms ~trace_id verb =
     | Error message ->
       send conn (Wire.Error { id; code = Wire.Bad_request; message })
     | Ok request -> submit_request t conn ~id ~deadline_ms request)
+  | Wire.Join text -> (
+    match Batcher.parse_join text with
+    | Error message ->
+      send conn (Wire.Error { id; code = Wire.Bad_request; message })
+    | Ok request -> submit_request t conn ~id ~deadline_ms request)
   | Wire.Trace text -> (
     match Batcher.parse text with
     | Ok (Batcher.Literal value) ->
@@ -146,7 +151,7 @@ let handle_request t conn ~id ~deadline_ms ~trace_id verb =
              code = Wire.Bad_request;
              message = "trace expects a nested-set literal, not NSCQL";
            })
-    | Ok (Batcher.Traced _) ->
+    | Ok (Batcher.Traced _ | Batcher.Join _) ->
       (* parse never builds these; answer with an error frame rather
          than killing the connection thread *)
       send conn

@@ -5,7 +5,7 @@ type error_code =
   | Server_error
   | Shutting_down
 
-type verb = Query of string | Stats | Trace of string
+type verb = Query of string | Stats | Trace of string | Join of string
 
 type frame =
   | Hello of { version : int }
@@ -38,7 +38,8 @@ let pp_frame ppf = function
       (match verb with
       | Query q -> Printf.sprintf "query %S" q
       | Stats -> "stats"
-      | Trace q -> Printf.sprintf "trace %S" q)
+      | Trace q -> Printf.sprintf "trace %S" q
+      | Join q -> Printf.sprintf "join %S" q)
       (match trace with
       | None -> ""
       | Some t -> Printf.sprintf " trace_id=%d" t)
@@ -93,8 +94,10 @@ let payload_of = function
     (* the verb byte carries the verb in its low nibble and a trace-id
        presence flag in bit 4, so trace-less requests encode byte-for-byte
        as protocol v1 did — old peers keep interoperating *)
-    let text = match verb with Query q | Trace q -> q | Stats -> "" in
-    let base = match verb with Query _ -> 0 | Stats -> 1 | Trace _ -> 2 in
+    let text = match verb with Query q | Trace q | Join q -> q | Stats -> "" in
+    let base =
+      match verb with Query _ -> 0 | Stats -> 1 | Trace _ -> 2 | Join _ -> 3
+    in
     let tlen = match trace with None -> 0 | Some _ -> 4 in
     let b = Bytes.create (9 + tlen + String.length text) in
     put_u32 b 0 id;
@@ -147,6 +150,8 @@ let parse_payload tag p =
           Result.Ok (Request { id; deadline_ms; verb = Stats; trace })
         | 2 ->
           Result.Ok (Request { id; deadline_ms; verb = Trace (rest text_pos); trace })
+        | 3 ->
+          Result.Ok (Request { id; deadline_ms; verb = Join (rest text_pos); trace })
         | _ -> Result.Error "request: bad verb")
   | 3 ->
     if len < 9 then Result.Error "result: short payload"
@@ -259,6 +264,63 @@ let split_traced payload =
   | Some i ->
     ( String.sub payload 0 i,
       String.sub payload (i + 1) (String.length payload - i - 1) )
+
+(* --- join-verb payload composition --- *)
+
+(* A Join response is line-oriented: a count line ("n"), then n lines —
+   one per outer query, in request order — each the space-separated
+   ascending record ids matching that query (possibly empty). The explicit
+   count makes the zero-result encodings unambiguous: an empty outer
+   collection ("0") and one matchless outer query ("1\n") would otherwise
+   both render as "". *)
+
+let join_payload groups =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (string_of_int (List.length groups));
+  List.iter
+    (fun ids ->
+      Buffer.add_char b '\n';
+      List.iteri
+        (fun i id ->
+          if i > 0 then Buffer.add_char b ' ';
+          Buffer.add_string b (string_of_int id))
+        ids)
+    groups;
+  Buffer.contents b
+
+let split_join payload =
+  let lines = String.split_on_char '\n' payload in
+  let parse_ids line =
+    String.split_on_char ' ' line
+    |> List.filter (fun s -> s <> "")
+    |> List.fold_left
+         (fun acc s ->
+           match (acc, int_of_string_opt s) with
+           | Result.Error _, _ -> acc
+           | _, None -> Result.Error (Printf.sprintf "malformed record id %S" s)
+           | Result.Ok ids, Some id -> Result.Ok (id :: ids))
+         (Result.Ok [])
+    |> Result.map List.rev
+  in
+  match lines with
+  | [] -> Result.Error "join payload: empty"
+  | count :: rest -> (
+    match int_of_string_opt (String.trim count) with
+    | None -> Result.Error "join payload: malformed count line"
+    | Some n ->
+      if List.length rest <> n then
+        Result.Error
+          (Printf.sprintf "join payload: %d line(s) for a count of %d"
+             (List.length rest) n)
+      else
+        List.fold_left
+          (fun acc line ->
+            match acc with
+            | Result.Error _ -> acc
+            | Result.Ok groups ->
+              Result.map (fun ids -> ids :: groups) (parse_ids line))
+          (Result.Ok []) rest
+        |> Result.map List.rev)
 
 let chunk_result ~id payload =
   let n = String.length payload in

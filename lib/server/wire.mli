@@ -39,6 +39,14 @@ type verb =
       (** like [Query] for a literal, but the response payload carries
           the result ids {e and} the server-side span tree — see
           {!traced_payload} / {!split_traced} *)
+  | Join of string
+      (** a whole outer collection — one nested-set literal per line —
+          evaluated as a set-containment join against the served
+          collection; the response payload carries one id line per outer
+          query, see {!join_payload} / {!split_join}. Like the trace
+          field, the verb rides a previously unused verb-byte value, so
+          every pre-existing encoding is byte-identical and old clients
+          interoperate untouched (old servers reject the verb) *)
 
 type frame =
   | Hello of { version : int }  (** client → server, first frame *)
@@ -104,3 +112,13 @@ val traced_payload : result:string -> spans:string -> string
 val split_traced : string -> string * string
 (** Inverse of {!traced_payload}: [(result, spans)]; [spans] is [""]
     when the payload carries no trace part. *)
+
+(** {1 Join-verb payloads} *)
+
+val join_payload : int list list -> string
+(** Composes a [Join] response: a count line, then one line per outer
+    query (in request order) carrying its matching record ids,
+    space-separated. *)
+
+val split_join : string -> (int list list, string) result
+(** Inverse of {!join_payload}. [Error] describes the malformation. *)

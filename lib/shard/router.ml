@@ -46,6 +46,7 @@ type t = {
   targets : target array;
   stats : shard_stat array;
   mutable total_queries : int;
+  mutable total_joins : int;
   mutable partial_answers : int;
   mutable closed : bool;
   mutable global_index : (int, int * int) Hashtbl.t option;
@@ -82,6 +83,7 @@ let open_manifest ?(config = default_config) m =
     targets;
     stats;
     total_queries = 0;
+    total_joins = 0;
     partial_answers = 0;
     closed = false;
     global_index = None;
@@ -354,6 +356,245 @@ let query ?trace t value =
     shards_skipped = !skipped;
   }
 
+(* --- scatter-gather join --- *)
+
+type join_outcome = {
+  pairs : (int * int) list;
+  join_warnings : (int * string) list;
+  join_shards_queried : int;
+  join_shards_skipped : int;
+}
+
+(* Per-shard join outcomes carry one local-id list per outer query. *)
+type shard_join =
+  | J_skipped
+  | J_answered of int list list
+  | J_failed of string
+
+let join_config t = { Join.Engine.default with Join.Engine.engine = t.config.engine }
+
+let run_local_join t ?trace values i inv =
+  match Join.Engine.join ~config:(join_config t) ?trace inv values with
+  | r ->
+    J_answered
+      (Join.Engine.group ~outer:(List.length values) r.Join.Engine.pairs)
+  | exception ((Sem.Unsupported _ | Invalid_argument _) as exn) ->
+    (* a config or value the join engine refuses is refused identically
+       on every shard: surface it as the single-store engine would *)
+    raise exn
+  | exception exn -> J_failed (Printf.sprintf "shard %d: %s" i (describe_exn exn))
+
+(* The Join verb carries no trace part (unlike Trace): a traced sharded
+   join shows remote shards as flat [remote=true] spans with timings
+   only. *)
+let run_remote_join t text ~host ~port =
+  match Server.Client.connect ~host ~port () with
+  | exception exn -> J_failed (describe_exn exn)
+  | client -> (
+    Fun.protect ~finally:(fun () -> Server.Client.close client) @@ fun () ->
+    match
+      Server.Client.join client ~deadline_ms:t.config.remote_deadline_ms text
+    with
+    | Ok payload -> (
+      match Server.Wire.split_join payload with
+      | Ok groups -> J_answered groups
+      | Error m -> J_failed ("malformed join payload: " ^ m))
+    | Error (code, msg) ->
+      J_failed (Format.asprintf "%a: %s" Server.Wire.pp_error_code code msg)
+    | exception exn -> J_failed (describe_exn exn))
+
+let join ?trace t values =
+  if t.closed then invalid_arg "Router.join: router is closed";
+  let n = Array.length t.targets in
+  let n_outer = List.length values in
+  if n_outer = 0 then begin
+    t.total_joins <- t.total_joins + 1;
+    Array.iter (fun st -> st.skips <- st.skips + 1) t.stats;
+    { pairs = []; join_warnings = []; join_shards_queried = 0;
+      join_shards_skipped = n }
+  end
+  else begin
+    (* broadcast the outer collection; prune a local shard only when *no*
+       outer query's atoms are all present (per-query pruning inside the
+       shard falls out of the join's own empty intersections) *)
+    let atom_sets =
+      if prunable t.config.engine then
+        List.map Nested.Value.atom_universe values
+      else []
+    in
+    let relevant inv =
+      atom_sets = [] || List.exists (fun atoms -> shard_relevant inv atoms) atom_sets
+    in
+    let outcomes = Array.make n J_skipped in
+    let elapsed = Array.make n 0. in
+    let started = Array.make n 0. in
+    let subtraces = Array.make n None in
+    let timed i f =
+      let t0 = Unix.gettimeofday () in
+      started.(i) <- t0;
+      let r = f () in
+      elapsed.(i) <- 1000. *. (Unix.gettimeofday () -. t0);
+      r
+    in
+    let locals = ref [] and remotes = ref [] in
+    Array.iteri
+      (fun i -> function
+        | Local_handle inv -> if relevant inv then locals := (i, inv) :: !locals
+        | Remote_addr { host; port } -> remotes := (i, host, port) :: !remotes)
+      t.targets;
+    let locals = List.rev !locals and remotes = List.rev !remotes in
+    (match trace with
+    | None -> ()
+    | Some tr ->
+      List.iter
+        (fun (i, _) ->
+          subtraces.(i) <-
+            Some
+              (Obs.Trace.create ~id:(Obs.Trace.id tr)
+                 (Printf.sprintf "shard:%d" i)))
+        locals);
+    let text =
+      lazy (String.concat "\n" (List.map Nested.Value.to_string values))
+    in
+    let remote_threads =
+      List.map
+        (fun (i, host, port) ->
+          Thread.create
+            (fun () ->
+              outcomes.(i) <-
+                timed i (fun () ->
+                    run_remote_join t (Lazy.force text) ~host ~port))
+            ())
+        remotes
+    in
+    (* engine refusals propagate from the first local shard, run in the
+       calling domain, before any fan-out result is folded (cf. query) *)
+    let run_locals jobs =
+      List.map
+        (fun (i, inv) ->
+          (i, timed i (fun () ->
+                 run_local_join t ?trace:subtraces.(i) values i inv)))
+        jobs
+    in
+    let local_results =
+      match locals with
+      | [] -> []
+      | (i0, inv0) :: rest ->
+        let first =
+          ( i0,
+            timed i0 (fun () ->
+                run_local_join t ?trace:subtraces.(i0) values i0 inv0) )
+        in
+        let slices = min (t.config.domains - 1) (List.length rest) in
+        let others =
+          if slices <= 1 then run_locals rest
+          else
+            List.init slices (fun k ->
+                Domain.spawn (fun () -> run_locals (slice ~slices k rest)))
+            |> List.concat_map Domain.join
+        in
+        first :: others
+    in
+    List.iter (fun (i, o) -> outcomes.(i) <- o) local_results;
+    List.iter Thread.join remote_threads;
+    (* fold in shard order: deterministic gathering *)
+    let parts = ref []
+    and warnings = ref []
+    and queried = ref 0
+    and skipped = ref 0 in
+    let fail i reason st =
+      st.failures <- st.failures + 1;
+      match t.config.fail_mode with
+      | Fail_fast -> raise (Shard_failed (i, reason))
+      | Partial -> warnings := (i, reason) :: !warnings
+    in
+    Array.iteri
+      (fun i o ->
+        let st = t.stats.(i) in
+        match o with
+        | J_skipped ->
+          incr skipped;
+          st.skips <- st.skips + 1
+        | J_answered groups ->
+          incr queried;
+          st.queries <- st.queries + 1;
+          st.total_ms <- st.total_ms +. elapsed.(i);
+          if elapsed.(i) > st.max_ms then st.max_ms <- elapsed.(i);
+          if List.length groups <> n_outer then
+            fail i
+              (Printf.sprintf "returned %d result line(s) for %d outer quer%s"
+                 (List.length groups) n_outer
+                 (if n_outer = 1 then "y" else "ies"))
+              st
+          else begin
+            let ids = t.manifest.Manifest.shards.(i).Manifest.ids in
+            let count = ref 0 in
+            List.iteri
+              (fun qi locals ->
+                List.iter
+                  (fun local ->
+                    if local >= 0 && local < Array.length ids then begin
+                      parts := (qi, ids.(local)) :: !parts;
+                      incr count
+                    end
+                    else
+                      raise
+                        (Shard_failed
+                           ( i,
+                             Printf.sprintf "returned unmapped record id %d"
+                               local )))
+                  locals)
+              groups;
+            st.results <- st.results + !count
+          end
+        | J_failed reason ->
+          incr queried;
+          st.queries <- st.queries + 1;
+          fail i reason st)
+      outcomes;
+    (match trace with
+    | None -> ()
+    | Some tr ->
+      Array.iteri
+        (fun i o ->
+          let shard_span =
+            match subtraces.(i) with
+            | Some sub -> Some (Obs.Trace.finish sub)
+            | None -> (
+              match o with
+              | J_answered _ ->
+                Some
+                  (Obs.Trace.make_span
+                     ~name:(Printf.sprintf "shard:%d" i)
+                     ~start_s:started.(i)
+                     ~duration_s:(elapsed.(i) /. 1000.)
+                     ~attrs:[ ("remote", "true") ] ())
+              | J_failed reason ->
+                Some
+                  (Obs.Trace.make_span
+                     ~name:(Printf.sprintf "shard:%d" i)
+                     ~start_s:started.(i)
+                     ~duration_s:(elapsed.(i) /. 1000.)
+                     ~attrs:[ ("failed", reason) ] ())
+              | J_skipped -> None)
+          in
+          Option.iter (Obs.Trace.graft tr) shard_span)
+        outcomes;
+      Obs.Trace.add_attr tr "shards_queried" (string_of_int !queried);
+      Obs.Trace.add_attr tr "shards_skipped" (string_of_int !skipped));
+    t.total_joins <- t.total_joins + 1;
+    if !warnings <> [] then t.partial_answers <- t.partial_answers + 1;
+    let pair_compare (o1, r1) (o2, r2) =
+      if o1 <> o2 then Int.compare o1 o2 else Int.compare r1 r2
+    in
+    {
+      pairs = List.sort pair_compare !parts;
+      join_warnings = List.rev !warnings;
+      join_shards_queried = !queried;
+      join_shards_skipped = !skipped;
+    }
+  end
+
 (* --- record access --- *)
 
 let global_index t =
@@ -400,6 +641,8 @@ let register reg ?(labels = []) t =
   cb "nscq_router_queries_total" `Counter (fun () ->
       float_of_int t.total_queries)
     ~help:"Scatter-gather queries routed";
+  cb "nscq_router_joins_total" `Counter (fun () -> float_of_int t.total_joins)
+    ~help:"Scatter-gather containment joins routed";
   cb "nscq_router_partial_answers_total" `Counter (fun () ->
       float_of_int t.partial_answers)
     ~help:"Answers missing at least one failed shard";
@@ -443,13 +686,13 @@ let render_stats t =
       0 t.targets
   in
   Printf.bprintf b
-    "router: %d shard(s) (%d local, %d remote), %d quer%s, %d partial \
-     answer(s)\n"
+    "router: %d shard(s) (%d local, %d remote), %d quer%s, %d join(s), %d \
+     partial answer(s)\n"
     (Array.length t.targets) n_local
     (Array.length t.targets - n_local)
     t.total_queries
     (if t.total_queries = 1 then "y" else "ies")
-    t.partial_answers;
+    t.total_joins t.partial_answers;
   let lookups, hits, misses, reads, bytes = local_io t in
   Printf.bprintf b
     "local io: lookups=%d hits=%d misses=%d reads=%d bytes_read=%d\n" lookups
@@ -501,6 +744,15 @@ let dispatch_backend ?(config = default_config) m () =
         invalid_arg
           "NSCQL statements are not supported over a sharded collection \
            (literal queries only)");
+    run_join =
+      (fun values ->
+        let o = join t values in
+        List.iter
+          (fun (i, reason) ->
+            Log.warn (fun f -> f "shard %d dropped from join: %s" i reason))
+          o.join_warnings;
+        Server.Wire.join_payload
+          (Join.Engine.group ~outer:(List.length values) o.pairs));
     run_traced =
       (fun ~trace_id v ->
         let trace = Obs.Trace.create ?id:trace_id "query" in

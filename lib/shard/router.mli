@@ -82,6 +82,35 @@ val query : ?trace:Obs.Trace.t -> t -> Nested.Value.t -> outcome
     @raise Shard_failed under [Fail_fast].
     @raise Invalid_argument if the query is an atom. *)
 
+type join_outcome = {
+  pairs : (int * int) list;
+      (** [(outer index, global record id)] pairs, sorted ascending by
+          outer index then id — each global id lives in exactly one
+          shard, so the merged pair set is deterministic *)
+  join_warnings : (int * string) list;
+      (** failed shards (index, reason) — nonempty only under [Partial] *)
+  join_shards_queried : int;
+  join_shards_skipped : int;
+}
+
+val join : ?trace:Obs.Trace.t -> t -> Nested.Value.t list -> join_outcome
+(** Scatter-gather set-containment join: the outer collection is
+    broadcast to every shard (each holds a partition of the inner
+    collection), evaluated per shard with {!Join.Engine.join} locally or
+    the wire [Join] verb remotely, and the per-shard pair sets are
+    translated to global ids and merged. A local shard is pruned only
+    when {e no} outer query's atoms are all present — per-query pruning
+    inside a relevant shard falls out of the prefix tree's own empty
+    intersections. Deadlines, [fail_mode], and id translation behave as
+    in {!query}.
+
+    With [?trace], local shards evaluate into [shard:<i>] sub-traces
+    carrying the join engine's build-tree/intersect/verify phases; remote
+    shards appear as flat timed [remote=true] spans (the [Join] verb
+    carries no span tree).
+    @raise Shard_failed under [Fail_fast].
+    @raise Invalid_argument if any outer value is an atom. *)
+
 val record_value : t -> int -> Nested.Value.t option
 (** The stored value behind a global record id, when its shard is local
     ([None] for remote shards and unknown ids). *)
@@ -89,7 +118,8 @@ val record_value : t -> int -> Nested.Value.t option
 val register : Obs.Metrics.t -> ?labels:(string * string) list -> t -> unit
 (** Publishes the router's counters into a metrics registry as callback
     metrics sampled at render time: [nscq_router_queries_total],
-    [nscq_router_partial_answers_total], and per shard (labelled
+    [nscq_router_joins_total], [nscq_router_partial_answers_total], and
+    per shard (labelled
     [shard="<i>"]) [nscq_shard_queries_total], [nscq_shard_failures_total],
     [nscq_shard_skips_total], [nscq_shard_results_total] and the
     [nscq_shard_query_ms_max] gauge. Each local shard additionally
@@ -108,6 +138,8 @@ val dispatch_backend :
 (** An execution backend for {!Server.Dispatch}: each server worker
     domain gets its own router (local handles and all) over [manifest].
     Literal queries scatter-gather with [config] (its [domains] is
-    forced to 1 — concurrency comes from the worker pool); NSCQL
-    statements are refused as unsupported over a sharded collection.
-    Partial-mode warnings are logged, not returned to the client. *)
+    forced to 1 — concurrency comes from the worker pool); [Join]
+    requests fan out through {!join} and answer with a
+    {!Server.Wire.join_payload}; NSCQL statements are refused as
+    unsupported over a sharded collection. Partial-mode warnings are
+    logged, not returned to the client. *)

@@ -1,0 +1,430 @@
+(* The set-containment join engine against its contract: for every
+   configuration, [Join.Engine.join] returns exactly the pairs of the
+   naive per-query loop — through the prefix tree's fast path, through
+   forced LIMIT+ cuts, through the fallback path, over the paired-
+   collection generator's guaranteed polarities, and sharded through the
+   router (local, remote, and degraded with a dead shard). *)
+
+module IF = Invfile.Inverted_file
+module E = Containment.Engine
+module Sem = Containment.Semantics
+module V = Nested.Value
+module J = Join.Engine
+module M = Shard.Manifest
+module P = Shard.Partitioner
+module R = Shard.Router
+
+let check_pairs = Alcotest.(check (list (pair int int)))
+
+let with_collection values f =
+  let inv = Containment.Collection.of_values values in
+  Fun.protect ~finally:(fun () -> IF.close inv) (fun () -> f inv)
+
+(* drop outer values the engines refuse outright (atoms) *)
+let as_outer vs = List.filter V.is_set vs
+
+let differential ?(config = J.default) values outers =
+  with_collection values @@ fun inv ->
+  let got = (J.join ~config inv outers).J.pairs in
+  let want = J.naive ~config:config.J.engine inv outers in
+  got = want
+
+(* --- qcheck differentials --- *)
+
+let arbitrary_join_case =
+  QCheck.make
+    ~print:(fun (vs, qs) ->
+      Printf.sprintf "inner:\n%s\nouter:\n%s"
+        (String.concat "\n" (List.map V.to_string vs))
+        (String.concat "\n" (List.map V.to_string qs)))
+    (fun st ->
+      let records = QCheck.Gen.int_range 0 14 st in
+      let inner =
+        List.init records (fun _ ->
+            Testutil.gen_set ~max_depth:3 ~max_width:4 st)
+      in
+      let n_outer = QCheck.Gen.int_range 0 10 st in
+      let outer =
+        List.init n_outer (fun _ ->
+            match QCheck.Gen.int_bound 3 st with
+            | 0 when inner <> [] ->
+              (* a subquery of a record: guaranteed dense positives *)
+              let r = List.nth inner (QCheck.Gen.int_bound (records - 1) st) in
+              Testutil.shrink_to_subquery st r
+            | 1 ->
+              (* single-atom and tiny sets stress depth-1 handling *)
+              V.set [ V.atom (Testutil.gen_atom_string st) ]
+            | _ -> Testutil.gen_set ~max_depth:3 ~max_width:4 st)
+        |> as_outer
+      in
+      (inner, outer))
+
+let prop_differential =
+  Testutil.qcheck_case ~count:150 ~name:"join = naive loop (default config)"
+    arbitrary_join_case
+    (fun (inner, outer) -> differential inner outer)
+
+(* Forced-cut configurations: every cut point must stay exact because
+   leaves finish with oracle verification. *)
+let cut_configs =
+  [
+    ("depth-1 cap", { J.default with J.max_depth = 1 });
+    ("always cut", { J.default with J.cut_candidates = max_int });
+    ("fanout cut", { J.default with J.cut_fanout = 1000 });
+    ("no cuts", { J.default with J.max_depth = 0; J.cut_candidates = 0 });
+  ]
+
+let prop_cut_configs =
+  List.map
+    (fun (label, config) ->
+      Testutil.qcheck_case ~count:75
+        ~name:(Printf.sprintf "join = naive under %s" label)
+        arbitrary_join_case
+        (fun (inner, outer) -> differential ~config inner outer))
+    cut_configs
+
+(* Non-fast-path semantics route through the fallback and must still
+   match the naive loop under the same engine config. *)
+let fallback_configs =
+  [
+    { E.default with E.join = Sem.Equality };
+    { E.default with E.join = Sem.Superset };
+    { E.default with E.scope = E.Anywhere };
+    { E.default with E.embedding = Sem.Iso };
+  ]
+
+let prop_fallback =
+  Testutil.qcheck_case ~count:50 ~name:"join = naive on fallback configs"
+    arbitrary_join_case
+    (fun (inner, outer) ->
+      List.for_all
+        (fun engine ->
+          match differential ~config:{ J.default with J.engine } inner outer with
+          | ok -> ok
+          | exception Sem.Unsupported _ -> true)
+        fallback_configs)
+
+(* --- deterministic edges --- *)
+
+let licences = List.map Testutil.v Testutil.licences_strings
+
+let test_edges () =
+  (* empty outer collection *)
+  with_collection licences (fun inv ->
+      let r = J.join inv [] in
+      check_pairs "empty outer" [] r.J.pairs;
+      Alcotest.(check int) "no queries" 0 r.J.stats.J.outer);
+  (* empty inner collection *)
+  with_collection [] (fun inv ->
+      let r = J.join inv [ Testutil.v "{a}"; Testutil.v "{a, {b}}" ] in
+      check_pairs "empty inner" [] r.J.pairs);
+  (* duplicate outer sets share one prefix path but answer separately *)
+  with_collection licences (fun inv ->
+      let q = Testutil.v "{UK, {A, motorbike}}" in
+      let r = J.join inv [ q; q; q ] in
+      let per_q = (E.query inv q).E.records in
+      check_pairs "duplicates"
+        (List.concat_map (fun qi -> List.map (fun id -> (qi, id)) per_q)
+           [ 0; 1; 2 ])
+        r.J.pairs);
+  (* an atom outer value is refused like the engine refuses it *)
+  with_collection licences (fun inv ->
+      Alcotest.check_raises "atom outer"
+        (Invalid_argument "Query.of_value: query must be a set")
+        (fun () -> ignore (J.join inv [ V.atom "car" ])));
+  (* the empty set query matches every record (atomless → fallback) *)
+  with_collection licences (fun inv ->
+      let r = J.join inv [ V.empty ] in
+      check_pairs "empty set query"
+        (List.mapi (fun i _ -> (0, i)) licences)
+        r.J.pairs;
+      Alcotest.(check int) "fallback took it" 1 r.J.stats.J.fallback)
+
+let test_deep_and_skewed () =
+  (* deep nesting: chains stress root-lifting across node levels *)
+  let rec chain n = if n = 0 then V.atom "z" else V.set [ V.atom "a"; chain (n - 1) ] in
+  let inner = List.init 8 (fun i -> chain (i + 1)) in
+  let outer = [ V.set [ V.atom "a" ]; chain 3; chain 8; V.set [ chain 2 ] ] in
+  Alcotest.(check bool) "deep chains" true (differential inner outer);
+  (* skewed sizes: one huge record among tiny ones, one huge query *)
+  let big = V.set (List.init 60 (fun i -> V.atom (Printf.sprintf "x%d" i))) in
+  let inner = big :: List.init 10 (fun i -> V.set [ V.atom (Printf.sprintf "x%d" i) ]) in
+  let outer =
+    [ V.set (List.init 30 (fun i -> V.atom (Printf.sprintf "x%d" (2 * i))));
+      V.set [ V.atom "x3" ] ]
+  in
+  Alcotest.(check bool) "skewed sizes" true (differential inner outer)
+
+(* --- the paired-collection generator's guarantees --- *)
+
+let test_paired_generator () =
+  let w =
+    Datagen.Paired.make ~seed:7 ~label_dist:(Datagen.Synthetic.Zipfian 0.7)
+      ~selectivity:0.5 ~inner:40 ~outer:30 ()
+  in
+  Alcotest.(check int) "inner count" 40 (List.length w.Datagen.Paired.inner);
+  Alcotest.(check int) "outer count" 30 (List.length w.Datagen.Paired.outer);
+  with_collection w.Datagen.Paired.inner @@ fun inv ->
+  let outers = Datagen.Workload.values w.Datagen.Paired.outer in
+  let r = J.join inv outers in
+  let groups = J.group ~outer:(List.length outers) r.J.pairs in
+  List.iteri
+    (fun qi (q : Datagen.Workload.query) ->
+      let ids = List.nth groups qi in
+      if q.Datagen.Workload.positive then begin
+        Alcotest.(check bool)
+          (Printf.sprintf "positive %d has matches" qi)
+          true (ids <> []);
+        Alcotest.(check bool)
+          (Printf.sprintf "positive %d finds its source" qi)
+          true
+          (List.mem q.Datagen.Workload.source_record ids)
+      end
+      else
+        Alcotest.(check (list int))
+          (Printf.sprintf "negative %d is empty" qi)
+          [] ids)
+    w.Datagen.Paired.outer;
+  (* and the result still matches the naive loop *)
+  Alcotest.(check bool) "paired differential" true
+    (r.J.pairs = J.naive inv outers);
+  (* determinism across runs *)
+  let w' =
+    Datagen.Paired.make ~seed:7 ~label_dist:(Datagen.Synthetic.Zipfian 0.7)
+      ~selectivity:0.5 ~inner:40 ~outer:30 ()
+  in
+  Alcotest.(check bool) "generator is deterministic" true
+    (List.equal V.equal w.Datagen.Paired.inner w'.Datagen.Paired.inner
+    && List.equal V.equal
+         (Datagen.Workload.values w.Datagen.Paired.outer)
+         (Datagen.Workload.values w'.Datagen.Paired.outer))
+
+(* --- the stats tell the sharing story --- *)
+
+let test_stats_sharing () =
+  (* queries sharing a rare atom share its (rarest-first) prefix node:
+     the shared counter must reflect the k-1 saved lookups/intersections *)
+  let commons = List.init 6 (fun j -> V.atom (Printf.sprintf "c%d" j)) in
+  let inner =
+    List.init 12 (fun i ->
+        V.set (if i < 6 then V.atom "rare" :: commons else commons))
+  in
+  let outer =
+    List.init 6 (fun j ->
+        V.set [ V.atom "rare"; V.atom (Printf.sprintf "c%d" j) ])
+  in
+  with_collection inner @@ fun inv ->
+  let r =
+    J.join ~config:{ J.default with J.cut_candidates = 0 } inv outer
+  in
+  let s = r.J.stats in
+  Alcotest.(check int) "all fast path" 6 s.J.fast_path;
+  (* "rare" sorts first in all six queries: one node serving six queries,
+     so five of the six lookups are shared *)
+  Alcotest.(check bool) "prefix sharing happened" true
+    (s.J.intersections_shared >= 5);
+  Alcotest.(check int) "tree shares the rare prefix" 7 s.J.tree_nodes;
+  check_pairs "sharing result"
+    (List.concat_map (fun j -> List.init 6 (fun i -> (j, i))) [ 0; 1; 2; 3; 4; 5 ])
+    r.J.pairs
+
+(* --- sharded joins --- *)
+
+let collection =
+  let st = Random.State.make [| 11 |] in
+  licences
+  @ List.init 30 (fun _ -> Testutil.gen_leafy_set ~max_depth:3 ~max_width:4 st)
+
+let outer_queries =
+  let st = Random.State.make [| 23 |] in
+  List.map Testutil.v [ "{UK, {A, motorbike}}"; "{car}"; "{nothere}" ]
+  @ (List.filteri (fun i _ -> i mod 4 = 0) collection
+    |> List.map (fun r ->
+           let q = Testutil.shrink_to_subquery st r in
+           if V.is_set q then q else r)
+    |> as_outer)
+
+let with_built ~shards f =
+  Testutil.with_temp_path ".manifest" @@ fun mpath ->
+  let m = P.build ~policy:M.Hash ~shards ~manifest_path:mpath collection in
+  let remove () =
+    Array.iter
+      (fun (s : M.shard) ->
+        match s.M.location with
+        | M.Local { path; _ } -> ( try Sys.remove path with Sys_error _ -> ())
+        | M.Remote _ -> ())
+      m.M.shards
+  in
+  Fun.protect ~finally:remove (fun () -> f m)
+
+let single_store_pairs () =
+  with_collection collection (fun inv -> (J.join inv outer_queries).J.pairs)
+
+let test_sharded_local () =
+  let want = single_store_pairs () in
+  with_built ~shards:3 @@ fun m ->
+  let r = R.open_manifest m in
+  Fun.protect ~finally:(fun () -> R.close r) @@ fun () ->
+  let o = R.join r outer_queries in
+  Alcotest.(check (list (pair int string))) "no warnings" [] o.R.join_warnings;
+  check_pairs "sharded = single store" want o.R.pairs;
+  (* empty outer short-circuits *)
+  let o = R.join r [] in
+  check_pairs "empty outer over shards" [] o.R.pairs;
+  Alcotest.(check int) "nothing queried" 0 o.R.join_shards_queried
+
+let serve_cfg =
+  {
+    Server.Service.default_config with
+    Server.Service.port = 0;
+    domains = 1;
+    stats_interval_s = 0.;
+  }
+
+let serve_shard (s : M.shard) =
+  match s.M.location with
+  | M.Remote _ -> assert false
+  | M.Local { path; backend } ->
+    Server.Service.start serve_cfg ~open_handle:(fun () ->
+        IF.open_store (P.open_store backend path))
+
+let remote_manifest (m : M.t) ports =
+  M.make ~policy:m.M.policy ~total_records:m.M.total_records
+    (List.mapi
+       (fun i (s : M.shard) ->
+         { s with M.location = M.Remote { host = "127.0.0.1"; port = ports.(i) } })
+       (Array.to_list m.M.shards))
+
+let test_sharded_remote () =
+  let want = single_store_pairs () in
+  with_built ~shards:3 @@ fun m ->
+  let servers = Array.map serve_shard m.M.shards in
+  Fun.protect ~finally:(fun () -> Array.iter Server.Service.stop servers)
+  @@ fun () ->
+  (* one remote shard among locals: mixed fan-out *)
+  let mixed =
+    M.make ~policy:m.M.policy ~total_records:m.M.total_records
+      (List.mapi
+         (fun i (s : M.shard) ->
+           if i = 1 then
+             { s with
+               M.location =
+                 M.Remote
+                   { host = "127.0.0.1"; port = Server.Service.port servers.(1) };
+             }
+           else s)
+         (Array.to_list m.M.shards))
+  in
+  let r = R.open_manifest mixed in
+  Fun.protect ~finally:(fun () -> R.close r) @@ fun () ->
+  let o = R.join r outer_queries in
+  Alcotest.(check (list (pair int string))) "no warnings" [] o.R.join_warnings;
+  check_pairs "mixed local/remote = single store" want o.R.pairs;
+  (* all-remote *)
+  let rm = remote_manifest m (Array.map Server.Service.port servers) in
+  let rr = R.open_manifest rm in
+  Fun.protect ~finally:(fun () -> R.close rr) @@ fun () ->
+  let o = R.join rr outer_queries in
+  check_pairs "all-remote = single store" want o.R.pairs
+
+let test_sharded_dead_partial () =
+  let want = single_store_pairs () in
+  with_built ~shards:3 @@ fun m ->
+  (* find a free port, then close it: shard 2 is dead *)
+  let dead_port =
+    let tmp = serve_shard m.M.shards.(0) in
+    let p = Server.Service.port tmp in
+    Server.Service.stop tmp;
+    p
+  in
+  let s0 = serve_shard m.M.shards.(0) and s1 = serve_shard m.M.shards.(1) in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.Service.stop s0;
+      Server.Service.stop s1)
+  @@ fun () ->
+  let rm =
+    remote_manifest m
+      [| Server.Service.port s0; Server.Service.port s1; dead_port |]
+  in
+  (* Fail_fast: the dead shard raises *)
+  let rf = R.open_manifest rm in
+  (match R.join rf outer_queries with
+  | exception R.Shard_failed (2, _) -> ()
+  | exception R.Shard_failed (i, _) -> Alcotest.failf "wrong shard failed: %d" i
+  | _ -> Alcotest.fail "dead shard did not fail the join");
+  R.close rf;
+  (* Partial: the surviving shards' pairs, one warning for shard 2 *)
+  let rp =
+    R.open_manifest ~config:{ R.default_config with R.fail_mode = R.Partial } rm
+  in
+  Fun.protect ~finally:(fun () -> R.close rp) @@ fun () ->
+  let o = R.join rp outer_queries in
+  (match o.R.join_warnings with
+  | [ (2, _) ] -> ()
+  | w -> Alcotest.failf "expected one warning for shard 2, got %d" (List.length w));
+  let dead_ids =
+    Array.to_list m.M.shards.(2).M.ids |> List.sort_uniq Int.compare
+  in
+  let want_partial =
+    List.filter (fun (_, id) -> not (List.mem id dead_ids)) want
+  in
+  check_pairs "partial = single store minus dead shard" want_partial o.R.pairs
+
+(* --- the wire path end to end --- *)
+
+let test_client_join () =
+  let want = single_store_pairs () in
+  Testutil.with_temp_path ".log" @@ fun path ->
+  let b = Invfile.Builder.create (Storage.Log_store.create path) in
+  List.iter (fun v -> ignore (Invfile.Builder.add_value b v)) collection;
+  IF.close (Invfile.Builder.finish b);
+  let srv =
+    Server.Service.start serve_cfg ~open_handle:(fun () ->
+        IF.open_store (Storage.Log_store.open_existing path))
+  in
+  Fun.protect ~finally:(fun () -> Server.Service.stop srv) @@ fun () ->
+  let c = Server.Client.connect ~port:(Server.Service.port srv) () in
+  Fun.protect ~finally:(fun () -> Server.Client.close c) @@ fun () ->
+  let text = String.concat "\n" (List.map V.to_string outer_queries) in
+  (match Server.Client.join c text with
+  | Ok payload -> (
+    match Server.Wire.split_join payload with
+    | Ok groups ->
+      check_pairs "wire join = single store" want
+        (List.concat
+           (List.mapi (fun qi ids -> List.map (fun id -> (qi, id)) ids) groups))
+    | Error m -> Alcotest.failf "malformed join payload: %s" m)
+  | Error (_, m) -> Alcotest.failf "server refused join: %s" m);
+  (* malformed outer collections are Bad_request, not dropped conns *)
+  match Server.Client.join c "{a}\nnot a literal" with
+  | Error (Server.Wire.Bad_request, _) -> ()
+  | Ok _ -> Alcotest.fail "malformed outer accepted"
+  | Error (c', m) ->
+    Alcotest.failf "wrong refusal: %a %s" Server.Wire.pp_error_code c' m
+
+let () =
+  Alcotest.run "join"
+    [
+      ( "differential",
+        prop_differential :: prop_fallback :: prop_cut_configs );
+      ( "edges",
+        [
+          Alcotest.test_case "empty/duplicate/atom edges" `Quick test_edges;
+          Alcotest.test_case "deep chains and skewed sizes" `Quick
+            test_deep_and_skewed;
+          Alcotest.test_case "stats reflect sharing" `Quick test_stats_sharing;
+        ] );
+      ( "paired datagen",
+        [ Alcotest.test_case "polarity guarantees" `Quick test_paired_generator ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "local shards = single store" `Quick
+            test_sharded_local;
+          Alcotest.test_case "remote shards = single store" `Quick
+            test_sharded_remote;
+          Alcotest.test_case "dead shard: fail-fast and partial" `Quick
+            test_sharded_dead_partial;
+          Alcotest.test_case "client join over the wire" `Quick test_client_join;
+        ] );
+    ]

@@ -34,10 +34,11 @@ let gen_frame st =
   | 1 -> W.Hello_ack { version = gen_u16 st; server = gen_string st }
   | 2 ->
     let verb =
-      match QCheck.Gen.int_bound 2 st with
+      match QCheck.Gen.int_bound 3 st with
       | 0 -> W.Query (gen_string st)
       | 1 -> W.Stats
-      | _ -> W.Trace (gen_string st)
+      | 2 -> W.Trace (gen_string st)
+      | _ -> W.Join (gen_string st)
     in
     let trace = if QCheck.Gen.bool st then Some (gen_u32 st) else None in
     W.Request { id = gen_u32 st; deadline_ms = gen_u32 st; verb; trace }
@@ -165,6 +166,11 @@ let test_v1_request_layout () =
   in
   check_layout (W.Query "{a, {b}}") ~verb_byte:0 ~text:"{a, {b}}";
   check_layout W.Stats ~verb_byte:1 ~text:"";
+  check_layout (W.Trace "{a}") ~verb_byte:2 ~text:"{a}";
+  (* the Join verb rides the previously unused verb value 3: the old
+     verbs' encodings stay byte-identical, an old server rejects 3 as an
+     unknown verb instead of misreading the frame *)
+  check_layout (W.Join "{a}\n{b, {c}}") ~verb_byte:3 ~text:"{a}\n{b, {c}}";
   (* the trace-id rides behind bit 4 of the verb byte; an old parser sees
      a verb it does not know and rejects the frame instead of misreading *)
   let s =
@@ -173,7 +179,45 @@ let test_v1_request_layout () =
          { id = 7; deadline_ms = 30; verb = W.Query "{a}"; trace = Some 99 })
   in
   check_int "trace bit set" 0x10 (String.get_uint8 s (9 + 8) land 0x10);
-  check_int "trace id" 99 (Int32.to_int (String.get_int32_be s (9 + 9)))
+  check_int "trace id" 99 (Int32.to_int (String.get_int32_be s (9 + 9)));
+  (* the trace bit composes with the Join verb nibble like any other *)
+  let s =
+    W.encode
+      (W.Request
+         { id = 7; deadline_ms = 30; verb = W.Join "{a}"; trace = Some 99 })
+  in
+  check_int "join verb under trace bit" (0x10 lor 3)
+    (String.get_uint8 s (9 + 8))
+
+let test_join_payload () =
+  (* the count line disambiguates an empty payload: zero outer queries
+     versus one matchless outer query *)
+  Alcotest.(check string) "empty outer" "0" (W.join_payload []);
+  (match W.split_join "0" with
+  | Ok [] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "empty outer should split to []");
+  (match W.split_join (W.join_payload [ [] ]) with
+  | Ok [ [] ] -> ()
+  | Ok _ | Error _ -> Alcotest.fail "one matchless outer should split to [[]]");
+  let groups = [ [ 0; 2; 5 ]; []; [ 7 ] ] in
+  (match W.split_join (W.join_payload groups) with
+  | Ok g -> Alcotest.(check bool) "round-trip" true (g = groups)
+  | Error m -> Alcotest.failf "round-trip failed: %s" m);
+  (* malformed payloads are errors, not exceptions *)
+  List.iter
+    (fun payload ->
+      match W.split_join payload with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "payload %S should be rejected" payload)
+    [ ""; "x"; "2\n1 2"; "1\n1 2\n3 4"; "1\nfoo bar" ]
+
+let prop_join_payload =
+  Testutil.qcheck_case ~count:300 ~name:"join payload round-trips"
+    QCheck.(small_list (small_list small_nat))
+    (fun groups ->
+      match W.split_join (W.join_payload groups) with
+      | Ok g -> g = groups
+      | Error _ -> false)
 
 let prop_trace_field =
   Testutil.qcheck_case ~count:300 ~name:"optional trace id round-trips"
@@ -231,13 +275,14 @@ let () =
     [
       ( "codec",
         [ prop_roundtrip; prop_truncation; prop_corruption; prop_stream;
-          prop_trace_field ] );
+          prop_trace_field; prop_join_payload ] );
       ( "edges",
         [
           Alcotest.test_case "bad magic / garbage" `Quick test_bad_magic;
           Alcotest.test_case "oversized length" `Quick test_oversized_length;
           Alcotest.test_case "v1 request layout" `Quick test_v1_request_layout;
           Alcotest.test_case "traced payload split" `Quick test_traced_payload;
+          Alcotest.test_case "join payload split" `Quick test_join_payload;
           Alcotest.test_case "result chunking" `Quick test_chunking;
           Alcotest.test_case "pipe round-trip" `Quick test_pipe_io;
         ] );

@@ -339,11 +339,14 @@ let default_rules_for file =
     (* the intersection kernels: a stray polymorphic compare on postings
        would silently bypass Posting.compare *)
     || in_dir "lib/invfile/plist" file
+    (* the join engine sorts atoms and postings on hot paths *)
+    || in_dir "lib/join/" file
   in
   let r2 =
     in_dir "lib/core/" file || in_dir "lib/invfile/" file
     || in_dir "lib/shard/router.ml" file
     || in_dir "lib/storage/bitpack" file
+    || in_dir "lib/join/" file
   in
   let r4 =
     in_dir "lib/server/" file && not (in_dir "lib/server/client." file)
