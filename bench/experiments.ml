@@ -1161,6 +1161,194 @@ let join_scaling scale =
     !headline
     (if !headline >= 5. then "PASS (>= 5x)" else "below the 5x target")
 
+(* --- E25: query latency under live ingestion --- *)
+
+(* live stores are directories; the harness scratch helpers only know files *)
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then (
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path)
+    else Sys.remove path
+
+let ingest scale =
+  let module LS = Live.Live_store in
+  H.print_header "E25: query latency under live ingestion (lib/live)"
+    "One live store per row, the same wide-zipfian records sealed into \
+     1/4/16 segments; the paper workload is timed twice — against the \
+     idle store, then again while a writer domain ingests ~1.6k fresh \
+     records/s in bursts, flushing every 1024 so the memtable stays \
+     bounded and segment seals land mid-measurement (the LSM steady \
+     state). Every idle answer is gated on id-sequence equality against \
+     a from-scratch rebuild, and the post-ingest store is gated the \
+     same way once the writer stops. WAL fsync is off so the \
+     interference measured is lock, memtable, and seal work — not disk \
+     sync. Summary written to BENCH_ingest.json; acceptance is \
+     p99_ratio <= 2 on every row.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  let values =
+    List.of_seq
+      (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7)
+         ~seed:31 size)
+  in
+  (* fresh records for the concurrent writer, disjoint seed *)
+  let feed =
+    Array.of_seq
+      (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7)
+         ~seed:97 2_000)
+  in
+  (* the workload and its expected answers, from one rebuilt oracle *)
+  let queries, expected =
+    H.with_collection ~name:"ingest_oracle" (List.to_seq values) (fun inv ->
+        let qs = H.paper_queries inv in
+        (qs, List.map (fun q -> (E.query inv q).E.records) qs))
+  in
+  let quantile sorted q =
+    if Array.length sorted = 0 then 0.
+    else
+      sorted.(min
+                (Array.length sorted - 1)
+                (int_of_float (q *. float_of_int (Array.length sorted))))
+  in
+  (* 20 passes x 100 queries = 2000 samples per phase, so the p99 is the
+     20th-worst — a steady-state quantile, not one unlucky seal stall *)
+  let reps = 20 in
+  let json_rows = ref [] and worst_ratio = ref 0. in
+  let rows =
+    List.map
+      (fun segments ->
+        let dir = H.scratch_path (Printf.sprintf "ingest_%d.live" segments) in
+        rm_rf dir;
+        let config =
+          { LS.default with LS.flush_records = 0; max_segments = 0;
+            auto_compact = false; wal_sync = false }
+        in
+        let store = LS.create ~config dir in
+        (* seal the load into exactly [segments] segments *)
+        let chunk = (size + segments - 1) / segments in
+        List.iteri
+          (fun i v ->
+            ignore (LS.insert store v);
+            if (i + 1) mod chunk = 0 then ignore (LS.flush store))
+          values;
+        if LS.memtable_records store > 0 then ignore (LS.flush store);
+        (* idle gate: the live store must answer exactly like the rebuild *)
+        List.iter2
+          (fun q want ->
+            let got = LS.query store q in
+            if got <> want then
+              failwith
+                (Printf.sprintf
+                   "E25 oracle violation at %d segments (idle): %d ids, \
+                    want %d"
+                   segments (List.length got) (List.length want)))
+          queries expected;
+        let measure () =
+          let lat = ref [] in
+          for _ = 1 to reps do
+            List.iter
+              (fun q ->
+                let t0 = Unix.gettimeofday () in
+                ignore (LS.query store q);
+                lat := (1000. *. (Unix.gettimeofday () -. t0)) :: !lat)
+              queries
+          done;
+          let a = Array.of_list !lat in
+          Array.sort Float.compare a;
+          a
+        in
+        let idle = measure () in
+        let stop = Atomic.make false and ingested = Atomic.make 0 in
+        let writer =
+          Domain.spawn (fun () ->
+              let i = ref 0 in
+              while not (Atomic.get stop) do
+                (* short bursts: the same ~1.6k/s spread thin, so a query
+                   never queues behind a long run of writer lock holds *)
+                for _ = 1 to 4 do
+                  ignore (LS.insert store feed.(!i mod Array.length feed));
+                  incr i;
+                  if !i mod 1024 = 0 then ignore (LS.flush store)
+                done;
+                Atomic.set ingested !i;
+                Unix.sleepf 0.0025
+              done;
+              Atomic.set ingested !i)
+        in
+        let t0 = Unix.gettimeofday () in
+        let busy = measure () in
+        let busy_wall = Unix.gettimeofday () -. t0 in
+        Atomic.set stop true;
+        Domain.join writer;
+        let ingested = Atomic.get ingested in
+        (* post-ingest gate: rebuild from the final live records (ids are
+           0..n-1 on both sides — the workload was insert-only) *)
+        let final =
+          List.rev (LS.fold_live store ~init:[] ~f:(fun acc _ v -> v :: acc))
+        in
+        H.with_collection ~name:"ingest_rebuild" (List.to_seq final)
+          (fun inv ->
+            List.iter
+              (fun q ->
+                if LS.query store q <> (E.query inv q).E.records then
+                  failwith
+                    (Printf.sprintf
+                       "E25 oracle violation at %d segments (post-ingest)"
+                       segments))
+              queries);
+        let seg_end = LS.segment_count store in
+        LS.close store;
+        rm_rf dir;
+        let idle_p50 = quantile idle 0.50 and idle_p99 = quantile idle 0.99 in
+        let busy_p50 = quantile busy 0.50 and busy_p99 = quantile busy 0.99 in
+        let ratio = if idle_p99 > 0. then busy_p99 /. idle_p99 else 0. in
+        if ratio > !worst_ratio then worst_ratio := ratio;
+        let ingest_rps =
+          if busy_wall > 0. then float_of_int ingested /. busy_wall else 0.
+        in
+        json_rows :=
+          Printf.sprintf
+            "{\"segments\":%d,\"segments_end\":%d,\"records\":%d,\
+             \"ingested\":%d,\"ingest_rps\":%.0f,\"idle_p50_ms\":%.3f,\
+             \"idle_p99_ms\":%.3f,\"ingest_p50_ms\":%.3f,\
+             \"ingest_p99_ms\":%.3f,\"p99_ratio\":%.2f}"
+            segments seg_end size ingested ingest_rps idle_p50 idle_p99
+            busy_p50 busy_p99 ratio
+          :: !json_rows;
+        [
+          H.i segments;
+          H.i seg_end;
+          H.i size;
+          H.i ingested;
+          H.ms idle_p50;
+          H.ms idle_p99;
+          H.ms busy_p50;
+          H.ms busy_p99;
+          Printf.sprintf "%.2fx" ratio;
+        ])
+      [ 1; 4; 16 ]
+  in
+  H.print_table
+    ~columns:
+      [ "segs"; "segs'"; "records"; "ingested"; "idle p50"; "idle p99";
+        "busy p50"; "busy p99"; "p99 ratio" ]
+    rows;
+  let json =
+    Printf.sprintf
+      "{\"experiment\":\"ingest\",\"worst_p99_ratio\":%.2f,\
+       \"acceptance\":\"p99_ratio <= 2\",\"rows\":[%s]}"
+      !worst_ratio
+      (String.concat "," (List.rev !json_rows))
+  in
+  print_endline json;
+  let oc = open_out "BENCH_ingest.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "worst p99 under ingest: %.2fx idle — %s\n" !worst_ratio
+    (if !worst_ratio <= 2. then "PASS (<= 2x)"
+     else "over the 2x acceptance line")
+
 (* --- registry --- *)
 
 let all : (string * string * (scale -> unit)) list =
@@ -1193,4 +1381,5 @@ let all : (string * string * (scale -> unit)) list =
     ("obs-overhead", "observability overhead (E22)", obs_overhead);
     ("intersect", "intersection kernels (E23)", intersect);
     ("join-scaling", "set-containment join engine (E24)", join_scaling);
+    ("ingest", "live ingest-while-query (E25)", ingest);
   ]

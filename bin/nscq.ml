@@ -15,6 +15,7 @@ open Cmdliner
 module E = Containment.Engine
 module Sem = Containment.Semantics
 module IF = Invfile.Inverted_file
+module L = Live.Live_store
 
 let read_file path =
   let ic = open_in_bin path in
@@ -48,6 +49,14 @@ let backend_arg =
 let open_store backend path =
   if not (Sys.file_exists path) then begin
     Printf.eprintf "nscq: store '%s' does not exist\n" path;
+    exit 1
+  end;
+  if Live.Live_store.is_live_dir path then begin
+    Printf.eprintf
+      "nscq: '%s' is a live store; this command only works on built \
+       stores (query/join/trace/stats/check/repair/export/compact and \
+       insert/delete/flush handle live stores)\n"
+      path;
     exit 1
   end;
   match backend with
@@ -150,6 +159,19 @@ let partial_arg =
         ~doc:"Over a shard manifest: answer from the surviving shards (with \
               a warning per failure) instead of failing when a shard is \
               unreachable.")
+
+(* A live store is a directory with a manifest inside; every read and
+   admin command detects one by path, exactly as shard manifests are. *)
+let open_live ?config dir =
+  if not (L.is_live_dir dir) then begin
+    Printf.eprintf "nscq: '%s' is not a live store directory\n" dir;
+    exit 1
+  end;
+  match L.open_store ?config dir with
+  | t -> t
+  | exception (Live.Live_manifest.Corrupt m | Live.Wal.Corrupt m) ->
+    Printf.eprintf "nscq: %s: %s (try 'nscq repair')\n" dir m;
+    exit 1
 
 let load_manifest path =
   if not (Sys.file_exists path) then begin
@@ -317,8 +339,31 @@ let build_cmd =
   let buckets_arg =
     Arg.(value & opt int 65536 & info [ "buckets" ] ~docv:"N" ~doc:"Hash store buckets.")
   in
-  let run input format tokenize output backend buckets record_format codec =
+  let live_arg =
+    Arg.(
+      value & flag
+      & info [ "live" ]
+          ~doc:"Build a live (mutable) store: $(b,--output) names a \
+                directory holding WAL-protected segments; records can then \
+                be inserted and deleted online ($(b,nscq insert/delete)).")
+  in
+  let run input format tokenize output backend buckets record_format codec live
+      =
     let values = parse_collection ~format ~tokenize (read_file input) in
+    if live then begin
+      let t =
+        try L.create output
+        with Invalid_argument m ->
+          Printf.eprintf "nscq: %s\n" m;
+          exit 1
+      in
+      Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+      List.iter (fun v -> ignore (L.insert t v)) values;
+      ignore (L.flush t);
+      Printf.printf "ingested %d record(s) into live store %s (%d segment(s))\n"
+        (L.live_records t) output (L.segment_count t)
+    end
+    else
     let store =
       match backend with
       | `Hash -> Storage.Hash_store.create ~buckets output
@@ -336,7 +381,7 @@ let build_cmd =
     (Cmd.info "build" ~doc:"Build the inverted file for a collection.")
     Term.(
       const run $ input_arg $ format_arg $ tokenize_arg $ output_arg $ backend_arg
-      $ buckets_arg $ recfmt_arg $ codec_arg)
+      $ buckets_arg $ recfmt_arg $ codec_arg $ live_arg)
 
 (* --- query --- *)
 
@@ -386,7 +431,11 @@ let run_remote_query ~connect ~deadline_ms ~limit qs =
       if List.length ids > limit then
         Printf.printf "  … and %d more (raise --limit)\n" (List.length ids - limit)
     end
-    else print_string payload
+    else begin
+      print_string payload;
+      let n = String.length payload in
+      if n > 0 && payload.[n - 1] <> '\n' then print_newline ()
+    end
   | Error (code, message) ->
     Format.eprintf "nscq: server refused: %a: %s@." Server.Wire.pp_error_code
       code message;
@@ -437,6 +486,28 @@ let run_sharded_query ~manifest_path ~engine ~partial ~deadline_ms ~cache
     if List.length o.Shard.Router.records > limit then
       Printf.printf "  … and %d more (raise --limit)\n"
         (List.length o.Shard.Router.records - limit)
+
+(* Live mode: one store directory, queried across its sealed segments
+   and memtable — same semantics as a from-scratch rebuild. *)
+let run_live_query ~config ~limit store qs =
+  let t = open_live store in
+  Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+  let q = Nested.Syntax.of_string qs in
+  let t0 = Unix.gettimeofday () in
+  let records = L.query ~config t q in
+  let dt = 1000. *. (Unix.gettimeofday () -. t0) in
+  Printf.printf "%d matching record(s) in %.3f ms (%d segment(s) + memtable)\n"
+    (List.length records) dt (L.segment_count t);
+  List.iteri
+    (fun i id ->
+      if i < limit then
+        match L.record_value t id with
+        | Some v -> Format.printf "  #%d: %a@." id Nested.Value.pp v
+        | None -> Printf.printf "  #%d\n" id)
+    records;
+  if List.length records > limit then
+    Printf.printf "  … and %d more (raise --limit)\n"
+      (List.length records - limit)
 
 let query_cmd =
   let query_arg =
@@ -504,6 +575,13 @@ let query_cmd =
     if Shard.Manifest.is_manifest_file store then
       run_sharded_query ~manifest_path:store ~engine:config ~partial
         ~deadline_ms ~cache ~limit qs
+    else if L.is_live_dir store then begin
+      if explain then begin
+        prerr_endline "nscq: --explain is not supported over a live store yet";
+        exit 1
+      end;
+      run_live_query ~config ~limit store qs
+    end
     else begin
     let inv = IF.open_store (open_store backend store) in
     Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
@@ -709,6 +787,23 @@ let join_cmd =
           print_groups ~limit
             (Join.Engine.group ~outer:n_outer o.Shard.Router.pairs)
       end
+      else if L.is_live_dir store then begin
+        let t = open_live store in
+        Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+        let config =
+          { Join.Engine.engine; max_depth; cut_candidates; cut_fanout }
+        in
+        let t0 = Unix.gettimeofday () in
+        let pairs = L.join ~config t values in
+        let dt = 1000. *. (Unix.gettimeofday () -. t0) in
+        Printf.printf
+          "%d pair(s) across %d outer quer%s in %.3f ms (%d segment(s) + \
+           memtable)\n"
+          (List.length pairs) n_outer
+          (if n_outer = 1 then "y" else "ies")
+          dt (L.segment_count t);
+        print_groups ~limit (Join.Engine.group ~outer:n_outer pairs)
+      end
       else begin
         let inv = IF.open_store (open_store backend store) in
         Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
@@ -863,6 +958,13 @@ let trace_cmd =
             (List.length o.Shard.Router.records);
           print_span (Obs.Trace.id trace) (Obs.Trace.finish trace)
       end
+      else if L.is_live_dir store then begin
+        let t = open_live store in
+        Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+        let records = L.query ~config ~trace t q in
+        Printf.printf "%d matching record(s)\n" (List.length records);
+        print_span (Obs.Trace.id trace) (Obs.Trace.finish trace)
+      end
       else begin
         let inv = IF.open_store (open_store backend store) in
         Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
@@ -910,6 +1012,28 @@ let workload_cmd =
 
 let check_cmd =
   let run store backend =
+    if L.is_live_dir store then begin
+      let t = open_live store in
+      Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+      match L.verify t with
+      | [] ->
+        Printf.printf
+          "ok: %d live record(s) across %d segment(s) + memtable, %d \
+           tombstone(s) — consistent\n"
+          (L.live_records t) (L.segment_count t) (L.tombstone_count t)
+      | problems ->
+        List.iteri
+          (fun i (what, detail) ->
+            if i < 20 then Printf.printf "PROBLEM %s: %s\n" what detail
+            else if i = 20 then
+              Printf.printf "... (%d more)\n" (List.length problems - 20))
+          problems;
+        Printf.printf
+          "%d problem(s); run 'nscq repair' to rebuild the damaged segments\n"
+          (List.length problems);
+        exit 1
+    end
+    else
     let kv = open_store backend store in
     let inv = IF.open_store ~lenient:true kv in
     Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
@@ -948,6 +1072,33 @@ let repair_cmd =
           ~doc:"Report what repair would do without rewriting anything.")
   in
   let run store backend dry =
+    if L.is_live_dir store then begin
+      let t = open_live store in
+      Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+      if dry then begin
+        match L.verify t with
+        | [] -> print_endline "live store is consistent; nothing to repair"
+        | problems ->
+          List.iter
+            (fun (what, detail) -> Printf.printf "WOULD FIX %s: %s\n" what detail)
+            problems;
+          exit 1
+      end
+      else begin
+        (match L.repair t with
+        | [] -> print_endline "live store is consistent; nothing to repair"
+        | actions -> List.iter print_endline actions);
+        match L.verify t with
+        | [] -> ()
+        | problems ->
+          List.iter
+            (fun (what, detail) ->
+              Printf.printf "STILL BROKEN %s: %s\n" what detail)
+            problems;
+          exit 1
+      end
+    end
+    else
     let inv = IF.open_store ~lenient:true (open_store backend store) in
     Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
     if dry then begin
@@ -978,12 +1129,22 @@ let export_cmd =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (default stdout).")
   in
   let run store backend out =
-    let inv = IF.open_store (open_store backend store) in
-    Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
-    with_out out @@ fun oc ->
-    IF.iter_records inv (fun _ v ->
-        output_string oc (Nested.Syntax.to_string v);
-        output_char oc '\n')
+    if L.is_live_dir store then begin
+      let t = open_live store in
+      Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+      with_out out @@ fun oc ->
+      L.fold_live t ~init:() ~f:(fun () _ v ->
+          output_string oc (Nested.Syntax.to_string v);
+          output_char oc '\n')
+    end
+    else begin
+      let inv = IF.open_store (open_store backend store) in
+      Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+      with_out out @@ fun oc ->
+      IF.iter_records inv (fun _ v ->
+          output_string oc (Nested.Syntax.to_string v);
+          output_char oc '\n')
+    end
   in
   Cmd.v
     (Cmd.info "export"
@@ -1022,7 +1183,24 @@ let merge_cmd =
 (* --- compact --- *)
 
 let compact_cmd =
-  let run store backend =
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Over a live store: merge $(i,every) segment into one \
+                (default: one leveled step — the cheapest adjacent pair).")
+  in
+  let run store backend all =
+    if L.is_live_dir store then begin
+      let t = open_live store in
+      Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+      match L.compact ~all t with
+      | Some n ->
+        Printf.printf "compacted %d segment(s) -> %d remaining, %d tombstone(s)\n"
+          n (L.segment_count t) (L.tombstone_count t)
+      | None -> print_endline "nothing to compact"
+    end
+    else
     (match backend with
     | `Hash ->
       let kv = Storage.Hash_store.open_existing store in
@@ -1041,8 +1219,129 @@ let compact_cmd =
       exit 1)
   in
   Cmd.v
-    (Cmd.info "compact" ~doc:"Reclaim dead space in a store (hash or log backend).")
-    Term.(const run $ store_arg $ backend_arg)
+    (Cmd.info "compact"
+       ~doc:"Reclaim dead space: merge a live store's segments (purging \
+             tombstones), or rewrite a hash/log store file.")
+    Term.(const run $ store_arg $ backend_arg $ all_arg)
+
+(* --- insert / delete / flush (live stores) --- *)
+
+let live_store_opt_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "s"; "store" ] ~docv:"DIR"
+        ~doc:"Live store directory (omit with $(b,--connect)).")
+
+let live_connect_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "connect" ] ~docv:"HOST:PORT"
+        ~doc:"Send the write to a running $(b,nscq serve) over a live \
+              store instead of opening it in-process.")
+
+let write_deadline_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Per-request deadline for $(b,--connect) (0 = none).")
+
+let require_live_store = function
+  | Some s -> s
+  | None ->
+    prerr_endline "nscq: either --store or --connect is required";
+    exit 1
+
+let insert_cmd =
+  let value_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"RECORD" ~doc:"The record, in nested-set literal syntax.")
+  in
+  let run store connect deadline_ms vs =
+    match connect with
+    | Some connect -> (
+      with_remote_client ~connect @@ fun client ->
+      match Server.Client.insert client ~deadline_ms vs with
+      | Ok id -> Printf.printf "record %d inserted\n" id
+      | Error (code, message) ->
+        Format.eprintf "nscq: server refused: %a: %s@."
+          Server.Wire.pp_error_code code message;
+        exit 1)
+    | None -> (
+      let t = open_live (require_live_store store) in
+      Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+      match Nested.Syntax.of_string_opt vs with
+      | None ->
+        prerr_endline "nscq: parse error: expected a nested-set literal";
+        exit 1
+      | Some v -> (
+        match L.insert t v with
+        | id -> Printf.printf "record %d inserted\n" id
+        | exception Invalid_argument m ->
+          Printf.eprintf "nscq: %s\n" m;
+          exit 1))
+  in
+  Cmd.v
+    (Cmd.info "insert"
+       ~doc:"Insert one record into a live store (WAL-logged, durable on \
+             return), in-process or on a running server with --connect.")
+    Term.(
+      const run $ live_store_opt_arg $ live_connect_arg $ write_deadline_arg
+      $ value_arg)
+
+let delete_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"ID" ~doc:"Global record id to delete.")
+  in
+  let run store connect deadline_ms id =
+    let deleted =
+      match connect with
+      | Some connect -> (
+        with_remote_client ~connect @@ fun client ->
+        match Server.Client.delete client ~deadline_ms id with
+        | Ok deleted -> deleted
+        | Error (code, message) ->
+          Format.eprintf "nscq: server refused: %a: %s@."
+            Server.Wire.pp_error_code code message;
+          exit 1)
+      | None ->
+        let t = open_live (require_live_store store) in
+        Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+        L.delete t id
+    in
+    if deleted then Printf.printf "record %d deleted\n" id
+    else begin
+      Printf.printf "no such live record %d\n" id;
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "delete"
+       ~doc:"Delete one record from a live store by global id, in-process \
+             or on a running server with --connect.")
+    Term.(
+      const run $ live_store_opt_arg $ live_connect_arg $ write_deadline_arg
+      $ id_arg)
+
+let flush_cmd =
+  let run store =
+    let t = open_live store in
+    Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+    let sealed = L.flush t in
+    Printf.printf "sealed %d record(s); %d segment(s), %d live record(s)\n"
+      sealed (L.segment_count t) (L.live_records t)
+  in
+  Cmd.v
+    (Cmd.info "flush"
+       ~doc:"Seal a live store's memtable into a new segment and rotate \
+             the WAL (offline admin; a serving store flushes on its own).")
+    Term.(const run $ store_arg)
 
 (* --- sql (one-shot NSCQL) --- *)
 
@@ -1308,6 +1607,7 @@ let serve_cmd =
       match (manifest, store) with
       | Some m, _ -> `Manifest m
       | None, Some s when Shard.Manifest.is_manifest_file s -> `Manifest s
+      | None, Some s when L.is_live_dir s -> `Live s
       | None, Some s -> `Store s
       | None, None ->
         prerr_endline "nscq: either --store or --shard-manifest is required";
@@ -1331,14 +1631,29 @@ let serve_cmd =
     in
     (* probe up front either way: fail fast (and with the one-line error)
        before binding the port, and report the collection size *)
-    let records, described, start =
+    let records, described, start, cleanup =
       match source with
       | `Store store ->
         let open_handle () = IF.open_store (open_store backend store) in
         let probe = open_handle () in
         let records = IF.record_count probe in
         IF.close probe;
-        (records, store, fun () -> Server.Service.start cfg ~open_handle)
+        ( records,
+          store,
+          (fun () -> Server.Service.start cfg ~open_handle),
+          ignore )
+      | `Live dir ->
+        (* one shared handle across every worker (the store serializes
+           internally); the server accepts writes, so compaction runs in
+           the background and NSCQL INSERT/DELETE are admitted *)
+        let t = open_live ~config:{ L.default with L.auto_compact = true } dir in
+        ( L.live_records t,
+          Printf.sprintf "%s (live, %d segment(s))" dir (L.segment_count t),
+          (fun () ->
+            Server.Service.start_with
+              { cfg with Server.Service.writable = true }
+              ~open_backend:(fun () -> Server.Dispatch.live_backend ~store:t ())),
+          fun () -> L.close t )
       | `Manifest path ->
         let m = load_manifest path in
         let rconfig =
@@ -1353,9 +1668,10 @@ let serve_cmd =
         ( Shard.Manifest.live_records m,
           Printf.sprintf "%s (%d shard(s))" path
             (Array.length m.Shard.Manifest.shards),
-          fun () ->
+          (fun () ->
             Server.Service.start_with cfg
-              ~open_backend:(Shard.Router.dispatch_backend ~config:rconfig m) )
+              ~open_backend:(Shard.Router.dispatch_backend ~config:rconfig m)),
+          ignore )
     in
     let srv =
       try start ()
@@ -1379,6 +1695,7 @@ let serve_cmd =
     done;
     Printf.printf "nscq serve: draining…\n%!";
     Server.Service.stop srv;
+    cleanup ();
     Printf.printf "nscq serve: stopped cleanly\n%!"
   in
   Cmd.v
@@ -1477,6 +1794,18 @@ let stats_cmd =
           @@ fun () ->
           let reg = Obs.Metrics.create () in
           Shard.Router.register reg router;
+          render_registry ~json reg
+        end
+      end
+      else if L.is_live_dir store then begin
+        let t = open_live store in
+        Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+        List.iter
+          (fun (name, v) -> Printf.printf "%-18s %d\n" name v)
+          (L.totals t);
+        if metrics then begin
+          let reg = Obs.Metrics.create () in
+          L.register reg t;
           render_registry ~json reg
         end
       end
@@ -1634,4 +1963,5 @@ let () =
        (Cmd.group info
           [ generate_cmd; build_cmd; query_cmd; join_cmd; trace_cmd;
             workload_cmd; stats_cmd; repl_cmd; sql_cmd; serve_cmd; shard_cmd;
-            check_cmd; repair_cmd; export_cmd; merge_cmd; compact_cmd ]))
+            check_cmd; repair_cmd; export_cmd; merge_cmd; compact_cmd;
+            insert_cmd; delete_cmd; flush_cmd ]))

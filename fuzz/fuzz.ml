@@ -335,6 +335,111 @@ let crash_scenario rng i =
     end
   done
 
+(* --- live mode ---
+
+   The LSM-style live store against a model of the acknowledged records:
+   random insert/delete/flush/compact/reopen interleavings under a random
+   flush threshold, then random queries under random join × embedding
+   configurations checked against the value-level oracle — the
+   long-running companion to test/test_live.ml's qcheck differential. *)
+
+module LS = Live.Live_store
+
+let live_scenario rng i =
+  let dir = Filename.temp_file "fuzz_live" "" in
+  Sys.remove dir;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+  @@ fun () ->
+  let config =
+    { LS.default with
+      LS.flush_records = Random.State.int rng 6;
+      max_segments = 0;
+      auto_compact = false }
+  in
+  let store = ref (LS.create ~config dir) in
+  let model : (int, V.t) Hashtbl.t = Hashtbl.create 16 in
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Printf.printf "\nLIVE DIVERGENCE in scenario %d: %s\n" i msg;
+        Hashtbl.iter
+          (fun id s -> Printf.printf "  record %d: %s\n" id (V.to_string s))
+          model;
+        exit 1)
+      fmt
+  in
+  let ops = 5 + Random.State.int rng 30 in
+  for _ = 1 to ops do
+    match Random.State.int rng 10 with
+    | 0 | 1 | 2 | 3 | 4 ->
+      let v = random_set rng 0 in
+      let id = LS.insert !store v in
+      if Hashtbl.mem model id then fail "id %d reused" id;
+      Hashtbl.replace model id v
+    | 5 | 6 ->
+      (* a random id: sometimes live, sometimes already gone or bogus *)
+      let id = Random.State.int rng (LS.next_id !store + 1) in
+      let deleted = LS.delete !store id in
+      if deleted <> Hashtbl.mem model id then
+        fail "delete %d answered %b against the model" id deleted;
+      Hashtbl.remove model id
+    | 7 -> ignore (LS.flush !store)
+    | 8 -> ignore (LS.compact ~all:(Random.State.bool rng) !store)
+    | _ ->
+      LS.close !store;
+      store := LS.open_store ~config dir
+  done;
+  Fun.protect ~finally:(fun () -> LS.close !store) @@ fun () ->
+  (* the live records are exactly the model *)
+  let live =
+    List.rev
+      (LS.fold_live !store ~init:[] ~f:(fun acc id v -> (id, v) :: acc))
+  in
+  let wanted =
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare a b)
+      (Hashtbl.fold (fun id v acc -> (id, v) :: acc) model [])
+  in
+  if live <> wanted then fail "live records differ from the model";
+  (* random queries under random configurations *)
+  for _ = 1 to 8 do
+    let q = random_set rng 1 in
+    let join = joins rng and embedding = embeddings rng in
+    match S.mode_of join embedding with
+    | exception S.Unsupported _ -> ()
+    | exception Invalid_argument _ -> ()
+    | _ ->
+      let expected =
+        Hashtbl.fold
+          (fun id s acc ->
+            if Containment.Embed.check join embedding ~q ~s then id :: acc
+            else acc)
+          model []
+        |> List.sort Int.compare
+      in
+      let config = { E.default with E.join; E.embedding } in
+      let got = LS.query ~config !store q in
+      if got <> expected then
+        fail "query %s under %s: got [%s], expected [%s]" (V.to_string q)
+          (Format.asprintf "%a × %a" S.pp_join join S.pp_embedding embedding)
+          (String.concat ";" (List.map string_of_int got))
+          (String.concat ";" (List.map string_of_int expected))
+  done;
+  (* and the store must still pass its own fsck *)
+  match LS.verify !store with
+  | [] -> ()
+  | problems ->
+    fail "verify: %s"
+      (String.concat "; "
+         (List.map (fun (what, detail) -> what ^ ": " ^ detail) problems))
+
 (* --- payload-codec mode --- *)
 
 module L = Invfile.Plist
@@ -467,6 +572,14 @@ let () =
       | n :: s :: _ -> (int_of_string n, int_of_string s)
     in
     run ~label:"join" ~scenarios ~seed join_scenario
+  | _ :: "live" :: rest ->
+    let scenarios, seed =
+      match rest with
+      | [] -> (200, 1)
+      | [ n ] -> (int_of_string n, 1)
+      | n :: s :: _ -> (int_of_string n, int_of_string s)
+    in
+    run ~label:"live" ~scenarios ~seed live_scenario
   | _ :: "codec" :: rest ->
     let scenarios, seed =
       match rest with

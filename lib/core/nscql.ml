@@ -200,10 +200,8 @@ let config_of q =
   in
   (join, value)
 
-let execute inv = function
-  | Stats -> Stats_report (Invfile.Stats.compute inv)
-  | Insert v -> Inserted (Invfile.Updater.add_value inv v)
-  | Delete id -> Deleted (Invfile.Updater.delete_record inv id)
+let query_config = function
+  | Stats | Insert _ | Delete _ -> None
   | Query
       { verb; predicate; embedding; algorithm; anywhere; verified; wildcards;
         minimized; limit } ->
@@ -219,6 +217,19 @@ let execute inv = function
         minimize = minimized;
         scope = (if anywhere then Engine.Anywhere else Engine.Roots);
       }
+    in
+    Some (config, verb, value, limit)
+
+let execute inv stmt =
+  match stmt with
+  | Stats -> Stats_report (Invfile.Stats.compute inv)
+  | Insert v -> Inserted (Invfile.Updater.add_value inv v)
+  | Delete id -> Deleted (Invfile.Updater.delete_record inv id)
+  | Query { verb; limit; _ } ->
+    let config, value =
+      match query_config stmt with
+      | Some (config, _, value, _) -> (config, value)
+      | None -> assert false
     in
     (match verb with
     | Find ->

@@ -54,6 +54,15 @@ exception Parse_error of string
 val parse : string -> statement
 (** @raise Parse_error with a human-readable message. *)
 
+val query_config :
+  statement ->
+  (Engine.config * verb * Nested.Value.t * int option) option
+(** The engine configuration, verb, predicate value and limit a [Query]
+    statement denotes; [None] for [Insert]/[Delete]/[Stats]. Lets a
+    non-{!Invfile.Inverted_file} execution target (the live store's
+    server backend) run NSCQL statements with the same semantics
+    {!execute} applies. *)
+
 type outcome =
   | Records of { ids : int list; limit : int option }
   | Count of int

@@ -1,0 +1,125 @@
+module Codec = Storage.Codec
+
+type segment = { file : string; ids : int array }
+
+type t = {
+  next_id : int;
+  next_seq : int;
+  wal_gen : int;
+  tombstones : int array;
+  segments : segment list;
+}
+
+exception Corrupt of string
+
+let magic = "NSCQLIVE"
+let version = 1
+
+let empty =
+  { next_id = 0; next_seq = 0; wal_gen = 0; tombstones = [||]; segments = [] }
+
+let path dir = Filename.concat dir "live.manifest"
+let wal_name gen = Printf.sprintf "wal-%d.log" gen
+let wal_path dir gen = Filename.concat dir (wal_name gen)
+let segment_name seq = Printf.sprintf "seg-%d.log" seq
+let segment_path dir seq = Filename.concat dir (segment_name seq)
+
+let is_live_dir dir =
+  Sys.file_exists dir && Sys.is_directory dir
+  &&
+  let file = path dir in
+  Sys.file_exists file
+  &&
+  match open_in_bin file with
+  | ic ->
+    let ok =
+      try really_input_string ic (String.length magic) = magic
+      with End_of_file -> false
+    in
+    close_in_noerr ic;
+    ok
+  | exception Sys_error _ -> false
+
+let encode t =
+  let w = Codec.writer () in
+  Codec.write_varint w version;
+  Codec.write_varint w t.next_id;
+  Codec.write_varint w t.next_seq;
+  Codec.write_varint w t.wal_gen;
+  Codec.write_int_array w t.tombstones;
+  Codec.write_varint w (List.length t.segments);
+  List.iter
+    (fun s ->
+      Codec.write_string w s.file;
+      Codec.write_int_array w s.ids)
+    t.segments;
+  let body = Codec.contents w in
+  let framed = magic ^ body in
+  let crc = Storage.Checksum.crc32 framed in
+  let b = Bytes.create (String.length framed + 4) in
+  Bytes.blit_string framed 0 b 0 (String.length framed);
+  Bytes.set_int32_be b (String.length framed) crc;
+  Bytes.unsafe_to_string b
+
+let decode s =
+  let mlen = String.length magic in
+  if String.length s < mlen + 4 then raise (Corrupt "truncated manifest");
+  if String.sub s 0 mlen <> magic then raise (Corrupt "bad magic");
+  let body_end = String.length s - 4 in
+  let crc = String.get_int32_be s body_end in
+  if crc <> Storage.Checksum.crc32_sub s ~pos:0 ~len:body_end then
+    raise (Corrupt "checksum mismatch");
+  let r = Codec.reader_sub s ~pos:mlen ~len:(body_end - mlen) in
+  match
+    let v = Codec.read_varint r in
+    if v <> version then
+      raise (Corrupt (Printf.sprintf "unsupported manifest version %d" v));
+    let next_id = Codec.read_varint r in
+    let next_seq = Codec.read_varint r in
+    let wal_gen = Codec.read_varint r in
+    let tombstones = Codec.read_int_array r in
+    let n_segments = Codec.read_varint r in
+    let segments =
+      List.init n_segments (fun _ ->
+          let file = Codec.read_string r in
+          let ids = Codec.read_int_array r in
+          { file; ids })
+    in
+    { next_id; next_seq; wal_gen; tombstones; segments }
+  with
+  | t -> t
+  | exception Codec.Corrupt m -> raise (Corrupt ("malformed body: " ^ m))
+
+(* The manifest write is the live store's commit point: temp file, fsync,
+   atomic rename. Not a query hot path. *)
+let save t file =
+  let tmp = file ^ ".tmp" in
+  let payload = encode t in
+  let fd =
+    (Unix.openfile [@lint.allow io]) tmp
+      [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+      0o644
+  in
+  (try
+     let b = Bytes.unsafe_of_string payload in
+     let len = Bytes.length b in
+     let written = ref 0 in
+     while !written < len do
+       written :=
+         !written + (Unix.write [@lint.allow io]) fd b !written (len - !written)
+     done;
+     (Unix.fsync [@lint.allow io]) fd
+   with exn ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise exn);
+  Unix.close fd;
+  Unix.rename tmp file
+
+let load file =
+  let ic = open_in_bin file in
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  decode s

@@ -1,0 +1,71 @@
+(** The live store's root metadata: which sealed segments exist, which
+    global ids they hold, which WAL generation is current, and which
+    sealed records are tombstoned.
+
+    Like the shard {!Shard.Manifest}, the on-disk form is a magic prefix,
+    a {!Storage.Codec} body, and a trailing CRC-32 — a truncated or
+    bit-flipped manifest refuses to load instead of silently resurrecting
+    deleted records. {!save} writes through a temp file and an atomic
+    rename, so the manifest file is the live store's single commit point:
+    a crash at any instant leaves either the old or the new manifest,
+    never a mix (see {!Live_store} for the full recovery argument). *)
+
+type segment = {
+  file : string;  (** store file name, relative to the live directory *)
+  ids : int array;
+      (** segment-local record id → global record id, strictly ascending;
+          tombstoned (purged-later) slots keep their entry so the mapping
+          stays positional *)
+}
+
+type t = {
+  next_id : int;  (** next global record id to assign *)
+  next_seq : int;  (** next segment file sequence number *)
+  wal_gen : int;  (** current WAL generation (wal-<gen>.log) *)
+  tombstones : int array;
+      (** deleted {e sealed} records, strictly ascending global ids;
+          memtable deletes never appear here (their inserts are in the
+          WAL, not in any segment) *)
+  segments : segment list;
+      (** oldest first; global-id ranges are disjoint and ascending *)
+}
+
+exception Corrupt of string
+(** The file is not a live manifest, fails its checksum, or does not
+    parse. *)
+
+val magic : string
+(** The 8-byte file prefix identifying a live-store manifest. *)
+
+val version : int
+(** Format version written by this build (currently 1). *)
+
+val empty : t
+
+(** {1 File layout}
+
+    Every file of a live store lives flat in one directory. *)
+
+val path : string -> string
+(** [path dir] is the manifest file, [dir ^ "/live.manifest"]. *)
+
+val wal_name : int -> string
+val wal_path : string -> int -> string
+
+val segment_name : int -> string
+val segment_path : string -> int -> string
+
+val is_live_dir : string -> bool
+(** [true] iff the path is a directory containing a file that starts with
+    {!magic} at {!path} — how the CLI auto-detects that a [--store] path
+    is really a live store. *)
+
+(** {1 Persistence} *)
+
+val save : t -> string -> unit
+(** [save t file] serializes, checksums, writes [file ^ ".tmp"] with an
+    fsync, and renames over [file] — atomic on POSIX. *)
+
+val load : string -> t
+(** @raise Corrupt as documented above.
+    @raise Sys_error if the file cannot be read. *)

@@ -1,0 +1,48 @@
+module IF = Invfile.Inverted_file
+
+type t = {
+  file : string;
+  seg_path : string;
+  inv : IF.t;
+  ids : int array;
+}
+
+let open_seg ~wrap ~dir (m : Live_manifest.segment) =
+  let seg_path = Filename.concat dir m.Live_manifest.file in
+  let kv = wrap seg_path (Storage.Log_store.open_existing seg_path) in
+  let inv = IF.open_store kv in
+  if IF.record_count inv <> Array.length m.Live_manifest.ids then begin
+    IF.close inv;
+    invalid_arg
+      (Printf.sprintf "segment %s: %d records but %d id mappings"
+         m.Live_manifest.file (IF.record_count inv)
+         (Array.length m.Live_manifest.ids))
+  end;
+  { file = m.Live_manifest.file; seg_path; inv; ids = m.Live_manifest.ids }
+
+let close t = IF.close t.inv
+let global t local = t.ids.(local)
+
+let local_of_global t gid =
+  let lo = ref 0 and hi = ref (Array.length t.ids - 1) in
+  let found = ref None in
+  while !found = None && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = t.ids.(mid) in
+    if v = gid then found := Some mid
+    else if v < gid then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
+let min_gid t = if Array.length t.ids = 0 then 1 else t.ids.(0)
+let max_gid t = if Array.length t.ids = 0 then 0 else t.ids.(Array.length t.ids - 1)
+
+let live_count t =
+  let n = ref 0 in
+  for local = 0 to IF.record_count t.inv - 1 do
+    if not (Invfile.Updater.is_deleted t.inv local) then incr n
+  done;
+  !n
+
+let to_manifest t = { Live_manifest.file = t.file; ids = t.ids }

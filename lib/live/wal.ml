@@ -1,0 +1,113 @@
+module Codec = Storage.Codec
+
+type op = Insert of { id : int; value : Nested.Value.t } | Delete of int
+
+type t = {
+  kv : Storage.Kv.t;
+  file : string;
+  sync : bool;
+  mutable next_seq : int;
+  mutable closed : bool;
+}
+
+exception Corrupt of string
+
+(* Fixed-width decimal sequence keys sort lexicographically in append
+   order, so replay is a key sort away on any backend. *)
+let key seq = Printf.sprintf "w:%012d" seq
+
+let is_op_key k = String.length k > 2 && String.sub k 0 2 = "w:"
+
+let encode_op op =
+  let w = Codec.writer () in
+  (match op with
+  | Insert { id; value } ->
+    Codec.write_varint w 0;
+    Codec.write_varint w id;
+    Codec.write_string w (Nested.Value.to_string value)
+  | Delete id ->
+    Codec.write_varint w 1;
+    Codec.write_varint w id);
+  let body = Codec.contents w in
+  let b = Bytes.create (String.length body + 4) in
+  Bytes.blit_string body 0 b 0 (String.length body);
+  Bytes.set_int32_be b (String.length body) (Storage.Checksum.crc32 body);
+  Bytes.unsafe_to_string b
+
+let decode_op s =
+  if String.length s < 4 then raise (Corrupt "op record too short");
+  let blen = String.length s - 4 in
+  if String.get_int32_be s blen <> Storage.Checksum.crc32_sub s ~pos:0 ~len:blen
+  then raise (Corrupt "op record checksum mismatch");
+  let r = Codec.reader_sub s ~pos:0 ~len:blen in
+  match
+    match Codec.read_varint r with
+    | 0 ->
+      let id = Codec.read_varint r in
+      let text = Codec.read_string r in
+      (match Nested.Syntax.of_string_opt text with
+      | Some value -> Insert { id; value }
+      | None -> raise (Corrupt "insert payload does not parse"))
+    | 1 -> Delete (Codec.read_varint r)
+    | n -> raise (Corrupt (Printf.sprintf "unknown op tag %d" n))
+  with
+  | op -> op
+  | exception Codec.Corrupt m -> raise (Corrupt ("malformed op: " ^ m))
+
+let create ~wrap ~sync file =
+  { kv = wrap file (Storage.Log_store.create file); file; sync;
+    next_seq = 0; closed = false }
+
+let sorted_entries kv =
+  let entries = ref [] in
+  kv.Storage.Kv.iter (fun k v -> if is_op_key k then entries := (k, v) :: !entries);
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !entries
+
+let open_existing ~wrap ~sync file =
+  let kv = wrap file (Storage.Log_store.open_existing file) in
+  let entries = sorted_entries kv in
+  let n = List.length entries in
+  let healed = ref false in
+  let ops =
+    List.mapi
+      (fun i (k, v) ->
+        match decode_op v with
+        | op -> Some op
+        | exception Corrupt m ->
+          (* a torn final op was never acknowledged — heal it away, like
+             the log store's own tail truncation; damage anywhere earlier
+             is real corruption *)
+          if i = n - 1 then begin
+            ignore (kv.Storage.Kv.delete k);
+            kv.Storage.Kv.sync ();
+            healed := true;
+            None
+          end
+          else raise (Corrupt m))
+      entries
+    |> List.filter_map Fun.id
+  in
+  let next_seq = if !healed then n - 1 else n in
+  ({ kv; file; sync; next_seq; closed = false }, ops)
+
+let append t op =
+  t.kv.Storage.Kv.put (key t.next_seq) (encode_op op);
+  t.next_seq <- t.next_seq + 1;
+  if t.sync then t.kv.Storage.Kv.sync ()
+
+let length t = t.next_seq
+let path t = t.file
+
+let verify t =
+  List.filter_map
+    (fun (k, v) ->
+      match decode_op v with
+      | _ -> None
+      | exception Corrupt m -> Some (Printf.sprintf "wal op %s: %s" k m))
+    (sorted_entries t.kv)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.kv.Storage.Kv.close ()
+  end

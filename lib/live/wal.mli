@@ -1,0 +1,59 @@
+(** The live store's write-ahead (redo) log.
+
+    Every accepted [insert]/[delete] is appended here {e before} it is
+    applied to the in-memory memtable, and fsynced (by default) before
+    the call returns — reopening the store replays the log to rebuild
+    exactly the acknowledged memtable and tombstone state. The log is
+    rotated at each memtable flush: once the manifest commit has sealed
+    the memtable into a segment, a fresh generation starts empty and the
+    old file is deleted.
+
+    The backing file is a {!Storage.Log_store}, so a torn {e tail} from a
+    crash truncates back to the last intact record on open for free; on
+    top of that every op carries its own trailing CRC-32, so a torn
+    {e value} (intact at the kv layer but cut mid-payload) is also
+    detected — dropped when it is the final op, refused as corruption
+    anywhere else. *)
+
+type op =
+  | Insert of { id : int; value : Nested.Value.t }
+      (** [id] is the global record id assigned at append time — replay
+          restores ids exactly, never re-derives them *)
+  | Delete of int  (** global record id *)
+
+type t
+
+exception Corrupt of string
+(** A non-final op record fails its checksum or does not parse. *)
+
+val create :
+  wrap:(string -> Storage.Kv.t -> Storage.Kv.t) ->
+  sync:bool -> string -> t
+(** Creates a fresh (empty) generation at the given path, truncating any
+    existing file. [wrap] interposes on the backing store handle (the
+    fault-injection hook — identity in production); [sync] fsyncs after
+    every append. *)
+
+val open_existing :
+  wrap:(string -> Storage.Kv.t -> Storage.Kv.t) ->
+  sync:bool -> string -> t * op list
+(** Recovers a generation: torn-tail truncation at the kv layer, then the
+    ops in append order — a torn final op is silently dropped (it was
+    never acknowledged).
+    @raise Corrupt if a non-final op is damaged.
+    @raise Failure if the file is missing or has a bad header. *)
+
+val append : t -> op -> unit
+(** Appends (and fsyncs, when the log was opened with [sync]). *)
+
+val length : t -> int
+(** Ops appended or replayed so far this generation. *)
+
+val path : t -> string
+
+val verify : t -> string list
+(** Re-reads every op record and checks its CRC and parse — the live
+    half of [nscq check]. Empty means consistent. *)
+
+val close : t -> unit
+(** Idempotent. *)

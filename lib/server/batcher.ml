@@ -5,8 +5,10 @@ type request =
   | Statement of Containment.Nscql.statement
   | Traced of { value : Nested.Value.t; trace_id : int option }
   | Join of Nested.Value.t list
+  | Insert of Nested.Value.t
+  | Delete of int
 
-let parse text =
+let parse ?(writable = false) text =
   let text = String.trim text in
   if text = "" then Error "empty query"
   else if text.[0] = '{' then
@@ -16,10 +18,27 @@ let parse text =
     | None -> Error "parse error: expected a nested-set literal"
   else
     match Nscql.parse text with
-    | Nscql.Insert _ | Nscql.Delete _ ->
+    | (Nscql.Insert _ | Nscql.Delete _) when not writable ->
       Error "refused: the server is read-only (INSERT/DELETE are not accepted)"
+    | Nscql.Insert v -> Ok (Insert v)
+    | Nscql.Delete id -> Ok (Delete id)
     | stmt -> Ok (Statement stmt)
     | exception Nscql.Parse_error m -> Error ("parse error: " ^ m)
+
+(* The wire [Insert] verb's text: one nested-set literal. *)
+let parse_insert text =
+  let text = String.trim text in
+  match Nested.Syntax.of_string_opt text with
+  | Some v when Nested.Value.is_set v -> Ok (Insert v)
+  | Some _ -> Error "insert: value must be a set, not a bare atom"
+  | None -> Error "insert: parse error: expected a nested-set literal"
+
+(* The wire [Delete] verb's text: one decimal global record id. *)
+let parse_delete text =
+  match int_of_string_opt (String.trim text) with
+  | Some id when id >= 0 -> Ok (Delete id)
+  | Some _ -> Error "delete: record id must be non-negative"
+  | None -> Error "delete: expected a decimal record id"
 
 (* A Join request's text is line-oriented: one nested-set literal per
    line (blank lines skipped). An empty outer collection — no lines — is
@@ -47,12 +66,21 @@ let parse_join text =
 
 let batchable = function
   | Literal _ -> true
-  | Statement _ | Traced _ | Join _ -> false
+  | Statement _ | Traced _ | Join _ | Insert _ | Delete _ -> false
 
-let coalesce queue ~batchable ~max =
+(* Two join requests share one evaluation — and thus one prefix-tree
+   build — when their outer collections are identical. Concurrent
+   clients asking the same join (the common fan-in shape: many dashboards
+   refreshing one canned join) then cost a single tree DFS. *)
+let shares a b =
+  match (a, b) with
+  | Join xs, Join ys ->
+    List.length xs = List.length ys && List.for_all2 Nested.Value.equal xs ys
+  | _ -> false
+
+let coalesce ?(shares = fun _ _ -> false) queue ~batchable ~max =
   let first = Queue.pop queue in
-  if not (batchable first) then [ first ]
-  else begin
+  if batchable first then begin
     let acc = ref [ first ] and n = ref 1 in
     let more = ref true in
     while !more && !n < max do
@@ -60,6 +88,19 @@ let coalesce queue ~batchable ~max =
       | Some j when batchable j ->
         acc := Queue.pop queue :: !acc;
         incr n
+      | _ -> more := false
+    done;
+    List.rev !acc
+  end
+  else begin
+    (* non-batchable head: also dequeue contiguous jobs that share its
+       evaluation verbatim (identical joins); they answer as one *)
+    let acc = ref [ first ] in
+    let more = ref true in
+    while !more do
+      match Queue.peek_opt queue with
+      | Some j when shares first j ->
+        acc := Queue.pop queue :: !acc
       | _ -> more := false
     done;
     List.rev !acc

@@ -20,13 +20,31 @@ type request =
           response carries the span tree alongside the result ids *)
   | Join of Nested.Value.t list
       (** a whole outer collection evaluated as one set-containment join
-          ([Join] wire verb) — runs singly: the join engine amortizes
-          across its own outer queries already *)
+          ([Join] wire verb) — runs singly, but {e identical} queued
+          joins coalesce into one evaluation (see {!shares}): the join
+          engine amortizes across its own outer queries already *)
+  | Insert of Nested.Value.t
+      (** add one record to a live collection ([Insert] wire verb, or
+          NSCQL [INSERT] when the server is writable) *)
+  | Delete of int
+      (** delete one record by global id ([Delete] wire verb, or NSCQL
+          [DELETE] when the server is writable) *)
 
-val parse : string -> (request, string) result
+val parse : ?writable:bool -> string -> (request, string) result
 (** Classifies a wire [Query] verb's text: leading ['{'] means a literal,
     anything else is parsed as NSCQL. [Error] carries a client-facing
-    message (syntax error, or a refused [INSERT]/[DELETE]). *)
+    message (syntax error, or — with [writable = false], the default — a
+    refused [INSERT]/[DELETE]). With [~writable:true] (the server is
+    backed by a live store) NSCQL [INSERT]/[DELETE] become {!Insert} /
+    {!Delete} requests. *)
+
+val parse_insert : string -> (request, string) result
+(** Parses a wire [Insert] verb's text — one nested-set literal — into an
+    {!Insert} request. *)
+
+val parse_delete : string -> (request, string) result
+(** Parses a wire [Delete] verb's text — one decimal global record id —
+    into a {!Delete} request. *)
 
 val parse_join : string -> (request, string) result
 (** Parses a wire [Join] verb's text — one nested-set literal per line,
@@ -35,9 +53,19 @@ val parse_join : string -> (request, string) result
 
 val batchable : request -> bool
 
-val coalesce : 'job Queue.t -> batchable:('job -> bool) -> max:int -> 'job list
+val shares : request -> request -> bool
+(** [shares a b] when one evaluation answers both: identical [Join]
+    requests (equal outer collections, in order). Coalescing them means
+    concurrent identical joins share a single prefix-tree build. *)
+
+val coalesce :
+  ?shares:('job -> 'job -> bool) ->
+  'job Queue.t ->
+  batchable:('job -> bool) -> max:int -> 'job list
 (** Dequeues the next batch: the head job plus — when the head is
-    batchable — up to [max - 1] contiguous batchable successors. Stops at
-    the first incompatible job so admission order is preserved. The caller
-    must hold the queue lock and guarantee the queue is nonempty.
+    batchable — up to [max - 1] contiguous batchable successors, or —
+    when it is not — every contiguous successor that [shares] the head's
+    evaluation (default: none). Stops at the first incompatible job so
+    admission order is preserved. The caller must hold the queue lock and
+    guarantee the queue is nonempty.
     @raise Queue.Empty on an empty queue. *)

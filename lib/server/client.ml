@@ -64,6 +64,25 @@ let stats t = roundtrip t Wire.Stats ~deadline_ms:0
 let trace t ?(deadline_ms = 0) ?trace_id text =
   roundtrip t ?trace:trace_id (Wire.Trace text) ~deadline_ms
 
+let insert t ?(deadline_ms = 0) text =
+  match roundtrip t (Wire.Insert text) ~deadline_ms with
+  | Error _ as e -> e
+  | Ok payload -> (
+    match int_of_string_opt (String.trim payload) with
+    | Some id -> Ok id
+    | None ->
+      Error
+        (Wire.Server_error, Printf.sprintf "malformed insert reply %S" payload))
+
+let delete t ?(deadline_ms = 0) id =
+  match roundtrip t (Wire.Delete (string_of_int id)) ~deadline_ms with
+  | Error _ as e -> e
+  | Ok "deleted" -> Ok true
+  | Ok "not-found" -> Ok false
+  | Ok payload ->
+    Error
+      (Wire.Server_error, Printf.sprintf "malformed delete reply %S" payload)
+
 let close t =
   if t.open_ then begin
     t.open_ <- false;

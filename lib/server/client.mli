@@ -48,5 +48,20 @@ val trace :
     [trace_id] propagates the caller's trace id so local and remote spans
     correlate. Servers predating the verb answer with a protocol error. *)
 
+val insert :
+  t -> ?deadline_ms:int -> string ->
+  (int, Wire.error_code * string) result
+(** Sends a nested-set literal under the [Insert] verb; [Ok id] is the
+    new record's global id. Servers over a read-only store refuse with
+    [Bad_request]; servers predating the verb answer with a protocol
+    error. *)
+
+val delete :
+  t -> ?deadline_ms:int -> int ->
+  (bool, Wire.error_code * string) result
+(** Deletes one record by global id under the [Delete] verb; [Ok true]
+    if a live record was deleted, [Ok false] if the id was unknown or
+    already deleted. *)
+
 val close : t -> unit
 (** Sends [Goodbye] (best effort) and closes the socket. Idempotent. *)

@@ -48,9 +48,14 @@ type backend = {
   run_statement : Containment.Nscql.statement -> string;
   run_traced : trace_id:int option -> Nested.Value.t -> string;
   run_join : Nested.Value.t list -> string;
+  run_insert : Nested.Value.t -> string;
+  run_delete : int -> string;
   io_totals : unit -> io_totals;
   close : unit -> unit;
 }
+
+let read_only_refusal _ =
+  invalid_arg "the served collection is read-only (serve a live store to write)"
 
 let ids_payload (r : E.result) =
   String.concat " " (List.map string_of_int r.records)
@@ -86,6 +91,8 @@ let store_backend ?(config = E.default) ~cache_budget ~open_handle () =
         Wire.join_payload
           (Join.Engine.group ~outer:(List.length values)
              r.Join.Engine.pairs));
+    run_insert = read_only_refusal;
+    run_delete = read_only_refusal;
     io_totals =
       (fun () ->
         let lk = IF.lookup_stats inv and st = (IF.store inv).Storage.Kv.stats in
@@ -97,6 +104,92 @@ let store_backend ?(config = E.default) ~cache_budget ~open_handle () =
           bytes_read = Storage.Io_stats.bytes_read st;
         });
     close = (fun () -> IF.close inv);
+  }
+
+(* Backend over one shared live store. Unlike {!store_backend}, every
+   worker domain runs against the {e same} handle — the live store
+   serializes internally, and writes from any worker must be visible to
+   all. Consequences: [io_totals] reports zeros (per-worker deltas of a
+   shared store would multiply-count), and [close] is a no-op (the caller
+   that opened the store owns its lifetime and closes it after
+   {!drain}). *)
+let live_backend ?(config = E.default) ~store () =
+  let module L = Live.Live_store in
+  let ids_line ids = String.concat " " (List.map string_of_int ids) in
+  let render_statement stmt =
+    match stmt with
+    | Containment.Nscql.Insert v ->
+      Printf.sprintf "record %d inserted" (L.insert store v)
+    | Containment.Nscql.Delete id ->
+      if L.delete store id then "deleted" else "no such live record"
+    | Containment.Nscql.Stats ->
+      String.concat "\n"
+        (List.map
+           (fun (k, n) -> Printf.sprintf "%-18s %d" k n)
+           (L.totals store))
+    | Containment.Nscql.Query _ -> (
+      match Containment.Nscql.query_config stmt with
+      (* unreachable: query_config is total on Query statements *)
+      | None -> invalid_arg "malformed query statement"
+      | Some (config, verb, value, limit) -> (
+        match verb with
+        | Containment.Nscql.Find ->
+          let ids = L.query ~config store value in
+          let cap = Option.value ~default:10 limit in
+          let b = Buffer.create 128 in
+          Buffer.add_string b (Printf.sprintf "%d record(s)" (List.length ids));
+          List.iteri
+            (fun i id ->
+              if i < cap then
+                match L.record_value store id with
+                | Some v ->
+                  Buffer.add_string b
+                    (Printf.sprintf "\n  #%d: %s" id (Nested.Value.to_string v))
+                | None -> ())
+            ids;
+          if List.length ids > cap then
+            Buffer.add_string b
+              (Printf.sprintf "\n  … and %d more (add LIMIT n)"
+                 (List.length ids - cap));
+          Buffer.contents b
+        | Containment.Nscql.Count ->
+          string_of_int (List.length (L.query ~config store value))
+        | Containment.Nscql.Explain | Containment.Nscql.Witness ->
+          invalid_arg
+            "EXPLAIN/WITNESS are not supported over a live store yet"))
+  in
+  {
+    run_literals =
+      (fun ?traces values ->
+        match traces with
+        | None | Some [] ->
+          List.map ids_line (L.query_batch ~config store values)
+        | Some traces ->
+          (* slow-log armed: per-query traces, so run singly *)
+          List.map2
+            (fun trace value -> ids_line (L.query ~config ?trace store value))
+            traces values);
+    run_statement = render_statement;
+    run_traced =
+      (fun ~trace_id value ->
+        let trace = Obs.Trace.create ?id:trace_id "query" in
+        let ids = L.query ~config ~trace store value in
+        let root = Obs.Trace.finish trace in
+        Wire.traced_payload ~result:(ids_line ids)
+          ~spans:(Obs.Trace.to_wire ~id:(Obs.Trace.id trace) root));
+    run_join =
+      (fun values ->
+        let pairs =
+          L.join ~config:{ Join.Engine.default with engine = config }
+            store values
+        in
+        Wire.join_payload (Join.Engine.group ~outer:(List.length values) pairs));
+    run_insert = (fun v -> string_of_int (L.insert store v));
+    run_delete =
+      (fun id -> if L.delete store id then "deleted" else "not-found");
+    io_totals =
+      (fun () -> { lookups = 0; hits = 0; misses = 0; reads = 0; bytes_read = 0 });
+    close = (fun () -> ());
   }
 
 (* --- worker side --- *)
@@ -149,6 +242,8 @@ let maybe_slow t job ?trace () =
         | Batcher.Statement _ -> "nscql"
         | Batcher.Join values ->
           Printf.sprintf "join[%d]" (List.length values)
+        | Batcher.Insert v -> "insert:" ^ digest_of_value v
+        | Batcher.Delete id -> Printf.sprintf "delete:%d" id
       in
       let trace = Option.map Obs.Trace.finish trace in
       Log.warn (fun m ->
@@ -179,8 +274,29 @@ let execute_group t backend jobs =
     | exception exn ->
       let code, msg = refusal_of_exn exn in
       finish t job (Refused (code, msg)))
-  | [ { request = Batcher.Join values; _ } as job ] -> (
+  | ({ request = Batcher.Join values; _ } :: _) as jobs -> (
+    (* one evaluation answers the whole group: coalesce only extends a
+       Join head with requests sharing it verbatim (Batcher.shares) *)
     match backend.run_join values with
+    | payload ->
+      List.iter
+        (fun job ->
+          finish t job (Data payload);
+          maybe_slow t job ())
+        jobs
+    | exception exn ->
+      let code, msg = refusal_of_exn exn in
+      List.iter (fun job -> finish t job (Refused (code, msg))) jobs)
+  | [ { request = Batcher.Insert value; _ } as job ] -> (
+    match backend.run_insert value with
+    | payload ->
+      finish t job (Data payload);
+      maybe_slow t job ()
+    | exception exn ->
+      let code, msg = refusal_of_exn exn in
+      finish t job (Refused (code, msg)))
+  | [ { request = Batcher.Delete rid; _ } as job ] -> (
+    match backend.run_delete rid with
     | payload ->
       finish t job (Data payload);
       maybe_slow t job ()
@@ -196,7 +312,8 @@ let execute_group t backend jobs =
         (fun j ->
           match j.request with
           | Batcher.Literal _ -> true
-          | Batcher.Statement _ | Batcher.Traced _ | Batcher.Join _ -> false)
+          | Batcher.Statement _ | Batcher.Traced _ | Batcher.Join _
+          | Batcher.Insert _ | Batcher.Delete _ -> false)
         jobs
     in
     List.iter
@@ -251,7 +368,9 @@ let worker t open_backend () =
         if Queue.is_empty t.queue then Lockdep.unlock t.mutex (* draining: done *)
         else begin
           let jobs =
-            Batcher.coalesce t.queue ~batchable:job_batchable ~max:t.max_batch
+            Batcher.coalesce
+              ~shares:(fun a b -> Batcher.shares a.request b.request)
+              t.queue ~batchable:job_batchable ~max:t.max_batch
           in
           Lockdep.unlock t.mutex;
           let now = Unix.gettimeofday () in

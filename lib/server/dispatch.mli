@@ -54,6 +54,12 @@ type backend = {
       (** one [Join]-verb request: the whole outer collection against the
           served store, answered with a {!Wire.join_payload}-composed
           payload *)
+  run_insert : Nested.Value.t -> string;
+      (** one [Insert]-verb request; the payload is the new global record
+          id in decimal. Read-only backends raise [Invalid_argument]
+          (surfaced as [Bad_request]) *)
+  run_delete : int -> string;
+      (** one [Delete]-verb request; ["deleted"] or ["not-found"] *)
   io_totals : unit -> io_totals;
   close : unit -> unit;
 }
@@ -69,7 +75,21 @@ val store_backend :
     static cache of that many lists), answers literal blocks with
     {!Containment.Engine.query_batch}, NSCQL statements with
     {!Containment.Nscql.execute} and [Join] requests with
-    {!Join.Engine.join} under the server's engine config. *)
+    {!Join.Engine.join} under the server's engine config. [Insert] and
+    [Delete] are refused — the handles are read-only. *)
+
+val live_backend :
+  ?config:Containment.Engine.config ->
+  store:Live.Live_store.t ->
+  unit ->
+  backend
+(** Backend over one {e shared} {!Live.Live_store} — the writable serving
+    path. Every worker domain submits to the same handle (the live store
+    serializes internally; writes are immediately visible to all
+    workers). [run_insert]/[run_delete] accept; NSCQL [INSERT]/[DELETE]
+    statements execute too. [io_totals] reports zeros (the shared store's
+    counters cannot be attributed per worker) and [close] is a no-op —
+    the caller owns the store and closes it after {!drain}. *)
 
 val create :
   ?paused:bool ->

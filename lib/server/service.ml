@@ -12,6 +12,7 @@ type config = {
   stats_interval_s : float;
   slow_query_ms : float;
   engine : Containment.Engine.config;
+  writable : bool;
 }
 
 let default_config =
@@ -25,6 +26,7 @@ let default_config =
     stats_interval_s = 10.;
     slow_query_ms = 0.;
     engine = Containment.Engine.default;
+    writable = false;
   }
 
 type conn = {
@@ -129,7 +131,17 @@ let handle_request t conn ~id ~deadline_ms ~trace_id verb =
     in
     List.iter (send conn) (Wire.chunk_result ~id payload)
   | Wire.Query text -> (
-    match Batcher.parse text with
+    match Batcher.parse ~writable:t.cfg.writable text with
+    | Error message ->
+      send conn (Wire.Error { id; code = Wire.Bad_request; message })
+    | Ok request -> submit_request t conn ~id ~deadline_ms request)
+  | Wire.Insert text -> (
+    match Batcher.parse_insert text with
+    | Error message ->
+      send conn (Wire.Error { id; code = Wire.Bad_request; message })
+    | Ok request -> submit_request t conn ~id ~deadline_ms request)
+  | Wire.Delete text -> (
+    match Batcher.parse_delete text with
     | Error message ->
       send conn (Wire.Error { id; code = Wire.Bad_request; message })
     | Ok request -> submit_request t conn ~id ~deadline_ms request)
@@ -150,6 +162,14 @@ let handle_request t conn ~id ~deadline_ms ~trace_id verb =
              id;
              code = Wire.Bad_request;
              message = "trace expects a nested-set literal, not NSCQL";
+           })
+    | Ok (Batcher.Insert _ | Batcher.Delete _) ->
+      send conn
+        (Wire.Error
+           {
+             id;
+             code = Wire.Bad_request;
+             message = "trace expects a nested-set literal, not a write";
            })
     | Ok (Batcher.Traced _ | Batcher.Join _) ->
       (* parse never builds these; answer with an error frame rather

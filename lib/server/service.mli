@@ -27,12 +27,17 @@ type config = {
           → reply) emit one structured {!Obs.Slow_log} line with their
           phase breakdown; [<= 0] (the default) disables it *)
   engine : Containment.Engine.config;  (** config for literal queries *)
+  writable : bool;
+      (** accept NSCQL [INSERT]/[DELETE] through the [Query] verb — set
+          only when the backend can write (a {!Dispatch.live_backend});
+          the wire [Insert]/[Delete] verbs are always admitted and refused
+          by read-only backends at execution *)
 }
 
 val default_config : config
 (** loopback, ephemeral port, {!Containment.Parallel.default_domains}
     workers, queue cap 64, batches of up to 8, cache 250 (the paper's
-    budget), stats every 10 s, slow-query log off. *)
+    budget), stats every 10 s, slow-query log off, read-only. *)
 
 type t
 

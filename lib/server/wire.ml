@@ -5,7 +5,13 @@ type error_code =
   | Server_error
   | Shutting_down
 
-type verb = Query of string | Stats | Trace of string | Join of string
+type verb =
+  | Query of string
+  | Stats
+  | Trace of string
+  | Join of string
+  | Insert of string
+  | Delete of string
 
 type frame =
   | Hello of { version : int }
@@ -39,7 +45,9 @@ let pp_frame ppf = function
       | Query q -> Printf.sprintf "query %S" q
       | Stats -> "stats"
       | Trace q -> Printf.sprintf "trace %S" q
-      | Join q -> Printf.sprintf "join %S" q)
+      | Join q -> Printf.sprintf "join %S" q
+      | Insert q -> Printf.sprintf "insert %S" q
+      | Delete q -> Printf.sprintf "delete %S" q)
       (match trace with
       | None -> ""
       | Some t -> Printf.sprintf " trace_id=%d" t)
@@ -94,9 +102,19 @@ let payload_of = function
     (* the verb byte carries the verb in its low nibble and a trace-id
        presence flag in bit 4, so trace-less requests encode byte-for-byte
        as protocol v1 did — old peers keep interoperating *)
-    let text = match verb with Query q | Trace q | Join q -> q | Stats -> "" in
+    let text =
+      match verb with
+      | Query q | Trace q | Join q | Insert q | Delete q -> q
+      | Stats -> ""
+    in
     let base =
-      match verb with Query _ -> 0 | Stats -> 1 | Trace _ -> 2 | Join _ -> 3
+      match verb with
+      | Query _ -> 0
+      | Stats -> 1
+      | Trace _ -> 2
+      | Join _ -> 3
+      | Insert _ -> 4
+      | Delete _ -> 5
     in
     let tlen = match trace with None -> 0 | Some _ -> 4 in
     let b = Bytes.create (9 + tlen + String.length text) in
@@ -152,6 +170,12 @@ let parse_payload tag p =
           Result.Ok (Request { id; deadline_ms; verb = Trace (rest text_pos); trace })
         | 3 ->
           Result.Ok (Request { id; deadline_ms; verb = Join (rest text_pos); trace })
+        | 4 ->
+          Result.Ok
+            (Request { id; deadline_ms; verb = Insert (rest text_pos); trace })
+        | 5 ->
+          Result.Ok
+            (Request { id; deadline_ms; verb = Delete (rest text_pos); trace })
         | _ -> Result.Error "request: bad verb")
   | 3 ->
     if len < 9 then Result.Error "result: short payload"

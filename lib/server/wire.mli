@@ -47,6 +47,15 @@ type verb =
           field, the verb rides a previously unused verb-byte value, so
           every pre-existing encoding is byte-identical and old clients
           interoperate untouched (old servers reject the verb) *)
+  | Insert of string
+      (** a nested-set literal to add to a {e live} collection; the
+          response payload is the new record's global id as decimal
+          text. Verb byte 4 — same flag-compatible scheme as [Join];
+          servers over a read-only store refuse it with [Bad_request] *)
+  | Delete of string
+      (** a global record id (decimal text) to delete from a live
+          collection; the response payload is ["deleted"] or
+          ["not-found"]. Verb byte 5 *)
 
 type frame =
   | Hello of { version : int }  (** client → server, first frame *)

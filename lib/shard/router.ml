@@ -42,7 +42,7 @@ type shard_stat = {
 
 type t = {
   config : config;
-  manifest : Manifest.t;
+  mutable manifest : Manifest.t;
   targets : target array;
   stats : shard_stat array;
   mutable total_queries : int;
@@ -618,6 +618,81 @@ let record_value t global =
     | Remote_addr _ -> None
     | Local_handle inv -> IF.record_value_opt inv local)
 
+(* --- writes ---
+
+   The owning shard is the one the partitioner would have placed the
+   record on at build time, so a rebuild of the grown collection shards
+   identically. Writes go straight through the shard's updater; the
+   in-memory manifest tracks the new id mapping and the caller persists
+   it with [save_manifest]. Only local shards accept writes — a remote
+   shard's server owns its store. *)
+
+let insert t value =
+  if not (Nested.Value.is_set value) then
+    invalid_arg "Router.insert: value must be a set, not a bare atom";
+  let m = t.manifest in
+  let shards = Array.length m.Manifest.shards in
+  let global = m.Manifest.total_records in
+  let s =
+    Partitioner.assign m.Manifest.policy ~shards ~index:global value
+  in
+  match t.targets.(s) with
+  | Remote_addr { host; port } ->
+    raise
+      (Shard_failed
+         ( s,
+           Printf.sprintf
+             "record owned by remote shard %s:%d — writes route only to \
+              local shards"
+             host port ))
+  | Local_handle inv ->
+    let local = Invfile.Updater.add_value inv value in
+    let entry = m.Manifest.shards.(s) in
+    (if local <> Array.length entry.Manifest.ids then
+       (* the store had more records than the manifest mapped — refuse to
+          guess at a translation *)
+       invalid_arg
+         (Printf.sprintf
+            "Router.insert: shard %d store/manifest id maps out of step" s));
+    let entry =
+      {
+        entry with
+        Manifest.records = entry.Manifest.records + 1;
+        atoms = IF.atom_count inv;
+        nodes = IF.node_count inv;
+        ids = Array.append entry.Manifest.ids [| global |];
+      }
+    in
+    let shards' = Array.copy m.Manifest.shards in
+    shards'.(s) <- entry;
+    t.manifest <-
+      {
+        m with
+        Manifest.total_records = m.Manifest.total_records + 1;
+        shards = shards';
+      };
+    (match t.global_index with
+    | Some h -> Hashtbl.replace h global (s, local)
+    | None -> ());
+    global
+
+let delete t global =
+  match Hashtbl.find_opt (global_index t) global with
+  | None -> false
+  | Some (s, local) -> (
+    match t.targets.(s) with
+    | Remote_addr { host; port } ->
+      raise
+        (Shard_failed
+           ( s,
+             Printf.sprintf
+               "record owned by remote shard %s:%d — writes route only to \
+                local shards"
+               host port ))
+    | Local_handle inv -> Invfile.Updater.delete_record inv local)
+
+let save_manifest t path = Manifest.save t.manifest path
+
 (* --- observability --- *)
 
 let local_io t =
@@ -760,6 +835,20 @@ let dispatch_backend ?(config = default_config) m () =
         Server.Wire.traced_payload ~result
           ~spans:(Obs.Trace.to_wire ~id:(Obs.Trace.id trace)
                     (Obs.Trace.finish trace)));
+    run_insert =
+      (fun _ ->
+        (* each worker owns a private router over the same manifest;
+           a write through one would be invisible to its siblings. The
+           embedded Router API (one router, one owner) supports writes;
+           the serving path does not. *)
+        invalid_arg
+          "a sharded collection is served read-only (write through nscq \
+           shard insert, or serve a live store)");
+    run_delete =
+      (fun _ ->
+        invalid_arg
+          "a sharded collection is served read-only (write through nscq \
+           shard delete, or serve a live store)");
     io_totals =
       (fun () ->
         let lookups, hits, misses, reads, bytes_read = local_io t in

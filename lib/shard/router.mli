@@ -115,6 +115,39 @@ val record_value : t -> int -> Nested.Value.t option
 (** The stored value behind a global record id, when its shard is local
     ([None] for remote shards and unknown ids). *)
 
+(** {1 Writes}
+
+    A record's owning shard is the one {!Partitioner.assign} places it
+    on under the manifest's policy — the same placement a from-scratch
+    rebuild of the grown collection would choose, so resharding and
+    rebuilds stay id-compatible. Writes go through the owning shard's
+    {!Invfile.Updater} (journal-protected); the router's in-memory
+    manifest tracks the new id mapping — persist it with
+    {!save_manifest} before dropping the router. Only local shards
+    accept writes; a record owned by a remote shard raises
+    {!Shard_failed} (the remote server owns its store — routing writes
+    over the wire is future work). These calls are single-owner like
+    the rest of the router: serialize externally if sharing a router
+    across domains. *)
+
+val insert : t -> Nested.Value.t -> int
+(** Routes the value to its owning shard, appends it, and returns its
+    new {e global} record id ([manifest.total_records] before the
+    insert).
+    @raise Shard_failed if the owning shard is remote.
+    @raise Invalid_argument on a bare atom, or if the shard's store and
+    manifest id map disagree. *)
+
+val delete : t -> int -> bool
+(** Deletes a global record id on its shard ([false] if unknown or
+    already deleted). The manifest is unchanged — the shard store
+    itself records the tombstone, exactly as a single store does.
+    @raise Shard_failed if the shard is remote. *)
+
+val save_manifest : t -> string -> unit
+(** Persists the router's current manifest — required after {!insert}
+    for the id maps to survive this router. *)
+
 val register : Obs.Metrics.t -> ?labels:(string * string) list -> t -> unit
 (** Publishes the router's counters into a metrics registry as callback
     metrics sampled at render time: [nscq_router_queries_total],

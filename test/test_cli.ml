@@ -229,6 +229,78 @@ let test_shard_cli () =
   let out = expect_ok [ "query"; "-s"; resharded; "{{UK, {A, motorbike}}}" ] in
   check_bool "resharded query matches" true (contains_s out "3 matching record(s)")
 
+(* The live-store lifecycle as a user drives it: build --live, online
+   insert/delete, flush, compact, and every read/admin command detecting
+   the directory. *)
+let test_live_cli () =
+  Testutil.with_temp_path ".ns" @@ fun data ->
+  Testutil.with_temp_path ".live" @@ fun dir ->
+  Testutil.with_temp_path ".export" @@ fun export ->
+  Sys.remove dir;
+  let rec rm path =
+    if Sys.file_exists path then
+      if Sys.is_directory path then begin
+        Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+        Sys.rmdir path
+      end
+      else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> rm dir) @@ fun () ->
+  let oc = open_out data in
+  List.iter (fun s -> output_string oc (s ^ "\n")) Testutil.licences_strings;
+  close_out oc;
+  let out = expect_ok [ "build"; "-i"; data; "-o"; dir; "--live" ] in
+  check_bool "live build reports" true (contains_s out "ingested 4 record(s)");
+  (* reads auto-detect the directory *)
+  let out = expect_ok [ "query"; "-s"; dir; "{{UK, {A, motorbike}}}" ] in
+  check_bool "live query matches" true (contains_s out "3 matching record(s)");
+  (* online writes *)
+  let out = expect_ok [ "insert"; "-s"; dir; "{UK, {fresh}}" ] in
+  check_bool "insert answers the id" true (contains_s out "record 4 inserted");
+  let out = expect_ok [ "delete"; "-s"; dir; "4" ] in
+  check_bool "delete confirms" true (contains_s out "record 4 deleted");
+  let code, out = run_cli [ "delete"; "-s"; dir; "4" ] in
+  check_int "re-delete exits 1" 1 code;
+  check_bool "re-delete says why" true (contains_s out "no such live record");
+  (* seal + merge *)
+  ignore (expect_ok [ "insert"; "-s"; dir; "{more, {data}}" ]);
+  let out = expect_ok [ "flush"; "-s"; dir ] in
+  check_bool "flush seals" true (contains_s out "sealed 1 record(s)");
+  let out = expect_ok [ "compact"; "-s"; dir; "--all" ] in
+  check_bool "compact merges" true (contains_s out "compacted");
+  (* the answer survives the churn *)
+  let out = expect_ok [ "query"; "-s"; dir; "{{UK, {A, motorbike}}}" ] in
+  check_bool "query still matches" true (contains_s out "3 matching record(s)");
+  (* admin commands detect the directory too *)
+  let out = expect_ok [ "stats"; "-s"; dir ] in
+  check_bool "stats lists live records" true (contains_s out "records_live");
+  let out = expect_ok [ "check"; "-s"; dir ] in
+  check_bool "check is clean" true (contains_s out "consistent");
+  let out = expect_ok [ "repair"; "-s"; dir; "--dry-run" ] in
+  check_bool "nothing to repair" true (contains_s out "nothing to repair");
+  ignore (expect_ok [ "export"; "-s"; dir; "-o"; export ]);
+  let ic = open_in export in
+  let lines = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr lines
+     done
+   with End_of_file -> close_in ic);
+  check_int "exported the live records" 5 !lines;
+  let out = expect_ok [ "trace"; "-s"; dir; "{{UK, {A, motorbike}}}" ] in
+  check_bool "trace spans the parts" true
+    (contains_s out "memtable" && contains_s out "segment:");
+  (* a fresh store file is NOT misdetected as live *)
+  let code, out = run_cli [ "insert"; "-s"; data; "{a}" ] in
+  check_int "insert into a flat file fails" 1 code;
+  check_bool "says it is not live" true (contains_s out "not a live store");
+  (* commands without a live path refuse a live dir cleanly, not with an
+     uncaught backend exception *)
+  let code, out = run_cli [ "sql"; "-s"; dir; "COUNT CONTAINS {a}" ] in
+  check_int "sql over a live dir fails cleanly" 1 code;
+  check_bool "sql names the live store" true (contains_s out "is a live store")
+
 let test_trace_cli () =
   with_store "hash" (fun ~store ~backend ->
       let out =
@@ -298,6 +370,8 @@ let () =
             test_malformed_endpoints_fail;
           Alcotest.test_case "shard build/status/query/reshard" `Quick
             test_shard_cli;
+          Alcotest.test_case "live build/insert/delete/flush/compact" `Quick
+            test_live_cli;
         ] );
       ( "observability",
         [

@@ -438,6 +438,154 @@ let test_slow_query_log_counts () =
       (contains_s out "nscq_slow_queries_total")
   | Error (_, msg) -> Alcotest.failf "stats refused: %s" msg
 
+(* --- live stores over the wire: writes, writable NSCQL, coalescing --- *)
+
+module L = Live.Live_store
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "nscq_live_srv_" "" in
+  Sys.remove dir;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists dir then rm dir)
+    (fun () -> f dir)
+
+let with_live_server ?paused ~domains ?(queue_cap = 16) ?(max_batch = 4) store f
+    =
+  let cfg =
+    { S.default_config with S.port = 0; domains; queue_cap; max_batch;
+      stats_interval_s = 0.; writable = true }
+  in
+  let srv =
+    S.start_with ?paused cfg
+      ~open_backend:(fun () -> Server.Dispatch.live_backend ~store ())
+  in
+  Fun.protect ~finally:(fun () -> S.stop srv) (fun () -> f srv)
+
+(* Wire Insert/Delete and writable NSCQL against one shared live store:
+   every worker sees a write as soon as it is acknowledged, and the
+   server's answers equal the store's own. *)
+let test_live_server_writes () =
+  with_temp_dir @@ fun dir ->
+  let store = L.create ~config:{ L.default with L.flush_records = 4 } dir in
+  Fun.protect ~finally:(fun () -> L.close store) @@ fun () ->
+  with_live_server ~domains:2 store @@ fun srv ->
+  let c = C.connect ~port:(S.port srv) () in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  let ids =
+    List.init 6 (fun i ->
+        match C.insert c (Printf.sprintf "{k%d, {shared, m%d}}" i (i mod 2)) with
+        | Ok id -> id
+        | Error (_, m) -> Alcotest.failf "insert %d refused: %s" i m)
+  in
+  Alcotest.(check (list int)) "ids are monotonic" [ 0; 1; 2; 3; 4; 5 ] ids;
+  check_bool "enough inserts crossed the auto-flush threshold" true
+    (L.segment_count store >= 1);
+  (* reads see every write, across the sealed segment + memtable split *)
+  (match C.query c "{{shared}}" with
+  | Ok got -> Alcotest.(check string) "query sees all inserts" "0 1 2 3 4 5" got
+  | Error (_, m) -> Alcotest.failf "query refused: %s" m);
+  (* wire Delete: true for a live id, false once it is gone *)
+  (match C.delete c 2 with
+  | Ok deleted -> check_bool "delete a live record" true deleted
+  | Error (_, m) -> Alcotest.failf "delete refused: %s" m);
+  (match C.delete c 2 with
+  | Ok deleted -> check_bool "re-delete answers false" false deleted
+  | Error (_, m) -> Alcotest.failf "re-delete refused: %s" m);
+  (* NSCQL INSERT/DELETE ride the Query verb on a writable server *)
+  (match C.query c "INSERT {nscql, {shared}}" with
+  | Ok got -> Alcotest.(check string) "NSCQL INSERT answers the new id" "6" got
+  | Error (_, m) -> Alcotest.failf "NSCQL INSERT refused: %s" m);
+  (match C.query c "DELETE 6" with
+  | Ok got -> Alcotest.(check string) "NSCQL DELETE" "deleted" got
+  | Error (_, m) -> Alcotest.failf "NSCQL DELETE refused: %s" m);
+  (* the server's view equals the store's own *)
+  let want =
+    String.concat " " (List.map string_of_int (L.query store (Testutil.v "{{shared}}")))
+  in
+  (match C.query c "{{shared}}" with
+  | Ok got -> Alcotest.(check string) "server = in-process store" want got
+  | Error (_, m) -> Alcotest.failf "query refused: %s" m);
+  (* a bare atom is a Bad_request, not a dead connection *)
+  match C.insert c "atom" with
+  | Error (W.Bad_request, _) -> ()
+  | Ok _ -> Alcotest.fail "bare-atom insert accepted"
+  | Error (code, _) ->
+    Alcotest.failf "bare-atom insert refused with %a" W.pp_error_code code
+
+(* The wire write verbs against a read-only store backend refuse with
+   Bad_request at execution (admission cannot know the backend). *)
+let test_read_only_write_verbs () =
+  Testutil.with_temp_path ".log" @@ fun path ->
+  build path;
+  with_server ~domains:1 path @@ fun srv ->
+  let c = C.connect ~port:(S.port srv) () in
+  Fun.protect ~finally:(fun () -> C.close c) @@ fun () ->
+  (match C.insert c "{a, {b}}" with
+  | Error (W.Bad_request, msg) ->
+    check_bool "refusal names the fix" true (contains_s msg "read-only")
+  | Ok _ -> Alcotest.fail "insert accepted by a read-only backend"
+  | Error (code, _) ->
+    Alcotest.failf "insert refused with %a" W.pp_error_code code);
+  match C.delete c 0 with
+  | Error (W.Bad_request, _) -> ()
+  | Ok _ -> Alcotest.fail "delete accepted by a read-only backend"
+  | Error (code, _) ->
+    Alcotest.failf "delete refused with %a" W.pp_error_code code
+
+(* S1: identical concurrent joins coalesce into one evaluation — five
+   queued joins dequeue as a single batch (one prefix-tree build), and
+   every client still gets the full correct answer. *)
+let test_identical_joins_coalesce () =
+  with_temp_dir @@ fun dir ->
+  let store = L.create dir in
+  Fun.protect ~finally:(fun () -> L.close store) @@ fun () ->
+  List.iter
+    (fun s -> ignore (L.insert store (Testutil.v s)))
+    [ "{a, {b, c}}"; "{a, d}"; "{x, {y, {b}}}"; "{a, {b}, e}" ];
+  let outer = "{a}\n{{b}}" in
+  let want =
+    W.join_payload
+      (Join.Engine.group ~outer:2
+         (L.join store [ Testutil.v "{a}"; Testutil.v "{{b}}" ]))
+  in
+  with_live_server ~paused:true ~domains:1 ~queue_cap:16 store @@ fun srv ->
+  let clients = 5 in
+  let results = Array.make clients None in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () ->
+            let c = C.connect ~port:(S.port srv) () in
+            Fun.protect
+              ~finally:(fun () -> C.close c)
+              (fun () -> results.(i) <- Some (C.join c outer)))
+          ())
+  in
+  check_bool "all joins queued" true
+    (wait_until (fun () -> S.queue_depth srv = clients));
+  S.resume srv;
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Some (Ok got) ->
+        Alcotest.(check string) (Printf.sprintf "client %d payload" i) want got
+      | Some (Error (_, m)) -> Alcotest.failf "join %d refused: %s" i m
+      | None -> Alcotest.fail "a client thread did not finish")
+    results;
+  let stats = S.stats srv in
+  check_int "five joins ran as one coalesced batch" 1
+    (Server.Server_stats.batches stats);
+  check_int "all five were answered" clients
+    (Server.Server_stats.completed stats)
+
 let () =
   Alcotest.run "server"
     [
@@ -465,6 +613,15 @@ let () =
         [
           Alcotest.test_case "SIGINT leaves a clean store" `Quick
             test_sigint_leaves_clean_store;
+        ] );
+      ( "live",
+        [
+          Alcotest.test_case "writes over the wire" `Quick
+            test_live_server_writes;
+          Alcotest.test_case "read-only backends refuse write verbs" `Quick
+            test_read_only_write_verbs;
+          Alcotest.test_case "identical joins coalesce" `Quick
+            test_identical_joins_coalesce;
         ] );
       ( "observability",
         [

@@ -34,11 +34,13 @@ let gen_frame st =
   | 1 -> W.Hello_ack { version = gen_u16 st; server = gen_string st }
   | 2 ->
     let verb =
-      match QCheck.Gen.int_bound 3 st with
+      match QCheck.Gen.int_bound 5 st with
       | 0 -> W.Query (gen_string st)
       | 1 -> W.Stats
       | 2 -> W.Trace (gen_string st)
-      | _ -> W.Join (gen_string st)
+      | 3 -> W.Join (gen_string st)
+      | 4 -> W.Insert (gen_string st)
+      | _ -> W.Delete (gen_string st)
     in
     let trace = if QCheck.Gen.bool st then Some (gen_u32 st) else None in
     W.Request { id = gen_u32 st; deadline_ms = gen_u32 st; verb; trace }
@@ -171,6 +173,11 @@ let test_v1_request_layout () =
      verbs' encodings stay byte-identical, an old server rejects 3 as an
      unknown verb instead of misreading the frame *)
   check_layout (W.Join "{a}\n{b, {c}}") ~verb_byte:3 ~text:"{a}\n{b, {c}}";
+  (* the write verbs ride the next two unused verb values: 4 carries a
+     nested-set literal, 5 a decimal global id — an old server rejects
+     both as unknown verbs instead of misreading the frame *)
+  check_layout (W.Insert "{a, {b}}") ~verb_byte:4 ~text:"{a, {b}}";
+  check_layout (W.Delete "17") ~verb_byte:5 ~text:"17";
   (* the trace-id rides behind bit 4 of the verb byte; an old parser sees
      a verb it does not know and rejects the frame instead of misreading *)
   let s =

@@ -341,12 +341,16 @@ let default_rules_for file =
     || in_dir "lib/invfile/plist" file
     (* the join engine sorts atoms and postings on hot paths *)
     || in_dir "lib/join/" file
+    (* the live store merges per-segment id lists and binary-searches
+       gid maps — a polymorphic compare there is a silent perf bug *)
+    || in_dir "lib/live/" file
   in
   let r2 =
     in_dir "lib/core/" file || in_dir "lib/invfile/" file
     || in_dir "lib/shard/router.ml" file
     || in_dir "lib/storage/bitpack" file
     || in_dir "lib/join/" file
+    || in_dir "lib/live/" file
   in
   let r4 =
     in_dir "lib/server/" file && not (in_dir "lib/server/client." file)
