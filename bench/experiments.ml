@@ -1349,6 +1349,102 @@ let ingest scale =
     (if !worst_ratio <= 2. then "PASS (<= 2x)"
      else "over the 2x acceptance line")
 
+(* --- E26: flight-recorder overhead --- *)
+
+let recorder_overhead scale =
+  H.print_header "E26: flight-recorder overhead (always-on vs. disabled)"
+    "The E22 workload (paper queries against one wide-zipfian collection) \
+     with per-query latency sampled under the flight recorder disabled \
+     and enabled (query/phase events into the per-domain ring, exactly \
+     what nscq serve leaves on). Oracle-gated: both modes must return \
+     the same id lists as a pre-timing evaluation before any sample \
+     counts. Each query's latency is its best over interleaved passes, \
+     so the percentiles compare steady-state instrumentation cost, not \
+     scheduler noise. Summary written to BENCH_obs2.json; acceptance is \
+     overhead_p50_pct <= 5 and overhead_p99_pct <= 5.";
+  let size = List.nth scale.sizes (List.length scale.sizes - 1) in
+  H.with_collection ~name:"recorder_overhead"
+    (synthetic Datagen.Synthetic.Wide (Datagen.Synthetic.Zipfian 0.7) ~seed:31
+       size)
+    (fun inv ->
+      Containment.Collection.with_static_cache inv ~budget:cache_budget;
+      let queries = Array.of_list (H.paper_queries inv) in
+      let nq = Array.length queries in
+      (* oracle gate: turning the recorder on must not change any answer *)
+      Obs.Recorder.disable ();
+      let expected = Array.map (fun q -> (E.query inv q).E.records) queries in
+      Obs.Recorder.enable ();
+      let oracle_ok =
+        Array.for_all2
+          (fun q want -> (E.query inv q).E.records = want)
+          queries expected
+      in
+      Obs.Recorder.disable ();
+      if not oracle_ok then
+        failwith "E26: recorder-on results diverge from recorder-off";
+      let lat_off = Array.make nq infinity
+      and lat_on = Array.make nq infinity in
+      let run lat =
+        Array.iteri
+          (fun i q ->
+            let t0 = Unix.gettimeofday () in
+            ignore (E.query inv q);
+            let dt = 1e6 *. (Unix.gettimeofday () -. t0) in
+            if dt < lat.(i) then lat.(i) <- dt)
+          queries
+      in
+      (* warm the cache and the minor heap before timing *)
+      Array.iter (fun q -> ignore (E.query inv q)) queries;
+      let passes = 7 in
+      for _ = 1 to passes do
+        Obs.Recorder.disable ();
+        run lat_off;
+        Obs.Recorder.enable ();
+        run lat_on
+      done;
+      Obs.Recorder.disable ();
+      let events, dropped = Obs.Recorder.stats () in
+      let pct lat q =
+        let s = Array.copy lat in
+        Array.sort compare s;
+        s.(min (nq - 1) (int_of_float (q *. float_of_int nq)))
+      in
+      let p50_off = pct lat_off 0.50
+      and p99_off = pct lat_off 0.99
+      and p50_on = pct lat_on 0.50
+      and p99_on = pct lat_on 0.99 in
+      let overhead base v =
+        if base > 0. then 100. *. (v -. base) /. base else 0.
+      in
+      let p50_pct = overhead p50_off p50_on
+      and p99_pct = overhead p99_off p99_on in
+      let json =
+        Printf.sprintf
+          "{\"experiment\":\"recorder-overhead\",\"records\":%d,\
+           \"queries\":%d,\"passes\":%d,\"oracle\":\"pass\",\
+           \"events\":%d,\"events_dropped\":%d,\
+           \"p50_disabled_us\":%.2f,\"p50_enabled_us\":%.2f,\
+           \"p99_disabled_us\":%.2f,\"p99_enabled_us\":%.2f,\
+           \"overhead_p50_pct\":%.2f,\"overhead_p99_pct\":%.2f}"
+          size nq passes events dropped p50_off p50_on p99_off p99_on
+          p50_pct p99_pct
+      in
+      print_endline json;
+      let oc = open_out "BENCH_obs2.json" in
+      output_string oc json;
+      output_char oc '\n';
+      close_out oc;
+      H.print_table
+        ~columns:[ "mode"; "p50 (µs)"; "p99 (µs)"; "overhead p50"; "overhead p99" ]
+        [
+          [ "recorder off"; Printf.sprintf "%.2f" p50_off;
+            Printf.sprintf "%.2f" p99_off; "baseline"; "baseline" ];
+          [ "recorder on"; Printf.sprintf "%.2f" p50_on;
+            Printf.sprintf "%.2f" p99_on;
+            Printf.sprintf "%.2f%%" p50_pct;
+            Printf.sprintf "%.2f%%" p99_pct ];
+        ])
+
 (* --- registry --- *)
 
 let all : (string * string * (scale -> unit)) list =
@@ -1382,4 +1478,5 @@ let all : (string * string * (scale -> unit)) list =
     ("intersect", "intersection kernels (E23)", intersect);
     ("join-scaling", "set-containment join engine (E24)", join_scaling);
     ("ingest", "live ingest-while-query (E25)", ingest);
+    ("recorder-overhead", "flight recorder always-on (E26)", recorder_overhead);
   ]

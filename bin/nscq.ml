@@ -576,11 +576,13 @@ let query_cmd =
       run_sharded_query ~manifest_path:store ~engine:config ~partial
         ~deadline_ms ~cache ~limit qs
     else if L.is_live_dir store then begin
+      run_live_query ~config ~limit store qs;
       if explain then begin
-        prerr_endline "nscq: --explain is not supported over a live store yet";
-        exit 1
-      end;
-      run_live_query ~config ~limit store qs
+        let t = open_live store in
+        Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+        Printf.printf "\nplan:\n";
+        print_string (Obs.Explain.render (L.explain ~config t (Nested.Syntax.of_string qs)))
+      end
     end
     else begin
     let inv = IF.open_store (open_store backend store) in
@@ -986,6 +988,175 @@ let trace_cmd =
       $ verify_arg $ streamed_arg $ wildcards_arg $ partial_arg $ verbose_arg
       $ query_arg)
 
+(* --- explain --- *)
+
+(* Plan-and-profile: unlike `trace` (wall-clock spans), `explain` answers
+   the planner questions — atom order with posting stats, estimated vs
+   actual candidates per phase — against any execution target: a plain
+   store, a live directory (per-segment sub-plans), a shard manifest
+   (per-shard sub-plans), or a running server over the wire Explain
+   verb. *)
+let explain_cmd =
+  let query_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"Query in nested-set literal syntax.")
+  in
+  let store_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "s"; "store" ] ~docv:"PATH"
+          ~doc:"Path of the collection store, live directory or shard \
+                manifest (omit with $(b,--connect)).")
+  in
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"HOST:PORT"
+          ~doc:"Explain on a running $(b,nscq serve): the server plans and \
+                profiles under the wire $(b,Explain) verb and ships the \
+                plan back.")
+  in
+  let deadline_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "deadline-ms" ] ~docv:"MS"
+          ~doc:"Per-request deadline for $(b,--connect) (0 = none).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Emit the plan as JSON instead of text.")
+  in
+  let run store connect deadline_ms backend cache algorithm join embedding
+      anywhere verify streamed wildcards partial json verbose qs =
+    setup_logging verbose;
+    let config =
+      {
+        E.default with
+        E.algorithm;
+        join;
+        embedding;
+        scope = (if anywhere then E.Anywhere else E.Roots);
+        verify;
+        streamed;
+        wildcards;
+      }
+    in
+    let print p =
+      if json then print_endline (Obs.Explain.to_json p)
+      else print_string (Obs.Explain.render p)
+    in
+    match connect with
+    | Some connect -> (
+      with_remote_client ~connect @@ fun client ->
+      match Server.Client.explain client ~deadline_ms qs with
+      | Ok payload -> (
+        match Obs.Explain.of_wire payload with
+        | Some p -> print p
+        | None ->
+          prerr_endline "nscq: the server's reply carried no plan";
+          exit 1)
+      | Error (code, message) ->
+        Format.eprintf "nscq: server refused: %a: %s@."
+          Server.Wire.pp_error_code code message;
+        exit 1)
+    | None -> (
+      let store =
+        match store with
+        | Some s -> s
+        | None ->
+          prerr_endline "nscq: either --store or --connect is required";
+          exit 1
+      in
+      let q = Nested.Syntax.of_string qs in
+      if Shard.Manifest.is_manifest_file store then begin
+        let m = load_manifest store in
+        let rconfig =
+          {
+            Shard.Router.default_config with
+            Shard.Router.engine = config;
+            fail_mode =
+              (if partial then Shard.Router.Partial else Shard.Router.Fail_fast);
+            remote_deadline_ms = deadline_ms;
+            cache_budget = cache;
+          }
+        in
+        let r = Shard.Router.open_manifest ~config:rconfig m in
+        Fun.protect ~finally:(fun () -> Shard.Router.close r) @@ fun () ->
+        print (Shard.Router.explain r q)
+      end
+      else if L.is_live_dir store then begin
+        let t = open_live store in
+        Fun.protect ~finally:(fun () -> L.close t) @@ fun () ->
+        print (L.explain ~config t q)
+      end
+      else begin
+        let inv = IF.open_store (open_store backend store) in
+        Fun.protect ~finally:(fun () -> IF.close inv) @@ fun () ->
+        setup_engine inv ~cache;
+        print (E.explain_profile ~config inv q)
+      end)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Plan and profile one containment query: the planned atom \
+             order with posting-list stats, and estimated vs actual \
+             candidate counts per phase — per segment over a live store, \
+             per shard over a manifest, server-side with --connect.")
+    Term.(
+      const run $ store_opt_arg $ connect_arg $ deadline_arg $ backend_arg
+      $ cache_arg $ algorithm_arg $ join_arg $ embedding_arg $ anywhere_arg
+      $ verify_arg $ streamed_arg $ wildcards_arg $ partial_arg $ json_arg
+      $ verbose_arg $ query_arg)
+
+(* --- flight --- *)
+
+(* Decode a flight-recorder dump — written by `nscq serve` on SIGUSR1 or
+   automatically next to a slow-query line — into one merged timeline. *)
+let flight_cmd =
+  let dump_cmd =
+    let file_arg =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"FILE"
+            ~doc:"A flight-recorder dump ($(b,nscq serve --flight) path; \
+                  written on SIGUSR1 or on slow queries).")
+    in
+    let json_arg =
+      Arg.(
+        value & flag
+        & info [ "json" ] ~doc:"Emit the timeline as JSON instead of text.")
+    in
+    let run json file =
+      match Obs.Recorder.read_dump file with
+      | names, events ->
+        if json then print_endline (Obs.Recorder.render_json ~names events)
+        else print_string (Obs.Recorder.render ~names events)
+      | exception Sys_error m ->
+        Printf.eprintf "nscq: cannot read %s: %s\n" file m;
+        exit 1
+      | exception Obs.Recorder.Corrupt m ->
+        Printf.eprintf "nscq: corrupt flight dump %s: %s\n" file m;
+        exit 1
+    in
+    Cmd.v
+      (Cmd.info "dump"
+         ~doc:"Decode a flight-recorder dump file into one timeline \
+               merged across the server's worker domains.")
+      Term.(const run $ json_arg $ file_arg)
+  in
+  Cmd.group
+    (Cmd.info "flight"
+       ~doc:"Inspect the always-on flight recorder: decode the binary \
+             event-ring dumps a server writes on SIGUSR1 or alongside \
+             slow-query log lines.")
+    [ dump_cmd ]
+
 (* --- workload --- *)
 
 let workload_cmd =
@@ -1390,7 +1561,7 @@ let repl_cmd =
          \t.join containment|equality|superset|overlap=N|similarity=R\n\
          \t.embedding hom|iso|homeo|homeo-full\n\
          \t.scope roots|anywhere     .verify on|off\n\
-         \t.explain QUERY            show per-node candidate counts\n\
+         \t.explain QUERY            plan + est-vs-actual phase profile\n\
          \t.witness QUERY            show one embedding per match\n\
          \t.add RECORD               insert a record incrementally\n\
          \t.delete ID                tombstone a record\n\
@@ -1480,7 +1651,9 @@ let repl_cmd =
       | ".verify" -> config := { !config with E.verify = arg = "on" }
       | ".explain" -> (
         match Nested.Syntax.of_string_opt arg with
-        | Some q -> Format.printf "%a" E.pp_plan (E.explain ~config:!config inv q)
+        | Some q ->
+          print_string
+            (Obs.Explain.render (E.explain_profile ~config:!config inv q))
         | None -> print_endline "parse error")
       | ".witness" -> (
         match Nested.Syntax.of_string_opt arg with
@@ -1582,6 +1755,22 @@ let serve_cmd =
                 I/O deltas) for every request slower than $(docv) \
                 milliseconds from admission to reply (0 disables).")
   in
+  let flight_arg =
+    Arg.(
+      value
+      & opt string "nscq-flight.bin"
+      & info [ "flight" ] ~docv:"PATH"
+          ~doc:"Where flight-recorder dumps land: SIGUSR1 writes one on \
+                demand, and any slow-query log line triggers one \
+                automatically (rate-limited). Decode with $(b,nscq \
+                flight dump).")
+  in
+  let no_flight_arg =
+    Arg.(
+      value & flag
+      & info [ "no-flight" ]
+          ~doc:"Disable the always-on flight recorder entirely.")
+  in
   let store_opt_arg =
     Arg.(
       value
@@ -1599,10 +1788,16 @@ let serve_cmd =
                 over the manifest's shards instead of opening one store.")
   in
   let run store manifest backend cache port host domains queue_cap max_batch
-      stats_interval slow_query_ms partial verbose =
+      stats_interval slow_query_ms flight no_flight partial verbose =
     setup_logging verbose;
     Logs.set_level (Some (if verbose then Logs.Debug else Logs.Info));
     let host = resolve_host host in
+    (* the flight recorder is on for the server's whole life: per-event
+       cost is one atomic fetch-and-add plus a 16-byte ring write, cheap
+       enough to leave running so tail-latency incidents are always
+       attributable after the fact *)
+    let flight = if no_flight then None else Some flight in
+    if flight <> None then Obs.Recorder.enable ();
     let source =
       match (manifest, store) with
       | Some m, _ -> `Manifest m
@@ -1627,6 +1822,7 @@ let serve_cmd =
         cache_budget = cache;
         stats_interval_s = stats_interval;
         slow_query_ms;
+        flight_path = flight;
       }
     in
     (* probe up front either way: fail fast (and with the one-line error)
@@ -1690,6 +1886,18 @@ let serve_cmd =
     let request_stop _ = Atomic.set stop true in
     Sys.set_signal Sys.sigint (Sys.Signal_handle request_stop);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle request_stop);
+    (match flight with
+    | None -> ()
+    | Some path ->
+      Printf.printf "nscq serve: flight recorder on (SIGUSR1 dumps to %s)\n%!"
+        path;
+      Sys.set_signal Sys.sigusr1
+        (Sys.Signal_handle
+           (fun _ ->
+             match Obs.Recorder.write_dump path with
+             | n -> Printf.printf "nscq serve: %d flight event(s) → %s\n%!" n path
+             | exception (Sys_error _ | Unix.Unix_error _) ->
+               Printf.eprintf "nscq serve: flight dump to %s failed\n%!" path)));
     while not (Atomic.get stop) do
       (try Unix.sleepf 0.2 with Unix.Unix_error (Unix.EINTR, _, _) -> ())
     done;
@@ -1707,7 +1915,8 @@ let serve_cmd =
     Term.(
       const run $ store_opt_arg $ manifest_arg $ backend_arg $ cache_arg
       $ port_arg $ host_arg $ domains_arg $ queue_cap_arg $ max_batch_arg
-      $ stats_interval_arg $ slow_query_arg $ partial_arg $ verbose_arg)
+      $ stats_interval_arg $ slow_query_arg $ flight_arg $ no_flight_arg
+      $ partial_arg $ verbose_arg)
 
 (* --- stats --- *)
 
@@ -1962,6 +2171,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; build_cmd; query_cmd; join_cmd; trace_cmd;
-            workload_cmd; stats_cmd; repl_cmd; sql_cmd; serve_cmd; shard_cmd;
-            check_cmd; repair_cmd; export_cmd; merge_cmd; compact_cmd;
-            insert_cmd; delete_cmd; flush_cmd ]))
+            explain_cmd; flight_cmd; workload_cmd; stats_cmd; repl_cmd;
+            sql_cmd; serve_cmd; shard_cmd; check_cmd; repair_cmd; export_cmd;
+            merge_cmd; compact_cmd; insert_cmd; delete_cmd; flush_cmd ]))

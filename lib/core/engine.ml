@@ -131,6 +131,37 @@ let tspan trace name f =
 let tattr trace k v =
   match trace with None -> () | Some t -> Obs.Trace.add_attr t k v
 
+(* Flight-recorder phase codes, interned once at module init so the
+   emit path is branch-and-store only. The recorder is orthogonal to
+   tracing: when enabled (the server leaves it on), phase edges are
+   recorded even for untraced queries — that is its whole point. *)
+let ph_preflight = Obs.Recorder.intern "preflight"
+let ph_prefilter = Obs.Recorder.intern "prefilter"
+let ph_retrieve = Obs.Recorder.intern "retrieve"
+let ph_eval = Obs.Recorder.intern "eval"
+let ph_verify = Obs.Recorder.intern "verify"
+let ph_minimize = Obs.Recorder.intern "minimize"
+let ph_prefetch = Obs.Recorder.intern "prefetch"
+
+(* A phase span that additionally emits recorder begin/end edges. [qid]
+   is 0 for phases outside any single query's scope (batch prefetch,
+   minimize — it runs before the query id exists). *)
+let rspan trace ~qid code name f =
+  if not (Obs.Recorder.enabled ()) then tspan trace name f
+  else begin
+    Obs.Recorder.phase_begin code ~qid;
+    Fun.protect
+      ~finally:(fun () -> Obs.Recorder.phase_end code ~qid)
+      (fun () -> tspan trace name f)
+  end
+
+let algorithm_name = function
+  | Top_down -> "top-down"
+  | Top_down_paper -> "top-down-paper"
+  | Bottom_up -> "bottom-up"
+  | Naive_scan -> "naive-scan"
+  | Signature_scan -> "signature-scan"
+
 type io_snap = { lookups : int; hits : int; misses : int; reads : int; bytes : int }
 
 let io_snap inv =
@@ -178,18 +209,20 @@ let distinct_atoms config qs =
 
 let query_prepared ?(config = default) ?trace inv (q : Query.t) =
   let all0 = io_snap inv in
+  let qid = Obs.Recorder.begin_query () in
   let finish result =
     (match trace with
     | None -> ()
     | Some t ->
       io_attrs trace all0 inv;
       Obs.Trace.add_attr t "records" (string_of_int (List.length result.records)));
+    Obs.Recorder.end_query qid ~results:(List.length result.records);
     result
   in
   let rejected =
     if not config.preflight then false
     else
-      tspan trace "preflight" (fun () ->
+      rspan trace ~qid ph_preflight "preflight" (fun () ->
           let r = preflight_rejects config inv q in
           tattr trace "rejected" (string_of_bool r);
           r)
@@ -202,7 +235,7 @@ let query_prepared ?(config = default) ?trace inv (q : Query.t) =
     match config.filter_index with
     | None -> (None, None)
     | Some fi ->
-      tspan trace "prefilter" (fun () ->
+      rspan trace ~qid ph_prefilter "prefilter" (fun () ->
           match
             Filter_index.candidate_records fi ~join:config.join
               ~embedding:config.embedding (Query.to_value q)
@@ -248,7 +281,7 @@ let query_prepared ?(config = default) ?trace inv (q : Query.t) =
     ~finally:(fun () -> if transient then IF.detach_cache inv)
     (fun () ->
       if traced_retrieval then
-        tspan trace "retrieve" (fun () ->
+        rspan trace ~qid ph_retrieve "retrieve" (fun () ->
             let r0 = io_snap inv in
             List.iter
               (fun a ->
@@ -262,7 +295,7 @@ let query_prepared ?(config = default) ?trace inv (q : Query.t) =
             io_attrs trace r0 inv);
       let t0 = Unix.gettimeofday () in
       let nodes =
-        tspan trace "eval" (fun () ->
+        rspan trace ~qid ph_eval "eval" (fun () ->
             let e0 = io_snap inv in
             let nodes =
               if pruned then begin
@@ -272,13 +305,7 @@ let query_prepared ?(config = default) ?trace inv (q : Query.t) =
               end
               else run_algorithm config ?root_filter inv q
             in
-            tattr trace "algorithm"
-              (match config.algorithm with
-              | Top_down -> "top-down"
-              | Top_down_paper -> "top-down-paper"
-              | Bottom_up -> "bottom-up"
-              | Naive_scan -> "naive-scan"
-              | Signature_scan -> "signature-scan");
+            tattr trace "algorithm" (algorithm_name config.algorithm);
             tattr trace "candidates" (string_of_int (Intset.cardinal nodes));
             io_attrs trace e0 inv;
             nodes)
@@ -295,7 +322,7 @@ let query_prepared ?(config = default) ?trace inv (q : Query.t) =
             (Intset.cardinal nodes)
             (1000. *. (Unix.gettimeofday () -. t0)));
       let nodes =
-        tspan trace "verify" (fun () ->
+        rspan trace ~qid ph_verify "verify" (fun () ->
             let v0 = io_snap inv in
             let checked = Intset.cardinal nodes in
             (* Scope: Equation 2 keeps only record roots. *)
@@ -336,7 +363,7 @@ let minimize_applicable config =
 let query ?(config = default) ?trace inv value =
   let value =
     if minimize_applicable config then
-      tspan trace "minimize" (fun () ->
+      rspan trace ~qid:0 ph_minimize "minimize" (fun () ->
           let v = Minimize.minimize value in
           tattr trace "size_before" (string_of_int (Nested.Value.size value));
           tattr trace "size_after" (string_of_int (Nested.Value.size v));
@@ -392,7 +419,7 @@ let query_batch ?(config = default) ?traces inv values =
             (List.mapi (fun i _ -> trace_for i) values)
         in
         let loaded =
-          tspan prefetch_trace "prefetch" (fun () ->
+          rspan prefetch_trace ~qid:0 ph_prefetch "prefetch" (fun () ->
               let p0 = io_snap inv in
               let loaded = IF.prefetch inv atoms in
               tattr prefetch_trace "batch_size"
@@ -463,6 +490,142 @@ let pp_plan ppf plans =
         (String.concat ", " p.leaves)
         p.candidate_count)
     plans
+
+(* --- explain profiles (Obs.Explain) --- *)
+
+let codec_label = function
+  | Invfile.Plist.Varint -> "varint"
+  | Invfile.Plist.Bitpacked -> "bitpacked"
+  | Invfile.Plist.Blocked -> "blocked"
+
+let atom_plan inv a =
+  match IF.lookup_raw inv a with
+  | None ->
+    { Obs.Explain.atom = a; list_len = 0; bytes = 0; codec = "-"; blocks = 0 }
+  | Some payload ->
+    let codec = Invfile.Plist.codec_of_bytes payload in
+    let blocks =
+      match codec with
+      | Invfile.Plist.Blocked ->
+        Invfile.Plist_blocks.n_blocks
+          (Invfile.Plist_blocks.directory payload ~pos:1)
+      | Invfile.Plist.Varint | Invfile.Plist.Bitpacked -> 0
+    in
+    {
+      Obs.Explain.atom = a;
+      list_len = Invfile.Plist.length (Invfile.Plist.of_bytes payload);
+      bytes = String.length payload;
+      codec = codec_label codec;
+      blocks;
+    }
+
+let config_kvs config =
+  [
+    ("algorithm", algorithm_name config.algorithm);
+    ("join", Format.asprintf "%a" Semantics.pp_join config.join);
+    ("embedding", Format.asprintf "%a" Semantics.pp_embedding config.embedding);
+    ("scope", match config.scope with Roots -> "roots" | Anywhere -> "anywhere");
+    ("verify", string_of_bool config.verify);
+    ("streamed", string_of_bool config.streamed);
+    ("preflight", string_of_bool config.preflight);
+    ("minimize", string_of_bool config.minimize);
+    ("wildcards", string_of_bool config.wildcards);
+  ]
+
+(* Estimated-vs-actual per phase. Actuals are read back from the very
+   trace the profiled run recorded, so they reconcile with an
+   independent [nscq trace] of the same deterministic query by
+   construction; estimates come from the paper's static model — the
+   prefilter can at best keep every record, an intersection yields at
+   most the rarest list's length, verification starts from eval's
+   survivors. *)
+let profile_phases ~record_count ~min_len (root : Obs.Trace.span) =
+  let geti name (s : Obs.Trace.span) =
+    match List.assoc_opt name s.Obs.Trace.attrs with
+    | Some v -> ( match int_of_string_opt v with Some i -> i | None -> -1)
+    | None -> -1
+  in
+  let eval_actual = ref (-1) in
+  List.map
+    (fun (s : Obs.Trace.span) ->
+      let ms = Float.max 0. s.Obs.Trace.duration_s *. 1e3 in
+      let mk ?(notes = []) est actual =
+        { Obs.Explain.phase = s.Obs.Trace.name; est; actual; ms; notes }
+      in
+      match s.Obs.Trace.name with
+      | "minimize" ->
+        mk (-1) (-1)
+          ~notes:
+            [
+              ("size_before", string_of_int (geti "size_before" s));
+              ("size_after", string_of_int (geti "size_after" s));
+            ]
+      | "preflight" ->
+        let rejected =
+          match List.assoc_opt "rejected" s.Obs.Trace.attrs with
+          | Some "true" -> true
+          | Some _ | None -> false
+        in
+        mk (-1) (-1) ~notes:[ ("rejected", string_of_bool rejected) ]
+      | "prefilter" -> mk record_count (geti "survivors" s)
+      | "prefetch" -> mk (geti "atoms" s) (geti "loaded" s)
+      | "retrieve" ->
+        let atoms = List.length s.Obs.Trace.children in
+        mk atoms atoms
+          ~notes:
+            [
+              ("hits", string_of_int (max 0 (geti "hits" s)));
+              ("misses", string_of_int (max 0 (geti "misses" s)));
+            ]
+      | "eval" ->
+        let actual = geti "candidates" s in
+        eval_actual := actual;
+        mk min_len actual
+          ~notes:
+            (match List.assoc_opt "algorithm" s.Obs.Trace.attrs with
+            | Some a -> [ ("algorithm", a) ]
+            | None -> [])
+      | "verify" -> mk !eval_actual (geti "kept" s)
+      | _ -> mk (-1) (-1))
+    root.Obs.Trace.children
+
+let profile_of_trace ?(config = default) ?(target = "store") inv value root
+    records =
+  let minimized =
+    if minimize_applicable config then Minimize.minimize value else value
+  in
+  let atoms = distinct_atoms config [ Query.of_value minimized ] in
+  let plans =
+    List.map (atom_plan inv) atoms
+    |> List.stable_sort (fun a b ->
+           Int.compare a.Obs.Explain.list_len b.Obs.Explain.list_len)
+  in
+  let min_len =
+    match plans with
+    | [] -> IF.record_count inv
+    | p :: _ -> p.Obs.Explain.list_len
+  in
+  Obs.Explain.make ~target ~query:(Nested.Syntax.to_string value)
+    ~config:(config_kvs config) ~atoms:plans
+    ~phases:(profile_phases ~record_count:(IF.record_count inv) ~min_len root)
+    ~records ()
+
+let explain_profile ?(config = default) ?target inv value =
+  let trace = Obs.Trace.create "explain" in
+  let result = query ~config ~trace inv value in
+  let root = Obs.Trace.finish trace in
+  profile_of_trace ~config ?target inv value root (List.length result.records)
+
+let explain_profile_batch ?(config = default) ?target inv values =
+  let traces = List.map (fun _ -> Some (Obs.Trace.create "explain")) values in
+  let results = query_batch ~config ~traces inv values in
+  List.map2
+    (fun (trace, value) result ->
+      let root = Obs.Trace.finish (Option.get trace) in
+      profile_of_trace ~config ?target inv value root
+        (List.length result.records))
+    (List.combine traces values)
+    results
 
 (* --- store verification & repair --- *)
 

@@ -148,6 +148,43 @@ val explain : ?config:config -> Invfile.Inverted_file.t -> Nested.Value.t -> nod
 
 val pp_plan : Format.formatter -> node_plan list -> unit
 
+val atom_plan :
+  Invfile.Inverted_file.t -> string -> Obs.Explain.atom_plan
+(** Planner-level statistics for one atom's posting list: length, payload
+    bytes, codec and block count, straight from the stored payload
+    (zeros and codec ["-"] for an absent atom). The building block the
+    profile's atom table — and the join/live/shard explain paths — share. *)
+
+val explain_profile :
+  ?config:config -> ?target:string -> Invfile.Inverted_file.t ->
+  Nested.Value.t -> Obs.Explain.t
+(** The full plan/profile behind [nscq explain] and NSCQL [EXPLAIN]:
+    executes the query once under an internal trace and returns the
+    planned atom order (posting lengths, payload bytes, codec, block
+    counts — rarest first) together with estimated vs. measured
+    candidates per phase. Actual counts are read back from the profiled
+    run's own trace, so they reconcile exactly with an independent
+    traced execution of the same query; estimates follow the paper's
+    static model (prefilter ≤ record count, eval ≤ the rarest list's
+    length, verify starts from eval's survivors). [target] labels the
+    plan node (default ["store"]). *)
+
+val profile_of_trace :
+  ?config:config -> ?target:string -> Invfile.Inverted_file.t ->
+  Nested.Value.t -> Obs.Trace.span -> int -> Obs.Explain.t
+(** [profile_of_trace inv value root records] builds the
+    {!explain_profile} value from an already-finished trace of a
+    [query ~config inv value] run — for callers (the live store, the
+    shard router) that need the query's result {e and} its profile from
+    a single evaluation. [records] is the result count to report. *)
+
+val explain_profile_batch :
+  ?config:config -> ?target:string -> Invfile.Inverted_file.t ->
+  Nested.Value.t list -> Obs.Explain.t list
+(** {!explain_profile} over a {!query_batch}: one profile per query, in
+    input order, with the block-wide [prefetch] phase attributed to the
+    first profile — mirroring how batched traces attribute it. *)
+
 (** {1 Verification & repair}
 
     The durability story end-to-end: {!Invfile.Journal} makes updates

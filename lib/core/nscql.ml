@@ -184,6 +184,7 @@ type outcome =
   | Records of { ids : int list; limit : int option }
   | Count of int
   | Plan of Engine.node_plan list
+  | Profile of Obs.Explain.t
   | Witnesses of (int * Embed.witness) list
   | Inserted of int
   | Deleted of bool
@@ -235,7 +236,7 @@ let execute inv stmt =
     | Find ->
       Records { ids = (Engine.query ~config inv value).Engine.records; limit }
     | Count -> Count (List.length (Engine.query ~config inv value).Engine.records)
-    | Explain -> Plan (Engine.explain ~config inv value)
+    | Explain -> Profile (Engine.explain_profile ~config inv value)
     | Witness -> Witnesses (Engine.witnesses ~config inv value))
 
 let run inv input =
@@ -260,6 +261,7 @@ let pp_outcome ~collection ppf = function
       Format.fprintf ppf "  … and %d more (add LIMIT n)@." (List.length ids - cap)
   | Count n -> Format.fprintf ppf "%d@." n
   | Plan plan -> Engine.pp_plan ppf plan
+  | Profile p -> Format.fprintf ppf "%s@." (Obs.Explain.render p)
   | Witnesses [] -> Format.fprintf ppf "no matches@."
   | Witnesses ws ->
     List.iteri

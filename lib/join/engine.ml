@@ -582,6 +582,94 @@ let join ?(config = default) ?trace inv values =
         stats.pairs);
   { pairs; stats }
 
+(* --- explain (Obs.Explain) ---
+
+   The join's profile mirrors the per-query engine's: run once under an
+   internal trace, then read the measured counts back out of the phase
+   spans themselves, so the numbers reconcile exactly with what an
+   independent traced run would report. Estimates are the static upper
+   bounds the adaptive cuts work against: every outer query could take
+   the fast path, every tree node could be expanded, and every checked
+   candidate could survive. *)
+
+let explain ?(config = default) ?(target = "join") inv values =
+  let trace = Obs.Trace.create "explain-join" in
+  let result = join ~config ~trace inv values in
+  let root = Obs.Trace.finish trace in
+  let geti name (s : Obs.Trace.span) =
+    match List.assoc_opt name s.Obs.Trace.attrs with
+    | Some v -> ( match int_of_string_opt v with Some i -> i | None -> -1)
+    | None -> -1
+  in
+  let note name s =
+    match List.assoc_opt name s.Obs.Trace.attrs with
+    | Some v -> [ (name, v) ]
+    | None -> []
+  in
+  let n_outer = List.length values in
+  (* the tree-size attrs land on build-tree — intersect's static bound *)
+  let tree_nodes =
+    match
+      List.find_opt
+        (fun (s : Obs.Trace.span) -> String.equal s.Obs.Trace.name "build-tree")
+        root.Obs.Trace.children
+    with
+    | None -> -1
+    | Some bt ->
+      let n = geti "node_tree_nodes" bt and r = geti "root_tree_nodes" bt in
+      if n < 0 || r < 0 then -1 else n + r
+  in
+  let phases =
+    List.map
+      (fun (s : Obs.Trace.span) ->
+        let mk est actual notes =
+          {
+            Obs.Explain.phase = s.Obs.Trace.name;
+            est;
+            actual;
+            ms = Float.max 0. s.Obs.Trace.duration_s *. 1e3;
+            notes;
+          }
+        in
+        match s.Obs.Trace.name with
+        | "build-tree" ->
+          mk n_outer (geti "fast_path" s)
+            (note "preflight_rejected" s @ note "fallback" s
+           @ note "distinct_atoms" s)
+        | "intersect" ->
+          mk tree_nodes (geti "nodes_expanded" s)
+            (note "intersections_shared" s
+            @ note "intersections_recomputed" s
+            @ note "limit_cuts" s)
+        | "verify" ->
+          mk (geti "candidates_checked" s) (geti "pairs" s)
+            (note "fallback_queries" s)
+        | _ -> mk (-1) (-1) [])
+      root.Obs.Trace.children
+  in
+  let atoms =
+    List.concat_map Nested.Value.atom_universe values
+    |> List.sort_uniq String.compare
+    |> List.map (E.atom_plan inv)
+    |> List.stable_sort (fun (a : Obs.Explain.atom_plan) b ->
+           Int.compare a.Obs.Explain.list_len b.Obs.Explain.list_len)
+  in
+  let query =
+    match values with
+    | [ v ] -> Nested.Syntax.to_string v
+    | vs -> Printf.sprintf "<%d outer values>" (List.length vs)
+  in
+  let config_kvs =
+    [
+      ("join", "containment-join");
+      ("max_depth", string_of_int config.max_depth);
+      ("cut_candidates", string_of_int config.cut_candidates);
+      ("cut_fanout", string_of_int config.cut_fanout);
+    ]
+  in
+  Obs.Explain.make ~target ~query ~config:config_kvs ~atoms ~phases
+    ~records:result.stats.pairs ()
+
 let naive ?config inv values =
   E.containment_join ?config inv values
   |> List.concat_map (fun (qi, records) ->

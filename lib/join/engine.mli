@@ -91,6 +91,19 @@ val join :
     @raise Containment.Semantics.Unsupported as the engine does for the
     configured semantics. *)
 
+val explain :
+  ?config:config -> ?target:string -> Invfile.Inverted_file.t ->
+  Nested.Value.t list -> Obs.Explain.t
+(** The join-side counterpart of
+    {!Containment.Engine.explain_profile}: runs the join once under an
+    internal trace and reports the outer collection's distinct atoms
+    (rarest first) plus the three phases — [build-tree] (est: every
+    outer query takes the fast path), [intersect] (est: every tree node
+    is expanded), [verify] (est: every checked candidate survives) —
+    with measured counts read back from the run's own trace, so they
+    reconcile exactly with an independent traced [join]. [target]
+    defaults to ["join"]. *)
+
 val naive :
   ?config:Containment.Engine.config -> Invfile.Inverted_file.t ->
   Nested.Value.t list -> (int * int) list

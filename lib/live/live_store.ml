@@ -155,6 +155,7 @@ let signal_compactor t =
    4. only then mutate in-memory state and delete the old WAL. *)
 let do_flush_locked ?trace t =
   let t0 = Unix.gettimeofday () in
+  Obs.Recorder.flush_begin ~records:t.mem_live;
   let run () =
     let lives = ref [] in
     for local = t.mem_len - 1 downto 0 do
@@ -219,6 +220,7 @@ let do_flush_locked ?trace t =
     | Some h -> Obs.Metrics.observe h ((Unix.gettimeofday () -. t0) *. 1000.)
     | None -> ());
     signal_compactor t;
+    Obs.Recorder.flush_end ~records:(List.length lives);
     List.length lives
   in
   match trace with
@@ -343,6 +345,45 @@ let query_batch ?(config = E.default) t values =
             per_seg
           @ translate_mem t (List.nth mem_rs i))
         values)
+
+(* One evaluation per part: each part runs under its own trace, the
+   profile is derived from that same trace ([E.profile_of_trace]), and
+   the reported record counts are the post-tombstone global ids — so the
+   top-level total equals what {!query} returns and the per-part phase
+   counts reconcile with a traced {!query}'s per-segment spans. *)
+let explain ?(config = E.default) ?(target = "live") t v =
+  check_engine_config config;
+  locked t (fun () ->
+      ensure_open t;
+      let run_part label inv translate_fn =
+        let trace = Obs.Trace.create "explain" in
+        let locals = (E.query ~config ~trace inv v).E.records in
+        let root = Obs.Trace.finish trace in
+        let gids = translate_fn locals in
+        ( E.profile_of_trace ~config ~target:label inv v root
+            (List.length locals),
+          List.length gids )
+      in
+      let parts =
+        List.map
+          (fun seg ->
+            run_part
+              ("segment:" ^ seg.Segment.file)
+              seg.Segment.inv
+              (fun locals -> translate seg locals t.tombstones))
+          t.segments
+        @ [ run_part "memtable" t.mem (translate_mem t) ]
+      in
+      Obs.Explain.make ~target
+        ~query:(Nested.Syntax.to_string v)
+        ~config:
+          [
+            ("segments", string_of_int (List.length t.segments));
+            ("memtable_records", string_of_int t.mem_live);
+            ("tombstones", string_of_int (Hashtbl.length t.tombstones));
+          ]
+        ~records:(List.fold_left (fun n (_, k) -> n + k) 0 parts)
+        ~subs:(List.map fst parts) ())
 
 let join ?(config = Join.Engine.default) ?trace t values =
   check_engine_config config.Join.Engine.engine;
@@ -487,6 +528,7 @@ let compact ?trace ?(all = false) t =
   | None -> None
   | Some plan ->
     let reset_compacting () = locked t (fun () -> t.compacting <- false) in
+    Obs.Recorder.compact_begin ~segments:(List.length plan.src_files);
     (try
        let t0 = Unix.gettimeofday () in
        let run () =
@@ -605,9 +647,12 @@ let compact ?trace ?(all = false) t =
                r)
        in
        reset_compacting ();
+       Obs.Recorder.compact_end
+         ~segments:(match result with Some n -> n | None -> 0);
        result
      with exn ->
        reset_compacting ();
+       Obs.Recorder.compact_end ~segments:0;
        raise exn)
 
 (* --- background compaction domain --- *)

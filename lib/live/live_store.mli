@@ -125,6 +125,17 @@ val query_batch :
 (** One lock acquisition and one {!Containment.Engine.query_batch} per
     segment for the whole block. *)
 
+val explain :
+  ?config:Containment.Engine.config -> ?target:string ->
+  t -> Nested.Value.t -> Obs.Explain.t
+(** The live-store EXPLAIN: one
+    {!Containment.Engine.profile_of_trace} sub-plan per sealed segment
+    (target [segment:<file>]) plus one for the memtable, each derived
+    from a single evaluation of that part, under the top-level [target]
+    (default ["live"]) whose [records] is the post-tombstone total —
+    exactly {!query}'s result count. Rejects a [filter_index] config as
+    {!query} does. *)
+
 val join :
   ?config:Join.Engine.config -> ?trace:Obs.Trace.t ->
   t -> Nested.Value.t list -> (int * int) list

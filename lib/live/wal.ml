@@ -93,7 +93,16 @@ let open_existing ~wrap ~sync file =
 let append t op =
   t.kv.Storage.Kv.put (key t.next_seq) (encode_op op);
   t.next_seq <- t.next_seq + 1;
-  if t.sync then t.kv.Storage.Kv.sync ()
+  if t.sync then
+    if Obs.Recorder.enabled () then begin
+      (* the fsync is the write path's dominant stall — time it into the
+         flight recorder so a p99 outlier can name it *)
+      let t0 = Unix.gettimeofday () in
+      t.kv.Storage.Kv.sync ();
+      Obs.Recorder.wal_fsync
+        ~dur_us:(int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+    end
+    else t.kv.Storage.Kv.sync ()
 
 let length t = t.next_seq
 let path t = t.file

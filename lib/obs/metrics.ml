@@ -186,19 +186,41 @@ let escape_label v =
     v;
   Buffer.contents buf
 
+(* HELP text is free-form to end of line: the exposition format escapes
+   backslash and newline there (label values additionally escape the
+   double quote, [escape_label]). *)
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
 let label_str labels =
   match labels with
   | [] -> ""
   | ls ->
       "{"
       ^ String.concat ","
-          (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k (escape_label v)) ls)
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v))
+             ls)
       ^ "}"
 
 let fmt_float v =
   if Float.is_integer v && Float.abs v < 1e15 then
     Printf.sprintf "%.0f" v
   else Printf.sprintf "%g" v
+
+(* Bucket lines splice the series labels before the [le] label. *)
+let bucket_label_prefix labels =
+  String.concat ""
+    (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"," k (escape_label v))
+       labels)
 
 let render_text t =
   let buf = Buffer.create 1024 in
@@ -209,7 +231,7 @@ let render_text t =
         Hashtbl.add seen_header s.name ();
         if s.help <> "" then
           Buffer.add_string buf
-            (Printf.sprintf "# HELP %s %s\n" s.name s.help);
+            (Printf.sprintf "# HELP %s %s\n" s.name (escape_help s.help));
         Buffer.add_string buf
           (Printf.sprintf "# TYPE %s %s\n" s.name (kind_name s.inst))
       end;
@@ -233,27 +255,13 @@ let render_text t =
               if c > 0 || i = 0 then
                 Buffer.add_string buf
                   (Printf.sprintf "%s_bucket{%sle=\"%s\"} %d\n" s.name
-                     (match s.labels with
-                     | [] -> ""
-                     | ls ->
-                         String.concat ""
-                           (List.map
-                              (fun (k, v) ->
-                                Printf.sprintf "%s=%S," k (escape_label v))
-                              ls))
+                     (bucket_label_prefix s.labels)
                      (fmt_float (bucket_upper i))
                      !cum))
             counts;
           Buffer.add_string buf
             (Printf.sprintf "%s_bucket{%sle=\"+Inf\"} %d\n" s.name
-               (match s.labels with
-               | [] -> ""
-               | ls ->
-                   String.concat ""
-                     (List.map
-                        (fun (k, v) ->
-                          Printf.sprintf "%s=%S," k (escape_label v))
-                        ls))
+               (bucket_label_prefix s.labels)
                !cum);
           Buffer.add_string buf
             (Printf.sprintf "%s_sum%s %s\n" s.name ls (fmt_float (hist_sum h)));

@@ -1,0 +1,110 @@
+(** Always-on flight recorder: lock-free per-domain event rings.
+
+    Every domain that emits gets its own fixed-size binary ring of
+    16-byte event slots; a slot is claimed with one [fetch_and_add], so
+    recording neither locks nor allocates. The server leaves the
+    recorder on permanently ([nscq serve]) and dumps the merged,
+    time-sorted timeline next to slow-query log lines, on [SIGUSR1],
+    and on demand — attributing a p99 outlier to compaction, an fsync
+    stall, queueing, or lock contention after the fact.
+
+    When disabled (the default), {!emit} is one atomic load and a
+    branch. Readers ({!events}, {!write_dump}) race benignly with
+    writers: a slot overwritten mid-read decodes as garbage at the
+    oldest edge of the timeline and is dropped, never mis-parsed. *)
+
+type kind =
+  | Query_begin  (** a32 = query sequence id *)
+  | Query_end  (** a32 = id, a16 = result count (clamped) *)
+  | Phase_begin  (** a8 = interned phase name, a32 = query id *)
+  | Phase_end
+  | Wal_fsync  (** a32 = fsync duration µs *)
+  | Flush_begin  (** a32 = memtable records *)
+  | Flush_end
+  | Compact_begin  (** a32 = segments merged *)
+  | Compact_end
+  | Batch  (** a16 = coalesced batch size *)
+  | Lock_wait  (** a8 = interned lock class, a32 = wait µs *)
+
+val kind_name : kind -> string
+
+(** {1 Lifecycle} *)
+
+val enable : unit -> unit
+(** Turns recording on and installs the {!Lockdep.set_wait_hook} that
+    turns contended mutex acquires into [Lock_wait] events. *)
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val configure : slots:int -> unit
+(** Ring capacity in events for rings created {e after} the call,
+    rounded up to a power of two (min 16; default 4096 ≈ 64 KiB per
+    domain). Call before {!enable}. *)
+
+val reset : unit -> unit
+(** Test hook: clears every ring. *)
+
+val stats : unit -> int * int
+(** [(total, overwritten)] events across all rings since start. *)
+
+(** {1 Recording} *)
+
+val emit : ?a8:int -> ?a16:int -> ?a32:int -> kind -> unit
+
+val intern : string -> int
+(** Stable u8 code for a phase / lock-class name. Instrumentation sites
+    intern once at init so the emit path never touches the name table;
+    a full table (>255 names) interns to 0, which decodes as unknown. *)
+
+val name_of : int -> string option
+
+val begin_query : unit -> int
+(** Fresh query id and a [Query_begin] event; [0] when disabled. *)
+
+val end_query : int -> results:int -> unit
+(** No-op for id [0], so begin/end pair cleanly across enable states. *)
+
+val phase_begin : int -> qid:int -> unit
+val phase_end : int -> qid:int -> unit
+val wal_fsync : dur_us:int -> unit
+val flush_begin : records:int -> unit
+val flush_end : records:int -> unit
+val compact_begin : segments:int -> unit
+val compact_end : segments:int -> unit
+val batch : size:int -> unit
+
+(** {1 Decoding} *)
+
+type event = {
+  time_us : int64;
+  domain : int;
+  kind : kind;
+  a8 : int;
+  a16 : int;
+  a32 : int;
+}
+
+val events : unit -> event list
+(** Live snapshot: every ring's surviving events merged and sorted by
+    timestamp. *)
+
+exception Corrupt of string
+
+val write_dump : string -> int
+(** Writes the merged timeline plus the name table to a binary file
+    (atomic rename); returns the event count. *)
+
+val read_dump : string -> (int * string) list * event list
+(** Name table and events of a {!write_dump} file.
+    @raise Corrupt on a malformed file. *)
+
+(** {1 Rendering} *)
+
+val render : ?names:(int * string) list -> event list -> string
+(** One line per event — relative ms, domain, kind, decoded payload —
+    with end events annotated with the elapsed time since their
+    matching begin on the same domain. *)
+
+val render_json : ?names:(int * string) list -> event list -> string

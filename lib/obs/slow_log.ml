@@ -1,3 +1,44 @@
+(* ---- bounded retention ----
+
+   The server keeps the most recent slow-query lines for inspection
+   ([nscq stats --connect]); under sustained slow traffic an unbounded
+   list would grow without limit, so retention is a fixed ring — the
+   oldest entry is overwritten and counted, never accumulated. *)
+
+type t = {
+  lock : Lockdep.t;
+  ring : string array; [@lint.guarded_by lock]
+  mutable next : int; [@lint.guarded_by lock] (* total entries ever added *)
+}
+
+let create ?(capacity = 128) () =
+  {
+    lock = Lockdep.create "obs.slow_log";
+    ring = Array.make (max 1 capacity) "";
+    next = 0;
+  }
+
+let capacity t = Array.length t.ring
+
+let add t line =
+  Lockdep.protect t.lock (fun () ->
+      t.ring.(t.next mod Array.length t.ring) <- line;
+      t.next <- t.next + 1)
+
+let length t =
+  Lockdep.protect t.lock (fun () -> min t.next (Array.length t.ring))
+
+let dropped t =
+  Lockdep.protect t.lock (fun () -> max 0 (t.next - Array.length t.ring))
+
+let entries t =
+  Lockdep.protect t.lock (fun () ->
+      let cap = Array.length t.ring in
+      let n = min t.next cap in
+      List.init n (fun i -> t.ring.((t.next - n + i) mod cap)))
+
+(* ---- line formatting ---- *)
+
 let sanitize v =
   String.map (fun c -> if c = ' ' || c = '\n' || c = '\t' then '_' else c) v
 

@@ -5,7 +5,30 @@
     [key=value] format carrying the query digest, latency vs. threshold,
     the per-phase breakdown and I/O deltas pulled from the request's
     trace. One line per offence keeps the log greppable and cheap —
-    aggregation lives in the metrics registry, not here. *)
+    aggregation lives in the metrics registry, not here.
+
+    Retention is bounded: {!t} is a fixed-capacity ring — sustained slow
+    traffic overwrites the oldest entries and bumps {!dropped} instead
+    of growing memory. *)
+
+type t
+(** A bounded, thread-safe buffer of recent slow-query lines. *)
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity 128 entries. *)
+
+val capacity : t -> int
+
+val add : t -> string -> unit
+(** Appends, evicting the oldest entry once full. *)
+
+val entries : t -> string list
+(** Retained entries, oldest first. *)
+
+val length : t -> int
+
+val dropped : t -> int
+(** Entries evicted so far — how much history the ring has lost. *)
 
 val line :
   ?digest:string ->

@@ -72,3 +72,10 @@ val to_wire : ?id:int -> span -> string
 
 val of_wire : string -> (int * span) option
 (** Parses {!to_wire} output; [None] if the payload is not a trace. *)
+
+val escape : string -> string
+(** %-escapes tab, newline, [=] and [%] — the encoding the tab/line
+    wire forms (this module's and {!Explain}'s) use for free-text
+    fields. *)
+
+val unescape : string -> string

@@ -7,6 +7,7 @@ type request =
   | Join of Nested.Value.t list
   | Insert of Nested.Value.t
   | Delete of int
+  | Explain of Nested.Value.t
 
 let parse ?(writable = false) text =
   let text = String.trim text in
@@ -32,6 +33,15 @@ let parse_insert text =
   | Some v when Nested.Value.is_set v -> Ok (Insert v)
   | Some _ -> Error "insert: value must be a set, not a bare atom"
   | None -> Error "insert: parse error: expected a nested-set literal"
+
+(* The wire [Explain] verb's text: one nested-set literal to plan and
+   profile. *)
+let parse_explain text =
+  let text = String.trim text in
+  match Nested.Syntax.of_string_opt text with
+  | Some v when Nested.Value.is_set v -> Ok (Explain v)
+  | Some _ -> Error "explain: value must be a set, not a bare atom"
+  | None -> Error "explain: parse error: expected a nested-set literal"
 
 (* The wire [Delete] verb's text: one decimal global record id. *)
 let parse_delete text =
@@ -66,7 +76,7 @@ let parse_join text =
 
 let batchable = function
   | Literal _ -> true
-  | Statement _ | Traced _ | Join _ | Insert _ | Delete _ -> false
+  | Statement _ | Traced _ | Join _ | Insert _ | Delete _ | Explain _ -> false
 
 (* Two join requests share one evaluation — and thus one prefix-tree
    build — when their outer collections are identical. Concurrent

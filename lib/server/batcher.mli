@@ -29,6 +29,10 @@ type request =
   | Delete of int
       (** delete one record by global id ([Delete] wire verb, or NSCQL
           [DELETE] when the server is writable) *)
+  | Explain of Nested.Value.t
+      (** plan and profile one literal instead of answering it ([Explain]
+          wire verb) — runs singly; the reply is an
+          {!Obs.Explain.to_wire} plan tree *)
 
 val parse : ?writable:bool -> string -> (request, string) result
 (** Classifies a wire [Query] verb's text: leading ['{'] means a literal,
@@ -45,6 +49,10 @@ val parse_insert : string -> (request, string) result
 val parse_delete : string -> (request, string) result
 (** Parses a wire [Delete] verb's text — one decimal global record id —
     into a {!Delete} request. *)
+
+val parse_explain : string -> (request, string) result
+(** Parses a wire [Explain] verb's text — one nested-set literal — into
+    an {!Explain} request. *)
 
 val parse_join : string -> (request, string) result
 (** Parses a wire [Join] verb's text — one nested-set literal per line,

@@ -61,6 +61,9 @@ let query t ?(deadline_ms = 0) text = roundtrip t (Wire.Query text) ~deadline_ms
 let join t ?(deadline_ms = 0) text = roundtrip t (Wire.Join text) ~deadline_ms
 let stats t = roundtrip t Wire.Stats ~deadline_ms:0
 
+let explain t ?(deadline_ms = 0) text =
+  roundtrip t (Wire.Explain text) ~deadline_ms
+
 let trace t ?(deadline_ms = 0) ?trace_id text =
   roundtrip t ?trace:trace_id (Wire.Trace text) ~deadline_ms
 

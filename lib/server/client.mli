@@ -34,6 +34,14 @@ val join :
     outer query), parse it with {!Wire.split_join}. Servers predating
     the verb answer with a protocol error. *)
 
+val explain :
+  t -> ?deadline_ms:int -> string ->
+  (string, Wire.error_code * string) result
+(** Sends a nested-set literal under the [Explain] verb and blocks for
+    the plan/profile payload — an {!Obs.Explain.to_wire} tree, parse it
+    with {!Obs.Explain.of_wire}. Servers predating the verb answer with
+    a protocol error. *)
+
 val stats : t -> (string, Wire.error_code * string) result
 (** The server's aggregated counters ({!Server_stats.render}) followed by
     the metrics-registry text exposition

@@ -24,6 +24,10 @@ type t = {
   max_batch : int;
   n_domains : int;
   slow_ms : float; (* <= 0. disables the slow-query log *)
+  slow_log : Obs.Slow_log.t;
+  flight_path : string option;
+      (* where a slow request auto-dumps the flight recorder *)
+  flight_last : int Atomic.t; (* unix seconds of the last auto-dump *)
   mutable state : state;
   mutable paused : bool;
   stats : Server_stats.t;
@@ -50,6 +54,7 @@ type backend = {
   run_join : Nested.Value.t list -> string;
   run_insert : Nested.Value.t -> string;
   run_delete : int -> string;
+  run_explain : Nested.Value.t -> string;
   io_totals : unit -> io_totals;
   close : unit -> unit;
 }
@@ -93,6 +98,9 @@ let store_backend ?(config = E.default) ~cache_budget ~open_handle () =
              r.Join.Engine.pairs));
     run_insert = read_only_refusal;
     run_delete = read_only_refusal;
+    run_explain =
+      (fun value ->
+        Obs.Explain.to_wire (E.explain_profile ~config inv value));
     io_totals =
       (fun () ->
         let lk = IF.lookup_stats inv and st = (IF.store inv).Storage.Kv.stats in
@@ -154,9 +162,10 @@ let live_backend ?(config = E.default) ~store () =
           Buffer.contents b
         | Containment.Nscql.Count ->
           string_of_int (List.length (L.query ~config store value))
-        | Containment.Nscql.Explain | Containment.Nscql.Witness ->
-          invalid_arg
-            "EXPLAIN/WITNESS are not supported over a live store yet"))
+        | Containment.Nscql.Explain ->
+          Obs.Explain.render (L.explain ~config store value)
+        | Containment.Nscql.Witness ->
+          invalid_arg "WITNESS is not supported over a live store yet"))
   in
   {
     run_literals =
@@ -187,6 +196,8 @@ let live_backend ?(config = E.default) ~store () =
     run_insert = (fun v -> string_of_int (L.insert store v));
     run_delete =
       (fun id -> if L.delete store id then "deleted" else "not-found");
+    run_explain =
+      (fun value -> Obs.Explain.to_wire (L.explain ~config store value));
     io_totals =
       (fun () -> { lookups = 0; hits = 0; misses = 0; reads = 0; bytes_read = 0 });
     close = (fun () -> ());
@@ -230,6 +241,31 @@ let refusal_of_exn = function
 let digest_of_value v =
   Printf.sprintf "%08lx" (Storage.Checksum.crc32 (Nested.Value.to_string v))
 
+(* When a slow request fires and a flight path is configured, snapshot
+   the recorder rings next to it — rate-limited to one dump per
+   [flight_min_gap_s] so a burst of slow queries doesn't turn the
+   recorder into a disk hose. The CAS claims the dump slot; losers just
+   skip (their events are in the winner's dump anyway). *)
+let flight_min_gap_s = 10
+
+let maybe_flight_dump t =
+  match t.flight_path with
+  | None -> ()
+  | Some path ->
+    if Obs.Recorder.enabled () then begin
+      let now = int_of_float (Unix.gettimeofday ()) in
+      let last = Atomic.get t.flight_last in
+      if
+        now - last >= flight_min_gap_s
+        && Atomic.compare_and_set t.flight_last last now
+      then
+        match Obs.Recorder.write_dump path with
+        | n ->
+          Log.info (fun m -> m "flight recorder: %d event(s) dumped to %s" n path)
+        | exception (Sys_error _ | Unix.Unix_error _) ->
+          Log.debug (fun m -> m "flight dump to %s failed" path)
+    end
+
 let maybe_slow t job ?trace () =
   if t.slow_ms > 0. then begin
     let latency_ms = (Unix.gettimeofday () -. job.enqueued_at) *. 1000. in
@@ -244,12 +280,15 @@ let maybe_slow t job ?trace () =
           Printf.sprintf "join[%d]" (List.length values)
         | Batcher.Insert v -> "insert:" ^ digest_of_value v
         | Batcher.Delete id -> Printf.sprintf "delete:%d" id
+        | Batcher.Explain v -> "explain:" ^ digest_of_value v
       in
       let trace = Option.map Obs.Trace.finish trace in
-      Log.warn (fun m ->
-          m "%s"
-            (Obs.Slow_log.line ~digest ?trace ~latency_ms
-               ~threshold_ms:t.slow_ms ()))
+      let line =
+        Obs.Slow_log.line ~digest ?trace ~latency_ms ~threshold_ms:t.slow_ms ()
+      in
+      Obs.Slow_log.add t.slow_log line;
+      Log.warn (fun m -> m "%s" line);
+      maybe_flight_dump t
     end
   end
 
@@ -303,6 +342,14 @@ let execute_group t backend jobs =
     | exception exn ->
       let code, msg = refusal_of_exn exn in
       finish t job (Refused (code, msg)))
+  | [ { request = Batcher.Explain value; _ } as job ] -> (
+    match backend.run_explain value with
+    | payload ->
+      finish t job (Data payload);
+      maybe_slow t job ()
+    | exception exn ->
+      let code, msg = refusal_of_exn exn in
+      finish t job (Refused (code, msg)))
   | jobs -> (
     (* an all-literal block (Batcher.coalesce groups nothing else); a
        stray non-literal is an internal bug, but the wire protocol has an
@@ -313,7 +360,7 @@ let execute_group t backend jobs =
           match j.request with
           | Batcher.Literal _ -> true
           | Batcher.Statement _ | Batcher.Traced _ | Batcher.Join _
-          | Batcher.Insert _ | Batcher.Delete _ -> false)
+          | Batcher.Insert _ | Batcher.Delete _ | Batcher.Explain _ -> false)
         jobs
     in
     List.iter
@@ -391,6 +438,7 @@ let worker t open_backend () =
             dead;
           if live <> [] then begin
             Server_stats.record_batch t.stats ~size:(List.length live);
+            Obs.Recorder.batch ~size:(List.length live);
             execute_group t backend live;
             report_io t backend snap
           end;
@@ -401,8 +449,8 @@ let worker t open_backend () =
 
 (* --- caller side --- *)
 
-let create ?(paused = false) ?(slow_ms = 0.) ~domains ~queue_cap ~max_batch
-    ~open_backend ~stats () =
+let create ?(paused = false) ?(slow_ms = 0.) ?flight_path ~domains ~queue_cap
+    ~max_batch ~open_backend ~stats () =
   if domains < 1 then invalid_arg "Dispatch.create: domains must be ≥ 1";
   if queue_cap < 1 then invalid_arg "Dispatch.create: queue_cap must be ≥ 1";
   if max_batch < 1 then invalid_arg "Dispatch.create: max_batch must be ≥ 1";
@@ -415,6 +463,9 @@ let create ?(paused = false) ?(slow_ms = 0.) ~domains ~queue_cap ~max_batch
       max_batch;
       n_domains = domains;
       slow_ms;
+      slow_log = Obs.Slow_log.create ();
+      flight_path;
+      flight_last = Atomic.make 0;
       state = Running;
       paused;
       stats;
@@ -454,6 +505,7 @@ let resume t =
 
 let queue_depth t = locked t (fun () -> Queue.length t.queue)
 let domains t = t.n_domains
+let slow_log t = t.slow_log
 
 let drain t =
   let joinable =

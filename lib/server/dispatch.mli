@@ -60,6 +60,10 @@ type backend = {
           (surfaced as [Bad_request]) *)
   run_delete : int -> string;
       (** one [Delete]-verb request; ["deleted"] or ["not-found"] *)
+  run_explain : Nested.Value.t -> string;
+      (** one [Explain]-verb request: plan and profile the literal
+          instead of answering it; the payload is an
+          {!Obs.Explain.to_wire} plan tree *)
   io_totals : unit -> io_totals;
   close : unit -> unit;
 }
@@ -94,6 +98,7 @@ val live_backend :
 val create :
   ?paused:bool ->
   ?slow_ms:float ->
+  ?flight_path:string ->
   domains:int ->
   queue_cap:int ->
   max_batch:int ->
@@ -114,7 +119,12 @@ val create :
     [nscq_slow_queries_total]. The default [0.] disables it — and skips
     the per-request trace allocation entirely.
     @raise Invalid_argument if [domains < 1], [queue_cap < 1] or
-    [max_batch < 1]. *)
+    [max_batch < 1].
+
+    [flight_path] arms slow-query flight dumps: when a slow line fires
+    and the {!Obs.Recorder} is enabled, the recorder rings are written
+    there ({!Obs.Recorder.write_dump}), rate-limited to one dump every
+    10 s so bursts don't thrash the disk. *)
 
 val submit :
   t -> ?deadline:float -> request:Batcher.request -> reply:(reply -> unit) ->
@@ -129,6 +139,11 @@ val resume : t -> unit
 
 val queue_depth : t -> int
 val domains : t -> int
+
+val slow_log : t -> Obs.Slow_log.t
+(** The bounded in-memory ring of slow-query lines (newest
+    [Obs.Slow_log.capacity] kept; older ones counted in
+    {!Obs.Slow_log.dropped}). *)
 
 val drain : t -> unit
 (** Graceful shutdown: stop admitting, let the workers finish everything

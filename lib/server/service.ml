@@ -11,6 +11,7 @@ type config = {
   cache_budget : int;
   stats_interval_s : float;
   slow_query_ms : float;
+  flight_path : string option;
   engine : Containment.Engine.config;
   writable : bool;
 }
@@ -25,6 +26,7 @@ let default_config =
     cache_budget = 250;
     stats_interval_s = 10.;
     slow_query_ms = 0.;
+    flight_path = None;
     engine = Containment.Engine.default;
     writable = false;
   }
@@ -150,6 +152,11 @@ let handle_request t conn ~id ~deadline_ms ~trace_id verb =
     | Error message ->
       send conn (Wire.Error { id; code = Wire.Bad_request; message })
     | Ok request -> submit_request t conn ~id ~deadline_ms request)
+  | Wire.Explain text -> (
+    match Batcher.parse_explain text with
+    | Error message ->
+      send conn (Wire.Error { id; code = Wire.Bad_request; message })
+    | Ok request -> submit_request t conn ~id ~deadline_ms request)
   | Wire.Trace text -> (
     match Batcher.parse text with
     | Ok (Batcher.Literal value) ->
@@ -171,7 +178,7 @@ let handle_request t conn ~id ~deadline_ms ~trace_id verb =
              code = Wire.Bad_request;
              message = "trace expects a nested-set literal, not a write";
            })
-    | Ok (Batcher.Traced _ | Batcher.Join _) ->
+    | Ok (Batcher.Traced _ | Batcher.Join _ | Batcher.Explain _) ->
       (* parse never builds these; answer with an error frame rather
          than killing the connection thread *)
       send conn
@@ -274,7 +281,8 @@ let start_with ?(paused = false) cfg ~open_backend =
   in
   let server_stats = Server_stats.create () in
   let dispatch =
-    Dispatch.create ~paused ~slow_ms:cfg.slow_query_ms ~domains:cfg.domains
+    Dispatch.create ~paused ~slow_ms:cfg.slow_query_ms
+      ?flight_path:cfg.flight_path ~domains:cfg.domains
       ~queue_cap:cfg.queue_cap ~max_batch:cfg.max_batch ~open_backend
       ~stats:server_stats ()
   in

@@ -26,6 +26,10 @@ type config = {
       (** slow-query log threshold: requests slower than this (queue entry
           → reply) emit one structured {!Obs.Slow_log} line with their
           phase breakdown; [<= 0] (the default) disables it *)
+  flight_path : string option;
+      (** where slow requests auto-dump the {!Obs.Recorder} flight rings
+          (rate-limited to one dump every 10 s); [None] (the default)
+          disables auto-dumps *)
   engine : Containment.Engine.config;  (** config for literal queries *)
   writable : bool;
       (** accept NSCQL [INSERT]/[DELETE] through the [Query] verb — set

@@ -12,6 +12,7 @@ type verb =
   | Join of string
   | Insert of string
   | Delete of string
+  | Explain of string
 
 type frame =
   | Hello of { version : int }
@@ -47,7 +48,8 @@ let pp_frame ppf = function
       | Trace q -> Printf.sprintf "trace %S" q
       | Join q -> Printf.sprintf "join %S" q
       | Insert q -> Printf.sprintf "insert %S" q
-      | Delete q -> Printf.sprintf "delete %S" q)
+      | Delete q -> Printf.sprintf "delete %S" q
+      | Explain q -> Printf.sprintf "explain %S" q)
       (match trace with
       | None -> ""
       | Some t -> Printf.sprintf " trace_id=%d" t)
@@ -104,7 +106,7 @@ let payload_of = function
        as protocol v1 did — old peers keep interoperating *)
     let text =
       match verb with
-      | Query q | Trace q | Join q | Insert q | Delete q -> q
+      | Query q | Trace q | Join q | Insert q | Delete q | Explain q -> q
       | Stats -> ""
     in
     let base =
@@ -115,6 +117,7 @@ let payload_of = function
       | Join _ -> 3
       | Insert _ -> 4
       | Delete _ -> 5
+      | Explain _ -> 6
     in
     let tlen = match trace with None -> 0 | Some _ -> 4 in
     let b = Bytes.create (9 + tlen + String.length text) in
@@ -176,6 +179,9 @@ let parse_payload tag p =
         | 5 ->
           Result.Ok
             (Request { id; deadline_ms; verb = Delete (rest text_pos); trace })
+        | 6 ->
+          Result.Ok
+            (Request { id; deadline_ms; verb = Explain (rest text_pos); trace })
         | _ -> Result.Error "request: bad verb")
   | 3 ->
     if len < 9 then Result.Error "result: short payload"

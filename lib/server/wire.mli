@@ -56,6 +56,14 @@ type verb =
       (** a global record id (decimal text) to delete from a live
           collection; the response payload is ["deleted"] or
           ["not-found"]. Verb byte 5 *)
+  | Explain of string
+      (** a nested-set literal to plan and profile rather than answer:
+          the response payload is an {!Obs.Explain.to_wire} plan tree
+          (atom order, estimated vs. measured candidates per phase,
+          per-segment / per-shard sub-plans). Verb byte 6 — the same
+          flag-compatible scheme as [Join]/[Insert]/[Delete], so every
+          pre-existing encoding stays byte-identical; old servers
+          refuse the verb with [Bad_request] *)
 
 type frame =
   | Hello of { version : int }  (** client → server, first frame *)

@@ -595,6 +595,81 @@ let join ?trace t values =
     }
   end
 
+(* --- explain --- *)
+
+(* Sequential scatter: EXPLAIN is a diagnostic verb, so the per-shard
+   sub-plans are produced one at a time in shard order — determinism over
+   latency. Pruned shards still appear in the plan, flagged, so the
+   pruning decision itself is visible; a failed remote becomes a stub
+   sub-plan carrying the reason instead of raising (a diagnostic should
+   degrade, not die). *)
+let explain t value =
+  if t.closed then invalid_arg "Router.explain: router is closed";
+  let query_text = Nested.Value.to_string value in
+  let atoms =
+    if prunable t.config.engine then Nested.Value.atom_universe value else []
+  in
+  let pruned = ref 0 and answered = ref 0 in
+  let sub_of_shard i target =
+    let label = Printf.sprintf "shard:%d" i in
+    match target with
+    | Local_handle inv ->
+      if atoms <> [] && not (shard_relevant inv atoms) then begin
+        incr pruned;
+        Obs.Explain.make ~target:label ~query:query_text
+          ~config:[ ("pruned", "atom-relevance") ]
+          ~records:0 ()
+      end
+      else begin
+        incr answered;
+        E.explain_profile ~config:t.config.engine ~target:label inv value
+      end
+    | Remote_addr { host; port } -> (
+      let failed reason =
+        Obs.Explain.make ~target:label ~query:query_text
+          ~config:
+            [ ("remote", Printf.sprintf "%s:%d" host port);
+              ("failed", reason) ]
+          ~records:0 ()
+      in
+      match Server.Client.connect ~host ~port () with
+      | exception exn -> failed (describe_exn exn)
+      | client -> (
+        Fun.protect ~finally:(fun () -> Server.Client.close client)
+        @@ fun () ->
+        match
+          Server.Client.explain client
+            ~deadline_ms:t.config.remote_deadline_ms query_text
+        with
+        | Ok payload -> (
+          match Obs.Explain.of_wire payload with
+          | Some sub ->
+            incr answered;
+            Obs.Explain.make ~target:label ~query:query_text
+              ~config:[ ("remote", Printf.sprintf "%s:%d" host port) ]
+              ~records:sub.Obs.Explain.records ~subs:[ sub ] ()
+          | None -> failed "malformed explain payload")
+        | Error (code, msg) ->
+          failed (Format.asprintf "%a: %s" Server.Wire.pp_error_code code msg)
+        | exception exn -> failed (describe_exn exn)))
+  in
+  let subs =
+    List.init (Array.length t.targets) (fun i -> sub_of_shard i t.targets.(i))
+  in
+  let records = List.fold_left (fun n s -> n + s.Obs.Explain.records) 0 subs in
+  Obs.Explain.make ~target:"router" ~query:query_text
+    ~config:
+      [
+        ("shards", string_of_int (Array.length t.targets));
+        ("answered", string_of_int !answered);
+        ("pruned", string_of_int !pruned);
+        ( "fail_mode",
+          match t.config.fail_mode with
+          | Fail_fast -> "fail-fast"
+          | Partial -> "partial" );
+      ]
+    ~records ~subs ()
+
 (* --- record access --- *)
 
 let global_index t =
@@ -849,6 +924,7 @@ let dispatch_backend ?(config = default_config) m () =
         invalid_arg
           "a sharded collection is served read-only (write through nscq \
            shard delete, or serve a live store)");
+    run_explain = (fun v -> Obs.Explain.to_wire (explain t v));
     io_totals =
       (fun () ->
         let lookups, hits, misses, reads, bytes_read = local_io t in

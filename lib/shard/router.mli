@@ -111,6 +111,19 @@ val join : ?trace:Obs.Trace.t -> t -> Nested.Value.t list -> join_outcome
     @raise Shard_failed under [Fail_fast].
     @raise Invalid_argument if any outer value is an atom. *)
 
+val explain : t -> Nested.Value.t -> Obs.Explain.t
+(** Plan and profile the query on every shard, gathered into one
+    [router]-rooted {!Obs.Explain.t} with one sub-plan per shard in
+    shard order. Local relevant shards carry a full
+    {!Containment.Engine.explain_profile}; pruned shards appear as a
+    stub flagged [pruned=atom-relevance]; remote shards are asked over
+    the wire [Explain] verb and their plan is nested under a
+    [remote=<host:port>] stub. Unlike {!query}, a failed shard never
+    raises regardless of [fail_mode] — the diagnostic degrades to a stub
+    carrying the [failed=<reason>] attribute. The scatter is sequential
+    (shard order), so sub-plans are deterministic.
+    @raise Invalid_argument if the router is closed. *)
+
 val record_value : t -> int -> Nested.Value.t option
 (** The stored value behind a global record id, when its shard is local
     ([None] for remote shards and unknown ids). *)
@@ -173,6 +186,7 @@ val dispatch_backend :
     Literal queries scatter-gather with [config] (its [domains] is
     forced to 1 — concurrency comes from the worker pool); [Join]
     requests fan out through {!join} and answer with a
-    {!Server.Wire.join_payload}; NSCQL statements are refused as
-    unsupported over a sharded collection. Partial-mode warnings are
-    logged, not returned to the client. *)
+    {!Server.Wire.join_payload}; [Explain] requests answer with the
+    {!explain} plan composed by {!Obs.Explain.to_wire}; NSCQL statements
+    are refused as unsupported over a sharded collection. Partial-mode
+    warnings are logged, not returned to the client. *)

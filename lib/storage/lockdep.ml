@@ -126,13 +126,33 @@ let note_unlocked t =
 let create class_name = { class_name; m = Mutex.create () }
 let name t = t.class_name
 
+(* Observability hook: when set, a contended acquire (try_lock failed)
+   times how long it blocked and reports [class_name, wait_µs] — the
+   flight recorder turns these into lock-wait events. The hook runs
+   after the lock is held but must not acquire any lockdep-classed
+   mutex itself, or a contended acquire inside the hook would recurse. *)
+let wait_hook : (string -> int -> unit) option Atomic.t = Atomic.make None
+
+let set_wait_hook h = Atomic.set wait_hook h
+
+let lock_raw t =
+  match Atomic.get wait_hook with
+  | None -> Mutex.lock t.m
+  | Some hook ->
+    if not (Mutex.try_lock t.m) then begin
+      let t0 = Unix.gettimeofday () in
+      Mutex.lock t.m;
+      hook t.class_name
+        (int_of_float ((Unix.gettimeofday () -. t0) *. 1e6))
+    end
+
 let lock t =
   if Atomic.get enabled_flag then begin
     note_acquire t;
-    Mutex.lock t.m;
+    lock_raw t;
     note_locked t
   end
-  else Mutex.lock t.m
+  else lock_raw t
 
 let unlock t =
   if Atomic.get enabled_flag then begin

@@ -51,6 +51,15 @@ val enabled : unit -> bool
 (** Test hook: turn checking on or off at runtime. *)
 val set_enabled : bool -> unit
 
+(** [set_wait_hook (Some f)] arranges for every {e contended} acquire
+    (one where [Mutex.try_lock] fails) to call [f class_name wait_us]
+    once the lock is finally held, with the time the thread spent
+    blocked. Orthogonal to lockdep checking — the flight recorder
+    installs it to surface lock contention on its timeline. [f] must
+    not acquire any {!t} itself. [None] (the default) restores the
+    plain fast path. *)
+val set_wait_hook : (string -> int -> unit) option -> unit
+
 (** Violations recorded so far (deduplicated, oldest first). *)
 val violations : unit -> string list
 

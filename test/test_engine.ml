@@ -297,6 +297,56 @@ let test_trace_batch_positional () =
         (List.length (List.nth plain 1))
         (Option.get (int_attr "records" root)))
 
+(* Satellite: the EXPLAIN profile and an independent traced run of the
+   same query must tell one story — the profile's phase list is exactly
+   the trace's phase spans (same names, same order), each phase's
+   [actual] equals the count the trace span recorded, and the estimate
+   chain links verify's input to eval's output. *)
+let test_explain_profile_reconciles_trace () =
+  with_backend `Mem (fun inv ->
+      let q = Testutil.v q_uk in
+      let profile = E.explain_profile inv q in
+      let trace = T.create "query" in
+      let result = E.query ~trace inv q in
+      let root = T.finish trace in
+      Alcotest.(check (list string))
+        "profile phases = trace spans, in order" (span_names root)
+        (List.map
+           (fun (p : Obs.Explain.phase) -> p.Obs.Explain.phase)
+           profile.Obs.Explain.phases);
+      let phase name =
+        match
+          List.find_opt
+            (fun (p : Obs.Explain.phase) -> p.Obs.Explain.phase = name)
+            profile.Obs.Explain.phases
+        with
+        | Some p -> p
+        | None -> Alcotest.failf "profile lacks phase %S" name
+      in
+      let span name =
+        List.find (fun (s : T.span) -> s.T.name = name) root.T.children
+      in
+      check_int "eval actual = traced candidates"
+        (Option.get (int_attr "candidates" (span "eval")))
+        (phase "eval").Obs.Explain.actual;
+      check_int "verify actual = traced kept"
+        (Option.get (int_attr "kept" (span "verify")))
+        (phase "verify").Obs.Explain.actual;
+      check_int "verify est = eval actual" (phase "eval").Obs.Explain.actual
+        (phase "verify").Obs.Explain.est;
+      check_int "retrieve actual = distinct query atoms"
+        (List.length (span "retrieve").T.children)
+        (phase "retrieve").Obs.Explain.actual;
+      check_int "profile records = query result count"
+        (List.length result.E.records)
+        profile.Obs.Explain.records;
+      (* the eval estimate is the rarest planned atom's posting length *)
+      match profile.Obs.Explain.atoms with
+      | rarest :: _ ->
+        check_int "eval est = rarest list length" rarest.Obs.Explain.list_len
+          (phase "eval").Obs.Explain.est
+      | [] -> Alcotest.fail "profile lists no atoms")
+
 let () =
   Alcotest.run "engine"
     [
@@ -342,5 +392,7 @@ let () =
             test_trace_streamed_no_cache_hits;
           Alcotest.test_case "batch: positional traces" `Quick
             test_trace_batch_positional;
+          Alcotest.test_case "explain reconciles with trace" `Quick
+            test_explain_profile_reconciles_trace;
         ] );
     ]

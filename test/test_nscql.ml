@@ -149,7 +149,11 @@ let test_execute_witness_and_explain () =
     check_int "mapping size" 3 (List.length w)
   | _ -> Alcotest.fail "witness");
   match Q.run inv "EXPLAIN CONTAINS {USA, {UK, {A, motorbike}}}" with
-  | Ok (Q.Plan plan) -> check_int "plan nodes" 3 (List.length plan)
+  | Ok (Q.Profile p) ->
+    check_int "profile atoms" 4 (List.length p.Obs.Explain.atoms);
+    check_bool "profile has phases" true (p.Obs.Explain.phases <> []);
+    check_bool "profile renders" true
+      (String.length (Obs.Explain.render p) > 0)
   | _ -> Alcotest.fail "explain"
 
 let test_run_reports_errors () =

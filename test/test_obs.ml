@@ -324,6 +324,121 @@ let test_slow_log_line () =
   if contains ~sub:"phases" bare then
     Alcotest.fail "traceless line should omit phases"
 
+let test_slow_log_ring () =
+  let l = Obs.Slow_log.create ~capacity:4 () in
+  check_int "capacity" 4 (Obs.Slow_log.capacity l);
+  check_int "fresh length" 0 (Obs.Slow_log.length l);
+  check_int "fresh dropped" 0 (Obs.Slow_log.dropped l);
+  Obs.Slow_log.add l "a";
+  Obs.Slow_log.add l "b";
+  Alcotest.(check (list string))
+    "oldest first before wrap" [ "a"; "b" ] (Obs.Slow_log.entries l);
+  for i = 1 to 10 do
+    Obs.Slow_log.add l (Printf.sprintf "line%d" i)
+  done;
+  check_int "length stays bounded" 4 (Obs.Slow_log.length l);
+  check_int "dropped counts evictions" 8 (Obs.Slow_log.dropped l);
+  Alcotest.(check (list string))
+    "newest kept, oldest first"
+    [ "line7"; "line8"; "line9"; "line10" ]
+    (Obs.Slow_log.entries l);
+  check_int "default capacity" 128 (Obs.Slow_log.capacity (Obs.Slow_log.create ()))
+
+(* --- text exposition grammar ---
+
+   Scrapers parse the text format line by line; one raw newline or
+   unescaped quote inside a HELP string or a label value corrupts every
+   series after it. The property feeds adversarial strings through real
+   instruments and re-parses the whole exposition. *)
+
+let name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+(* one sample line: name ('{' (label '=' '"' escaped '"' ','?)* '}')? ' ' float *)
+let valid_sample line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && name_char line.[!i] do
+    incr i
+  done;
+  if !i = 0 then false
+  else begin
+    let ok = ref true in
+    (if !i < n && line.[!i] = '{' then begin
+       incr i;
+       let closed = ref false in
+       while (not !closed) && !ok do
+         let start = !i in
+         while !i < n && name_char line.[!i] do
+           incr i
+         done;
+         if !i = start || !i >= n || line.[!i] <> '=' then ok := false
+         else begin
+           incr i;
+           if !i >= n || line.[!i] <> '"' then ok := false
+           else begin
+             incr i;
+             let fin = ref false in
+             while (not !fin) && !ok do
+               if !i >= n then (ok := false; fin := true)
+               else begin
+                 (match line.[!i] with
+                 | '\\' ->
+                   (* only the three legal escapes *)
+                   if
+                     !i + 1 >= n
+                     || not (List.mem line.[!i + 1] [ '\\'; '"'; 'n' ])
+                   then ok := false
+                   else incr i
+                 | '"' -> fin := true
+                 | _ -> ());
+                 incr i
+               end
+             done;
+             if !ok then
+               if !i < n && line.[!i] = ',' then incr i
+               else if !i < n && line.[!i] = '}' then begin
+                 incr i;
+                 closed := true
+               end
+               else ok := false
+           end
+         end
+       done
+     end);
+    !ok && !i < n
+    && line.[!i] = ' '
+    && Option.is_some
+         (float_of_string_opt (String.sub line (!i + 1) (n - !i - 1)))
+  end
+
+let exposition_well_formed out =
+  String.split_on_char '\n' out
+  |> List.filter (fun l -> l <> "")
+  |> List.for_all (fun line ->
+         if String.length line > 0 && line.[0] = '#' then
+           String.length line > 7
+           && (String.sub line 0 7 = "# HELP " || String.sub line 0 7 = "# TYPE ")
+         else valid_sample line)
+
+let prop_exposition_well_formed =
+  Testutil.qcheck_case ~name:"text exposition stays machine-parseable"
+    QCheck.(pair string string)
+    (fun (help, label_v) ->
+      let reg = M.create () in
+      let c = M.counter reg "nscq_prop_total" ~help ~labels:[ ("k", label_v) ] in
+      M.add c 2;
+      let g = M.gauge reg "nscq_prop_depth" ~help in
+      M.set g 1.25;
+      let h = M.histogram reg "nscq_prop_us" ~labels:[ ("k", label_v) ] in
+      M.observe h 1.5;
+      M.register_callback reg ~help ~labels:[ ("k", label_v) ] ~kind:`Gauge
+        "nscq_prop_cb" (fun () -> 3.);
+      exposition_well_formed (M.render_text reg))
+
 let () =
   Alcotest.run "obs"
     [
@@ -350,6 +465,7 @@ let () =
           Alcotest.test_case "json dump" `Quick test_render_json;
           Alcotest.test_case "callback replacement" `Quick
             test_callback_replacement;
+          prop_exposition_well_formed;
         ] );
       ( "traces",
         [
@@ -363,5 +479,8 @@ let () =
             test_graft_and_make_span;
         ] );
       ( "slow-log",
-        [ Alcotest.test_case "line format" `Quick test_slow_log_line ] );
+        [
+          Alcotest.test_case "line format" `Quick test_slow_log_line;
+          Alcotest.test_case "bounded ring" `Quick test_slow_log_ring;
+        ] );
     ]

@@ -34,13 +34,14 @@ let gen_frame st =
   | 1 -> W.Hello_ack { version = gen_u16 st; server = gen_string st }
   | 2 ->
     let verb =
-      match QCheck.Gen.int_bound 5 st with
+      match QCheck.Gen.int_bound 6 st with
       | 0 -> W.Query (gen_string st)
       | 1 -> W.Stats
       | 2 -> W.Trace (gen_string st)
       | 3 -> W.Join (gen_string st)
       | 4 -> W.Insert (gen_string st)
-      | _ -> W.Delete (gen_string st)
+      | 5 -> W.Delete (gen_string st)
+      | _ -> W.Explain (gen_string st)
     in
     let trace = if QCheck.Gen.bool st then Some (gen_u32 st) else None in
     W.Request { id = gen_u32 st; deadline_ms = gen_u32 st; verb; trace }
@@ -178,6 +179,10 @@ let test_v1_request_layout () =
      both as unknown verbs instead of misreading the frame *)
   check_layout (W.Insert "{a, {b}}") ~verb_byte:4 ~text:"{a, {b}}";
   check_layout (W.Delete "17") ~verb_byte:5 ~text:"17";
+  (* the Explain verb rides the next unused verb value 6 and carries the
+     query text like Query/Trace; the old verbs above stay byte-identical,
+     an old server rejects 6 as an unknown verb instead of misreading *)
+  check_layout (W.Explain "{a, {b}}") ~verb_byte:6 ~text:"{a, {b}}";
   (* the trace-id rides behind bit 4 of the verb byte; an old parser sees
      a verb it does not know and rejects the frame instead of misreading *)
   let s =
@@ -194,6 +199,13 @@ let test_v1_request_layout () =
          { id = 7; deadline_ms = 30; verb = W.Join "{a}"; trace = Some 99 })
   in
   check_int "join verb under trace bit" (0x10 lor 3)
+    (String.get_uint8 s (9 + 8));
+  let s =
+    W.encode
+      (W.Request
+         { id = 7; deadline_ms = 30; verb = W.Explain "{a}"; trace = Some 99 })
+  in
+  check_int "explain verb under trace bit" (0x10 lor 6)
     (String.get_uint8 s (9 + 8))
 
 let test_join_payload () =

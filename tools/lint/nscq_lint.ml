@@ -344,6 +344,10 @@ let default_rules_for file =
     (* the live store merges per-segment id lists and binary-searches
        gid maps — a polymorphic compare there is a silent perf bug *)
     || in_dir "lib/live/" file
+    (* the flight recorder's emit path runs inside every query; the
+       explain builder sorts atom plans — keep both monomorphic *)
+    || in_dir "lib/obs/recorder" file
+    || in_dir "lib/obs/explain" file
   in
   let r2 =
     in_dir "lib/core/" file || in_dir "lib/invfile/" file
@@ -351,6 +355,10 @@ let default_rules_for file =
     || in_dir "lib/storage/bitpack" file
     || in_dir "lib/join/" file
     || in_dir "lib/live/" file
+    (* recorder events are emitted on the query hot path: no console or
+       blocking Unix calls there (dump-time writes are annotated) *)
+    || in_dir "lib/obs/recorder" file
+    || in_dir "lib/obs/explain" file
   in
   let r4 =
     in_dir "lib/server/" file && not (in_dir "lib/server/client." file)
