@@ -10,6 +10,11 @@
      nscq shard build -i data.ns --shards 4 -o data.manifest
      nscq query -s data.manifest '{USA}'     # routed over the shards *)
 
+(* Console output is this program's purpose, and executables have no
+   interface files: R2/R5 are opted out explicitly rather than scoped
+   away, so the rest of the rules (R1 above all) still apply. *)
+[@@@lint.allow io mli]
+
 open Cmdliner
 
 module E = Containment.Engine

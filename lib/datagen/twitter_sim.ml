@@ -22,7 +22,10 @@ let screen_name i = "user_" ^ string_of_int i
 let hashtag i = "tag" ^ string_of_int i
 let word i = "w" ^ string_of_int i
 
+(* Read-only lookup table: written nowhere, so sharing it across domains
+   is safe without a lock. *)
 let month_days = [| 31; 28; 31; 30; 31; 30; 31; 31; 30; 31; 30; 31 |]
+[@@lint.allow guarded]
 
 let created_at rng =
   let month = Random.State.int rng 12 in

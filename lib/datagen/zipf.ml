@@ -22,15 +22,19 @@ let zetan_lock = Lockdep.create "datagen.zipf.zetan"
 let zetan_cache : (int * float, float) Hashtbl.t = Hashtbl.create 8
 [@@lint.guarded_by zetan_lock]
 
+let zetan_race = Racesan.register ~name:"datagen.zipf.zetan" ~lock:zetan_lock
+
 let zetan_memo n theta =
   match
     Lockdep.protect zetan_lock (fun () ->
+        Racesan.check zetan_race;
         Hashtbl.find_opt zetan_cache (n, theta))
   with
   | Some z -> z
   | None ->
     let z = zeta n theta in
     Lockdep.protect zetan_lock (fun () ->
+        Racesan.check zetan_race;
         Hashtbl.replace zetan_cache (n, theta) z);
     z
 

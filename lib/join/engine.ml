@@ -62,8 +62,11 @@ let totals =
   }
 [@@lint.guarded_by totals_mu]
 
+let totals_race = Racesan.register ~name:"join.totals" ~lock:totals_mu
+
 let record_totals s =
   Lockdep.protect totals_mu (fun () ->
+      Racesan.check totals_race;
       totals.t_joins <- totals.t_joins + 1;
       totals.t_nodes_expanded <- totals.t_nodes_expanded + s.nodes_expanded;
       totals.t_shared <- totals.t_shared + s.intersections_shared;
@@ -76,7 +79,10 @@ let register reg =
   let module M = Obs.Metrics in
   let cb ?help name f =
     M.register_callback reg ?help ~kind:`Counter name (fun () ->
-        float_of_int (Lockdep.protect totals_mu f))
+        float_of_int
+          (Lockdep.protect totals_mu (fun () ->
+               Racesan.check totals_race;
+               f ())))
   in
   cb "nscq_join_total" (fun () -> totals.t_joins)
     ~help:"Containment joins executed";

@@ -23,6 +23,10 @@ type t = {
   dir : string;
   config : config;
   mutex : Lockdep.t;
+  race : Racesan.cell;
+      (* guards the mutable store state below (segments, memtable,
+         tombstones, counters that queries read): every locked section
+         asserts the contract under NSCQ_TSAN=1 *)
   compact_wake : Condition.t;
   mutable segments : Segment.t list;  (* oldest first; gid ranges ascending *)
   mutable mem : IF.t;
@@ -56,7 +60,11 @@ let locked t f = Lockdep.protect t.mutex f
 let is_live_dir = M.is_live_dir
 let dir t = t.dir
 
-let ensure_open t = if t.closed then invalid_arg "Live_store: store is closed"
+(* Every mutating or reading path calls this first while holding
+   [t.mutex]; the sanitizer check here covers them all. *)
+let ensure_open t =
+  Racesan.check t.race;
+  if t.closed then invalid_arg "Live_store: store is closed"
 
 let fresh_memtable () =
   Invfile.Builder.finish (Invfile.Builder.create (Storage.Mem_store.create ()))
@@ -154,6 +162,7 @@ let signal_compactor t =
       the old WAL is dead;
    4. only then mutate in-memory state and delete the old WAL. *)
 let do_flush_locked ?trace t =
+  Racesan.check t.race;
   let t0 = Unix.gettimeofday () in
   Obs.Recorder.flush_begin ~records:t.mem_live;
   let run () =
@@ -576,6 +585,7 @@ let compact ?trace ?(all = false) t =
          IF.close dst;
          let merged =
            locked t (fun () ->
+               Racesan.check t.race;
                if t.closed then begin
                  (try Sys.remove dst_path with Sys_error _ -> ());
                  None
@@ -694,11 +704,13 @@ let rec mkdir_p path =
   end
 
 let make ~config ~dir ~manifest:(m : M.t) ~wal ~segments ~replay =
+  let mutex = Lockdep.create "live.store" in
   let t =
     {
       dir;
       config;
-      mutex = Lockdep.create "live.store";
+      mutex;
+      race = Racesan.register ~name:"live.store.state" ~lock:mutex;
       compact_wake = Condition.create ();
       segments;
       mem = fresh_memtable ();

@@ -32,12 +32,19 @@ type series = {
 
 type t = {
   lock : Lockdep.t;
+  race : Racesan.cell;
   table : (string * labels, series) Hashtbl.t;
   mutable order : series list; (* registration order, reversed *)
 }
 
 let create () =
-  { lock = Lockdep.create "obs.metrics"; table = Hashtbl.create 64; order = [] }
+  let lock = Lockdep.create "obs.metrics" in
+  {
+    lock;
+    race = Racesan.register ~name:"obs.metrics.registry" ~lock;
+    table = Hashtbl.create 64;
+    order = [];
+  }
 
 let valid_name name =
   String.length name > 0
@@ -60,6 +67,7 @@ let register t ?(help = "") ?(labels = []) name make =
     invalid_arg (Printf.sprintf "Metrics: invalid metric name %S" name);
   let labels = normalize labels in
   Lockdep.protect t.lock (fun () ->
+      Racesan.check t.race;
       match Hashtbl.find_opt t.table (name, labels) with
       | Some s -> s
       | None ->
@@ -166,7 +174,11 @@ let register_callback t ?help ?labels ~kind name f =
 (* ---- rendering ---- *)
 
 let sorted_series t =
-  let all = Lockdep.protect t.lock (fun () -> List.rev t.order) in
+  let all =
+    Lockdep.protect t.lock (fun () ->
+        Racesan.check t.race;
+        List.rev t.order)
+  in
   List.stable_sort
     (fun a b ->
       match String.compare a.name b.name with

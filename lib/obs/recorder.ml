@@ -18,6 +18,7 @@ type kind =
   | Compact_end
   | Batch
   | Lock_wait
+  | Race_suspect
 
 let kind_code = function
   | Query_begin -> 1
@@ -31,6 +32,7 @@ let kind_code = function
   | Compact_end -> 9
   | Batch -> 10
   | Lock_wait -> 11
+  | Race_suspect -> 12
 
 let kind_of_code = function
   | 1 -> Some Query_begin
@@ -44,6 +46,7 @@ let kind_of_code = function
   | 9 -> Some Compact_end
   | 10 -> Some Batch
   | 11 -> Some Lock_wait
+  | 12 -> Some Race_suspect
   | _ -> None
 
 let kind_name = function
@@ -58,6 +61,7 @@ let kind_name = function
   | Compact_end -> "compact.end"
   | Batch -> "batch"
   | Lock_wait -> "lock.wait"
+  | Race_suspect -> "race.suspect"
 
 (* Slot layout, little-endian:
    [0..7] timestamp µs  [8] kind  [9] a8  [10..11] a16  [12..15] a32 *)
@@ -187,13 +191,22 @@ let batch ~size = emit ~a16:(min size 0xffff) Batch
 let lock_wait_hook name wait_us =
   emit ~a8:(intern name) ~a32:wait_us Lock_wait
 
+(* Racesan findings land on the timeline too: a p99 outlier that
+   coincides with a race.suspect event is a corruption candidate, not a
+   performance mystery. a8 carries the interned cell name, a16 the
+   violating domain. *)
+let race_suspect_hook name domain =
+  emit ~a8:(intern name) ~a16:(domain land 0xffff) Race_suspect
+
 let enable () =
   Atomic.set enabled_flag true;
-  Lockdep.set_wait_hook (Some lock_wait_hook)
+  Lockdep.set_wait_hook (Some lock_wait_hook);
+  Racesan.set_report_hook (Some race_suspect_hook)
 
 let disable () =
   Atomic.set enabled_flag false;
-  Lockdep.set_wait_hook None
+  Lockdep.set_wait_hook None;
+  Racesan.set_report_hook None
 
 let reset () =
   Mutex.protect rings_mu (fun () ->
@@ -359,6 +372,7 @@ let describe names e =
   | Compact_begin | Compact_end -> Printf.sprintf "segments=%d" e.a32
   | Batch -> Printf.sprintf "size=%d" e.a16
   | Lock_wait -> Printf.sprintf "%s %dus" (named e.a8) e.a32
+  | Race_suspect -> Printf.sprintf "%s d%d" (named e.a8) e.a16
 
 (* Pair an end event with the most recent matching begin on the same
    domain (same query id / payload) to print the elapsed time inline. *)
@@ -398,7 +412,7 @@ let render_json ?(names = []) evs =
   let entry e =
     let name =
       match e.kind with
-      | Phase_begin | Phase_end | Lock_wait -> (
+      | Phase_begin | Phase_end | Lock_wait | Race_suspect -> (
         match List.assoc_opt e.a8 names with
         | Some n -> Printf.sprintf ",\"name\":\"%s\"" (String.escaped n)
         | None -> "")

@@ -25,6 +25,9 @@ type kind =
   | Compact_end
   | Batch  (** a16 = coalesced batch size *)
   | Lock_wait  (** a8 = interned lock class, a32 = wait µs *)
+  | Race_suspect
+      (** a8 = interned guarded-cell name, a16 = violating domain — a
+          {!Racesan} finding placed on the timeline *)
 
 val kind_name : kind -> string
 
@@ -32,7 +35,9 @@ val kind_name : kind -> string
 
 val enable : unit -> unit
 (** Turns recording on and installs the {!Lockdep.set_wait_hook} that
-    turns contended mutex acquires into [Lock_wait] events. *)
+    turns contended mutex acquires into [Lock_wait] events, plus the
+    {!Racesan.set_report_hook} that turns sanitizer findings into
+    [Race_suspect] events. *)
 
 val disable : unit -> unit
 

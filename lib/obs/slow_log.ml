@@ -7,13 +7,16 @@
 
 type t = {
   lock : Lockdep.t;
+  race : Racesan.cell;
   ring : string array; [@lint.guarded_by lock]
   mutable next : int; [@lint.guarded_by lock] (* total entries ever added *)
 }
 
 let create ?(capacity = 128) () =
+  let lock = Lockdep.create "obs.slow_log" in
   {
-    lock = Lockdep.create "obs.slow_log";
+    lock;
+    race = Racesan.register ~name:"obs.slow_log.ring" ~lock;
     ring = Array.make (max 1 capacity) "";
     next = 0;
   }
@@ -22,6 +25,7 @@ let capacity t = Array.length t.ring
 
 let add t line =
   Lockdep.protect t.lock (fun () ->
+      Racesan.check t.race;
       t.ring.(t.next mod Array.length t.ring) <- line;
       t.next <- t.next + 1)
 
@@ -33,6 +37,7 @@ let dropped t =
 
 let entries t =
   Lockdep.protect t.lock (fun () ->
+      Racesan.check t.race;
       let cap = Array.length t.ring in
       let n = min t.next cap in
       List.init n (fun i -> t.ring.((t.next - n + i) mod cap)))

@@ -18,6 +18,9 @@ type state = Running | Draining | Stopped
 
 type t = {
   mutex : Lockdep.t;
+  race : Racesan.cell;
+      (* guards queue/state/paused/workers: the worker loop and the
+         submit path assert the contract under NSCQ_TSAN=1 *)
   wake : Condition.t;
   queue : job Queue.t;
   queue_cap : int;
@@ -409,6 +412,7 @@ let worker t open_backend () =
       let snap = ref (backend.io_totals ()) in
       let rec loop () =
         Lockdep.lock t.mutex;
+        Racesan.check t.race;
         while (t.paused || Queue.is_empty t.queue) && t.state = Running do
           Lockdep.wait t.wake t.mutex
         done;
@@ -454,9 +458,11 @@ let create ?(paused = false) ?(slow_ms = 0.) ?flight_path ~domains ~queue_cap
   if domains < 1 then invalid_arg "Dispatch.create: domains must be ≥ 1";
   if queue_cap < 1 then invalid_arg "Dispatch.create: queue_cap must be ≥ 1";
   if max_batch < 1 then invalid_arg "Dispatch.create: max_batch must be ≥ 1";
+  let mutex = Lockdep.create "server.dispatch" in
   let t =
     {
-      mutex = Lockdep.create "server.dispatch";
+      mutex;
+      race = Racesan.register ~name:"server.dispatch.state" ~lock:mutex;
       wake = Condition.create ();
       queue = Queue.create ();
       queue_cap;
@@ -480,6 +486,7 @@ let submit t ?deadline ~request ~reply () =
   let job = { request; deadline; enqueued_at = Unix.gettimeofday (); reply } in
   let outcome =
     locked t (fun () ->
+        Racesan.check t.race;
         match t.state with
         | Draining | Stopped -> `Shutting_down
         | Running ->

@@ -46,6 +46,7 @@ type t = {
   server_stats : Server_stats.t;
   stopping : bool Atomic.t;
   conns_mutex : Lockdep.t;
+  conns_race : Racesan.cell;
   mutable conns : conn list;
   mutable accept_thread : Thread.t option;
   mutable ticker : Thread.t option;
@@ -79,6 +80,7 @@ let close_conn conn =
 
 let unregister t conn =
   Lockdep.protect t.conns_mutex (fun () ->
+      Racesan.check t.conns_race;
       t.conns <- List.filter (fun c -> c != conn) t.conns)
 
 let hello_exchange conn =
@@ -229,7 +231,9 @@ let accept_loop t () =
             { fd; wmutex = Lockdep.create "server.conn.write"; alive = true;
               thread = None }
           in
-          Lockdep.protect t.conns_mutex (fun () -> t.conns <- conn :: t.conns);
+          Lockdep.protect t.conns_mutex (fun () ->
+              Racesan.check t.conns_race;
+              t.conns <- conn :: t.conns);
           conn.thread <- Some (Thread.create (fun () -> conn_loop t conn) ())
         | exception Unix.Unix_error _ -> ())
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
@@ -286,6 +290,7 @@ let start_with ?(paused = false) cfg ~open_backend =
       ~queue_cap:cfg.queue_cap ~max_batch:cfg.max_batch ~open_backend
       ~stats:server_stats ()
   in
+  let conns_mutex = Lockdep.create "server.conns" in
   let t =
     {
       cfg;
@@ -294,7 +299,8 @@ let start_with ?(paused = false) cfg ~open_backend =
       dispatch;
       server_stats;
       stopping = Atomic.make false;
-      conns_mutex = Lockdep.create "server.conns";
+      conns_mutex;
+      conns_race = Racesan.register ~name:"server.conns" ~lock:conns_mutex;
       conns = [];
       accept_thread = None;
       ticker = None;
@@ -333,7 +339,11 @@ let stop t =
            connections are still open *)
         Dispatch.drain t.dispatch;
         (* 3. now disconnect lingering clients and collect their threads *)
-        let conns = Lockdep.protect t.conns_mutex (fun () -> t.conns) in
+        let conns =
+          Lockdep.protect t.conns_mutex (fun () ->
+              Racesan.check t.conns_race;
+              t.conns)
+        in
         List.iter close_conn conns;
         List.iter (fun c -> Option.iter Thread.join c.thread) conns;
         Option.iter Thread.join t.ticker;

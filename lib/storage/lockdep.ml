@@ -14,6 +14,15 @@ let enabled_flag =
 let enabled () = Atomic.get enabled_flag
 let set_enabled b = Atomic.set enabled_flag b
 
+(* Held-lock bookkeeping without order checking: the race sanitizer
+   (Racesan) needs to ask "does this thread hold that mutex?" even when
+   full lockdep is off. Kept as a separate flag so NSCQ_TSAN=1 does not
+   drag in cycle detection, and NSCQ_LOCKDEP=1 keeps raising on
+   double-acquire as before. *)
+let tracking_flag = Atomic.make false
+let set_tracking b = Atomic.set tracking_flag b
+let bookkeeping () = Atomic.get enabled_flag || Atomic.get tracking_flag
+
 (* All bookkeeping lives behind one plain mutex: the held-lock table is
    keyed by thread id (connection threads share their domain, so
    Domain.DLS would conflate them), the order graph by class name. This
@@ -36,11 +45,15 @@ let violation_log : string list ref = ref [] [@@lint.guarded_by state_mu]
 
 let with_state f = Mutex.protect state_mu f
 
+(* The helpers below touch the guarded tables without taking [state_mu]
+   themselves: every caller already holds it (checked by nscq-lint R6
+   through the [@@lint.requires_lock] contract). *)
 let record_violation msg =
   if not (Hashtbl.mem violation_seen msg) then begin
     Hashtbl.add violation_seen msg ();
     violation_log := msg :: !violation_log
   end
+[@@lint.requires_lock state_mu]
 
 (* Is [target] reachable from [src] in the order graph? *)
 let reachable src target =
@@ -55,6 +68,7 @@ let reachable src target =
         | Some succs -> List.exists go !succs)
   in
   go src
+[@@lint.requires_lock state_mu]
 
 let add_edge from_class to_class =
   if not (Hashtbl.mem edge_seen (from_class, to_class)) then begin
@@ -63,6 +77,7 @@ let add_edge from_class to_class =
     | Some succs -> succs := to_class :: !succs
     | None -> Hashtbl.add adjacency from_class (ref [ to_class ])
   end
+[@@lint.requires_lock state_mu]
 
 let thread_id () = Thread.id (Thread.self ())
 
@@ -73,6 +88,7 @@ let held_slot tid =
     let slot = ref [] in
     Hashtbl.add held tid slot;
     slot
+[@@lint.requires_lock state_mu]
 
 (* Runs the checks for acquiring [t]; raises on double-acquire, records
    everything else. Must be called before the real [Mutex.lock] so a
@@ -152,14 +168,25 @@ let lock t =
     lock_raw t;
     note_locked t
   end
+  else if Atomic.get tracking_flag then begin
+    lock_raw t;
+    note_locked t
+  end
   else lock_raw t
 
 let unlock t =
-  if Atomic.get enabled_flag then begin
+  if bookkeeping () then begin
     note_unlocked t;
     Mutex.unlock t.m
   end
   else Mutex.unlock t.m
+
+let held_by_self t =
+  bookkeeping ()
+  && with_state (fun () ->
+         match Hashtbl.find_opt held (thread_id ()) with
+         | Some slot -> List.exists (fun h -> h == t) !slot
+         | None -> false)
 
 let protect t f =
   lock t;
@@ -173,6 +200,11 @@ let wait cond t =
     note_unlocked t;
     Condition.wait cond t.m;
     note_acquire t;
+    note_locked t
+  end
+  else if Atomic.get tracking_flag then begin
+    note_unlocked t;
+    Condition.wait cond t.m;
     note_locked t
   end
   else Condition.wait cond t.m

@@ -51,6 +51,17 @@ val enabled : unit -> bool
 (** Test hook: turn checking on or off at runtime. *)
 val set_enabled : bool -> unit
 
+(** [set_tracking true] keeps the per-thread held-lock table up to date
+    even with order checking off, so {!held_by_self} can answer. The
+    race sanitizer ({!Racesan}) flips this on under [NSCQ_TSAN=1];
+    plain builds keep the branch-free fast path. *)
+val set_tracking : bool -> unit
+
+(** Whether the calling thread currently holds [t]. Always [false] when
+    neither lockdep checking nor {!set_tracking} bookkeeping is on —
+    callers must gate on their own enable flag first. *)
+val held_by_self : t -> bool
+
 (** [set_wait_hook (Some f)] arranges for every {e contended} acquire
     (one where [Mutex.try_lock] fails) to call [f class_name wait_us]
     once the lock is finally held, with the time the thread spent

@@ -1,0 +1,132 @@
+(* Runtime race sanitizer for [@@lint.guarded_by] contracts.
+
+   Modules that declare mutable state guarded by a Lockdep mutex
+   register a [cell] for it and call [check cell] at every access site
+   that the contract covers. With NSCQ_TSAN unset every check is one
+   atomic load and a branch; with NSCQ_TSAN=1 the cell asserts that the
+   accessing thread actually holds the declared lock (via Lockdep's
+   held-lock bookkeeping, which [set_enabled true] switches on). A
+   failing check is recorded once per cell with two stacks — the
+   violating access and the most recent properly-locked access — and
+   surfaced through [set_report_hook] (the flight recorder turns these
+   into [race.suspect] events) plus one warning line on stderr, TSan
+   style: the program keeps running. *)
+
+type cell = {
+  cell_name : string;
+  lock : Lockdep.t;
+  tripped : bool Atomic.t; (* warn-once latch *)
+  mutable last_ok : (int * string) option;
+      (* thread id and stack of the latest in-contract access; written
+         only while [lock] is held (the check just proved it), so
+         passing accesses never race each other. A violating reader
+         races this benignly — it is diagnostic text. *)
+}
+
+type finding = {
+  name : string;
+  domain : int;
+  thread : int;
+  access_stack : string;
+  prior_stack : (int * string) option;
+}
+
+let enabled_flag =
+  Atomic.make
+    (match Sys.getenv_opt "NSCQ_TSAN" with
+    | Some ("1" | "true" | "yes" | "on") -> true
+    | Some _ | None -> false)
+
+(* Lockdep needs to maintain the held table for held_by_self. *)
+let () = if Atomic.get enabled_flag then Lockdep.set_tracking true
+
+let enabled () = Atomic.get enabled_flag
+
+let set_enabled b =
+  Atomic.set enabled_flag b;
+  Lockdep.set_tracking b
+
+(* Registered cells and recorded findings, behind one plain mutex (not
+   a Lockdep.t: the sanitizer must not feed its own bookkeeping back
+   through the instrumented lock layer). *)
+let state_mu = Mutex.create ()
+let cells : cell list ref = ref [] [@@lint.guarded_by state_mu]
+let findings_log : finding list ref = ref [] [@@lint.guarded_by state_mu]
+
+(* Checks executed while enabled; calibrates the overhead bench. *)
+let checks_counter = Atomic.make 0
+
+let report_hook : (string -> int -> unit) option Atomic.t = Atomic.make None
+let set_report_hook h = Atomic.set report_hook h
+
+let register ~name ~lock =
+  let c =
+    { cell_name = name; lock; tripped = Atomic.make false; last_ok = None }
+  in
+  Mutex.protect state_mu (fun () -> cells := c :: !cells);
+  c
+
+let stack_here () =
+  Printexc.raw_backtrace_to_string (Printexc.get_callstack 24)
+
+let record_violation c =
+  if Atomic.compare_and_set c.tripped false true then begin
+    let f =
+      {
+        name = c.cell_name;
+        domain = (Domain.self () :> int);
+        thread = Thread.id (Thread.self ());
+        access_stack = stack_here ();
+        prior_stack = c.last_ok;
+      }
+    in
+    Mutex.protect state_mu (fun () -> findings_log := f :: !findings_log);
+    (match Atomic.get report_hook with
+    | Some hook -> hook c.cell_name f.domain
+    | None -> ());
+    Printf.eprintf
+      "racesan: %S accessed on domain %d (thread %d) without holding %S\n%!"
+      c.cell_name f.domain f.thread (Lockdep.name c.lock)
+  end
+
+let check c =
+  if Atomic.get enabled_flag then begin
+    Atomic.incr checks_counter;
+    if Lockdep.held_by_self c.lock then
+      c.last_ok <- Some (Thread.id (Thread.self ()), stack_here ())
+    else record_violation c
+  end
+
+let checks () = Atomic.get checks_counter
+let findings () = Mutex.protect state_mu (fun () -> List.rev !findings_log)
+
+let report () =
+  let fs = findings () in
+  let b = Buffer.create 256 in
+  (match fs with
+  | [] -> Buffer.add_string b "racesan: no findings\n"
+  | fs ->
+    Buffer.add_string b
+      (Printf.sprintf "racesan: %d finding(s):\n" (List.length fs));
+    List.iter
+      (fun f ->
+        Buffer.add_string b
+          (Printf.sprintf
+             "  %S: unlocked access on domain %d (thread %d)\n  access stack:\n%s"
+             f.name f.domain f.thread f.access_stack);
+        match f.prior_stack with
+        | None -> Buffer.add_string b "  no prior in-contract access\n"
+        | Some (tid, s) ->
+          Buffer.add_string b
+            (Printf.sprintf "  last in-contract access (thread %d):\n%s" tid s))
+      fs);
+  Buffer.contents b
+
+let reset () =
+  Mutex.protect state_mu (fun () ->
+      findings_log := [];
+      List.iter
+        (fun c ->
+          Atomic.set c.tripped false;
+          c.last_ok <- None)
+        !cells)

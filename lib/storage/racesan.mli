@@ -1,0 +1,60 @@
+(** Runtime race sanitizer: checked [@@lint.guarded_by] contracts.
+
+    The static R6 pass of nscq-lint verifies module-level guarded state
+    lexically; this module is its dynamic half for state the linter
+    cannot see through — record fields behind a per-instance mutex,
+    accesses reached via first-class functions. A module registers one
+    {!cell} per guarded value and calls {!check} at every access the
+    contract covers; under [NSCQ_TSAN=1] the check asserts the calling
+    thread holds the declared {!Lockdep.t} and records a warn-once
+    {!finding} otherwise, with the stacks of both the violating and the
+    last in-contract access. Findings also flow through
+    {!set_report_hook} — the flight recorder installs it to emit
+    [race.suspect] events — and print one stderr line each.
+
+    With [NSCQ_TSAN] unset, {!check} is one atomic load and a branch;
+    the plain-Mutex fast path of {!Lockdep} is preserved. *)
+
+type cell
+
+type finding = {
+  name : string;
+  domain : int;
+  thread : int;
+  access_stack : string;
+  prior_stack : (int * string) option;
+      (** thread id and stack of the last access that held the lock *)
+}
+
+(** [register ~name ~lock] declares a guarded cell. [name] should match
+    the value's [@@lint.guarded_by] site (e.g. ["live.store.state"]);
+    it is what findings and [race.suspect] events carry. *)
+val register : name:string -> lock:Lockdep.t -> cell
+
+(** Assert (under [NSCQ_TSAN=1]) that the current thread holds the
+    cell's lock. Never raises; a violation is recorded once per cell. *)
+val check : cell -> unit
+
+(** Whether sanitizing is on. Initialised from [NSCQ_TSAN]. *)
+val enabled : unit -> bool
+
+(** Turn sanitizing on or off at runtime; also toggles
+    {!Lockdep.set_tracking} so held-lock bookkeeping matches. *)
+val set_enabled : bool -> unit
+
+(** Checks executed while enabled, for overhead calibration (E27). *)
+val checks : unit -> int
+
+(** Findings recorded so far, oldest first (at most one per cell until
+    {!reset}). *)
+val findings : unit -> finding list
+
+(** Human-readable rendering of {!findings} with both stacks. *)
+val report : unit -> string
+
+(** [set_report_hook (Some f)] calls [f name domain] once per finding
+    as it is recorded. [f] must not acquire any {!Lockdep.t}. *)
+val set_report_hook : (string -> int -> unit) option -> unit
+
+(** Test hook: clear findings and re-arm every cell's warn-once latch. *)
+val reset : unit -> unit

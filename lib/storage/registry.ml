@@ -9,11 +9,22 @@ struct
   let table : (string, V.t) Hashtbl.t = Hashtbl.create 8
   [@@lint.guarded_by lock]
 
-  let put name v = Lockdep.protect lock (fun () -> Hashtbl.replace table name v)
-  let remove name = Lockdep.protect lock (fun () -> Hashtbl.remove table name)
+  let race = Racesan.register ~name:(V.kind ^ ".registry") ~lock
+
+  let put name v =
+    Lockdep.protect lock (fun () ->
+        Racesan.check race;
+        Hashtbl.replace table name v)
+
+  let remove name =
+    Lockdep.protect lock (fun () ->
+        Racesan.check race;
+        Hashtbl.remove table name)
 
   let find_opt name =
-    Lockdep.protect lock (fun () -> Hashtbl.find_opt table name)
+    Lockdep.protect lock (fun () ->
+        Racesan.check race;
+        Hashtbl.find_opt table name)
 
   let find name ~what =
     match find_opt name with

@@ -238,27 +238,222 @@ let test_r5 () =
       in
       expect_clean ~what:"R5 allowlisted" (run_lint [ "--rule"; "R5"; allowed ]))
 
+(* --- R6: checked guarded_by contracts (lockset analysis) --- *)
+
+(* prelude shared by the R6 fixtures: two distinct locks *)
+let r6_prelude =
+  "let mu_a = Mutex.create ()\n\
+   let mu_b = Mutex.create ()\n\
+   let table = Hashtbl.create 8 [@@lint.guarded_by mu_a]\n"
+
+let test_r6_wrong_lock () =
+  with_fixture_dir (fun dir ->
+      let f =
+        write_file dir "wrong_lock.ml"
+          (r6_prelude
+          ^ "let f k = Mutex.protect mu_b (fun () -> Hashtbl.find_opt table k)\n")
+      in
+      let code, out = run_lint [ "--rule"; "R6"; f ] in
+      expect_dirty ~what:"R6 wrong lock" (code, out);
+      expect_violations ~rule:"R6" f [ 4 ] out;
+      check_bool "message names the declared lock" true
+        (contains_s out "guarded by \"mu_a\""))
+
+let test_r6_no_lock () =
+  with_fixture_dir (fun dir ->
+      let f =
+        write_file dir "no_lock.ml"
+          (r6_prelude ^ "let f k = Hashtbl.find_opt table k\n")
+      in
+      let code, out = run_lint [ "--rule"; "R6"; f ] in
+      expect_dirty ~what:"R6 no lock" (code, out);
+      expect_violations ~rule:"R6" f [ 4 ] out)
+
+let test_r6_correct_lock () =
+  with_fixture_dir (fun dir ->
+      let f =
+        write_file dir "correct_lock.ml"
+          (r6_prelude
+          ^ "let f k = Mutex.protect mu_a (fun () -> Hashtbl.find_opt table k)\n\
+             let g k v =\n\
+            \  Mutex.lock mu_a;\n\
+            \  Hashtbl.replace table k v;\n\
+            \  Mutex.unlock mu_a\n\
+             let seeded = Hashtbl.length table\n")
+      in
+      (* protect, lock/unlock sequence, and module-init (which runs
+         before any domain exists) are all in-contract *)
+      expect_clean ~what:"R6 correct lock" (run_lint [ "--rule"; "R6"; f ]))
+
+let test_r6_atomic_exempt () =
+  with_fixture_dir (fun dir ->
+      let f =
+        write_file dir "atomic_ok.ml"
+          "let hits = Atomic.make 0\n\
+           let bump () = Atomic.incr hits\n\
+           let read () = Atomic.get hits\n"
+      in
+      expect_clean ~what:"R6 atomic exempt" (run_lint [ "--rule"; "R6"; f ]))
+
+let test_r6_requires_lock () =
+  with_fixture_dir (fun dir ->
+      let f =
+        write_file dir "contract.ml"
+          (r6_prelude
+          ^ "let helper k = Hashtbl.find_opt table k [@@lint.requires_lock mu_a]\n\
+             let good k = Mutex.protect mu_a (fun () -> helper k)\n\
+             let bad k = helper k\n")
+      in
+      let code, out = run_lint [ "--rule"; "R6"; f ] in
+      expect_dirty ~what:"R6 requires_lock" (code, out);
+      (* the helper body is in-contract; the bare call site is not *)
+      expect_violations ~rule:"R6" f [ 6 ] out;
+      check_bool "call-site message names the contract" true
+        (contains_s out "requires holding mu_a"))
+
+let test_r6_lock_wrapper_inference () =
+  with_fixture_dir (fun dir ->
+      let f =
+        write_file dir "wrapper.ml"
+          (r6_prelude
+          ^ "let with_a f = Mutex.protect mu_a f\n\
+             let f k = with_a (fun () -> Hashtbl.find_opt table k)\n")
+      in
+      expect_clean ~what:"R6 wrapper inference"
+        (run_lint [ "--rule"; "R6"; f ]))
+
+let test_r6_submodule () =
+  with_fixture_dir (fun dir ->
+      let f =
+        write_file dir "sub.ml"
+          ("module Cache = struct\n" ^ r6_prelude
+          ^ "  let bad k = Hashtbl.find_opt table k\n\
+             end\n")
+      in
+      let code, out = run_lint [ "--rule"; "R6"; f ] in
+      expect_dirty ~what:"R6 submodule" (code, out);
+      expect_violations ~rule:"R6" f [ 5 ] out)
+
+let test_r6_cross_module () =
+  with_fixture_dir (fun dir ->
+      let _store =
+        write_file dir "store_r6.ml"
+          "let mu = Mutex.create ()\n\
+           let table = Hashtbl.create 8 [@@lint.guarded_by mu]\n"
+      in
+      let user =
+        write_file dir "user_r6.ml"
+          "let bad k = Hashtbl.find_opt Store_r6.table k\n"
+      in
+      let code, out =
+        run_lint
+          [ "--rule"; "R6"; Filename.concat dir "store_r6.ml"; user ]
+      in
+      expect_dirty ~what:"R6 cross-module" (code, out);
+      expect_violations ~rule:"R6" user [ 1 ] out)
+
+let test_r6_spawn_escape () =
+  with_fixture_dir (fun dir ->
+      let f =
+        write_file dir "escape.ml"
+          "[@@@lint.allow guarded]\n\
+           let shared = Hashtbl.create 8\n\
+           let run () = Domain.spawn (fun () -> Hashtbl.length shared)\n\
+           let local_ok () = let t = Hashtbl.create 8 in Hashtbl.length t\n"
+      in
+      let code, out = run_lint [ "--rule"; "R6"; f ] in
+      expect_dirty ~what:"R6 spawn escape" (code, out);
+      expect_violations ~rule:"R6" f [ 3 ] out;
+      check_bool "escape message mentions the domain closure" true
+        (contains_s out "domain closure"))
+
+let test_r6_allowlisted () =
+  with_fixture_dir (fun dir ->
+      let f =
+        write_file dir "allowed.ml"
+          (r6_prelude
+          ^ "let f k = (Hashtbl.find_opt table k) [@lint.allow lockset]\n")
+      in
+      expect_clean ~what:"R6 allowlisted" (run_lint [ "--rule"; "R6"; f ]))
+
+let test_r6_unknown_guard () =
+  with_fixture_dir (fun dir ->
+      let f =
+        write_file dir "badguard.ml"
+          "let table = Hashtbl.create 8 [@@lint.guarded_by no_such_lock]\n"
+      in
+      let code, out = run_lint [ "--rule"; "R6"; f ] in
+      expect_dirty ~what:"R6 unknown guard" (code, out);
+      check_bool "unknown-lock message" true
+        (contains_s out "names no lock"))
+
 (* --- default path-based scoping (no --rule) --- *)
 
 let test_default_scoping () =
   with_fixture_dir (fun dir ->
-      (* same polymorphic-compare body in three places: lib/core (R1
-         applies), lib/textformats (R1 does not), and bin (no lib rules
-         at all) — each with an .mli / outside lib so R5 stays quiet *)
+      (* same polymorphic-compare body in three places: lib/core and bin
+         (R1 applies to both), and lib/textformats (R1 does not) — each
+         with an .mli / a file-level mli allow so R5 stays quiet. Every
+         fixture directory gets a dune file: the walk only picks up
+         dune-tracked sources. *)
       let body = "let f a b = compare a b\n" in
       let core = write_file dir "lib/core/fixture_scope.ml" body in
       let _ = write_file dir "lib/core/fixture_scope.mli" "val f : 'a -> 'a -> int\n" in
+      let _ = write_file dir "lib/core/dune" "(library (name fixcore))\n" in
       let other = write_file dir "lib/textformats/fixture_scope.ml" body in
       let _ =
         write_file dir "lib/textformats/fixture_scope.mli" "val f : 'a -> 'a -> int\n"
       in
-      let bin = write_file dir "bin/fixture_scope.ml" body in
+      let _ = write_file dir "lib/textformats/dune" "(library (name fixtf))\n" in
+      let bin =
+        write_file dir "bin/fixture_scope.ml" ("[@@@lint.allow mli]\n" ^ body)
+      in
+      let _ = write_file dir "bin/dune" "(executable (name fixture_scope))\n" in
       let code, out = run_lint [ Filename.concat dir "lib"; Filename.concat dir "bin" ] in
       if code <> 1 then
         Alcotest.failf "scoping: expected exit 1, got %d:\n%s" code out;
       check_bool "lib/core file flagged" true (contains_s out core);
       check_bool "lib/textformats file not flagged" false (contains_s out other);
-      check_bool "bin file not flagged" false (contains_s out bin))
+      check_bool "bin file flagged" true (contains_s out bin))
+
+(* the directory walk skips .ml files dune does not track: no sibling
+   dune file, or a dotted (generated) name *)
+let test_dune_tracked_discovery () =
+  with_fixture_dir (fun dir ->
+      let _untracked =
+        write_file dir "lib/core/scratch.ml" "this does not parse((\n"
+      in
+      let code, out = run_lint [ Filename.concat dir "lib" ] in
+      expect_clean ~what:"untracked scratch file skipped" (code, out);
+      let _dune = write_file dir "lib/core/dune" "(library (name fixcore))\n" in
+      let _gen =
+        write_file dir "lib/core/scratch.pp.ml" "also not parseable((\n"
+      in
+      let code, out = run_lint [ Filename.concat dir "lib" ] in
+      check_int "tracked file now linted (parse error)" 1 code;
+      check_bool "parse diagnostic for tracked file" true
+        (contains_s out "[parse]");
+      check_bool "generated .pp.ml still skipped" false
+        (contains_s out "scratch.pp.ml"))
+
+(* --- machine-readable output --- *)
+
+let test_json_output () =
+  with_fixture_dir (fun dir ->
+      let viol = write_file dir "viol_json.ml" "let f a b = compare a b\n" in
+      let code, out = run_lint [ "--json"; "--rule"; "R1"; viol ] in
+      check_int "json run exits 1" 1 code;
+      check_bool "json array with rule field" true
+        (contains_s out "\"rule\":\"R1\"");
+      check_bool "json has file field" true
+        (contains_s out "\"file\":");
+      check_bool "json has line field" true (contains_s out "\"line\":1");
+      check_bool "no human summary in json mode" false
+        (contains_s out "violation(s)");
+      let clean = write_file dir "clean_json.ml" "let x = 1\n" in
+      let code, out = run_lint [ "--json"; "--rule"; "R1"; clean ] in
+      check_int "clean json run exits 0" 0 code;
+      check_bool "empty json array" true (contains_s out "[]"))
 
 (* --- driver behaviour --- *)
 
@@ -291,9 +486,27 @@ let () =
           Alcotest.test_case "R4 bare_fail" `Quick test_r4;
           Alcotest.test_case "R5 mli" `Quick test_r5;
         ] );
+      ( "lockset",
+        [
+          Alcotest.test_case "R6 wrong lock" `Quick test_r6_wrong_lock;
+          Alcotest.test_case "R6 no lock" `Quick test_r6_no_lock;
+          Alcotest.test_case "R6 correct lock" `Quick test_r6_correct_lock;
+          Alcotest.test_case "R6 atomic exempt" `Quick test_r6_atomic_exempt;
+          Alcotest.test_case "R6 requires_lock" `Quick test_r6_requires_lock;
+          Alcotest.test_case "R6 wrapper inference" `Quick
+            test_r6_lock_wrapper_inference;
+          Alcotest.test_case "R6 submodule" `Quick test_r6_submodule;
+          Alcotest.test_case "R6 cross module" `Quick test_r6_cross_module;
+          Alcotest.test_case "R6 spawn escape" `Quick test_r6_spawn_escape;
+          Alcotest.test_case "R6 allowlisted" `Quick test_r6_allowlisted;
+          Alcotest.test_case "R6 unknown guard" `Quick test_r6_unknown_guard;
+        ] );
       ( "driver",
         [
           Alcotest.test_case "default scoping" `Quick test_default_scoping;
+          Alcotest.test_case "dune-tracked discovery" `Quick
+            test_dune_tracked_discovery;
+          Alcotest.test_case "json output" `Quick test_json_output;
           Alcotest.test_case "usage errors" `Quick test_usage_errors;
           Alcotest.test_case "parse error" `Quick test_parse_error_reported;
         ] );

@@ -1,0 +1,179 @@
+(* Runtime race sanitizer: guarded-cell checks under NSCQ_TSAN — the
+   disabled no-op path, in-contract accesses staying silent, a provoked
+   guarded-access-without-lock on two domains yielding exactly one
+   warn-once finding, re-arming via reset, and the finding flowing into
+   the flight recorder as a race.suspect event. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+module Recorder = Obs.Recorder
+
+let contains_s haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* Leave the sanitizer the way the environment configured it so the
+   suite behaves identically under `NSCQ_TSAN=1 dune runtest`. *)
+let env_enabled =
+  match Sys.getenv_opt "NSCQ_TSAN" with
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some _ | None -> false
+
+let with_racesan enabled f () =
+  Racesan.reset ();
+  Racesan.set_enabled enabled;
+  Fun.protect
+    ~finally:(fun () ->
+      Racesan.set_enabled env_enabled;
+      Racesan.reset ())
+    f
+
+(* Each test registers its own cell (cells cannot be unregistered), so
+   names carry the test's identity for debuggability. *)
+let fresh_cell name =
+  let lock = Lockdep.create name in
+  (lock, Racesan.register ~name ~lock)
+
+(* --- disabled: checks are free and record nothing --- *)
+
+let test_disabled_no_findings =
+  with_racesan false (fun () ->
+      let _lock, cell = fresh_cell "test.racesan.disabled" in
+      (* deliberately unlocked accesses: with the sanitizer off these
+         must neither record nor count *)
+      let before = Racesan.checks () in
+      Racesan.check cell;
+      Racesan.check cell;
+      check_int "no checks counted while disabled" before (Racesan.checks ());
+      check_int "no findings while disabled" 0
+        (List.length (Racesan.findings ())))
+
+(* --- in-contract accesses stay silent --- *)
+
+let test_locked_access_clean =
+  with_racesan true (fun () ->
+      let lock, cell = fresh_cell "test.racesan.clean" in
+      for _ = 1 to 3 do
+        Lockdep.protect lock (fun () -> Racesan.check cell)
+      done;
+      check_int "no findings for locked accesses" 0
+        (List.length (Racesan.findings ())))
+
+(* --- the core provocation: unlocked access on two domains --- *)
+
+let test_two_domain_violation_warn_once =
+  with_racesan true (fun () ->
+      let lock, cell = fresh_cell "test.racesan.race" in
+      (* one domain accesses in-contract (so the finding carries a prior
+         stack), then two domains access bare concurrently *)
+      Lockdep.protect lock (fun () -> Racesan.check cell);
+      let barrier = Atomic.make 0 in
+      let worker () =
+        Atomic.incr barrier;
+        while Atomic.get barrier < 2 do Domain.cpu_relax () done;
+        for _ = 1 to 100 do Racesan.check cell done
+      in
+      let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+      Domain.join d1;
+      Domain.join d2;
+      (* warn-once: 200 violating checks, one finding *)
+      let fs =
+        List.filter
+          (fun (f : Racesan.finding) ->
+            String.equal f.name "test.racesan.race")
+          (Racesan.findings ())
+      in
+      check_int "exactly one finding for the cell" 1 (List.length fs);
+      let f = List.hd fs in
+      check_bool "finding has the violating stack" true
+        (String.length f.access_stack > 0);
+      check_bool "finding carries the last in-contract stack" true
+        (f.prior_stack <> None);
+      check_bool "report renders the cell name" true
+        (contains_s (Racesan.report ()) "test.racesan.race"))
+
+(* --- reset re-arms the warn-once latch --- *)
+
+let test_reset_rearms =
+  with_racesan true (fun () ->
+      let _lock, cell = fresh_cell "test.racesan.rearm" in
+      Racesan.check cell;
+      check_int "first trip recorded" 1
+        (List.length
+           (List.filter
+              (fun (f : Racesan.finding) ->
+                String.equal f.name "test.racesan.rearm")
+              (Racesan.findings ())));
+      Racesan.check cell;
+      check_int "second trip latched" 1
+        (List.length
+           (List.filter
+              (fun (f : Racesan.finding) ->
+                String.equal f.name "test.racesan.rearm")
+              (Racesan.findings ())));
+      Racesan.reset ();
+      Racesan.check cell;
+      check_int "re-armed after reset" 1
+        (List.length
+           (List.filter
+              (fun (f : Racesan.finding) ->
+                String.equal f.name "test.racesan.rearm")
+              (Racesan.findings ()))))
+
+(* --- checks counter calibrates the overhead bench --- *)
+
+let test_checks_counted =
+  with_racesan true (fun () ->
+      let lock, cell = fresh_cell "test.racesan.count" in
+      let before = Racesan.checks () in
+      for _ = 1 to 10 do
+        Lockdep.protect lock (fun () -> Racesan.check cell)
+      done;
+      check_int "ten checks counted" (before + 10) (Racesan.checks ()))
+
+(* --- findings flow into the flight recorder --- *)
+
+let test_recorder_event =
+  with_racesan true (fun () ->
+      let _lock, cell = fresh_cell "test.racesan.recorder" in
+      Recorder.reset ();
+      Recorder.enable ();
+      Fun.protect
+        ~finally:(fun () ->
+          Recorder.disable ();
+          Recorder.reset ())
+        (fun () ->
+          Racesan.check cell;
+          let suspects =
+            List.filter
+              (fun (e : Recorder.event) -> e.kind = Recorder.Race_suspect)
+              (Recorder.events ())
+          in
+          check_int "one race.suspect event" 1 (List.length suspects);
+          let e = List.hd suspects in
+          check_bool "event carries the interned cell name" true
+            (match Recorder.name_of e.a8 with
+            | Some n -> String.equal n "test.racesan.recorder"
+            | None -> false);
+          check_int "event carries the violating domain" (Domain.self () :> int)
+            e.a16))
+
+let () =
+  Alcotest.run "racesan"
+    [
+      ( "sanitizer",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_disabled_no_findings;
+          Alcotest.test_case "locked access clean" `Quick
+            test_locked_access_clean;
+          Alcotest.test_case "two-domain violation, warn once" `Quick
+            test_two_domain_violation_warn_once;
+          Alcotest.test_case "reset re-arms" `Quick test_reset_rearms;
+          Alcotest.test_case "checks counted" `Quick test_checks_counted;
+          Alcotest.test_case "recorder race.suspect" `Quick
+            test_recorder_event;
+        ] );
+    ]
